@@ -1,0 +1,62 @@
+//! Benchmarks regenerating the paper's figures (1a/1b, 2a/2b, 3a/3b).
+//!
+//! Figure 3 is the expensive one: it evaluates the full cross-dataset
+//! matrix (every dataset predicting every other dataset of its program).
+
+use std::sync::OnceLock;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use mfbench::{collect, fig1_rows, fig2_rows, fig3_rows, SuiteRuns};
+use mfwork::Group;
+
+fn suite_runs() -> &'static SuiteRuns {
+    static RUNS: OnceLock<SuiteRuns> = OnceLock::new();
+    RUNS.get_or_init(|| {
+        eprintln!("[figures] collecting the full suite once…");
+        collect()
+    })
+}
+
+fn bench_fig1(c: &mut Criterion) {
+    let s = suite_runs();
+    println!("\n{}", mfbench::fig1_chart(s, Group::FortranFp).render(50));
+    println!("\n{}", mfbench::fig1_chart(s, Group::CInteger).render(50));
+    c.bench_function("fig1_no_prediction", |b| {
+        b.iter(|| {
+            let a = fig1_rows(black_box(s), Group::FortranFp);
+            let b2 = fig1_rows(black_box(s), Group::CInteger);
+            black_box((a, b2))
+        })
+    });
+}
+
+fn bench_fig2(c: &mut Criterion) {
+    let s = suite_runs();
+    println!("\n{}", mfbench::fig2_chart(s, true).render(50));
+    println!("\n{}", mfbench::fig2_chart(s, false).render(50));
+    c.bench_function("fig2_prediction", |b| {
+        b.iter(|| {
+            let a = fig2_rows(black_box(s), true);
+            let b2 = fig2_rows(black_box(s), false);
+            black_box((a, b2))
+        })
+    });
+}
+
+fn bench_fig3(c: &mut Criterion) {
+    let s = suite_runs();
+    println!("\n{}", mfbench::fig3_chart(s, true).render(50));
+    println!("\n{}", mfbench::fig3_chart(s, false).render(50));
+    c.bench_function("fig3_cross_dataset", |b| {
+        b.iter(|| {
+            let a = fig3_rows(black_box(s), true);
+            let b2 = fig3_rows(black_box(s), false);
+            black_box((a, b2))
+        })
+    });
+}
+
+criterion_group!(benches, bench_fig1, bench_fig2, bench_fig3);
+criterion_main!(benches);

@@ -1,0 +1,58 @@
+//! Substrate benchmarks: compiler, optimizer, and VM throughput. These are
+//! not paper experiments — they characterize the reproduction machinery
+//! itself (interpreter speed determines how long the full matrix takes).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+use mflang::compile;
+use mfopt::Pipeline;
+use mfwork::suite;
+use trace_vm::Vm;
+
+fn bench_compile(c: &mut Criterion) {
+    let all = suite();
+    let li = all.iter().find(|w| w.name == "li").expect("li");
+    let mut g = c.benchmark_group("compile");
+    g.throughput(Throughput::Bytes(li.source.len() as u64));
+    g.bench_function("mflang_li_interpreter", |b| {
+        b.iter(|| black_box(compile(black_box(&li.source)).expect("compiles")))
+    });
+    g.finish();
+}
+
+fn bench_optimize(c: &mut Criterion) {
+    let all = suite();
+    let gcc = all.iter().find(|w| w.name == "gcc").expect("gcc");
+    let program = gcc.compile().expect("compiles");
+    c.bench_function("optimize_gcc_frontend", |b| {
+        b.iter(|| {
+            let mut p = program.clone();
+            Pipeline::standard().run(&mut p);
+            black_box(p)
+        })
+    });
+}
+
+fn bench_vm_throughput(c: &mut Criterion) {
+    let all = suite();
+    let doduc = all.iter().find(|w| w.name == "doduc").expect("doduc");
+    let program = doduc.compile().expect("compiles");
+    let tiny = doduc.dataset("tiny").expect("tiny");
+    let instrs = Vm::new(&program)
+        .run(&tiny.inputs)
+        .expect("runs")
+        .stats
+        .total_instrs;
+
+    let mut g = c.benchmark_group("vm");
+    g.throughput(Throughput::Elements(instrs));
+    g.sample_size(10);
+    g.bench_function("doduc_tiny_guest_instrs", |b| {
+        b.iter(|| black_box(Vm::new(&program).run(black_box(&tiny.inputs)).expect("runs")))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_compile, bench_optimize, bench_vm_throughput);
+criterion_main!(benches);

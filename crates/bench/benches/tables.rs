@@ -1,0 +1,46 @@
+//! Benchmarks regenerating the paper's tables.
+//!
+//! The suite is executed once (cached); each bench then times the analytic
+//! regeneration of one table from the collected run statistics — i.e. the
+//! cost of the *prediction and metric machinery*, which is what this
+//! library adds over a plain interpreter. The bench run also prints each
+//! table once so `cargo bench` output doubles as a results record.
+
+use std::sync::OnceLock;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use mfbench::{collect, table1, table2, table3, SuiteRuns};
+
+fn suite_runs() -> &'static SuiteRuns {
+    static RUNS: OnceLock<SuiteRuns> = OnceLock::new();
+    RUNS.get_or_init(|| {
+        eprintln!("[tables] collecting the full suite once…");
+        collect()
+    })
+}
+
+fn bench_table1(c: &mut Criterion) {
+    let s = suite_runs();
+    println!("\n{}", table1(s).render());
+    c.bench_function("table1_dead_code", |b| {
+        b.iter(|| black_box(table1(black_box(s))))
+    });
+}
+
+fn bench_table2(c: &mut Criterion) {
+    println!("\n{}", table2().render());
+    c.bench_function("table2_inventory", |b| b.iter(|| black_box(table2())));
+}
+
+fn bench_table3(c: &mut Criterion) {
+    let s = suite_runs();
+    println!("\n{}", table3(s).render());
+    c.bench_function("table3_instrs_break", |b| {
+        b.iter(|| black_box(table3(black_box(s))))
+    });
+}
+
+criterion_group!(benches, bench_table1, bench_table2, bench_table3);
+criterion_main!(benches);

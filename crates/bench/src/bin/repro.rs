@@ -1,0 +1,160 @@
+//! `repro`: regenerates every table and figure of Fisher & Freudenberger
+//! (ASPLOS 1992) from the reproduced system.
+//!
+//! ```text
+//! repro            # everything
+//! repro --table1   # just Table 1
+//! repro --fig2     # just Figure 2a/2b
+//! ```
+//!
+//! Build with `--release`; the full matrix executes a few hundred million
+//! guest instructions.
+
+use mfbench::{
+    collect, combination_table, coverage_table, crossmode_table, distribution_table,
+    dynamic_table, fig1_chart, fig2_chart, fig2_rows, fig3_chart, fig3_rows, heuristic_table,
+    inlining_table, percent_correct_table, percent_taken_table, selects_table, table1, table2,
+    table3, SuiteRuns,
+};
+use mfwork::Group;
+
+const WIDTH: usize = 60;
+
+fn section(title: &str) {
+    println!(
+        "\n==== {title} {}",
+        "=".repeat(68usize.saturating_sub(title.len()))
+    );
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let want = |flag: &str| args.is_empty() || args.iter().any(|a| a == flag);
+
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        println!(
+            "usage: repro [--table1] [--table2] [--table3] [--fig1] [--fig2] [--fig3]\n\
+             \x20            [--taken] [--combine] [--heuristic] [--selects] [--crossmode]\n\
+             \x20            [--correct] [--dynamic] [--inline]\n\
+             with no flags, everything is regenerated."
+        );
+        return;
+    }
+
+    if want("--table2") {
+        section("Table 2: programs and datasets");
+        print!("{}", table2().render());
+        if args.iter().any(|a| a == "--table2") && args.len() == 1 {
+            return;
+        }
+    }
+
+    eprintln!("collecting runs for the whole suite (one run per program x dataset)…");
+    let start = std::time::Instant::now();
+    let s: SuiteRuns = collect();
+    let total: u64 = s
+        .workloads
+        .iter()
+        .flat_map(|w| w.runs.iter())
+        .map(|r| r.stats.total_instrs)
+        .sum();
+    eprintln!(
+        "collected {} runs, {} guest instructions, in {:.1}s",
+        s.workloads.iter().map(|w| w.runs.len()).sum::<usize>(),
+        total,
+        start.elapsed().as_secs_f64()
+    );
+
+    if want("--table1") {
+        section("Table 1: dynamic dead code the compiler's DCE would remove");
+        print!("{}", table1(&s).render());
+    }
+    if want("--fig1") {
+        section("Figure 1a/1b: instrs per break, no prediction");
+        print!("{}", fig1_chart(&s, Group::FortranFp).render(WIDTH));
+        println!();
+        print!("{}", fig1_chart(&s, Group::CInteger).render(WIDTH));
+    }
+    if want("--fig2") {
+        section("Figure 2a/2b: instrs per break, predicted (self vs sum-of-others)");
+        print!("{}", fig2_chart(&s, true).render(WIDTH));
+        println!();
+        print!("{}", fig2_chart(&s, false).render(WIDTH));
+        let rows = fig2_rows(&s, false);
+        let recovered: Vec<f64> = rows
+            .iter()
+            .filter(|r| r.self_ipb > 0.0)
+            .map(|r| r.others_ipb / r.self_ipb)
+            .collect();
+        if !recovered.is_empty() {
+            let mean = recovered.iter().sum::<f64>() / recovered.len() as f64;
+            println!(
+                "\n(sum-of-others recovers on average {:.0}% of the self-prediction bound)",
+                mean * 100.0
+            );
+        }
+    }
+    if want("--table3") {
+        section("Table 3: instrs/break (FORTRAN programs, little dataset variability)");
+        print!("{}", table3(&s).render());
+    }
+    if want("--fig3") {
+        section("Figure 3a/3b: best/worst single-dataset predictor, % of self");
+        print!("{}", fig3_chart(&s, true).render(WIDTH));
+        println!();
+        print!("{}", fig3_chart(&s, false).render(WIDTH));
+        let worst = fig3_rows(&s, false)
+            .into_iter()
+            .min_by(|a, b| a.worst.1.partial_cmp(&b.worst.1).expect("finite"));
+        if let Some(w) = worst {
+            println!(
+                "\n(most dramatic worst case: {} predicted by {} at {:.0}% of self)",
+                w.label,
+                w.worst.0,
+                w.worst.1 * 100.0
+            );
+        }
+    }
+    if want("--correct") {
+        section("The misleading measure: % branches correct vs instrs/break");
+        print!("{}", percent_correct_table(&s).render());
+    }
+    if want("--taken") {
+        section("Informal: percent-taken as a program constant");
+        print!("{}", percent_taken_table(&s).render());
+    }
+    if want("--combine") {
+        section("Informal: scaled vs unscaled vs polling combination");
+        print!("{}", combination_table(&s).render());
+    }
+    if want("--heuristic") {
+        section("Informal: loop heuristic vs profile feedback");
+        print!("{}", heuristic_table(&s).render());
+    }
+    if want("--selects") {
+        section("Informal: select instructions as a fraction of all instructions");
+        print!("{}", selects_table(&s).render());
+    }
+    if want("--crossmode") {
+        section("Informal: compress and uncompress do not predict each other");
+        if let Some(t) = crossmode_table(&s) {
+            print!("{}", t.render());
+        }
+    }
+    if want("--coverage") {
+        section("Informal: does poor cross-prediction come from coverage or flips?");
+        print!("{}", coverage_table(&s).render());
+    }
+    if want("--dynamic") {
+        section("Extension: static profile feedback vs 1-bit/2-bit hardware schemes");
+        print!("{}", dynamic_table().render());
+    }
+    if want("--inline") {
+        section("Extension: inlining removes direct call/return breaks");
+        print!("{}", inlining_table().render());
+    }
+    if want("--distribution") {
+        section("Run lengths between mispredicted branches are not evenly spaced");
+        print!("{}", distribution_table().render());
+    }
+}

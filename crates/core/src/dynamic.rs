@@ -1,0 +1,288 @@
+//! Dynamic branch prediction simulation — the hardware side of the paper's
+//! static/dynamic comparison.
+//!
+//! The paper positions static profile feedback against the "1 or 2 bits
+//! attached to each branch" dynamic schemes of the hardware literature
+//! ([Smith 81], [Lee and Smith 84]) and cites their accuracy: 80–90% on
+//! systems codes, 95–100% on scientific FORTRAN. This module simulates
+//! those schemes over the VM's recorded branch traces so the comparison can
+//! be made on the same programs with the same metrics. It is an extension
+//! beyond the paper's own measurements (they report only the literature
+//! numbers), using the infrastructure the paper implies.
+
+use std::collections::HashMap;
+
+use trace_ir::BranchId;
+use trace_vm::BranchEvent;
+
+use crate::predictor::{Direction, Predictor};
+
+/// A per-branch dynamic prediction scheme.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DynamicScheme {
+    /// One bit per branch: predict the direction the branch last went.
+    OneBit,
+    /// A two-bit saturating counter per branch (the classic Smith
+    /// predictor): predict taken when the counter is in its upper half.
+    TwoBit,
+}
+
+/// The outcome of simulating a scheme over a trace.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct DynamicResult {
+    /// Branch executions simulated.
+    pub executed: u64,
+    /// Mispredictions incurred (including each branch's cold-start misses).
+    pub mispredicted: u64,
+}
+
+impl DynamicResult {
+    /// Fraction predicted correctly.
+    pub fn correct_fraction(&self) -> f64 {
+        if self.executed == 0 {
+            1.0
+        } else {
+            1.0 - self.mispredicted as f64 / self.executed as f64
+        }
+    }
+}
+
+fn initial_counter(scheme: DynamicScheme, dir: Direction) -> u8 {
+    match (scheme, dir) {
+        // 1-bit state: 0 = not taken, 1 = taken.
+        (DynamicScheme::OneBit, Direction::NotTaken) => 0,
+        (DynamicScheme::OneBit, Direction::Taken) => 1,
+        // 2-bit state: 0,1 = predict not taken; 2,3 = predict taken.
+        // Weak states so the first disagreement can flip.
+        (DynamicScheme::TwoBit, Direction::NotTaken) => 1,
+        (DynamicScheme::TwoBit, Direction::Taken) => 2,
+    }
+}
+
+/// Simulates `scheme` over an ordered branch trace; every branch's state
+/// starts at the weak form of `cold_start`.
+pub fn simulate(
+    trace: &[BranchEvent],
+    scheme: DynamicScheme,
+    cold_start: Direction,
+) -> DynamicResult {
+    simulate_seeded(trace, scheme, &Predictor::always(cold_start))
+}
+
+/// Simulates `scheme` with each branch's initial state seeded from a
+/// *static* predictor — the natural hybrid the paper's discussion suggests
+/// (compile-time feedback sets the starting state, hardware adapts from
+/// there).
+pub fn simulate_seeded(
+    trace: &[BranchEvent],
+    scheme: DynamicScheme,
+    seed: &Predictor,
+) -> DynamicResult {
+    let mut state: HashMap<BranchId, u8> = HashMap::new();
+    let mut result = DynamicResult::default();
+    for &BranchEvent { id, taken, .. } in trace {
+        let counter = state
+            .entry(id)
+            .or_insert_with(|| initial_counter(scheme, seed.predict(id)));
+        let predicted_taken = match scheme {
+            DynamicScheme::OneBit => *counter == 1,
+            DynamicScheme::TwoBit => *counter >= 2,
+        };
+        result.executed += 1;
+        if predicted_taken != taken {
+            result.mispredicted += 1;
+        }
+        *counter = match scheme {
+            DynamicScheme::OneBit => u8::from(taken),
+            DynamicScheme::TwoBit => {
+                if taken {
+                    (*counter + 1).min(3)
+                } else {
+                    counter.saturating_sub(1)
+                }
+            }
+        };
+    }
+    result
+}
+
+/// The distribution of instruction run lengths between breaks.
+///
+/// The paper: "for ILP purposes, the actual distribution of branches is
+/// significant … far more ILP will be available if one has 80 instructions
+/// followed by two mispredicted branches than if one has 40 instructions,
+/// a mispredicted branch, 40 instructions, a mispredicted branch. Branches
+/// in real programs are not evenly spaced." This quantifies that.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct GapDistribution {
+    /// Number of runs (mispredict-terminated segments).
+    pub count: usize,
+    /// Mean run length in instructions.
+    pub mean: f64,
+    /// 10th percentile run length.
+    pub p10: u64,
+    /// Median run length.
+    pub p50: u64,
+    /// 90th percentile run length.
+    pub p90: u64,
+    /// Longest run observed.
+    pub max: u64,
+}
+
+/// Computes the distribution of instruction run lengths between
+/// *mispredicted* branches under a static `predictor`, from a recorded
+/// branch trace. Correctly predicted branches extend the current run; each
+/// misprediction terminates one.
+pub fn mispredict_gaps(trace: &[BranchEvent], predictor: &Predictor) -> GapDistribution {
+    let mut runs: Vec<u64> = Vec::new();
+    let mut current = 0u64;
+    for ev in trace {
+        current += ev.gap;
+        let predicted_taken = predictor.predict(ev.id) == Direction::Taken;
+        if predicted_taken != ev.taken {
+            runs.push(current);
+            current = 0;
+        }
+    }
+    if runs.is_empty() {
+        return GapDistribution::default();
+    }
+    runs.sort_unstable();
+    let pct = |p: usize| runs[(runs.len() - 1) * p / 100];
+    GapDistribution {
+        count: runs.len(),
+        mean: runs.iter().sum::<u64>() as f64 / runs.len() as f64,
+        p10: pct(10),
+        p50: pct(50),
+        p90: pct(90),
+        max: *runs.last().expect("nonempty"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trace(pattern: &[bool]) -> Vec<BranchEvent> {
+        pattern
+            .iter()
+            .map(|&t| BranchEvent {
+                id: BranchId(0),
+                taken: t,
+                gap: 10,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn one_bit_tracks_last_direction() {
+        // T T T N T: misses on the cold start (predict N), on the N, and on
+        // the T after the N.
+        let r = simulate(
+            &trace(&[true, true, true, false, true]),
+            DynamicScheme::OneBit,
+            Direction::NotTaken,
+        );
+        assert_eq!(r.executed, 5);
+        assert_eq!(r.mispredicted, 3);
+    }
+
+    #[test]
+    fn one_bit_thrashes_on_alternation() {
+        let pattern: Vec<bool> = (0..100).map(|i| i % 2 == 0).collect();
+        let r = simulate(&trace(&pattern), DynamicScheme::OneBit, Direction::NotTaken);
+        // Predicts the previous outcome, which always differs — except the
+        // very first (cold NotTaken vs actual Taken also misses here).
+        assert_eq!(r.mispredicted, 100);
+    }
+
+    #[test]
+    fn two_bit_resists_loop_exits() {
+        // A loop branch: taken 9 times, not-taken once, repeated. The
+        // two-bit counter eats one miss per exit and one on re-entry at
+        // most; the one-bit scheme eats two per cycle plus churn.
+        let mut pattern = Vec::new();
+        for _ in 0..10 {
+            pattern.extend(std::iter::repeat_n(true, 9));
+            pattern.push(false);
+        }
+        let two = simulate(&trace(&pattern), DynamicScheme::TwoBit, Direction::Taken);
+        let one = simulate(&trace(&pattern), DynamicScheme::OneBit, Direction::Taken);
+        assert_eq!(two.mispredicted, 10, "one miss per loop exit");
+        // Exit + re-entry miss per cycle, except no re-entry after the
+        // final exit: 10 + 9.
+        assert_eq!(one.mispredicted, 19);
+        assert!(two.correct_fraction() > one.correct_fraction());
+    }
+
+    #[test]
+    fn two_bit_saturates() {
+        // After long taken runs, a single not-taken flips nothing.
+        let mut pattern = vec![true; 50];
+        pattern.push(false);
+        pattern.push(true);
+        let r = simulate(&trace(&pattern), DynamicScheme::TwoBit, Direction::NotTaken);
+        // Misses: cold start (weak NT) and the single false. The trailing
+        // true is still predicted taken (counter 3 -> 2).
+        assert_eq!(r.mispredicted, 2);
+    }
+
+    #[test]
+    fn seeding_removes_cold_start_misses() {
+        let pattern = vec![true; 20];
+        let cold = simulate(&trace(&pattern), DynamicScheme::TwoBit, Direction::NotTaken);
+        let mut counts = trace_vm::BranchCounts::new();
+        counts.add(BranchId(0), 20, 20);
+        let seed = Predictor::from_counts(&counts, Direction::NotTaken);
+        let warm = simulate_seeded(&trace(&pattern), DynamicScheme::TwoBit, &seed);
+        assert!(warm.mispredicted < cold.mispredicted);
+        assert_eq!(warm.mispredicted, 0);
+    }
+
+    #[test]
+    fn interleaved_branches_have_independent_state() {
+        let t: Vec<BranchEvent> = (0..40)
+            .map(|i| BranchEvent {
+                id: BranchId(i % 2),
+                taken: i % 2 == 0,
+                gap: 5,
+            })
+            .collect();
+        let r = simulate(&t, DynamicScheme::TwoBit, Direction::NotTaken);
+        // Branch 0 misses only while warming up; branch 1 never misses.
+        assert!(r.mispredicted <= 2, "misses = {}", r.mispredicted);
+    }
+
+    #[test]
+    fn gap_distribution_basic() {
+        // All branches taken, predictor says not-taken: every branch is a
+        // mispredict, so every run is exactly one gap (10).
+        let t = trace(&[true; 8]);
+        let d = mispredict_gaps(&t, &Predictor::always(Direction::NotTaken));
+        assert_eq!(d.count, 8);
+        assert_eq!(d.mean, 10.0);
+        assert_eq!((d.p10, d.p50, d.p90, d.max), (10, 10, 10, 10));
+
+        // Perfect prediction: no runs terminate.
+        let d = mispredict_gaps(&t, &Predictor::always(Direction::Taken));
+        assert_eq!(d.count, 0);
+    }
+
+    #[test]
+    fn gap_distribution_uneven_runs() {
+        // Mispredict every 4th branch: runs of 4 gaps = 40 instructions.
+        let pattern: Vec<bool> = (0..16).map(|i| i % 4 != 3).collect();
+        let t = trace(&pattern);
+        let d = mispredict_gaps(&t, &Predictor::always(Direction::Taken));
+        assert_eq!(d.count, 4);
+        assert_eq!(d.p50, 40);
+        assert_eq!(d.mean, 40.0);
+    }
+
+    #[test]
+    fn empty_trace() {
+        let r = simulate(&[], DynamicScheme::OneBit, Direction::NotTaken);
+        assert_eq!(r.executed, 0);
+        assert_eq!(r.correct_fraction(), 1.0);
+    }
+}

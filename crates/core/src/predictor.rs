@@ -1,0 +1,231 @@
+//! Static branch predictors.
+
+use std::collections::BTreeMap;
+
+use ifprob::WeightedCounts;
+use trace_ir::{BranchId, BranchKind, Program, Terminator};
+use trace_vm::BranchCounts;
+
+/// A predicted branch direction.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum Direction {
+    /// Predict the branch condition true.
+    Taken,
+    /// Predict the branch condition false (the default for branches no
+    /// training run ever executed — fall-through is the cheap guess).
+    #[default]
+    NotTaken,
+}
+
+impl Direction {
+    /// The opposite direction.
+    pub fn flip(self) -> Direction {
+        match self {
+            Direction::Taken => Direction::NotTaken,
+            Direction::NotTaken => Direction::Taken,
+        }
+    }
+}
+
+/// A static branch predictor: one direction per conditional branch, fixed
+/// before the program runs.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Predictor {
+    map: BTreeMap<BranchId, Direction>,
+    default: Direction,
+}
+
+impl Predictor {
+    /// Majority-direction predictor from raw counts (one previous run, an
+    /// accumulated database entry, or the target itself for the
+    /// self-prediction upper bound). Ties predict taken. Branches the counts
+    /// never saw fall back to `default`.
+    pub fn from_counts(counts: &BranchCounts, default: Direction) -> Self {
+        let map = counts
+            .iter()
+            .filter(|(_, e, _)| *e > 0)
+            .map(|(id, e, t)| {
+                let dir = if t * 2 >= e {
+                    Direction::Taken
+                } else {
+                    Direction::NotTaken
+                };
+                (id, dir)
+            })
+            .collect();
+        Predictor { map, default }
+    }
+
+    /// Majority-direction predictor from combined (weighted) multi-dataset
+    /// counts.
+    pub fn from_weighted(counts: &WeightedCounts, default: Direction) -> Self {
+        let map = counts
+            .iter()
+            .filter(|&(_id, e, _t)| e > 0.0).map(|(id, e, t)| {
+                    let dir = if t / e >= 0.5 {
+                        Direction::Taken
+                    } else {
+                        Direction::NotTaken
+                    };
+                    (id, dir)
+                })
+            .collect();
+        Predictor { map, default }
+    }
+
+    /// The paper's "simple opcode heuristics" baseline: loop back-edges
+    /// predicted taken, everything else not-taken. Uses code layout
+    /// (backward-taken branches are loop branches), the information a
+    /// compiler has with no profile at all. The paper reports this gives up
+    /// about a factor of two in instructions per break.
+    pub fn heuristic(program: &Program) -> Self {
+        let mut map = BTreeMap::new();
+        for func in &program.functions {
+            for (bi, block) in func.iter_blocks() {
+                if let Terminator::Branch { id, taken, .. } = block.term {
+                    let dir = if taken.index() <= bi.index() {
+                        Direction::Taken
+                    } else {
+                        Direction::NotTaken
+                    };
+                    map.insert(id, dir);
+                }
+            }
+        }
+        Predictor {
+            map,
+            default: Direction::NotTaken,
+        }
+    }
+
+    /// A source-level variant of the heuristic keyed on what construct each
+    /// branch implements (`while`/`for` back-edge ⇒ taken). Equivalent to
+    /// [`Predictor::heuristic`] on `mflang` output; exists so the
+    /// equivalence is testable.
+    pub fn heuristic_by_kind(program: &Program) -> Self {
+        let map = program
+            .branch_info
+            .iter()
+            .enumerate()
+            .map(|(i, info)| {
+                let dir = if info.kind == BranchKind::LoopBack {
+                    Direction::Taken
+                } else {
+                    Direction::NotTaken
+                };
+                (BranchId::from_index(i), dir)
+            })
+            .collect();
+        Predictor {
+            map,
+            default: Direction::NotTaken,
+        }
+    }
+
+    /// Predicts every branch in one fixed direction.
+    pub fn always(direction: Direction) -> Self {
+        Predictor {
+            map: BTreeMap::new(),
+            default: direction,
+        }
+    }
+
+    /// The predicted direction for a branch.
+    pub fn predict(&self, id: BranchId) -> Direction {
+        self.map.get(&id).copied().unwrap_or(self.default)
+    }
+
+    /// Number of branches with explicit predictions.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True if no branch has an explicit prediction.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Iterates explicit `(id, direction)` pairs in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (BranchId, Direction)> + '_ {
+        self.map.iter().map(|(&id, &d)| (id, d))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ifprob::{combine, CombineRule};
+
+    fn counts(entries: &[(u32, u64, u64)]) -> BranchCounts {
+        entries
+            .iter()
+            .map(|&(id, e, t)| (BranchId(id), e, t))
+            .collect()
+    }
+
+    #[test]
+    fn majority_and_tie() {
+        let p = Predictor::from_counts(&counts(&[(0, 10, 9), (1, 10, 1), (2, 4, 2)]), Direction::NotTaken);
+        assert_eq!(p.predict(BranchId(0)), Direction::Taken);
+        assert_eq!(p.predict(BranchId(1)), Direction::NotTaken);
+        assert_eq!(p.predict(BranchId(2)), Direction::Taken, "tie -> taken");
+        assert_eq!(p.predict(BranchId(99)), Direction::NotTaken, "default");
+        assert_eq!(p.len(), 3);
+    }
+
+    #[test]
+    fn default_applies_only_to_unseen() {
+        let p = Predictor::from_counts(&counts(&[(0, 10, 1)]), Direction::Taken);
+        assert_eq!(p.predict(BranchId(0)), Direction::NotTaken);
+        assert_eq!(p.predict(BranchId(5)), Direction::Taken);
+    }
+
+    #[test]
+    fn from_weighted_matches_from_counts_on_single_profile() {
+        let c = counts(&[(0, 10, 9), (1, 10, 1)]);
+        let w = combine(&[&c], CombineRule::Unscaled);
+        let a = Predictor::from_counts(&c, Direction::NotTaken);
+        let b = Predictor::from_weighted(&w, Direction::NotTaken);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn always_predictors() {
+        let t = Predictor::always(Direction::Taken);
+        assert!(t.is_empty());
+        assert_eq!(t.predict(BranchId(7)), Direction::Taken);
+        assert_eq!(Direction::Taken.flip(), Direction::NotTaken);
+    }
+
+    #[test]
+    fn heuristics_agree_on_compiled_code() {
+        let program = mflang::compile(
+            r#"
+            fn main(n: int) {
+                var s: int = 0;
+                for (var i: int = 0; i < n; i = i + 1) {
+                    if (i % 2 == 0) { s = s + 1; }
+                    while (s > 100) { s = s - 10; }
+                }
+                emit(s);
+            }
+            "#,
+        )
+        .unwrap();
+        let layout = Predictor::heuristic(&program);
+        let by_kind = Predictor::heuristic_by_kind(&program);
+        for (id, _) in layout.iter() {
+            assert_eq!(
+                layout.predict(id),
+                by_kind.predict(id),
+                "layout and source heuristics disagree on {id:?}"
+            );
+        }
+        // The loop back-edges must be predicted taken.
+        let back_edges: Vec<_> = layout
+            .iter()
+            .filter(|(_, d)| *d == Direction::Taken)
+            .collect();
+        assert_eq!(back_edges.len(), 2, "for + while back-edges");
+    }
+}

@@ -1,0 +1,133 @@
+//! Human-readable IR dumps (`{}` on [`Program`] and [`Function`]).
+
+use std::fmt;
+
+use crate::instr::{Instr, Terminator};
+use crate::program::{Function, Program};
+
+impl fmt::Display for Instr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Instr::Const { dst, value } => write!(f, "{dst} = const {value:?}"),
+            Instr::Unop { dst, op, src } => write!(f, "{dst} = {op:?} {src}"),
+            Instr::Binop { dst, op, lhs, rhs } => write!(f, "{dst} = {op:?} {lhs}, {rhs}"),
+            Instr::Select {
+                dst,
+                cond,
+                if_true,
+                if_false,
+            } => write!(f, "{dst} = select {cond} ? {if_true} : {if_false}"),
+            Instr::Mov { dst, src } => write!(f, "{dst} = {src}"),
+            Instr::Load { dst, arr, index } => write!(f, "{dst} = load {arr}[{index}]"),
+            Instr::Store { arr, index, src } => write!(f, "store {arr}[{index}] = {src}"),
+            Instr::NewIntArray { dst, len } => write!(f, "{dst} = new_int_array {len}"),
+            Instr::NewFloatArray { dst, len } => write!(f, "{dst} = new_float_array {len}"),
+            Instr::ArrayLen { dst, arr } => write!(f, "{dst} = len {arr}"),
+            Instr::ConstArray { dst, index } => write!(f, "{dst} = const_array #{index}"),
+            Instr::GlobalGet { dst, global } => write!(f, "{dst} = global_get {global}"),
+            Instr::GlobalSet { global, src } => write!(f, "global_set {global} = {src}"),
+            Instr::FuncAddr { dst, func } => write!(f, "{dst} = addr {func}"),
+            Instr::Call { dst, func, args } => {
+                if let Some(d) = dst {
+                    write!(f, "{d} = call {func}{args:?}")
+                } else {
+                    write!(f, "call {func}{args:?}")
+                }
+            }
+            Instr::CallIndirect { dst, target, args } => {
+                if let Some(d) = dst {
+                    write!(f, "{d} = call_indirect {target}{args:?}")
+                } else {
+                    write!(f, "call_indirect {target}{args:?}")
+                }
+            }
+            Instr::Emit { src } => write!(f, "emit {src}"),
+        }
+    }
+}
+
+impl fmt::Display for Terminator {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Terminator::Jump(t) => write!(f, "jump {t}"),
+            Terminator::Branch {
+                cond,
+                id,
+                taken,
+                not_taken,
+            } => write!(f, "branch[{id}] {cond} ? {taken} : {not_taken}"),
+            Terminator::JumpTable {
+                index,
+                targets,
+                default,
+            } => write!(f, "jump_table {index} {targets:?} default {default}"),
+            Terminator::Return { value: Some(v) } => write!(f, "return {v}"),
+            Terminator::Return { value: None } => write!(f, "return"),
+        }
+    }
+}
+
+impl fmt::Display for Function {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "fn {}({} params, {} regs):",
+            self.name, self.num_params, self.num_regs
+        )?;
+        for (id, block) in self.iter_blocks() {
+            writeln!(f, "  {id}:")?;
+            for instr in &block.instrs {
+                writeln!(f, "    {instr}")?;
+            }
+            writeln!(f, "    {}", block.term)?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for Program {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "program: entry {}, {} functions, {} globals, {} branches",
+            self.entry,
+            self.functions.len(),
+            self.globals.len(),
+            self.branch_info.len()
+        )?;
+        for func in &self.functions {
+            write!(f, "{func}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::builder::{FunctionBuilder, ProgramBuilder};
+    use crate::program::BranchKind;
+
+    #[test]
+    fn dump_contains_expected_fragments() {
+        let mut pb = ProgramBuilder::new();
+        let mut f = FunctionBuilder::new("main", 0);
+        let c = f.const_int(1);
+        let t = f.new_block();
+        let e = f.new_block();
+        f.branch(c, t, e, 3, BranchKind::If);
+        f.switch_to(t);
+        f.emit_value(c);
+        f.ret(None);
+        f.switch_to(e);
+        f.ret(Some(c));
+        pb.add_function(f.finish());
+        let p = pb.finish("main").unwrap();
+
+        let dump = p.to_string();
+        assert!(dump.contains("fn main"));
+        assert!(dump.contains("branch[br0]"));
+        assert!(dump.contains("emit r0"));
+        assert!(dump.contains("return r0"));
+        assert!(dump.contains("entry fn0"));
+    }
+}

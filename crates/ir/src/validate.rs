@@ -1,0 +1,495 @@
+//! Structural validation of programs.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::id::{BlockId, FuncId, Reg};
+use crate::instr::{Instr, Terminator};
+use crate::program::Program;
+
+/// A structural defect found while validating a [`Program`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ValidateError {
+    /// A function was declared (or named as entry) but never defined.
+    UndefinedFunction {
+        /// The missing function's name.
+        name: String,
+    },
+    /// A function has no blocks.
+    EmptyFunction {
+        /// The offending function.
+        func: String,
+    },
+    /// A control transfer targets a block that does not exist.
+    BadBlockTarget {
+        /// The offending function.
+        func: String,
+        /// The block containing the transfer.
+        block: BlockId,
+        /// The out-of-range target.
+        target: BlockId,
+    },
+    /// An instruction references a register ≥ `num_regs`.
+    BadRegister {
+        /// The offending function.
+        func: String,
+        /// The block containing the instruction.
+        block: BlockId,
+        /// The out-of-range register.
+        reg: Reg,
+    },
+    /// A call references a function id outside the program.
+    BadFunctionRef {
+        /// The offending function.
+        func: String,
+        /// The out-of-range callee id.
+        callee: FuncId,
+    },
+    /// A direct call passes the wrong number of arguments.
+    ArityMismatch {
+        /// The calling function.
+        func: String,
+        /// The callee's name.
+        callee: String,
+        /// Arguments passed.
+        got: usize,
+        /// Parameters expected.
+        expected: u32,
+    },
+    /// A `GlobalGet`/`GlobalSet` references a missing global slot.
+    BadGlobalRef {
+        /// The offending function.
+        func: String,
+        /// The out-of-range slot index.
+        index: usize,
+    },
+    /// A `ConstArray` references a missing interned array.
+    BadConstArray {
+        /// The offending function.
+        func: String,
+        /// The out-of-range array index.
+        index: u32,
+    },
+    /// A conditional branch carries a [`crate::BranchId`] with no
+    /// `branch_info` entry.
+    BadBranchId {
+        /// The offending function.
+        func: String,
+        /// The unregistered id's raw index.
+        index: usize,
+    },
+    /// Two live branches share one [`crate::BranchId`].
+    DuplicateBranchId {
+        /// The shared id's raw index.
+        index: usize,
+    },
+}
+
+impl fmt::Display for ValidateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ValidateError::UndefinedFunction { name } => {
+                write!(f, "function `{name}` is declared but never defined")
+            }
+            ValidateError::EmptyFunction { func } => {
+                write!(f, "function `{func}` has no blocks")
+            }
+            ValidateError::BadBlockTarget {
+                func,
+                block,
+                target,
+            } => write!(
+                f,
+                "function `{func}`: {block} transfers to nonexistent {target}"
+            ),
+            ValidateError::BadRegister { func, block, reg } => {
+                write!(f, "function `{func}`: {block} uses unallocated {reg}")
+            }
+            ValidateError::BadFunctionRef { func, callee } => {
+                write!(f, "function `{func}` calls nonexistent {callee}")
+            }
+            ValidateError::ArityMismatch {
+                func,
+                callee,
+                got,
+                expected,
+            } => write!(
+                f,
+                "function `{func}` calls `{callee}` with {got} arguments, expected {expected}"
+            ),
+            ValidateError::BadGlobalRef { func, index } => {
+                write!(f, "function `{func}` references nonexistent global slot {index}")
+            }
+            ValidateError::BadConstArray { func, index } => {
+                write!(f, "function `{func}` references nonexistent constant array {index}")
+            }
+            ValidateError::BadBranchId { func, index } => {
+                write!(f, "function `{func}` has branch with unregistered id br{index}")
+            }
+            ValidateError::DuplicateBranchId { index } => {
+                write!(f, "branch id br{index} appears on more than one live branch")
+            }
+        }
+    }
+}
+
+impl Error for ValidateError {}
+
+impl Program {
+    /// Checks structural invariants: every transfer targets an existing
+    /// block, every register is allocated, every call target exists with
+    /// matching arity, every global/constant-array/branch-id reference is in
+    /// range, and live branch ids are unique.
+    ///
+    /// After inlining, several live branches may legitimately share one
+    /// source-level id (the inlined copies of one source branch — exactly
+    /// the granularity IFPROBBER counted at); use
+    /// [`Program::validate_inlined`] for such programs.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`ValidateError`] found.
+    pub fn validate(&self) -> Result<(), ValidateError> {
+        self.validate_impl(false)
+    }
+
+    /// [`Program::validate`] minus the unique-live-branch-id check, for
+    /// programs where inlining has duplicated source branches.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`ValidateError`] found.
+    pub fn validate_inlined(&self) -> Result<(), ValidateError> {
+        self.validate_impl(true)
+    }
+
+    fn validate_impl(&self, allow_shared_branch_ids: bool) -> Result<(), ValidateError> {
+        let mut seen_branch = vec![false; self.branch_info.len()];
+        for func in &self.functions {
+            if func.blocks.is_empty() {
+                return Err(ValidateError::EmptyFunction {
+                    func: func.name.clone(),
+                });
+            }
+            let check_reg = |reg: Reg, block: BlockId| -> Result<(), ValidateError> {
+                if reg.0 >= func.num_regs {
+                    Err(ValidateError::BadRegister {
+                        func: func.name.clone(),
+                        block,
+                        reg,
+                    })
+                } else {
+                    Ok(())
+                }
+            };
+            for (bi, block) in func.iter_blocks() {
+                for instr in &block.instrs {
+                    let mut reg_err = None;
+                    instr.for_each_use(|r| {
+                        if reg_err.is_none() {
+                            if let Err(e) = check_reg(r, bi) {
+                                reg_err = Some(e);
+                            }
+                        }
+                    });
+                    if let Some(e) = reg_err {
+                        return Err(e);
+                    }
+                    if let Some(d) = instr.dst() {
+                        check_reg(d, bi)?;
+                    }
+                    match instr {
+                        Instr::Call { func: callee, args, .. } => {
+                            let Some(target) = self.functions.get(callee.index()) else {
+                                return Err(ValidateError::BadFunctionRef {
+                                    func: func.name.clone(),
+                                    callee: *callee,
+                                });
+                            };
+                            if args.len() != target.num_params as usize {
+                                return Err(ValidateError::ArityMismatch {
+                                    func: func.name.clone(),
+                                    callee: target.name.clone(),
+                                    got: args.len(),
+                                    expected: target.num_params,
+                                });
+                            }
+                        }
+                        Instr::FuncAddr { func: callee, .. }
+                            if callee.index() >= self.functions.len() => {
+                                return Err(ValidateError::BadFunctionRef {
+                                    func: func.name.clone(),
+                                    callee: *callee,
+                                });
+                            }
+                        Instr::GlobalGet { global, .. } | Instr::GlobalSet { global, .. }
+                            if global.index() >= self.globals.len() => {
+                                return Err(ValidateError::BadGlobalRef {
+                                    func: func.name.clone(),
+                                    index: global.index(),
+                                });
+                            }
+                        Instr::ConstArray { index, .. }
+                            if *index as usize >= self.const_arrays.len() => {
+                                return Err(ValidateError::BadConstArray {
+                                    func: func.name.clone(),
+                                    index: *index,
+                                });
+                            }
+                        _ => {}
+                    }
+                }
+                let mut target_err = None;
+                block.term.for_each_successor(|t| {
+                    if target_err.is_none() && t.index() >= func.blocks.len() {
+                        target_err = Some(ValidateError::BadBlockTarget {
+                            func: func.name.clone(),
+                            block: bi,
+                            target: t,
+                        });
+                    }
+                });
+                if let Some(e) = target_err {
+                    return Err(e);
+                }
+                let mut use_err = None;
+                block.term.for_each_use(|r| {
+                    if use_err.is_none() {
+                        if let Err(e) = check_reg(r, bi) {
+                            use_err = Some(e);
+                        }
+                    }
+                });
+                if let Some(e) = use_err {
+                    return Err(e);
+                }
+                if let Terminator::Branch { id, .. } = block.term {
+                    match seen_branch.get_mut(id.index()) {
+                        None => {
+                            return Err(ValidateError::BadBranchId {
+                                func: func.name.clone(),
+                                index: id.index(),
+                            })
+                        }
+                        Some(seen @ false) => *seen = true,
+                        Some(_) if allow_shared_branch_ids => {}
+                        Some(_) => {
+                            return Err(ValidateError::DuplicateBranchId { index: id.index() })
+                        }
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::id::{BranchId, GlobalId};
+    use crate::instr::Value;
+    use crate::program::{Block, BranchInfo, BranchKind, Function};
+
+    fn func(name: &str, num_regs: u32, blocks: Vec<Block>) -> Function {
+        Function {
+            name: name.to_string(),
+            num_params: 0,
+            num_regs,
+            blocks,
+        }
+    }
+
+    fn wrap(f: Function) -> Program {
+        Program {
+            functions: vec![f],
+            entry: FuncId(0),
+            globals: Vec::new(),
+            const_arrays: Vec::new(),
+            branch_info: vec![BranchInfo {
+                func: FuncId(0),
+                line: 0,
+                kind: BranchKind::Synthetic,
+            }],
+        }
+    }
+
+    #[test]
+    fn valid_program_passes() {
+        let f = func(
+            "main",
+            1,
+            vec![Block {
+                instrs: vec![Instr::Const {
+                    dst: Reg(0),
+                    value: Value::Int(0),
+                }],
+                term: Terminator::Return { value: Some(Reg(0)) },
+            }],
+        );
+        assert_eq!(wrap(f).validate(), Ok(()));
+    }
+
+    #[test]
+    fn empty_function_rejected() {
+        let p = wrap(func("main", 0, Vec::new()));
+        assert!(matches!(
+            p.validate(),
+            Err(ValidateError::EmptyFunction { .. })
+        ));
+    }
+
+    #[test]
+    fn bad_block_target_rejected() {
+        let f = func(
+            "main",
+            0,
+            vec![Block::new(Terminator::Jump(BlockId(5)))],
+        );
+        assert!(matches!(
+            wrap(f).validate(),
+            Err(ValidateError::BadBlockTarget { .. })
+        ));
+    }
+
+    #[test]
+    fn unallocated_register_rejected() {
+        let f = func(
+            "main",
+            1,
+            vec![Block {
+                instrs: vec![Instr::Mov {
+                    dst: Reg(0),
+                    src: Reg(3),
+                }],
+                term: Terminator::Return { value: None },
+            }],
+        );
+        assert!(matches!(
+            wrap(f).validate(),
+            Err(ValidateError::BadRegister { reg: Reg(3), .. })
+        ));
+    }
+
+    #[test]
+    fn arity_mismatch_rejected() {
+        let callee = Function {
+            name: "callee".to_string(),
+            num_params: 2,
+            num_regs: 2,
+            blocks: vec![Block::new(Terminator::Return { value: None })],
+        };
+        let caller = func(
+            "main",
+            1,
+            vec![Block {
+                instrs: vec![Instr::Call {
+                    dst: None,
+                    func: FuncId(0),
+                    args: vec![Reg(0)],
+                }],
+                term: Terminator::Return { value: None },
+            }],
+        );
+        let p = Program {
+            functions: vec![callee, caller],
+            entry: FuncId(1),
+            globals: Vec::new(),
+            const_arrays: Vec::new(),
+            branch_info: Vec::new(),
+        };
+        assert!(matches!(
+            p.validate(),
+            Err(ValidateError::ArityMismatch {
+                got: 1,
+                expected: 2,
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn bad_global_rejected() {
+        let f = func(
+            "main",
+            1,
+            vec![Block {
+                instrs: vec![Instr::GlobalGet {
+                    dst: Reg(0),
+                    global: GlobalId(0),
+                }],
+                term: Terminator::Return { value: None },
+            }],
+        );
+        assert!(matches!(
+            wrap(f).validate(),
+            Err(ValidateError::BadGlobalRef { .. })
+        ));
+    }
+
+    #[test]
+    fn duplicate_branch_id_rejected() {
+        let mk_branch_block = || Block {
+            instrs: vec![Instr::Const {
+                dst: Reg(0),
+                value: Value::Int(1),
+            }],
+            term: Terminator::Branch {
+                cond: Reg(0),
+                id: BranchId(0),
+                taken: BlockId(2),
+                not_taken: BlockId(2),
+            },
+        };
+        let f = Function {
+            name: "main".to_string(),
+            num_params: 0,
+            num_regs: 1,
+            blocks: vec![
+                mk_branch_block(),
+                mk_branch_block(),
+                Block::new(Terminator::Return { value: None }),
+            ],
+        };
+        assert!(matches!(
+            wrap(f).validate(),
+            Err(ValidateError::DuplicateBranchId { index: 0 })
+        ));
+    }
+
+    #[test]
+    fn unregistered_branch_id_rejected() {
+        let f = Function {
+            name: "main".to_string(),
+            num_params: 0,
+            num_regs: 1,
+            blocks: vec![
+                Block {
+                    instrs: vec![Instr::Const {
+                        dst: Reg(0),
+                        value: Value::Int(1),
+                    }],
+                    term: Terminator::Branch {
+                        cond: Reg(0),
+                        id: BranchId(7),
+                        taken: BlockId(1),
+                        not_taken: BlockId(1),
+                    },
+                },
+                Block::new(Terminator::Return { value: None }),
+            ],
+        };
+        assert!(matches!(
+            wrap(f).validate(),
+            Err(ValidateError::BadBranchId { index: 7, .. })
+        ));
+    }
+
+    #[test]
+    fn error_display_is_nonempty() {
+        let e = ValidateError::UndefinedFunction {
+            name: "f".to_string(),
+        };
+        assert!(!e.to_string().is_empty());
+    }
+}

@@ -1,0 +1,315 @@
+//! Abstract syntax tree.
+
+use std::fmt;
+
+/// A guest-language type.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Type {
+    /// 64-bit signed integer (also the boolean type).
+    Int,
+    /// 64-bit IEEE float.
+    Float,
+    /// Array of integers.
+    IntArray,
+    /// Array of floats.
+    FloatArray,
+    /// A typed function reference: parameter types and optional return type.
+    FnRef {
+        /// Parameter types.
+        params: Vec<Type>,
+        /// Return type, or `None` for a void function.
+        ret: Option<Box<Type>>,
+    },
+}
+
+impl Type {
+    /// True for `int` and `float`.
+    pub fn is_scalar(&self) -> bool {
+        matches!(self, Type::Int | Type::Float)
+    }
+
+    /// The element type of an array type.
+    pub fn element(&self) -> Option<Type> {
+        match self {
+            Type::IntArray => Some(Type::Int),
+            Type::FloatArray => Some(Type::Float),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Type {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Type::Int => write!(f, "int"),
+            Type::Float => write!(f, "float"),
+            Type::IntArray => write!(f, "[int]"),
+            Type::FloatArray => write!(f, "[float]"),
+            Type::FnRef { params, ret } => {
+                write!(f, "fn(")?;
+                for (i, p) in params.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{p}")?;
+                }
+                write!(f, ")")?;
+                if let Some(r) = ret {
+                    write!(f, " -> {r}")?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+/// Binary operators at the source level.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[allow(missing_docs)] // field/variant names mirror the construct itself
+pub enum BinaryOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Rem,
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    And,
+    Or,
+    BitAnd,
+    BitOr,
+    BitXor,
+    Shl,
+    Shr,
+}
+
+/// Unary operators at the source level.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum UnaryOp {
+    /// Arithmetic negation (`-`).
+    Neg,
+    /// Logical not (`!`).
+    Not,
+    /// Bitwise complement (`~`).
+    BitNot,
+}
+
+/// An expression with its source line.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Expr {
+    /// The expression's payload.
+    pub kind: ExprKind,
+    /// 1-based source line.
+    pub line: u32,
+}
+
+/// Expression kinds.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ExprKind {
+    /// Integer literal.
+    Int(i64),
+    /// Float literal.
+    Float(f64),
+    /// String literal (becomes an interned read-only `[int]`).
+    Str(String),
+    /// Variable or global reference.
+    Name(String),
+    /// `@func` — a function reference.
+    FuncRef(String),
+    /// `a[i]`.
+    Index {
+        /// The array expression.
+        base: Box<Expr>,
+        /// The index expression.
+        index: Box<Expr>,
+    },
+    /// Binary operation (including short-circuit `&&`/`||`).
+    Binary {
+        /// The operator.
+        op: BinaryOp,
+        /// Left operand.
+        lhs: Box<Expr>,
+        /// Right operand.
+        rhs: Box<Expr>,
+    },
+    /// Unary operation.
+    Unary {
+        /// The operator.
+        op: UnaryOp,
+        /// The operand.
+        operand: Box<Expr>,
+    },
+    /// A call: direct (`f(x)`), indirect (variable of `fn` type), or a
+    /// builtin (`len`, `emit`, `sqrt`, …) — resolved during lowering.
+    Call {
+        /// Callee name.
+        callee: String,
+        /// Argument expressions.
+        args: Vec<Expr>,
+    },
+}
+
+/// An assignment target.
+#[derive(Clone, Debug, PartialEq)]
+pub enum LValue {
+    /// A variable or global.
+    Name(String),
+    /// An array element.
+    Index {
+        /// The array (variable or global name).
+        base: String,
+        /// The index expression.
+        index: Expr,
+    },
+}
+
+/// A statement with its source line.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Stmt {
+    /// The statement's payload.
+    pub kind: StmtKind,
+    /// 1-based source line.
+    pub line: u32,
+}
+
+/// Statement kinds.
+#[derive(Clone, Debug, PartialEq)]
+pub enum StmtKind {
+    /// `var name: ty = init;`
+    Var {
+        /// Variable name.
+        name: String,
+        /// Declared type.
+        ty: Type,
+        /// Initializer.
+        init: Expr,
+    },
+    /// `lvalue = value;`
+    Assign {
+        /// The target.
+        target: LValue,
+        /// The value.
+        value: Expr,
+    },
+    /// `if (cond) { … } else { … }`
+    If {
+        /// The condition (must be `int`).
+        cond: Expr,
+        /// The then-branch.
+        then_body: Vec<Stmt>,
+        /// The else-branch (possibly empty).
+        else_body: Vec<Stmt>,
+    },
+    /// `while (cond) { … }`
+    While {
+        /// The loop condition.
+        cond: Expr,
+        /// The loop body.
+        body: Vec<Stmt>,
+    },
+    /// `do { … } while (cond);`
+    DoWhile {
+        /// The loop body.
+        body: Vec<Stmt>,
+        /// The loop condition, tested after each iteration.
+        cond: Expr,
+    },
+    /// `for (init; cond; step) { … }`
+    For {
+        /// Optional init statement.
+        init: Option<Box<Stmt>>,
+        /// Optional condition (missing = always true).
+        cond: Option<Expr>,
+        /// Optional step statement.
+        step: Option<Box<Stmt>>,
+        /// The loop body.
+        body: Vec<Stmt>,
+    },
+    /// `switch (scrutinee) { case N: { … } … default: { … } }`
+    Switch {
+        /// The value switched on (must be `int`).
+        scrutinee: Expr,
+        /// `(value, body)` per case arm; no fallthrough.
+        cases: Vec<(i64, Vec<Stmt>)>,
+        /// The default arm (possibly empty).
+        default: Vec<Stmt>,
+    },
+    /// `break;`
+    Break,
+    /// `continue;`
+    Continue,
+    /// `return;` / `return expr;`
+    Return(Option<Expr>),
+    /// An expression evaluated for effect (a call).
+    Expr(Expr),
+}
+
+/// A function parameter.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Param {
+    /// Parameter name.
+    pub name: String,
+    /// Parameter type.
+    pub ty: Type,
+}
+
+/// A top-level item.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Item {
+    /// `global name: ty;`
+    Global {
+        /// Global name.
+        name: String,
+        /// Declared type.
+        ty: Type,
+        /// 1-based source line.
+        line: u32,
+    },
+    /// `fn name(params) -> ret { body }`
+    Function {
+        /// Function name.
+        name: String,
+        /// Parameters.
+        params: Vec<Param>,
+        /// Return type, or `None` for void.
+        ret: Option<Type>,
+        /// Body statements.
+        body: Vec<Stmt>,
+        /// 1-based source line.
+        line: u32,
+    },
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn type_display() {
+        assert_eq!(Type::Int.to_string(), "int");
+        assert_eq!(Type::FloatArray.to_string(), "[float]");
+        let f = Type::FnRef {
+            params: vec![Type::Int, Type::Float],
+            ret: Some(Box::new(Type::Int)),
+        };
+        assert_eq!(f.to_string(), "fn(int, float) -> int");
+        let v = Type::FnRef {
+            params: vec![],
+            ret: None,
+        };
+        assert_eq!(v.to_string(), "fn()");
+    }
+
+    #[test]
+    fn type_helpers() {
+        assert!(Type::Int.is_scalar());
+        assert!(!Type::IntArray.is_scalar());
+        assert_eq!(Type::IntArray.element(), Some(Type::Int));
+        assert_eq!(Type::FloatArray.element(), Some(Type::Float));
+        assert_eq!(Type::Int.element(), None);
+    }
+}

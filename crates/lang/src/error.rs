@@ -1,0 +1,57 @@
+//! Compile-time errors.
+
+use std::error::Error;
+use std::fmt;
+
+use trace_ir::ValidateError;
+
+/// A lexical, syntactic, or semantic error, with the source line it occurred
+/// on.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CompileError {
+    /// 1-based source line (0 when no location applies).
+    pub line: u32,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl CompileError {
+    /// Creates an error at `line`.
+    pub fn new(line: u32, message: impl Into<String>) -> Self {
+        CompileError {
+            line,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.line == 0 {
+            write!(f, "{}", self.message)
+        } else {
+            write!(f, "line {}: {}", self.line, self.message)
+        }
+    }
+}
+
+impl Error for CompileError {}
+
+impl From<ValidateError> for CompileError {
+    fn from(e: ValidateError) -> Self {
+        CompileError::new(0, format!("internal: generated invalid IR: {e}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_line() {
+        let e = CompileError::new(7, "unexpected token");
+        assert_eq!(e.to_string(), "line 7: unexpected token");
+        let e0 = CompileError::new(0, "no entry function");
+        assert_eq!(e0.to_string(), "no entry function");
+    }
+}

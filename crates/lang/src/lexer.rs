@@ -1,0 +1,359 @@
+//! The lexer.
+
+use crate::error::CompileError;
+use crate::token::{Punct, Token, TokenKind};
+
+/// Lexes `source` into a token stream ending with [`TokenKind::Eof`].
+///
+/// # Errors
+///
+/// Returns a [`CompileError`] on malformed literals, unterminated comments or
+/// strings, and unexpected characters.
+pub fn lex(source: &str) -> Result<Vec<Token>, CompileError> {
+    Lexer {
+        bytes: source.as_bytes(),
+        pos: 0,
+        line: 1,
+    }
+    .run()
+}
+
+struct Lexer<'s> {
+    bytes: &'s [u8],
+    pos: usize,
+    line: u32,
+}
+
+impl<'s> Lexer<'s> {
+    fn run(mut self) -> Result<Vec<Token>, CompileError> {
+        let mut tokens = Vec::new();
+        loop {
+            self.skip_trivia()?;
+            let line = self.line;
+            let Some(c) = self.peek() else {
+                tokens.push(Token {
+                    kind: TokenKind::Eof,
+                    line,
+                });
+                return Ok(tokens);
+            };
+            let kind = match c {
+                b'0'..=b'9' => self.number()?,
+                b'a'..=b'z' | b'A'..=b'Z' | b'_' => self.ident(),
+                b'"' => self.string()?,
+                b'\'' => self.char_literal()?,
+                _ => self.punct()?,
+            };
+            tokens.push(Token { kind, line });
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn peek2(&self) -> Option<u8> {
+        self.bytes.get(self.pos + 1).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let c = self.peek()?;
+        self.pos += 1;
+        if c == b'\n' {
+            self.line += 1;
+        }
+        Some(c)
+    }
+
+    fn skip_trivia(&mut self) -> Result<(), CompileError> {
+        loop {
+            match (self.peek(), self.peek2()) {
+                (Some(c), _) if c.is_ascii_whitespace() => {
+                    self.bump();
+                }
+                (Some(b'/'), Some(b'/')) => {
+                    while let Some(c) = self.peek() {
+                        if c == b'\n' {
+                            break;
+                        }
+                        self.bump();
+                    }
+                }
+                (Some(b'/'), Some(b'*')) => {
+                    let start = self.line;
+                    self.bump();
+                    self.bump();
+                    loop {
+                        match (self.peek(), self.peek2()) {
+                            (Some(b'*'), Some(b'/')) => {
+                                self.bump();
+                                self.bump();
+                                break;
+                            }
+                            (Some(_), _) => {
+                                self.bump();
+                            }
+                            (None, _) => {
+                                return Err(CompileError::new(
+                                    start,
+                                    "unterminated block comment",
+                                ))
+                            }
+                        }
+                    }
+                }
+                _ => return Ok(()),
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<TokenKind, CompileError> {
+        let start = self.pos;
+        let line = self.line;
+        if self.peek() == Some(b'0') && matches!(self.peek2(), Some(b'x') | Some(b'X')) {
+            self.bump();
+            self.bump();
+            let hex_start = self.pos;
+            while matches!(self.peek(), Some(c) if c.is_ascii_hexdigit()) {
+                self.bump();
+            }
+            let text = std::str::from_utf8(&self.bytes[hex_start..self.pos]).expect("ascii");
+            return i64::from_str_radix(text, 16)
+                .map(TokenKind::Int)
+                .map_err(|_| CompileError::new(line, "invalid hex literal"));
+        }
+        while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+            self.bump();
+        }
+        let mut is_float = false;
+        if self.peek() == Some(b'.') && matches!(self.peek2(), Some(c) if c.is_ascii_digit()) {
+            is_float = true;
+            self.bump();
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                self.bump();
+            }
+        }
+        if matches!(self.peek(), Some(b'e') | Some(b'E')) {
+            let mut ahead = self.pos + 1;
+            if matches!(self.bytes.get(ahead), Some(b'+') | Some(b'-')) {
+                ahead += 1;
+            }
+            if matches!(self.bytes.get(ahead), Some(c) if c.is_ascii_digit()) {
+                is_float = true;
+                self.bump(); // e
+                if matches!(self.peek(), Some(b'+') | Some(b'-')) {
+                    self.bump();
+                }
+                while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                    self.bump();
+                }
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii");
+        if is_float {
+            text.parse::<f64>()
+                .map(TokenKind::Float)
+                .map_err(|_| CompileError::new(line, "invalid float literal"))
+        } else {
+            text.parse::<i64>()
+                .map(TokenKind::Int)
+                .map_err(|_| CompileError::new(line, "integer literal out of range"))
+        }
+    }
+
+    fn ident(&mut self) -> TokenKind {
+        let start = self.pos;
+        while matches!(self.peek(), Some(c) if c.is_ascii_alphanumeric() || c == b'_') {
+            self.bump();
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii");
+        TokenKind::Ident(text.to_string())
+    }
+
+    fn escape(&mut self, line: u32) -> Result<u8, CompileError> {
+        match self.bump() {
+            Some(b'n') => Ok(b'\n'),
+            Some(b't') => Ok(b'\t'),
+            Some(b'r') => Ok(b'\r'),
+            Some(b'0') => Ok(0),
+            Some(b'\\') => Ok(b'\\'),
+            Some(b'\'') => Ok(b'\''),
+            Some(b'"') => Ok(b'"'),
+            _ => Err(CompileError::new(line, "invalid escape sequence")),
+        }
+    }
+
+    fn string(&mut self) -> Result<TokenKind, CompileError> {
+        let line = self.line;
+        self.bump(); // opening quote
+        let mut out = Vec::new();
+        loop {
+            match self.bump() {
+                Some(b'"') => break,
+                Some(b'\\') => out.push(self.escape(line)?),
+                Some(b'\n') | None => {
+                    return Err(CompileError::new(line, "unterminated string literal"))
+                }
+                Some(c) => out.push(c),
+            }
+        }
+        Ok(TokenKind::Str(
+            String::from_utf8(out)
+                .map_err(|_| CompileError::new(line, "non-UTF-8 string literal"))?,
+        ))
+    }
+
+    fn char_literal(&mut self) -> Result<TokenKind, CompileError> {
+        let line = self.line;
+        self.bump(); // opening quote
+        let c = match self.bump() {
+            Some(b'\\') => self.escape(line)?,
+            Some(b'\'') | None => return Err(CompileError::new(line, "empty char literal")),
+            Some(c) => c,
+        };
+        if self.bump() != Some(b'\'') {
+            return Err(CompileError::new(line, "unterminated char literal"));
+        }
+        Ok(TokenKind::Int(i64::from(c)))
+    }
+
+    fn punct(&mut self) -> Result<TokenKind, CompileError> {
+        let line = self.line;
+        let c = self.bump().expect("caller checked peek");
+        let two = |lexer: &mut Self, next: u8, a: Punct, b: Punct| {
+            if lexer.peek() == Some(next) {
+                lexer.bump();
+                a
+            } else {
+                b
+            }
+        };
+        let p = match c {
+            b'(' => Punct::LParen,
+            b')' => Punct::RParen,
+            b'{' => Punct::LBrace,
+            b'}' => Punct::RBrace,
+            b'[' => Punct::LBracket,
+            b']' => Punct::RBracket,
+            b',' => Punct::Comma,
+            b';' => Punct::Semi,
+            b':' => Punct::Colon,
+            b'+' => Punct::Plus,
+            b'*' => Punct::Star,
+            b'/' => Punct::Slash,
+            b'%' => Punct::Percent,
+            b'^' => Punct::Caret,
+            b'~' => Punct::Tilde,
+            b'@' => Punct::At,
+            b'-' => two(self, b'>', Punct::Arrow, Punct::Minus),
+            b'=' => two(self, b'=', Punct::EqEq, Punct::Assign),
+            b'!' => two(self, b'=', Punct::NotEq, Punct::Bang),
+            b'&' => two(self, b'&', Punct::AndAnd, Punct::Amp),
+            b'|' => two(self, b'|', Punct::OrOr, Punct::Pipe),
+            b'<' => {
+                if self.peek() == Some(b'=') {
+                    self.bump();
+                    Punct::Le
+                } else if self.peek() == Some(b'<') {
+                    self.bump();
+                    Punct::Shl
+                } else {
+                    Punct::Lt
+                }
+            }
+            b'>' => {
+                if self.peek() == Some(b'=') {
+                    self.bump();
+                    Punct::Ge
+                } else if self.peek() == Some(b'>') {
+                    self.bump();
+                    Punct::Shr
+                } else {
+                    Punct::Gt
+                }
+            }
+            other => {
+                return Err(CompileError::new(
+                    line,
+                    format!("unexpected character {:?}", other as char),
+                ))
+            }
+        };
+        Ok(TokenKind::Punct(p))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        lex(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn basic_tokens() {
+        let k = kinds("fn main() -> int { return 42; }");
+        assert_eq!(k[0], TokenKind::Ident("fn".to_string()));
+        assert_eq!(k[1], TokenKind::Ident("main".to_string()));
+        assert_eq!(k[2], TokenKind::Punct(Punct::LParen));
+        assert_eq!(k[4], TokenKind::Punct(Punct::Arrow));
+        assert!(k.contains(&TokenKind::Int(42)));
+        assert_eq!(*k.last().unwrap(), TokenKind::Eof);
+    }
+
+    #[test]
+    fn numeric_literals() {
+        assert_eq!(kinds("123")[0], TokenKind::Int(123));
+        assert_eq!(kinds("0x1F")[0], TokenKind::Int(31));
+        assert_eq!(kinds("1.5")[0], TokenKind::Float(1.5));
+        assert_eq!(kinds("2e3")[0], TokenKind::Float(2000.0));
+        assert_eq!(kinds("1.5e-2")[0], TokenKind::Float(0.015));
+    }
+
+    #[test]
+    fn dot_requires_digit() {
+        // `1.foo` is not a float; we don't have member access so the dot is
+        // an error, but `1 . 2` style tokens must not merge.
+        assert!(lex("1.x").is_err());
+    }
+
+    #[test]
+    fn char_and_string_literals() {
+        assert_eq!(kinds("'a'")[0], TokenKind::Int(97));
+        assert_eq!(kinds("'\\n'")[0], TokenKind::Int(10));
+        assert_eq!(kinds("'\\0'")[0], TokenKind::Int(0));
+        assert_eq!(
+            kinds("\"hi\\tthere\"")[0],
+            TokenKind::Str("hi\tthere".to_string())
+        );
+    }
+
+    #[test]
+    fn comments_are_skipped_and_lines_tracked() {
+        let toks = lex("// one\n/* two\nthree */ x").unwrap();
+        assert_eq!(toks[0].kind, TokenKind::Ident("x".to_string()));
+        assert_eq!(toks[0].line, 3);
+    }
+
+    #[test]
+    fn compound_operators() {
+        let k = kinds("<= >= == != && || << >> -> < >");
+        use Punct::*;
+        let expect = [Le, Ge, EqEq, NotEq, AndAnd, OrOr, Shl, Shr, Arrow, Lt, Gt];
+        for (i, p) in expect.iter().enumerate() {
+            assert_eq!(k[i], TokenKind::Punct(*p), "at {i}");
+        }
+    }
+
+    #[test]
+    fn errors_carry_line() {
+        let err = lex("x\n$").unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(lex("\"abc").is_err());
+        assert!(lex("/* nope").is_err());
+        assert!(lex("''").is_err());
+        assert!(lex("'ab'").is_err());
+        assert!(lex("99999999999999999999").is_err());
+    }
+}

@@ -1,0 +1,1090 @@
+//! Type checking and lowering to `trace-ir`.
+//!
+//! Lowering fixes the branch-count characteristics the experiments measure:
+//!
+//! * every comparison is a separate compare instruction feeding a
+//!   conditional branch (the classic RISC cmp+branch pair);
+//! * `&&`/`||` produce real short-circuit branches;
+//! * loops are rotated: a guard branch at entry (kind `If`) plus a
+//!   bottom-of-loop back-edge branch (kind `LoopBack`, taken = iterate) —
+//!   the layout the backward-taken heuristic predictor keys on;
+//! * `switch` lowers to cascaded conditional branches (one `SwitchArm`
+//!   branch per case) exactly as the Multiflow compiler did for the paper,
+//!   or to a branch-target table (an indirect jump) under
+//!   [`SwitchMode::JumpTable`].
+
+use std::collections::HashMap;
+
+use trace_ir::builder::{FunctionBuilder, ProgramBuilder};
+use trace_ir::{BinOp, BlockId, BranchKind, FuncId, GlobalId, Program, Reg, UnOp};
+
+use crate::ast::{BinaryOp, Expr, ExprKind, Item, LValue, Stmt, StmtKind, Type, UnaryOp};
+use crate::error::CompileError;
+
+/// How `switch` statements are lowered.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum SwitchMode {
+    /// Cascaded conditional branches, one per case (the paper's choice: the
+    /// predictability of each arm then shows up in the branch statistics).
+    #[default]
+    Cascade,
+    /// A branch-target table: a single indirect jump, counted as an
+    /// unavoidable break in control. Falls back to cascade when the case
+    /// values span more than 1024 slots.
+    JumpTable,
+}
+
+/// Compilation options.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CompileOptions {
+    /// `switch` lowering strategy.
+    pub switch_mode: SwitchMode,
+    /// Convert simple `if` statements into `select` instructions, as the
+    /// Trace front ends did (the paper left this on and reports selects at
+    /// 0.2–0.7% of executed instructions). Applies only when the branches
+    /// are single scalar assignments whose right-hand sides cannot trap and
+    /// have no side effects.
+    pub if_conversion: bool,
+}
+
+impl Default for CompileOptions {
+    fn default() -> Self {
+        CompileOptions {
+            switch_mode: SwitchMode::default(),
+            if_conversion: true,
+        }
+    }
+}
+
+#[derive(Clone, Debug, PartialEq)]
+struct FnSig {
+    params: Vec<Type>,
+    ret: Option<Type>,
+}
+
+/// Lowers parsed items to a validated program. The entry function must be
+/// named `main`.
+///
+/// # Errors
+///
+/// Returns a [`CompileError`] for semantic errors (unknown names, type
+/// mismatches, bad arity, missing `main`, …).
+pub fn lower(items: &[Item], options: &CompileOptions) -> Result<Program, CompileError> {
+    let mut pb = ProgramBuilder::new();
+    let mut globals: HashMap<String, (GlobalId, Type)> = HashMap::new();
+    let mut funcs: HashMap<String, (FuncId, FnSig)> = HashMap::new();
+
+    // Pass 1: collect globals and function signatures.
+    for item in items {
+        match item {
+            Item::Global { name, ty, line } => {
+                if is_builtin(name) {
+                    return Err(CompileError::new(
+                        *line,
+                        format!("`{name}` is a builtin and cannot be redefined"),
+                    ));
+                }
+                if globals.contains_key(name) {
+                    return Err(CompileError::new(
+                        *line,
+                        format!("duplicate global `{name}`"),
+                    ));
+                }
+                let id = pb.add_global(name.clone());
+                globals.insert(name.clone(), (id, ty.clone()));
+            }
+            Item::Function {
+                name,
+                params,
+                ret,
+                line,
+                ..
+            } => {
+                if is_builtin(name) {
+                    return Err(CompileError::new(
+                        *line,
+                        format!("`{name}` is a builtin and cannot be redefined"),
+                    ));
+                }
+                if funcs.contains_key(name) {
+                    return Err(CompileError::new(
+                        *line,
+                        format!("duplicate function `{name}`"),
+                    ));
+                }
+                let id = pb.declare_function(name.clone());
+                funcs.insert(
+                    name.clone(),
+                    (
+                        id,
+                        FnSig {
+                            params: params.iter().map(|p| p.ty.clone()).collect(),
+                            ret: ret.clone(),
+                        },
+                    ),
+                );
+            }
+        }
+    }
+
+    if !funcs.contains_key("main") {
+        return Err(CompileError::new(0, "no `main` function defined"));
+    }
+
+    // Pass 2: lower each function body.
+    for item in items {
+        let Item::Function {
+            name,
+            params,
+            ret,
+            body,
+            line,
+        } = item
+        else {
+            continue;
+        };
+        let mut fb = FunctionBuilder::new(name.clone(), params.len() as u32);
+        let mut lowerer = Lowerer {
+            pb: &mut pb,
+            fb: &mut fb,
+            globals: &globals,
+            funcs: &funcs,
+            scopes: vec![HashMap::new()],
+            loops: Vec::new(),
+            ret: ret.clone(),
+            options: *options,
+        };
+        for (i, p) in params.iter().enumerate() {
+            if lowerer.scopes[0].contains_key(&p.name) {
+                return Err(CompileError::new(
+                    *line,
+                    format!("duplicate parameter `{}`", p.name),
+                ));
+            }
+            lowerer.scopes[0].insert(p.name.clone(), (Reg(i as u32), p.ty.clone()));
+        }
+        lowerer.lower_body(body)?;
+        let (id, _) = &funcs[name];
+        pb.define_function(*id, fb.finish());
+    }
+
+    Ok(pb.finish("main")?)
+}
+
+fn is_builtin(name: &str) -> bool {
+    matches!(
+        name,
+        "len" | "new_int"
+            | "new_float"
+            | "emit"
+            | "int"
+            | "float"
+            | "sqrt"
+            | "sin"
+            | "cos"
+            | "exp"
+            | "log"
+            | "floor"
+            | "iabs"
+            | "fabs"
+            | "fmin"
+            | "fmax"
+            | "select"
+    )
+}
+
+struct LoopCtx {
+    continue_target: BlockId,
+    break_target: BlockId,
+}
+
+struct Lowerer<'a> {
+    pb: &'a mut ProgramBuilder,
+    fb: &'a mut FunctionBuilder,
+    globals: &'a HashMap<String, (GlobalId, Type)>,
+    funcs: &'a HashMap<String, (FuncId, FnSig)>,
+    scopes: Vec<HashMap<String, (Reg, Type)>>,
+    loops: Vec<LoopCtx>,
+    ret: Option<Type>,
+    options: CompileOptions,
+}
+
+impl<'a> Lowerer<'a> {
+    fn lower_body(&mut self, body: &[Stmt]) -> Result<(), CompileError> {
+        self.lower_stmts(body)?;
+        // Implicit return at the end of the function: void functions return
+        // nothing; value functions return zero of their type (reachable only
+        // when control falls off the end).
+        if !self.fb.current_terminated() {
+            match &self.ret {
+                None => self.fb.ret(None),
+                Some(Type::Float) => {
+                    let z = self.fb.const_float(0.0);
+                    self.fb.ret(Some(z));
+                }
+                Some(_) => {
+                    let z = self.fb.const_int(0);
+                    self.fb.ret(Some(z));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn lookup_var(&self, name: &str) -> Option<(Reg, Type)> {
+        self.scopes
+            .iter()
+            .rev()
+            .find_map(|s| s.get(name))
+            .cloned()
+    }
+
+    fn lower_stmts(&mut self, stmts: &[Stmt]) -> Result<(), CompileError> {
+        self.scopes.push(HashMap::new());
+        let result = stmts.iter().try_for_each(|s| self.lower_stmt(s));
+        self.scopes.pop();
+        result
+    }
+
+    /// After a `return`/`break`/`continue`, subsequent statements in the
+    /// same source block are unreachable; give them a fresh block so the
+    /// builder's one-terminator invariant holds. The block is terminated by
+    /// the implicit function-end return or a later jump and simply never
+    /// executes (the optimizer's unreachable-code pass removes it).
+    fn start_dead_block(&mut self) {
+        let dead = self.fb.new_block();
+        self.fb.switch_to(dead);
+    }
+
+    fn lower_stmt(&mut self, stmt: &Stmt) -> Result<(), CompileError> {
+        let line = stmt.line;
+        match &stmt.kind {
+            StmtKind::Var { name, ty, init } => {
+                let (r, ity) = self.lower_expr(init)?;
+                if ity != *ty {
+                    return Err(CompileError::new(
+                        line,
+                        format!("cannot initialize `{name}: {ty}` with a value of type {ity}"),
+                    ));
+                }
+                let var_reg = self.fb.new_reg();
+                self.fb.mov_to(var_reg, r);
+                self.scopes
+                    .last_mut()
+                    .expect("scope stack never empty")
+                    .insert(name.clone(), (var_reg, ty.clone()));
+            }
+            StmtKind::Assign { target, value } => match target {
+                LValue::Name(name) => {
+                    let (r, vty) = self.lower_expr(value)?;
+                    if let Some((reg, ty)) = self.lookup_var(name) {
+                        if vty != ty {
+                            return Err(CompileError::new(
+                                line,
+                                format!("cannot assign {vty} to `{name}: {ty}`"),
+                            ));
+                        }
+                        self.fb.mov_to(reg, r);
+                    } else if let Some((gid, ty)) = self.globals.get(name) {
+                        if vty != *ty {
+                            return Err(CompileError::new(
+                                line,
+                                format!("cannot assign {vty} to global `{name}: {ty}`"),
+                            ));
+                        }
+                        self.fb.global_set(*gid, r);
+                    } else {
+                        return Err(CompileError::new(line, format!("unknown name `{name}`")));
+                    }
+                }
+                LValue::Index { base, index } => {
+                    let (arr, aty) = self.lower_name(base, line)?;
+                    let Some(elem) = aty.element() else {
+                        return Err(CompileError::new(
+                            line,
+                            format!("`{base}` has type {aty}, which is not indexable"),
+                        ));
+                    };
+                    let (idx, idx_ty) = self.lower_expr(index)?;
+                    if idx_ty != Type::Int {
+                        return Err(CompileError::new(line, "array index must be int"));
+                    }
+                    let (val, vty) = self.lower_expr(value)?;
+                    if vty != elem {
+                        return Err(CompileError::new(
+                            line,
+                            format!("cannot store {vty} into {aty}"),
+                        ));
+                    }
+                    self.fb.store(arr, idx, val);
+                }
+            },
+            StmtKind::If {
+                cond,
+                then_body,
+                else_body,
+            } => {
+                if self.options.if_conversion
+                    && self.try_if_conversion(cond, then_body, else_body)?
+                {
+                    return Ok(());
+                }
+                let then_blk = self.fb.new_block();
+                let else_blk = self.fb.new_block();
+                let join = self.fb.new_block();
+                self.lower_cond(cond, then_blk, else_blk, BranchKind::If)?;
+                self.fb.switch_to(then_blk);
+                self.lower_stmts(then_body)?;
+                if !self.fb.current_terminated() {
+                    self.fb.jump(join);
+                }
+                self.fb.switch_to(else_blk);
+                self.lower_stmts(else_body)?;
+                if !self.fb.current_terminated() {
+                    self.fb.jump(join);
+                }
+                self.fb.switch_to(join);
+            }
+            StmtKind::While { cond, body } => {
+                // Rotated loop: guard at entry, test at bottom.
+                let body_blk = self.fb.new_block();
+                let test_blk = self.fb.new_block();
+                let exit = self.fb.new_block();
+                self.lower_cond(cond, body_blk, exit, BranchKind::If)?;
+                self.loops.push(LoopCtx {
+                    continue_target: test_blk,
+                    break_target: exit,
+                });
+                self.fb.switch_to(body_blk);
+                self.lower_stmts(body)?;
+                if !self.fb.current_terminated() {
+                    self.fb.jump(test_blk);
+                }
+                self.fb.switch_to(test_blk);
+                self.lower_cond(cond, body_blk, exit, BranchKind::LoopBack)?;
+                self.loops.pop();
+                self.fb.switch_to(exit);
+            }
+            StmtKind::DoWhile { body, cond } => {
+                let body_blk = self.fb.new_block();
+                let test_blk = self.fb.new_block();
+                let exit = self.fb.new_block();
+                self.fb.jump(body_blk);
+                self.loops.push(LoopCtx {
+                    continue_target: test_blk,
+                    break_target: exit,
+                });
+                self.fb.switch_to(body_blk);
+                self.lower_stmts(body)?;
+                if !self.fb.current_terminated() {
+                    self.fb.jump(test_blk);
+                }
+                self.fb.switch_to(test_blk);
+                self.lower_cond(cond, body_blk, exit, BranchKind::LoopBack)?;
+                self.loops.pop();
+                self.fb.switch_to(exit);
+            }
+            StmtKind::For {
+                init,
+                cond,
+                step,
+                body,
+            } => {
+                self.scopes.push(HashMap::new());
+                if let Some(init) = init {
+                    self.lower_stmt(init)?;
+                }
+                let body_blk = self.fb.new_block();
+                let step_blk = self.fb.new_block();
+                let exit = self.fb.new_block();
+                match cond {
+                    Some(c) => self.lower_cond(c, body_blk, exit, BranchKind::If)?,
+                    None => self.fb.jump(body_blk),
+                }
+                self.loops.push(LoopCtx {
+                    continue_target: step_blk,
+                    break_target: exit,
+                });
+                self.fb.switch_to(body_blk);
+                self.lower_stmts(body)?;
+                if !self.fb.current_terminated() {
+                    self.fb.jump(step_blk);
+                }
+                self.fb.switch_to(step_blk);
+                if let Some(step) = step {
+                    self.lower_stmt(step)?;
+                }
+                match cond {
+                    Some(c) => self.lower_cond(c, body_blk, exit, BranchKind::LoopBack)?,
+                    None => self.fb.jump(body_blk),
+                }
+                self.loops.pop();
+                self.scopes.pop();
+                self.fb.switch_to(exit);
+            }
+            StmtKind::Switch {
+                scrutinee,
+                cases,
+                default,
+            } => {
+                self.lower_switch(scrutinee, cases, default, line)?;
+            }
+            StmtKind::Break => {
+                let Some(ctx) = self.loops.last() else {
+                    return Err(CompileError::new(line, "`break` outside of a loop"));
+                };
+                self.fb.jump(ctx.break_target);
+                self.start_dead_block();
+            }
+            StmtKind::Continue => {
+                let Some(ctx) = self.loops.last() else {
+                    return Err(CompileError::new(line, "`continue` outside of a loop"));
+                };
+                self.fb.jump(ctx.continue_target);
+                self.start_dead_block();
+            }
+            StmtKind::Return(value) => {
+                let ret_ty = self.ret.clone();
+                match (&ret_ty, value) {
+                    (None, None) => self.fb.ret(None),
+                    (None, Some(_)) => {
+                        return Err(CompileError::new(
+                            line,
+                            "void function returns a value",
+                        ))
+                    }
+                    (Some(expected), Some(e)) => {
+                        let (r, ty) = self.lower_expr(e)?;
+                        if ty != *expected {
+                            return Err(CompileError::new(
+                                line,
+                                format!("return type mismatch: expected {expected}, found {ty}"),
+                            ));
+                        }
+                        self.fb.ret(Some(r));
+                    }
+                    (Some(expected), None) => {
+                        return Err(CompileError::new(
+                            line,
+                            format!("function must return a value of type {expected}"),
+                        ))
+                    }
+                }
+                self.start_dead_block();
+            }
+            StmtKind::Expr(e) => {
+                if let ExprKind::Call { callee, args } = &e.kind {
+                    // Statement position: void calls are allowed.
+                    self.lower_call(callee, args, e.line)?;
+                } else {
+                    self.lower_expr(e)?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn lower_switch(
+        &mut self,
+        scrutinee: &Expr,
+        cases: &[(i64, Vec<Stmt>)],
+        default: &[Stmt],
+        line: u32,
+    ) -> Result<(), CompileError> {
+        let (scrut, ty) = self.lower_expr(scrutinee)?;
+        if ty != Type::Int {
+            return Err(CompileError::new(line, "switch scrutinee must be int"));
+        }
+        let join = self.fb.new_block();
+
+        let use_table = self.options.switch_mode == SwitchMode::JumpTable
+            && !cases.is_empty()
+            && {
+                let min = cases.iter().map(|(v, _)| *v).min().expect("nonempty");
+                let max = cases.iter().map(|(v, _)| *v).max().expect("nonempty");
+                (max - min) < 1024
+            };
+
+        if use_table {
+            let min = cases.iter().map(|(v, _)| *v).min().expect("nonempty");
+            let max = cases.iter().map(|(v, _)| *v).max().expect("nonempty");
+            let default_blk = self.fb.new_block();
+            let mut case_blks = HashMap::new();
+            for (v, _) in cases {
+                case_blks.insert(*v, self.fb.new_block());
+            }
+            let targets: Vec<BlockId> = (min..=max)
+                .map(|v| case_blks.get(&v).copied().unwrap_or(default_blk))
+                .collect();
+            let min_reg = self.fb.const_int(min);
+            let idx = self.fb.binop(BinOp::Sub, scrut, min_reg);
+            self.fb.jump_table(idx, targets, default_blk);
+            for (v, body) in cases {
+                self.fb.switch_to(case_blks[v]);
+                self.lower_stmts(body)?;
+                if !self.fb.current_terminated() {
+                    self.fb.jump(join);
+                }
+            }
+            self.fb.switch_to(default_blk);
+            self.lower_stmts(default)?;
+            if !self.fb.current_terminated() {
+                self.fb.jump(join);
+            }
+        } else {
+            // Cascaded ifs: test each case in order (the paper's lowering).
+            for (v, body) in cases {
+                let case_blk = self.fb.new_block();
+                let next_test = self.fb.new_block();
+                let cv = self.fb.const_int(*v);
+                let eq = self.fb.binop(BinOp::Eq, scrut, cv);
+                self.fb
+                    .branch(eq, case_blk, next_test, line, BranchKind::SwitchArm);
+                self.fb.switch_to(case_blk);
+                self.lower_stmts(body)?;
+                if !self.fb.current_terminated() {
+                    self.fb.jump(join);
+                }
+                self.fb.switch_to(next_test);
+            }
+            self.lower_stmts(default)?;
+            if !self.fb.current_terminated() {
+                self.fb.jump(join);
+            }
+        }
+        self.fb.switch_to(join);
+        Ok(())
+    }
+
+    /// If-conversion (the Trace front ends' `select`): `if (c) { x = a; }`
+    /// and `if (c) { x = a; } else { x = b; }` become a `select` when `x`
+    /// is a local scalar and `c`, `a`, `b` are pure, trap-free scalar
+    /// expressions. Returns `Ok(true)` when converted.
+    fn try_if_conversion(
+        &mut self,
+        cond: &Expr,
+        then_body: &[Stmt],
+        else_body: &[Stmt],
+    ) -> Result<bool, CompileError> {
+        // Shape check: one simple scalar assignment per arm, same target.
+        let arm = |body: &[Stmt]| -> Option<(String, Expr)> {
+            let [stmt] = body else { return None };
+            let StmtKind::Assign {
+                target: LValue::Name(name),
+                value,
+            } = &stmt.kind
+            else {
+                return None;
+            };
+            Some((name.clone(), value.clone()))
+        };
+        let Some((name, then_value)) = arm(then_body) else {
+            return Ok(false);
+        };
+        let else_value = if else_body.is_empty() {
+            None
+        } else {
+            match arm(else_body) {
+                Some((else_name, v)) if else_name == name => Some(v),
+                _ => return Ok(false),
+            }
+        };
+        // Target must be a local scalar (globals keep the branch so stores
+        // stay conditional in program order).
+        let Some((target_reg, target_ty)) = self.lookup_var(&name) else {
+            return Ok(false);
+        };
+        if !target_ty.is_scalar() {
+            return Ok(false);
+        }
+        if !Self::is_selectable(cond)
+            || !Self::is_selectable(&then_value)
+            || !else_value.as_ref().is_none_or(Self::is_selectable)
+        {
+            return Ok(false);
+        }
+
+        let (c, cty) = self.lower_expr(cond)?;
+        if cty != Type::Int {
+            return Err(CompileError::new(
+                cond.line,
+                format!("condition must be int, found {cty}"),
+            ));
+        }
+        let (tv, tty) = self.lower_expr(&then_value)?;
+        if tty != target_ty {
+            return Err(CompileError::new(
+                cond.line,
+                format!("cannot assign {tty} to `{name}: {target_ty}`"),
+            ));
+        }
+        let ev = match else_value {
+            Some(e) => {
+                let (ev, ety) = self.lower_expr(&e)?;
+                if ety != target_ty {
+                    return Err(CompileError::new(
+                        cond.line,
+                        format!("cannot assign {ety} to `{name}: {target_ty}`"),
+                    ));
+                }
+                ev
+            }
+            None => target_reg, // keep the old value
+        };
+        let sel = self.fb.select(c, tv, ev);
+        self.fb.mov_to(target_reg, sel);
+        Ok(true)
+    }
+
+    /// True for pure, trap-free scalar expressions: literals, scalar
+    /// names, unary operators, and binary operators other than division,
+    /// remainder and the short-circuit forms. No calls, no indexing.
+    fn is_selectable(e: &Expr) -> bool {
+        match &e.kind {
+            ExprKind::Int(_) | ExprKind::Float(_) | ExprKind::Name(_) => true,
+            ExprKind::Unary { operand, .. } => Self::is_selectable(operand),
+            ExprKind::Binary { op, lhs, rhs } => {
+                !matches!(
+                    op,
+                    BinaryOp::Div | BinaryOp::Rem | BinaryOp::And | BinaryOp::Or
+                ) && Self::is_selectable(lhs)
+                    && Self::is_selectable(rhs)
+            }
+            _ => false,
+        }
+    }
+
+    /// Lowers a condition into control flow: jump to `true_blk` when the
+    /// condition is non-zero, `false_blk` otherwise. `&&`, `||` and `!` are
+    /// handled structurally so each primitive test is one real conditional
+    /// branch.
+    fn lower_cond(
+        &mut self,
+        cond: &Expr,
+        true_blk: BlockId,
+        false_blk: BlockId,
+        kind: BranchKind,
+    ) -> Result<(), CompileError> {
+        match &cond.kind {
+            ExprKind::Binary {
+                op: BinaryOp::And,
+                lhs,
+                rhs,
+            } => {
+                let mid = self.fb.new_block();
+                self.lower_cond(lhs, mid, false_blk, BranchKind::ShortCircuit)?;
+                self.fb.switch_to(mid);
+                self.lower_cond(rhs, true_blk, false_blk, kind)
+            }
+            ExprKind::Binary {
+                op: BinaryOp::Or,
+                lhs,
+                rhs,
+            } => {
+                let mid = self.fb.new_block();
+                self.lower_cond(lhs, true_blk, mid, BranchKind::ShortCircuit)?;
+                self.fb.switch_to(mid);
+                self.lower_cond(rhs, true_blk, false_blk, kind)
+            }
+            ExprKind::Unary {
+                op: UnaryOp::Not,
+                operand,
+            } => self.lower_cond(operand, false_blk, true_blk, kind),
+            _ => {
+                let (r, ty) = self.lower_expr(cond)?;
+                if ty != Type::Int {
+                    return Err(CompileError::new(
+                        cond.line,
+                        format!("condition must be int, found {ty}"),
+                    ));
+                }
+                self.fb.branch(r, true_blk, false_blk, cond.line, kind);
+                Ok(())
+            }
+        }
+    }
+
+    /// Resolves a bare name (local variable, then global) to a value
+    /// register.
+    fn lower_name(&mut self, name: &str, line: u32) -> Result<(Reg, Type), CompileError> {
+        if let Some((reg, ty)) = self.lookup_var(name) {
+            return Ok((reg, ty));
+        }
+        if let Some((gid, ty)) = self.globals.get(name) {
+            let r = self.fb.global_get(*gid);
+            return Ok((r, ty.clone()));
+        }
+        Err(CompileError::new(line, format!("unknown name `{name}`")))
+    }
+
+    fn lower_expr(&mut self, e: &Expr) -> Result<(Reg, Type), CompileError> {
+        let line = e.line;
+        match &e.kind {
+            ExprKind::Int(v) => Ok((self.fb.const_int(*v), Type::Int)),
+            ExprKind::Float(v) => Ok((self.fb.const_float(*v), Type::Float)),
+            ExprKind::Str(s) => {
+                let idx = self.pb.intern_str(s);
+                Ok((self.fb.const_array(idx), Type::IntArray))
+            }
+            ExprKind::Name(name) => self.lower_name(name, line),
+            ExprKind::FuncRef(name) => {
+                let Some((id, sig)) = self.funcs.get(name) else {
+                    return Err(CompileError::new(
+                        line,
+                        format!("unknown function `{name}` in `@{name}`"),
+                    ));
+                };
+                let r = self.fb.func_addr(*id);
+                Ok((
+                    r,
+                    Type::FnRef {
+                        params: sig.params.clone(),
+                        ret: sig.ret.clone().map(Box::new),
+                    },
+                ))
+            }
+            ExprKind::Index { base, index } => {
+                let (arr, aty) = self.lower_expr(base)?;
+                let Some(elem) = aty.element() else {
+                    return Err(CompileError::new(
+                        line,
+                        format!("type {aty} is not indexable"),
+                    ));
+                };
+                let (idx, ity) = self.lower_expr(index)?;
+                if ity != Type::Int {
+                    return Err(CompileError::new(line, "array index must be int"));
+                }
+                Ok((self.fb.load(arr, idx), elem))
+            }
+            ExprKind::Unary { op, operand } => {
+                let (r, ty) = self.lower_expr(operand)?;
+                match (op, &ty) {
+                    (UnaryOp::Neg, Type::Int) => Ok((self.fb.unop(UnOp::Neg, r), Type::Int)),
+                    (UnaryOp::Neg, Type::Float) => {
+                        Ok((self.fb.unop(UnOp::FNeg, r), Type::Float))
+                    }
+                    (UnaryOp::Not, Type::Int) => Ok((self.fb.unop(UnOp::LNot, r), Type::Int)),
+                    (UnaryOp::BitNot, Type::Int) => {
+                        Ok((self.fb.unop(UnOp::Not, r), Type::Int))
+                    }
+                    _ => Err(CompileError::new(
+                        line,
+                        format!("unary operator not defined for {ty}"),
+                    )),
+                }
+            }
+            ExprKind::Binary { op, lhs, rhs } => self.lower_binary(*op, lhs, rhs, line),
+            ExprKind::Call { callee, args } => {
+                match self.lower_call(callee, args, line)? {
+                    Some(rt) => Ok(rt),
+                    None => Err(CompileError::new(
+                        line,
+                        format!("void call to `{callee}` used as a value"),
+                    )),
+                }
+            }
+        }
+    }
+
+    fn lower_binary(
+        &mut self,
+        op: BinaryOp,
+        lhs: &Expr,
+        rhs: &Expr,
+        line: u32,
+    ) -> Result<(Reg, Type), CompileError> {
+        // Short-circuit operators in value position materialize 0/1 through
+        // control flow, like a C compiler.
+        if matches!(op, BinaryOp::And | BinaryOp::Or) {
+            let result = self.fb.new_reg();
+            let t_blk = self.fb.new_block();
+            let f_blk = self.fb.new_block();
+            let join = self.fb.new_block();
+            let whole = Expr {
+                kind: ExprKind::Binary {
+                    op,
+                    lhs: Box::new(lhs.clone()),
+                    rhs: Box::new(rhs.clone()),
+                },
+                line,
+            };
+            self.lower_cond(&whole, t_blk, f_blk, BranchKind::ShortCircuit)?;
+            self.fb.switch_to(t_blk);
+            let one = self.fb.const_int(1);
+            self.fb.mov_to(result, one);
+            self.fb.jump(join);
+            self.fb.switch_to(f_blk);
+            let zero = self.fb.const_int(0);
+            self.fb.mov_to(result, zero);
+            self.fb.jump(join);
+            self.fb.switch_to(join);
+            return Ok((result, Type::Int));
+        }
+
+        let (l, lt) = self.lower_expr(lhs)?;
+        let (r, rt) = self.lower_expr(rhs)?;
+        if lt != rt {
+            return Err(CompileError::new(
+                line,
+                format!("operand type mismatch: {lt} vs {rt}"),
+            ));
+        }
+        use BinaryOp as B;
+        let (irop, ty) = match (op, &lt) {
+            (B::Add, Type::Int) => (BinOp::Add, Type::Int),
+            (B::Sub, Type::Int) => (BinOp::Sub, Type::Int),
+            (B::Mul, Type::Int) => (BinOp::Mul, Type::Int),
+            (B::Div, Type::Int) => (BinOp::Div, Type::Int),
+            (B::Rem, Type::Int) => (BinOp::Rem, Type::Int),
+            (B::Add, Type::Float) => (BinOp::FAdd, Type::Float),
+            (B::Sub, Type::Float) => (BinOp::FSub, Type::Float),
+            (B::Mul, Type::Float) => (BinOp::FMul, Type::Float),
+            (B::Div, Type::Float) => (BinOp::FDiv, Type::Float),
+            (B::Eq, Type::Int) => (BinOp::Eq, Type::Int),
+            (B::Ne, Type::Int) => (BinOp::Ne, Type::Int),
+            (B::Lt, Type::Int) => (BinOp::Lt, Type::Int),
+            (B::Le, Type::Int) => (BinOp::Le, Type::Int),
+            (B::Gt, Type::Int) => (BinOp::Gt, Type::Int),
+            (B::Ge, Type::Int) => (BinOp::Ge, Type::Int),
+            (B::Eq, Type::Float) => (BinOp::FEq, Type::Int),
+            (B::Ne, Type::Float) => (BinOp::FNe, Type::Int),
+            (B::Lt, Type::Float) => (BinOp::FLt, Type::Int),
+            (B::Le, Type::Float) => (BinOp::FLe, Type::Int),
+            (B::Gt, Type::Float) => (BinOp::FGt, Type::Int),
+            (B::Ge, Type::Float) => (BinOp::FGe, Type::Int),
+            (B::BitAnd, Type::Int) => (BinOp::And, Type::Int),
+            (B::BitOr, Type::Int) => (BinOp::Or, Type::Int),
+            (B::BitXor, Type::Int) => (BinOp::Xor, Type::Int),
+            (B::Shl, Type::Int) => (BinOp::Shl, Type::Int),
+            (B::Shr, Type::Int) => (BinOp::Shr, Type::Int),
+            _ => {
+                return Err(CompileError::new(
+                    line,
+                    format!("operator not defined for operands of type {lt}"),
+                ))
+            }
+        };
+        Ok((self.fb.binop(irop, l, r), ty))
+    }
+
+    /// Lowers a call: builtin, indirect (through a `fn`-typed variable), or
+    /// direct. Returns `None` for void calls.
+    fn lower_call(
+        &mut self,
+        callee: &str,
+        args: &[Expr],
+        line: u32,
+    ) -> Result<Option<(Reg, Type)>, CompileError> {
+        if is_builtin(callee) {
+            return self.lower_builtin(callee, args, line);
+        }
+
+        // A local or global of fn type shadows a function of the same name.
+        // For globals the register is resolved after argument lowering.
+        let indirect = self.lookup_var(callee).map(|vt| (vt, false)).or_else(|| {
+            self.globals
+                .get(callee)
+                .map(|(_, ty)| ((Reg(0), ty.clone()), true))
+        });
+        if let Some(((reg, ty), is_global)) = indirect {
+            let Type::FnRef { params, ret } = ty else {
+                return Err(CompileError::new(
+                    line,
+                    format!("`{callee}` has non-function type {ty} and cannot be called"),
+                ));
+            };
+            if args.len() != params.len() {
+                return Err(CompileError::new(
+                    line,
+                    format!(
+                        "`{callee}` expects {} arguments, got {}",
+                        params.len(),
+                        args.len()
+                    ),
+                ));
+            }
+            let mut arg_regs = Vec::with_capacity(args.len());
+            for (a, pty) in args.iter().zip(&params) {
+                let (r, ty) = self.lower_expr(a)?;
+                if ty != *pty {
+                    return Err(CompileError::new(
+                        a.line,
+                        format!("argument type mismatch: expected {pty}, found {ty}"),
+                    ));
+                }
+                arg_regs.push(r);
+            }
+            let target = if is_global {
+                let (gid, _) = &self.globals[callee];
+                self.fb.global_get(*gid)
+            } else {
+                reg
+            };
+            let dst = self.fb.call_indirect(target, arg_regs);
+            return Ok(ret.map(|t| (dst, *t)));
+        }
+
+        let Some((id, sig)) = self.funcs.get(callee) else {
+            return Err(CompileError::new(
+                line,
+                format!("unknown function `{callee}`"),
+            ));
+        };
+        let (id, sig) = (*id, sig.clone());
+        if args.len() != sig.params.len() {
+            return Err(CompileError::new(
+                line,
+                format!(
+                    "`{callee}` expects {} arguments, got {}",
+                    sig.params.len(),
+                    args.len()
+                ),
+            ));
+        }
+        let mut arg_regs = Vec::with_capacity(args.len());
+        for (a, pty) in args.iter().zip(&sig.params) {
+            let (r, ty) = self.lower_expr(a)?;
+            if ty != *pty {
+                return Err(CompileError::new(
+                    a.line,
+                    format!("argument type mismatch: expected {pty}, found {ty}"),
+                ));
+            }
+            arg_regs.push(r);
+        }
+        match sig.ret {
+            Some(ret) => {
+                let dst = self.fb.call(id, arg_regs);
+                Ok(Some((dst, ret)))
+            }
+            None => {
+                self.fb.call_void(id, arg_regs);
+                Ok(None)
+            }
+        }
+    }
+
+    fn lower_builtin(
+        &mut self,
+        name: &str,
+        args: &[Expr],
+        line: u32,
+    ) -> Result<Option<(Reg, Type)>, CompileError> {
+        let mut lowered = Vec::with_capacity(args.len());
+        for a in args {
+            lowered.push(self.lower_expr(a)?);
+        }
+        let arity_err = |n: usize| {
+            CompileError::new(line, format!("`{name}` expects {n} argument(s)"))
+        };
+        let type_err =
+            |msg: &str| CompileError::new(line, format!("`{name}`: {msg}"));
+
+        let unary_float = |this: &mut Self, op: UnOp| -> Result<Option<(Reg, Type)>, CompileError> {
+            let [(r, ref ty)] = lowered[..] else {
+                return Err(arity_err(1));
+            };
+            if *ty != Type::Float {
+                return Err(type_err("argument must be float"));
+            }
+            Ok(Some((this.fb.unop(op, r), Type::Float)))
+        };
+
+        match name {
+            "len" => {
+                let [(r, ref ty)] = lowered[..] else {
+                    return Err(arity_err(1));
+                };
+                if ty.element().is_none() {
+                    return Err(type_err("argument must be an array"));
+                }
+                Ok(Some((self.fb.array_len(r), Type::Int)))
+            }
+            "new_int" | "new_float" => {
+                let [(r, ref ty)] = lowered[..] else {
+                    return Err(arity_err(1));
+                };
+                if *ty != Type::Int {
+                    return Err(type_err("length must be int"));
+                }
+                if name == "new_int" {
+                    Ok(Some((self.fb.new_int_array(r), Type::IntArray)))
+                } else {
+                    Ok(Some((self.fb.new_float_array(r), Type::FloatArray)))
+                }
+            }
+            "emit" => {
+                let [(r, ref ty)] = lowered[..] else {
+                    return Err(arity_err(1));
+                };
+                if !ty.is_scalar() {
+                    return Err(type_err("argument must be a scalar"));
+                }
+                self.fb.emit_value(r);
+                Ok(None)
+            }
+            "int" => {
+                let [(r, ref ty)] = lowered[..] else {
+                    return Err(arity_err(1));
+                };
+                if *ty != Type::Float {
+                    return Err(type_err("argument must be float"));
+                }
+                Ok(Some((self.fb.unop(UnOp::FloatToInt, r), Type::Int)))
+            }
+            "float" => {
+                let [(r, ref ty)] = lowered[..] else {
+                    return Err(arity_err(1));
+                };
+                if *ty != Type::Int {
+                    return Err(type_err("argument must be int"));
+                }
+                Ok(Some((self.fb.unop(UnOp::IntToFloat, r), Type::Float)))
+            }
+            "sqrt" => unary_float(self, UnOp::Sqrt),
+            "sin" => unary_float(self, UnOp::Sin),
+            "cos" => unary_float(self, UnOp::Cos),
+            "exp" => unary_float(self, UnOp::Exp),
+            "log" => unary_float(self, UnOp::Log),
+            "floor" => unary_float(self, UnOp::Floor),
+            "fabs" => unary_float(self, UnOp::FAbs),
+            "iabs" => {
+                let [(r, ref ty)] = lowered[..] else {
+                    return Err(arity_err(1));
+                };
+                if *ty != Type::Int {
+                    return Err(type_err("argument must be int"));
+                }
+                Ok(Some((self.fb.unop(UnOp::Abs, r), Type::Int)))
+            }
+            "fmin" | "fmax" => {
+                let [(a, ref t1), (b, ref t2)] = lowered[..] else {
+                    return Err(arity_err(2));
+                };
+                if *t1 != Type::Float || *t2 != Type::Float {
+                    return Err(type_err("arguments must be float"));
+                }
+                let op = if name == "fmin" {
+                    BinOp::FMin
+                } else {
+                    BinOp::FMax
+                };
+                Ok(Some((self.fb.binop(op, a, b), Type::Float)))
+            }
+            "select" => {
+                let [(c, ref ct), (a, ref at), (b, ref bt)] = lowered[..] else {
+                    return Err(arity_err(3));
+                };
+                if *ct != Type::Int {
+                    return Err(type_err("condition must be int"));
+                }
+                if at != bt || !at.is_scalar() {
+                    return Err(type_err("value operands must be scalars of one type"));
+                }
+                Ok(Some((self.fb.select(c, a, b), at.clone())))
+            }
+            _ => unreachable!("is_builtin and lower_builtin disagree on `{name}`"),
+        }
+    }
+}

@@ -1,0 +1,120 @@
+//! Token definitions.
+
+use std::fmt;
+
+/// A lexical token with its source line.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Token {
+    /// The token's kind and payload.
+    pub kind: TokenKind,
+    /// 1-based source line.
+    pub line: u32,
+}
+
+/// The kinds of token the lexer produces.
+#[derive(Clone, Debug, PartialEq)]
+pub enum TokenKind {
+    /// An identifier or keyword candidate.
+    Ident(String),
+    /// An integer literal (decimal, hex, or char).
+    Int(i64),
+    /// A float literal.
+    Float(f64),
+    /// A string literal (already unescaped).
+    Str(String),
+    /// A punctuation or operator token.
+    Punct(Punct),
+    /// End of input.
+    Eof,
+}
+
+/// Punctuation and operator tokens.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[allow(missing_docs)] // field/variant names mirror the construct itself
+pub enum Punct {
+    LParen,
+    RParen,
+    LBrace,
+    RBrace,
+    LBracket,
+    RBracket,
+    Comma,
+    Semi,
+    Colon,
+    Arrow,
+    Assign,
+    Plus,
+    Minus,
+    Star,
+    Slash,
+    Percent,
+    EqEq,
+    NotEq,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    AndAnd,
+    OrOr,
+    Bang,
+    Amp,
+    Pipe,
+    Caret,
+    Tilde,
+    Shl,
+    Shr,
+    At,
+}
+
+impl fmt::Display for Punct {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Punct::LParen => "(",
+            Punct::RParen => ")",
+            Punct::LBrace => "{",
+            Punct::RBrace => "}",
+            Punct::LBracket => "[",
+            Punct::RBracket => "]",
+            Punct::Comma => ",",
+            Punct::Semi => ";",
+            Punct::Colon => ":",
+            Punct::Arrow => "->",
+            Punct::Assign => "=",
+            Punct::Plus => "+",
+            Punct::Minus => "-",
+            Punct::Star => "*",
+            Punct::Slash => "/",
+            Punct::Percent => "%",
+            Punct::EqEq => "==",
+            Punct::NotEq => "!=",
+            Punct::Lt => "<",
+            Punct::Le => "<=",
+            Punct::Gt => ">",
+            Punct::Ge => ">=",
+            Punct::AndAnd => "&&",
+            Punct::OrOr => "||",
+            Punct::Bang => "!",
+            Punct::Amp => "&",
+            Punct::Pipe => "|",
+            Punct::Caret => "^",
+            Punct::Tilde => "~",
+            Punct::Shl => "<<",
+            Punct::Shr => ">>",
+            Punct::At => "@",
+        };
+        f.write_str(s)
+    }
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TokenKind::Ident(s) => write!(f, "`{s}`"),
+            TokenKind::Int(v) => write!(f, "integer literal {v}"),
+            TokenKind::Float(v) => write!(f, "float literal {v}"),
+            TokenKind::Str(s) => write!(f, "string literal {s:?}"),
+            TokenKind::Punct(p) => write!(f, "`{p}`"),
+            TokenKind::Eof => write!(f, "end of input"),
+        }
+    }
+}

@@ -1,0 +1,318 @@
+//! Procedure inlining.
+//!
+//! The paper is emphatic that "a compiler that is going to find large
+//! amounts of ILP must be able to inline the most commonly called
+//! procedures — an executed call that is not inlined will cost two breaks
+//! in control", and notes the Multiflow compiler inlined automatically
+//! "using some simple heuristics … when a compiler switch was set". This
+//! pass is that switch: it splices small, non-recursive callees into their
+//! direct call sites.
+//!
+//! Inlined conditional branches **keep their source-level
+//! [`trace_ir::BranchId`]s**, so several live branches may share one id
+//! afterwards — which is exactly IFPROBBER's granularity (counters attach
+//! to *source* branches; inlined copies of a branch accumulate into the
+//! same counter). Use [`trace_ir::Program::validate_inlined`] on the
+//! result.
+
+use std::collections::HashSet;
+
+use trace_ir::{Block, FuncId, Function, Instr, Program, Reg, Terminator};
+
+/// Inlining heuristics, in the spirit of the Multiflow switch.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Inliner {
+    /// Only callees with at most this many static instructions are inlined.
+    pub max_callee_instrs: u64,
+    /// Stop once the whole program has grown past this multiple of its
+    /// original static size.
+    pub max_growth_factor: u64,
+    /// Fixpoint rounds (so chains a→b→c flatten).
+    pub rounds: u32,
+}
+
+impl Default for Inliner {
+    fn default() -> Self {
+        Inliner {
+            max_callee_instrs: 120,
+            max_growth_factor: 4,
+            rounds: 3,
+        }
+    }
+}
+
+impl Inliner {
+    /// Runs the pass; returns the number of call sites inlined.
+    ///
+    /// The resulting program may have several live branches sharing one
+    /// source-level id; validate it with
+    /// [`trace_ir::Program::validate_inlined`].
+    pub fn run(&self, program: &mut Program) -> u32 {
+        let budget = program.static_instr_count() * self.max_growth_factor;
+        let recursive = recursive_functions(program);
+        let mut inlined = 0;
+        for _ in 0..self.rounds {
+            let mut changed = false;
+            for caller in 0..program.functions.len() {
+                loop {
+                    if program.static_instr_count() > budget {
+                        return inlined;
+                    }
+                    let Some((block, index, callee)) =
+                        self.find_site(program, caller, &recursive)
+                    else {
+                        break;
+                    };
+                    inline_site(program, caller, block, index, callee);
+                    inlined += 1;
+                    changed = true;
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        inlined
+    }
+
+    /// Finds the first inlinable call site in `caller`, if any.
+    fn find_site(
+        &self,
+        program: &Program,
+        caller: usize,
+        recursive: &HashSet<usize>,
+    ) -> Option<(usize, usize, FuncId)> {
+        let func = &program.functions[caller];
+        for (bi, block) in func.blocks.iter().enumerate() {
+            for (ii, instr) in block.instrs.iter().enumerate() {
+                let Instr::Call { func: callee, .. } = instr else {
+                    continue;
+                };
+                let target = callee.index();
+                if target == caller || recursive.contains(&target) {
+                    continue;
+                }
+                let size: u64 = program.functions[target]
+                    .blocks
+                    .iter()
+                    .map(Block::instr_cost)
+                    .sum();
+                if size <= self.max_callee_instrs {
+                    return Some((bi, ii, *callee));
+                }
+            }
+        }
+        None
+    }
+}
+
+/// Functions on a call-graph cycle (including self-recursion) — never
+/// inlined.
+fn recursive_functions(program: &Program) -> HashSet<usize> {
+    let n = program.functions.len();
+    // Direct-call adjacency.
+    let mut calls: Vec<HashSet<usize>> = vec![HashSet::new(); n];
+    for (fi, func) in program.functions.iter().enumerate() {
+        for block in &func.blocks {
+            for instr in &block.instrs {
+                if let Instr::Call { func: callee, .. } = instr {
+                    calls[fi].insert(callee.index());
+                }
+            }
+        }
+    }
+    // Transitive closure (the suite's call graphs are small).
+    let mut reach = calls.clone();
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for f in 0..n {
+            let targets: Vec<usize> = reach[f].iter().copied().collect();
+            for t in targets {
+                let add: Vec<usize> = reach[t].difference(&reach[f]).copied().collect();
+                if !add.is_empty() {
+                    changed = true;
+                    reach[f].extend(add);
+                }
+            }
+        }
+    }
+    (0..n).filter(|&f| reach[f].contains(&f)).collect()
+}
+
+/// Splices `callee` into `caller` at `(block, index)`.
+fn inline_site(
+    program: &mut Program,
+    caller: usize,
+    block: usize,
+    index: usize,
+    callee: FuncId,
+) {
+    let callee_fn: Function = program.functions[callee.index()].clone();
+    let caller_fn = &mut program.functions[caller];
+
+    let reg_base = caller_fn.num_regs;
+    caller_fn.num_regs += callee_fn.num_regs;
+    let block_base = caller_fn.blocks.len();
+    let cont_index = block_base + callee_fn.blocks.len();
+
+    // Split the calling block.
+    let calling_block = &mut caller_fn.blocks[block];
+    let Instr::Call { dst, args, .. } = calling_block.instrs[index].clone() else {
+        unreachable!("find_site located a Call");
+    };
+    let after: Vec<Instr> = calling_block.instrs.split_off(index + 1);
+    calling_block.instrs.pop(); // the call itself
+    for (p, arg) in args.iter().enumerate() {
+        calling_block.instrs.push(Instr::Mov {
+            dst: Reg(reg_base + p as u32),
+            src: *arg,
+        });
+    }
+    let original_term = std::mem::replace(
+        &mut calling_block.term,
+        Terminator::Jump(trace_ir::BlockId::from_index(block_base)),
+    );
+
+    // Splice the callee body, relocated.
+    for cb in &callee_fn.blocks {
+        let mut nb = cb.clone();
+        for instr in &mut nb.instrs {
+            instr.map_regs(|r| Reg(r.0 + reg_base));
+        }
+        match &mut nb.term {
+            Terminator::Return { value } => {
+                let value = value.map(|r| Reg(r.0 + reg_base));
+                if let (Some(d), Some(v)) = (dst, value) {
+                    nb.instrs.push(Instr::Mov { dst: d, src: v });
+                }
+                nb.term = Terminator::Jump(trace_ir::BlockId::from_index(cont_index));
+            }
+            term => {
+                term.map_regs(|r| Reg(r.0 + reg_base));
+                term.map_successors(|b| trace_ir::BlockId::from_index(b.index() + block_base));
+            }
+        }
+        caller_fn.blocks.push(nb);
+    }
+
+    // The continuation.
+    caller_fn.blocks.push(Block {
+        instrs: after,
+        term: original_term,
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mflang::compile;
+    use trace_vm::{Input, Vm};
+
+    const SRC: &str = r#"
+        fn square(x: int) -> int { return x * x; }
+        fn cube(x: int) -> int { return square(x) * x; }
+        fn note(v: int) { emit(v); }
+        fn main(n: int) {
+            var total: int = 0;
+            for (var i: int = 0; i < n; i = i + 1) {
+                total = total + cube(i) - square(i);
+            }
+            note(total);
+        }
+    "#;
+
+    #[test]
+    fn inlining_preserves_behaviour_and_removes_calls() {
+        let base = compile(SRC).unwrap();
+        let mut inlined = base.clone();
+        let sites = Inliner::default().run(&mut inlined);
+        assert!(sites >= 3, "inlined only {sites} sites");
+        assert_eq!(inlined.validate_inlined(), Ok(()));
+
+        let b = Vm::new(&base).run(&[Input::Int(50)]).unwrap();
+        let i = Vm::new(&inlined).run(&[Input::Int(50)]).unwrap();
+        assert_eq!(b.output, i.output);
+        assert_eq!(
+            i.stats.events.direct_calls, 0,
+            "all direct calls should be gone"
+        );
+        assert!(b.stats.events.direct_calls > 0);
+    }
+
+    #[test]
+    fn inlined_branch_counts_accumulate_per_source_branch() {
+        let base = compile(SRC).unwrap();
+        let mut inlined = base.clone();
+        Inliner::default().run(&mut inlined);
+        let b = Vm::new(&base).run(&[Input::Int(30)]).unwrap();
+        let i = Vm::new(&inlined).run(&[Input::Int(30)]).unwrap();
+        // Per source branch id, the counts are identical: inlined copies
+        // share their id, so the VM merges them like IFPROBBER counters.
+        for (id, e, t) in b.stats.branches.iter() {
+            assert_eq!(i.stats.branches.get(id), (e, t), "{id:?}");
+        }
+    }
+
+    #[test]
+    fn recursion_is_never_inlined() {
+        let src = r#"
+            fn fact(n: int) -> int {
+                if (n <= 1) { return 1; }
+                return n * fact(n - 1);
+            }
+            fn even(n: int) -> int { if (n == 0) { return 1; } return odd(n - 1); }
+            fn odd(n: int) -> int { if (n == 0) { return 0; } return even(n - 1); }
+            fn main() { emit(fact(10)); emit(even(9)); }
+        "#;
+        let mut p = compile(src).unwrap();
+        let recursive = recursive_functions(&p);
+        assert_eq!(recursive.len(), 3, "fact + the even/odd cycle");
+        let sites = Inliner::default().run(&mut p);
+        assert_eq!(sites, 0, "nothing inlinable remains after exclusions");
+        let run = Vm::new(&p).run(&[]).unwrap();
+        assert_eq!(run.output_ints(), vec![3628800, 0]);
+    }
+
+    #[test]
+    fn size_cap_respected() {
+        let base = compile(SRC).unwrap();
+        let mut p = base.clone();
+        let tiny = Inliner {
+            max_callee_instrs: 1,
+            ..Inliner::default()
+        };
+        assert_eq!(tiny.run(&mut p), 0);
+        assert_eq!(p, base);
+    }
+
+    #[test]
+    fn growth_budget_bounds_expansion() {
+        let base = compile(SRC).unwrap();
+        let mut p = base.clone();
+        Inliner {
+            max_growth_factor: 10,
+            ..Inliner::default()
+        }
+        .run(&mut p);
+        assert!(p.static_instr_count() <= base.static_instr_count() * 10);
+    }
+
+    #[test]
+    fn void_callees_inline() {
+        let src = r#"
+            global count: int;
+            fn tick() { count = count + 1; }
+            fn main(n: int) {
+                for (var i: int = 0; i < n; i = i + 1) { tick(); }
+                emit(count);
+            }
+        "#;
+        let mut p = compile(src).unwrap();
+        let sites = Inliner::default().run(&mut p);
+        assert_eq!(sites, 1);
+        let run = Vm::new(&p).run(&[Input::Int(7)]).unwrap();
+        assert_eq!(run.output_ints(), vec![7]);
+        assert_eq!(run.stats.events.direct_calls, 0);
+    }
+}

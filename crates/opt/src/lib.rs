@@ -1,0 +1,52 @@
+#![warn(missing_docs)]
+
+//! # mfopt
+//!
+//! Classical intraprocedural optimizations over [`trace_ir`], mirroring the
+//! optimization level the paper ran its experiments at: common-subexpression
+//! elimination, copy propagation, constant folding, branch simplification,
+//! jump threading, unreachable-code removal, and dead-code elimination —
+//! while (like the Multiflow compiler configured for the experiments)
+//! *not* performing transformations that change the flow of control, such as
+//! loop unrolling or if-conversion.
+//!
+//! The global dead-code elimination here is the pass the paper had to turn
+//! *off* to keep IFPROBBER and MFPixie branch counts in sync, and then
+//! measured the cost of (Table 1: the dynamic fraction of instructions DCE
+//! would have removed). Our reproduction measures the same quantity by
+//! running each workload compiled both ways and comparing dynamic
+//! instruction counts — see `bpredict`'s experiment driver.
+//!
+//! Branch identity is preserved: passes may *delete* a conditional branch
+//! (constant condition, unreachable block) but never renumber the survivors,
+//! so profiles keyed by [`trace_ir::BranchId`] remain valid across
+//! optimization levels.
+//!
+//! ```
+//! use mflang::compile;
+//! use mfopt::Pipeline;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut program = compile(
+//!     "fn main() { var debug: int = 0; if (debug) { emit(99); } emit(1); }",
+//! )?;
+//! let before = program.static_branch_count();
+//! Pipeline::standard().run(&mut program);
+//! assert!(program.static_branch_count() < before); // constant branch removed
+//! # Ok(())
+//! # }
+//! ```
+
+mod analysis;
+mod cleanup;
+mod fold;
+mod inline;
+mod local;
+mod pipeline;
+
+pub use analysis::{reachable_blocks, single_def_consts};
+pub use cleanup::{dead_code, jump_thread, remove_unreachable};
+pub use fold::fold_constants;
+pub use inline::Inliner;
+pub use local::{copy_propagate, local_cse};
+pub use pipeline::Pipeline;

@@ -1,0 +1,261 @@
+//! Block-local copy propagation and common-subexpression elimination.
+
+use std::collections::HashMap;
+
+use trace_ir::{BinOp, Function, Instr, Reg, UnOp};
+
+/// Rewrites operand registers through `Mov` chains within each block.
+/// Returns true if anything changed.
+///
+/// The mapping is invalidated whenever either side of a copy is redefined,
+/// so multi-definition registers (mutable guest variables) are handled
+/// soundly. Propagation never crosses block boundaries.
+pub fn copy_propagate(func: &mut Function) -> bool {
+    let mut changed = false;
+    for block in &mut func.blocks {
+        let mut copies: HashMap<Reg, Reg> = HashMap::new();
+        for instr in &mut block.instrs {
+            // Rewrite uses through the current copy map.
+            let rewritten = rewrite_uses(instr, &copies);
+            changed |= rewritten;
+            // A new definition kills every mapping involving the dst.
+            if let Some(dst) = instr.dst() {
+                copies.remove(&dst);
+                copies.retain(|_, src| *src != dst);
+            }
+            if let Instr::Mov { dst, src } = instr {
+                if dst != src {
+                    copies.insert(*dst, *src);
+                }
+            }
+        }
+        // Terminators read registers too.
+        let mut term_regs = Vec::new();
+        block.term.for_each_use(|r| term_regs.push(r));
+        if term_regs.iter().any(|r| copies.contains_key(r)) {
+            match &mut block.term {
+                trace_ir::Terminator::Branch { cond, .. } => {
+                    if let Some(&s) = copies.get(cond) {
+                        *cond = s;
+                        changed = true;
+                    }
+                }
+                trace_ir::Terminator::JumpTable { index, .. } => {
+                    if let Some(&s) = copies.get(index) {
+                        *index = s;
+                        changed = true;
+                    }
+                }
+                trace_ir::Terminator::Return { value: Some(v) } => {
+                    if let Some(&s) = copies.get(v) {
+                        *v = s;
+                        changed = true;
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    changed
+}
+
+fn rewrite_uses(instr: &mut Instr, copies: &HashMap<Reg, Reg>) -> bool {
+    let sub = |r: &mut Reg, changed: &mut bool| {
+        if let Some(&s) = copies.get(r) {
+            *r = s;
+            *changed = true;
+        }
+    };
+    let mut changed = false;
+    match instr {
+        Instr::Unop { src, .. } | Instr::Mov { src, .. } => sub(src, &mut changed),
+        Instr::Binop { lhs, rhs, .. } => {
+            sub(lhs, &mut changed);
+            sub(rhs, &mut changed);
+        }
+        Instr::Select {
+            cond,
+            if_true,
+            if_false,
+            ..
+        } => {
+            sub(cond, &mut changed);
+            sub(if_true, &mut changed);
+            sub(if_false, &mut changed);
+        }
+        Instr::Load { arr, index, .. } => {
+            sub(arr, &mut changed);
+            sub(index, &mut changed);
+        }
+        Instr::Store { arr, index, src } => {
+            sub(arr, &mut changed);
+            sub(index, &mut changed);
+            sub(src, &mut changed);
+        }
+        Instr::NewIntArray { len, .. } | Instr::NewFloatArray { len, .. } => {
+            sub(len, &mut changed)
+        }
+        Instr::ArrayLen { arr, .. } => sub(arr, &mut changed),
+        Instr::GlobalSet { src, .. } => sub(src, &mut changed),
+        Instr::Call { args, .. } => {
+            for a in args {
+                sub(a, &mut changed);
+            }
+        }
+        Instr::CallIndirect { target, args, .. } => {
+            sub(target, &mut changed);
+            for a in args {
+                sub(a, &mut changed);
+            }
+        }
+        Instr::Emit { src } => sub(src, &mut changed),
+        Instr::Const { .. }
+        | Instr::ConstArray { .. }
+        | Instr::GlobalGet { .. }
+        | Instr::FuncAddr { .. } => {}
+    }
+    changed
+}
+
+#[derive(Clone, PartialEq, Eq, Hash)]
+enum ExprKey {
+    Bin(BinOp, Reg, Reg),
+    Un(UnOp, Reg),
+}
+
+impl ExprKey {
+    fn uses(&self, r: Reg) -> bool {
+        match self {
+            ExprKey::Bin(_, a, b) => *a == r || *b == r,
+            ExprKey::Un(_, a) => *a == r,
+        }
+    }
+}
+
+/// Replaces repeated pure ALU computations within a block with a `Mov` from
+/// the first result. Returns true if anything changed.
+///
+/// Loads are not CSE'd (stores and calls may alias), and trapping operations
+/// are eligible only because re-using an earlier identical divide preserves
+/// the trap.
+pub fn local_cse(func: &mut Function) -> bool {
+    let mut changed = false;
+    for block in &mut func.blocks {
+        let mut available: HashMap<ExprKey, Reg> = HashMap::new();
+        for instr in &mut block.instrs {
+            let key = match instr {
+                Instr::Binop { op, lhs, rhs, .. } => Some(ExprKey::Bin(*op, *lhs, *rhs)),
+                Instr::Unop { op, src, .. } => Some(ExprKey::Un(*op, *src)),
+                _ => None,
+            };
+            let hit = key.as_ref().and_then(|k| available.get(k).copied());
+            match (hit, instr.dst()) {
+                (Some(prev), Some(dst)) => {
+                    *instr = Instr::Mov { dst, src: prev };
+                    changed = true;
+                    // Redefinition invalidates expressions using or
+                    // producing dst; the reused value lives on in `prev`.
+                    available.retain(|k, v| *v != dst && !k.uses(dst));
+                }
+                (None, Some(dst)) => {
+                    available.retain(|k, v| *v != dst && !k.uses(dst));
+                    if let Some(k) = key {
+                        // `r = r op x` computes a value that is immediately
+                        // clobbered by its own definition — not reusable.
+                        if !k.uses(dst) {
+                            available.insert(k, dst);
+                        }
+                    }
+                }
+                (_, None) => {}
+            }
+        }
+    }
+    changed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trace_ir::builder::{FunctionBuilder, ProgramBuilder};
+    use trace_ir::Program;
+
+    fn build(f: FunctionBuilder) -> Program {
+        let mut pb = ProgramBuilder::new();
+        pb.add_function(f.finish());
+        pb.finish("main").unwrap()
+    }
+
+    #[test]
+    fn copies_propagate_within_block() {
+        let mut f = FunctionBuilder::new("main", 1);
+        let x = f.mov(f.param(0));
+        let y = f.mov(x);
+        let z = f.binop(BinOp::Add, y, y);
+        f.emit_value(z);
+        f.ret(Some(z));
+        let mut p = build(f);
+        assert!(copy_propagate(&mut p.functions[0]));
+        // y's uses now read param 0 directly (through x then param chain).
+        match p.functions[0].blocks[0].instrs[2] {
+            Instr::Binop { lhs, rhs, .. } => {
+                assert_eq!(lhs, Reg(0));
+                assert_eq!(rhs, Reg(0));
+            }
+            ref other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn copies_killed_by_redefinition() {
+        let mut f = FunctionBuilder::new("main", 2);
+        let x = f.mov(f.param(0));
+        f.mov_to(x, f.param(1)); // x redefined
+        let y = f.binop(BinOp::Add, x, x);
+        f.emit_value(y);
+        f.ret(None);
+        let mut p = build(f);
+        copy_propagate(&mut p.functions[0]);
+        match p.functions[0].blocks[0].instrs[2] {
+            Instr::Binop { lhs, rhs, .. } => {
+                // Must read param 1 (the latest copy), never param 0.
+                assert_eq!(lhs, Reg(1));
+                assert_eq!(rhs, Reg(1));
+            }
+            ref other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn cse_merges_identical_binops() {
+        let mut f = FunctionBuilder::new("main", 2);
+        let a = f.binop(BinOp::Add, f.param(0), f.param(1));
+        let b = f.binop(BinOp::Add, f.param(0), f.param(1));
+        let c = f.binop(BinOp::Mul, a, b);
+        f.emit_value(c);
+        f.ret(None);
+        let mut p = build(f);
+        assert!(local_cse(&mut p.functions[0]));
+        assert!(matches!(
+            p.functions[0].blocks[0].instrs[1],
+            Instr::Mov { src, .. } if src == a
+        ));
+    }
+
+    #[test]
+    fn cse_invalidated_by_operand_redefinition() {
+        let mut f = FunctionBuilder::new("main", 2);
+        let p0 = f.param(0);
+        let a = f.binop(BinOp::Add, p0, f.param(1));
+        f.mov_to(p0, a); // p0 redefined
+        let b = f.binop(BinOp::Add, p0, f.param(1));
+        f.emit_value(b);
+        f.ret(None);
+        let mut p = build(f);
+        assert!(!local_cse(&mut p.functions[0]));
+        assert!(matches!(
+            p.functions[0].blocks[0].instrs[2],
+            Instr::Binop { .. }
+        ));
+    }
+}

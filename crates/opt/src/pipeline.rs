@@ -1,0 +1,149 @@
+//! The pass manager.
+
+use trace_ir::Program;
+
+use crate::cleanup::{dead_code, jump_thread, remove_unreachable};
+use crate::fold::fold_constants;
+use crate::local::{copy_propagate, local_cse};
+
+/// An ordered sequence of optimization passes run to a fixpoint (bounded by
+/// a round limit).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Pipeline {
+    rounds: u32,
+    fold: bool,
+    copy_prop: bool,
+    cse: bool,
+    thread: bool,
+    unreachable: bool,
+    dce: bool,
+}
+
+impl Default for Pipeline {
+    fn default() -> Self {
+        Pipeline::standard()
+    }
+}
+
+impl Pipeline {
+    /// The full classical pipeline, corresponding to the paper's "typical
+    /// classical intraprocedural optimizations" *plus* the global dead-code
+    /// elimination the paper turned off for profiling and measured in
+    /// Table 1.
+    pub fn standard() -> Self {
+        Pipeline {
+            rounds: 4,
+            fold: true,
+            copy_prop: true,
+            cse: true,
+            thread: true,
+            unreachable: true,
+            dce: true,
+        }
+    }
+
+    /// No passes at all — the profiling configuration (DCE off), used as the
+    /// baseline side of the Table 1 measurement.
+    pub fn none() -> Self {
+        Pipeline {
+            rounds: 0,
+            fold: false,
+            copy_prop: false,
+            cse: false,
+            thread: false,
+            unreachable: false,
+            dce: false,
+        }
+    }
+
+    /// Standard pipeline without dead-code elimination or branch folding —
+    /// cleanups only. Useful for isolating how much of Table 1's dead code
+    /// comes from DCE proper.
+    pub fn without_dce() -> Self {
+        Pipeline {
+            fold: false,
+            dce: false,
+            ..Pipeline::standard()
+        }
+    }
+
+    /// Sets the round limit.
+    pub fn rounds(mut self, rounds: u32) -> Self {
+        self.rounds = rounds;
+        self
+    }
+
+    /// Runs the pipeline over every function. Returns true if any pass
+    /// changed anything.
+    ///
+    /// # Panics
+    ///
+    /// Debug builds assert the program still validates afterwards; the
+    /// passes preserve structural validity by construction.
+    pub fn run(&self, program: &mut Program) -> bool {
+        let mut any = false;
+        for _ in 0..self.rounds {
+            let mut changed = false;
+            for func in &mut program.functions {
+                if self.fold {
+                    changed |= fold_constants(func);
+                }
+                if self.copy_prop {
+                    changed |= copy_propagate(func);
+                }
+                if self.cse {
+                    changed |= local_cse(func);
+                }
+                if self.thread {
+                    changed |= jump_thread(func);
+                }
+                if self.unreachable {
+                    changed |= remove_unreachable(func);
+                }
+                if self.dce {
+                    changed |= dead_code(func);
+                }
+            }
+            any |= changed;
+            if !changed {
+                break;
+            }
+        }
+        debug_assert_eq!(program.validate(), Ok(()));
+        any
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn none_pipeline_is_identity() {
+        let mut p = mflang::compile("fn main() { emit(1 + 2); }").unwrap();
+        let before = p.clone();
+        assert!(!Pipeline::none().run(&mut p));
+        assert_eq!(p, before);
+    }
+
+    #[test]
+    fn standard_reaches_fixpoint() {
+        let mut p = mflang::compile(
+            r#"
+            fn main() {
+                var debug: int = 0;
+                var scale: int = 4 * 8;
+                if (debug) { emit(123); }
+                emit(scale);
+            }
+            "#,
+        )
+        .unwrap();
+        Pipeline::standard().run(&mut p);
+        let snapshot = p.clone();
+        // Idempotent once at fixpoint.
+        Pipeline::standard().run(&mut p);
+        assert_eq!(p, snapshot);
+        assert!(p.validate().is_ok());
+    }
+}

@@ -1,0 +1,160 @@
+//! The one property an optimizer must have: observable behaviour is
+//! preserved. We compile guest programs, optimize, and compare VM outputs —
+//! plus check that dead code really shrinks dynamic instruction counts
+//! (the Table 1 effect) and that surviving branch ids keep their identity.
+
+use mflang::compile;
+use mfopt::Pipeline;
+use trace_vm::{Input, Vm};
+
+const PROGRAMS: &[(&str, &str, i64)] = &[
+    (
+        "flags",
+        r#"
+        fn main(n: int) {
+            var debug: int = 0;
+            var trace_on: int = 0;
+            var total: int = 0;
+            for (var i: int = 0; i < n; i = i + 1) {
+                if (debug) { emit(0 - 1); }
+                if (trace_on && i % 2 == 0) { emit(0 - 2); }
+                total = total + i * 2;
+            }
+            emit(total);
+        }
+        "#,
+        37,
+    ),
+    (
+        "collatz",
+        r#"
+        fn steps(x: int) -> int {
+            var n: int = 0;
+            while (x != 1) {
+                if (x % 2 == 0) { x = x / 2; } else { x = 3 * x + 1; }
+                n = n + 1;
+            }
+            return n;
+        }
+        fn main(seed: int) {
+            var best: int = 0;
+            for (var i: int = 1; i <= seed; i = i + 1) {
+                var s: int = steps(i);
+                if (s > best) { best = s; }
+            }
+            emit(best);
+        }
+        "#,
+        60,
+    ),
+    (
+        "sieve",
+        r#"
+        fn main(n: int) {
+            var composite: [int] = new_int(n + 1);
+            var count: int = 0;
+            for (var p: int = 2; p <= n; p = p + 1) {
+                if (!composite[p]) {
+                    count = count + 1;
+                    for (var m: int = p + p; m <= n; m = m + p) {
+                        composite[m] = 1;
+                    }
+                }
+            }
+            emit(count);
+        }
+        "#,
+        500,
+    ),
+];
+
+#[test]
+fn optimization_preserves_output() {
+    for (name, src, input) in PROGRAMS {
+        let base = compile(src).unwrap();
+        let mut opt = base.clone();
+        Pipeline::standard().run(&mut opt);
+        assert!(opt.validate().is_ok(), "{name}: invalid after optimization");
+        let base_run = Vm::new(&base).run(&[Input::Int(*input)]).unwrap();
+        let opt_run = Vm::new(&opt).run(&[Input::Int(*input)]).unwrap();
+        assert_eq!(
+            base_run.output, opt_run.output,
+            "{name}: output changed by optimization"
+        );
+        assert!(
+            opt_run.stats.total_instrs <= base_run.stats.total_instrs,
+            "{name}: optimization made the program slower"
+        );
+    }
+}
+
+#[test]
+fn dead_flags_shrink_dynamic_instr_count() {
+    let (_, src, input) = PROGRAMS[0];
+    let base = compile(src).unwrap();
+    let mut opt = base.clone();
+    Pipeline::standard().run(&mut opt);
+    let base_instrs = Vm::new(&base)
+        .run(&[Input::Int(input)])
+        .unwrap()
+        .stats
+        .total_instrs;
+    let opt_instrs = Vm::new(&opt)
+        .run(&[Input::Int(input)])
+        .unwrap()
+        .stats
+        .total_instrs;
+    let dead = 1.0 - opt_instrs as f64 / base_instrs as f64;
+    // The two constant flag tests execute every iteration; removing them is
+    // a measurable chunk of the run.
+    assert!(dead > 0.05, "dead fraction {dead} unexpectedly small");
+}
+
+#[test]
+fn surviving_branch_ids_keep_identity() {
+    let (_, src, input) = PROGRAMS[1];
+    let base = compile(src).unwrap();
+    let mut opt = base.clone();
+    Pipeline::standard().run(&mut opt);
+
+    let base_run = Vm::new(&base).run(&[Input::Int(input)]).unwrap();
+    let opt_run = Vm::new(&opt).run(&[Input::Int(input)]).unwrap();
+
+    // Every branch that survives optimization must report identical
+    // (executed, taken) counts under both compilations — the IFPROBBER
+    // source-level-identity property.
+    for id in opt.live_branches().keys() {
+        assert_eq!(
+            base_run.stats.branches.get(*id),
+            opt_run.stats.branches.get(*id),
+            "branch {id:?} counts diverged"
+        );
+    }
+    // And optimization must not create branches that never existed.
+    for id in opt.live_branches().keys() {
+        assert!(base.live_branches().contains_key(id));
+    }
+}
+
+#[test]
+fn constant_branches_disappear_entirely() {
+    let src = r#"
+        fn main() {
+            var verbose: int = 0;
+            if (verbose) { emit(1); } else { emit(2); }
+            while (verbose) { emit(3); }
+        }
+    "#;
+    let base = compile(src).unwrap();
+    let mut opt = base.clone();
+    Pipeline::standard().run(&mut opt);
+    assert!(base.static_branch_count() >= 3);
+    assert_eq!(
+        opt.static_branch_count(),
+        0,
+        "all branches here have constant outcomes"
+    );
+    let run = Vm::new(&opt).run(&[]).unwrap();
+    assert_eq!(run.output_ints(), vec![2]);
+    assert_eq!(run.stats.branches.total_executed(), 0);
+}

@@ -1,0 +1,200 @@
+//! `IFPROB` directive feedback.
+//!
+//! The paper's toolchain closed the loop by writing accumulated branch
+//! counts back into the source as compiler directives
+//! (`C!MF! IFPROB(32543, 20, 0)`). We do the same at the level users saw:
+//! each directive names the *source-level* branch (function, line, ordinal
+//! among that line's branches) plus its taken/not-taken totals, so a
+//! directive file produced against one compilation applies to any
+//! compilation of the same source.
+
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+use trace_ir::{BranchId, Program};
+use trace_vm::BranchCounts;
+
+/// The directive marker, echoing the Multiflow `C!MF! IFPROB` syntax.
+pub const MARKER: &str = "!MF! IFPROB";
+
+/// An error parsing a directive file.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DirectiveError {
+    /// A directive line was malformed.
+    Malformed {
+        /// 1-based line in the directive file.
+        line: usize,
+    },
+    /// A directive named a branch the program does not have.
+    UnknownBranch {
+        /// 1-based line in the directive file.
+        line: usize,
+        /// The function the directive named.
+        func: String,
+    },
+}
+
+impl fmt::Display for DirectiveError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DirectiveError::Malformed { line } => {
+                write!(f, "malformed IFPROB directive on line {line}")
+            }
+            DirectiveError::UnknownBranch { line, func } => write!(
+                f,
+                "directive on line {line} names a branch in `{func}` that the program lacks"
+            ),
+        }
+    }
+}
+
+impl Error for DirectiveError {}
+
+/// `(function name, source line, ordinal among that line's branches)` — the
+/// source-level key a directive addresses.
+fn source_keys(program: &Program) -> Vec<(String, u32, u32)> {
+    let mut ordinal: HashMap<(u32, u32), u32> = HashMap::new();
+    program
+        .branch_info
+        .iter()
+        .map(|info| {
+            let slot = ordinal.entry((info.func.0, info.line)).or_insert(0);
+            let ord = *slot;
+            *slot += 1;
+            (
+                program.functions[info.func.index()].name.clone(),
+                info.line,
+                ord,
+            )
+        })
+        .collect()
+}
+
+/// Serializes a profile as directive text, one line per static branch in
+/// source order. Branches the profile never saw are written with zero
+/// counts, exactly as untouched IFPROBBER counters would be.
+pub fn write_directives(program: &Program, counts: &BranchCounts) -> String {
+    let mut out = String::new();
+    for (i, (func, line, ord)) in source_keys(program).iter().enumerate() {
+        let (e, t) = counts.get(BranchId::from_index(i));
+        let not_taken = e - t;
+        out.push_str(&format!("{MARKER} {func} {line} {ord} {t} {not_taken}\n"));
+    }
+    out
+}
+
+/// Parses directive text back into per-branch counts against `program`.
+/// Lines that do not carry the [`MARKER`] are ignored (directives embed in
+/// source files).
+///
+/// # Errors
+///
+/// Returns [`DirectiveError`] for malformed directives or directives naming
+/// branches the program does not contain.
+pub fn parse_directives(
+    program: &Program,
+    text: &str,
+) -> Result<BranchCounts, DirectiveError> {
+    let mut by_key: HashMap<(String, u32, u32), BranchId> = HashMap::new();
+    for (i, key) in source_keys(program).into_iter().enumerate() {
+        by_key.insert(key, BranchId::from_index(i));
+    }
+    let mut counts = BranchCounts::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let lineno = lineno + 1;
+        let Some(rest) = line.trim_start().strip_prefix(MARKER) else {
+            continue;
+        };
+        let fields: Vec<&str> = rest.split_whitespace().collect();
+        let [func, src_line, ord, taken, not_taken] = fields[..] else {
+            return Err(DirectiveError::Malformed { line: lineno });
+        };
+        let (Ok(src_line), Ok(ord), Ok(taken), Ok(not_taken)) = (
+            src_line.parse::<u32>(),
+            ord.parse::<u32>(),
+            taken.parse::<u64>(),
+            not_taken.parse::<u64>(),
+        ) else {
+            return Err(DirectiveError::Malformed { line: lineno });
+        };
+        let key = (func.to_string(), src_line, ord);
+        let Some(&id) = by_key.get(&key) else {
+            return Err(DirectiveError::UnknownBranch {
+                line: lineno,
+                func: func.to_string(),
+            });
+        };
+        counts.add(id, taken + not_taken, taken);
+    }
+    Ok(counts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mflang::compile;
+    use trace_vm::{Input, Vm};
+
+    const SRC: &str = r#"
+        fn main(n: int) {
+            var odd: int = 0;
+            for (var i: int = 0; i < n; i = i + 1) {
+                if (i % 2 == 1) { odd = odd + 1; }
+            }
+            emit(odd);
+        }
+    "#;
+
+    #[test]
+    fn roundtrip_preserves_counts() {
+        let program = compile(SRC).unwrap();
+        let run = Vm::new(&program).run(&[Input::Int(9)]).unwrap();
+        let text = write_directives(&program, &run.stats.branches);
+        assert!(text.contains(MARKER));
+
+        // Apply the directives to a *fresh compilation* of the same source.
+        let recompiled = compile(SRC).unwrap();
+        let parsed = parse_directives(&recompiled, &text).unwrap();
+        for (id, e, t) in run.stats.branches.iter() {
+            assert_eq!(parsed.get(id), (e, t));
+        }
+    }
+
+    #[test]
+    fn non_directive_lines_ignored() {
+        let program = compile(SRC).unwrap();
+        let text = format!(
+            "// a comment\nfn main…\n{}",
+            write_directives(&program, &BranchCounts::new())
+        );
+        assert!(parse_directives(&program, &text).is_ok());
+    }
+
+    #[test]
+    fn malformed_directive_rejected() {
+        let program = compile(SRC).unwrap();
+        let err = parse_directives(&program, &format!("{MARKER} main oops")).unwrap_err();
+        assert!(matches!(err, DirectiveError::Malformed { line: 1 }));
+        let err =
+            parse_directives(&program, &format!("{MARKER} main 3 0 x 1")).unwrap_err();
+        assert!(matches!(err, DirectiveError::Malformed { .. }));
+    }
+
+    #[test]
+    fn unknown_branch_rejected() {
+        let program = compile(SRC).unwrap();
+        let err = parse_directives(&program, &format!("{MARKER} ghost 1 0 5 5")).unwrap_err();
+        assert!(matches!(err, DirectiveError::UnknownBranch { .. }));
+        assert!(!err.to_string().is_empty());
+    }
+
+    #[test]
+    fn zero_count_branches_written() {
+        let program = compile(SRC).unwrap();
+        let text = write_directives(&program, &BranchCounts::new());
+        let lines: Vec<_> = text.lines().collect();
+        assert_eq!(lines.len(), program.branch_info.len());
+        assert!(lines.iter().all(|l| l.ends_with(" 0 0")));
+    }
+}

@@ -1,0 +1,141 @@
+//! Run-time errors.
+
+use std::error::Error;
+use std::fmt;
+
+/// An error raised while interpreting a program.
+///
+/// The VM is defensive: hand-built or miscompiled IR produces one of these
+/// instead of silently corrupting counters.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RuntimeError {
+    /// The configured instruction budget was exhausted.
+    OutOfFuel {
+        /// The budget that was exceeded.
+        limit: u64,
+    },
+    /// The call stack exceeded the configured depth.
+    StackOverflow {
+        /// The depth limit.
+        limit: usize,
+    },
+    /// Integer division or remainder by zero.
+    DivideByZero,
+    /// An array access was out of bounds.
+    IndexOutOfBounds {
+        /// The offending index.
+        index: i64,
+        /// The array's length.
+        len: usize,
+    },
+    /// A store targeted a read-only (interned constant) array.
+    ReadOnlyStore,
+    /// An operand had the wrong dynamic type.
+    TypeMismatch {
+        /// What the instruction needed.
+        expected: &'static str,
+        /// What it found.
+        found: &'static str,
+    },
+    /// An indirect call's target was not a function value.
+    BadIndirectTarget {
+        /// The value's type tag.
+        found: &'static str,
+    },
+    /// An indirect call passed the wrong number of arguments.
+    IndirectArityMismatch {
+        /// The callee's name.
+        callee: String,
+        /// Arguments passed.
+        got: usize,
+        /// Parameters expected.
+        expected: u32,
+    },
+    /// `NewIntArray`/`NewFloatArray` was given a negative or oversized
+    /// length.
+    BadArrayLength {
+        /// The requested length.
+        len: i64,
+    },
+    /// The entry function was called with the wrong number of inputs.
+    BadEntryArity {
+        /// Inputs supplied.
+        got: usize,
+        /// Parameters expected.
+        expected: u32,
+    },
+}
+
+impl fmt::Display for RuntimeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RuntimeError::OutOfFuel { limit } => {
+                write!(f, "instruction budget of {limit} exhausted")
+            }
+            RuntimeError::StackOverflow { limit } => {
+                write!(f, "call stack exceeded {limit} frames")
+            }
+            RuntimeError::DivideByZero => write!(f, "integer division by zero"),
+            RuntimeError::IndexOutOfBounds { index, len } => {
+                write!(f, "index {index} out of bounds for array of length {len}")
+            }
+            RuntimeError::ReadOnlyStore => write!(f, "store to read-only constant array"),
+            RuntimeError::TypeMismatch { expected, found } => {
+                write!(f, "type mismatch: expected {expected}, found {found}")
+            }
+            RuntimeError::BadIndirectTarget { found } => {
+                write!(f, "indirect call through non-function value of type {found}")
+            }
+            RuntimeError::IndirectArityMismatch {
+                callee,
+                got,
+                expected,
+            } => write!(
+                f,
+                "indirect call to `{callee}` passed {got} arguments, expected {expected}"
+            ),
+            RuntimeError::BadArrayLength { len } => {
+                write!(f, "invalid array length {len}")
+            }
+            RuntimeError::BadEntryArity { got, expected } => {
+                write!(f, "entry function expects {expected} inputs, got {got}")
+            }
+        }
+    }
+}
+
+impl Error for RuntimeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_nonempty() {
+        let errors = [
+            RuntimeError::OutOfFuel { limit: 10 },
+            RuntimeError::StackOverflow { limit: 2 },
+            RuntimeError::DivideByZero,
+            RuntimeError::IndexOutOfBounds { index: -1, len: 0 },
+            RuntimeError::ReadOnlyStore,
+            RuntimeError::TypeMismatch {
+                expected: "int",
+                found: "array",
+            },
+            RuntimeError::BadIndirectTarget { found: "int" },
+            RuntimeError::IndirectArityMismatch {
+                callee: "f".to_string(),
+                got: 1,
+                expected: 2,
+            },
+            RuntimeError::BadArrayLength { len: -3 },
+            RuntimeError::BadEntryArity {
+                got: 0,
+                expected: 1,
+            },
+        ];
+        for e in errors {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

@@ -1,0 +1,614 @@
+//! The interpreter itself.
+
+use trace_ir::{BinOp, FuncId, Instr, Program, Reg, Terminator, UnOp, Value};
+
+use crate::counters::{PixieCounts, RunStats};
+use crate::error::RuntimeError;
+use crate::value::{ArrayData, GuestValue, HeapObject, Input};
+
+/// Resource limits for a run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct VmConfig {
+    /// Maximum RISC-level instructions to execute before aborting.
+    pub fuel: u64,
+    /// Maximum call-stack depth.
+    pub max_stack: usize,
+    /// Maximum elements in one array allocation.
+    pub max_alloc: i64,
+    /// Record the full ordered branch outcome trace in
+    /// [`Run::branch_trace`]. Off by default: traces cost 24 bytes per
+    /// dynamic branch, and only the trace-order analyses (dynamic-scheme
+    /// simulation, mispredict-gap distribution) need the ordering —
+    /// aggregate counts always suffice for static prediction.
+    pub record_branch_trace: bool,
+}
+
+impl Default for VmConfig {
+    fn default() -> Self {
+        VmConfig {
+            fuel: 20_000_000_000,
+            max_stack: 1 << 16,
+            max_alloc: 1 << 26,
+            record_branch_trace: false,
+        }
+    }
+}
+
+/// The result of a successful run: the guest's output stream, the entry
+/// function's return value, and everything that was measured.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Run {
+    /// Values the guest `emit`ted, in order.
+    pub output: Vec<GuestValue>,
+    /// The entry function's return value, if any.
+    pub result: Option<GuestValue>,
+    /// All counters (IFPROBBER, MFPixie, break events, total instructions).
+    pub stats: RunStats,
+    /// The ordered branch outcome trace — empty unless
+    /// [`VmConfig::record_branch_trace`] was set.
+    pub branch_trace: Vec<BranchEvent>,
+}
+
+/// One entry of the recorded branch trace.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BranchEvent {
+    /// The source-level branch that executed.
+    pub id: trace_ir::BranchId,
+    /// Whether it was taken.
+    pub taken: bool,
+    /// RISC-level instructions executed since the previous conditional
+    /// branch (inclusive of this branch's own transfer) — the run length
+    /// the paper notes matters for ILP ("far more ILP will be available if
+    /// one has 80 instructions followed by two mispredicted branches than
+    /// 40, a mispredicted branch, 40, a mispredicted branch").
+    pub gap: u64,
+}
+
+impl Run {
+    /// The output stream as integers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any emitted value is not an integer.
+    pub fn output_ints(&self) -> Vec<i64> {
+        self.output
+            .iter()
+            .map(|v| v.as_int().expect("non-integer value in output"))
+            .collect()
+    }
+
+    /// The output stream as floats (integers are not coerced).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any emitted value is not a float or zero.
+    pub fn output_floats(&self) -> Vec<f64> {
+        self.output
+            .iter()
+            .map(|v| v.as_float().expect("non-float value in output"))
+            .collect()
+    }
+}
+
+struct Frame {
+    func: FuncId,
+    block: usize,
+    ip: usize,
+    regs: Vec<GuestValue>,
+    ret_dst: Option<Reg>,
+    indirect: bool,
+    is_entry: bool,
+}
+
+/// An interpreter bound to one program.
+///
+/// `Vm` borrows the program; construct one per run or reuse it — runs do not
+/// share state.
+#[derive(Debug)]
+pub struct Vm<'p> {
+    program: &'p Program,
+    config: VmConfig,
+}
+
+impl<'p> Vm<'p> {
+    /// Creates a VM with default limits.
+    pub fn new(program: &'p Program) -> Self {
+        Vm {
+            program,
+            config: VmConfig::default(),
+        }
+    }
+
+    /// Creates a VM with explicit limits.
+    pub fn with_config(program: &'p Program, config: VmConfig) -> Self {
+        Vm { program, config }
+    }
+
+    /// Runs the program's entry function on `inputs`.
+    ///
+    /// Array inputs are placed on the heap before execution and passed by
+    /// reference; the guest is charged no instructions for them.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`RuntimeError`] on any dynamic fault (bad types, bounds,
+    /// division by zero, fuel/stack exhaustion, entry arity mismatch).
+    pub fn run(&self, inputs: &[Input]) -> Result<Run, RuntimeError> {
+        Interp::new(self.program, self.config).run(inputs)
+    }
+}
+
+struct Interp<'p> {
+    program: &'p Program,
+    config: VmConfig,
+    heap: Vec<HeapObject>,
+    globals: Vec<GuestValue>,
+    frames: Vec<Frame>,
+    output: Vec<GuestValue>,
+    stats: RunStats,
+    fuel_used: u64,
+    branch_trace: Vec<BranchEvent>,
+    last_branch_fuel: u64,
+}
+
+impl<'p> Interp<'p> {
+    fn new(program: &'p Program, config: VmConfig) -> Self {
+        let heap = program
+            .const_arrays
+            .iter()
+            .map(|a| HeapObject {
+                data: ArrayData::Ints(a.clone()),
+                read_only: true,
+            })
+            .collect();
+        Interp {
+            program,
+            config,
+            heap,
+            globals: vec![GuestValue::Zero; program.globals.len()],
+            frames: Vec::new(),
+            output: Vec::new(),
+            stats: RunStats {
+                pixie: PixieCounts::for_program(program),
+                ..RunStats::default()
+            },
+            fuel_used: 0,
+            branch_trace: Vec::new(),
+            last_branch_fuel: 0,
+        }
+    }
+
+    fn run(mut self, inputs: &[Input]) -> Result<Run, RuntimeError> {
+        let entry = self.program.entry;
+        let entry_fn = self.program.function(entry);
+        if inputs.len() != entry_fn.num_params as usize {
+            return Err(RuntimeError::BadEntryArity {
+                got: inputs.len(),
+                expected: entry_fn.num_params,
+            });
+        }
+        let mut regs = vec![GuestValue::Zero; entry_fn.num_regs as usize];
+        for (i, input) in inputs.iter().enumerate() {
+            regs[i] = match input {
+                Input::Int(v) => GuestValue::Int(*v),
+                Input::Float(v) => GuestValue::Float(*v),
+                Input::Ints(v) => self.alloc(ArrayData::Ints(v.clone())),
+                Input::Floats(v) => self.alloc(ArrayData::Floats(v.clone())),
+            };
+        }
+        self.frames.push(Frame {
+            func: entry,
+            block: 0,
+            ip: 0,
+            regs,
+            ret_dst: None,
+            indirect: false,
+            is_entry: true,
+        });
+        self.stats.pixie.blocks[entry.index()][0] += 1;
+
+        // `program` is a plain reborrow of the &'p Program, so instruction
+        // references below do not conflict with `&mut self` calls.
+        let program = self.program;
+        let result = loop {
+            let frame = self.frames.last_mut().expect("frame stack never empty here");
+            let (fi, bi, ip) = (frame.func, frame.block, frame.ip);
+            let block = &program.functions[fi.index()].blocks[bi];
+            self.spend_fuel()?;
+            if ip < block.instrs.len() {
+                // Advance before executing so calls resume at the next
+                // instruction when their frame is re-entered.
+                self.frames.last_mut().expect("active frame").ip += 1;
+                self.exec_instr(&block.instrs[ip])?;
+            } else if let Some(result) = self.exec_terminator(&block.term)? {
+                break result;
+            }
+        };
+
+        self.stats.total_instrs = self.fuel_used;
+        Ok(Run {
+            output: self.output,
+            result,
+            stats: self.stats,
+            branch_trace: self.branch_trace,
+        })
+    }
+
+    fn spend_fuel(&mut self) -> Result<(), RuntimeError> {
+        self.fuel_used += 1;
+        if self.fuel_used > self.config.fuel {
+            Err(RuntimeError::OutOfFuel {
+                limit: self.config.fuel,
+            })
+        } else {
+            Ok(())
+        }
+    }
+
+    fn alloc(&mut self, data: ArrayData) -> GuestValue {
+        let idx = self.heap.len() as u32;
+        self.heap.push(HeapObject {
+            data,
+            read_only: false,
+        });
+        GuestValue::Ref(idx)
+    }
+
+    fn reg(&self, r: Reg) -> GuestValue {
+        self.frames.last().expect("active frame")[r]
+    }
+
+    fn set_reg(&mut self, r: Reg, v: GuestValue) {
+        let frame = self.frames.last_mut().expect("active frame");
+        frame.regs[r.index()] = v;
+    }
+
+    fn int(&self, r: Reg) -> Result<i64, RuntimeError> {
+        let v = self.reg(r);
+        v.as_int().ok_or(RuntimeError::TypeMismatch {
+            expected: "int",
+            found: v.type_name(),
+        })
+    }
+
+    fn float(&self, r: Reg) -> Result<f64, RuntimeError> {
+        let v = self.reg(r);
+        v.as_float().ok_or(RuntimeError::TypeMismatch {
+            expected: "float",
+            found: v.type_name(),
+        })
+    }
+
+    fn array_ref(&self, r: Reg) -> Result<u32, RuntimeError> {
+        match self.reg(r) {
+            GuestValue::Ref(h) => Ok(h),
+            v => Err(RuntimeError::TypeMismatch {
+                expected: "array",
+                found: v.type_name(),
+            }),
+        }
+    }
+
+    fn check_index(index: i64, len: usize) -> Result<usize, RuntimeError> {
+        if index < 0 || index as usize >= len {
+            Err(RuntimeError::IndexOutOfBounds { index, len })
+        } else {
+            Ok(index as usize)
+        }
+    }
+
+    fn exec_instr(&mut self, instr: &Instr) -> Result<(), RuntimeError> {
+        match instr {
+            Instr::Const { dst, value } => {
+                let v = match *value {
+                    Value::Int(i) => GuestValue::Int(i),
+                    Value::Float(f) => GuestValue::Float(f),
+                };
+                self.set_reg(*dst, v);
+            }
+            Instr::Mov { dst, src } => {
+                let v = self.reg(*src);
+                self.set_reg(*dst, v);
+            }
+            Instr::Unop { dst, op, src } => {
+                let v = self.exec_unop(*op, *src)?;
+                self.set_reg(*dst, v);
+            }
+            Instr::Binop { dst, op, lhs, rhs } => {
+                let v = self.exec_binop(*op, *lhs, *rhs)?;
+                self.set_reg(*dst, v);
+            }
+            Instr::Select {
+                dst,
+                cond,
+                if_true,
+                if_false,
+            } => {
+                self.stats.events.selects += 1;
+                let c = self.int(*cond)?;
+                let v = if c != 0 {
+                    self.reg(*if_true)
+                } else {
+                    self.reg(*if_false)
+                };
+                self.set_reg(*dst, v);
+            }
+            Instr::Load { dst, arr, index } => {
+                let h = self.array_ref(*arr)?;
+                let i = self.int(*index)?;
+                let obj = &self.heap[h as usize];
+                let v = match &obj.data {
+                    ArrayData::Ints(v) => GuestValue::Int(v[Self::check_index(i, v.len())?]),
+                    ArrayData::Floats(v) => GuestValue::Float(v[Self::check_index(i, v.len())?]),
+                };
+                self.set_reg(*dst, v);
+            }
+            Instr::Store { arr, index, src } => {
+                let h = self.array_ref(*arr)?;
+                let i = self.int(*index)?;
+                let v = self.reg(*src);
+                let obj = &mut self.heap[h as usize];
+                if obj.read_only {
+                    return Err(RuntimeError::ReadOnlyStore);
+                }
+                match &mut obj.data {
+                    ArrayData::Ints(data) => {
+                        let idx = Self::check_index(i, data.len())?;
+                        data[idx] = v.as_int().ok_or(RuntimeError::TypeMismatch {
+                            expected: "int",
+                            found: v.type_name(),
+                        })?;
+                    }
+                    ArrayData::Floats(data) => {
+                        let idx = Self::check_index(i, data.len())?;
+                        data[idx] = v.as_float().ok_or(RuntimeError::TypeMismatch {
+                            expected: "float",
+                            found: v.type_name(),
+                        })?;
+                    }
+                }
+            }
+            Instr::NewIntArray { dst, len } => {
+                let n = self.check_alloc_len(*len)?;
+                let v = self.alloc(ArrayData::Ints(vec![0; n]));
+                self.set_reg(*dst, v);
+            }
+            Instr::NewFloatArray { dst, len } => {
+                let n = self.check_alloc_len(*len)?;
+                let v = self.alloc(ArrayData::Floats(vec![0.0; n]));
+                self.set_reg(*dst, v);
+            }
+            Instr::ArrayLen { dst, arr } => {
+                let h = self.array_ref(*arr)?;
+                let len = self.heap[h as usize].data.len() as i64;
+                self.set_reg(*dst, GuestValue::Int(len));
+            }
+            Instr::ConstArray { dst, index } => {
+                // Interned arrays occupy heap slots 0..const_arrays.len().
+                self.set_reg(*dst, GuestValue::Ref(*index));
+            }
+            Instr::GlobalGet { dst, global } => {
+                let v = self.globals[global.index()];
+                self.set_reg(*dst, v);
+            }
+            Instr::GlobalSet { global, src } => {
+                self.globals[global.index()] = self.reg(*src);
+            }
+            Instr::FuncAddr { dst, func } => {
+                self.set_reg(*dst, GuestValue::Func(*func));
+            }
+            Instr::Call { dst, func, args } => {
+                self.stats.events.direct_calls += 1;
+                self.push_call(*func, args, *dst, false)?;
+            }
+            Instr::CallIndirect { dst, target, args } => {
+                let callee = match self.reg(*target) {
+                    GuestValue::Func(id) => id,
+                    v => {
+                        return Err(RuntimeError::BadIndirectTarget {
+                            found: v.type_name(),
+                        })
+                    }
+                };
+                let callee_fn = &self.program.functions[callee.index()];
+                if args.len() != callee_fn.num_params as usize {
+                    return Err(RuntimeError::IndirectArityMismatch {
+                        callee: callee_fn.name.clone(),
+                        got: args.len(),
+                        expected: callee_fn.num_params,
+                    });
+                }
+                self.stats.events.indirect_calls += 1;
+                self.push_call(callee, args, *dst, true)?;
+            }
+            Instr::Emit { src } => {
+                let v = self.reg(*src);
+                self.output.push(v);
+            }
+        }
+        Ok(())
+    }
+
+    fn check_alloc_len(&self, len: Reg) -> Result<usize, RuntimeError> {
+        let n = self.int(len)?;
+        if n < 0 || n > self.config.max_alloc {
+            Err(RuntimeError::BadArrayLength { len: n })
+        } else {
+            Ok(n as usize)
+        }
+    }
+
+    fn push_call(
+        &mut self,
+        callee: FuncId,
+        args: &[Reg],
+        ret_dst: Option<Reg>,
+        indirect: bool,
+    ) -> Result<(), RuntimeError> {
+        if self.frames.len() >= self.config.max_stack {
+            return Err(RuntimeError::StackOverflow {
+                limit: self.config.max_stack,
+            });
+        }
+        let callee_fn = &self.program.functions[callee.index()];
+        let mut regs = vec![GuestValue::Zero; callee_fn.num_regs as usize];
+        for (i, a) in args.iter().enumerate() {
+            regs[i] = self.reg(*a);
+        }
+        self.frames.push(Frame {
+            func: callee,
+            block: 0,
+            ip: 0,
+            regs,
+            ret_dst,
+            indirect,
+            is_entry: false,
+        });
+        self.stats.pixie.blocks[callee.index()][0] += 1;
+        Ok(())
+    }
+
+    /// Executes a terminator. Returns `Some(result)` when the entry frame
+    /// returns (ending the run).
+    fn exec_terminator(
+        &mut self,
+        term: &Terminator,
+    ) -> Result<Option<Option<GuestValue>>, RuntimeError> {
+        match term {
+            Terminator::Jump(target) => {
+                self.stats.events.jumps += 1;
+                self.enter_block(target.index());
+            }
+            Terminator::Branch {
+                cond,
+                id,
+                taken,
+                not_taken,
+            } => {
+                let c = self.int(*cond)?;
+                let is_taken = c != 0;
+                self.stats.branches.record(*id, is_taken);
+                if self.config.record_branch_trace {
+                    self.branch_trace.push(BranchEvent {
+                        id: *id,
+                        taken: is_taken,
+                        gap: self.fuel_used - self.last_branch_fuel,
+                    });
+                    self.last_branch_fuel = self.fuel_used;
+                }
+                let target = if is_taken { taken } else { not_taken };
+                self.enter_block(target.index());
+            }
+            Terminator::JumpTable {
+                index,
+                targets,
+                default,
+            } => {
+                self.stats.events.indirect_jumps += 1;
+                let i = self.int(*index)?;
+                let target = if i >= 0 && (i as usize) < targets.len() {
+                    targets[i as usize]
+                } else {
+                    *default
+                };
+                self.enter_block(target.index());
+            }
+            Terminator::Return { value } => {
+                let v = value.map(|r| self.reg(r));
+                let frame = self.frames.pop().expect("active frame");
+                if frame.is_entry {
+                    return Ok(Some(v));
+                }
+                if frame.indirect {
+                    self.stats.events.indirect_returns += 1;
+                } else {
+                    self.stats.events.direct_returns += 1;
+                }
+                if let Some(dst) = frame.ret_dst {
+                    let caller = self.frames.last_mut().expect("caller frame");
+                    caller.regs[dst.index()] = v.unwrap_or(GuestValue::Zero);
+                }
+            }
+        }
+        Ok(None)
+    }
+
+    fn enter_block(&mut self, block: usize) {
+        let frame = self.frames.last_mut().expect("active frame");
+        frame.block = block;
+        frame.ip = 0;
+        self.stats.pixie.blocks[frame.func.index()][block] += 1;
+    }
+
+    fn exec_unop(&mut self, op: UnOp, src: Reg) -> Result<GuestValue, RuntimeError> {
+        Ok(match op {
+            UnOp::Neg => GuestValue::Int(self.int(src)?.wrapping_neg()),
+            UnOp::FNeg => GuestValue::Float(-self.float(src)?),
+            UnOp::Not => GuestValue::Int(!self.int(src)?),
+            UnOp::LNot => GuestValue::Int(i64::from(self.int(src)? == 0)),
+            UnOp::IntToFloat => GuestValue::Float(self.int(src)? as f64),
+            UnOp::FloatToInt => GuestValue::Int(self.float(src)? as i64),
+            UnOp::Sqrt => GuestValue::Float(self.float(src)?.sqrt()),
+            UnOp::Sin => GuestValue::Float(self.float(src)?.sin()),
+            UnOp::Cos => GuestValue::Float(self.float(src)?.cos()),
+            UnOp::Exp => GuestValue::Float(self.float(src)?.exp()),
+            UnOp::Log => GuestValue::Float(self.float(src)?.ln()),
+            UnOp::Floor => GuestValue::Float(self.float(src)?.floor()),
+            UnOp::Abs => GuestValue::Int(self.int(src)?.wrapping_abs()),
+            UnOp::FAbs => GuestValue::Float(self.float(src)?.abs()),
+        })
+    }
+
+    fn exec_binop(&mut self, op: BinOp, lhs: Reg, rhs: Reg) -> Result<GuestValue, RuntimeError> {
+        use BinOp::*;
+        Ok(match op {
+            Add => GuestValue::Int(self.int(lhs)?.wrapping_add(self.int(rhs)?)),
+            Sub => GuestValue::Int(self.int(lhs)?.wrapping_sub(self.int(rhs)?)),
+            Mul => GuestValue::Int(self.int(lhs)?.wrapping_mul(self.int(rhs)?)),
+            Div => {
+                let d = self.int(rhs)?;
+                if d == 0 {
+                    return Err(RuntimeError::DivideByZero);
+                }
+                GuestValue::Int(self.int(lhs)?.wrapping_div(d))
+            }
+            Rem => {
+                let d = self.int(rhs)?;
+                if d == 0 {
+                    return Err(RuntimeError::DivideByZero);
+                }
+                GuestValue::Int(self.int(lhs)?.wrapping_rem(d))
+            }
+            FAdd => GuestValue::Float(self.float(lhs)? + self.float(rhs)?),
+            FSub => GuestValue::Float(self.float(lhs)? - self.float(rhs)?),
+            FMul => GuestValue::Float(self.float(lhs)? * self.float(rhs)?),
+            FDiv => GuestValue::Float(self.float(lhs)? / self.float(rhs)?),
+            And => GuestValue::Int(self.int(lhs)? & self.int(rhs)?),
+            Or => GuestValue::Int(self.int(lhs)? | self.int(rhs)?),
+            Xor => GuestValue::Int(self.int(lhs)? ^ self.int(rhs)?),
+            Shl => GuestValue::Int(self.int(lhs)?.wrapping_shl(self.int(rhs)? as u32 & 63)),
+            Shr => GuestValue::Int(self.int(lhs)?.wrapping_shr(self.int(rhs)? as u32 & 63)),
+            Eq => GuestValue::Int(i64::from(self.int(lhs)? == self.int(rhs)?)),
+            Ne => GuestValue::Int(i64::from(self.int(lhs)? != self.int(rhs)?)),
+            Lt => GuestValue::Int(i64::from(self.int(lhs)? < self.int(rhs)?)),
+            Le => GuestValue::Int(i64::from(self.int(lhs)? <= self.int(rhs)?)),
+            Gt => GuestValue::Int(i64::from(self.int(lhs)? > self.int(rhs)?)),
+            Ge => GuestValue::Int(i64::from(self.int(lhs)? >= self.int(rhs)?)),
+            FEq => GuestValue::Int(i64::from(self.float(lhs)? == self.float(rhs)?)),
+            FNe => GuestValue::Int(i64::from(self.float(lhs)? != self.float(rhs)?)),
+            FLt => GuestValue::Int(i64::from(self.float(lhs)? < self.float(rhs)?)),
+            FLe => GuestValue::Int(i64::from(self.float(lhs)? <= self.float(rhs)?)),
+            FGt => GuestValue::Int(i64::from(self.float(lhs)? > self.float(rhs)?)),
+            FGe => GuestValue::Int(i64::from(self.float(lhs)? >= self.float(rhs)?)),
+            FMin => GuestValue::Float(self.float(lhs)?.min(self.float(rhs)?)),
+            FMax => GuestValue::Float(self.float(lhs)?.max(self.float(rhs)?)),
+        })
+    }
+}
+
+impl std::ops::Index<Reg> for Frame {
+    type Output = GuestValue;
+    fn index(&self, r: Reg) -> &GuestValue {
+        &self.regs[r.index()]
+    }
+}

@@ -1,0 +1,172 @@
+//! Run-time values, inputs and the heap.
+
+use std::fmt;
+
+use trace_ir::FuncId;
+
+/// A value held in a register, global slot, or array element.
+///
+/// Registers are untyped at the IR level; the `mflang` type checker
+/// guarantees well-typed programs, and the VM re-checks dynamically so that
+/// hand-built IR fails cleanly instead of corrupting a run.
+#[derive(Clone, Copy, Debug, PartialEq, Default)]
+pub enum GuestValue {
+    /// A 64-bit signed integer (also booleans: 0 = false).
+    #[default]
+    Zero,
+    /// A 64-bit signed integer.
+    Int(i64),
+    /// A 64-bit IEEE float.
+    Float(f64),
+    /// A reference to a heap array.
+    Ref(u32),
+    /// A function value (indirect-call target).
+    Func(FuncId),
+}
+
+impl GuestValue {
+    /// Integer view; `Zero` reads as 0.
+    pub fn as_int(self) -> Option<i64> {
+        match self {
+            GuestValue::Zero => Some(0),
+            GuestValue::Int(i) => Some(i),
+            _ => None,
+        }
+    }
+
+    /// Float view; `Zero` reads as 0.0 so zero-initialized registers work for
+    /// both types.
+    pub fn as_float(self) -> Option<f64> {
+        match self {
+            GuestValue::Zero => Some(0.0),
+            GuestValue::Float(f) => Some(f),
+            _ => None,
+        }
+    }
+
+    /// Short type tag used in error messages.
+    pub fn type_name(self) -> &'static str {
+        match self {
+            GuestValue::Zero => "zero",
+            GuestValue::Int(_) => "int",
+            GuestValue::Float(_) => "float",
+            GuestValue::Ref(_) => "array",
+            GuestValue::Func(_) => "function",
+        }
+    }
+}
+
+impl fmt::Display for GuestValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GuestValue::Zero => write!(f, "0"),
+            GuestValue::Int(i) => write!(f, "{i}"),
+            GuestValue::Float(x) => write!(f, "{x}"),
+            GuestValue::Ref(r) => write!(f, "arr@{r}"),
+            GuestValue::Func(id) => write!(f, "&{id}"),
+        }
+    }
+}
+
+/// One entry-point argument: a dataset element handed to the guest program.
+///
+/// Array inputs are materialized on the heap before the run starts and passed
+/// by reference; the allocation is not charged to the guest's instruction
+/// count (it models the dataset file already sitting in memory).
+#[derive(Clone, Debug, PartialEq)]
+pub enum Input {
+    /// A scalar integer.
+    Int(i64),
+    /// A scalar float.
+    Float(f64),
+    /// An integer array (e.g. the bytes of an input file).
+    Ints(Vec<i64>),
+    /// A float array.
+    Floats(Vec<f64>),
+}
+
+impl Input {
+    /// Builds an integer-array input from a text file's bytes.
+    pub fn from_text(text: &str) -> Self {
+        Input::Ints(text.bytes().map(i64::from).collect())
+    }
+
+    /// The number of scalar elements in this input (1 for scalars).
+    pub fn len(&self) -> usize {
+        match self {
+            Input::Int(_) | Input::Float(_) => 1,
+            Input::Ints(v) => v.len(),
+            Input::Floats(v) => v.len(),
+        }
+    }
+
+    /// True when an array input is empty. Scalars are never empty.
+    pub fn is_empty(&self) -> bool {
+        match self {
+            Input::Int(_) | Input::Float(_) => false,
+            Input::Ints(v) => v.is_empty(),
+            Input::Floats(v) => v.is_empty(),
+        }
+    }
+}
+
+/// Array storage: homogeneous int or float payload.
+#[derive(Clone, Debug, PartialEq)]
+pub(crate) enum ArrayData {
+    Ints(Vec<i64>),
+    Floats(Vec<f64>),
+}
+
+impl ArrayData {
+    pub(crate) fn len(&self) -> usize {
+        match self {
+            ArrayData::Ints(v) => v.len(),
+            ArrayData::Floats(v) => v.len(),
+        }
+    }
+}
+
+/// A heap object: an array plus a read-only flag (interned literals).
+#[derive(Clone, Debug, PartialEq)]
+pub(crate) struct HeapObject {
+    pub data: ArrayData,
+    pub read_only: bool,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_reads_as_both_types() {
+        assert_eq!(GuestValue::Zero.as_int(), Some(0));
+        assert_eq!(GuestValue::Zero.as_float(), Some(0.0));
+        assert_eq!(GuestValue::Int(5).as_int(), Some(5));
+        assert_eq!(GuestValue::Int(5).as_float(), None);
+        assert_eq!(GuestValue::Float(1.5).as_float(), Some(1.5));
+        assert_eq!(GuestValue::Ref(0).as_int(), None);
+    }
+
+    #[test]
+    fn default_is_zero() {
+        assert_eq!(GuestValue::default(), GuestValue::Zero);
+    }
+
+    #[test]
+    fn input_from_text() {
+        let i = Input::from_text("AB");
+        assert_eq!(i, Input::Ints(vec![65, 66]));
+        assert_eq!(i.len(), 2);
+        assert!(!i.is_empty());
+        assert!(Input::Ints(Vec::new()).is_empty());
+        assert!(!Input::Int(0).is_empty());
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(GuestValue::Int(3).to_string(), "3");
+        assert_eq!(GuestValue::Ref(2).to_string(), "arr@2");
+        assert_eq!(GuestValue::Func(FuncId(1)).to_string(), "&fn1");
+        assert_eq!(GuestValue::Zero.to_string(), "0");
+    }
+}

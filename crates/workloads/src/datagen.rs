@@ -1,0 +1,97 @@
+//! Seeded, deterministic dataset generation helpers.
+//!
+//! Every generator takes an explicit seed so the whole experiment matrix is
+//! reproducible bit-for-bit. `rand` with a fixed-seed SmallRng would also
+//! work, but a self-contained LCG keeps the generated *datasets* stable even
+//! across `rand` major versions; `rand` is still used where distribution
+//! quality matters (see `spice`'s netlist shuffling).
+
+/// A 64-bit splitmix-style generator: tiny, seedable, stable forever.
+#[derive(Clone, Debug)]
+pub struct Lcg {
+    state: u64,
+}
+
+impl Lcg {
+    /// Creates a generator from a seed.
+    pub fn new(seed: u64) -> Self {
+        Lcg {
+            state: seed.wrapping_add(0x9E37_79B9_7F4A_7C15),
+        }
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `0..bound` (bound > 0).
+    pub fn below(&mut self, bound: u64) -> u64 {
+        self.next_u64() % bound
+    }
+
+    /// Uniform value in `lo..=hi`.
+    pub fn range(&mut self, lo: i64, hi: i64) -> i64 {
+        debug_assert!(lo <= hi);
+        lo + self.below((hi - lo + 1) as u64) as i64
+    }
+
+    /// Bernoulli draw with probability `percent`/100.
+    pub fn chance(&mut self, percent: u64) -> bool {
+        self.below(100) < percent
+    }
+
+    /// Picks one element of a slice.
+    pub fn pick<'a, T>(&mut self, items: &'a [T]) -> &'a T {
+        &items[self.below(items.len() as u64) as usize]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic() {
+        let a: Vec<u64> = {
+            let mut g = Lcg::new(42);
+            (0..10).map(|_| g.next_u64()).collect()
+        };
+        let b: Vec<u64> = {
+            let mut g = Lcg::new(42);
+            (0..10).map(|_| g.next_u64()).collect()
+        };
+        assert_eq!(a, b);
+        let mut g = Lcg::new(43);
+        assert_ne!(a[0], g.next_u64());
+    }
+
+    #[test]
+    fn range_respects_bounds() {
+        let mut g = Lcg::new(7);
+        for _ in 0..1000 {
+            let v = g.range(-5, 5);
+            assert!((-5..=5).contains(&v));
+        }
+    }
+
+    #[test]
+    fn chance_is_calibrated() {
+        let mut g = Lcg::new(1);
+        let hits = (0..10_000).filter(|_| g.chance(30)).count();
+        assert!((2500..3500).contains(&hits), "hits = {hits}");
+    }
+
+    #[test]
+    fn pick_stays_in_bounds() {
+        let mut g = Lcg::new(9);
+        let items = [1, 2, 3];
+        for _ in 0..10 {
+            assert!(items.contains(g.pick(&items)));
+        }
+    }
+}

@@ -1,0 +1,226 @@
+#![warn(missing_docs)]
+
+//! # mfwork
+//!
+//! The program sample base: one guest program per row of the paper's
+//! Table 2, written in `mflang` and executed on `trace-vm`, plus seeded
+//! dataset generators standing in for the SPEC inputs.
+//!
+//! The originals are licensed SPEC sources we cannot ship, so each workload
+//! implements the *real algorithm* of its namesake — LZW compression, a
+//! Lisp interpreter, an LCS diff, two-level logic minimization, modified
+//! nodal circuit analysis, Gaussian elimination, SOR mesh smoothing, … — so
+//! that its control-flow character (branch density, direction bias,
+//! module-selection behaviour across datasets) is genuine. See DESIGN.md §2
+//! for the substitution argument.
+//!
+//! ```
+//! use mfwork::suite;
+//!
+//! let programs = suite();
+//! assert!(programs.len() >= 14);
+//! let doduc = programs.iter().find(|w| w.name == "doduc").unwrap();
+//! assert_eq!(doduc.datasets.len(), 3);
+//! let program = doduc.compile().unwrap();
+//! let run = doduc.run(&program, &doduc.datasets[0]).unwrap();
+//! assert!(run.stats.total_instrs > 0);
+//! ```
+
+mod datagen;
+mod programs;
+
+pub use programs::*;
+
+use mflang::CompileError;
+use mfopt::Pipeline;
+use trace_ir::Program;
+use trace_vm::{Input, Run, RuntimeError, Vm, VmConfig};
+
+/// The paper's two program groups.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Group {
+    /// FORTRAN / floating-point programs (Figure 1a / 2a side).
+    FortranFp,
+    /// C / integer programs (Figure 1b / 2b side).
+    CInteger,
+}
+
+/// One dataset: a named set of entry-function inputs.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Dataset {
+    /// The dataset name used throughout the experiment tables.
+    pub name: String,
+    /// What the dataset is (Table 2's description column).
+    pub description: String,
+    /// The inputs handed to the guest `main`.
+    pub inputs: Vec<Input>,
+}
+
+impl Dataset {
+    /// Creates a dataset.
+    pub fn new(
+        name: impl Into<String>,
+        description: impl Into<String>,
+        inputs: Vec<Input>,
+    ) -> Self {
+        Dataset {
+            name: name.into(),
+            description: description.into(),
+            inputs,
+        }
+    }
+}
+
+/// A guest program plus its datasets — one Table 2 row.
+#[derive(Clone, Debug)]
+pub struct Workload {
+    /// Program name (`li`, `compress`, `spice2g6`, …).
+    pub name: &'static str,
+    /// Table 2's description.
+    pub description: &'static str,
+    /// FORTRAN/FP or C/integer.
+    pub group: Group,
+    /// Guest source text.
+    pub source: String,
+    /// The datasets, in canonical order.
+    pub datasets: Vec<Dataset>,
+}
+
+impl Workload {
+    /// Compiles the guest source with optimization off — the profiling
+    /// configuration (the paper ran with global DCE disabled).
+    ///
+    /// # Errors
+    ///
+    /// Returns the guest program's [`CompileError`]; the bundled sources
+    /// always compile (tests guarantee it).
+    pub fn compile(&self) -> Result<Program, CompileError> {
+        mflang::compile(&self.source)
+    }
+
+    /// Compiles with the full classical pipeline including DCE — the
+    /// "what the compiler would have done" side of Table 1.
+    ///
+    /// # Errors
+    ///
+    /// Returns the guest program's [`CompileError`].
+    pub fn compile_optimized(&self) -> Result<Program, CompileError> {
+        let mut p = self.compile()?;
+        Pipeline::standard().run(&mut p);
+        Ok(p)
+    }
+
+    /// Runs `program` (a compilation of this workload) on `dataset`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`RuntimeError`] if the guest faults — the bundled
+    /// workloads never do.
+    pub fn run(&self, program: &Program, dataset: &Dataset) -> Result<Run, RuntimeError> {
+        // Generous but bounded: a workload stuck in a loop fails the run
+        // instead of hanging the harness.
+        let config = VmConfig {
+            fuel: 4_000_000_000,
+            ..VmConfig::default()
+        };
+        Vm::with_config(program, config).run(&dataset.inputs)
+    }
+
+    /// Finds a dataset by name.
+    pub fn dataset(&self, name: &str) -> Option<&Dataset> {
+        self.datasets.iter().find(|d| d.name == name)
+    }
+}
+
+/// The full program sample base, in Table 2 order (FORTRAN/FP first).
+pub fn suite() -> Vec<Workload> {
+    vec![
+        programs::spice::workload(),
+        programs::doduc::workload(),
+        programs::numeric::nasa7(),
+        programs::numeric::matrix300(),
+        programs::fpppp::workload(),
+        programs::numeric::tomcatv(),
+        programs::numeric::lfk(),
+        programs::gcc::workload(),
+        programs::espresso::workload(),
+        programs::li::workload(),
+        programs::eqntott::workload(),
+        programs::compress::compress(),
+        programs::compress::uncompress(),
+        programs::mfcom::workload(),
+        programs::spiff::workload(),
+    ]
+}
+
+/// The workloads with more than one dataset — the population Figures 2 & 3
+/// are computed over.
+pub fn multi_dataset_suite() -> Vec<Workload> {
+    suite().into_iter().filter(|w| w.datasets.len() >= 2).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_matches_table2_inventory() {
+        let s = suite();
+        let names: Vec<_> = s.iter().map(|w| w.name).collect();
+        for expected in [
+            "spice2g6",
+            "doduc",
+            "nasa7",
+            "matrix300",
+            "fpppp",
+            "tomcatv",
+            "lfk",
+            "gcc",
+            "espresso",
+            "li",
+            "eqntott",
+            "compress",
+            "uncompress",
+            "mfcom",
+            "spiff",
+        ] {
+            assert!(names.contains(&expected), "missing workload {expected}");
+        }
+    }
+
+    #[test]
+    fn every_workload_compiles_both_ways() {
+        for w in suite() {
+            let p = w
+                .compile()
+                .unwrap_or_else(|e| panic!("{} failed to compile: {e}", w.name));
+            assert!(p.validate().is_ok(), "{} produced invalid IR", w.name);
+            let o = w
+                .compile_optimized()
+                .unwrap_or_else(|e| panic!("{} failed optimized compile: {e}", w.name));
+            assert!(o.validate().is_ok());
+            assert!(
+                o.static_instr_count() <= p.static_instr_count(),
+                "{}: optimization grew the program",
+                w.name
+            );
+        }
+    }
+
+    #[test]
+    fn groups_are_split_as_in_the_paper() {
+        let s = suite();
+        let fortran = s.iter().filter(|w| w.group == Group::FortranFp).count();
+        let c = s.iter().filter(|w| w.group == Group::CInteger).count();
+        assert_eq!(fortran, 7);
+        assert_eq!(c, 8);
+    }
+
+    #[test]
+    fn dataset_lookup() {
+        let s = suite();
+        let li = s.iter().find(|w| w.name == "li").unwrap();
+        assert!(li.dataset("8queens").is_some());
+        assert!(li.dataset("nope").is_none());
+    }
+}

@@ -1,0 +1,14 @@
+//! Guest programs, one module per Table 2 row (numeric kernels share a
+//! module).
+
+pub mod compress;
+pub mod doduc;
+pub mod eqntott;
+pub mod espresso;
+pub mod fpppp;
+pub mod gcc;
+pub mod li;
+pub mod mfcom;
+pub mod numeric;
+pub mod spice;
+pub mod spiff;

@@ -1,0 +1,133 @@
+//! The full IFPROBBER feedback loop, as a user of the paper's toolchain
+//! would have driven it:
+//!
+//! 1. compile a program,
+//! 2. run it over several datasets, folding each run's branch counters
+//!    into the profile database,
+//! 3. write the accumulated counts out as `!MF! IFPROB` directives,
+//! 4. feed the directives into a *fresh compilation* of the same source,
+//! 5. build predictors under all three combination rules and compare.
+//!
+//! ```text
+//! cargo run --release --example profile_feedback
+//! ```
+
+use fisher92::lang::compile;
+use fisher92::predict::{evaluate, BreakConfig, Predictor};
+use fisher92::profile::{combine, directives, CombineRule, ProfileDb};
+use fisher92::report::Table;
+use fisher92::vm::{Input, Vm};
+
+const SOURCE: &str = r#"
+// A tiny interpreter-flavoured program: dispatch over an input tape.
+fn main(tape: [int], n: int) {
+    var acc: int = 0;
+    var skips: int = 0;
+    for (var i: int = 0; i < n; i = i + 1) {
+        var op: int = tape[i];
+        if (op == 0) { acc = acc + 1; }
+        else if (op == 1) { acc = acc - 1; }
+        else if (op == 2) { acc = acc * 2; }
+        else if (op == 3) { if (acc > 1000) { acc = acc / 2; } }
+        else { skips = skips + 1; }
+    }
+    emit(acc);
+    emit(skips);
+}
+"#;
+
+fn tape(seed: u64, n: usize, bias: [u64; 5]) -> Vec<i64> {
+    // A crude weighted opcode stream.
+    let total: u64 = bias.iter().sum();
+    let mut state = seed;
+    (0..n)
+        .map(|_| {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let mut roll = (state >> 33) % total;
+            for (op, w) in bias.iter().enumerate() {
+                if roll < *w {
+                    return op as i64;
+                }
+                roll -= w;
+            }
+            4
+        })
+        .collect()
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let program = compile(SOURCE)?;
+
+    // Three training datasets with different opcode mixes.
+    let datasets = [
+        ("increments", tape(1, 20_000, [6, 1, 1, 1, 1])),
+        ("balanced", tape(2, 20_000, [2, 2, 2, 2, 2])),
+        ("doublers", tape(3, 20_000, [1, 1, 5, 2, 1])),
+    ];
+
+    let mut db = ProfileDb::new();
+    for (name, data) in &datasets {
+        let n = data.len() as i64;
+        let run = Vm::new(&program).run(&[Input::Ints(data.clone()), Input::Int(n)])?;
+        db.record(name, &run.stats.branches);
+        println!(
+            "profiled {name:<11} {:>8} branch executions",
+            run.stats.branches.total_executed()
+        );
+    }
+
+    // Write the database back as source-level directives, then parse them
+    // against a fresh compilation — the counts survive recompilation
+    // because they are keyed to source branches.
+    let accumulated = combine(
+        &db.iter().map(|(_, c)| c).collect::<Vec<_>>(),
+        CombineRule::Unscaled,
+    );
+    let mut raw = fisher92::vm::BranchCounts::new();
+    for (id, e, t) in accumulated.iter() {
+        raw.add(id, e as u64, t as u64);
+    }
+    let text = directives::write_directives(&program, &raw);
+    println!("\ndirective file ({} lines):", text.lines().count());
+    for line in text.lines().take(3) {
+        println!("  {line}");
+    }
+    println!("  …");
+    let recompiled = compile(SOURCE)?;
+    let parsed = directives::parse_directives(&recompiled, &text)?;
+
+    // A held-out target dataset with yet another mix.
+    let target_data = tape(99, 40_000, [1, 3, 1, 4, 1]);
+    let n = target_data.len() as i64;
+    let target = Vm::new(&recompiled).run(&[Input::Ints(target_data), Input::Int(n)])?;
+
+    let cfg = BreakConfig::fig2();
+    let mut table = Table::new(&["PREDICTOR", "INSTRS/BREAK", "% CORRECT"]);
+    let mut add = |name: &str, p: &Predictor| {
+        let m = evaluate(&target.stats, p, cfg);
+        table.row_owned(vec![
+            name.to_string(),
+            format!("{:.1}", m.instrs_per_break),
+            format!("{:.1}%", m.correct_fraction() * 100.0),
+        ]);
+    };
+
+    add(
+        "directives (unscaled db)",
+        &Predictor::from_counts(&parsed, Default::default()),
+    );
+    for rule in [CombineRule::Scaled, CombineRule::Unscaled, CombineRule::Polling] {
+        let profiles: Vec<_> = db.iter().map(|(_, c)| c).collect();
+        let p = Predictor::from_weighted(&combine(&profiles, rule), Default::default());
+        add(&format!("{rule:?}"), &p);
+    }
+    add("loop heuristic", &Predictor::heuristic(&recompiled));
+    add(
+        "self (upper bound)",
+        &Predictor::from_counts(&target.stats.branches, Default::default()),
+    );
+
+    println!("\npredicting a held-out dataset:");
+    print!("{}", table.render());
+    Ok(())
+}

@@ -1,0 +1,71 @@
+//! Quickstart: compile a guest program, profile one run, and use that
+//! profile to predict a different run — the paper's core loop in ~40 lines.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use fisher92::lang::compile;
+use fisher92::predict::{evaluate, evaluate_unpredicted, BreakConfig, Predictor};
+use fisher92::vm::{Input, Vm};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A branchy little program: classify numbers by their Collatz length.
+    let program = compile(
+        r#"
+        fn steps(x: int) -> int {
+            var n: int = 0;
+            while (x != 1) {
+                if (x % 2 == 0) { x = x / 2; } else { x = 3 * x + 1; }
+                n = n + 1;
+            }
+            return n;
+        }
+        fn main(limit: int) {
+            var long_ones: int = 0;
+            for (var i: int = 1; i <= limit; i = i + 1) {
+                if (steps(i) > 100) { long_ones = long_ones + 1; }
+            }
+            emit(long_ones);
+        }
+        "#,
+    )?;
+
+    // Train on one input, test on a much larger one.
+    let train = Vm::new(&program).run(&[Input::Int(2_000)])?;
+    let test = Vm::new(&program).run(&[Input::Int(20_000)])?;
+    println!(
+        "training run: {} instructions, {} branch executions",
+        train.stats.total_instrs,
+        train.stats.branches.total_executed()
+    );
+
+    // Without prediction, every conditional branch is a break in control.
+    let unpredicted = evaluate_unpredicted(&test.stats, BreakConfig::fig1());
+    println!(
+        "no prediction:      {:6.1} instructions per break",
+        unpredicted.instrs_per_break
+    );
+
+    // Feedback from the training run.
+    let predictor = Predictor::from_counts(&train.stats.branches, Default::default());
+    let predicted = evaluate(&test.stats, &predictor, BreakConfig::fig2());
+    println!(
+        "profile feedback:   {:6.1} instructions per break ({:.1}% branches correct)",
+        predicted.instrs_per_break,
+        predicted.correct_fraction() * 100.0
+    );
+
+    // The self-prediction upper bound: the test run predicting itself.
+    let oracle = Predictor::from_counts(&test.stats.branches, Default::default());
+    let best = evaluate(&test.stats, &oracle, BreakConfig::fig2());
+    println!(
+        "best possible:      {:6.1} instructions per break",
+        best.instrs_per_break
+    );
+    println!(
+        "feedback recovered {:.0}% of the oracle bound",
+        100.0 * predicted.instrs_per_break / best.instrs_per_break
+    );
+    Ok(())
+}

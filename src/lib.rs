@@ -1,0 +1,56 @@
+#![warn(missing_docs)]
+
+//! # fisher92
+//!
+//! A full reproduction of Joseph A. Fisher and Stefan M. Freudenberger,
+//! *Predicting Conditional Branch Directions From Previous Runs of a
+//! Program* (ASPLOS V, 1992) — profile-guided static branch prediction,
+//! measured in instructions per break in control.
+//!
+//! This facade re-exports the workspace crates:
+//!
+//! * [`ir`] — the Trace-style RISC-level IR ([`trace_ir`]),
+//! * [`lang`] — the guest-language compiler ([`mflang`]),
+//! * [`opt`] — classical optimizer passes, including the Table 1 DCE
+//!   ([`mfopt`]),
+//! * [`vm`] — the counting interpreter: MFPixie + IFPROBBER in one
+//!   ([`trace_vm`]),
+//! * [`profile`] — profile database, combination rules, directive feedback
+//!   ([`ifprob`]),
+//! * [`predict`] — the paper's contribution: predictors and the
+//!   instructions-per-break metrics ([`bpredict`]),
+//! * [`workloads`] — the Table 2 program sample base ([`mfwork`]),
+//! * [`report`] — table/chart rendering ([`mfreport`]).
+//!
+//! ```
+//! use fisher92::predict::{evaluate, BreakConfig, Predictor};
+//! use fisher92::lang::compile;
+//! use fisher92::vm::{Input, Vm};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let program = compile(
+//!     "fn main(n: int) {
+//!         var hits: int = 0;
+//!         for (var i: int = 0; i < n; i = i + 1) {
+//!             if (i % 10 == 0) { hits = hits + 1; }
+//!         }
+//!         emit(hits);
+//!     }",
+//! )?;
+//! let train = Vm::new(&program).run(&[Input::Int(1000)])?;
+//! let test = Vm::new(&program).run(&[Input::Int(7777)])?;
+//! let predictor = Predictor::from_counts(&train.stats.branches, Default::default());
+//! let metrics = evaluate(&test.stats, &predictor, BreakConfig::fig2());
+//! assert!(metrics.correct_fraction() > 0.85);
+//! # Ok(())
+//! # }
+//! ```
+
+pub use bpredict as predict;
+pub use ifprob as profile;
+pub use mflang as lang;
+pub use mfopt as opt;
+pub use mfreport as report;
+pub use mfwork as workloads;
+pub use trace_ir as ir;
+pub use trace_vm as vm;

@@ -1,0 +1,58 @@
+//! Determinism: the whole experiment regenerates bit-identically.
+
+use fisher92::workloads::suite;
+
+#[test]
+fn dataset_generation_is_stable() {
+    let a = suite();
+    let b = suite();
+    assert_eq!(a.len(), b.len());
+    for (wa, wb) in a.iter().zip(&b) {
+        assert_eq!(wa.name, wb.name);
+        assert_eq!(wa.source, wb.source, "{}: source differs", wa.name);
+        assert_eq!(wa.datasets.len(), wb.datasets.len());
+        for (da, db) in wa.datasets.iter().zip(&wb.datasets) {
+            assert_eq!(da.inputs, db.inputs, "{}/{}", wa.name, da.name);
+        }
+    }
+}
+
+#[test]
+fn compilation_is_deterministic() {
+    let all = suite();
+    let w = all.iter().find(|w| w.name == "gcc").expect("gcc");
+    let a = w.compile().expect("compiles");
+    let b = w.compile().expect("compiles");
+    assert_eq!(a, b);
+    let oa = w.compile_optimized().expect("optimizes");
+    let ob = w.compile_optimized().expect("optimizes");
+    assert_eq!(oa, ob);
+}
+
+#[test]
+fn runs_are_bit_identical() {
+    let all = suite();
+    for name in ["doduc", "spiff"] {
+        let w = all.iter().find(|w| w.name == name).expect("workload");
+        let program = w.compile().expect("compiles");
+        let d = &w.datasets[0];
+        let a = w.run(&program, d).expect("runs");
+        let b = w.run(&program, d).expect("runs");
+        assert_eq!(a, b, "{name}: run not deterministic");
+    }
+}
+
+#[test]
+fn pixie_counts_reconcile_for_real_workloads() {
+    let all = suite();
+    for name in ["mfcom", "eqntott"] {
+        let w = all.iter().find(|w| w.name == name).expect("workload");
+        let program = w.compile().expect("compiles");
+        let run = w.run(&program, &w.datasets[0]).expect("runs");
+        assert_eq!(
+            run.stats.pixie.total_instrs(&program),
+            run.stats.total_instrs,
+            "{name}: MFPixie and fuel disagree"
+        );
+    }
+}

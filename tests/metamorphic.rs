@@ -1,0 +1,209 @@
+//! Metamorphic property tests over *structured* random programs (loops,
+//! nested ifs, variable mutation): every compilation configuration —
+//! unoptimized, fully optimized, if-conversion off, inlined — must produce
+//! identical observable output, and the source-level branch counters of
+//! surviving branches must be identical across builds.
+
+use proptest::prelude::*;
+
+use fisher92::lang::{compile, compile_with, CompileOptions};
+use fisher92::opt::{Inliner, Pipeline};
+use fisher92::vm::{Input, Vm};
+
+/// A bounded statement tree that always lowers to a terminating program.
+#[derive(Clone, Debug)]
+enum S {
+    /// `v<i> = <expr over vars and constants>;`
+    Assign(usize, Ex),
+    /// `emit(v<i>);`
+    Emit(usize),
+    /// `if (cond) { .. } else { .. }`
+    If(Cond, Vec<S>, Vec<S>),
+    /// `for (l = 0; l < k; l = l + 1) { .. }` with constant k ≤ 5.
+    Loop(u8, Vec<S>),
+}
+
+#[derive(Clone, Debug)]
+enum Ex {
+    Const(i64),
+    Var(usize),
+    Add(usize, Box<Ex>),
+    Mul(usize, i64),
+    Xor(usize, usize),
+}
+
+#[derive(Clone, Debug)]
+enum Cond {
+    /// `v<i> < k`
+    Lt(usize, i64),
+    /// `v<i> % 2 == 0`
+    Even(usize),
+    /// `v<i> < v<j> && v<j> != k` — forces short-circuit branches.
+    AndPair(usize, usize, i64),
+}
+
+const NVARS: usize = 4;
+
+fn expr_src(e: &Ex) -> String {
+    match e {
+        Ex::Const(k) => {
+            if *k < 0 {
+                format!("(0 - {})", -k)
+            } else {
+                k.to_string()
+            }
+        }
+        Ex::Var(i) => format!("v{i}"),
+        Ex::Add(i, rest) => format!("(v{i} + {})", expr_src(rest)),
+        Ex::Mul(i, k) => format!("(v{i} * {k})"),
+        Ex::Xor(i, j) => format!("(v{i} ^ v{j})"),
+    }
+}
+
+fn cond_src(c: &Cond) -> String {
+    match c {
+        Cond::Lt(i, k) => format!("v{i} < {k}"),
+        Cond::Even(i) => format!("v{i} % 2 == 0"),
+        Cond::AndPair(i, j, k) => format!("v{i} < v{j} && v{j} != {k}"),
+    }
+}
+
+fn stmt_src(s: &S, depth: usize, out: &mut String) {
+    let pad = "    ".repeat(depth + 1);
+    match s {
+        S::Assign(i, e) => out.push_str(&format!("{pad}v{i} = {};\n", expr_src(e))),
+        S::Emit(i) => out.push_str(&format!("{pad}emit(v{i});\n")),
+        S::If(c, then_b, else_b) => {
+            out.push_str(&format!("{pad}if ({}) {{\n", cond_src(c)));
+            for st in then_b {
+                stmt_src(st, depth + 1, out);
+            }
+            out.push_str(&format!("{pad}}} else {{\n"));
+            for st in else_b {
+                stmt_src(st, depth + 1, out);
+            }
+            out.push_str(&format!("{pad}}}\n"));
+        }
+        S::Loop(k, body) => {
+            let l = format!("l{depth}");
+            out.push_str(&format!(
+                "{pad}for (var {l}: int = 0; {l} < {k}; {l} = {l} + 1) {{\n"
+            ));
+            for st in body {
+                stmt_src(st, depth + 1, out);
+            }
+            out.push_str(&format!("{pad}}}\n"));
+        }
+    }
+}
+
+fn program_src(stmts: &[S]) -> String {
+    let mut out = String::from("fn main(v0: int, v1: int, v2: int, v3: int) {\n");
+    for s in stmts {
+        stmt_src(s, 0, &mut out);
+    }
+    for i in 0..NVARS {
+        out.push_str(&format!("    emit(v{i});\n"));
+    }
+    out.push_str("}\n");
+    out
+}
+
+fn arb_expr() -> impl Strategy<Value = Ex> {
+    prop_oneof![
+        (-50i64..50).prop_map(Ex::Const),
+        (0..NVARS).prop_map(Ex::Var),
+        (0..NVARS, -20i64..20).prop_map(|(i, k)| Ex::Mul(i, k)),
+        (0..NVARS, 0..NVARS).prop_map(|(i, j)| Ex::Xor(i, j)),
+        (0..NVARS, (-50i64..50).prop_map(Ex::Const))
+            .prop_map(|(i, e)| Ex::Add(i, Box::new(e))),
+    ]
+}
+
+fn arb_cond() -> impl Strategy<Value = Cond> {
+    prop_oneof![
+        (0..NVARS, -20i64..20).prop_map(|(i, k)| Cond::Lt(i, k)),
+        (0..NVARS).prop_map(Cond::Even),
+        (0..NVARS, 0..NVARS, -9i64..9).prop_map(|(i, j, k)| Cond::AndPair(i, j, k)),
+    ]
+}
+
+fn arb_stmt() -> impl Strategy<Value = S> {
+    let leaf = prop_oneof![
+        (0..NVARS, arb_expr()).prop_map(|(i, e)| S::Assign(i, e)),
+        (0..NVARS).prop_map(S::Emit),
+    ];
+    leaf.prop_recursive(3, 24, 4, |inner| {
+        prop_oneof![
+            (
+                arb_cond(),
+                prop::collection::vec(inner.clone(), 1..3),
+                prop::collection::vec(inner.clone(), 0..3)
+            )
+                .prop_map(|(c, t, e)| S::If(c, t, e)),
+            (1u8..5, prop::collection::vec(inner, 1..3)).prop_map(|(k, b)| S::Loop(k, b)),
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn all_builds_agree(
+        stmts in prop::collection::vec(arb_stmt(), 1..6),
+        vars in prop::array::uniform4(-30i64..30),
+    ) {
+        let src = program_src(&stmts);
+        let inputs: Vec<Input> = vars.iter().map(|&v| Input::Int(v)).collect();
+
+        let base = compile(&src).expect("generated program compiles");
+        let reference = Vm::new(&base).run(&inputs).expect("base runs");
+
+        // Optimized.
+        let mut opt = base.clone();
+        Pipeline::standard().run(&mut opt);
+        prop_assert_eq!(opt.validate(), Ok(()));
+        let o = Vm::new(&opt).run(&inputs).expect("optimized runs");
+        prop_assert_eq!(&o.output, &reference.output, "optimizer changed behaviour\n{}", src);
+        prop_assert!(o.stats.total_instrs <= reference.stats.total_instrs);
+
+        // If-conversion off.
+        let plain = compile_with(
+            &src,
+            &CompileOptions { if_conversion: false, ..CompileOptions::default() },
+        )
+        .expect("compiles");
+        let p = Vm::new(&plain).run(&inputs).expect("plain runs");
+        prop_assert_eq!(&p.output, &reference.output, "if-conversion changed behaviour\n{}", src);
+
+        // Inlined (single function here, but the pass must be a no-op that
+        // stays valid).
+        let mut inl = base.clone();
+        Inliner::default().run(&mut inl);
+        prop_assert_eq!(inl.validate_inlined(), Ok(()));
+        let i = Vm::new(&inl).run(&inputs).expect("inlined runs");
+        prop_assert_eq!(&i.output, &reference.output);
+    }
+
+    #[test]
+    fn surviving_branch_counts_identical_across_builds(
+        stmts in prop::collection::vec(arb_stmt(), 1..6),
+        vars in prop::array::uniform4(-30i64..30),
+    ) {
+        let src = program_src(&stmts);
+        let inputs: Vec<Input> = vars.iter().map(|&v| Input::Int(v)).collect();
+        let base = compile(&src).expect("compiles");
+        let mut opt = base.clone();
+        Pipeline::standard().run(&mut opt);
+        let b = Vm::new(&base).run(&inputs).expect("runs");
+        let o = Vm::new(&opt).run(&inputs).expect("runs");
+        for id in opt.live_branches().keys() {
+            prop_assert_eq!(
+                b.stats.branches.get(*id),
+                o.stats.branches.get(*id),
+                "branch {:?} diverged\n{}", id, src
+            );
+        }
+    }
+}

@@ -1,0 +1,268 @@
+//! Property-based tests: differential testing of the compiler+VM against a
+//! Rust reference evaluator, LZW roundtrips on arbitrary data, and
+//! predictor/metric invariants on arbitrary branch statistics.
+
+use proptest::prelude::*;
+
+use fisher92::lang::compile;
+use fisher92::opt::Pipeline;
+use fisher92::predict::{evaluate, BreakConfig, Direction, Predictor};
+use fisher92::profile::{combine, CombineRule};
+use fisher92::vm::{BranchCounts, Input, RunStats, Vm};
+
+// ---------------------------------------------------------------------
+// Differential testing: random integer expressions evaluated by the guest
+// toolchain must match a Rust reference evaluator.
+// ---------------------------------------------------------------------
+
+/// A little expression AST we can both print as guest source and evaluate
+/// in Rust.
+#[derive(Clone, Debug)]
+enum E {
+    Lit(i64),
+    Var(usize),
+    Add(Box<E>, Box<E>),
+    Sub(Box<E>, Box<E>),
+    Mul(Box<E>, Box<E>),
+    And(Box<E>, Box<E>),
+    Or(Box<E>, Box<E>),
+    Xor(Box<E>, Box<E>),
+    Shl(Box<E>, u8),
+    Lt(Box<E>, Box<E>),
+    Neg(Box<E>),
+    Not(Box<E>),
+}
+
+impl E {
+    fn to_source(&self) -> String {
+        match self {
+            E::Lit(v) => {
+                if *v < 0 {
+                    format!("(0 - {})", -v)
+                } else {
+                    v.to_string()
+                }
+            }
+            E::Var(i) => format!("v{i}"),
+            E::Add(a, b) => format!("({} + {})", a.to_source(), b.to_source()),
+            E::Sub(a, b) => format!("({} - {})", a.to_source(), b.to_source()),
+            E::Mul(a, b) => format!("({} * {})", a.to_source(), b.to_source()),
+            E::And(a, b) => format!("({} & {})", a.to_source(), b.to_source()),
+            E::Or(a, b) => format!("({} | {})", a.to_source(), b.to_source()),
+            E::Xor(a, b) => format!("({} ^ {})", a.to_source(), b.to_source()),
+            E::Shl(a, s) => format!("({} << {s})", a.to_source()),
+            E::Lt(a, b) => format!("({} < {})", a.to_source(), b.to_source()),
+            E::Neg(a) => format!("(-{})", a.to_source()),
+            E::Not(a) => format!("(~{})", a.to_source()),
+        }
+    }
+
+    fn eval(&self, vars: &[i64]) -> i64 {
+        match self {
+            E::Lit(v) => *v,
+            E::Var(i) => vars[*i],
+            E::Add(a, b) => a.eval(vars).wrapping_add(b.eval(vars)),
+            E::Sub(a, b) => a.eval(vars).wrapping_sub(b.eval(vars)),
+            E::Mul(a, b) => a.eval(vars).wrapping_mul(b.eval(vars)),
+            E::And(a, b) => a.eval(vars) & b.eval(vars),
+            E::Or(a, b) => a.eval(vars) | b.eval(vars),
+            E::Xor(a, b) => a.eval(vars) ^ b.eval(vars),
+            E::Shl(a, s) => a.eval(vars).wrapping_shl(u32::from(*s)),
+            E::Lt(a, b) => i64::from(a.eval(vars) < b.eval(vars)),
+            E::Neg(a) => a.eval(vars).wrapping_neg(),
+            E::Not(a) => !a.eval(vars),
+        }
+    }
+}
+
+fn arb_expr() -> impl Strategy<Value = E> {
+    let leaf = prop_oneof![
+        (-1000i64..1000).prop_map(E::Lit),
+        (0usize..3).prop_map(E::Var),
+    ];
+    leaf.prop_recursive(4, 24, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| E::Add(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| E::Sub(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| E::Mul(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| E::And(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| E::Or(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| E::Xor(Box::new(a), Box::new(b))),
+            (inner.clone(), 0u8..63).prop_map(|(a, s)| E::Shl(Box::new(a), s)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| E::Lt(Box::new(a), Box::new(b))),
+            inner.clone().prop_map(|a| E::Neg(Box::new(a))),
+            inner.prop_map(|a| E::Not(Box::new(a))),
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn guest_expressions_match_reference(
+        e in arb_expr(),
+        vars in prop::array::uniform3(-1000i64..1000),
+    ) {
+        let src = format!(
+            "fn main(v0: int, v1: int, v2: int) {{ emit({}); }}",
+            e.to_source()
+        );
+        let program = compile(&src).expect("generated source compiles");
+        let inputs: Vec<Input> = vars.iter().map(|&v| Input::Int(v)).collect();
+        let run = Vm::new(&program).run(&inputs).expect("runs");
+        prop_assert_eq!(run.output_ints(), vec![e.eval(&vars)]);
+    }
+
+    #[test]
+    fn optimizer_preserves_random_expressions(
+        e in arb_expr(),
+        vars in prop::array::uniform3(-1000i64..1000),
+    ) {
+        let src = format!(
+            "fn main(v0: int, v1: int, v2: int) {{ emit({}); }}",
+            e.to_source()
+        );
+        let base = compile(&src).expect("compiles");
+        let mut opt = base.clone();
+        Pipeline::standard().run(&mut opt);
+        let inputs: Vec<Input> = vars.iter().map(|&v| Input::Int(v)).collect();
+        let b = Vm::new(&base).run(&inputs).expect("runs");
+        let o = Vm::new(&opt).run(&inputs).expect("runs optimized");
+        prop_assert_eq!(b.output, o.output);
+        prop_assert!(o.stats.total_instrs <= b.stats.total_instrs);
+    }
+}
+
+// ---------------------------------------------------------------------
+// LZW roundtrip on arbitrary byte strings, through the real guest program.
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn lzw_roundtrips_arbitrary_bytes(data in prop::collection::vec(0i64..256, 1..600)) {
+        let all = fisher92::workloads::suite();
+        let w = all.iter().find(|w| w.name == "compress").expect("compress");
+        let program = compile(&w.source).expect("compiles");
+        let n = data.len() as i64;
+        let codes = Vm::new(&program)
+            .run(&[Input::Ints(data.clone()), Input::Int(n), Input::Int(0)])
+            .expect("compresses")
+            .output_ints();
+        let back = Vm::new(&program)
+            .run(&[
+                Input::Ints(codes.clone()),
+                Input::Int(codes.len() as i64),
+                Input::Int(1),
+            ])
+            .expect("decompresses")
+            .output_ints();
+        prop_assert_eq!(back, data);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Predictor and metric invariants on arbitrary branch statistics.
+// ---------------------------------------------------------------------
+
+fn arb_counts() -> impl Strategy<Value = BranchCounts> {
+    prop::collection::vec((0u32..40, 0u64..2000, 0u64..2000), 0..30).prop_map(|entries| {
+        entries
+            .into_iter()
+            .map(|(id, e, t)| {
+                let e = e.max(t); // taken <= executed
+                (fisher92::ir::BranchId(id), e, t)
+            })
+            .collect()
+    })
+}
+
+fn stats_from(counts: &BranchCounts, instrs: u64) -> RunStats {
+    RunStats {
+        total_instrs: instrs,
+        branches: counts.clone(),
+        events: Default::default(),
+        pixie: Default::default(),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn self_prediction_is_optimal(counts in arb_counts(), other in arb_counts()) {
+        let stats = stats_from(&counts, 1_000_000);
+        let cfg = BreakConfig::fig2();
+        let self_p = Predictor::from_counts(&counts, Direction::NotTaken);
+        let other_p = Predictor::from_counts(&other, Direction::NotTaken);
+        let self_m = evaluate(&stats, &self_p, cfg);
+        let other_m = evaluate(&stats, &other_p, cfg);
+        prop_assert!(self_m.mispredicted <= other_m.mispredicted);
+        // And equals the sum of minority sides.
+        let expected: u64 = counts.iter().map(|(_, e, t)| t.min(e - t)).sum();
+        prop_assert_eq!(self_m.mispredicted, expected);
+    }
+
+    #[test]
+    fn mispredicts_bounded_by_executions(counts in arb_counts(), other in arb_counts()) {
+        let stats = stats_from(&counts, 500);
+        let p = Predictor::from_counts(&other, Direction::Taken);
+        let m = evaluate(&stats, &p, BreakConfig::fig2());
+        prop_assert!(m.mispredicted <= m.branch_execs);
+        prop_assert!((0.0..=1.0).contains(&m.correct_fraction()));
+        prop_assert!(m.instrs_per_break.is_finite());
+        prop_assert!(m.instrs_per_break > 0.0);
+    }
+
+    #[test]
+    fn flipping_a_predictor_complements_mispredicts(counts in arb_counts()) {
+        let stats = stats_from(&counts, 1000);
+        let cfg = BreakConfig::fig2();
+        let taken = evaluate(&stats, &Predictor::always(Direction::Taken), cfg);
+        let not = evaluate(&stats, &Predictor::always(Direction::NotTaken), cfg);
+        prop_assert_eq!(taken.mispredicted + not.mispredicted, stats.branches.total_executed());
+    }
+
+    #[test]
+    fn combination_rules_agree_on_single_profile(counts in arb_counts()) {
+        let scaled = combine(&[&counts], CombineRule::Scaled);
+        let unscaled = combine(&[&counts], CombineRule::Unscaled);
+        let pa = Predictor::from_weighted(&scaled, Direction::NotTaken);
+        let pb = Predictor::from_weighted(&unscaled, Direction::NotTaken);
+        prop_assert_eq!(pa, pb);
+    }
+
+    #[test]
+    fn combination_is_order_invariant(a in arb_counts(), b in arb_counts(), c in arb_counts()) {
+        for rule in [CombineRule::Scaled, CombineRule::Unscaled, CombineRule::Polling] {
+            let ab = combine(&[&a, &b, &c], rule);
+            let ba = combine(&[&c, &a, &b], rule);
+            for (id, e, t) in ab.iter() {
+                let (e2, t2) = ba.get(id);
+                prop_assert!((e - e2).abs() < 1e-9);
+                prop_assert!((t - t2).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn directives_roundtrip_arbitrary_counts(taken_counts in prop::collection::vec((0u64..1000, 0u64..1000), 1..6)) {
+        use fisher92::profile::directives;
+        // Build a program with as many branches as entries.
+        let mut body = String::new();
+        for i in 0..taken_counts.len() {
+            body.push_str(&format!("if (x > {i}) {{ emit({i}); }}\n"));
+        }
+        let src = format!("fn main(x: int) {{\n{body}}}");
+        let program = compile(&src).expect("compiles");
+        let mut counts = BranchCounts::new();
+        for (i, (t, nt)) in taken_counts.iter().enumerate() {
+            counts.add(fisher92::ir::BranchId(i as u32), t + nt, *t);
+        }
+        let text = directives::write_directives(&program, &counts);
+        let parsed = directives::parse_directives(&program, &text).expect("parses");
+        prop_assert_eq!(parsed, counts);
+    }
+}
