@@ -36,7 +36,11 @@ fn bench_combination_rules(c: &mut Criterion) {
     c.bench_function("ablate_combination_rules", |b| {
         b.iter(|| {
             let mut acc = 0.0;
-            for rule in [CombineRule::Scaled, CombineRule::Unscaled, CombineRule::Polling] {
+            for rule in [
+                CombineRule::Scaled,
+                CombineRule::Unscaled,
+                CombineRule::Polling,
+            ] {
                 for i in 0..gcc.runs.len() {
                     acc += experiment::loo_metrics(&gcc.runs, i, rule, BreakConfig::fig2())
                         .instrs_per_break;
@@ -55,8 +59,7 @@ fn bench_heuristic(c: &mut Criterion) {
         b.iter(|| {
             let mut acc = 0.0;
             for run in &gcc.runs {
-                acc += evaluate(&run.stats, &gcc.heuristic, BreakConfig::fig2())
-                    .instrs_per_break;
+                acc += evaluate(&run.stats, &gcc.heuristic, BreakConfig::fig2()).instrs_per_break;
                 acc += experiment::self_metrics(run, BreakConfig::fig2()).instrs_per_break;
             }
             black_box(acc)
@@ -87,10 +90,7 @@ fn main(tape: [int], n: int) {
 
 fn bench_switch_lowering(c: &mut Criterion) {
     let tape: Vec<i64> = (0..60_000).map(|i: i64| (i * 7 + i / 13) % 9).collect();
-    let inputs = [
-        Input::Ints(tape.clone()),
-        Input::Int(tape.len() as i64),
-    ];
+    let inputs = [Input::Ints(tape.clone()), Input::Int(tape.len() as i64)];
     let cascade = compile_with(DISPATCHER, &CompileOptions::default()).expect("compiles");
     let table = compile_with(
         DISPATCHER,
@@ -155,8 +155,8 @@ fn bench_inlining_accounting(c: &mut Criterion) {
             let mut acc = 0.0;
             for run in &doduc.runs {
                 acc += experiment::self_metrics(run, BreakConfig::fig2()).instrs_per_break;
-                acc += experiment::self_metrics(run, BreakConfig::fig2_with_calls())
-                    .instrs_per_break;
+                acc +=
+                    experiment::self_metrics(run, BreakConfig::fig2_with_calls()).instrs_per_break;
             }
             black_box(acc)
         })

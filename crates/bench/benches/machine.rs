@@ -49,7 +49,13 @@ fn bench_vm_throughput(c: &mut Criterion) {
     g.throughput(Throughput::Elements(instrs));
     g.sample_size(10);
     g.bench_function("doduc_tiny_guest_instrs", |b| {
-        b.iter(|| black_box(Vm::new(&program).run(black_box(&tiny.inputs)).expect("runs")))
+        b.iter(|| {
+            black_box(
+                Vm::new(&program)
+                    .run(black_box(&tiny.inputs))
+                    .expect("runs"),
+            )
+        })
     });
     g.finish();
 }

@@ -2,23 +2,123 @@
 //! (ASPLOS 1992) from the reproduced system.
 //!
 //! ```text
-//! repro            # everything
-//! repro --table1   # just Table 1
-//! repro --fig2     # just Figure 2a/2b
+//! repro                      # everything, in parallel, cached
+//! repro --table1             # just Table 1
+//! repro --fig2 --jobs 8      # just Figure 2a/2b, eight workers
+//! repro --json-metrics m.json --no-cache
 //! ```
 //!
 //! Build with `--release`; the full matrix executes a few hundred million
-//! guest instructions.
+//! guest instructions. Runs go through the mfharness scheduler: repeats
+//! are served from `target/mfharness-cache/` (delete the directory or
+//! pass `--no-cache` for a cold start), and a scheduler/cache summary is
+//! printed at the end.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
 
 use mfbench::{
-    collect, combination_table, coverage_table, crossmode_table, distribution_table,
-    dynamic_table, fig1_chart, fig2_chart, fig2_rows, fig3_chart, fig3_rows, heuristic_table,
-    inlining_table, percent_correct_table, percent_taken_table, selects_table, table1, table2,
-    table3, SuiteRuns,
+    collect, combination_table, configure_harness, coverage_table, crossmode_table,
+    distribution_table, dynamic_table, fig1_chart, fig2_chart, fig2_rows, fig3_chart, fig3_rows,
+    harness, heuristic_table, inlining_table, percent_correct_table, percent_taken_table,
+    selects_table, table1, table2, table3, SuiteRuns,
 };
+use mfharness::{DiskCache, HarnessOptions};
 use mfwork::Group;
 
 const WIDTH: usize = 60;
+
+/// Section-selecting flags, in print order.
+const SECTIONS: &[&str] = &[
+    "--table1",
+    "--table2",
+    "--table3",
+    "--fig1",
+    "--fig2",
+    "--fig3",
+    "--correct",
+    "--taken",
+    "--combine",
+    "--heuristic",
+    "--selects",
+    "--crossmode",
+    "--coverage",
+    "--dynamic",
+    "--inline",
+    "--distribution",
+];
+
+const USAGE: &str = "\
+usage: repro [SECTION...] [OPTION...]
+
+sections (default: all):
+  --table1 --table2 --table3 --fig1 --fig2 --fig3
+  --correct --taken --combine --heuristic --selects --crossmode
+  --coverage --dynamic --inline --distribution
+
+options:
+  --jobs N            worker threads (default: MFHARNESS_JOBS or
+                      available parallelism, clamped to 8)
+  --json-metrics PATH write the harness report (timings, cache hits,
+                      utilization) as JSON to PATH
+  --no-cache          skip the persistent cache (target/mfharness-cache/)
+  -h, --help          this message";
+
+struct Options {
+    sections: Vec<String>,
+    jobs: Option<usize>,
+    json_metrics: Option<PathBuf>,
+    no_cache: bool,
+}
+
+fn usage_error(message: &str) -> ExitCode {
+    eprintln!("repro: {message}\n{USAGE}");
+    ExitCode::from(2)
+}
+
+fn parse_args(args: &[String]) -> Result<Option<Options>, String> {
+    let mut options = Options {
+        sections: Vec::new(),
+        jobs: None,
+        json_metrics: None,
+        no_cache: false,
+    };
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        let (flag, inline_value) = match arg.split_once('=') {
+            Some((f, v)) => (f, Some(v.to_string())),
+            None => (arg.as_str(), None),
+        };
+        let value = |iter: &mut std::slice::Iter<String>| -> Result<String, String> {
+            match inline_value.clone().or_else(|| iter.next().cloned()) {
+                Some(v) => Ok(v),
+                None => Err(format!("{flag} requires a value")),
+            }
+        };
+        match flag {
+            "-h" | "--help" => return Ok(None),
+            "--jobs" => {
+                let v = value(&mut iter)?;
+                let n: usize = v
+                    .parse()
+                    .map_err(|_| format!("--jobs expects a positive integer, got '{v}'"))?;
+                if n == 0 {
+                    return Err("--jobs must be at least 1".to_string());
+                }
+                options.jobs = Some(n);
+            }
+            "--json-metrics" => {
+                options.json_metrics = Some(PathBuf::from(value(&mut iter)?));
+            }
+            "--no-cache" => options.no_cache = true,
+            _ if inline_value.is_none() && SECTIONS.contains(&flag) => {
+                options.sections.push(flag.to_string());
+            }
+            _ => return Err(format!("unknown flag '{arg}'")),
+        }
+    }
+    Ok(Some(options))
+}
 
 fn section(title: &str) {
     println!(
@@ -27,25 +127,37 @@ fn section(title: &str) {
     );
 }
 
-fn main() {
+fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let want = |flag: &str| args.is_empty() || args.iter().any(|a| a == flag);
+    let options = match parse_args(&args) {
+        Ok(Some(options)) => options,
+        Ok(None) => {
+            println!("{USAGE}");
+            return ExitCode::SUCCESS;
+        }
+        Err(message) => return usage_error(&message),
+    };
 
-    if args.iter().any(|a| a == "--help" || a == "-h") {
-        println!(
-            "usage: repro [--table1] [--table2] [--table3] [--fig1] [--fig2] [--fig3]\n\
-             \x20            [--taken] [--combine] [--heuristic] [--selects] [--crossmode]\n\
-             \x20            [--correct] [--dynamic] [--inline]\n\
-             with no flags, everything is regenerated."
-        );
-        return;
+    // CLI flags override the MFHARNESS_* environment knobs, which in turn
+    // override the built-in defaults.
+    let mut harness_options = HarnessOptions::from_env();
+    if options.jobs.is_some() {
+        harness_options.jobs = options.jobs;
     }
+    if options.no_cache {
+        harness_options.disk_cache = DiskCache::Off;
+    }
+    configure_harness(harness_options);
+    let want =
+        |flag: &str| options.sections.is_empty() || options.sections.iter().any(|s| s == flag);
 
     if want("--table2") {
         section("Table 2: programs and datasets");
         print!("{}", table2().render());
-        if args.iter().any(|a| a == "--table2") && args.len() == 1 {
-            return;
+        if options.sections == ["--table2"] {
+            // Nothing ran, but --json-metrics still deserves a (zeroed)
+            // report — and a failure exit if the path is unwritable.
+            return write_json_metrics(&options);
         }
     }
 
@@ -157,4 +269,29 @@ fn main() {
         section("Run lengths between mispredicted branches are not evenly spaced");
         print!("{}", distribution_table().render());
     }
+
+    let report = harness().report();
+    section("Harness: scheduler and cache summary");
+    print!("{}", report.summary_table().render());
+    if let Some(dir) = harness().cache_dir() {
+        println!(
+            "(persistent cache: {}; delete it or pass --no-cache for a cold run)",
+            dir.display()
+        );
+    }
+    write_json_metrics(&options)
+}
+
+/// Writes the harness report to `--json-metrics` (when requested) and turns
+/// a write failure into a failing exit code.
+fn write_json_metrics(options: &Options) -> ExitCode {
+    if let Some(path) = &options.json_metrics {
+        let report = harness().report();
+        if let Err(e) = std::fs::write(path, report.to_json()) {
+            eprintln!("repro: writing {} failed: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+        eprintln!("wrote harness metrics to {}", path.display());
+    }
+    ExitCode::SUCCESS
 }

@@ -10,12 +10,24 @@
 //!
 //! The `repro` binary prints everything; the Criterion benches under
 //! `benches/` time each experiment's computation.
+//!
+//! All guest execution is routed through one process-global
+//! [`mfharness::Harness`]: runs are deduplicated by content key, repeats
+//! are served from the cache, and misses execute on a work-stealing pool.
+//! Results come back in submission order, so every table and figure is
+//! bit-identical to the serial reference path ([`collect_serial`]) at any
+//! worker count.
+
+use std::sync::{Arc, OnceLock};
 
 use bpredict::experiment::{self, DatasetRun};
 use bpredict::{evaluate, evaluate_unpredicted, BreakConfig, Metrics, Predictor};
 use ifprob::CombineRule;
+use mfharness::{Harness, HarnessOptions, RunJob};
 use mfreport::{fmt_percent, fmt_value, BarChart, Table};
 use mfwork::{suite, Group, Workload};
+use trace_ir::Program;
+use trace_vm::VmConfig;
 
 /// One workload's collected experiment data.
 #[derive(Clone, Debug)]
@@ -52,7 +64,130 @@ impl SuiteRuns {
     }
 }
 
-fn collect_workload(w: &Workload) -> WorkloadRuns {
+// --------------------------------------------------------------------
+// The process-global execution harness
+// --------------------------------------------------------------------
+
+static HARNESS: OnceLock<Harness> = OnceLock::new();
+
+/// Installs the process-global harness with explicit options (worker
+/// count, cache mode). Must be called before the first run executes;
+/// returns `false` if a harness was already installed (the call is then a
+/// no-op).
+pub fn configure_harness(options: HarnessOptions) -> bool {
+    HARNESS.set(Harness::new(options)).is_ok()
+}
+
+/// The process-global harness every measured run goes through. Created
+/// from the environment (`MFHARNESS_JOBS`, `MFHARNESS_CACHE`) on first
+/// use unless [`configure_harness`] installed one earlier.
+pub fn harness() -> &'static Harness {
+    HARNESS.get_or_init(Harness::from_env)
+}
+
+/// A workload with its compiled artifacts, ready to submit.
+struct Prepared {
+    workload: Workload,
+    program: Arc<Program>,
+    optimized: Arc<Program>,
+    heuristic: Predictor,
+}
+
+fn prepare(workload: Workload) -> Prepared {
+    let program = Arc::new(workload.compile().expect("bundled workload compiles"));
+    let optimized = Arc::new(
+        workload
+            .compile_optimized()
+            .expect("bundled workload optimizes"),
+    );
+    let heuristic = Predictor::heuristic(&program);
+    Prepared {
+        workload,
+        program,
+        optimized,
+        heuristic,
+    }
+}
+
+/// Submits the whole batch — every dataset of every prepared workload,
+/// plus each workload's optimized build on its first dataset — and
+/// assembles per-workload results in submission order.
+fn collect_prepared(h: &Harness, prepared: Vec<Prepared>) -> SuiteRuns {
+    let mut jobs = Vec::new();
+    for p in &prepared {
+        for d in &p.workload.datasets {
+            jobs.push(RunJob::from_workload(&p.workload, &p.program, d));
+        }
+        let first = &p.workload.datasets[0];
+        jobs.push(RunJob::new(
+            format!("{}:optimized", p.workload.name),
+            first.name.clone(),
+            Arc::clone(&p.optimized),
+            first.inputs.clone(),
+            p.workload.vm_config(),
+        ));
+    }
+    let outcomes = h.run(jobs).unwrap_or_else(|e| panic!("{e}"));
+    let mut outcomes = outcomes.into_iter();
+    let mut workloads = Vec::with_capacity(prepared.len());
+    for p in prepared {
+        let mut runs = Vec::with_capacity(p.workload.datasets.len());
+        for d in &p.workload.datasets {
+            let outcome = outcomes.next().expect("one outcome per dataset job");
+            runs.push(DatasetRun::new(d.name.clone(), (*outcome.stats).clone()));
+        }
+        let opt = outcomes.next().expect("one outcome per optimized job");
+        let base_instrs_first = runs[0].stats.total_instrs;
+        let select_ratio = runs[0].stats.select_ratio();
+        workloads.push(WorkloadRuns {
+            name: p.workload.name.to_string(),
+            group: p.workload.group,
+            runs,
+            opt_instrs_first: opt.stats.total_instrs,
+            base_instrs_first,
+            select_ratio,
+            heuristic: p.heuristic,
+        });
+    }
+    SuiteRuns { workloads }
+}
+
+/// Runs every workload on every dataset (the expensive step — everything
+/// downstream is analytic) through the process-global harness.
+pub fn collect() -> SuiteRuns {
+    collect_with(harness())
+}
+
+/// [`collect`] through an explicit harness (tests use this to pin worker
+/// counts and cache modes).
+pub fn collect_with(h: &Harness) -> SuiteRuns {
+    collect_prepared(h, suite().into_iter().map(prepare).collect())
+}
+
+/// Runs a named subset (used by tests and the quick bench profile).
+pub fn collect_subset(names: &[&str]) -> SuiteRuns {
+    collect_subset_with(harness(), names)
+}
+
+/// [`collect_subset`] through an explicit harness.
+pub fn collect_subset_with(h: &Harness, names: &[&str]) -> SuiteRuns {
+    collect_prepared(
+        h,
+        suite()
+            .into_iter()
+            .filter(|w| names.contains(&w.name))
+            .map(prepare)
+            .collect(),
+    )
+}
+
+// --------------------------------------------------------------------
+// The serial reference path. This is the seed's original collection
+// loop, kept verbatim as the ground truth the harness must match
+// bit-for-bit (see the equivalence tests).
+// --------------------------------------------------------------------
+
+fn collect_workload_serial(w: &Workload) -> WorkloadRuns {
     let program = w.compile().expect("bundled workload compiles");
     let optimized = w.compile_optimized().expect("bundled workload optimizes");
     let heuristic = Predictor::heuristic(&program);
@@ -80,21 +215,20 @@ fn collect_workload(w: &Workload) -> WorkloadRuns {
     }
 }
 
-/// Runs every workload on every dataset (the expensive step — everything
-/// downstream is analytic).
-pub fn collect() -> SuiteRuns {
+/// [`collect`] without the harness: one thread, no cache, no dedup.
+pub fn collect_serial() -> SuiteRuns {
     SuiteRuns {
-        workloads: suite().iter().map(collect_workload).collect(),
+        workloads: suite().iter().map(collect_workload_serial).collect(),
     }
 }
 
-/// Runs a named subset (used by tests and the quick bench profile).
-pub fn collect_subset(names: &[&str]) -> SuiteRuns {
+/// [`collect_subset`] without the harness.
+pub fn collect_subset_serial(names: &[&str]) -> SuiteRuns {
     SuiteRuns {
         workloads: suite()
             .iter()
             .filter(|w| names.contains(&w.name))
-            .map(collect_workload)
+            .map(collect_workload_serial)
             .collect(),
     }
 }
@@ -357,7 +491,11 @@ pub fn percent_taken_table(s: &SuiteRuns) -> Table {
                 w.name.clone(),
                 run.dataset.clone(),
                 pt,
-                if i == 0 { spread.clone() } else { String::new() },
+                if i == 0 {
+                    spread.clone()
+                } else {
+                    String::new()
+                },
             ]);
         }
     }
@@ -374,9 +512,8 @@ pub fn combination_table(s: &SuiteRuns) -> Table {
             continue;
         }
         for i in 0..w.runs.len() {
-            let m = |rule| {
-                fmt_value(experiment::loo_metrics(&w.runs, i, rule, cfg).instrs_per_break)
-            };
+            let m =
+                |rule| fmt_value(experiment::loo_metrics(&w.runs, i, rule, cfg).instrs_per_break);
             t.row_owned(vec![
                 w.name.clone(),
                 w.runs[i].dataset.clone(),
@@ -465,11 +602,44 @@ pub fn crossmode_table(s: &SuiteRuns) -> Option<Table> {
 /// A profile-seeded 2-bit hybrid is included (feedback sets the initial
 /// counter state, hardware adapts).
 ///
+/// Batches traced jobs for `pairs` through `h` (full runs are required —
+/// the branch trace never goes to the disk tier). The traced pairs shared
+/// by [`dynamic_table`] and [`distribution_table`] execute once.
+fn traced_runs(
+    h: &Harness,
+    pairs: &[(&'static str, &'static str)],
+) -> Vec<((&'static str, &'static str), mfharness::RunOutcome)> {
+    let all = suite();
+    let vm_cfg = VmConfig {
+        record_branch_trace: true,
+        ..VmConfig::default()
+    };
+    let mut selected = Vec::new();
+    let mut jobs = Vec::new();
+    for &(prog, dataset) in pairs {
+        let Some(w) = all.iter().find(|w| w.name == prog) else {
+            continue;
+        };
+        let Some(d) = w.dataset(dataset) else {
+            continue;
+        };
+        let program = Arc::new(w.compile().expect("bundled workload compiles"));
+        jobs.push(RunJob::new(prog, dataset, program, d.inputs.clone(), vm_cfg).needing_run());
+        selected.push((prog, dataset));
+    }
+    let outcomes = h.run(jobs).unwrap_or_else(|e| panic!("{e}"));
+    selected.into_iter().zip(outcomes).collect()
+}
+
 /// Runs a fixed set of small program×dataset pairs (traces are recorded in
 /// full, so inputs are kept modest).
 pub fn dynamic_table() -> Table {
+    dynamic_table_with(harness())
+}
+
+/// [`dynamic_table`] through an explicit harness.
+pub fn dynamic_table_with(h: &Harness) -> Table {
     use bpredict::dynamic::{simulate, simulate_seeded, DynamicScheme};
-    use trace_vm::{Vm, VmConfig};
 
     let pairs = [
         ("doduc", "tiny"),
@@ -481,7 +651,6 @@ pub fn dynamic_table() -> Table {
         ("mfcom", "c_metric"),
     ];
     let cfg = BreakConfig::fig2();
-    let all = suite();
     let mut t = Table::new(&[
         "PROGRAM/DATASET",
         "STATIC SELF",
@@ -491,22 +660,10 @@ pub fn dynamic_table() -> Table {
         "I/B STATIC",
         "I/B 2-BIT",
     ]);
-    for (prog, dataset) in pairs {
-        let Some(w) = all.iter().find(|w| w.name == prog) else {
-            continue;
-        };
-        let Some(d) = w.dataset(dataset) else { continue };
-        let program = w.compile().expect("bundled workload compiles");
-        let vm_cfg = VmConfig {
-            record_branch_trace: true,
-            ..VmConfig::default()
-        };
-        let run = Vm::with_config(&program, vm_cfg)
-            .run(&d.inputs)
-            .expect("bundled workload runs");
+    for ((prog, dataset), outcome) in traced_runs(h, &pairs) {
+        let run = outcome.run();
 
-        let self_pred =
-            Predictor::from_counts(&run.stats.branches, bpredict::Direction::NotTaken);
+        let self_pred = Predictor::from_counts(&run.stats.branches, bpredict::Direction::NotTaken);
         let static_m = evaluate(&run.stats, &self_pred, cfg);
         let one = simulate(
             &run.branch_trace,
@@ -545,8 +702,12 @@ pub fn dynamic_table() -> Table {
 /// not be constant"): percentiles of instructions between mispredicts
 /// under self-prediction, showing how unevenly the breaks fall.
 pub fn distribution_table() -> Table {
+    distribution_table_with(harness())
+}
+
+/// [`distribution_table`] through an explicit harness.
+pub fn distribution_table_with(h: &Harness) -> Table {
     use bpredict::dynamic::mispredict_gaps;
-    use trace_vm::{Vm, VmConfig};
 
     let pairs = [
         ("doduc", "tiny"),
@@ -556,7 +717,6 @@ pub fn distribution_table() -> Table {
         ("spiff", "case1"),
         ("espresso", "ti"),
     ];
-    let all = suite();
     let mut t = Table::new(&[
         "PROGRAM/DATASET",
         "MEAN",
@@ -566,21 +726,8 @@ pub fn distribution_table() -> Table {
         "MAX",
         "P90/P10",
     ]);
-    for (prog, dataset) in pairs {
-        let Some(w) = all.iter().find(|w| w.name == prog) else {
-            continue;
-        };
-        let Some(d) = w.dataset(dataset) else { continue };
-        let program = w.compile().expect("bundled workload compiles");
-        let run = Vm::with_config(
-            &program,
-            VmConfig {
-                record_branch_trace: true,
-                ..VmConfig::default()
-            },
-        )
-        .run(&d.inputs)
-        .expect("bundled workload runs");
+    for ((prog, dataset), outcome) in traced_runs(h, &pairs) {
+        let run = outcome.run();
         let p = Predictor::from_counts(&run.stats.branches, bpredict::Direction::NotTaken);
         let g = mispredict_gaps(&run.branch_trace, &p);
         let spread = if g.p10 > 0 {
@@ -605,8 +752,14 @@ pub fn distribution_table() -> Table {
 /// per executed call. Compare instrs/break with calls counted, before and
 /// after the `mfopt` inliner, on a subset of programs.
 pub fn inlining_table() -> Table {
+    inlining_table_with(harness())
+}
+
+/// [`inlining_table`] through an explicit harness. Base and inlined
+/// builds are distinct IR, hence distinct run keys — both are submitted
+/// in one batch and execute in parallel.
+pub fn inlining_table_with(h: &Harness) -> Table {
     use mfopt::Inliner;
-    use trace_vm::Vm;
 
     let cfg = BreakConfig::fig2_with_calls();
     let all = suite();
@@ -617,6 +770,8 @@ pub fn inlining_table() -> Table {
         "CALLS BEFORE",
         "CALLS AFTER",
     ]);
+    let mut selected = Vec::new();
+    let mut jobs = Vec::new();
     for (prog, dataset) in [
         ("doduc", "tiny"),
         ("gcc", "loop_mod"),
@@ -627,12 +782,32 @@ pub fn inlining_table() -> Table {
         let Some(w) = all.iter().find(|w| w.name == prog) else {
             continue;
         };
-        let Some(d) = w.dataset(dataset) else { continue };
-        let base = w.compile().expect("compiles");
-        let mut inlined = base.clone();
+        let Some(d) = w.dataset(dataset) else {
+            continue;
+        };
+        let base = Arc::new(w.compile().expect("compiles"));
+        let mut inlined = (*base).clone();
         Inliner::default().run(&mut inlined);
-        let base_run = Vm::new(&base).run(&d.inputs).expect("runs");
-        let in_run = Vm::new(&inlined).run(&d.inputs).expect("runs inlined");
+        let config = VmConfig::default();
+        jobs.push(RunJob::new(prog, dataset, base, d.inputs.clone(), config).needing_run());
+        jobs.push(
+            RunJob::new(
+                format!("{prog}:inlined"),
+                dataset,
+                Arc::new(inlined),
+                d.inputs.clone(),
+                config,
+            )
+            .needing_run(),
+        );
+        selected.push((prog, dataset));
+    }
+    let outcomes = h.run(jobs).unwrap_or_else(|e| panic!("{e}"));
+    let mut outcomes = outcomes.into_iter();
+    for (prog, dataset) in selected {
+        let base_run = outcomes.next().expect("base outcome");
+        let in_run = outcomes.next().expect("inlined outcome");
+        let (base_run, in_run) = (base_run.run(), in_run.run());
         assert_eq!(base_run.output, in_run.output, "{prog}: inlining broke it");
         let m = |stats: &trace_vm::RunStats| {
             let p = Predictor::from_counts(&stats.branches, bpredict::Direction::NotTaken);
@@ -717,11 +892,22 @@ pub fn percent_correct_table(s: &SuiteRuns) -> Table {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::OnceLock;
+    use mfharness::DiskCache;
+
+    const QUICK: &[&str] = &["doduc", "spiff", "mfcom"];
+
+    fn test_harness(jobs: usize) -> Harness {
+        Harness::new(HarnessOptions {
+            jobs: Some(jobs),
+            disk_cache: DiskCache::Off,
+        })
+    }
 
     fn quick() -> &'static SuiteRuns {
         static RUNS: OnceLock<SuiteRuns> = OnceLock::new();
-        RUNS.get_or_init(|| collect_subset(&["doduc", "spiff", "mfcom"]))
+        // An isolated in-memory harness: tests must not read or write the
+        // persistent cache under target/.
+        RUNS.get_or_init(|| collect_subset_with(&test_harness(4), QUICK))
     }
 
     #[test]
@@ -793,6 +979,56 @@ mod tests {
         assert!(text.contains("Figure 1a"));
     }
 
+    /// The scheduler must be invisible in the science: the same subset
+    /// collected serially (the seed's original loop), on one worker, and
+    /// on eight workers yields byte-identical figure rows and tables.
+    #[test]
+    fn worker_count_does_not_change_results() {
+        let serial = collect_subset_serial(QUICK);
+        let one = collect_subset_with(&test_harness(1), QUICK);
+        let eight = collect_subset_with(&test_harness(8), QUICK);
+
+        for group in [Group::FortranFp, Group::CInteger] {
+            assert_eq!(fig1_rows(&serial, group), fig1_rows(&one, group));
+            assert_eq!(fig1_rows(&one, group), fig1_rows(&eight, group));
+        }
+        for spice_only in [true, false] {
+            assert_eq!(fig2_rows(&serial, spice_only), fig2_rows(&one, spice_only));
+            assert_eq!(fig2_rows(&one, spice_only), fig2_rows(&eight, spice_only));
+            assert_eq!(fig3_rows(&one, spice_only), fig3_rows(&eight, spice_only));
+        }
+        assert_eq!(table1(&serial).render(), table1(&one).render());
+        assert_eq!(table1(&one).render(), table1(&eight).render());
+        assert_eq!(table3(&one).render(), table3(&eight).render());
+        assert_eq!(
+            heuristic_table(&one).render(),
+            heuristic_table(&eight).render()
+        );
+        assert_eq!(
+            percent_taken_table(&serial).render(),
+            percent_taken_table(&eight).render()
+        );
+    }
+
+    /// Re-collecting through the same harness is served entirely from the
+    /// memo table: no new executions, identical results.
+    #[test]
+    fn recollection_hits_the_cache() {
+        let h = test_harness(4);
+        let first = collect_subset_with(&h, QUICK);
+        let computed_after_first = h.report().computed();
+        let second = collect_subset_with(&h, QUICK);
+        let report = h.report();
+        assert_eq!(
+            report.computed(),
+            computed_after_first,
+            "second collection must not execute anything"
+        );
+        assert!(report.cache.mem_hits > 0);
+        assert_eq!(table1(&first).render(), table1(&second).render());
+        assert_eq!(fig2_rows(&first, false), fig2_rows(&second, false));
+    }
+
     #[test]
     fn coverage_table_renders() {
         let t = coverage_table(quick());
@@ -808,21 +1044,28 @@ mod tests {
     #[test]
     #[ignore = "runs several traced workloads; covered by the release harness"]
     fn dynamic_table_renders() {
-        let t = dynamic_table();
+        let t = dynamic_table_with(&test_harness(4));
         assert!(t.len() >= 5);
     }
 
     #[test]
     #[ignore = "runs inlined workload builds; covered by the release harness"]
     fn inlining_table_renders() {
-        let t = inlining_table();
+        let t = inlining_table_with(&test_harness(4));
         assert!(t.len() >= 4);
     }
 
     #[test]
     #[ignore = "runs several traced workloads; covered by the release harness"]
     fn distribution_table_renders() {
-        let t = distribution_table();
+        let h = test_harness(4);
+        let t = distribution_table_with(&h);
         assert!(t.len() >= 4);
+        // Its traced pairs are a subset of dynamic_table's; running that
+        // next reuses every shared run.
+        let before = h.report().computed();
+        let _ = dynamic_table_with(&h);
+        let after = h.report().computed();
+        assert_eq!(after - before, 1, "only mfcom/c_metric is new");
     }
 }

@@ -181,7 +181,7 @@ mod tests {
         let runs = [
             run("a", 10_000, &[(0, 100, 90), (1, 50, 5)]),
             run("b", 10_000, &[(0, 100, 10), (1, 50, 45)]), // opposite directions
-            run("c", 10_000, &[(0, 100, 95), (1, 50, 2)]), // agrees with a
+            run("c", 10_000, &[(0, 100, 95), (1, 50, 2)]),  // agrees with a
         ];
         let cfg = BreakConfig::fig2();
         for i in 0..runs.len() {

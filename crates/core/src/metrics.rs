@@ -103,11 +103,7 @@ mod tests {
     use trace_ir::BranchId;
     use trace_vm::{BranchCounts, BreakEvents};
 
-    fn stats(
-        instrs: u64,
-        branches: &[(u32, u64, u64)],
-        events: BreakEvents,
-    ) -> RunStats {
+    fn stats(instrs: u64, branches: &[(u32, u64, u64)], events: BreakEvents) -> RunStats {
         RunStats {
             total_instrs: instrs,
             branches: branches

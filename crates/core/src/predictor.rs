@@ -61,14 +61,15 @@ impl Predictor {
     pub fn from_weighted(counts: &WeightedCounts, default: Direction) -> Self {
         let map = counts
             .iter()
-            .filter(|&(_id, e, _t)| e > 0.0).map(|(id, e, t)| {
-                    let dir = if t / e >= 0.5 {
-                        Direction::Taken
-                    } else {
-                        Direction::NotTaken
-                    };
-                    (id, dir)
-                })
+            .filter(|&(_id, e, _t)| e > 0.0)
+            .map(|(id, e, t)| {
+                let dir = if t / e >= 0.5 {
+                    Direction::Taken
+                } else {
+                    Direction::NotTaken
+                };
+                (id, dir)
+            })
             .collect();
         Predictor { map, default }
     }
@@ -165,7 +166,10 @@ mod tests {
 
     #[test]
     fn majority_and_tie() {
-        let p = Predictor::from_counts(&counts(&[(0, 10, 9), (1, 10, 1), (2, 4, 2)]), Direction::NotTaken);
+        let p = Predictor::from_counts(
+            &counts(&[(0, 10, 9), (1, 10, 1), (2, 4, 2)]),
+            Direction::NotTaken,
+        );
         assert_eq!(p.predict(BranchId(0)), Direction::Taken);
         assert_eq!(p.predict(BranchId(1)), Direction::NotTaken);
         assert_eq!(p.predict(BranchId(2)), Direction::Taken, "tie -> taken");

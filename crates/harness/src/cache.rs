@@ -1,0 +1,393 @@
+//! The content-addressed result cache.
+//!
+//! Two tiers: an in-process memo table holding [`Arc`]s of completed runs,
+//! and an optional on-disk tier persisting [`RunStats`] as
+//! `<cache-dir>/<runkey-hex>.bin` in a small self-describing binary format.
+//! Keys cover the lowered IR, inputs, and VM configuration (see
+//! [`crate::key`]), so invalidation is automatic: changed work gets a new
+//! key and simply never finds the old entry. Corrupted, truncated, or
+//! version-skewed files are treated as misses, never errors.
+
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use trace_ir::BranchId;
+use trace_vm::{BranchCounts, BreakEvents, PixieCounts, Run, RunStats};
+
+use crate::job::{CacheSource, Need, RunJob};
+use crate::key::{fnv64, RunKey};
+
+const MAGIC: &[u8; 4] = b"MFHC";
+const FORMAT_VERSION: u8 = 1;
+
+/// An in-memory cache entry: either the stats alone (e.g. loaded from
+/// disk) or the full run.
+#[derive(Clone, Debug)]
+enum Entry {
+    Stats(Arc<RunStats>),
+    Full(Arc<Run>),
+}
+
+/// A cache lookup result ready to become a [`crate::RunOutcome`].
+#[derive(Clone, Debug)]
+pub struct CacheHit {
+    /// The cached statistics.
+    pub stats: Arc<RunStats>,
+    /// The full run, when the memo table has it.
+    pub run: Option<Arc<Run>>,
+    /// Memory or disk.
+    pub source: CacheSource,
+}
+
+/// The two-tier run cache. Thread-safe; shared by all workers of a batch.
+#[derive(Debug)]
+pub struct RunCache {
+    mem: Mutex<HashMap<RunKey, Entry>>,
+    disk: Option<PathBuf>,
+    mem_hits: AtomicU64,
+    disk_hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+/// Snapshot of the cache's hit/miss counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheCounters {
+    /// Lookups served by the in-process memo table.
+    pub mem_hits: u64,
+    /// Lookups served by the persistent tier.
+    pub disk_hits: u64,
+    /// Lookups that fell through to execution.
+    pub misses: u64,
+}
+
+impl RunCache {
+    /// A purely in-process cache (no persistence).
+    pub fn in_memory() -> Self {
+        RunCache {
+            mem: Mutex::new(HashMap::new()),
+            disk: None,
+            mem_hits: AtomicU64::new(0),
+            disk_hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// A cache persisting stats under `dir` (created on first store).
+    pub fn with_disk(dir: PathBuf) -> Self {
+        RunCache {
+            disk: Some(dir),
+            ..RunCache::in_memory()
+        }
+    }
+
+    /// The persistent tier's directory, if enabled.
+    pub fn disk_dir(&self) -> Option<&Path> {
+        self.disk.as_deref()
+    }
+
+    /// Looks `job` up; a hit must satisfy the job's [`Need`].
+    pub fn lookup(&self, job: &RunJob) -> Option<CacheHit> {
+        {
+            let mem = self.mem.lock().expect("cache lock");
+            match mem.get(&job.key) {
+                Some(Entry::Full(run)) => {
+                    self.mem_hits.fetch_add(1, Ordering::Relaxed);
+                    return Some(CacheHit {
+                        stats: Arc::new(run.stats.clone()),
+                        run: Some(Arc::clone(run)),
+                        source: CacheSource::Memory,
+                    });
+                }
+                Some(Entry::Stats(stats)) if job.need == Need::Stats => {
+                    self.mem_hits.fetch_add(1, Ordering::Relaxed);
+                    return Some(CacheHit {
+                        stats: Arc::clone(stats),
+                        run: None,
+                        source: CacheSource::Memory,
+                    });
+                }
+                _ => {}
+            }
+        }
+        if job.need == Need::Stats {
+            if let Some(dir) = &self.disk {
+                if let Some(stats) = load_stats(&entry_path(dir, job.key), job.key) {
+                    let stats = Arc::new(stats);
+                    self.disk_hits.fetch_add(1, Ordering::Relaxed);
+                    self.mem
+                        .lock()
+                        .expect("cache lock")
+                        .entry(job.key)
+                        .or_insert_with(|| Entry::Stats(Arc::clone(&stats)));
+                    return Some(CacheHit {
+                        stats,
+                        run: None,
+                        source: CacheSource::Disk,
+                    });
+                }
+            }
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        None
+    }
+
+    /// Records a freshly computed run and, for non-traced runs with a disk
+    /// tier, persists its stats. (Traced runs are excluded from disk: the
+    /// trace itself is not persisted, and stats of a traced config belong
+    /// to a different key than the untraced one anyway.)
+    pub fn insert(&self, job: &RunJob, run: &Arc<Run>) {
+        self.mem
+            .lock()
+            .expect("cache lock")
+            .insert(job.key, Entry::Full(Arc::clone(run)));
+        if let Some(dir) = &self.disk {
+            if !job.config.record_branch_trace {
+                // Persistence is best-effort: a read-only target dir must
+                // not fail the run.
+                let _ = store_stats(dir, job.key, &run.stats);
+            }
+        }
+    }
+
+    /// Counter snapshot.
+    pub fn counters(&self) -> CacheCounters {
+        CacheCounters {
+            mem_hits: self.mem_hits.load(Ordering::Relaxed),
+            disk_hits: self.disk_hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+        }
+    }
+}
+
+fn entry_path(dir: &Path, key: RunKey) -> PathBuf {
+    dir.join(format!("{}.bin", key.hex()))
+}
+
+// ---------------------------------------------------------------------
+// The on-disk codec: little-endian, length-prefixed, checksummed.
+//
+//   MFHC <version:u8> <key:16B> <payload> <fnv64-of-everything-before:8B>
+//
+// Payload: total_instrs, branch table, break events, pixie block counts.
+// ---------------------------------------------------------------------
+
+fn store_stats(dir: &Path, key: RunKey, stats: &RunStats) -> std::io::Result<()> {
+    std::fs::create_dir_all(dir)?;
+    let mut buf = Vec::with_capacity(256);
+    buf.extend_from_slice(MAGIC);
+    buf.push(FORMAT_VERSION);
+    buf.extend_from_slice(&key.0.to_le_bytes());
+    put_u64(&mut buf, stats.total_instrs);
+    let branches: Vec<(BranchId, u64, u64)> = stats.branches.iter().collect();
+    put_u64(&mut buf, branches.len() as u64);
+    for (id, executed, taken) in branches {
+        put_u64(&mut buf, u64::from(id.0));
+        put_u64(&mut buf, executed);
+        put_u64(&mut buf, taken);
+    }
+    let e = &stats.events;
+    for v in [
+        e.jumps,
+        e.indirect_jumps,
+        e.direct_calls,
+        e.direct_returns,
+        e.indirect_calls,
+        e.indirect_returns,
+        e.selects,
+    ] {
+        put_u64(&mut buf, v);
+    }
+    put_u64(&mut buf, stats.pixie.blocks.len() as u64);
+    for func in &stats.pixie.blocks {
+        put_u64(&mut buf, func.len() as u64);
+        for &count in func {
+            put_u64(&mut buf, count);
+        }
+    }
+    let checksum = fnv64(&buf);
+    put_u64(&mut buf, checksum);
+
+    // Write-then-rename so concurrent writers and readers never observe a
+    // torn entry.
+    static TMP_SERIAL: AtomicU64 = AtomicU64::new(0);
+    let tmp = dir.join(format!(
+        "{}.tmp.{}.{}",
+        key.hex(),
+        std::process::id(),
+        TMP_SERIAL.fetch_add(1, Ordering::Relaxed)
+    ));
+    std::fs::write(&tmp, &buf)?;
+    let result = std::fs::rename(&tmp, entry_path(dir, key));
+    if result.is_err() {
+        let _ = std::fs::remove_file(&tmp);
+    }
+    result
+}
+
+/// Loads and validates one entry; any defect (missing file, bad magic or
+/// version, key mismatch, truncation, checksum failure, inconsistent
+/// counters) yields `None` — a miss, never a panic.
+fn load_stats(path: &Path, key: RunKey) -> Option<RunStats> {
+    let bytes = std::fs::read(path).ok()?;
+    decode_stats(&bytes, key)
+}
+
+fn decode_stats(bytes: &[u8], key: RunKey) -> Option<RunStats> {
+    if bytes.len() < MAGIC.len() + 1 + 16 + 8 {
+        return None;
+    }
+    let (body, tail) = bytes.split_at(bytes.len() - 8);
+    let stored_sum = u64::from_le_bytes(tail.try_into().ok()?);
+    if fnv64(body) != stored_sum {
+        return None;
+    }
+    let mut r = Reader {
+        bytes: body,
+        pos: 0,
+    };
+    if r.take(4)? != &MAGIC[..] || r.take(1)?[0] != FORMAT_VERSION {
+        return None;
+    }
+    let stored_key = u128::from_le_bytes(r.take(16)?.try_into().ok()?);
+    if stored_key != key.0 {
+        return None;
+    }
+    let total_instrs = r.u64()?;
+    let n_branches = r.u64()?;
+    let mut branches = BranchCounts::new();
+    for _ in 0..n_branches {
+        let id = u32::try_from(r.u64()?).ok()?;
+        let executed = r.u64()?;
+        let taken = r.u64()?;
+        if taken > executed {
+            return None;
+        }
+        branches.add(BranchId(id), executed, taken);
+    }
+    let events = BreakEvents {
+        jumps: r.u64()?,
+        indirect_jumps: r.u64()?,
+        direct_calls: r.u64()?,
+        direct_returns: r.u64()?,
+        indirect_calls: r.u64()?,
+        indirect_returns: r.u64()?,
+        selects: r.u64()?,
+    };
+    let n_funcs = r.u64()?;
+    let mut blocks = Vec::with_capacity(usize::try_from(n_funcs).ok()?);
+    for _ in 0..n_funcs {
+        let n_blocks = usize::try_from(r.u64()?).ok()?;
+        let mut func = Vec::with_capacity(n_blocks.min(1 << 16));
+        for _ in 0..n_blocks {
+            func.push(r.u64()?);
+        }
+        blocks.push(func);
+    }
+    if r.pos != r.bytes.len() {
+        return None; // trailing garbage
+    }
+    Some(RunStats {
+        total_instrs,
+        branches,
+        events,
+        pixie: PixieCounts { blocks },
+    })
+}
+
+fn put_u64(buf: &mut Vec<u8>, v: u64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+struct Reader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> Option<&'a [u8]> {
+        let end = self.pos.checked_add(n)?;
+        if end > self.bytes.len() {
+            return None;
+        }
+        let slice = &self.bytes[self.pos..end];
+        self.pos = end;
+        Some(slice)
+    }
+
+    fn u64(&mut self) -> Option<u64> {
+        Some(u64::from_le_bytes(self.take(8)?.try_into().ok()?))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_stats() -> RunStats {
+        let mut branches = BranchCounts::new();
+        branches.add(BranchId(0), 100, 40);
+        branches.add(BranchId(7), 5, 5);
+        RunStats {
+            total_instrs: 12_345,
+            branches,
+            events: BreakEvents {
+                jumps: 1,
+                indirect_jumps: 2,
+                direct_calls: 3,
+                direct_returns: 4,
+                indirect_calls: 5,
+                indirect_returns: 6,
+                selects: 7,
+            },
+            pixie: PixieCounts {
+                blocks: vec![vec![10, 20], vec![], vec![30]],
+            },
+        }
+    }
+
+    #[test]
+    fn codec_roundtrips_exactly() {
+        let dir = std::env::temp_dir().join(format!("mfharness-codec-{}", std::process::id()));
+        let key = RunKey(42);
+        let stats = sample_stats();
+        store_stats(&dir, key, &stats).unwrap();
+        let loaded = load_stats(&entry_path(&dir, key), key).unwrap();
+        assert_eq!(loaded, stats);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn every_truncation_is_a_miss() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(MAGIC);
+        buf.push(FORMAT_VERSION);
+        let key = RunKey(9);
+        buf.extend_from_slice(&key.0.to_le_bytes());
+        // Valid encode via the public path:
+        let dir = std::env::temp_dir().join(format!("mfharness-trunc-{}", std::process::id()));
+        store_stats(&dir, key, &sample_stats()).unwrap();
+        let full = std::fs::read(entry_path(&dir, key)).unwrap();
+        for len in 0..full.len() {
+            assert!(decode_stats(&full[..len], key).is_none(), "len {len}");
+        }
+        assert!(decode_stats(&full, key).is_some());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn flipped_bytes_and_wrong_keys_are_misses() {
+        let dir = std::env::temp_dir().join(format!("mfharness-flip-{}", std::process::id()));
+        let key = RunKey(77);
+        store_stats(&dir, key, &sample_stats()).unwrap();
+        let full = std::fs::read(entry_path(&dir, key)).unwrap();
+        for i in 0..full.len() {
+            let mut bad = full.clone();
+            bad[i] ^= 0x41;
+            assert!(decode_stats(&bad, key).is_none(), "byte {i}");
+        }
+        assert!(decode_stats(&full, RunKey(78)).is_none(), "wrong key");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

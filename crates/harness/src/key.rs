@@ -1,0 +1,184 @@
+//! Content-addressed run keys.
+//!
+//! A [`RunKey`] is a 128-bit fingerprint of everything that determines a
+//! run's statistics: the lowered IR (its canonical text rendering), the
+//! dataset inputs, and the semantics-relevant [`VmConfig`] fields. Two jobs
+//! with equal keys are the same unit of work and may share one execution;
+//! a changed program (re-lowered IR), dataset, or VM configuration changes
+//! the key and thereby invalidates every cached artifact for the old one.
+
+use std::fmt;
+
+use trace_ir::Program;
+use trace_vm::{Input, VmConfig};
+
+/// Bump when the fingerprint composition changes, so stale on-disk cache
+/// entries from older layouts can never be mistaken for current ones.
+const KEY_FORMAT_VERSION: u64 = 1;
+
+/// A 128-bit content fingerprint identifying one unit of run work.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct RunKey(pub u128);
+
+impl RunKey {
+    /// Fingerprints `(program, inputs, config)`.
+    pub fn of(program: &Program, inputs: &[Input], config: &VmConfig) -> Self {
+        let mut fp = Fingerprint::new();
+        fp.write_u64(KEY_FORMAT_VERSION);
+        // The IR's Display form is canonical and covers every instruction,
+        // terminator, and branch id — a re-lowered or re-optimized program
+        // renders differently and gets a fresh key.
+        fp.write_str(&program.to_string());
+        fp.write_u64(inputs.len() as u64);
+        for input in inputs {
+            match input {
+                Input::Int(v) => {
+                    fp.write_u64(1);
+                    fp.write_u64(*v as u64);
+                }
+                Input::Float(v) => {
+                    fp.write_u64(2);
+                    fp.write_u64(v.to_bits());
+                }
+                Input::Ints(vs) => {
+                    fp.write_u64(3);
+                    fp.write_u64(vs.len() as u64);
+                    for v in vs {
+                        fp.write_u64(*v as u64);
+                    }
+                }
+                Input::Floats(vs) => {
+                    fp.write_u64(4);
+                    fp.write_u64(vs.len() as u64);
+                    for v in vs {
+                        fp.write_u64(v.to_bits());
+                    }
+                }
+            }
+        }
+        fp.write_u64(config.fuel);
+        fp.write_u64(config.max_stack as u64);
+        fp.write_u64(config.max_alloc as u64);
+        fp.write_u64(u64::from(config.record_branch_trace));
+        RunKey(fp.finish())
+    }
+
+    /// The key as a fixed-width hex string (cache file stem).
+    pub fn hex(&self) -> String {
+        format!("{:032x}", self.0)
+    }
+}
+
+impl fmt::Display for RunKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.hex())
+    }
+}
+
+/// Two independent FNV-1a 64-bit streams over the same bytes, concatenated
+/// into 128 bits. Dependency-free and plenty for content addressing a few
+/// hundred cache entries.
+pub struct Fingerprint {
+    a: u64,
+    b: u64,
+}
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+impl Fingerprint {
+    /// Starts a fresh fingerprint.
+    pub fn new() -> Self {
+        Fingerprint {
+            a: FNV_OFFSET,
+            // A distinct offset basis decorrelates the second stream.
+            b: FNV_OFFSET ^ 0x9e37_79b9_7f4a_7c15,
+        }
+    }
+
+    /// Feeds raw bytes.
+    pub fn write(&mut self, bytes: &[u8]) {
+        for &byte in bytes {
+            self.a = (self.a ^ u64::from(byte)).wrapping_mul(FNV_PRIME);
+            self.b = (self.b ^ u64::from(byte)).wrapping_mul(FNV_PRIME.rotate_left(1));
+        }
+    }
+
+    /// Feeds one little-endian u64.
+    pub fn write_u64(&mut self, v: u64) {
+        self.write(&v.to_le_bytes());
+    }
+
+    /// Feeds a length-prefixed string.
+    pub fn write_str(&mut self, s: &str) {
+        self.write_u64(s.len() as u64);
+        self.write(s.as_bytes());
+    }
+
+    /// The combined 128-bit digest.
+    pub fn finish(&self) -> u128 {
+        (u128::from(self.a) << 64) | u128::from(self.b)
+    }
+}
+
+impl Default for Fingerprint {
+    fn default() -> Self {
+        Fingerprint::new()
+    }
+}
+
+/// FNV-1a 64 over a byte slice — used as the cache file checksum.
+pub fn fnv64(bytes: &[u8]) -> u64 {
+    let mut h = FNV_OFFSET;
+    for &b in bytes {
+        h = (h ^ u64::from(b)).wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distinct_inputs_distinct_keys() {
+        let program = mflang::compile("fn main(n: int) { emit(n); }").unwrap();
+        let cfg = VmConfig::default();
+        let a = RunKey::of(&program, &[Input::Int(1)], &cfg);
+        let b = RunKey::of(&program, &[Input::Int(2)], &cfg);
+        let a2 = RunKey::of(&program, &[Input::Int(1)], &cfg);
+        assert_ne!(a, b);
+        assert_eq!(a, a2);
+    }
+
+    #[test]
+    fn config_and_program_perturb_the_key() {
+        let p1 = mflang::compile("fn main(n: int) { emit(n); }").unwrap();
+        let p2 = mflang::compile("fn main(n: int) { emit(n + 1); }").unwrap();
+        let cfg = VmConfig::default();
+        let traced = VmConfig {
+            record_branch_trace: true,
+            ..VmConfig::default()
+        };
+        let base = RunKey::of(&p1, &[Input::Int(1)], &cfg);
+        assert_ne!(base, RunKey::of(&p2, &[Input::Int(1)], &cfg));
+        assert_ne!(base, RunKey::of(&p1, &[Input::Int(1)], &traced));
+    }
+
+    #[test]
+    fn input_encoding_is_injective_across_variants() {
+        let program = mflang::compile("fn main(n: int) { emit(n); }").unwrap();
+        let cfg = VmConfig::default();
+        let int = RunKey::of(&program, &[Input::Int(7)], &cfg);
+        let ints = RunKey::of(&program, &[Input::Ints(vec![7])], &cfg);
+        let float = RunKey::of(&program, &[Input::Float(7.0)], &cfg);
+        assert_ne!(int, ints);
+        assert_ne!(int, float);
+    }
+
+    #[test]
+    fn hex_is_fixed_width() {
+        assert_eq!(RunKey(1).hex().len(), 32);
+        assert_eq!(RunKey(u128::MAX).hex().len(), 32);
+    }
+}

@@ -1,0 +1,386 @@
+//! # mfharness — the experiment execution engine
+//!
+//! Every measured run in the evaluation matrix — `(program, dataset,
+//! vm-config)` — is a [`RunJob`] with a stable content-addressed
+//! [`RunKey`]. A [`Harness`] deduplicates submitted jobs, serves repeats
+//! from a two-tier cache (in-process memo table plus an optional on-disk
+//! store of [`trace_vm::RunStats`]), and executes the remainder on a
+//! dependency-free work-stealing thread pool. Results always come back in
+//! submission order, so downstream tables and figures are bit-identical
+//! whether the matrix ran on one worker or eight.
+//!
+//! Knobs (also surfaced as `repro` flags):
+//!
+//! * `MFHARNESS_JOBS` — worker thread count (default: available
+//!   parallelism, clamped to 8).
+//! * `MFHARNESS_CACHE` — `off`/`0` disables the persistent tier; any
+//!   other value is used as the cache directory. Default:
+//!   `target/mfharness-cache/`.
+//!
+//! Observability — per-run timing, guest-instructions-per-second, cache
+//! hit/miss counters, worker utilization — accumulates in a
+//! [`HarnessReport`] available from [`Harness::report`].
+
+mod cache;
+mod job;
+mod key;
+mod pool;
+mod report;
+
+use std::collections::HashMap;
+use std::fmt;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use trace_vm::{Run, RuntimeError};
+
+pub use cache::{CacheCounters, CacheHit, RunCache};
+pub use job::{CacheSource, Need, RunJob, RunOutcome};
+pub use key::{fnv64, Fingerprint, RunKey};
+pub use pool::{default_workers, run_indexed, PoolStats};
+pub use report::{HarnessReport, RunRecord};
+
+/// Persistent-cache configuration.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub enum DiskCache {
+    /// `target/mfharness-cache/` next to the workspace build directory.
+    #[default]
+    Default,
+    /// In-process memoization only.
+    Off,
+    /// An explicit directory.
+    Dir(PathBuf),
+}
+
+/// Construction-time options for a [`Harness`].
+#[derive(Clone, Debug, Default)]
+pub struct HarnessOptions {
+    /// Worker thread count; `None` means [`default_workers`].
+    pub jobs: Option<usize>,
+    /// Persistent-cache mode.
+    pub disk_cache: DiskCache,
+}
+
+impl HarnessOptions {
+    /// Reads `MFHARNESS_JOBS` and `MFHARNESS_CACHE` from the environment.
+    pub fn from_env() -> Self {
+        let jobs = std::env::var("MFHARNESS_JOBS")
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .filter(|&n| n >= 1);
+        let disk_cache = match std::env::var("MFHARNESS_CACHE") {
+            Err(_) => DiskCache::Default,
+            Ok(v) if v.trim().is_empty() || v.trim() == "off" || v.trim() == "0" => DiskCache::Off,
+            Ok(v) => DiskCache::Dir(PathBuf::from(v)),
+        };
+        HarnessOptions { jobs, disk_cache }
+    }
+}
+
+/// The workspace-relative default cache directory, honoring
+/// `CARGO_TARGET_DIR` when the build was redirected.
+pub fn default_cache_dir() -> PathBuf {
+    let target = std::env::var_os("CARGO_TARGET_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| {
+            Path::new(env!("CARGO_MANIFEST_DIR"))
+                .join("..")
+                .join("..")
+                .join("target")
+        });
+    target.join("mfharness-cache")
+}
+
+/// A run failed; carries the failing job's label and the VM error.
+#[derive(Debug)]
+pub enum HarnessError {
+    /// The guest program faulted (or exhausted fuel/stack/alloc budgets).
+    Run {
+        /// `program/dataset` label of the failing job.
+        label: String,
+        /// The underlying VM error.
+        error: RuntimeError,
+    },
+}
+
+impl fmt::Display for HarnessError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HarnessError::Run { label, error } => write!(f, "run {label} failed: {error}"),
+        }
+    }
+}
+
+impl std::error::Error for HarnessError {}
+
+/// The deduplicating, caching, parallel run executor.
+#[derive(Debug)]
+pub struct Harness {
+    jobs: usize,
+    cache: RunCache,
+    records: Mutex<Vec<RunRecord>>,
+    jobs_submitted: AtomicU64,
+    unique_jobs: AtomicU64,
+    workers_seen: AtomicUsize,
+    wall_ns: AtomicU64,
+    busy_ns: AtomicU64,
+}
+
+impl Harness {
+    /// Builds a harness from explicit options.
+    pub fn new(options: HarnessOptions) -> Self {
+        let cache = match options.disk_cache {
+            DiskCache::Off => RunCache::in_memory(),
+            DiskCache::Default => RunCache::with_disk(default_cache_dir()),
+            DiskCache::Dir(dir) => RunCache::with_disk(dir),
+        };
+        Harness {
+            jobs: options.jobs.unwrap_or_else(default_workers),
+            cache,
+            records: Mutex::new(Vec::new()),
+            jobs_submitted: AtomicU64::new(0),
+            unique_jobs: AtomicU64::new(0),
+            workers_seen: AtomicUsize::new(0),
+            wall_ns: AtomicU64::new(0),
+            busy_ns: AtomicU64::new(0),
+        }
+    }
+
+    /// Builds a harness configured from the environment.
+    pub fn from_env() -> Self {
+        Harness::new(HarnessOptions::from_env())
+    }
+
+    /// A harness with no persistent tier — what tests should use.
+    pub fn in_memory() -> Self {
+        Harness::new(HarnessOptions {
+            jobs: None,
+            disk_cache: DiskCache::Off,
+        })
+    }
+
+    /// Worker thread count this harness schedules with.
+    pub fn jobs(&self) -> usize {
+        self.jobs
+    }
+
+    /// The persistent cache directory, if the tier is enabled.
+    pub fn cache_dir(&self) -> Option<&Path> {
+        self.cache.disk_dir()
+    }
+
+    /// Executes a batch. Jobs with equal keys are collapsed to one
+    /// execution (the strongest [`Need`] wins); cache hits skip execution
+    /// entirely. The returned vector is index-aligned with `batch`.
+    pub fn run(&self, batch: Vec<RunJob>) -> Result<Vec<RunOutcome>, HarnessError> {
+        self.jobs_submitted
+            .fetch_add(batch.len() as u64, Ordering::Relaxed);
+
+        // Deduplicate: first occurrence of a key owns the work; later
+        // occurrences only strengthen its Need.
+        let mut unique: Vec<RunJob> = Vec::new();
+        let mut index_of: HashMap<RunKey, usize> = HashMap::new();
+        let mut fanout: Vec<usize> = Vec::with_capacity(batch.len());
+        for job in batch {
+            match index_of.get(&job.key) {
+                Some(&i) => {
+                    if job.need > unique[i].need {
+                        unique[i].need = job.need;
+                    }
+                    fanout.push(i);
+                }
+                None => {
+                    let i = unique.len();
+                    index_of.insert(job.key, i);
+                    fanout.push(i);
+                    unique.push(job);
+                }
+            }
+        }
+        self.unique_jobs
+            .fetch_add(unique.len() as u64, Ordering::Relaxed);
+
+        // Cache pass (serial, submission order — keeps counter totals and
+        // record order deterministic), then pooled execution of misses.
+        let mut resolved: Vec<Option<RunOutcome>> = Vec::with_capacity(unique.len());
+        let mut to_run: Vec<usize> = Vec::new();
+        for (i, job) in unique.iter().enumerate() {
+            match self.cache.lookup(job) {
+                Some(hit) => resolved.push(Some(RunOutcome {
+                    label: job.label(),
+                    key: job.key,
+                    stats: hit.stats,
+                    run: hit.run,
+                    source: hit.source,
+                    wall: std::time::Duration::ZERO,
+                })),
+                None => {
+                    to_run.push(i);
+                    resolved.push(None);
+                }
+            }
+        }
+
+        if !to_run.is_empty() {
+            let (executed, stats) = pool::run_indexed(self.jobs, to_run.len(), |slot| {
+                let job = &unique[to_run[slot]];
+                let t0 = Instant::now();
+                let result = trace_vm::run_program(&job.program, job.config, &job.inputs);
+                (result.map(Arc::new), t0.elapsed())
+            });
+            self.workers_seen
+                .fetch_max(stats.workers, Ordering::Relaxed);
+            self.wall_ns
+                .fetch_add(stats.wall.as_nanos() as u64, Ordering::Relaxed);
+            self.busy_ns.fetch_add(
+                stats.busy.iter().map(|d| d.as_nanos() as u64).sum::<u64>(),
+                Ordering::Relaxed,
+            );
+            for (slot, (result, wall)) in executed.into_iter().enumerate() {
+                let i = to_run[slot];
+                let job = &unique[i];
+                let run: Arc<Run> = result.map_err(|error| HarnessError::Run {
+                    label: job.label(),
+                    error,
+                })?;
+                self.cache.insert(job, &run);
+                resolved[i] = Some(RunOutcome {
+                    label: job.label(),
+                    key: job.key,
+                    stats: Arc::new(run.stats.clone()),
+                    run: Some(run),
+                    source: CacheSource::Computed,
+                    wall,
+                });
+            }
+        }
+
+        let outcomes: Vec<RunOutcome> = resolved
+            .into_iter()
+            .map(|o| o.expect("every unique job resolved"))
+            .collect();
+
+        {
+            let mut records = self.records.lock().expect("records lock");
+            for outcome in &outcomes {
+                records.push(RunRecord {
+                    label: outcome.label.clone(),
+                    key: outcome.key,
+                    guest_instrs: outcome.stats.total_instrs,
+                    wall: outcome.wall,
+                    source: outcome.source,
+                });
+            }
+        }
+
+        Ok(fanout.into_iter().map(|i| outcomes[i].clone()).collect())
+    }
+
+    /// Convenience: submit one job.
+    pub fn run_one(&self, job: RunJob) -> Result<RunOutcome, HarnessError> {
+        Ok(self.run(vec![job])?.pop().expect("one job, one outcome"))
+    }
+
+    /// Snapshot of accumulated observability.
+    pub fn report(&self) -> HarnessReport {
+        HarnessReport {
+            records: self.records.lock().expect("records lock").clone(),
+            jobs_submitted: self.jobs_submitted.load(Ordering::Relaxed),
+            unique_jobs: self.unique_jobs.load(Ordering::Relaxed),
+            workers: self.workers_seen.load(Ordering::Relaxed),
+            wall: std::time::Duration::from_nanos(self.wall_ns.load(Ordering::Relaxed)),
+            busy: std::time::Duration::from_nanos(self.busy_ns.load(Ordering::Relaxed)),
+            cache: self.cache.counters(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trace_vm::{Input, VmConfig};
+
+    fn job(source: &str, inputs: Vec<Input>) -> RunJob {
+        let program = Arc::new(mflang::compile(source).unwrap());
+        RunJob::new("test", "d0", program, inputs, VmConfig::default())
+    }
+
+    const LOOPY: &str = "fn main(n: int) { var i: int = 0; var acc: int = 0; \
+        while (i < n) { if (i % 3 == 0) { acc = acc + i; } i = i + 1; } emit(acc); }";
+
+    #[test]
+    fn duplicate_jobs_execute_once() {
+        let harness = Harness::in_memory();
+        let jobs: Vec<RunJob> = (0..6).map(|_| job(LOOPY, vec![Input::Int(50)])).collect();
+        let outcomes = harness.run(jobs).unwrap();
+        assert_eq!(outcomes.len(), 6);
+        assert!(outcomes
+            .windows(2)
+            .all(|w| w[0].stats.total_instrs == w[1].stats.total_instrs));
+        let report = harness.report();
+        assert_eq!(report.jobs_submitted, 6);
+        assert_eq!(report.unique_jobs, 1);
+        // Only the single deduplicated job actually executed.
+        assert_eq!(report.computed(), 1);
+        assert_eq!(report.records.len(), 1);
+    }
+
+    #[test]
+    fn second_batch_hits_memo_table() {
+        let harness = Harness::in_memory();
+        let first = harness.run_one(job(LOOPY, vec![Input::Int(40)])).unwrap();
+        assert_eq!(first.source, CacheSource::Computed);
+        let second = harness.run_one(job(LOOPY, vec![Input::Int(40)])).unwrap();
+        assert_eq!(second.source, CacheSource::Memory);
+        assert_eq!(first.stats, second.stats);
+    }
+
+    #[test]
+    fn stats_hit_does_not_satisfy_full_run_need() {
+        // A Stats-only memo entry (simulating a disk load) must not be
+        // handed to a FullRun consumer.
+        let harness = Harness::in_memory();
+        let stats_job = job(LOOPY, vec![Input::Int(30)]);
+        harness.run_one(stats_job.clone()).unwrap();
+        let full = harness.run_one(stats_job.needing_run()).unwrap();
+        // Memo table keeps the full Run, so this is served from memory
+        // *with* the run present.
+        assert!(full.run.is_some());
+    }
+
+    #[test]
+    fn runtime_errors_surface_with_labels() {
+        let harness = Harness::in_memory();
+        let mut bad = job(LOOPY, vec![Input::Int(1_000_000)]);
+        bad.config.fuel = 10; // guarantee fuel exhaustion
+        bad.key = RunKey::of(&bad.program, &bad.inputs, &bad.config);
+        let err = harness.run_one(bad).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("test/d0"), "message was: {msg}");
+    }
+
+    #[test]
+    fn parallel_and_serial_agree() {
+        let serial = Harness::new(HarnessOptions {
+            jobs: Some(1),
+            disk_cache: DiskCache::Off,
+        });
+        let parallel = Harness::new(HarnessOptions {
+            jobs: Some(8),
+            disk_cache: DiskCache::Off,
+        });
+        let batch = |h: &Harness| {
+            let jobs: Vec<RunJob> = (10..30).map(|n| job(LOOPY, vec![Input::Int(n)])).collect();
+            h.run(jobs).unwrap()
+        };
+        let a = batch(&serial);
+        let b = batch(&parallel);
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.key, y.key);
+            assert_eq!(x.stats, y.stats);
+        }
+    }
+}

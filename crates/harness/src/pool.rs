@@ -1,0 +1,181 @@
+//! A dependency-free work-stealing thread pool for index-addressed jobs.
+//!
+//! Built on [`std::thread::scope`], so worker closures may borrow from the
+//! caller's stack. Each worker owns a deque seeded round-robin with job
+//! indices; it pops from the front of its own deque and steals from the
+//! back of the others. Results land in pre-allocated per-index slots, so
+//! output order equals submission order no matter how the work was
+//! scheduled — determinism is positional, not temporal.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::{Duration, Instant};
+
+use std::collections::VecDeque;
+
+/// Per-worker observability: how much of the pool's wall time each worker
+/// spent actually executing jobs.
+#[derive(Clone, Debug)]
+pub struct PoolStats {
+    /// Number of worker threads used.
+    pub workers: usize,
+    /// Wall-clock duration of the whole batch.
+    pub wall: Duration,
+    /// Busy (job-executing) time per worker.
+    pub busy: Vec<Duration>,
+}
+
+impl PoolStats {
+    /// Mean fraction of wall time workers spent executing jobs, in `0..=1`.
+    pub fn utilization(&self) -> f64 {
+        if self.workers == 0 || self.wall.is_zero() {
+            return 0.0;
+        }
+        let busy: f64 = self.busy.iter().map(Duration::as_secs_f64).sum();
+        (busy / (self.wall.as_secs_f64() * self.workers as f64)).min(1.0)
+    }
+}
+
+/// Runs `f(i)` for every `i in 0..count` on `workers` threads and returns
+/// the results in index order.
+pub fn run_indexed<T, F>(workers: usize, count: usize, f: F) -> (Vec<T>, PoolStats)
+where
+    T: Send + Sync,
+    F: Fn(usize) -> T + Sync,
+{
+    let workers = workers.max(1);
+    let start = Instant::now();
+
+    // Tiny or serial batches skip thread spawning entirely; this is also
+    // the reference schedule the parallel path must match byte-for-byte.
+    if workers == 1 || count <= 1 {
+        let mut results = Vec::with_capacity(count);
+        let busy_start = Instant::now();
+        for i in 0..count {
+            results.push(f(i));
+        }
+        let stats = PoolStats {
+            workers: 1,
+            wall: start.elapsed(),
+            busy: vec![busy_start.elapsed()],
+        };
+        return (results, stats);
+    }
+
+    let workers = workers.min(count);
+    let deques: Vec<Mutex<VecDeque<usize>>> = (0..workers)
+        .map(|w| {
+            // Round-robin seeding keeps early jobs spread across workers.
+            Mutex::new((w..count).step_by(workers).collect())
+        })
+        .collect();
+    let slots: Vec<OnceLock<T>> = (0..count).map(|_| OnceLock::new()).collect();
+    let busy_ns: Vec<AtomicU64> = (0..workers).map(|_| AtomicU64::new(0)).collect();
+
+    std::thread::scope(|scope| {
+        for w in 0..workers {
+            let deques = &deques;
+            let slots = &slots;
+            let busy_ns = &busy_ns;
+            let f = &f;
+            scope.spawn(move || {
+                loop {
+                    let job = pop_own(&deques[w]).or_else(|| steal(deques, w));
+                    let Some(i) = job else { break };
+                    let t0 = Instant::now();
+                    let value = f(i);
+                    busy_ns[w].fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+                    // Each index is dequeued exactly once, so the slot is
+                    // always empty here.
+                    let _ = slots[i].set(value);
+                }
+            });
+        }
+    });
+
+    let results: Vec<T> = slots
+        .into_iter()
+        .map(|slot| slot.into_inner().expect("worker completed every job"))
+        .collect();
+    let stats = PoolStats {
+        workers,
+        wall: start.elapsed(),
+        busy: busy_ns
+            .iter()
+            .map(|ns| Duration::from_nanos(ns.load(Ordering::Relaxed)))
+            .collect(),
+    };
+    (results, stats)
+}
+
+fn pop_own(deque: &Mutex<VecDeque<usize>>) -> Option<usize> {
+    deque.lock().expect("pool deque lock").pop_front()
+}
+
+fn steal(deques: &[Mutex<VecDeque<usize>>], thief: usize) -> Option<usize> {
+    let n = deques.len();
+    for offset in 1..n {
+        let victim = (thief + offset) % n;
+        if let Some(job) = deques[victim].lock().expect("pool deque lock").pop_back() {
+            return Some(job);
+        }
+    }
+    None
+}
+
+/// The default worker count: available parallelism, clamped to 8 so a
+/// casual `repro` run does not saturate a large shared box.
+pub fn default_workers() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .clamp(1, 8)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_are_in_submission_order() {
+        for workers in [1, 2, 4, 8] {
+            let (results, _) = run_indexed(workers, 100, |i| i * i);
+            let expected: Vec<usize> = (0..100).map(|i| i * i).collect();
+            assert_eq!(results, expected, "workers = {workers}");
+        }
+    }
+
+    #[test]
+    fn every_job_runs_exactly_once() {
+        use std::sync::atomic::AtomicUsize;
+        let counts: Vec<AtomicUsize> = (0..257).map(|_| AtomicUsize::new(0)).collect();
+        let (_, stats) = run_indexed(4, counts.len(), |i| {
+            counts[i].fetch_add(1, Ordering::SeqCst);
+        });
+        assert!(counts.iter().all(|c| c.load(Ordering::SeqCst) == 1));
+        assert_eq!(stats.workers, 4);
+        assert_eq!(stats.busy.len(), 4);
+    }
+
+    #[test]
+    fn zero_jobs_is_fine() {
+        let (results, _) = run_indexed(8, 0, |i| i);
+        assert!(results.is_empty());
+    }
+
+    #[test]
+    fn more_workers_than_jobs_clamps() {
+        let (results, stats) = run_indexed(16, 3, |i| i + 1);
+        assert_eq!(results, vec![1, 2, 3]);
+        assert!(stats.workers <= 3);
+    }
+
+    #[test]
+    fn utilization_is_bounded() {
+        let (_, stats) = run_indexed(2, 50, |i| {
+            std::hint::black_box((0..1000).fold(i, |a, b| a.wrapping_add(b)))
+        });
+        let u = stats.utilization();
+        assert!((0.0..=1.0).contains(&u), "utilization = {u}");
+    }
+}

@@ -1,0 +1,119 @@
+//! The persistent cache tier, end to end: hits survive a "process
+//! restart" (a fresh `Harness` over the same directory), key changes
+//! invalidate, and damaged files degrade to misses.
+
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+use mfharness::{CacheSource, DiskCache, Harness, HarnessOptions, RunJob};
+use trace_ir::Program;
+use trace_vm::{Input, VmConfig};
+
+const LOOPY: &str = "fn main(n: int) { var i: int = 0; var acc: int = 0; \
+    while (i < n) { if (i % 2 == 0) { acc = acc + i; } i = i + 1; } emit(acc); }";
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("mfharness-it-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn disk_harness(dir: &Path) -> Harness {
+    Harness::new(HarnessOptions {
+        jobs: Some(2),
+        disk_cache: DiskCache::Dir(dir.to_path_buf()),
+    })
+}
+
+fn job(program: &Arc<Program>, n: i64) -> RunJob {
+    RunJob::new(
+        "it",
+        format!("n{n}"),
+        Arc::clone(program),
+        vec![Input::Int(n)],
+        VmConfig::default(),
+    )
+}
+
+#[test]
+fn warm_cache_survives_a_restart_with_identical_stats() {
+    let dir = temp_dir("restart");
+    let program = Arc::new(mflang::compile(LOOPY).unwrap());
+
+    let cold = disk_harness(&dir);
+    let first = cold.run_one(job(&program, 1000)).unwrap();
+    assert_eq!(first.source, CacheSource::Computed);
+
+    // A fresh harness simulates the next process: nothing memoized, so
+    // the result must come from disk — and be bit-identical.
+    let warm = disk_harness(&dir);
+    let second = warm.run_one(job(&program, 1000)).unwrap();
+    assert_eq!(second.source, CacheSource::Disk);
+    assert_eq!(*first.stats, *second.stats);
+    let report = warm.report();
+    assert_eq!(report.cache.disk_hits, 1);
+    assert!(report.hit_rate() > 0.0);
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn changed_inputs_and_relowered_ir_miss() {
+    let dir = temp_dir("invalidate");
+    let program = Arc::new(mflang::compile(LOOPY).unwrap());
+    let cold = disk_harness(&dir);
+    cold.run_one(job(&program, 500)).unwrap();
+
+    let warm = disk_harness(&dir);
+    // Different dataset seed: new key, recomputed.
+    let other_input = warm.run_one(job(&program, 501)).unwrap();
+    assert_eq!(other_input.source, CacheSource::Computed);
+
+    // Re-lowered (edited) IR: new key even with identical inputs.
+    let edited = Arc::new(mflang::compile(&LOOPY.replace("acc + i", "acc + i + 1")).unwrap());
+    let other_ir = warm.run_one(job(&edited, 500)).unwrap();
+    assert_eq!(other_ir.source, CacheSource::Computed);
+
+    // The original is still served from disk.
+    let same = warm.run_one(job(&program, 500)).unwrap();
+    assert_eq!(same.source, CacheSource::Disk);
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn corrupted_and_truncated_entries_degrade_to_recomputation() {
+    let dir = temp_dir("corrupt");
+    let program = Arc::new(mflang::compile(LOOPY).unwrap());
+    let reference = disk_harness(&dir).run_one(job(&program, 800)).unwrap();
+
+    let entries: Vec<PathBuf> = std::fs::read_dir(&dir)
+        .unwrap()
+        .map(|e| e.unwrap().path())
+        .collect();
+    assert_eq!(entries.len(), 1, "one run, one cache file");
+    let entry = &entries[0];
+    let pristine = std::fs::read(entry).unwrap();
+
+    // Truncated file: miss, recompute, same stats.
+    std::fs::write(entry, &pristine[..pristine.len() / 2]).unwrap();
+    let after_truncation = disk_harness(&dir).run_one(job(&program, 800)).unwrap();
+    assert_eq!(after_truncation.source, CacheSource::Computed);
+    assert_eq!(*after_truncation.stats, *reference.stats);
+
+    // Bit-flipped payload: checksum rejects it.
+    let mut flipped = pristine.clone();
+    let mid = flipped.len() / 2;
+    flipped[mid] ^= 0xff;
+    std::fs::write(entry, &flipped).unwrap();
+    let after_flip = disk_harness(&dir).run_one(job(&program, 800)).unwrap();
+    assert_eq!(after_flip.source, CacheSource::Computed);
+    assert_eq!(*after_flip.stats, *reference.stats);
+
+    // Outright garbage.
+    std::fs::write(entry, b"not a cache entry at all").unwrap();
+    let after_garbage = disk_harness(&dir).run_one(job(&program, 800)).unwrap();
+    assert_eq!(after_garbage.source, CacheSource::Computed);
+
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -445,11 +445,12 @@ impl ProgramBuilder {
             const_arrays: self.const_arrays,
             branch_info: self.branch_info,
         };
-        let (entry_id, _) = program
-            .function_by_name(entry)
-            .ok_or_else(|| ValidateError::UndefinedFunction {
-                name: entry.to_string(),
-            })?;
+        let (entry_id, _) =
+            program
+                .function_by_name(entry)
+                .ok_or_else(|| ValidateError::UndefinedFunction {
+                    name: entry.to_string(),
+                })?;
         let program = Program {
             entry: entry_id,
             ..program

@@ -180,7 +180,10 @@ impl Program {
     /// Total static conditional-branch count across the whole program (live
     /// branches only — branches deleted by optimization are not counted).
     pub fn static_branch_count(&self) -> usize {
-        self.functions.iter().map(Function::static_branch_count).sum()
+        self.functions
+            .iter()
+            .map(Function::static_branch_count)
+            .sum()
     }
 
     /// Total static RISC-level instruction count (instructions plus one per

@@ -118,16 +118,28 @@ impl fmt::Display for ValidateError {
                 "function `{func}` calls `{callee}` with {got} arguments, expected {expected}"
             ),
             ValidateError::BadGlobalRef { func, index } => {
-                write!(f, "function `{func}` references nonexistent global slot {index}")
+                write!(
+                    f,
+                    "function `{func}` references nonexistent global slot {index}"
+                )
             }
             ValidateError::BadConstArray { func, index } => {
-                write!(f, "function `{func}` references nonexistent constant array {index}")
+                write!(
+                    f,
+                    "function `{func}` references nonexistent constant array {index}"
+                )
             }
             ValidateError::BadBranchId { func, index } => {
-                write!(f, "function `{func}` has branch with unregistered id br{index}")
+                write!(
+                    f,
+                    "function `{func}` has branch with unregistered id br{index}"
+                )
             }
             ValidateError::DuplicateBranchId { index } => {
-                write!(f, "branch id br{index} appears on more than one live branch")
+                write!(
+                    f,
+                    "branch id br{index} appears on more than one live branch"
+                )
             }
         }
     }
@@ -199,7 +211,9 @@ impl Program {
                         check_reg(d, bi)?;
                     }
                     match instr {
-                        Instr::Call { func: callee, args, .. } => {
+                        Instr::Call {
+                            func: callee, args, ..
+                        } => {
                             let Some(target) = self.functions.get(callee.index()) else {
                                 return Err(ValidateError::BadFunctionRef {
                                     func: func.name.clone(),
@@ -216,26 +230,29 @@ impl Program {
                             }
                         }
                         Instr::FuncAddr { func: callee, .. }
-                            if callee.index() >= self.functions.len() => {
-                                return Err(ValidateError::BadFunctionRef {
-                                    func: func.name.clone(),
-                                    callee: *callee,
-                                });
-                            }
+                            if callee.index() >= self.functions.len() =>
+                        {
+                            return Err(ValidateError::BadFunctionRef {
+                                func: func.name.clone(),
+                                callee: *callee,
+                            });
+                        }
                         Instr::GlobalGet { global, .. } | Instr::GlobalSet { global, .. }
-                            if global.index() >= self.globals.len() => {
-                                return Err(ValidateError::BadGlobalRef {
-                                    func: func.name.clone(),
-                                    index: global.index(),
-                                });
-                            }
+                            if global.index() >= self.globals.len() =>
+                        {
+                            return Err(ValidateError::BadGlobalRef {
+                                func: func.name.clone(),
+                                index: global.index(),
+                            });
+                        }
                         Instr::ConstArray { index, .. }
-                            if *index as usize >= self.const_arrays.len() => {
-                                return Err(ValidateError::BadConstArray {
-                                    func: func.name.clone(),
-                                    index: *index,
-                                });
-                            }
+                            if *index as usize >= self.const_arrays.len() =>
+                        {
+                            return Err(ValidateError::BadConstArray {
+                                func: func.name.clone(),
+                                index: *index,
+                            });
+                        }
                         _ => {}
                     }
                 }
@@ -324,7 +341,9 @@ mod tests {
                     dst: Reg(0),
                     value: Value::Int(0),
                 }],
-                term: Terminator::Return { value: Some(Reg(0)) },
+                term: Terminator::Return {
+                    value: Some(Reg(0)),
+                },
             }],
         );
         assert_eq!(wrap(f).validate(), Ok(()));
@@ -341,11 +360,7 @@ mod tests {
 
     #[test]
     fn bad_block_target_rejected() {
-        let f = func(
-            "main",
-            0,
-            vec![Block::new(Terminator::Jump(BlockId(5)))],
-        );
+        let f = func("main", 0, vec![Block::new(Terminator::Jump(BlockId(5)))]);
         assert!(matches!(
             wrap(f).validate(),
             Err(ValidateError::BadBlockTarget { .. })

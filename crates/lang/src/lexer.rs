@@ -94,10 +94,7 @@ impl<'s> Lexer<'s> {
                                 self.bump();
                             }
                             (None, _) => {
-                                return Err(CompileError::new(
-                                    start,
-                                    "unterminated block comment",
-                                ))
+                                return Err(CompileError::new(start, "unterminated block comment"))
                             }
                         }
                     }
@@ -197,10 +194,9 @@ impl<'s> Lexer<'s> {
                 Some(c) => out.push(c),
             }
         }
-        Ok(TokenKind::Str(
-            String::from_utf8(out)
-                .map_err(|_| CompileError::new(line, "non-UTF-8 string literal"))?,
-        ))
+        Ok(TokenKind::Str(String::from_utf8(out).map_err(|_| {
+            CompileError::new(line, "non-UTF-8 string literal")
+        })?))
     }
 
     fn char_literal(&mut self) -> Result<TokenKind, CompileError> {

@@ -174,7 +174,8 @@ pub fn lower(items: &[Item], options: &CompileOptions) -> Result<Program, Compil
 fn is_builtin(name: &str) -> bool {
     matches!(
         name,
-        "len" | "new_int"
+        "len"
+            | "new_int"
             | "new_float"
             | "emit"
             | "int"
@@ -232,11 +233,7 @@ impl<'a> Lowerer<'a> {
     }
 
     fn lookup_var(&self, name: &str) -> Option<(Reg, Type)> {
-        self.scopes
-            .iter()
-            .rev()
-            .find_map(|s| s.get(name))
-            .cloned()
+        self.scopes.iter().rev().find_map(|s| s.get(name)).cloned()
     }
 
     fn lower_stmts(&mut self, stmts: &[Stmt]) -> Result<(), CompileError> {
@@ -448,10 +445,7 @@ impl<'a> Lowerer<'a> {
                 match (&ret_ty, value) {
                     (None, None) => self.fb.ret(None),
                     (None, Some(_)) => {
-                        return Err(CompileError::new(
-                            line,
-                            "void function returns a value",
-                        ))
+                        return Err(CompileError::new(line, "void function returns a value"))
                     }
                     (Some(expected), Some(e)) => {
                         let (r, ty) = self.lower_expr(e)?;
@@ -497,13 +491,11 @@ impl<'a> Lowerer<'a> {
         }
         let join = self.fb.new_block();
 
-        let use_table = self.options.switch_mode == SwitchMode::JumpTable
-            && !cases.is_empty()
-            && {
-                let min = cases.iter().map(|(v, _)| *v).min().expect("nonempty");
-                let max = cases.iter().map(|(v, _)| *v).max().expect("nonempty");
-                (max - min) < 1024
-            };
+        let use_table = self.options.switch_mode == SwitchMode::JumpTable && !cases.is_empty() && {
+            let min = cases.iter().map(|(v, _)| *v).min().expect("nonempty");
+            let max = cases.iter().map(|(v, _)| *v).max().expect("nonempty");
+            (max - min) < 1024
+        };
 
         if use_table {
             let min = cases.iter().map(|(v, _)| *v).min().expect("nonempty");
@@ -761,13 +753,9 @@ impl<'a> Lowerer<'a> {
                 let (r, ty) = self.lower_expr(operand)?;
                 match (op, &ty) {
                     (UnaryOp::Neg, Type::Int) => Ok((self.fb.unop(UnOp::Neg, r), Type::Int)),
-                    (UnaryOp::Neg, Type::Float) => {
-                        Ok((self.fb.unop(UnOp::FNeg, r), Type::Float))
-                    }
+                    (UnaryOp::Neg, Type::Float) => Ok((self.fb.unop(UnOp::FNeg, r), Type::Float)),
                     (UnaryOp::Not, Type::Int) => Ok((self.fb.unop(UnOp::LNot, r), Type::Int)),
-                    (UnaryOp::BitNot, Type::Int) => {
-                        Ok((self.fb.unop(UnOp::Not, r), Type::Int))
-                    }
+                    (UnaryOp::BitNot, Type::Int) => Ok((self.fb.unop(UnOp::Not, r), Type::Int)),
                     _ => Err(CompileError::new(
                         line,
                         format!("unary operator not defined for {ty}"),
@@ -775,15 +763,13 @@ impl<'a> Lowerer<'a> {
                 }
             }
             ExprKind::Binary { op, lhs, rhs } => self.lower_binary(*op, lhs, rhs, line),
-            ExprKind::Call { callee, args } => {
-                match self.lower_call(callee, args, line)? {
-                    Some(rt) => Ok(rt),
-                    None => Err(CompileError::new(
-                        line,
-                        format!("void call to `{callee}` used as a value"),
-                    )),
-                }
-            }
+            ExprKind::Call { callee, args } => match self.lower_call(callee, args, line)? {
+                Some(rt) => Ok(rt),
+                None => Err(CompileError::new(
+                    line,
+                    format!("void call to `{callee}` used as a value"),
+                )),
+            },
         }
     }
 
@@ -975,21 +961,20 @@ impl<'a> Lowerer<'a> {
         for a in args {
             lowered.push(self.lower_expr(a)?);
         }
-        let arity_err = |n: usize| {
-            CompileError::new(line, format!("`{name}` expects {n} argument(s)"))
-        };
-        let type_err =
-            |msg: &str| CompileError::new(line, format!("`{name}`: {msg}"));
+        let arity_err =
+            |n: usize| CompileError::new(line, format!("`{name}` expects {n} argument(s)"));
+        let type_err = |msg: &str| CompileError::new(line, format!("`{name}`: {msg}"));
 
-        let unary_float = |this: &mut Self, op: UnOp| -> Result<Option<(Reg, Type)>, CompileError> {
-            let [(r, ref ty)] = lowered[..] else {
-                return Err(arity_err(1));
+        let unary_float =
+            |this: &mut Self, op: UnOp| -> Result<Option<(Reg, Type)>, CompileError> {
+                let [(r, ref ty)] = lowered[..] else {
+                    return Err(arity_err(1));
+                };
+                if *ty != Type::Float {
+                    return Err(type_err("argument must be float"));
+                }
+                Ok(Some((this.fb.unop(op, r), Type::Float)))
             };
-            if *ty != Type::Float {
-                return Err(type_err("argument must be float"));
-            }
-            Ok(Some((this.fb.unop(op, r), Type::Float)))
-        };
 
         match name {
             "len" => {

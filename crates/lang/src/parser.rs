@@ -590,10 +590,7 @@ mod tests {
 
     #[test]
     fn parses_function_and_global() {
-        let items = parse_src(
-            "global tab: [int];\n fn main(n: int) -> int { return n; }",
-        )
-        .unwrap();
+        let items = parse_src("global tab: [int];\n fn main(n: int) -> int { return n; }").unwrap();
         assert_eq!(items.len(), 2);
         assert!(matches!(&items[0], Item::Global { name, ty, .. }
             if name == "tab" && *ty == Type::IntArray));
@@ -695,8 +692,7 @@ mod tests {
 
     #[test]
     fn fn_types_parse() {
-        let items =
-            parse_src("fn f(cb: fn(int, float) -> int, g: fn()) { }").unwrap();
+        let items = parse_src("fn f(cb: fn(int, float) -> int, g: fn()) { }").unwrap();
         let Item::Function { params, .. } = &items[0] else {
             panic!()
         };
@@ -741,13 +737,8 @@ mod tests {
 
     #[test]
     fn rejects_duplicate_case_labels() {
-        assert!(
-            parse_src("fn f(x: int) { switch (x) { case 1: { } case 1: { } } }").is_err()
-        );
-        assert!(parse_src(
-            "fn f(x: int) { switch (x) { default: { } default: { } } }"
-        )
-        .is_err());
+        assert!(parse_src("fn f(x: int) { switch (x) { case 1: { } case 1: { } } }").is_err());
+        assert!(parse_src("fn f(x: int) { switch (x) { default: { } default: { } } }").is_err());
     }
 
     #[test]

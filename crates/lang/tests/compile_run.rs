@@ -395,10 +395,9 @@ fn void_function_calls() {
 
 #[test]
 fn string_interning_dedupes() {
-    let program = compile(
-        r#"fn main() { var a: [int] = "xy"; var b: [int] = "xy"; emit(a[0] + b[1]); }"#,
-    )
-    .unwrap();
+    let program =
+        compile(r#"fn main() { var a: [int] = "xy"; var b: [int] = "xy"; emit(a[0] + b[1]); }"#)
+            .unwrap();
     assert_eq!(program.const_arrays.len(), 1);
 }
 
@@ -416,19 +415,31 @@ fn compile_errors() {
         ("fn main() { continue; }", "outside of a loop"),
         ("fn main() -> int { return; }", "must return a value"),
         ("fn main() { return 3; }", "void function returns"),
-        ("fn f() -> int { return 1; } fn main() { emit(f(2)); }", "expects 0 arguments"),
+        (
+            "fn f() -> int { return 1; } fn main() { emit(f(2)); }",
+            "expects 0 arguments",
+        ),
         ("fn main() { emit(nothere()); }", "unknown function"),
         ("fn main() { emit(len(3)); }", "must be an array"),
         ("fn main() { var x: int = 0; emit(x[0]); }", "not indexable"),
         ("fn emit() { } fn main() { }", "builtin"),
         ("global len: int; fn main() { }", "builtin"),
         ("fn f() { } fn f() { } fn main() { }", "duplicate function"),
-        ("global g: int; global g: int; fn main() { }", "duplicate global"),
+        (
+            "global g: int; global g: int; fn main() { }",
+            "duplicate global",
+        ),
         ("fn main(a: int, a: int) { }", "duplicate parameter"),
         ("fn v() { } fn main() { emit(v()); }", "void call"),
-        ("fn main() { var f: fn(int) = @nosuch; }", "unknown function `nosuch` in"),
+        (
+            "fn main() { var f: fn(int) = @nosuch; }",
+            "unknown function `nosuch` in",
+        ),
         ("fn main() { var f: fn(int) = @main; }", "cannot initialize"),
-        ("fn g(x: int) { } fn main() { var f: fn(float) = @g; }", "cannot initialize"),
+        (
+            "fn g(x: int) { } fn main() { var f: fn(float) = @g; }",
+            "cannot initialize",
+        ),
         ("fn main() { switch (1.0) { } }", "must be int"),
     ];
     for (src, want) in cases {
@@ -526,7 +537,8 @@ fn trapping_and_impure_ifs_are_not_converted() {
     assert_eq!(run2.output_ints(), vec![0, 0], "call must not execute");
 
     // Array loads can trap on bounds: not converted.
-    let src3 = "fn main(a: [int], i: int) { var r: int = -1; if (i < len(a)) { r = a[i]; } emit(r); }";
+    let src3 =
+        "fn main(a: [int], i: int) { var r: int = -1; if (i < len(a)) { r = a[i]; } emit(r); }";
     let p3 = compile(src3).unwrap();
     let run3 = Vm::new(&p3)
         .run(&[Input::Ints(vec![5]), Input::Int(3)])

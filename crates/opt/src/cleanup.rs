@@ -100,8 +100,7 @@ pub fn dead_code(func: &mut Function) -> bool {
         for block in &mut func.blocks {
             let before = block.instrs.len();
             block.instrs.retain(|instr| {
-                instr.has_side_effects()
-                    || instr.dst().is_none_or(|dst| used.contains(&dst))
+                instr.has_side_effects() || instr.dst().is_none_or(|dst| used.contains(&dst))
             });
             removed |= block.instrs.len() != before;
         }
@@ -208,7 +207,9 @@ mod tests {
         dead_code(&mut p.functions[0]);
         let instrs = &p.functions[0].blocks[0].instrs;
         assert!(instrs.iter().any(|i| matches!(i, Instr::Store { .. })));
-        assert!(instrs.iter().any(|i| matches!(i, Instr::NewIntArray { .. })));
+        assert!(instrs
+            .iter()
+            .any(|i| matches!(i, Instr::NewIntArray { .. })));
         assert!(!instrs.iter().any(|i| matches!(i, Instr::Load { .. })));
     }
 }

@@ -15,14 +15,12 @@ pub fn fold_constants(func: &mut Function) -> bool {
     for block in &mut func.blocks {
         for instr in &mut block.instrs {
             let folded = match instr {
-                Instr::Binop { dst, op, lhs, rhs } => {
-                    match (consts.get(lhs), consts.get(rhs)) {
-                        (Some(&l), Some(&r)) => {
-                            fold_binop(*op, l, r).map(|value| Instr::Const { dst: *dst, value })
-                        }
-                        _ => None,
+                Instr::Binop { dst, op, lhs, rhs } => match (consts.get(lhs), consts.get(rhs)) {
+                    (Some(&l), Some(&r)) => {
+                        fold_binop(*op, l, r).map(|value| Instr::Const { dst: *dst, value })
                     }
-                }
+                    _ => None,
+                },
                 Instr::Unop { dst, op, src } => consts
                     .get(src)
                     .and_then(|&v| fold_unop(*op, v))
@@ -74,9 +72,8 @@ pub fn fold_constants(func: &mut Function) -> bool {
 
 fn fold_binop(op: BinOp, l: Value, r: Value) -> Option<Value> {
     use BinOp::*;
-    let int = |f: fn(i64, i64) -> i64| -> Option<Value> {
-        Some(Value::Int(f(l.as_int()?, r.as_int()?)))
-    };
+    let int =
+        |f: fn(i64, i64) -> i64| -> Option<Value> { Some(Value::Int(f(l.as_int()?, r.as_int()?))) };
     let float = |f: fn(f64, f64) -> f64| -> Option<Value> {
         Some(Value::Float(f(l.as_float()?, r.as_float()?)))
     };

@@ -58,8 +58,7 @@ impl Inliner {
                     if program.static_instr_count() > budget {
                         return inlined;
                     }
-                    let Some((block, index, callee)) =
-                        self.find_site(program, caller, &recursive)
+                    let Some((block, index, callee)) = self.find_site(program, caller, &recursive)
                     else {
                         break;
                     };
@@ -141,13 +140,7 @@ fn recursive_functions(program: &Program) -> HashSet<usize> {
 }
 
 /// Splices `callee` into `caller` at `(block, index)`.
-fn inline_site(
-    program: &mut Program,
-    caller: usize,
-    block: usize,
-    index: usize,
-    callee: FuncId,
-) {
+fn inline_site(program: &mut Program, caller: usize, block: usize, index: usize, callee: FuncId) {
     let callee_fn: Function = program.functions[callee.index()].clone();
     let caller_fn = &mut program.functions[caller];
 

@@ -92,9 +92,7 @@ fn rewrite_uses(instr: &mut Instr, copies: &HashMap<Reg, Reg>) -> bool {
             sub(index, &mut changed);
             sub(src, &mut changed);
         }
-        Instr::NewIntArray { len, .. } | Instr::NewFloatArray { len, .. } => {
-            sub(len, &mut changed)
-        }
+        Instr::NewIntArray { len, .. } | Instr::NewFloatArray { len, .. } => sub(len, &mut changed),
         Instr::ArrayLen { arr, .. } => sub(arr, &mut changed),
         Instr::GlobalSet { src, .. } => sub(src, &mut changed),
         Instr::Call { args, .. } => {

@@ -92,10 +92,7 @@ pub fn write_directives(program: &Program, counts: &BranchCounts) -> String {
 ///
 /// Returns [`DirectiveError`] for malformed directives or directives naming
 /// branches the program does not contain.
-pub fn parse_directives(
-    program: &Program,
-    text: &str,
-) -> Result<BranchCounts, DirectiveError> {
+pub fn parse_directives(program: &Program, text: &str) -> Result<BranchCounts, DirectiveError> {
     let mut by_key: HashMap<(String, u32, u32), BranchId> = HashMap::new();
     for (i, key) in source_keys(program).into_iter().enumerate() {
         by_key.insert(key, BranchId::from_index(i));
@@ -176,8 +173,7 @@ mod tests {
         let program = compile(SRC).unwrap();
         let err = parse_directives(&program, &format!("{MARKER} main oops")).unwrap_err();
         assert!(matches!(err, DirectiveError::Malformed { line: 1 }));
-        let err =
-            parse_directives(&program, &format!("{MARKER} main 3 0 x 1")).unwrap_err();
+        let err = parse_directives(&program, &format!("{MARKER} main 3 0 x 1")).unwrap_err();
         assert!(matches!(err, DirectiveError::Malformed { .. }));
     }
 

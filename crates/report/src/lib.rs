@@ -44,7 +44,8 @@ impl Table {
             self.headers.len(),
             "row width does not match header"
         );
-        self.rows.push(cells.iter().map(|s| s.to_string()).collect());
+        self.rows
+            .push(cells.iter().map(|s| s.to_string()).collect());
         self
     }
 

@@ -84,7 +84,10 @@ impl fmt::Display for RuntimeError {
                 write!(f, "type mismatch: expected {expected}, found {found}")
             }
             RuntimeError::BadIndirectTarget { found } => {
-                write!(f, "indirect call through non-function value of type {found}")
+                write!(
+                    f,
+                    "indirect call through non-function value of type {found}"
+                )
             }
             RuntimeError::IndirectArityMismatch {
                 callee,

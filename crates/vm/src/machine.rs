@@ -138,6 +138,37 @@ impl<'p> Vm<'p> {
     }
 }
 
+/// Runs `program`'s entry function on `inputs` under `config` — the
+/// one-shot entry point parallel schedulers use. Everything involved
+/// (`Program`, the inputs, the resulting [`Run`]) is `Send + Sync`, so a
+/// shared program can be executed from many worker threads at once; each
+/// call gets its own interpreter state.
+///
+/// # Errors
+///
+/// Returns a [`RuntimeError`] on any dynamic fault, exactly as
+/// [`Vm::run`] does.
+pub fn run_program(
+    program: &Program,
+    config: VmConfig,
+    inputs: &[Input],
+) -> Result<Run, RuntimeError> {
+    Vm::with_config(program, config).run(inputs)
+}
+
+// The thread-safety contract run_program advertises, checked at compile
+// time: a regression (say, an Rc sneaking into the heap or stats) fails
+// the build here rather than in a downstream crate's scheduler.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<Program>();
+    assert_send_sync::<VmConfig>();
+    assert_send_sync::<Input>();
+    assert_send_sync::<Run>();
+    assert_send_sync::<RunStats>();
+    assert_send_sync::<RuntimeError>();
+};
+
 struct Interp<'p> {
     program: &'p Program,
     config: VmConfig,
@@ -211,7 +242,10 @@ impl<'p> Interp<'p> {
         // references below do not conflict with `&mut self` calls.
         let program = self.program;
         let result = loop {
-            let frame = self.frames.last_mut().expect("frame stack never empty here");
+            let frame = self
+                .frames
+                .last_mut()
+                .expect("frame stack never empty here");
             let (fi, bi, ip) = (frame.func, frame.block, frame.ip);
             let block = &program.functions[fi.index()].blocks[bi];
             self.spend_fuel()?;

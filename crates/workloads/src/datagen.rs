@@ -1,10 +1,9 @@
 //! Seeded, deterministic dataset generation helpers.
 //!
 //! Every generator takes an explicit seed so the whole experiment matrix is
-//! reproducible bit-for-bit. `rand` with a fixed-seed SmallRng would also
-//! work, but a self-contained LCG keeps the generated *datasets* stable even
-//! across `rand` major versions; `rand` is still used where distribution
-//! quality matters (see `spice`'s netlist shuffling).
+//! reproducible bit-for-bit. A self-contained generator (rather than an
+//! external `rand` dependency) keeps the generated *datasets* stable
+//! forever and lets the workspace build with no registry access.
 
 /// A 64-bit splitmix-style generator: tiny, seedable, stable forever.
 #[derive(Clone, Debug)]

@@ -110,6 +110,18 @@ impl Workload {
         Ok(p)
     }
 
+    /// The canonical VM configuration for measured runs of this workload.
+    /// External runners (e.g. the mfharness scheduler) must use this so
+    /// their statistics are bit-identical to [`Workload::run`].
+    pub fn vm_config(&self) -> VmConfig {
+        // Generous but bounded: a workload stuck in a loop fails the run
+        // instead of hanging the harness.
+        VmConfig {
+            fuel: 4_000_000_000,
+            ..VmConfig::default()
+        }
+    }
+
     /// Runs `program` (a compilation of this workload) on `dataset`.
     ///
     /// # Errors
@@ -117,13 +129,7 @@ impl Workload {
     /// Returns a [`RuntimeError`] if the guest faults — the bundled
     /// workloads never do.
     pub fn run(&self, program: &Program, dataset: &Dataset) -> Result<Run, RuntimeError> {
-        // Generous but bounded: a workload stuck in a loop fails the run
-        // instead of hanging the harness.
-        let config = VmConfig {
-            fuel: 4_000_000_000,
-            ..VmConfig::default()
-        };
-        Vm::with_config(program, config).run(&dataset.inputs)
+        Vm::with_config(program, self.vm_config()).run(&dataset.inputs)
     }
 
     /// Finds a dataset by name.
@@ -156,7 +162,10 @@ pub fn suite() -> Vec<Workload> {
 /// The workloads with more than one dataset — the population Figures 2 & 3
 /// are computed over.
 pub fn multi_dataset_suite() -> Vec<Workload> {
-    suite().into_iter().filter(|w| w.datasets.len() >= 2).collect()
+    suite()
+        .into_iter()
+        .filter(|w| w.datasets.len() >= 2)
+        .collect()
 }
 
 #[cfg(test)]

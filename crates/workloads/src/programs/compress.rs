@@ -172,8 +172,12 @@ pub fn gen_c_source(seed: u64, functions: usize) -> String {
     );
     for f in 0..functions {
         let t = g.pick(&types);
-        writeln!(out, "static {t} fn_{f}({t} {}, {t} {}) {{", names[0], names[1])
-            .expect("write");
+        writeln!(
+            out,
+            "static {t} fn_{f}({t} {}, {t} {}) {{",
+            names[0], names[1]
+        )
+        .expect("write");
         let stmts = g.range(4, 12);
         for _ in 0..stmts {
             match g.below(5) {
@@ -212,8 +216,14 @@ pub fn gen_c_source(seed: u64, functions: usize) -> String {
                     g.pick(&names)
                 )
                 .expect("write"),
-                _ => writeln!(out, "    {} ^= {} << {};", g.pick(&names), g.pick(&names), g.range(1, 7))
-                    .expect("write"),
+                _ => writeln!(
+                    out,
+                    "    {} ^= {} << {};",
+                    g.pick(&names),
+                    g.pick(&names),
+                    g.range(1, 7)
+                )
+                .expect("write"),
             }
         }
         writeln!(out, "    return {};\n}}\n", g.pick(&names)).expect("write");
@@ -224,7 +234,9 @@ pub fn gen_c_source(seed: u64, functions: usize) -> String {
 /// Generates FORTRAN-like source text (the `spicef` dataset).
 pub fn gen_fortran_source(seed: u64, routines: usize) -> String {
     let mut g = Lcg::new(seed);
-    let vars = ["VOLT", "AMPS", "GMIN", "TEMP", "VCRIT", "XN", "DELTA", "TOL"];
+    let vars = [
+        "VOLT", "AMPS", "GMIN", "TEMP", "VCRIT", "XN", "DELTA", "TOL",
+    ];
     let mut out = String::new();
     for r in 0..routines {
         writeln!(out, "      SUBROUTINE SUB{r:03}(N, A, B)").expect("write");
@@ -260,8 +272,12 @@ pub fn gen_fortran_source(seed: u64, routines: usize) -> String {
                     g.range(1, 50)
                 )
                 .expect("write"),
-                _ => writeln!(out, "      CALL SUB{:03}(N, A, B)", g.below(routines as u64))
-                    .expect("write"),
+                _ => writeln!(
+                    out,
+                    "      CALL SUB{:03}(N, A, B)",
+                    g.below(routines as u64)
+                )
+                .expect("write"),
             }
         }
         out.push_str("      RETURN\n      END\n\n");
@@ -307,8 +323,26 @@ pub fn gen_binary(seed: u64, len: usize) -> Vec<i64> {
 pub fn gen_long_text(seed: u64, words: usize) -> String {
     let mut g = Lcg::new(seed);
     let vocab = [
-        "the", "of", "a", "compression", "ratio", "table", "entry", "input", "output", "stream",
-        "code", "when", "reset", "is", "full", "and", "bits", "per", "character", "algorithm",
+        "the",
+        "of",
+        "a",
+        "compression",
+        "ratio",
+        "table",
+        "entry",
+        "input",
+        "output",
+        "stream",
+        "code",
+        "when",
+        "reset",
+        "is",
+        "full",
+        "and",
+        "bits",
+        "per",
+        "character",
+        "algorithm",
     ];
     let mut out = String::new();
     for w in 0..words {
@@ -339,7 +373,11 @@ fn compress_datasets() -> Vec<Dataset> {
             "Multiflow compiled image for SPEC 3.0 compress",
             pack_bin(gen_binary(102, 14_000)),
         ),
-        Dataset::new("long", "The SPEC 3.0 reference data", pack(gen_long_text(103, 6_000))),
+        Dataset::new(
+            "long",
+            "The SPEC 3.0 reference data",
+            pack(gen_long_text(103, 6_000)),
+        ),
         Dataset::new(
             "spicef",
             "FORTRAN source for spice",

@@ -278,9 +278,7 @@ pub fn gen_priority(lines: usize) -> String {
 
 /// The `eqntott` workload.
 pub fn workload() -> Workload {
-    let pack = |text: String| -> Vec<Input> {
-        vec![Input::from_text(&text), Input::Int(0)]
-    };
+    let pack = |text: String| -> Vec<Input> { vec![Input::from_text(&text), Input::Int(0)] };
     Workload {
         name: "eqntott",
         description: "Converts boolean equations to truth tables",
@@ -355,9 +353,9 @@ mod tests {
         assert_eq!(nvars, 5); // a0 a1 b0 b1 cin
         let outputs = out[1];
         assert_eq!(outputs, 3); // s0 s1 carry
-        // Brute-force the adder in Rust; variable order in the guest is by
-        // first appearance, which matches generation order… so instead of
-        // relying on bit positions, just validate total ON counts.
+                                // Brute-force the adder in Rust; variable order in the guest is by
+                                // first appearance, which matches generation order… so instead of
+                                // relying on bit positions, just validate total ON counts.
         let mut on = [0i64; 3];
         for a in 0..4u32 {
             for b in 0..4u32 {

@@ -223,10 +223,18 @@ pub fn workload() -> Workload {
         group: Group::CInteger,
         source: ESPRESSO.to_string(),
         datasets: vec![
-            Dataset::new("bca", "Dense control PLA", pack(gen_pla(301, 10, 90, 220), 1)),
+            Dataset::new(
+                "bca",
+                "Dense control PLA",
+                pack(gen_pla(301, 10, 90, 220), 1),
+            ),
             Dataset::new("cps", "Wide sparse PLA", pack(gen_pla(302, 12, 60, 320), 2)),
             Dataset::new("ti", "Narrow deep PLA", pack(gen_pla(303, 9, 130, 160), 3)),
-            Dataset::new("tial", "Large mixed PLA", pack(gen_pla(304, 12, 140, 300), 4)),
+            Dataset::new(
+                "tial",
+                "Large mixed PLA",
+                pack(gen_pla(304, 12, 140, 300), 4),
+            ),
         ],
     }
 }

@@ -138,13 +138,10 @@ mod tests {
     fn giant_block_dominates() {
         let w = workload();
         let p = w.compile().unwrap();
-        let run = Vm::new(&p)
-            .run(&[Input::Int(4), Input::Int(2)])
-            .unwrap();
+        let run = Vm::new(&p).run(&[Input::Int(4), Input::Int(2)]).unwrap();
         // The defining property: enormous instructions-per-branch ratio
         // compared with every other workload (fpppp's Figure 1 outlier).
-        let ipb =
-            run.stats.total_instrs as f64 / run.stats.branches.total_executed() as f64;
+        let ipb = run.stats.total_instrs as f64 / run.stats.branches.total_executed() as f64;
         assert!(ipb > 60.0, "fpppp instrs/branch only {ipb}");
     }
 

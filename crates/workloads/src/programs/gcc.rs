@@ -559,7 +559,13 @@ fn gen_module(seed: u64, functions: usize, profile: Profile) -> String {
                 .expect("write");
             }
         }
-        writeln!(out, "    return {} + {};\n}}\n", g.pick(&names), g.range(0, 9)).expect("write");
+        writeln!(
+            out,
+            "    return {} + {};\n}}\n",
+            g.pick(&names),
+            g.range(0, 9)
+        )
+        .expect("write");
     }
     out
 }
@@ -580,37 +586,73 @@ pub fn workload() -> Workload {
                 "loop_mod",
                 "Loop-heavy module",
                 401,
-                Profile { loops: 6, exprs: 2, decls: 1, calls: 1, strings: 0 },
+                Profile {
+                    loops: 6,
+                    exprs: 2,
+                    decls: 1,
+                    calls: 1,
+                    strings: 0,
+                },
             ),
             mk(
                 "expr_mod",
                 "Expression-heavy module",
                 402,
-                Profile { loops: 1, exprs: 7, decls: 1, calls: 1, strings: 0 },
+                Profile {
+                    loops: 1,
+                    exprs: 7,
+                    decls: 1,
+                    calls: 1,
+                    strings: 0,
+                },
             ),
             mk(
                 "decl_mod",
                 "Declaration-heavy module",
                 403,
-                Profile { loops: 1, exprs: 1, decls: 7, calls: 0, strings: 1 },
+                Profile {
+                    loops: 1,
+                    exprs: 1,
+                    decls: 7,
+                    calls: 0,
+                    strings: 1,
+                },
             ),
             mk(
                 "call_mod",
                 "Call-heavy module",
                 404,
-                Profile { loops: 1, exprs: 2, decls: 1, calls: 6, strings: 0 },
+                Profile {
+                    loops: 1,
+                    exprs: 2,
+                    decls: 1,
+                    calls: 6,
+                    strings: 0,
+                },
             ),
             mk(
                 "string_mod",
                 "Diagnostic/string-heavy module",
                 405,
-                Profile { loops: 1, exprs: 2, decls: 1, calls: 1, strings: 5 },
+                Profile {
+                    loops: 1,
+                    exprs: 2,
+                    decls: 1,
+                    calls: 1,
+                    strings: 5,
+                },
             ),
             mk(
                 "mixed_mod",
                 "Balanced module",
                 406,
-                Profile { loops: 2, exprs: 2, decls: 2, calls: 2, strings: 2 },
+                Profile {
+                    loops: 2,
+                    exprs: 2,
+                    decls: 2,
+                    calls: 2,
+                    strings: 2,
+                },
             ),
         ],
     }
@@ -632,9 +674,7 @@ mod tests {
 
     #[test]
     fn counts_on_handwritten_module() {
-        let out = front_end(
-            "int x;\nint f(int a) { return a + 2 * 3; }\n",
-        );
+        let out = front_end("int x;\nint f(int a) { return a + 2 * 3; }\n");
         let (idents, numbers, _strings, keywords) = (out[0], out[1], out[2], out[3]);
         // idents: x, f, a, a = 4; numbers: 2, 3; keywords: int,int,int,return.
         assert_eq!(idents, 4);
@@ -650,9 +690,8 @@ mod tests {
 
     #[test]
     fn comments_and_strings_lexed() {
-        let out = front_end(
-            "// line comment\n/* block\ncomment */\nint f() { return \"msg\" ; }\n",
-        );
+        let out =
+            front_end("// line comment\n/* block\ncomment */\nint f() { return \"msg\" ; }\n");
         assert_eq!(out[2], 1, "one string");
         assert!(!out.contains(&-999));
     }

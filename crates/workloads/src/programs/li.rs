@@ -531,9 +531,7 @@ fn sieve_program(limit: u32) -> String {
 
 /// The `li` workload.
 pub fn workload() -> Workload {
-    let pack = |program: String, cells: i64| {
-        vec![Input::from_text(&program), Input::Int(cells)]
-    };
+    let pack = |program: String, cells: i64| vec![Input::from_text(&program), Input::Int(cells)];
     Workload {
         name: "li",
         description: "XLISP 1.6 public domain lisp interpreter",

@@ -355,10 +355,7 @@ pub fn workload() -> Workload {
             Dataset::new(
                 "c_metric",
                 "C-flavoured source (cat, cpp, diff, make, maze, whetstone stand-in)",
-                vec![
-                    Input::from_text(&gen_c_metric(501, 900)),
-                    Input::Int(0),
-                ],
+                vec![Input::from_text(&gen_c_metric(501, 900)), Input::Int(0)],
             ),
             Dataset::new(
                 "fortran_metric",

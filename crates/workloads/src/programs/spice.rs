@@ -378,16 +378,12 @@ pub fn workload() -> Workload {
                 "Appendix example (diode mixer)",
                 diode_mixer(602, 10).inputs(90, 8),
             ),
-            Dataset::new(
-                "circuit4",
-                "Appendix example (mixed RC + junctions)",
-                {
-                    let mut n = diode_mixer(603, 8);
-                    n.bjt(3, 0, 1e-13, 60.0);
-                    n.bjt(5, 2, 1e-13, 75.0);
-                    n.inputs(110, 8)
-                },
-            ),
+            Dataset::new("circuit4", "Appendix example (mixed RC + junctions)", {
+                let mut n = diode_mixer(603, 8);
+                n.bjt(3, 0, 1e-13, 60.0);
+                n.bjt(5, 2, 1e-13, 75.0);
+                n.inputs(110, 8)
+            }),
             Dataset::new(
                 "circuit5",
                 "Appendix example (larger linear + diode mix)",

@@ -198,7 +198,11 @@ fn perturb(text: &str, seed: u64, within_tol: usize, real_changes: usize) -> Str
         let line = lines[i].clone();
         let mut bytes = line.into_bytes();
         if let Some(last) = bytes.iter().rposition(|b| b.is_ascii_digit()) {
-            bytes[last] = if bytes[last] == b'9' { b'8' } else { bytes[last] + 1 };
+            bytes[last] = if bytes[last] == b'9' {
+                b'8'
+            } else {
+                bytes[last] + 1
+            };
         }
         lines[i] = String::from_utf8(bytes).expect("ascii");
     }

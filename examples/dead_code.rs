@@ -59,7 +59,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     let mut t = Table::new(&["BUILD", "DYN INSTRS", "STATIC BRANCHES", "DYN BRANCHES"]);
-    for (name, program, run) in [("profiling (DCE off)", &base, &base_run), ("optimized", &opt, &opt_run)] {
+    for (name, program, run) in [
+        ("profiling (DCE off)", &base, &base_run),
+        ("optimized", &opt, &opt_run),
+    ] {
         t.row_owned(vec![
             name.to_string(),
             run.stats.total_instrs.to_string(),

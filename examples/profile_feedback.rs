@@ -42,7 +42,9 @@ fn tape(seed: u64, n: usize, bias: [u64; 5]) -> Vec<i64> {
     let mut state = seed;
     (0..n)
         .map(|_| {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let mut roll = (state >> 33) % total;
             for (op, w) in bias.iter().enumerate() {
                 if roll < *w {
@@ -116,7 +118,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "directives (unscaled db)",
         &Predictor::from_counts(&parsed, Default::default()),
     );
-    for rule in [CombineRule::Scaled, CombineRule::Unscaled, CombineRule::Polling] {
+    for rule in [
+        CombineRule::Scaled,
+        CombineRule::Unscaled,
+        CombineRule::Polling,
+    ] {
         let profiles: Vec<_> = db.iter().map(|(_, c)| c).collect();
         let p = Predictor::from_weighted(&combine(&profiles, rule), Default::default());
         add(&format!("{rule:?}"), &p);

@@ -11,9 +11,7 @@
 //! ```
 
 use fisher92::lang::compile;
-use fisher92::predict::dynamic::{
-    mispredict_gaps, simulate, simulate_seeded, DynamicScheme,
-};
+use fisher92::predict::dynamic::{mispredict_gaps, simulate, simulate_seeded, DynamicScheme};
 use fisher92::predict::{evaluate, BreakConfig, Direction, Predictor};
 use fisher92::report::Table;
 use fisher92::vm::{Input, Vm, VmConfig};

@@ -1,0 +1,243 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! This workspace builds where crates.io is unreachable, so the real
+//! criterion cannot be vendored. The shim keeps `cargo bench` working with
+//! the same bench sources: `criterion_group!`/`criterion_main!`,
+//! `Criterion::bench_function`, `benchmark_group` with
+//! `throughput`/`sample_size`, and `Bencher::iter`.
+//!
+//! Measurement is deliberately simple — calibrate an iteration count to a
+//! target batch time, then report min/mean/max per-iteration wall time over
+//! a handful of samples. No statistics, plots, or saved baselines.
+
+use std::time::{Duration, Instant};
+
+/// Re-export matching `criterion::black_box` (an alias of the std hint).
+pub use std::hint::black_box;
+
+const TARGET_BATCH: Duration = Duration::from_millis(20);
+
+/// Top-level benchmark driver.
+#[derive(Debug)]
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Runs one named benchmark.
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_bench(id, None, self.sample_size, f);
+        self
+    }
+
+    /// Opens a named group; settings on the group apply to its benches.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.to_string(),
+            throughput: None,
+            sample_size: 10,
+        }
+    }
+}
+
+/// How many bytes/elements one iteration processes, for derived rates.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Bytes per iteration.
+    Bytes(u64),
+    /// Elements per iteration.
+    Elements(u64),
+}
+
+/// A group of related benchmarks sharing throughput/sample settings.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the per-iteration throughput used to report a rate.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Sets the number of timed samples.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Runs one named benchmark inside the group.
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id);
+        run_bench(&full, self.throughput, self.sample_size, f);
+        self
+    }
+
+    /// Ends the group (a no-op here; kept for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Passed to the closure given to `bench_function`; times the routine.
+#[derive(Debug)]
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `iters` calls of `routine`.
+    pub fn iter<R, F>(&mut self, mut routine: F)
+    where
+        F: FnMut() -> R,
+    {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn run_bench<F>(id: &str, throughput: Option<Throughput>, samples: usize, mut f: F)
+where
+    F: FnMut(&mut Bencher),
+{
+    // Calibrate: double the iteration count until one batch reaches the
+    // target time (or the count gets large enough for stable division).
+    let mut b = Bencher {
+        iters: 1,
+        elapsed: Duration::ZERO,
+    };
+    loop {
+        f(&mut b);
+        if b.elapsed >= TARGET_BATCH || b.iters >= 1 << 20 {
+            break;
+        }
+        b.iters *= 2;
+    }
+    let iters = b.iters;
+
+    let mut per_iter: Vec<f64> = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        f(&mut b);
+        per_iter.push(b.elapsed.as_secs_f64() / iters as f64);
+    }
+    let min = per_iter.iter().copied().fold(f64::INFINITY, f64::min);
+    let max = per_iter.iter().copied().fold(0.0f64, f64::max);
+    let mean = per_iter.iter().sum::<f64>() / per_iter.len() as f64;
+
+    let rate = throughput.map(|t| match t {
+        Throughput::Bytes(n) => format!("  thrpt: {}/s", human_bytes(n as f64 / mean)),
+        Throughput::Elements(n) => format!("  thrpt: {} elem/s", human_count(n as f64 / mean)),
+    });
+    println!(
+        "{id:<40} time: [{} {} {}]{}",
+        human_time(min),
+        human_time(mean),
+        human_time(max),
+        rate.unwrap_or_default()
+    );
+}
+
+fn human_time(secs: f64) -> String {
+    if secs >= 1.0 {
+        format!("{secs:.3} s")
+    } else if secs >= 1e-3 {
+        format!("{:.3} ms", secs * 1e3)
+    } else if secs >= 1e-6 {
+        format!("{:.3} µs", secs * 1e6)
+    } else {
+        format!("{:.1} ns", secs * 1e9)
+    }
+}
+
+fn human_count(v: f64) -> String {
+    if v >= 1e9 {
+        format!("{:.2}G", v / 1e9)
+    } else if v >= 1e6 {
+        format!("{:.2}M", v / 1e6)
+    } else if v >= 1e3 {
+        format!("{:.2}K", v / 1e3)
+    } else {
+        format!("{v:.0}")
+    }
+}
+
+fn human_bytes(v: f64) -> String {
+    if v >= 1e9 {
+        format!("{:.2} GB", v / 1e9)
+    } else if v >= 1e6 {
+        format!("{:.2} MB", v / 1e6)
+    } else if v >= 1e3 {
+        format!("{:.2} KB", v / 1e3)
+    } else {
+        format!("{v:.0} B")
+    }
+}
+
+/// Declares a function running the listed benchmark targets in order.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_times() {
+        let mut c = Criterion::default();
+        let mut calls = 0u64;
+        c.bench_function("smoke", |b| {
+            b.iter(|| {
+                calls += 1;
+                black_box(calls)
+            })
+        });
+        assert!(calls > 0);
+    }
+
+    #[test]
+    fn groups_apply_settings() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("g");
+        g.throughput(Throughput::Elements(100));
+        g.sample_size(3);
+        g.bench_function("inner", |b| b.iter(|| black_box(1 + 1)));
+        g.finish();
+    }
+}

@@ -1,0 +1,36 @@
+//! `prop::array`: fixed-size arrays drawn from one element strategy.
+
+use crate::strategy::{BoxedStrategy, Strategy};
+
+/// `[T; 3]` with every element from `s`.
+pub fn uniform3<S>(s: S) -> BoxedStrategy<[S::Value; 3]>
+where
+    S: Strategy + 'static,
+    S::Value: 'static,
+{
+    BoxedStrategy::new(move |rng| std::array::from_fn(|_| s.generate(rng)))
+}
+
+/// `[T; 4]` with every element from `s`.
+pub fn uniform4<S>(s: S) -> BoxedStrategy<[S::Value; 4]>
+where
+    S: Strategy + 'static,
+    S::Value: 'static,
+{
+    BoxedStrategy::new(move |rng| std::array::from_fn(|_| s.generate(rng)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::TestRng;
+
+    #[test]
+    fn arrays_fill_from_strategy() {
+        let mut rng = TestRng::for_test("arr");
+        let a = uniform3(-5i64..5).generate(&mut rng);
+        assert!(a.iter().all(|v| (-5..5).contains(v)));
+        let b = uniform4(0u8..2).generate(&mut rng);
+        assert!(b.iter().all(|v| *v < 2));
+    }
+}

@@ -1,0 +1,36 @@
+//! `prop::collection`: variable-length collections.
+
+use std::ops::Range;
+
+use crate::strategy::{BoxedStrategy, Strategy};
+
+/// Generates a `Vec` whose length is drawn uniformly from `len` and whose
+/// elements come from `elem`.
+pub fn vec<S>(elem: S, len: Range<usize>) -> BoxedStrategy<Vec<S::Value>>
+where
+    S: Strategy + 'static,
+    S::Value: 'static,
+{
+    assert!(len.start < len.end, "empty length range");
+    BoxedStrategy::new(move |rng| {
+        let n = len.start + rng.below((len.end - len.start) as u64) as usize;
+        (0..n).map(|_| elem.generate(rng)).collect()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::TestRng;
+
+    #[test]
+    fn lengths_and_elements_in_range() {
+        let s = vec(0i64..10, 2..5);
+        let mut rng = TestRng::for_test("vec");
+        for _ in 0..300 {
+            let v = s.generate(&mut rng);
+            assert!((2..5).contains(&v.len()));
+            assert!(v.iter().all(|e| (0..10).contains(e)));
+        }
+    }
+}

@@ -1,0 +1,244 @@
+//! Regex-lite string generation.
+//!
+//! Supports the pattern subset the workspace's tests use: a sequence of
+//! literal characters and character classes, each optionally followed by a
+//! `{n}` or `{m,n}` repeat. Classes support ranges (`a-z`), escapes
+//! (`\\`), leading-`^` negation, `&&` intersection, and nested bracketed
+//! classes on either side of `&&` (e.g. `[ -~&&[^"\\]]`).
+
+use crate::rng::TestRng;
+
+/// ASCII membership bitmap.
+type Bitmap = [bool; 128];
+
+struct Atom {
+    set: Vec<char>,
+    min: usize,
+    max: usize,
+}
+
+/// Generates one string matching `pattern`.
+pub fn generate(pattern: &str, rng: &mut TestRng) -> String {
+    let atoms = parse(pattern);
+    let mut out = String::new();
+    for atom in &atoms {
+        let n = atom.min + rng.below((atom.max - atom.min + 1) as u64) as usize;
+        for _ in 0..n {
+            out.push(atom.set[rng.below(atom.set.len() as u64) as usize]);
+        }
+    }
+    out
+}
+
+fn parse(pattern: &str) -> Vec<Atom> {
+    let cs: Vec<char> = pattern.chars().collect();
+    let mut i = 0;
+    let mut out = Vec::new();
+    while i < cs.len() {
+        let set = match cs[i] {
+            '[' => {
+                let end = class_end(&cs, i);
+                let map = class_bitmap(&cs[i + 1..end]);
+                i = end + 1;
+                bitmap_chars(&map)
+            }
+            '\\' => {
+                assert!(i + 1 < cs.len(), "dangling escape in pattern {pattern}");
+                i += 2;
+                vec![cs[i - 1]]
+            }
+            c => {
+                i += 1;
+                vec![c]
+            }
+        };
+        let (min, max) = if i < cs.len() && cs[i] == '{' {
+            let close = cs[i..]
+                .iter()
+                .position(|&c| c == '}')
+                .map(|p| p + i)
+                .unwrap_or_else(|| panic!("unterminated repeat in pattern {pattern}"));
+            let body: String = cs[i + 1..close].iter().collect();
+            i = close + 1;
+            match body.split_once(',') {
+                Some((lo, hi)) => (
+                    lo.parse().expect("repeat lower bound"),
+                    hi.parse().expect("repeat upper bound"),
+                ),
+                None => {
+                    let n = body.parse().expect("repeat count");
+                    (n, n)
+                }
+            }
+        } else {
+            (1, 1)
+        };
+        assert!(
+            !set.is_empty(),
+            "empty character class in pattern {pattern}"
+        );
+        assert!(min <= max, "inverted repeat bounds in pattern {pattern}");
+        out.push(Atom { set, min, max });
+    }
+    out
+}
+
+/// Index of the `]` matching the `[` at `open`, honouring nesting/escapes.
+fn class_end(cs: &[char], open: usize) -> usize {
+    let mut depth = 0usize;
+    let mut i = open;
+    while i < cs.len() {
+        match cs[i] {
+            '\\' => i += 1,
+            '[' => depth += 1,
+            ']' => {
+                depth -= 1;
+                if depth == 0 {
+                    return i;
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    panic!("unterminated character class");
+}
+
+/// Evaluates class *contents* (the chars between the brackets): top-level
+/// `&&`-separated parts are intersected.
+fn class_bitmap(contents: &[char]) -> Bitmap {
+    let mut parts: Vec<&[char]> = Vec::new();
+    let mut depth = 0usize;
+    let mut start = 0;
+    let mut i = 0;
+    while i < contents.len() {
+        match contents[i] {
+            '\\' => i += 1,
+            '[' => depth += 1,
+            ']' => depth -= 1,
+            '&' if depth == 0 && contents.get(i + 1) == Some(&'&') => {
+                parts.push(&contents[start..i]);
+                i += 1;
+                start = i + 1;
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    parts.push(&contents[start..]);
+
+    let mut result: Option<Bitmap> = None;
+    for part in parts {
+        let m = if part.first() == Some(&'[') {
+            class_bitmap(&part[1..class_end(part, 0)])
+        } else {
+            flat_bitmap(part)
+        };
+        result = Some(match result {
+            None => m,
+            Some(prev) => std::array::from_fn(|i| prev[i] && m[i]),
+        });
+    }
+    result.expect("class has at least one part")
+}
+
+/// A flat (non-nested) item list: optional leading `^`, then single chars,
+/// escapes, and ranges.
+fn flat_bitmap(items: &[char]) -> Bitmap {
+    let (negated, items) = match items.first() {
+        Some('^') => (true, &items[1..]),
+        _ => (false, items),
+    };
+    // Decode escapes first: (char, was_escaped).
+    let mut toks: Vec<(char, bool)> = Vec::new();
+    let mut i = 0;
+    while i < items.len() {
+        if items[i] == '\\' && i + 1 < items.len() {
+            toks.push((items[i + 1], true));
+            i += 2;
+        } else {
+            toks.push((items[i], false));
+            i += 1;
+        }
+    }
+    let mut set = [false; 128];
+    let mut j = 0;
+    while j < toks.len() {
+        if j + 2 < toks.len() && toks[j + 1] == ('-', false) {
+            let (lo, hi) = (toks[j].0, toks[j + 2].0);
+            assert!(
+                lo.is_ascii() && hi.is_ascii() && lo <= hi,
+                "bad range {lo}-{hi}"
+            );
+            for b in lo as u8..=hi as u8 {
+                set[b as usize] = true;
+            }
+            j += 3;
+        } else {
+            let c = toks[j].0;
+            assert!(c.is_ascii(), "non-ASCII class member {c:?}");
+            set[c as usize] = true;
+            j += 1;
+        }
+    }
+    if negated {
+        // Negation is relative to the printable-ASCII universe (plus tab
+        // and newline) — ample for test-input generation.
+        let mut universe = [false; 128];
+        for b in 0x20u8..=0x7e {
+            universe[b as usize] = true;
+        }
+        universe[b'\t' as usize] = true;
+        universe[b'\n' as usize] = true;
+        return std::array::from_fn(|i| universe[i] && !set[i]);
+    }
+    set
+}
+
+fn bitmap_chars(map: &Bitmap) -> Vec<char> {
+    (0..128u8)
+        .filter(|&b| map[b as usize])
+        .map(char::from)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> TestRng {
+        TestRng::for_test("string")
+    }
+
+    #[test]
+    fn identifier_pattern() {
+        let mut r = rng();
+        for _ in 0..300 {
+            let s = generate("[a-z][a-z0-9_]{0,8}", &mut r);
+            assert!(!s.is_empty() && s.len() <= 9, "{s:?}");
+            let mut chars = s.chars();
+            assert!(chars.next().unwrap().is_ascii_lowercase());
+            assert!(chars.all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_'));
+        }
+    }
+
+    #[test]
+    fn intersection_with_negated_nested_class() {
+        let mut r = rng();
+        for _ in 0..300 {
+            let s = generate("[ -~&&[^\"\\\\]]{0,12}", &mut r);
+            assert!(s.len() <= 12);
+            for c in s.chars() {
+                assert!((' '..='~').contains(&c), "{c:?}");
+                assert!(c != '"' && c != '\\', "{c:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn literals_and_fixed_repeats() {
+        let mut r = rng();
+        assert_eq!(generate("abc", &mut r), "abc");
+        assert_eq!(generate("a{3}", &mut r), "aaa");
+    }
+}

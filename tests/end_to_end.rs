@@ -9,7 +9,10 @@ use fisher92::workloads::suite;
 /// Collect runs for one (cheap) workload.
 fn runs_for(name: &str) -> Vec<DatasetRun> {
     let all = suite();
-    let w = all.iter().find(|w| w.name == name).expect("workload exists");
+    let w = all
+        .iter()
+        .find(|w| w.name == name)
+        .expect("workload exists");
     let program = w.compile().expect("compiles");
     w.datasets
         .iter()

@@ -62,8 +62,16 @@ fn dynamic_schemes_order_as_in_the_literature() {
     // paper leans on.
     for (name, dataset) in [("doduc", "tiny"), ("spiff", "case1"), ("mfcom", "c_metric")] {
         let (_, run) = traced_run(name, dataset);
-        let one = simulate(&run.branch_trace, DynamicScheme::OneBit, Direction::NotTaken);
-        let two = simulate(&run.branch_trace, DynamicScheme::TwoBit, Direction::NotTaken);
+        let one = simulate(
+            &run.branch_trace,
+            DynamicScheme::OneBit,
+            Direction::NotTaken,
+        );
+        let two = simulate(
+            &run.branch_trace,
+            DynamicScheme::TwoBit,
+            Direction::NotTaken,
+        );
         assert!(
             two.correct_fraction() >= one.correct_fraction(),
             "{name}: 2-bit ({}) should beat 1-bit ({})",
@@ -86,7 +94,11 @@ fn dynamic_schemes_order_as_in_the_literature() {
 fn profile_seeding_never_hurts_much() {
     let (_, run) = traced_run("gcc", "loop_mod");
     let self_pred = Predictor::from_counts(&run.stats.branches, Direction::NotTaken);
-    let cold = simulate(&run.branch_trace, DynamicScheme::TwoBit, Direction::NotTaken);
+    let cold = simulate(
+        &run.branch_trace,
+        DynamicScheme::TwoBit,
+        Direction::NotTaken,
+    );
     let warm = simulate_seeded(&run.branch_trace, DynamicScheme::TwoBit, &self_pred);
     assert!(warm.mispredicted <= cold.mispredicted);
 }

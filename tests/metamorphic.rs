@@ -115,8 +115,7 @@ fn arb_expr() -> impl Strategy<Value = Ex> {
         (0..NVARS).prop_map(Ex::Var),
         (0..NVARS, -20i64..20).prop_map(|(i, k)| Ex::Mul(i, k)),
         (0..NVARS, 0..NVARS).prop_map(|(i, j)| Ex::Xor(i, j)),
-        (0..NVARS, (-50i64..50).prop_map(Ex::Const))
-            .prop_map(|(i, e)| Ex::Add(i, Box::new(e))),
+        (0..NVARS, (-50i64..50).prop_map(Ex::Const)).prop_map(|(i, e)| Ex::Add(i, Box::new(e))),
     ]
 }
 

@@ -64,8 +64,8 @@ fn find(name: &str) -> &'static Collected {
 fn fpppp_is_the_unpredicted_outlier() {
     let fpppp = find("fpppp");
     let others = ["doduc", "gcc", "spiff", "mfcom"];
-    let fpppp_ipb = evaluate_unpredicted(&fpppp.runs[0].stats, BreakConfig::fig1())
-        .instrs_per_break;
+    let fpppp_ipb =
+        evaluate_unpredicted(&fpppp.runs[0].stats, BreakConfig::fig1()).instrs_per_break;
     for name in others {
         let c = find(name);
         for r in &c.runs {
@@ -189,15 +189,17 @@ fn scaled_and_unscaled_are_close_on_average() {
             continue;
         }
         for i in 0..c.runs.len() {
-            let s = experiment::loo_metrics(&c.runs, i, CombineRule::Scaled, cfg)
-                .instrs_per_break;
-            let u = experiment::loo_metrics(&c.runs, i, CombineRule::Unscaled, cfg)
-                .instrs_per_break;
+            let s = experiment::loo_metrics(&c.runs, i, CombineRule::Scaled, cfg).instrs_per_break;
+            let u =
+                experiment::loo_metrics(&c.runs, i, CombineRule::Unscaled, cfg).instrs_per_break;
             diffs.push((s - u).abs() / s.max(u));
         }
     }
     let mean = diffs.iter().sum::<f64>() / diffs.len() as f64;
-    assert!(mean < 0.15, "scaled vs unscaled mean relative gap {mean:.2}");
+    assert!(
+        mean < 0.15,
+        "scaled vs unscaled mean relative gap {mean:.2}"
+    );
 }
 
 /// §2: percent-correct is the wrong measure — doduc and fpppp have similar
