@@ -1,0 +1,643 @@
+//! A small forward/backward bitset dataflow engine, instantiated as
+//! liveness, reaching definitions, and definite initialization.
+
+use trace_ir::{BlockId, Function, Reg};
+
+use crate::cfg::Cfg;
+
+// --------------------------------------------------------------------
+// Bit sets
+// --------------------------------------------------------------------
+
+/// A fixed-universe bit set backed by `u64` words.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BitSet {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl BitSet {
+    /// The empty set over a universe of `len` elements.
+    pub fn empty(len: usize) -> Self {
+        BitSet {
+            words: vec![0; len.div_ceil(64)],
+            len,
+        }
+    }
+
+    /// The full set over a universe of `len` elements.
+    pub fn full(len: usize) -> Self {
+        let mut s = BitSet {
+            words: vec![!0u64; len.div_ceil(64)],
+            len,
+        };
+        s.mask_tail();
+        s
+    }
+
+    fn mask_tail(&mut self) {
+        let tail = self.len % 64;
+        if tail != 0 {
+            if let Some(last) = self.words.last_mut() {
+                *last &= (1u64 << tail) - 1;
+            }
+        }
+    }
+
+    /// Universe size.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when no bit is set.
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// Adds `i`; returns true if it was newly inserted.
+    pub fn insert(&mut self, i: usize) -> bool {
+        debug_assert!(i < self.len);
+        let (w, b) = (i / 64, i % 64);
+        let newly = self.words[w] & (1 << b) == 0;
+        self.words[w] |= 1 << b;
+        newly
+    }
+
+    /// Removes `i`.
+    pub fn remove(&mut self, i: usize) {
+        debug_assert!(i < self.len);
+        self.words[i / 64] &= !(1u64 << (i % 64));
+    }
+
+    /// Membership test.
+    pub fn contains(&self, i: usize) -> bool {
+        debug_assert!(i < self.len);
+        self.words[i / 64] & (1 << (i % 64)) != 0
+    }
+
+    /// `self ∪= other`; returns true if `self` changed.
+    pub fn union_with(&mut self, other: &BitSet) -> bool {
+        debug_assert_eq!(self.len, other.len);
+        let mut changed = false;
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            let next = *a | b;
+            changed |= next != *a;
+            *a = next;
+        }
+        changed
+    }
+
+    /// `self ∩= other`; returns true if `self` changed.
+    pub fn intersect_with(&mut self, other: &BitSet) -> bool {
+        debug_assert_eq!(self.len, other.len);
+        let mut changed = false;
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            let next = *a & b;
+            changed |= next != *a;
+            *a = next;
+        }
+        changed
+    }
+
+    /// `self −= other` (set difference).
+    pub fn subtract(&mut self, other: &BitSet) {
+        debug_assert_eq!(self.len, other.len);
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a &= !b;
+        }
+    }
+
+    /// Iterates set members in increasing order.
+    pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+        (0..self.len).filter(|&i| self.contains(i))
+    }
+}
+
+// --------------------------------------------------------------------
+// The engine
+// --------------------------------------------------------------------
+
+/// Which way facts flow.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Direction {
+    /// Facts flow from predecessors to successors.
+    Forward,
+    /// Facts flow from successors to predecessors.
+    Backward,
+}
+
+/// How facts from several edges meet.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Meet {
+    /// May-analysis: a fact holds if it holds on *any* incoming edge.
+    Union,
+    /// Must-analysis: a fact holds only if it holds on *every* incoming
+    /// edge.
+    Intersect,
+}
+
+/// Per-block transfer function in gen/kill form:
+/// `out = gen ∪ (in − kill)`.
+#[derive(Clone, Debug)]
+pub struct GenKill {
+    /// Facts the block creates.
+    pub gen: BitSet,
+    /// Facts the block destroys.
+    pub kill: BitSet,
+}
+
+/// The fixpoint: per-block fact sets at block entry and exit (in the
+/// direction of flow: for backward problems `block_in` is still the set
+/// at the block's *start*).
+#[derive(Clone, Debug)]
+pub struct Solution {
+    /// Facts holding at each block's start.
+    pub block_in: Vec<BitSet>,
+    /// Facts holding at each block's end.
+    pub block_out: Vec<BitSet>,
+}
+
+/// Solves a gen/kill dataflow problem over `cfg` to a fixpoint.
+///
+/// `boundary` is the fact set at the flow entry (the CFG entry block for
+/// forward problems, every exit block for backward ones). Unreachable
+/// blocks are skipped; their sets stay at the meet's neutral value (empty
+/// for [`Meet::Union`], full for [`Meet::Intersect`]).
+pub fn solve(
+    cfg: &Cfg,
+    direction: Direction,
+    meet: Meet,
+    transfer: &[GenKill],
+    boundary: &BitSet,
+) -> Solution {
+    let n = cfg.len();
+    let universe = boundary.len();
+    let top = || match meet {
+        Meet::Union => BitSet::empty(universe),
+        Meet::Intersect => BitSet::full(universe),
+    };
+    let mut block_in: Vec<BitSet> = (0..n).map(|_| top()).collect();
+    let mut block_out: Vec<BitSet> = (0..n).map(|_| top()).collect();
+
+    // Iteration order: reverse postorder for forward problems, postorder
+    // for backward ones — facts usually settle in a couple of sweeps.
+    let order: Vec<BlockId> = match direction {
+        Direction::Forward => cfg.rpo().to_vec(),
+        Direction::Backward => cfg.rpo().iter().rev().copied().collect(),
+    };
+
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for &b in &order {
+            let i = b.index();
+            // Meet over flow predecessors.
+            let edges: &[BlockId] = match direction {
+                Direction::Forward => cfg.preds(b),
+                Direction::Backward => cfg.succs(b),
+            };
+            let mut meet_val: Option<BitSet> = None;
+            for &e in edges {
+                if !cfg.is_reachable(e) {
+                    continue;
+                }
+                let incoming = match direction {
+                    Direction::Forward => &block_out[e.index()],
+                    Direction::Backward => &block_in[e.index()],
+                };
+                match &mut meet_val {
+                    None => meet_val = Some(incoming.clone()),
+                    Some(acc) => {
+                        match meet {
+                            Meet::Union => acc.union_with(incoming),
+                            Meet::Intersect => acc.intersect_with(incoming),
+                        };
+                    }
+                }
+            }
+            let is_boundary = match direction {
+                Direction::Forward => cfg.rpo().first() == Some(&b),
+                Direction::Backward => cfg.succs(b).is_empty(),
+            };
+            let mut entry = match (is_boundary, meet_val) {
+                (true, _) => boundary.clone(),
+                (false, Some(v)) => v,
+                (false, None) => top(),
+            };
+            let (in_slot, out_slot) = match direction {
+                Direction::Forward => (&mut block_in[i], &mut block_out[i]),
+                Direction::Backward => (&mut block_out[i], &mut block_in[i]),
+            };
+            if *in_slot != entry {
+                changed = true;
+                in_slot.clone_from(&entry);
+            }
+            // out = gen ∪ (in − kill)
+            entry.subtract(&transfer[i].kill);
+            entry.union_with(&transfer[i].gen);
+            if *out_slot != entry {
+                changed = true;
+                *out_slot = entry;
+            }
+        }
+    }
+    Solution {
+        block_in,
+        block_out,
+    }
+}
+
+// --------------------------------------------------------------------
+// Liveness
+// --------------------------------------------------------------------
+
+/// Live registers at block boundaries (backward may-analysis).
+#[derive(Clone, Debug)]
+pub struct Liveness {
+    /// Registers live at each block's start.
+    pub live_in: Vec<BitSet>,
+    /// Registers live at each block's end.
+    pub live_out: Vec<BitSet>,
+}
+
+/// Computes register liveness for `func`.
+pub fn liveness(func: &Function, cfg: &Cfg) -> Liveness {
+    let regs = func.num_regs as usize;
+    let transfer: Vec<GenKill> = func
+        .blocks
+        .iter()
+        .map(|block| {
+            // gen: upward-exposed uses; kill: definitions.
+            let mut gen = BitSet::empty(regs);
+            let mut kill = BitSet::empty(regs);
+            for instr in &block.instrs {
+                instr.for_each_use(|r| {
+                    if !kill.contains(r.index()) {
+                        gen.insert(r.index());
+                    }
+                });
+                if let Some(dst) = instr.dst() {
+                    kill.insert(dst.index());
+                }
+            }
+            block.term.for_each_use(|r| {
+                if !kill.contains(r.index()) {
+                    gen.insert(r.index());
+                }
+            });
+            GenKill { gen, kill }
+        })
+        .collect();
+    let boundary = BitSet::empty(regs);
+    let s = solve(cfg, Direction::Backward, Meet::Union, &transfer, &boundary);
+    Liveness {
+        live_in: s.block_in,
+        live_out: s.block_out,
+    }
+}
+
+// --------------------------------------------------------------------
+// Reaching definitions
+// --------------------------------------------------------------------
+
+/// One definition site.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DefSite {
+    /// A parameter, defined at function entry.
+    Param(Reg),
+    /// `instrs[instr]` of `block` writes `reg`.
+    Instr {
+        /// The defining block.
+        block: BlockId,
+        /// Index into the block's instruction list.
+        instr: usize,
+        /// The register written.
+        reg: Reg,
+    },
+}
+
+impl DefSite {
+    /// The register this site defines.
+    pub fn reg(&self) -> Reg {
+        match *self {
+            DefSite::Param(r) => r,
+            DefSite::Instr { reg, .. } => reg,
+        }
+    }
+}
+
+/// Reaching definitions (forward may-analysis over definition sites).
+#[derive(Clone, Debug)]
+pub struct ReachingDefs {
+    /// All definition sites; bit `i` in the sets refers to `sites[i]`.
+    pub sites: Vec<DefSite>,
+    /// Sites reaching each block's start.
+    pub reach_in: Vec<BitSet>,
+    /// Sites reaching each block's end.
+    pub reach_out: Vec<BitSet>,
+}
+
+/// Computes reaching definitions for `func`.
+pub fn reaching_defs(func: &Function, cfg: &Cfg) -> ReachingDefs {
+    let mut sites: Vec<DefSite> = (0..func.num_params)
+        .map(|p| DefSite::Param(Reg(p)))
+        .collect();
+    for (bi, block) in func.blocks.iter().enumerate() {
+        for (ii, instr) in block.instrs.iter().enumerate() {
+            if let Some(dst) = instr.dst() {
+                sites.push(DefSite::Instr {
+                    block: BlockId::from_index(bi),
+                    instr: ii,
+                    reg: dst,
+                });
+            }
+        }
+    }
+    let universe = sites.len();
+    // sites_of[r] = bitset of sites defining register r.
+    let regs = func.num_regs as usize;
+    let mut sites_of: Vec<BitSet> = (0..regs).map(|_| BitSet::empty(universe)).collect();
+    for (i, site) in sites.iter().enumerate() {
+        sites_of[site.reg().index()].insert(i);
+    }
+
+    let transfer: Vec<GenKill> = func
+        .blocks
+        .iter()
+        .enumerate()
+        .map(|(bi, block)| {
+            let mut gen = BitSet::empty(universe);
+            let mut kill = BitSet::empty(universe);
+            let mut site_index = sites
+                .iter()
+                .position(|s| matches!(s, DefSite::Instr { block, .. } if block.index() == bi));
+            for instr in &block.instrs {
+                if let Some(dst) = instr.dst() {
+                    let i = site_index.expect("a def site exists for every def");
+                    // A later def of the same register supersedes this one.
+                    gen.subtract(&sites_of[dst.index()]);
+                    kill.union_with(&sites_of[dst.index()]);
+                    gen.insert(i);
+                    kill.remove(i);
+                    site_index = Some(i + 1);
+                }
+            }
+            GenKill { gen, kill }
+        })
+        .collect();
+
+    let mut boundary = BitSet::empty(universe);
+    for i in 0..func.num_params as usize {
+        boundary.insert(i);
+    }
+    let s = solve(cfg, Direction::Forward, Meet::Union, &transfer, &boundary);
+    ReachingDefs {
+        sites,
+        reach_in: s.block_in,
+        reach_out: s.block_out,
+    }
+}
+
+// --------------------------------------------------------------------
+// Definite initialization
+// --------------------------------------------------------------------
+
+/// Registers definitely initialized at block boundaries (forward
+/// must-analysis). Parameters are initialized at entry.
+#[derive(Clone, Debug)]
+pub struct DefiniteInit {
+    /// Registers definitely initialized at each block's start.
+    pub init_in: Vec<BitSet>,
+}
+
+/// Computes definite initialization for `func`.
+pub fn definite_init(func: &Function, cfg: &Cfg) -> DefiniteInit {
+    let regs = func.num_regs as usize;
+    let transfer: Vec<GenKill> = func
+        .blocks
+        .iter()
+        .map(|block| {
+            let mut gen = BitSet::empty(regs);
+            for instr in &block.instrs {
+                if let Some(dst) = instr.dst() {
+                    gen.insert(dst.index());
+                }
+            }
+            GenKill {
+                gen,
+                kill: BitSet::empty(regs),
+            }
+        })
+        .collect();
+    let mut boundary = BitSet::empty(regs);
+    for p in 0..func.num_params as usize {
+        boundary.insert(p);
+    }
+    let s = solve(
+        cfg,
+        Direction::Forward,
+        Meet::Intersect,
+        &transfer,
+        &boundary,
+    );
+    DefiniteInit {
+        init_in: s.block_in,
+    }
+}
+
+/// A read of a register no definition is guaranteed to have reached.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct UninitUse {
+    /// The block containing the read.
+    pub block: BlockId,
+    /// Instruction index, or `None` when the terminator reads the register.
+    pub instr: Option<usize>,
+    /// The register read before initialization.
+    pub reg: Reg,
+}
+
+/// Every use in a reachable block that executes before any definition of
+/// its register is guaranteed to have executed. Empty for all
+/// lowerer-produced IR; hand-built IR can violate it.
+pub fn uninitialized_uses(func: &Function) -> Vec<UninitUse> {
+    let cfg = Cfg::new(func);
+    let init = definite_init(func, &cfg);
+    let mut out = Vec::new();
+    for &b in cfg.rpo() {
+        let mut ready = init.init_in[b.index()].clone();
+        let block = &func.blocks[b.index()];
+        for (ii, instr) in block.instrs.iter().enumerate() {
+            instr.for_each_use(|r| {
+                if !ready.contains(r.index()) {
+                    out.push(UninitUse {
+                        block: b,
+                        instr: Some(ii),
+                        reg: r,
+                    });
+                }
+            });
+            if let Some(dst) = instr.dst() {
+                ready.insert(dst.index());
+            }
+        }
+        block.term.for_each_use(|r| {
+            if !ready.contains(r.index()) {
+                out.push(UninitUse {
+                    block: b,
+                    instr: None,
+                    reg: r,
+                });
+            }
+        });
+    }
+    out
+}
+
+/// True when every reachable use of every register is preceded by a
+/// definition on all paths — the precondition for constant folding over
+/// [`crate::single_def_consts`].
+pub fn all_uses_initialized(func: &Function) -> bool {
+    uninitialized_uses(func).is_empty()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trace_ir::builder::{FunctionBuilder, ProgramBuilder};
+    use trace_ir::{BinOp, BranchKind, Program};
+
+    fn build(f: FunctionBuilder) -> Program {
+        let mut pb = ProgramBuilder::new();
+        pb.add_function(f.finish());
+        pb.finish("f").unwrap()
+    }
+
+    #[test]
+    fn bitset_basics() {
+        let mut s = BitSet::empty(70);
+        assert!(s.is_empty());
+        assert!(s.insert(0));
+        assert!(s.insert(69));
+        assert!(!s.insert(69));
+        assert!(s.contains(69) && !s.contains(68));
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![0, 69]);
+        s.remove(0);
+        assert!(!s.contains(0));
+
+        let full = BitSet::full(70);
+        assert_eq!(full.iter().count(), 70);
+        let mut inter = full.clone();
+        assert!(inter.intersect_with(&s));
+        assert_eq!(inter.iter().collect::<Vec<_>>(), vec![69]);
+        let mut uni = BitSet::empty(70);
+        assert!(uni.union_with(&s));
+        assert!(!uni.union_with(&s), "idempotent");
+    }
+
+    #[test]
+    fn liveness_flows_backward_through_the_diamond() {
+        // x defined in entry, used only in the true arm.
+        let mut f = FunctionBuilder::new("f", 1);
+        let x = f.const_int(42);
+        let t = f.new_block();
+        let e = f.new_block();
+        let join = f.new_block();
+        f.branch(f.param(0), t, e, 1, BranchKind::If);
+        f.switch_to(t);
+        f.emit_value(x);
+        f.jump(join);
+        f.switch_to(e);
+        f.jump(join);
+        f.switch_to(join);
+        f.ret(None);
+        let p = build(f);
+        let func = &p.functions[0];
+        let cfg = Cfg::new(func);
+        let l = liveness(func, &cfg);
+        assert!(l.live_out[0].contains(x.index()), "x live out of entry");
+        assert!(l.live_in[1].contains(x.index()), "x live into true arm");
+        assert!(!l.live_in[2].contains(x.index()), "dead in false arm");
+        assert!(!l.live_in[3].contains(x.index()), "dead at join");
+    }
+
+    #[test]
+    fn reaching_defs_merge_at_the_join() {
+        // r is written in both arms; both defs reach the join.
+        let mut f = FunctionBuilder::new("f", 1);
+        let r = f.const_int(0);
+        let t = f.new_block();
+        let e = f.new_block();
+        let join = f.new_block();
+        f.branch(f.param(0), t, e, 1, BranchKind::If);
+        f.switch_to(t);
+        f.mov_to(r, f.param(0));
+        f.jump(join);
+        f.switch_to(e);
+        let one = f.const_int(1);
+        f.mov_to(r, one);
+        f.jump(join);
+        f.switch_to(join);
+        f.emit_value(r);
+        f.ret(None);
+        let p = build(f);
+        let func = &p.functions[0];
+        let cfg = Cfg::new(func);
+        let rd = reaching_defs(func, &cfg);
+        let reaching_r: Vec<&DefSite> = rd.reach_in[3]
+            .iter()
+            .map(|i| &rd.sites[i])
+            .filter(|s| s.reg() == r)
+            .collect();
+        // The entry const is killed on both paths; the two movs survive.
+        assert_eq!(reaching_r.len(), 2);
+        assert!(reaching_r
+            .iter()
+            .all(|s| matches!(s, DefSite::Instr { block, .. } if block.index() == 1 || block.index() == 2)));
+        // The parameter's entry def reaches everywhere (never redefined).
+        assert!(rd.reach_in[3].contains(0));
+    }
+
+    #[test]
+    fn definite_init_requires_all_paths() {
+        // x initialized only in the true arm; at the join it is not
+        // definitely initialized, and the emit there is flagged.
+        let mut f = FunctionBuilder::new("f", 1);
+        let t = f.new_block();
+        let e = f.new_block();
+        let join = f.new_block();
+        f.branch(f.param(0), t, e, 1, BranchKind::If);
+        f.switch_to(t);
+        let x = f.new_reg();
+        let one = f.const_int(1);
+        f.mov_to(x, one);
+        f.jump(join);
+        f.switch_to(e);
+        f.jump(join);
+        f.switch_to(join);
+        f.emit_value(x);
+        f.ret(None);
+        let p = build(f);
+        let func = &p.functions[0];
+        let cfg = Cfg::new(func);
+        let init = definite_init(func, &cfg);
+        assert!(!init.init_in[3].contains(x.index()));
+        assert!(init.init_in[3].contains(0), "params always initialized");
+
+        let uses = uninitialized_uses(func);
+        assert_eq!(uses.len(), 1);
+        assert_eq!(uses[0].reg, x);
+        assert_eq!(uses[0].block, BlockId(3));
+        assert!(!all_uses_initialized(func));
+    }
+
+    #[test]
+    fn straight_line_code_is_definitely_initialized() {
+        let mut f = FunctionBuilder::new("f", 2);
+        let s = f.binop(BinOp::Add, f.param(0), f.param(1));
+        f.emit_value(s);
+        f.ret(None);
+        let p = build(f);
+        assert!(all_uses_initialized(&p.functions[0]));
+        assert!(uninitialized_uses(&p.functions[0]).is_empty());
+    }
+}

@@ -1,0 +1,191 @@
+//! Dominator tree via the Cooper–Harvey–Kennedy iterative algorithm
+//! ("A Simple, Fast Dominance Algorithm").
+
+use trace_ir::BlockId;
+
+use crate::cfg::Cfg;
+
+/// The dominator tree of a CFG. Unreachable blocks have no dominator
+/// information at all.
+#[derive(Clone, Debug)]
+pub struct DomTree {
+    /// Immediate dominator per block; the entry points at itself, and
+    /// unreachable blocks hold `None`.
+    idom: Vec<Option<BlockId>>,
+}
+
+impl DomTree {
+    /// Computes dominators over `cfg`'s reachable blocks.
+    pub fn compute(cfg: &Cfg) -> Self {
+        let mut idom: Vec<Option<BlockId>> = vec![None; cfg.len()];
+        let Some(&entry) = cfg.rpo().first() else {
+            return DomTree { idom };
+        };
+        idom[entry.index()] = Some(entry);
+
+        let pos = |b: BlockId| cfg.rpo_pos(b).expect("reachable block");
+        let intersect = |idom: &[Option<BlockId>], mut a: BlockId, mut b: BlockId| -> BlockId {
+            while a != b {
+                while pos(a) > pos(b) {
+                    a = idom[a.index()].expect("processed block");
+                }
+                while pos(b) > pos(a) {
+                    b = idom[b.index()].expect("processed block");
+                }
+            }
+            a
+        };
+
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for &b in cfg.rpo().iter().skip(1) {
+                let mut new_idom: Option<BlockId> = None;
+                for &p in cfg.preds(b) {
+                    if idom[p.index()].is_none() {
+                        continue; // unreachable or not yet processed
+                    }
+                    new_idom = Some(match new_idom {
+                        None => p,
+                        Some(cur) => intersect(&idom, p, cur),
+                    });
+                }
+                if new_idom.is_some() && idom[b.index()] != new_idom {
+                    idom[b.index()] = new_idom;
+                    changed = true;
+                }
+            }
+        }
+        DomTree { idom }
+    }
+
+    /// The immediate dominator of `b`: `None` for the entry block and for
+    /// unreachable blocks.
+    pub fn idom(&self, b: BlockId) -> Option<BlockId> {
+        match self.idom[b.index()] {
+            Some(d) if d != b => Some(d),
+            _ => None,
+        }
+    }
+
+    /// True when `a` dominates `b` (every block dominates itself).
+    /// Unreachable blocks dominate nothing and are dominated by nothing.
+    pub fn dominates(&self, a: BlockId, b: BlockId) -> bool {
+        if self.idom[b.index()].is_none() {
+            return false;
+        }
+        let mut cur = b;
+        loop {
+            if cur == a {
+                return true;
+            }
+            match self.idom[cur.index()] {
+                Some(d) if d != cur => cur = d,
+                _ => return false,
+            }
+        }
+    }
+
+    /// True when `b` is covered by the tree (reachable from the entry).
+    pub fn is_reachable(&self, b: BlockId) -> bool {
+        self.idom[b.index()].is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trace_ir::builder::{FunctionBuilder, ProgramBuilder};
+    use trace_ir::{BranchKind, Program};
+
+    fn build(f: FunctionBuilder) -> Program {
+        let mut pb = ProgramBuilder::new();
+        pb.add_function(f.finish());
+        pb.finish("f").unwrap()
+    }
+
+    fn dom_of(p: &Program) -> (Cfg, DomTree) {
+        let cfg = Cfg::new(&p.functions[0]);
+        let dom = DomTree::compute(&cfg);
+        (cfg, dom)
+    }
+
+    #[test]
+    fn diamond_join_is_dominated_by_the_fork_only() {
+        // bb0 -> {bb1, bb2} -> bb3
+        let mut f = FunctionBuilder::new("f", 1);
+        let t = f.new_block();
+        let e = f.new_block();
+        let join = f.new_block();
+        f.branch(f.param(0), t, e, 1, BranchKind::If);
+        f.switch_to(t);
+        f.jump(join);
+        f.switch_to(e);
+        f.jump(join);
+        f.switch_to(join);
+        f.ret(None);
+        let p = build(f);
+        let (_, dom) = dom_of(&p);
+
+        assert_eq!(dom.idom(BlockId(0)), None, "entry has no idom");
+        assert_eq!(dom.idom(BlockId(1)), Some(BlockId(0)));
+        assert_eq!(dom.idom(BlockId(2)), Some(BlockId(0)));
+        assert_eq!(
+            dom.idom(BlockId(3)),
+            Some(BlockId(0)),
+            "join skips the arms"
+        );
+        assert!(dom.dominates(BlockId(0), BlockId(3)));
+        assert!(!dom.dominates(BlockId(1), BlockId(3)));
+        assert!(dom.dominates(BlockId(3), BlockId(3)), "reflexive");
+    }
+
+    #[test]
+    fn nested_loop_headers_dominate_their_latches() {
+        // bb0 -> bb1 (outer header) -> bb2 (inner header) -> bb3 (inner
+        // latch, branches back to bb2 or on to bb4) ; bb4 (outer latch)
+        // branches back to bb1 or to bb5 (exit).
+        let mut f = FunctionBuilder::new("f", 1);
+        let outer = f.new_block();
+        let inner = f.new_block();
+        let inner_latch = f.new_block();
+        let outer_latch = f.new_block();
+        let exit = f.new_block();
+        f.jump(outer);
+        f.switch_to(outer);
+        f.jump(inner);
+        f.switch_to(inner);
+        f.jump(inner_latch);
+        f.switch_to(inner_latch);
+        f.branch(f.param(0), inner, outer_latch, 1, BranchKind::LoopBack);
+        f.switch_to(outer_latch);
+        f.branch(f.param(0), outer, exit, 2, BranchKind::LoopBack);
+        f.switch_to(exit);
+        f.ret(None);
+        let p = build(f);
+        let (_, dom) = dom_of(&p);
+
+        assert!(dom.dominates(outer, inner_latch));
+        assert!(dom.dominates(inner, inner_latch));
+        assert!(dom.dominates(outer, outer_latch));
+        assert!(!dom.dominates(inner_latch, inner));
+        assert_eq!(dom.idom(exit), Some(outer_latch));
+    }
+
+    #[test]
+    fn unreachable_blocks_have_no_dominators() {
+        let mut f = FunctionBuilder::new("f", 0);
+        let live = f.new_block();
+        let dead = f.new_block();
+        f.jump(live);
+        f.switch_to(live);
+        f.ret(None);
+        f.switch_to(dead);
+        f.ret(None);
+        let p = build(f);
+        let (_, dom) = dom_of(&p);
+        assert!(!dom.is_reachable(BlockId(2)));
+        assert_eq!(dom.idom(BlockId(2)), None);
+        assert!(!dom.dominates(BlockId(0), BlockId(2)));
+    }
+}

@@ -1,0 +1,56 @@
+#![warn(missing_docs)]
+
+//! # mfcheck
+//!
+//! A static-analysis framework over `trace-ir`, plus the checkers built
+//! on it. The crate deliberately depends on nothing but the IR so every
+//! other layer — the optimizer, the predictors, the profile store, the
+//! bench harness, and the `mflint` driver — can reuse one set of
+//! analyses instead of growing private ad-hoc copies.
+//!
+//! Three layers:
+//!
+//! * **Analyses** — [`Cfg`] (predecessor/successor views and reverse
+//!   postorder), [`DomTree`] (Cooper–Harvey–Kennedy dominators),
+//!   [`LoopForest`] (natural loops, nesting, irreducibility), and a
+//!   gen/kill bitset dataflow [`engine`] instantiated as [`liveness`],
+//!   [`reaching_defs`], and [`definite_init`].
+//! * **Semantic verifier** — [`verify_program`] layers dataflow-backed
+//!   diagnostics (use-before-def, dead stores, unreachable blocks,
+//!   degenerate terminators) on top of the IR's structural validation,
+//!   each locatable to function/block/instruction. The optimizer's
+//!   `verify_each` mode runs it between passes to attribute regressions
+//!   to the pass that introduced them.
+//! * **Profile checks** — [`check_entries`] / [`check_against_program`] /
+//!   [`check_weighted`] validate branch-counter databases (`taken ≤
+//!   executed`, known branch ids, monotone combined weights), and
+//!   [`site_diff`] explains how two profiles' branch-site sets disagree.
+
+mod cfg;
+mod dataflow;
+mod dom;
+mod loops;
+mod profile;
+mod verify;
+
+pub use cfg::{reachable_blocks, single_def_consts, Cfg};
+pub use dataflow::{
+    all_uses_initialized, definite_init, liveness, reaching_defs, solve, uninitialized_uses,
+    BitSet, DefSite, DefiniteInit, Direction, GenKill, Liveness, Meet, ReachingDefs, Solution,
+    UninitUse,
+};
+pub use dom::DomTree;
+pub use loops::{LoopForest, NaturalLoop};
+pub use profile::{
+    check_against_program, check_entries, check_weighted, parse_raw_profile, site_diff,
+    ProfileIssue, RawProfileError, SiteDiff,
+};
+pub use verify::{
+    is_clean, verify_digest, verify_function, verify_program, Diagnostic, Severity, CLEAN_DIGEST,
+};
+
+/// Re-export of the dataflow module for callers that want the engine
+/// itself rather than the packaged analyses.
+pub mod engine {
+    pub use crate::dataflow::*;
+}

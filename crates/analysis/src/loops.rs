@@ -1,0 +1,298 @@
+//! Natural-loop forest: back edges, loop bodies, nesting, and
+//! irreducibility detection.
+//!
+//! A *back edge* is an edge `latch → header` whose target dominates its
+//! source; the natural loop of a header is the header plus every block
+//! that reaches a latch without passing through the header. An edge that
+//! goes backward in reverse postorder but whose target does **not**
+//! dominate its source makes the CFG irreducible — the loop structure is
+//! then not fully described by natural loops, and consumers (like the
+//! BTFN predictor) should treat such regions conservatively.
+
+use trace_ir::BlockId;
+
+use crate::cfg::Cfg;
+use crate::dom::DomTree;
+
+/// One natural loop (all back edges sharing a header are merged).
+#[derive(Clone, Debug)]
+pub struct NaturalLoop {
+    /// The loop header (dominates every block in the loop).
+    pub header: BlockId,
+    /// Sources of the back edges into the header.
+    pub latches: Vec<BlockId>,
+    /// Every block in the loop, sorted by index; includes the header.
+    pub blocks: Vec<BlockId>,
+    /// Index (in [`LoopForest::loops`]) of the innermost enclosing loop.
+    pub parent: Option<usize>,
+    /// Nesting depth: 1 for an outermost loop.
+    pub depth: u32,
+}
+
+impl NaturalLoop {
+    /// True when `b` belongs to this loop.
+    pub fn contains(&self, b: BlockId) -> bool {
+        self.blocks.binary_search(&b).is_ok()
+    }
+}
+
+/// All natural loops of one function, with nesting resolved.
+#[derive(Clone, Debug)]
+pub struct LoopForest {
+    /// The loops, ordered by header reverse-postorder position (outer
+    /// loops before the loops they contain).
+    pub loops: Vec<NaturalLoop>,
+    /// Retreating edges whose target does not dominate their source —
+    /// non-empty exactly when the CFG is irreducible.
+    pub irreducible_edges: Vec<(BlockId, BlockId)>,
+    back_edges: Vec<(BlockId, BlockId)>,
+    innermost: Vec<Option<usize>>,
+}
+
+impl LoopForest {
+    /// Computes the loop forest from a CFG and its dominator tree.
+    pub fn compute(cfg: &Cfg, dom: &DomTree) -> Self {
+        let mut back_edges: Vec<(BlockId, BlockId)> = Vec::new();
+        let mut irreducible_edges: Vec<(BlockId, BlockId)> = Vec::new();
+        for &u in cfg.rpo() {
+            let u_pos = cfg.rpo_pos(u).expect("rpo block");
+            for &v in cfg.succs(u) {
+                let Some(v_pos) = cfg.rpo_pos(v) else {
+                    continue;
+                };
+                if v_pos > u_pos {
+                    continue; // forward edge
+                }
+                if dom.dominates(v, u) {
+                    if !back_edges.contains(&(u, v)) {
+                        back_edges.push((u, v));
+                    }
+                } else if !irreducible_edges.contains(&(u, v)) {
+                    irreducible_edges.push((u, v));
+                }
+            }
+        }
+
+        // Group back edges by header, in header-rpo order, and grow each
+        // loop body backward from its latches.
+        let mut headers: Vec<BlockId> = back_edges.iter().map(|&(_, h)| h).collect();
+        headers.sort_by_key(|&h| cfg.rpo_pos(h));
+        headers.dedup();
+        let mut loops: Vec<NaturalLoop> = Vec::with_capacity(headers.len());
+        for header in headers {
+            let latches: Vec<BlockId> = back_edges
+                .iter()
+                .filter(|&&(_, h)| h == header)
+                .map(|&(l, _)| l)
+                .collect();
+            let mut in_body = vec![false; cfg.len()];
+            in_body[header.index()] = true;
+            let mut work: Vec<BlockId> = latches.clone();
+            while let Some(b) = work.pop() {
+                if in_body[b.index()] {
+                    continue;
+                }
+                in_body[b.index()] = true;
+                for &p in cfg.preds(b) {
+                    if !in_body[p.index()] && cfg.is_reachable(p) {
+                        work.push(p);
+                    }
+                }
+            }
+            let blocks: Vec<BlockId> = (0..cfg.len())
+                .filter(|&i| in_body[i])
+                .map(BlockId::from_index)
+                .collect();
+            loops.push(NaturalLoop {
+                header,
+                latches,
+                blocks,
+                parent: None,
+                depth: 1,
+            });
+        }
+
+        // Nesting: the parent of a loop is the smallest other loop that
+        // contains its header. Headers are in rpo order, so parents come
+        // before children and depths resolve in one pass.
+        for i in 0..loops.len() {
+            let mut parent: Option<usize> = None;
+            for (j, candidate) in loops.iter().enumerate() {
+                if i == j || !candidate.contains(loops[i].header) {
+                    continue;
+                }
+                if parent.is_none_or(|p| candidate.blocks.len() < loops[p].blocks.len()) {
+                    parent = Some(j);
+                }
+            }
+            loops[i].parent = parent;
+            loops[i].depth = match parent {
+                Some(p) => loops[p].depth + 1,
+                None => 1,
+            };
+        }
+
+        // Innermost loop per block: the containing loop with the fewest
+        // blocks.
+        let mut innermost: Vec<Option<usize>> = vec![None; cfg.len()];
+        for (slot, inner) in innermost.iter_mut().enumerate() {
+            let b = BlockId::from_index(slot);
+            for (j, l) in loops.iter().enumerate() {
+                if l.contains(b)
+                    && inner.is_none_or(|c: usize| l.blocks.len() < loops[c].blocks.len())
+                {
+                    *inner = Some(j);
+                }
+            }
+        }
+
+        LoopForest {
+            loops,
+            irreducible_edges,
+            back_edges,
+            innermost,
+        }
+    }
+
+    /// True when `from → to` is a back edge (target dominates source).
+    pub fn is_back_edge(&self, from: BlockId, to: BlockId) -> bool {
+        self.back_edges.contains(&(from, to))
+    }
+
+    /// The innermost loop containing `b`, if any.
+    pub fn innermost(&self, b: BlockId) -> Option<&NaturalLoop> {
+        self.innermost[b.index()].map(|i| &self.loops[i])
+    }
+
+    /// Loop-nesting depth of `b` (0 outside any loop).
+    pub fn depth(&self, b: BlockId) -> u32 {
+        self.innermost(b).map_or(0, |l| l.depth)
+    }
+
+    /// True when any retreating edge fails the dominance test.
+    pub fn is_irreducible(&self) -> bool {
+        !self.irreducible_edges.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trace_ir::builder::{FunctionBuilder, ProgramBuilder};
+    use trace_ir::{BranchKind, Program};
+
+    fn build(f: FunctionBuilder) -> Program {
+        let mut pb = ProgramBuilder::new();
+        pb.add_function(f.finish());
+        pb.finish("f").unwrap()
+    }
+
+    fn forest(p: &Program) -> LoopForest {
+        let cfg = Cfg::new(&p.functions[0]);
+        let dom = DomTree::compute(&cfg);
+        LoopForest::compute(&cfg, &dom)
+    }
+
+    #[test]
+    fn diamond_has_no_loops() {
+        let mut f = FunctionBuilder::new("f", 1);
+        let t = f.new_block();
+        let e = f.new_block();
+        let join = f.new_block();
+        f.branch(f.param(0), t, e, 1, BranchKind::If);
+        f.switch_to(t);
+        f.jump(join);
+        f.switch_to(e);
+        f.jump(join);
+        f.switch_to(join);
+        f.ret(None);
+        let forest = forest(&build(f));
+        assert!(forest.loops.is_empty());
+        assert!(!forest.is_irreducible());
+        assert_eq!(forest.depth(BlockId(3)), 0);
+    }
+
+    #[test]
+    fn nested_loops_nest_in_the_forest() {
+        // entry -> outer header -> inner header -> inner latch -> outer
+        // latch -> exit, with back edges inner_latch->inner and
+        // outer_latch->outer.
+        let mut f = FunctionBuilder::new("f", 1);
+        let outer = f.new_block();
+        let inner = f.new_block();
+        let inner_latch = f.new_block();
+        let outer_latch = f.new_block();
+        let exit = f.new_block();
+        f.jump(outer);
+        f.switch_to(outer);
+        f.jump(inner);
+        f.switch_to(inner);
+        f.jump(inner_latch);
+        f.switch_to(inner_latch);
+        f.branch(f.param(0), inner, outer_latch, 1, BranchKind::LoopBack);
+        f.switch_to(outer_latch);
+        f.branch(f.param(0), outer, exit, 2, BranchKind::LoopBack);
+        f.switch_to(exit);
+        f.ret(None);
+        let forest = forest(&build(f));
+
+        assert_eq!(forest.loops.len(), 2);
+        let outer_loop = &forest.loops[0];
+        let inner_loop = &forest.loops[1];
+        assert_eq!(outer_loop.header, outer);
+        assert_eq!(inner_loop.header, inner);
+        assert_eq!(outer_loop.depth, 1);
+        assert_eq!(inner_loop.depth, 2);
+        assert_eq!(inner_loop.parent, Some(0));
+        assert!(outer_loop.contains(inner));
+        assert!(outer_loop.contains(outer_latch));
+        assert!(!outer_loop.contains(exit));
+        assert!(inner_loop.contains(inner_latch));
+        assert!(!inner_loop.contains(outer_latch));
+
+        assert!(forest.is_back_edge(inner_latch, inner));
+        assert!(forest.is_back_edge(outer_latch, outer));
+        assert!(!forest.is_back_edge(outer, inner));
+        assert_eq!(forest.depth(inner_latch), 2);
+        assert_eq!(forest.depth(outer_latch), 1);
+        assert_eq!(forest.depth(exit), 0);
+        assert!(!forest.is_irreducible());
+    }
+
+    #[test]
+    fn self_loop_is_a_one_block_loop() {
+        let mut f = FunctionBuilder::new("f", 1);
+        let body = f.new_block();
+        let exit = f.new_block();
+        f.jump(body);
+        f.switch_to(body);
+        f.branch(f.param(0), body, exit, 1, BranchKind::LoopBack);
+        f.switch_to(exit);
+        f.ret(None);
+        let forest = forest(&build(f));
+        assert_eq!(forest.loops.len(), 1);
+        assert_eq!(forest.loops[0].blocks, vec![body]);
+        assert!(forest.is_back_edge(body, body));
+    }
+
+    #[test]
+    fn two_entry_cycle_is_irreducible() {
+        // entry branches to both a and b; a -> b and b -> a form a cycle
+        // with two entries — the classic irreducible region.
+        let mut f = FunctionBuilder::new("f", 1);
+        let a = f.new_block();
+        let b = f.new_block();
+        f.branch(f.param(0), a, b, 1, BranchKind::If);
+        f.switch_to(a);
+        f.jump(b);
+        f.switch_to(b);
+        f.jump(a);
+        let forest = forest(&build(f));
+        assert!(forest.is_irreducible());
+        assert!(
+            forest.loops.is_empty(),
+            "no natural loop: neither cycle block dominates the other"
+        );
+        assert_eq!(forest.irreducible_edges.len(), 1);
+    }
+}

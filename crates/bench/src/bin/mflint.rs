@@ -1,0 +1,278 @@
+//! `mflint`: the standalone lint driver over the `mfcheck` analysis stack.
+//!
+//! ```text
+//! mflint examples/branch_mix.mf          # compile + semantic verification
+//! mflint --suite                         # lint every bundled workload
+//! mflint prog.mf --pipeline              # also verify between opt passes
+//! mflint prog.mf --profile counts.txt    # check a profile against prog
+//! mflint --profile counts.txt            # internal profile consistency only
+//! ```
+//!
+//! Sources are `.mf` guest programs. Profiles are either the raw counter
+//! format (`br<id> <executed> <taken>` per line, `#` comments) or `!MF!
+//! IFPROB` directive text; directive files need exactly one source so the
+//! branch keys can be resolved.
+//!
+//! Exit status: 0 when clean, 1 when any finding is reported, 2 on usage
+//! or I/O errors.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use ifprob::directives;
+use mfcheck::{verify_program, Diagnostic, Severity};
+use mfopt::Pipeline;
+use trace_ir::Program;
+
+const USAGE: &str = "\
+usage: mflint [FILE.mf ...] [OPTION...]
+
+options:
+  --suite             lint every bundled workload program as well
+  --pipeline          run the standard optimization pipeline with
+                      inter-pass verification; a defective pass is a
+                      finding, named in the report
+  --profile PATH      check a branch profile: raw `br<id> <executed>
+                      <taken>` lines or `!MF! IFPROB` directive text
+                      (directives require exactly one source program)
+  --deny-warnings     treat warnings as findings
+  -h, --help          this message
+
+exit status: 0 clean, 1 findings, 2 usage/IO error";
+
+struct Options {
+    files: Vec<PathBuf>,
+    suite: bool,
+    pipeline: bool,
+    profile: Option<PathBuf>,
+    deny_warnings: bool,
+}
+
+fn parse_args(args: &[String]) -> Result<Option<Options>, String> {
+    let mut options = Options {
+        files: Vec::new(),
+        suite: false,
+        pipeline: false,
+        profile: None,
+        deny_warnings: false,
+    };
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "-h" | "--help" => return Ok(None),
+            "--suite" => options.suite = true,
+            "--pipeline" => options.pipeline = true,
+            "--deny-warnings" => options.deny_warnings = true,
+            "--profile" => match iter.next() {
+                Some(v) => options.profile = Some(PathBuf::from(v)),
+                None => return Err("--profile requires a path".to_string()),
+            },
+            _ if arg.starts_with('-') => return Err(format!("unknown flag '{arg}'")),
+            _ => options.files.push(PathBuf::from(arg)),
+        }
+    }
+    if options.files.is_empty() && !options.suite && options.profile.is_none() {
+        return Err("nothing to lint: pass FILE.mf, --suite, or --profile".to_string());
+    }
+    Ok(Some(options))
+}
+
+/// A linted program: where it came from plus its compiled IR.
+struct Linted {
+    origin: String,
+    program: Program,
+}
+
+/// Running totals across everything linted.
+#[derive(Default)]
+struct Findings {
+    errors: usize,
+    warnings: usize,
+}
+
+impl Findings {
+    fn count(&mut self, diagnostics: &[Diagnostic]) {
+        for d in diagnostics {
+            match d.severity {
+                Severity::Error => self.errors += 1,
+                Severity::Warning => self.warnings += 1,
+            }
+        }
+    }
+
+    fn fail(&self, deny_warnings: bool) -> bool {
+        self.errors > 0 || (deny_warnings && self.warnings > 0)
+    }
+}
+
+fn report(origin: &str, diagnostics: &[Diagnostic]) {
+    for d in diagnostics {
+        println!("{origin}: {d}");
+    }
+}
+
+fn lint_program(linted: &Linted, pipeline: bool, findings: &mut Findings) {
+    let diagnostics = verify_program(&linted.program);
+    report(&linted.origin, &diagnostics);
+    findings.count(&diagnostics);
+
+    if pipeline {
+        let mut optimized = linted.program.clone();
+        if let Err(defect) = Pipeline::standard().run_checked(&mut optimized) {
+            println!("{}: error[pass-defect]: {defect}", linted.origin);
+            findings.errors += 1;
+        }
+    }
+}
+
+/// Checks a profile's internal consistency, and its branch sites against
+/// `program` when one is available.
+fn lint_profile(
+    path: &std::path::Path,
+    text: &str,
+    program: Option<&Linted>,
+    findings: &mut Findings,
+) {
+    let origin = path.display();
+
+    // Directive text carries the IFPROB marker; it can only be resolved
+    // against a program's source-level branch keys.
+    if text.contains(directives::MARKER) {
+        let Some(linted) = program else {
+            println!(
+                "{origin}: error[profile-needs-program]: directive profiles require \
+                 exactly one source program to resolve branch keys"
+            );
+            findings.errors += 1;
+            return;
+        };
+        match directives::parse_directives(&linted.program, text) {
+            Ok(counts) => {
+                let entries: Vec<_> = counts.iter().collect();
+                check_entries_against(&origin, &entries, Some(&linted.program), findings);
+            }
+            Err(e) => {
+                println!("{origin}: error[bad-directive]: {e}");
+                findings.errors += 1;
+            }
+        }
+        return;
+    }
+
+    match mfcheck::parse_raw_profile(text) {
+        Ok(entries) => {
+            check_entries_against(&origin, &entries, program.map(|l| &l.program), findings);
+        }
+        Err(e) => {
+            println!("{origin}: error[bad-profile]: {e}");
+            findings.errors += 1;
+        }
+    }
+}
+
+fn check_entries_against(
+    origin: &std::path::Display,
+    entries: &[(trace_ir::BranchId, u64, u64)],
+    program: Option<&Program>,
+    findings: &mut Findings,
+) {
+    let issues = match program {
+        Some(p) => mfcheck::check_against_program(p, entries),
+        None => mfcheck::check_entries(entries),
+    };
+    for issue in &issues {
+        println!("{origin}: error[corrupt-profile]: {issue}");
+    }
+    findings.errors += issues.len();
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let options = match parse_args(&args) {
+        Ok(Some(options)) => options,
+        Ok(None) => {
+            println!("{USAGE}");
+            return ExitCode::SUCCESS;
+        }
+        Err(message) => {
+            eprintln!("mflint: {message}\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let mut findings = Findings::default();
+    let mut linted: Vec<Linted> = Vec::new();
+
+    for path in &options.files {
+        let source = match std::fs::read_to_string(path) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("mflint: reading {} failed: {e}", path.display());
+                return ExitCode::from(2);
+            }
+        };
+        match mflang::compile(&source) {
+            Ok(program) => linted.push(Linted {
+                origin: path.display().to_string(),
+                program,
+            }),
+            Err(e) => {
+                println!("{}: error[compile]: {e}", path.display());
+                findings.errors += 1;
+            }
+        }
+    }
+
+    // File programs are the profile-resolution candidates; the suite rides
+    // along for verification only.
+    let file_programs = linted.len();
+    if options.suite {
+        for w in mfwork::suite() {
+            match w.compile() {
+                Ok(program) => linted.push(Linted {
+                    origin: format!("workload `{}`", w.name),
+                    program,
+                }),
+                Err(e) => {
+                    println!("workload `{}`: error[compile]: {e}", w.name);
+                    findings.errors += 1;
+                }
+            }
+        }
+    }
+
+    for l in &linted {
+        lint_program(l, options.pipeline, &mut findings);
+    }
+
+    if let Some(path) = &options.profile {
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("mflint: reading {} failed: {e}", path.display());
+                return ExitCode::from(2);
+            }
+        };
+        let resolve_against = if file_programs == 1 {
+            Some(&linted[0])
+        } else {
+            None
+        };
+        lint_profile(path, &text, resolve_against, &mut findings);
+    }
+
+    println!(
+        "mflint: {} program{} checked, {} error{}, {} warning{}",
+        linted.len(),
+        if linted.len() == 1 { "" } else { "s" },
+        findings.errors,
+        if findings.errors == 1 { "" } else { "s" },
+        findings.warnings,
+        if findings.warnings == 1 { "" } else { "s" },
+    );
+    if findings.fail(options.deny_warnings) {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

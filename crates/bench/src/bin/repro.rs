@@ -62,6 +62,10 @@ options:
   --json-metrics PATH write the harness report (timings, cache hits,
                       utilization) as JSON to PATH
   --no-cache          skip the persistent cache (target/mfharness-cache/)
+  --verify-each       run the mfcheck semantic verifier between
+                      optimization passes (a defective pass aborts, named)
+                      and stamp each run record with its program's
+                      verification digest
   -h, --help          this message";
 
 struct Options {
@@ -69,6 +73,7 @@ struct Options {
     jobs: Option<usize>,
     json_metrics: Option<PathBuf>,
     no_cache: bool,
+    verify_each: bool,
 }
 
 fn usage_error(message: &str) -> ExitCode {
@@ -82,6 +87,7 @@ fn parse_args(args: &[String]) -> Result<Option<Options>, String> {
         jobs: None,
         json_metrics: None,
         no_cache: false,
+        verify_each: false,
     };
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
@@ -111,6 +117,7 @@ fn parse_args(args: &[String]) -> Result<Option<Options>, String> {
                 options.json_metrics = Some(PathBuf::from(value(&mut iter)?));
             }
             "--no-cache" => options.no_cache = true,
+            "--verify-each" => options.verify_each = true,
             _ if inline_value.is_none() && SECTIONS.contains(&flag) => {
                 options.sections.push(flag.to_string());
             }
@@ -146,6 +153,10 @@ fn main() -> ExitCode {
     }
     if options.no_cache {
         harness_options.disk_cache = DiskCache::Off;
+    }
+    if options.verify_each {
+        harness_options.verify = true;
+        mfbench::set_verify_each(true);
     }
     configure_harness(harness_options);
     let want =

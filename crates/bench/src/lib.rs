@@ -18,6 +18,7 @@
 //! bit-identical to the serial reference path ([`collect_serial`]) at any
 //! worker count.
 
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, OnceLock};
 
 use bpredict::experiment::{self, DatasetRun};
@@ -48,6 +49,9 @@ pub struct WorkloadRuns {
     /// The heuristic (backward-taken / forward-not-taken) predictor for
     /// this program's profiling build.
     pub heuristic: Predictor,
+    /// The BTFN static-heuristic predictor computed from the loop forest
+    /// (back edges by dominance, not block layout).
+    pub btfn: Predictor,
 }
 
 /// The whole suite's collected data.
@@ -70,6 +74,40 @@ impl SuiteRuns {
 
 static HARNESS: OnceLock<Harness> = OnceLock::new();
 
+/// When set, every optimized build runs the `mfcheck` semantic verifier
+/// between passes ([`mfopt::Pipeline::run_checked`]), so a defective pass
+/// is reported by name instead of corrupting the measurement. Surfaced as
+/// `repro --verify-each`.
+static VERIFY_EACH: AtomicBool = AtomicBool::new(false);
+
+/// Turns inter-pass verification of optimized builds on or off.
+pub fn set_verify_each(on: bool) {
+    VERIFY_EACH.store(on, Ordering::Relaxed);
+}
+
+/// Whether optimized builds verify between passes.
+pub fn verify_each_enabled() -> bool {
+    VERIFY_EACH.load(Ordering::Relaxed)
+}
+
+/// A recorded run's branch counters must be consistent with the program
+/// that produced them — `taken ≤ executed` and every counter keyed by a
+/// registered branch site. A violation means the measurement itself is
+/// corrupt, so it stops the experiment rather than skewing a table.
+fn check_run_profile(program: &Program, label: &str, dataset: &str, stats: &trace_vm::RunStats) {
+    let entries: Vec<_> = stats.branches.iter().collect();
+    let issues = mfcheck::check_against_program(program, &entries);
+    assert!(
+        issues.is_empty(),
+        "{label}/{dataset}: corrupt branch profile: {}",
+        issues
+            .iter()
+            .map(|i| i.to_string())
+            .collect::<Vec<_>>()
+            .join("; ")
+    );
+}
+
 /// Installs the process-global harness with explicit options (worker
 /// count, cache mode). Must be called before the first run executes;
 /// returns `false` if a harness was already installed (the call is then a
@@ -91,21 +129,28 @@ struct Prepared {
     program: Arc<Program>,
     optimized: Arc<Program>,
     heuristic: Predictor,
+    btfn: Predictor,
 }
 
 fn prepare(workload: Workload) -> Prepared {
     let program = Arc::new(workload.compile().expect("bundled workload compiles"));
-    let optimized = Arc::new(
+    let optimized = Arc::new(if verify_each_enabled() {
+        workload
+            .compile_optimized_verified()
+            .unwrap_or_else(|e| panic!("{}: {e}", workload.name))
+    } else {
         workload
             .compile_optimized()
-            .expect("bundled workload optimizes"),
-    );
+            .expect("bundled workload optimizes")
+    });
     let heuristic = Predictor::heuristic(&program);
+    let btfn = Predictor::static_heuristic(&program);
     Prepared {
         workload,
         program,
         optimized,
         heuristic,
+        btfn,
     }
 }
 
@@ -134,6 +179,7 @@ fn collect_prepared(h: &Harness, prepared: Vec<Prepared>) -> SuiteRuns {
         let mut runs = Vec::with_capacity(p.workload.datasets.len());
         for d in &p.workload.datasets {
             let outcome = outcomes.next().expect("one outcome per dataset job");
+            check_run_profile(&p.program, p.workload.name, &d.name, &outcome.stats);
             runs.push(DatasetRun::new(d.name.clone(), (*outcome.stats).clone()));
         }
         let opt = outcomes.next().expect("one outcome per optimized job");
@@ -147,6 +193,7 @@ fn collect_prepared(h: &Harness, prepared: Vec<Prepared>) -> SuiteRuns {
             base_instrs_first,
             select_ratio,
             heuristic: p.heuristic,
+            btfn: p.btfn,
         });
     }
     SuiteRuns { workloads }
@@ -189,13 +236,20 @@ pub fn collect_subset_with(h: &Harness, names: &[&str]) -> SuiteRuns {
 
 fn collect_workload_serial(w: &Workload) -> WorkloadRuns {
     let program = w.compile().expect("bundled workload compiles");
-    let optimized = w.compile_optimized().expect("bundled workload optimizes");
+    let optimized = if verify_each_enabled() {
+        w.compile_optimized_verified()
+            .unwrap_or_else(|e| panic!("{}: {e}", w.name))
+    } else {
+        w.compile_optimized().expect("bundled workload optimizes")
+    };
     let heuristic = Predictor::heuristic(&program);
+    let btfn = Predictor::static_heuristic(&program);
     let mut runs = Vec::with_capacity(w.datasets.len());
     for d in &w.datasets {
         let run = w
             .run(&program, d)
             .unwrap_or_else(|e| panic!("{}/{}: {e}", w.name, d.name));
+        check_run_profile(&program, w.name, &d.name, &run.stats);
         runs.push(DatasetRun::new(d.name.clone(), run.stats));
     }
     let first = &w.datasets[0];
@@ -212,6 +266,7 @@ fn collect_workload_serial(w: &Workload) -> WorkloadRuns {
         base_instrs_first,
         select_ratio,
         heuristic,
+        btfn,
     }
 }
 
@@ -527,13 +582,23 @@ pub fn combination_table(s: &SuiteRuns) -> Table {
 }
 
 /// Heuristic vs profile feedback: instrs/break per program/dataset under
-/// the loop heuristic and under leave-one-out profile prediction, plus the
-/// ratio (the paper: heuristics give up "about a factor of two").
+/// the BTFN static heuristic (loop forest: back edges taken, everything
+/// else not-taken), the source-kind loop heuristic, and leave-one-out
+/// profile prediction, plus profile/heuristic ratio (the paper: heuristics
+/// give up "about a factor of two").
 pub fn heuristic_table(s: &SuiteRuns) -> Table {
     let cfg = BreakConfig::fig2();
-    let mut t = Table::new(&["PROGRAM", "DATASET", "HEURISTIC", "PROFILE", "RATIO"]);
+    let mut t = Table::new(&[
+        "PROGRAM",
+        "DATASET",
+        "BTFN",
+        "HEURISTIC",
+        "PROFILE",
+        "RATIO",
+    ]);
     for w in &s.workloads {
         for (i, run) in w.runs.iter().enumerate() {
+            let b = evaluate(&run.stats, &w.btfn, cfg).instrs_per_break;
             let h = evaluate(&run.stats, &w.heuristic, cfg).instrs_per_break;
             let p = if w.runs.len() > 1 {
                 experiment::loo_metrics(&w.runs, i, CombineRule::Scaled, cfg).instrs_per_break
@@ -543,6 +608,7 @@ pub fn heuristic_table(s: &SuiteRuns) -> Table {
             t.row_owned(vec![
                 w.name.clone(),
                 run.dataset.clone(),
+                fmt_value(b),
                 fmt_value(h),
                 fmt_value(p),
                 format!("{:.2}x", p / h.max(1e-9)),
@@ -900,6 +966,7 @@ mod tests {
         Harness::new(HarnessOptions {
             jobs: Some(jobs),
             disk_cache: DiskCache::Off,
+            verify: false,
         })
     }
 
@@ -968,6 +1035,37 @@ mod tests {
         assert!(!heuristic_table(s).is_empty());
         assert!(!selects_table(s).is_empty());
         assert!(!percent_correct_table(s).is_empty());
+    }
+
+    #[test]
+    fn heuristic_table_has_a_btfn_column() {
+        let s = quick();
+        let rendered = heuristic_table(s).render();
+        assert!(rendered.contains("BTFN"), "{rendered}");
+        assert!(rendered.contains("HEURISTIC"));
+        assert!(rendered.contains("PROFILE"));
+        // Every workload carries a distinct BTFN predictor with at least
+        // one branch site classified.
+        for w in &s.workloads {
+            assert!(!w.btfn.is_empty(), "{}: empty BTFN predictor", w.name);
+        }
+    }
+
+    #[test]
+    fn verify_each_collection_matches_plain_collection() {
+        let plain = collect_subset_with(&test_harness(2), &["spiff"]);
+        set_verify_each(true);
+        let checked = collect_subset_serial(&["spiff"]);
+        set_verify_each(false);
+        // The verifier must be invisible in the science: same optimized
+        // instruction counts, same run statistics.
+        let (a, b) = (&plain.workloads[0], &checked.workloads[0]);
+        assert_eq!(a.opt_instrs_first, b.opt_instrs_first);
+        assert_eq!(a.base_instrs_first, b.base_instrs_first);
+        assert_eq!(a.runs.len(), b.runs.len());
+        for (x, y) in a.runs.iter().zip(&b.runs) {
+            assert_eq!(x.stats, y.stats);
+        }
     }
 
     #[test]

@@ -1,0 +1,177 @@
+//! End-to-end tests of the `mflint` binary and the `repro --verify-each`
+//! wiring: exit codes, rustc-style diagnostics, seeded-corruption
+//! detection, and pass-defect attribution.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn mflint(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_mflint"))
+        .args(args)
+        .output()
+        .expect("mflint runs")
+}
+
+fn repro(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_repro"))
+        .args(args)
+        .output()
+        .expect("repro runs")
+}
+
+fn stdout(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+fn temp_file(tag: &str, contents: &str) -> PathBuf {
+    let path = std::env::temp_dir().join(format!("mflint-it-{tag}-{}", std::process::id()));
+    std::fs::write(&path, contents).expect("write fixture");
+    path
+}
+
+const CLEAN: &str = "fn main(n: int) { var acc: int = 0; \
+    for (var i: int = 0; i < n; i = i + 1) { \
+    if (i % 3 == 0) { acc = acc + i; } } emit(acc); }";
+
+#[test]
+fn clean_source_exits_zero() {
+    let path = temp_file("clean.mf", CLEAN);
+    let out = mflint(&[path.to_str().unwrap()]);
+    assert!(out.status.success(), "stdout: {}", stdout(&out));
+    assert!(stdout(&out).contains("0 errors"));
+    let _ = std::fs::remove_file(path);
+}
+
+#[test]
+fn clean_source_survives_pipeline_verification() {
+    let path = temp_file("clean-pipeline.mf", CLEAN);
+    let out = mflint(&[path.to_str().unwrap(), "--pipeline"]);
+    assert!(out.status.success(), "stdout: {}", stdout(&out));
+    let _ = std::fs::remove_file(path);
+}
+
+#[test]
+fn uncompilable_source_is_a_finding() {
+    let path = temp_file("broken.mf", "fn main( { emit(1); }");
+    let out = mflint(&[path.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(1));
+    assert!(stdout(&out).contains("error[compile]"), "{}", stdout(&out));
+    let _ = std::fs::remove_file(path);
+}
+
+#[test]
+fn seeded_corrupt_profile_is_caught() {
+    // taken > executed on br0: impossible for a genuine recorded run, so
+    // this profile must have been corrupted on disk.
+    let path = temp_file("corrupt.prof", "br0 5 9\n");
+    let out = mflint(&["--profile", path.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(1));
+    let text = stdout(&out);
+    assert!(text.contains("error[corrupt-profile]"), "{text}");
+    assert!(text.contains("taken count 9"), "{text}");
+    let _ = std::fs::remove_file(path);
+}
+
+#[test]
+fn profile_sites_are_checked_against_the_program() {
+    let program = temp_file("sited.mf", CLEAN);
+    let profile = temp_file("unknown-site.prof", "br0 10 4\nbr999 3 1\n");
+    let out = mflint(&[
+        program.to_str().unwrap(),
+        "--profile",
+        profile.to_str().unwrap(),
+    ]);
+    assert_eq!(out.status.code(), Some(1));
+    assert!(stdout(&out).contains("br999"), "{}", stdout(&out));
+    let _ = std::fs::remove_file(program);
+    let _ = std::fs::remove_file(profile);
+}
+
+#[test]
+fn valid_raw_profile_passes() {
+    let program = temp_file("prof-ok.mf", CLEAN);
+    let profile = temp_file("ok.prof", "# run 1\nbr0 10 4\nbr1 6 6\n");
+    let out = mflint(&[
+        program.to_str().unwrap(),
+        "--profile",
+        profile.to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "stdout: {}", stdout(&out));
+    let _ = std::fs::remove_file(program);
+    let _ = std::fs::remove_file(profile);
+}
+
+#[test]
+fn unknown_flag_is_a_usage_error() {
+    let out = mflint(&["--bogus"]);
+    assert_eq!(out.status.code(), Some(2));
+}
+
+#[test]
+fn nothing_to_lint_is_a_usage_error() {
+    let out = mflint(&[]);
+    assert_eq!(out.status.code(), Some(2));
+}
+
+#[test]
+fn use_before_def_diagnostics_surface_through_the_lint_path() {
+    // mflang's lowering always initializes variables, so a use-before-def
+    // must be seeded at the IR level; this drives the exact function the
+    // binary calls per program and checks the rendered diagnostic.
+    use trace_ir::builder::{FunctionBuilder, ProgramBuilder};
+
+    let mut pb = ProgramBuilder::new();
+    let mut f = FunctionBuilder::new("f", 0);
+    let uninit = f.new_reg();
+    f.emit_value(uninit);
+    f.ret(None);
+    pb.add_function(f.finish());
+    let program = pb.finish("f").expect("structurally valid");
+
+    let diagnostics = mfcheck::verify_program(&program);
+    let rendered: Vec<String> = diagnostics.iter().map(|d| d.to_string()).collect();
+    assert!(
+        rendered.iter().any(|d| d.contains("error[use-before-def]")),
+        "{rendered:?}"
+    );
+    assert!(!mfcheck::is_clean(&diagnostics));
+}
+
+#[test]
+fn verify_each_names_an_intentionally_broken_pass() {
+    // The machinery `repro --verify-each` runs per function: a pass that
+    // corrupts the program is caught and reported by name.
+    fn clobber_first_def(func: &mut trace_ir::Function) -> bool {
+        let entry = &mut func.blocks[0];
+        if let Some(pos) = entry.instrs.iter().position(|i| i.dst().is_some()) {
+            entry.instrs.remove(pos);
+            return true;
+        }
+        false
+    }
+
+    let mut program = mflang::compile(CLEAN).unwrap();
+    let defect = mfopt::Pipeline::none()
+        .rounds(1)
+        .with_pass("clobber-first-def", clobber_first_def)
+        .run_checked(&mut program)
+        .unwrap_err();
+    assert_eq!(defect.pass, "clobber-first-def");
+    assert!(defect.to_string().contains("clobber-first-def"));
+}
+
+#[test]
+fn repro_usage_mentions_verify_each() {
+    let out = repro(&["--help"]);
+    assert!(out.status.success());
+    assert!(stdout(&out).contains("--verify-each"));
+}
+
+#[test]
+fn repro_verify_each_accepts_the_flag() {
+    // --table2 prints the inventory without collecting runs, so this
+    // exercises flag parsing and harness configuration cheaply.
+    let out = repro(&["--verify-each", "--no-cache", "--table2"]);
+    assert!(out.status.success(), "{}", stdout(&out));
+    assert!(stdout(&out).contains("spice2g6"));
+}

@@ -123,6 +123,40 @@ impl Predictor {
         }
     }
 
+    /// "Backward taken, forward not taken" decided *structurally*: a
+    /// branch whose taken edge is a dominance-certified back edge (the
+    /// taken target dominates the branching block) is predicted taken,
+    /// everything else not-taken.
+    ///
+    /// Unlike [`Predictor::heuristic`], which trusts block layout, this
+    /// consults the loop forest, so it keeps identifying loop branches
+    /// after transformations that disturb layout order (jump threading,
+    /// unreachable-block renumbering, hand-built IR). In irreducible
+    /// regions no natural-loop back edge exists and the branch falls back
+    /// to not-taken — the conservative choice.
+    pub fn static_heuristic(program: &Program) -> Self {
+        let mut map = BTreeMap::new();
+        for func in &program.functions {
+            let cfg = mfcheck::Cfg::new(func);
+            let dom = mfcheck::DomTree::compute(&cfg);
+            let loops = mfcheck::LoopForest::compute(&cfg, &dom);
+            for (bi, block) in func.iter_blocks() {
+                if let Terminator::Branch { id, taken, .. } = block.term {
+                    let dir = if loops.is_back_edge(bi, taken) {
+                        Direction::Taken
+                    } else {
+                        Direction::NotTaken
+                    };
+                    map.insert(id, dir);
+                }
+            }
+        }
+        Predictor {
+            map,
+            default: Direction::NotTaken,
+        }
+    }
+
     /// Predicts every branch in one fixed direction.
     pub fn always(direction: Direction) -> Self {
         Predictor {
@@ -199,6 +233,84 @@ mod tests {
         assert!(t.is_empty());
         assert_eq!(t.predict(BranchId(7)), Direction::Taken);
         assert_eq!(Direction::Taken.flip(), Direction::NotTaken);
+    }
+
+    #[test]
+    fn static_heuristic_agrees_with_source_kinds_on_compiled_code() {
+        let program = mflang::compile(
+            r#"
+            fn main(n: int) {
+                var s: int = 0;
+                for (var i: int = 0; i < n; i = i + 1) {
+                    if (i % 3 == 0) { s = s + i; } else { s = s - 1; }
+                }
+                while (s > 50) { s = s - 7; }
+                emit(s);
+            }
+            "#,
+        )
+        .unwrap();
+        let btfn = Predictor::static_heuristic(&program);
+        let by_kind = Predictor::heuristic_by_kind(&program);
+        for (id, dir) in btfn.iter() {
+            assert_eq!(
+                dir,
+                by_kind.predict(id),
+                "BTFN and source-kind heuristics disagree on {id:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn static_heuristic_survives_layout_that_fools_the_layout_heuristic() {
+        use trace_ir::builder::{FunctionBuilder, ProgramBuilder};
+        use trace_ir::BranchKind as Bk;
+
+        // Layout is deliberately scrambled: the loop header (bb2) comes
+        // *after* its latch (bb1) in block order, and a plain if-branch
+        // targets an earlier-index block. The layout heuristic
+        // misclassifies both; dominance does not.
+        let mut f = FunctionBuilder::new("main", 1);
+        let latch = f.new_block(); // bb1
+        let header = f.new_block(); // bb2
+        let exit = f.new_block(); // bb3
+        let early_arm = f.new_block(); // bb4
+        let fork = f.new_block(); // bb5
+        let join = f.new_block(); // bb6
+        f.jump(header);
+        f.switch_to(header);
+        f.jump(latch);
+        f.switch_to(latch);
+        // Loop branch: taken target (bb2) has a HIGHER index than this
+        // block (bb1), so layout calls it forward/not-taken — but bb2
+        // dominates bb1, making it a true back edge.
+        f.branch(f.param(0), header, exit, 1, Bk::Synthetic);
+        f.switch_to(exit);
+        f.jump(fork);
+        f.switch_to(fork);
+        // If-branch: taken target (bb4) has a LOWER index than this block
+        // (bb5), so layout calls it backward/taken — but bb4 does not
+        // dominate bb5; it is an ordinary forward diamond arm.
+        f.branch(f.param(0), early_arm, join, 2, Bk::Synthetic);
+        f.switch_to(early_arm);
+        f.jump(join);
+        f.switch_to(join);
+        f.ret(None);
+        let mut pb = ProgramBuilder::new();
+        pb.add_function(f.finish());
+        let program = pb.finish("main").unwrap();
+
+        let layout = Predictor::heuristic(&program);
+        let btfn = Predictor::static_heuristic(&program);
+        let loop_branch = BranchId(0);
+        let if_branch = BranchId(1);
+
+        assert_eq!(btfn.predict(loop_branch), Direction::Taken);
+        assert_eq!(btfn.predict(if_branch), Direction::NotTaken);
+        // And the layout heuristic gets both wrong here — the reason the
+        // structural variant exists.
+        assert_eq!(layout.predict(loop_branch), Direction::NotTaken);
+        assert_eq!(layout.predict(if_branch), Direction::Taken);
     }
 
     #[test]

@@ -16,6 +16,9 @@
 //! * `MFHARNESS_CACHE` — `off`/`0` disables the persistent tier; any
 //!   other value is used as the cache directory. Default:
 //!   `target/mfharness-cache/`.
+//! * `MFHARNESS_VERIFY` — any value other than `off`/`0`/empty runs the
+//!   `mfcheck` semantic verifier over every unique job's program and
+//!   stamps its digest on the run record (cache hits included).
 //!
 //! Observability — per-run timing, guest-instructions-per-second, cache
 //! hit/miss counters, worker utilization — accumulates in a
@@ -61,10 +64,15 @@ pub struct HarnessOptions {
     pub jobs: Option<usize>,
     /// Persistent-cache mode.
     pub disk_cache: DiskCache,
+    /// Run the semantic verifier over every unique job's program and stamp
+    /// the digest on its [`RunRecord`] — including cache hits, so results
+    /// loaded from disk are still re-checked against today's verifier.
+    pub verify: bool,
 }
 
 impl HarnessOptions {
-    /// Reads `MFHARNESS_JOBS` and `MFHARNESS_CACHE` from the environment.
+    /// Reads `MFHARNESS_JOBS`, `MFHARNESS_CACHE`, and `MFHARNESS_VERIFY`
+    /// from the environment.
     pub fn from_env() -> Self {
         let jobs = std::env::var("MFHARNESS_JOBS")
             .ok()
@@ -75,7 +83,15 @@ impl HarnessOptions {
             Ok(v) if v.trim().is_empty() || v.trim() == "off" || v.trim() == "0" => DiskCache::Off,
             Ok(v) => DiskCache::Dir(PathBuf::from(v)),
         };
-        HarnessOptions { jobs, disk_cache }
+        let verify = match std::env::var("MFHARNESS_VERIFY") {
+            Err(_) => false,
+            Ok(v) => !matches!(v.trim(), "" | "0" | "off"),
+        };
+        HarnessOptions {
+            jobs,
+            disk_cache,
+            verify,
+        }
     }
 }
 
@@ -119,6 +135,7 @@ impl std::error::Error for HarnessError {}
 #[derive(Debug)]
 pub struct Harness {
     jobs: usize,
+    verify: bool,
     cache: RunCache,
     records: Mutex<Vec<RunRecord>>,
     jobs_submitted: AtomicU64,
@@ -138,6 +155,7 @@ impl Harness {
         };
         Harness {
             jobs: options.jobs.unwrap_or_else(default_workers),
+            verify: options.verify,
             cache,
             records: Mutex::new(Vec::new()),
             jobs_submitted: AtomicU64::new(0),
@@ -158,12 +176,18 @@ impl Harness {
         Harness::new(HarnessOptions {
             jobs: None,
             disk_cache: DiskCache::Off,
+            verify: false,
         })
     }
 
     /// Worker thread count this harness schedules with.
     pub fn jobs(&self) -> usize {
         self.jobs
+    }
+
+    /// Whether run records carry a semantic-verification digest.
+    pub fn verify(&self) -> bool {
+        self.verify
     }
 
     /// The persistent cache directory, if the tier is enabled.
@@ -262,15 +286,38 @@ impl Harness {
             .map(|o| o.expect("every unique job resolved"))
             .collect();
 
+        // Verification digests: one per distinct program (many unique jobs
+        // share one `Arc<Program>` across datasets). Cache hits are
+        // digested too — that is the point: a stale disk result still gets
+        // checked against today's verifier.
+        let digests: Vec<Option<u64>> = if self.verify {
+            let mut memo: HashMap<*const trace_ir::Program, u64> = HashMap::new();
+            unique
+                .iter()
+                .map(|job| {
+                    Some(
+                        *memo
+                            .entry(Arc::as_ptr(&job.program))
+                            .or_insert_with(|| mfcheck::verify_digest(&job.program)),
+                    )
+                })
+                .collect()
+        } else {
+            vec![None; unique.len()]
+        };
+
         {
             let mut records = self.records.lock().expect("records lock");
-            for outcome in &outcomes {
+            // `outcomes` is index-aligned with `unique`, so zipping pairs
+            // each outcome with its job's digest.
+            for (outcome, digest) in outcomes.iter().zip(&digests) {
                 records.push(RunRecord {
                     label: outcome.label.clone(),
                     key: outcome.key,
                     guest_instrs: outcome.stats.total_instrs,
                     wall: outcome.wall,
                     source: outcome.source,
+                    verify_digest: *digest,
                 });
             }
         }
@@ -362,14 +409,50 @@ mod tests {
     }
 
     #[test]
+    fn verify_mode_stamps_digests_on_all_records() {
+        let harness = Harness::new(HarnessOptions {
+            jobs: Some(2),
+            disk_cache: DiskCache::Off,
+            verify: true,
+        });
+        assert!(harness.verify());
+        // Two batches of the same job: a computed record and a memory-hit
+        // record, both of which must carry the clean digest.
+        harness.run_one(job(LOOPY, vec![Input::Int(25)])).unwrap();
+        harness.run_one(job(LOOPY, vec![Input::Int(25)])).unwrap();
+        let report = harness.report();
+        assert_eq!(report.records.len(), 2);
+        for record in &report.records {
+            assert_eq!(record.verify_digest, Some(mfcheck::CLEAN_DIGEST));
+        }
+        assert_eq!(report.verified(), 2);
+        assert_eq!(report.verified_clean(), 2);
+        assert!(report.summary_table().render().contains("runs verified"));
+        assert!(report.to_json().contains("\"verify_digest\": \"0x"));
+    }
+
+    #[test]
+    fn unverified_records_have_no_digest() {
+        let harness = Harness::in_memory();
+        harness.run_one(job(LOOPY, vec![Input::Int(12)])).unwrap();
+        let report = harness.report();
+        assert_eq!(report.records[0].verify_digest, None);
+        assert_eq!(report.verified(), 0);
+        assert!(!report.summary_table().render().contains("runs verified"));
+        assert!(report.to_json().contains("\"verify_digest\": null"));
+    }
+
+    #[test]
     fn parallel_and_serial_agree() {
         let serial = Harness::new(HarnessOptions {
             jobs: Some(1),
             disk_cache: DiskCache::Off,
+            verify: false,
         });
         let parallel = Harness::new(HarnessOptions {
             jobs: Some(8),
             disk_cache: DiskCache::Off,
+            verify: false,
         });
         let batch = |h: &Harness| {
             let jobs: Vec<RunJob> = (10..30).map(|n| job(LOOPY, vec![Input::Int(n)])).collect();

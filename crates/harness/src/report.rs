@@ -26,6 +26,12 @@ pub struct RunRecord {
     pub wall: Duration,
     /// Computed, memory hit, or disk hit.
     pub source: CacheSource,
+    /// Semantic-verification digest of the program this job ran
+    /// (`mfcheck::verify_digest`), recorded when the harness runs with
+    /// verification enabled — for cache hits too, so a cached result is
+    /// still re-checked against today's verifier. `None` when
+    /// verification was off.
+    pub verify_digest: Option<u64>,
 }
 
 /// Aggregated observability for every batch a harness has executed.
@@ -139,7 +145,30 @@ impl HarnessReport {
             "guest instrs/sec (busy)".into(),
             format!("{:.3e}", self.guest_instrs_per_sec()),
         ]);
+        let verified = self.verified();
+        if verified > 0 {
+            table.row_owned(vec![
+                "runs verified".into(),
+                format!("{verified} ({} clean)", self.verified_clean()),
+            ]);
+        }
         table
+    }
+
+    /// Records carrying a verification digest.
+    pub fn verified(&self) -> u64 {
+        self.records
+            .iter()
+            .filter(|r| r.verify_digest.is_some())
+            .count() as u64
+    }
+
+    /// Verified records whose program produced no diagnostics at all.
+    pub fn verified_clean(&self) -> u64 {
+        self.records
+            .iter()
+            .filter(|r| r.verify_digest == Some(mfcheck::CLEAN_DIGEST))
+            .count() as u64
     }
 
     /// Serializes the full report (summary plus per-run records) as JSON.
@@ -173,13 +202,19 @@ impl HarnessReport {
         ));
         out.push_str("  \"runs\": [\n");
         for (i, record) in self.records.iter().enumerate() {
+            // u64 digests exceed JSON-number precision; emit hex strings.
+            let verify = match record.verify_digest {
+                Some(d) => format!("\"{d:#018x}\""),
+                None => "null".to_string(),
+            };
             out.push_str(&format!(
-                "    {{\"label\": {}, \"key\": \"{}\", \"guest_instructions\": {}, \"wall_seconds\": {}, \"source\": \"{}\"}}{}\n",
+                "    {{\"label\": {}, \"key\": \"{}\", \"guest_instructions\": {}, \"wall_seconds\": {}, \"source\": \"{}\", \"verify_digest\": {}}}{}\n",
                 json_str(&record.label),
                 record.key,
                 record.guest_instrs,
                 json_f64(record.wall.as_secs_f64()),
                 record.source.name(),
+                verify,
                 if i + 1 < self.records.len() { "," } else { "" }
             ));
         }
@@ -231,6 +266,7 @@ mod tests {
                     guest_instrs: 1000,
                     wall: Duration::from_millis(5),
                     source: CacheSource::Computed,
+                    verify_digest: None,
                 },
                 RunRecord {
                     label: "doduc/train".into(),
@@ -238,6 +274,7 @@ mod tests {
                     guest_instrs: 1000,
                     wall: Duration::ZERO,
                     source: CacheSource::Memory,
+                    verify_digest: Some(mfcheck::CLEAN_DIGEST),
                 },
             ],
             jobs_submitted: 2,

@@ -5,7 +5,7 @@ use std::collections::HashSet;
 
 use trace_ir::{BlockId, Function, Reg, Terminator};
 
-use crate::analysis::reachable_blocks;
+use mfcheck::reachable_blocks;
 
 /// Redirects transfers through empty forwarding blocks (a block with no
 /// instructions whose terminator is an unconditional jump). Returns true if

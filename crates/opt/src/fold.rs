@@ -2,13 +2,22 @@
 
 use trace_ir::{BinOp, Function, Instr, Terminator, UnOp, Value};
 
-use crate::analysis::single_def_consts;
+use mfcheck::{all_uses_initialized, single_def_consts};
 
 /// Folds instructions whose operands are single-definition constants, and
 /// rewrites conditional branches with constant conditions into jumps (the
 /// "branches with constant outcome" the paper's DCE removed). Returns true
 /// if anything changed.
+///
+/// `single_def_consts` is only sound when every use executes after its
+/// register's definition; the VM hands an uninitialized read a default
+/// value, not the constant. Functions that fail definite-initialization
+/// are therefore left untouched (the verifier reports them as
+/// `use-before-def` errors; the lowerer never produces such code).
 pub fn fold_constants(func: &mut Function) -> bool {
+    if !all_uses_initialized(func) {
+        return false;
+    }
     let consts = single_def_consts(func);
     let mut changed = false;
 
@@ -228,6 +237,40 @@ mod tests {
                 value: Value::Int(-10),
                 ..
             }
+        ));
+    }
+
+    #[test]
+    fn refuses_to_fold_uninit_reading_functions() {
+        // The entry branches on x before x's only (constant) definition
+        // executes. The VM reads 0 and falls through; folding the branch
+        // on "x = 1" would take the other edge. The definite-init gate
+        // must keep the fold from firing at all.
+        let mut f = FunctionBuilder::new("main", 0);
+        let x = f.new_reg();
+        let t = f.new_block();
+        let e = f.new_block();
+        f.branch(x, t, e, 1, BranchKind::If);
+        f.switch_to(t);
+        f.ret(None);
+        f.switch_to(e);
+        f.ret(None);
+        let mut p = build(f);
+        // Give x its single definition — a Const in the taken arm, after
+        // the branch that reads it (the builder has no const-into-reg
+        // helper, so splice it in directly).
+        p.functions[0].blocks[1].instrs.push(Instr::Const {
+            dst: x,
+            value: Value::Int(1),
+        });
+        assert_eq!(
+            single_def_consts(&p.functions[0]).get(&x),
+            Some(&Value::Int(1))
+        );
+        assert!(!fold_constants(&mut p.functions[0]));
+        assert!(matches!(
+            p.functions[0].blocks[0].term,
+            Terminator::Branch { .. }
         ));
     }
 

@@ -37,16 +37,19 @@
 //! # }
 //! ```
 
-mod analysis;
 mod cleanup;
 mod fold;
 mod inline;
 mod local;
 mod pipeline;
 
-pub use analysis::{reachable_blocks, single_def_consts};
+// The CFG analyses the passes are built on live in `mfcheck` (so the
+// verifier, predictors, and lint driver share them); re-exported here for
+// the optimizer's historical API.
+pub use mfcheck::{reachable_blocks, single_def_consts};
+
 pub use cleanup::{dead_code, jump_thread, remove_unreachable};
 pub use fold::fold_constants;
 pub use inline::Inliner;
 pub use local::{copy_propagate, local_cse};
-pub use pipeline::Pipeline;
+pub use pipeline::{PassDefect, PassFn, Pipeline};

@@ -1,23 +1,98 @@
 //! The pass manager.
+//!
+//! Passes are held as a named list so the pipeline can be inspected,
+//! extended with custom passes in tests, and — in `verify_each` mode —
+//! sanitized: the semantic verifier runs after every pass that changed
+//! anything, so a defect is attributed to the exact pass (and round) that
+//! introduced it.
 
-use trace_ir::Program;
+use std::fmt;
+
+use trace_ir::{Function, Program};
+
+use mfcheck::{Diagnostic, Severity};
 
 use crate::cleanup::{dead_code, jump_thread, remove_unreachable};
 use crate::fold::fold_constants;
 use crate::local::{copy_propagate, local_cse};
 
+/// One intraprocedural optimization pass: rewrites a function in place
+/// and reports whether it changed anything.
+pub type PassFn = fn(&mut Function) -> bool;
+
+/// Name the verifier uses when the *input* program is already defective
+/// (no pass is to blame).
+const INPUT_STAGE: &str = "<input>";
+
+/// A defect the semantic verifier attributed to one pipeline stage.
+#[derive(Clone, Debug)]
+pub struct PassDefect {
+    /// The pass that introduced the defect, or `"<input>"` when the
+    /// program was defective before any pass ran.
+    pub pass: &'static str,
+    /// 1-based round the pass ran in (0 for the input stage).
+    pub round: u32,
+    /// The function being optimized when the defect appeared.
+    pub func: String,
+    /// Every error-severity diagnostic the verifier reported.
+    pub diagnostics: Vec<Diagnostic>,
+}
+
+impl fmt::Display for PassDefect {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.pass == INPUT_STAGE {
+            write!(
+                f,
+                "input program is defective before optimization ({} error{})",
+                self.diagnostics.len(),
+                if self.diagnostics.len() == 1 { "" } else { "s" }
+            )?;
+        } else {
+            write!(
+                f,
+                "pass `{}` (round {}, fn {}) introduced {} error{}",
+                self.pass,
+                self.round,
+                self.func,
+                self.diagnostics.len(),
+                if self.diagnostics.len() == 1 { "" } else { "s" }
+            )?;
+        }
+        for d in &self.diagnostics {
+            write!(f, "\n{d}")?;
+        }
+        Ok(())
+    }
+}
+
+impl std::error::Error for PassDefect {}
+
 /// An ordered sequence of optimization passes run to a fixpoint (bounded by
 /// a round limit).
-#[derive(Clone, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug)]
 pub struct Pipeline {
     rounds: u32,
-    fold: bool,
-    copy_prop: bool,
-    cse: bool,
-    thread: bool,
-    unreachable: bool,
-    dce: bool,
+    passes: Vec<(&'static str, PassFn)>,
+    verify_each: bool,
 }
+
+// Manual: comparing the function pointers themselves is both unreliable
+// (rustc may unify or duplicate them across codegen units) and
+// unnecessary — the name identifies the pass.
+impl PartialEq for Pipeline {
+    fn eq(&self, other: &Self) -> bool {
+        self.rounds == other.rounds
+            && self.verify_each == other.verify_each
+            && self.passes.len() == other.passes.len()
+            && self
+                .passes
+                .iter()
+                .zip(&other.passes)
+                .all(|((a, _), (b, _))| a == b)
+    }
+}
+
+impl Eq for Pipeline {}
 
 impl Default for Pipeline {
     fn default() -> Self {
@@ -33,12 +108,15 @@ impl Pipeline {
     pub fn standard() -> Self {
         Pipeline {
             rounds: 4,
-            fold: true,
-            copy_prop: true,
-            cse: true,
-            thread: true,
-            unreachable: true,
-            dce: true,
+            passes: vec![
+                ("fold-constants", fold_constants as PassFn),
+                ("copy-propagate", copy_propagate),
+                ("local-cse", local_cse),
+                ("jump-thread", jump_thread),
+                ("remove-unreachable", remove_unreachable),
+                ("dead-code", dead_code),
+            ],
+            verify_each: false,
         }
     }
 
@@ -47,12 +125,8 @@ impl Pipeline {
     pub fn none() -> Self {
         Pipeline {
             rounds: 0,
-            fold: false,
-            copy_prop: false,
-            cse: false,
-            thread: false,
-            unreachable: false,
-            dce: false,
+            passes: Vec::new(),
+            verify_each: false,
         }
     }
 
@@ -60,11 +134,10 @@ impl Pipeline {
     /// cleanups only. Useful for isolating how much of Table 1's dead code
     /// comes from DCE proper.
     pub fn without_dce() -> Self {
-        Pipeline {
-            fold: false,
-            dce: false,
-            ..Pipeline::standard()
-        }
+        let mut p = Pipeline::standard();
+        p.passes
+            .retain(|&(name, _)| name != "fold-constants" && name != "dead-code");
+        p
     }
 
     /// Sets the round limit.
@@ -73,35 +146,49 @@ impl Pipeline {
         self
     }
 
+    /// Appends a custom pass to the end of each round's pass sequence.
+    /// Used by tests (and ablations) to splice experimental rewrites into
+    /// the managed, verified pipeline.
+    pub fn with_pass(mut self, name: &'static str, pass: PassFn) -> Self {
+        self.passes.push((name, pass));
+        self
+    }
+
+    /// Enables (or disables) verify-each mode: [`Pipeline::run`] will
+    /// verify the program after every pass that changed anything and
+    /// panic with the offending pass's name on a defect. Prefer
+    /// [`Pipeline::run_checked`] to handle defects as values.
+    pub fn verify_each(mut self, on: bool) -> Self {
+        self.verify_each = on;
+        self
+    }
+
+    /// The names of the passes each round runs, in order.
+    pub fn pass_names(&self) -> Vec<&'static str> {
+        self.passes.iter().map(|&(name, _)| name).collect()
+    }
+
     /// Runs the pipeline over every function. Returns true if any pass
     /// changed anything.
     ///
     /// # Panics
     ///
-    /// Debug builds assert the program still validates afterwards; the
-    /// passes preserve structural validity by construction.
+    /// In verify-each mode, panics if the verifier attributes a semantic
+    /// defect to a pass. Debug builds always assert the program still
+    /// validates afterwards; the passes preserve structural validity by
+    /// construction.
     pub fn run(&self, program: &mut Program) -> bool {
+        if self.verify_each {
+            return self
+                .run_checked(program)
+                .unwrap_or_else(|defect| panic!("{defect}"));
+        }
         let mut any = false;
         for _ in 0..self.rounds {
             let mut changed = false;
             for func in &mut program.functions {
-                if self.fold {
-                    changed |= fold_constants(func);
-                }
-                if self.copy_prop {
-                    changed |= copy_propagate(func);
-                }
-                if self.cse {
-                    changed |= local_cse(func);
-                }
-                if self.thread {
-                    changed |= jump_thread(func);
-                }
-                if self.unreachable {
-                    changed |= remove_unreachable(func);
-                }
-                if self.dce {
-                    changed |= dead_code(func);
+                for &(_, pass) in &self.passes {
+                    changed |= pass(func);
                 }
             }
             any |= changed;
@@ -112,11 +199,67 @@ impl Pipeline {
         debug_assert_eq!(program.validate(), Ok(()));
         any
     }
+
+    /// Runs the pipeline with the semantic verifier interleaved: the
+    /// input is verified once, and then again after every pass that
+    /// reports a change. The transformation sequence is identical to
+    /// [`Pipeline::run`] — only observation is added — so the optimized
+    /// program (and any content-addressed cache key over it) is the same.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`PassDefect`] naming the pass (and round, and function)
+    /// after which error-severity diagnostics first appeared, or the
+    /// `"<input>"` stage when the program was defective to begin with.
+    pub fn run_checked(&self, program: &mut Program) -> Result<bool, PassDefect> {
+        let errors = |program: &Program| -> Vec<Diagnostic> {
+            mfcheck::verify_program(program)
+                .into_iter()
+                .filter(|d| d.severity == Severity::Error)
+                .collect()
+        };
+        let input_errors = errors(program);
+        if !input_errors.is_empty() {
+            return Err(PassDefect {
+                pass: INPUT_STAGE,
+                round: 0,
+                func: String::new(),
+                diagnostics: input_errors,
+            });
+        }
+        let mut any = false;
+        for round in 1..=self.rounds {
+            let mut changed = false;
+            for fi in 0..program.functions.len() {
+                for &(name, pass) in &self.passes {
+                    if !pass(&mut program.functions[fi]) {
+                        continue;
+                    }
+                    changed = true;
+                    let found = errors(program);
+                    if !found.is_empty() {
+                        return Err(PassDefect {
+                            pass: name,
+                            round,
+                            func: program.functions[fi].name.clone(),
+                            diagnostics: found,
+                        });
+                    }
+                }
+            }
+            any |= changed;
+            if !changed {
+                break;
+            }
+        }
+        Ok(any)
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use trace_ir::Instr;
 
     #[test]
     fn none_pipeline_is_identity() {
@@ -145,5 +288,93 @@ mod tests {
         Pipeline::standard().run(&mut p);
         assert_eq!(p, snapshot);
         assert!(p.validate().is_ok());
+    }
+
+    #[test]
+    fn run_checked_matches_run_on_clean_programs() {
+        let src = r#"
+            fn main() {
+                var total: int = 0;
+                for (var i: int = 0; i < 10; i = i + 1) {
+                    if (i % 3 == 0) { total = total + i; }
+                }
+                emit(total);
+            }
+        "#;
+        let mut a = mflang::compile(src).unwrap();
+        let mut b = a.clone();
+        let changed_plain = Pipeline::standard().run(&mut a);
+        let changed_checked = Pipeline::standard().run_checked(&mut b).unwrap();
+        assert_eq!(changed_plain, changed_checked);
+        assert_eq!(a, b, "verification must not perturb the transforms");
+    }
+
+    /// A deliberately broken "optimization": deletes the entry block's
+    /// first defining instruction, leaving its uses uninitialized.
+    fn clobber_first_def(func: &mut Function) -> bool {
+        let entry = &mut func.blocks[0];
+        if let Some(pos) = entry.instrs.iter().position(|i| i.dst().is_some()) {
+            entry.instrs.remove(pos);
+            true
+        } else {
+            false
+        }
+    }
+
+    #[test]
+    fn run_checked_names_the_offending_pass() {
+        let mut p = mflang::compile("fn main() { var x: int = 3; emit(x + 1); }").unwrap();
+        let pipeline = Pipeline::none()
+            .rounds(1)
+            .with_pass("clobber", clobber_first_def);
+        let defect = pipeline.run_checked(&mut p).unwrap_err();
+        assert_eq!(defect.pass, "clobber");
+        assert_eq!(defect.round, 1);
+        assert_eq!(defect.func, "main");
+        assert!(defect
+            .diagnostics
+            .iter()
+            .any(|d| d.code == "use-before-def"));
+        let rendered = defect.to_string();
+        assert!(rendered.contains("pass `clobber`"), "{rendered}");
+    }
+
+    #[test]
+    fn run_checked_rejects_defective_input() {
+        let mut p = mflang::compile("fn main() { emit(7); }").unwrap();
+        // Corrupt the input: read a fresh, never-defined register.
+        let r = p.functions[0].new_reg();
+        p.functions[0].blocks[0].instrs.push(Instr::Emit { src: r });
+        let defect = Pipeline::standard().run_checked(&mut p).unwrap_err();
+        assert_eq!(defect.pass, "<input>");
+        assert_eq!(defect.round, 0);
+    }
+
+    #[test]
+    fn verify_each_mode_panics_with_the_pass_name() {
+        let mut p = mflang::compile("fn main() { var x: int = 3; emit(x + 1); }").unwrap();
+        let pipeline = Pipeline::none()
+            .rounds(1)
+            .with_pass("clobber", clobber_first_def)
+            .verify_each(true);
+        let err = std::panic::catch_unwind(move || pipeline.run(&mut p)).unwrap_err();
+        let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+        assert!(msg.contains("clobber"), "{msg}");
+    }
+
+    #[test]
+    fn pipelines_compare_by_shape() {
+        assert_eq!(Pipeline::standard(), Pipeline::standard());
+        assert_ne!(Pipeline::standard(), Pipeline::without_dce());
+        assert_ne!(Pipeline::standard(), Pipeline::standard().verify_each(true));
+        assert_eq!(
+            Pipeline::without_dce().pass_names(),
+            vec![
+                "copy-propagate",
+                "local-cse",
+                "jump-thread",
+                "remove-unreachable"
+            ]
+        );
     }
 }

@@ -1,0 +1,198 @@
+//! Property tests over generated guest programs: every optimization pass —
+//! and the whole standard pipeline — must preserve both the semantic
+//! verifier's cleanliness (no new `mfcheck` errors) and VM-observable
+//! behaviour.
+//!
+//! Programs are generated as bounded `mflang` source: a fixed register set
+//! (`a`, `b`, `c` plus the parameter `n`), arithmetic restricted to
+//! non-trapping forms (division and modulus only by nonzero constants),
+//! and loops driven by dedicated counters so every generated program
+//! terminates quickly.
+
+use proptest::prelude::*;
+
+use mfcheck::{verify_program, Severity};
+use mfopt::{
+    copy_propagate, dead_code, fold_constants, jump_thread, local_cse, remove_unreachable, Pipeline,
+};
+use trace_ir::{Function, Program};
+use trace_vm::{Input, Vm};
+
+// ----------------------------------------------------------------
+// Program generator
+// ----------------------------------------------------------------
+
+fn arb_atom() -> impl Strategy<Value = String> {
+    prop_oneof![
+        Just("a".to_string()),
+        Just("b".to_string()),
+        Just("c".to_string()),
+        Just("n".to_string()),
+        (-20i64..20).prop_map(|v| format!("({v})")),
+    ]
+}
+
+fn arb_expr() -> impl Strategy<Value = String> {
+    arb_atom().prop_recursive(3, 24, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone(), 0usize..3).prop_map(|(l, r, op)| {
+                let op = ["+", "-", "*"][op];
+                format!("({l} {op} {r})")
+            }),
+            // Non-trapping by construction: the divisor is a nonzero
+            // constant.
+            (inner.clone(), 2i64..9, 0u32..2).prop_map(|(l, d, rem)| {
+                format!("({l} {} {d})", if rem == 1 { "%" } else { "/" })
+            }),
+            (inner.clone(), inner.clone(), 0usize..4).prop_map(|(l, r, op)| {
+                let op = ["<", "<=", "==", "!="][op];
+                format!("({l} {op} {r})")
+            }),
+        ]
+    })
+}
+
+/// One generated statement. `depth` bounds nesting; loop counters get
+/// unique names from `counter`.
+fn arb_stmt(depth: u32) -> BoxedStrategy<String> {
+    let assign = (0usize..3, arb_expr())
+        .prop_map(|(v, e)| format!("{} = {e};", ["a", "b", "c"][v]))
+        .boxed();
+    if depth == 0 {
+        return assign;
+    }
+    let block = prop::collection::vec(arb_stmt(depth - 1), 1..3)
+        .prop_map(|stmts| stmts.join("\n"))
+        .boxed();
+    // The shim's `prop_oneof!` is unweighted; listing `assign` three
+    // times approximates the real weights.
+    prop_oneof![
+        assign.clone(),
+        assign.clone(),
+        assign,
+        (arb_expr(), block.clone(), block.clone(), 0u32..2).prop_map(
+            |(cond, then_b, else_b, with_else)| if with_else == 1 {
+                format!("if ({cond}) {{\n{then_b}\n}} else {{\n{else_b}\n}}")
+            } else {
+                format!("if ({cond}) {{\n{then_b}\n}}")
+            }
+        ),
+        (1u32..5, block.clone(), 0u32..1_000_000).prop_map(|(bound, body, tag)| {
+            // A dedicated counter guarantees termination regardless of
+            // what the body does to a/b/c.
+            format!(
+                "var w{tag}: int = 0;\nwhile (w{tag} < {bound}) {{\n{body}\nw{tag} = w{tag} + 1;\n}}"
+            )
+        }),
+        (1u32..5, block).prop_map(|(bound, body)| {
+            format!("for (var f: int = 0; f < {bound}; f = f + 1) {{\n{body}\n}}")
+        }),
+    ]
+    .boxed()
+}
+
+fn arb_program() -> impl Strategy<Value = String> {
+    prop::collection::vec(arb_stmt(2), 1..6).prop_map(|stmts| {
+        format!(
+            "fn main(n: int) {{\n\
+             var a: int = 1;\n\
+             var b: int = 2;\n\
+             var c: int = n;\n\
+             {}\n\
+             emit(a); emit(b); emit(c);\n\
+             }}",
+            stmts.join("\n")
+        )
+    })
+}
+
+// ----------------------------------------------------------------
+// The properties
+// ----------------------------------------------------------------
+
+fn error_count(p: &Program) -> usize {
+    verify_program(p)
+        .iter()
+        .filter(|d| d.severity == Severity::Error)
+        .count()
+}
+
+fn outputs(p: &Program, n: i64) -> Vec<i64> {
+    Vm::new(p)
+        .run(&[Input::Int(n)])
+        .expect("generated programs cannot trap")
+        .output_ints()
+}
+
+type NamedPass = (&'static str, fn(&mut Function) -> bool);
+
+const PASSES: &[NamedPass] = &[
+    ("fold-constants", fold_constants),
+    ("copy-propagate", copy_propagate),
+    ("local-cse", local_cse),
+    ("jump-thread", jump_thread),
+    ("remove-unreachable", remove_unreachable),
+    ("dead-code", dead_code),
+];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Each pass alone: verifier-clean in, verifier-clean out, and the
+    /// VM-observable output is unchanged.
+    #[test]
+    fn each_pass_preserves_cleanliness_and_behaviour(
+        src in arb_program(),
+        n in 0i64..8,
+    ) {
+        let base = mflang::compile(&src).expect("generated source compiles");
+        prop_assert_eq!(error_count(&base), 0, "fresh compile must be clean");
+        let reference = outputs(&base, n);
+
+        for &(name, pass) in PASSES {
+            let mut transformed = base.clone();
+            for func in &mut transformed.functions {
+                pass(func);
+            }
+            prop_assert!(
+                transformed.validate().is_ok(),
+                "{} broke structural validity",
+                name
+            );
+            prop_assert_eq!(
+                error_count(&transformed),
+                0,
+                "{} introduced verifier errors",
+                name
+            );
+            prop_assert_eq!(
+                &outputs(&transformed, n),
+                &reference,
+                "{} changed observable output",
+                name
+            );
+        }
+    }
+
+    /// The full standard pipeline, with and without inter-pass
+    /// verification: clean, behaviour-preserving, and identical either way.
+    #[test]
+    fn standard_pipeline_preserves_cleanliness_and_behaviour(
+        src in arb_program(),
+        n in 0i64..8,
+    ) {
+        let base = mflang::compile(&src).expect("generated source compiles");
+        let reference = outputs(&base, n);
+
+        let mut optimized = base.clone();
+        Pipeline::standard().run(&mut optimized);
+        prop_assert_eq!(error_count(&optimized), 0);
+        prop_assert_eq!(&outputs(&optimized, n), &reference);
+
+        let mut checked = base.clone();
+        Pipeline::standard()
+            .run_checked(&mut checked)
+            .expect("no pass introduces a defect");
+        prop_assert_eq!(&checked, &optimized, "verification changed the output program");
+    }
+}

@@ -1,7 +1,9 @@
 //! Combining several datasets' profiles into one summary predictor.
 
 use std::collections::BTreeMap;
+use std::fmt;
 
+use mfcheck::{ProfileIssue, SiteDiff};
 use trace_ir::BranchId;
 use trace_vm::BranchCounts;
 
@@ -115,6 +117,86 @@ pub fn combine(profiles: &[&BranchCounts], rule: CombineRule) -> WeightedCounts 
     WeightedCounts { counts: out }
 }
 
+/// Why [`combine_checked`] refused to merge a set of profiles.
+#[derive(Clone, Debug, PartialEq)]
+pub enum CombineError {
+    /// A dataset's counters are internally inconsistent (for example a
+    /// taken count above its execution count, possible in data read from
+    /// disk rather than recorded by the VM).
+    Corrupt {
+        /// Zero-based index of the offending dataset.
+        dataset: usize,
+        /// What the consistency checker found.
+        issues: Vec<ProfileIssue>,
+    },
+    /// A dataset's branch-site set disagrees with the first dataset's —
+    /// the profiles were collected from different compilations of
+    /// different programs, so summing them per-branch is meaningless.
+    SiteMismatch {
+        /// Zero-based index of the dataset that disagrees with dataset 0.
+        dataset: usize,
+        /// How the site sets differ.
+        diff: SiteDiff,
+    },
+}
+
+impl fmt::Display for CombineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CombineError::Corrupt { dataset, issues } => {
+                write!(f, "dataset {dataset} is corrupt:")?;
+                for issue in issues {
+                    write!(f, "\n  {issue}")?;
+                }
+                Ok(())
+            }
+            CombineError::SiteMismatch { dataset, diff } => write!(
+                f,
+                "dataset {dataset} covers different branch sites than dataset 0: {diff}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CombineError {}
+
+/// [`combine`], but validated first: every dataset must be internally
+/// consistent (`taken ≤ executed`) and all datasets must cover the *same*
+/// branch-site set.
+///
+/// The site check is strict set equality, which is right for full
+/// profiles (directive files write a row for every registered branch).
+/// VM-recorded counts only contain branches that actually executed, so
+/// merging sparse per-dataset counts of one program across datasets that
+/// exercise different code should keep using the unchecked [`combine`].
+///
+/// # Errors
+///
+/// Returns the first [`CombineError`] found, identifying the dataset.
+pub fn combine_checked(
+    profiles: &[&BranchCounts],
+    rule: CombineRule,
+) -> Result<WeightedCounts, CombineError> {
+    let site_set = |p: &BranchCounts| -> Vec<BranchId> { p.iter().map(|(id, _, _)| id).collect() };
+    for (i, p) in profiles.iter().enumerate() {
+        let entries: Vec<(BranchId, u64, u64)> = p.iter().collect();
+        let issues = mfcheck::check_entries(&entries);
+        if !issues.is_empty() {
+            return Err(CombineError::Corrupt { dataset: i, issues });
+        }
+        if i > 0 {
+            if let Some(diff) = mfcheck::site_diff(&site_set(profiles[0]), &entries_ids(&entries)) {
+                return Err(CombineError::SiteMismatch { dataset: i, diff });
+            }
+        }
+    }
+    Ok(combine(profiles, rule))
+}
+
+fn entries_ids(entries: &[(BranchId, u64, u64)]) -> Vec<BranchId> {
+    entries.iter().map(|&(id, _, _)| id).collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -180,6 +262,31 @@ mod tests {
         let a = counts(&[(0, 4, 2)]);
         let w = combine(&[&a], CombineRule::Unscaled);
         assert_eq!(w.majority(BranchId(0)), Some(true));
+    }
+
+    #[test]
+    fn checked_combine_accepts_matching_sites() {
+        let a = counts(&[(0, 100, 90), (1, 50, 10)]);
+        let b = counts(&[(0, 10, 0), (1, 8, 8)]);
+        let checked = combine_checked(&[&a, &b], CombineRule::Scaled).unwrap();
+        let plain = combine(&[&a, &b], CombineRule::Scaled);
+        assert_eq!(checked, plain);
+    }
+
+    #[test]
+    fn checked_combine_rejects_site_mismatch() {
+        let a = counts(&[(0, 100, 90), (1, 50, 10)]);
+        let b = counts(&[(0, 10, 0), (2, 8, 8)]);
+        let err = combine_checked(&[&a, &b], CombineRule::Scaled).unwrap_err();
+        match &err {
+            CombineError::SiteMismatch { dataset, diff } => {
+                assert_eq!(*dataset, 1);
+                assert_eq!(diff.missing, vec![BranchId(1)]);
+                assert_eq!(diff.extra, vec![BranchId(2)]);
+            }
+            other => panic!("expected SiteMismatch, got {other:?}"),
+        }
+        assert!(err.to_string().contains("dataset 1"));
     }
 
     #[test]

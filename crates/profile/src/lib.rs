@@ -45,7 +45,7 @@ mod combine;
 pub mod directives;
 mod stats;
 
-pub use combine::{combine, CombineRule, WeightedCounts};
+pub use combine::{combine, combine_checked, CombineError, CombineRule, WeightedCounts};
 pub use stats::{coverage, overlap, Coverage};
 
 use std::collections::BTreeMap;
