@@ -300,7 +300,7 @@ fn write_json_metrics(options: &Options) -> ExitCode {
         let report = harness().report();
         if let Err(e) = std::fs::write(path, report.to_json()) {
             eprintln!("repro: writing {} failed: {e}", path.display());
-            return ExitCode::FAILURE;
+            return ExitCode::from(2);
         }
         eprintln!("wrote harness metrics to {}", path.display());
     }

@@ -1,0 +1,108 @@
+//! Pins the exit-code contract shared by every driver binary in the
+//! workspace: 0 = clean run, 1 = findings (the tool worked and found
+//! something wrong), 2 = usage or I/O error (the tool could not do its
+//! job). `mffuzz` pins the same contract in its own crate's CLI tests.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn repro(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_repro"))
+        .args(args)
+        .output()
+        .expect("repro runs")
+}
+
+fn mflint(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_mflint"))
+        .args(args)
+        .output()
+        .expect("mflint runs")
+}
+
+fn stderr(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stderr).into_owned()
+}
+
+fn temp_path(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("mfbench-exit-{tag}-{}", std::process::id()))
+}
+
+#[test]
+fn repro_help_and_small_section_exit_zero() {
+    assert_eq!(repro(&["--help"]).status.code(), Some(0));
+    // --table2 alone runs nothing, so it stays fast.
+    assert_eq!(repro(&["--table2", "--no-cache"]).status.code(), Some(0));
+}
+
+#[test]
+fn repro_usage_errors_exit_two() {
+    for args in [
+        &["--frobnicate"][..],
+        &["--jobs", "0"][..],
+        &["--jobs", "many"][..],
+        &["--jobs"][..],
+    ] {
+        let out = repro(args);
+        assert_eq!(
+            out.status.code(),
+            Some(2),
+            "repro {args:?}: {}",
+            stderr(&out)
+        );
+        assert!(
+            stderr(&out).contains("usage") || stderr(&out).to_lowercase().contains("repro:"),
+            "usage error should explain itself: {}",
+            stderr(&out)
+        );
+    }
+}
+
+#[test]
+fn repro_unwritable_json_metrics_exits_two() {
+    // An I/O failure is a "could not do the job" error, not a finding:
+    // exit 2, same as a bad flag.
+    let out = repro(&[
+        "--table2",
+        "--no-cache",
+        "--json-metrics",
+        "/nonexistent-mfbench-dir/metrics.json",
+    ]);
+    assert_eq!(out.status.code(), Some(2), "stderr: {}", stderr(&out));
+    assert!(stderr(&out).contains("failed"), "stderr: {}", stderr(&out));
+}
+
+#[test]
+fn repro_writable_json_metrics_exits_zero() {
+    let path = temp_path("metrics.json");
+    let out = repro(&[
+        "--table2",
+        "--no-cache",
+        "--json-metrics",
+        path.to_str().unwrap(),
+    ]);
+    assert_eq!(out.status.code(), Some(0), "stderr: {}", stderr(&out));
+    let body = std::fs::read_to_string(&path).expect("metrics written");
+    assert!(body.trim_start().starts_with('{'), "json body: {body}");
+    let _ = std::fs::remove_file(path);
+}
+
+#[test]
+fn mflint_exit_codes_span_the_contract() {
+    // 0: clean source.
+    let clean = temp_path("clean.mf");
+    std::fs::write(&clean, "fn main(n: int) { emit(n); }").unwrap();
+    assert_eq!(mflint(&[clean.to_str().unwrap()]).status.code(), Some(0));
+
+    // 1: findings.
+    let broken = temp_path("broken.mf");
+    std::fs::write(&broken, "fn main( { emit(1); }").unwrap();
+    assert_eq!(mflint(&[broken.to_str().unwrap()]).status.code(), Some(1));
+
+    // 2: usage.
+    assert_eq!(mflint(&["--frobnicate"]).status.code(), Some(2));
+    assert_eq!(mflint(&[]).status.code(), Some(2));
+
+    let _ = std::fs::remove_file(clean);
+    let _ = std::fs::remove_file(broken);
+}

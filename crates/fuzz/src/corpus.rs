@@ -1,0 +1,164 @@
+//! The on-disk regression corpus.
+//!
+//! A corpus entry is a plain `.mf` file whose first line may carry the
+//! input vectors the fuzzer runs it with:
+//!
+//! ```text
+//! // mffuzz-inputs: 3 17 | 9 4
+//! fn main(a: int, b: int) { ... }
+//! ```
+//!
+//! `|` separates input sets; each set is whitespace-separated integers.
+//! Files without the header run with a default all-zero input set. Entries
+//! load in filename order so corpus iteration is deterministic.
+
+use std::fs;
+use std::io;
+use std::path::Path;
+
+/// The input-header marker.
+pub const INPUTS_MARKER: &str = "// mffuzz-inputs:";
+
+/// One corpus entry: a named `.mf` source plus its input vectors.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CorpusEntry {
+    /// File stem the entry was loaded from (or will be saved under).
+    pub name: String,
+    /// Source text, header line stripped.
+    pub source: String,
+    /// Input vectors; never empty.
+    pub input_sets: Vec<Vec<i64>>,
+}
+
+impl CorpusEntry {
+    /// Parses file text into an entry, splitting off the input header.
+    pub fn parse(name: &str, text: &str) -> CorpusEntry {
+        let mut input_sets = Vec::new();
+        let source = if let Some(rest) = text.strip_prefix(INPUTS_MARKER) {
+            let (header, body) = match rest.split_once('\n') {
+                Some((h, b)) => (h, b),
+                None => (rest, ""),
+            };
+            for set in header.split('|') {
+                let values: Vec<i64> = set
+                    .split_whitespace()
+                    .filter_map(|w| w.parse().ok())
+                    .collect();
+                input_sets.push(values);
+            }
+            body.to_string()
+        } else {
+            text.to_string()
+        };
+        if input_sets.is_empty() {
+            input_sets.push(vec![0, 0]);
+        }
+        CorpusEntry {
+            name: name.to_string(),
+            source,
+            input_sets,
+        }
+    }
+
+    /// Renders the entry back to file text (header plus source).
+    pub fn render(&self) -> String {
+        let header: Vec<String> = self
+            .input_sets
+            .iter()
+            .map(|set| {
+                set.iter()
+                    .map(|v| v.to_string())
+                    .collect::<Vec<_>>()
+                    .join(" ")
+            })
+            .collect();
+        format!("{INPUTS_MARKER} {}\n{}", header.join(" | "), self.source)
+    }
+}
+
+/// Loads every `.mf` file under `dir`, sorted by filename.
+///
+/// # Errors
+///
+/// Propagates directory/file read failures; a missing directory yields an
+/// empty corpus.
+pub fn load_dir(dir: &Path) -> io::Result<Vec<CorpusEntry>> {
+    let mut entries = Vec::new();
+    let read = match fs::read_dir(dir) {
+        Ok(r) => r,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(entries),
+        Err(e) => return Err(e),
+    };
+    let mut paths: Vec<_> = read
+        .collect::<io::Result<Vec<_>>>()?
+        .into_iter()
+        .map(|e| e.path())
+        .filter(|p| p.extension().is_some_and(|x| x == "mf"))
+        .collect();
+    paths.sort();
+    for path in paths {
+        let name = path
+            .file_stem()
+            .and_then(|s| s.to_str())
+            .unwrap_or("entry")
+            .to_string();
+        let text = fs::read_to_string(&path)?;
+        entries.push(CorpusEntry::parse(&name, &text));
+    }
+    Ok(entries)
+}
+
+/// Writes `entry` as `<dir>/<name>.mf`, creating `dir` if needed.
+///
+/// # Errors
+///
+/// Propagates filesystem failures.
+pub fn save_entry(dir: &Path, entry: &CorpusEntry) -> io::Result<()> {
+    fs::create_dir_all(dir)?;
+    fs::write(dir.join(format!("{}.mf", entry.name)), entry.render())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_render_roundtrip() {
+        let text = "// mffuzz-inputs: 3 17 | 9 4\nfn main(a: int, b: int) { emit(a); }\n";
+        let entry = CorpusEntry::parse("t", text);
+        assert_eq!(entry.input_sets, vec![vec![3, 17], vec![9, 4]]);
+        assert_eq!(entry.source, "fn main(a: int, b: int) { emit(a); }\n");
+        assert_eq!(entry.render(), text);
+    }
+
+    #[test]
+    fn missing_header_defaults_inputs() {
+        let entry = CorpusEntry::parse("t", "fn main() { }\n");
+        assert_eq!(entry.input_sets, vec![vec![0, 0]]);
+        assert_eq!(entry.source, "fn main() { }\n");
+    }
+
+    #[test]
+    fn load_dir_is_sorted_and_missing_dir_is_empty() {
+        let dir = std::env::temp_dir().join(format!("mffuzz-corpus-test-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        assert!(load_dir(&dir).unwrap().is_empty());
+        let b = CorpusEntry {
+            name: "bb".into(),
+            source: "fn main() { }\n".into(),
+            input_sets: vec![vec![1]],
+        };
+        let a = CorpusEntry {
+            name: "aa".into(),
+            source: "fn main() { }\n".into(),
+            input_sets: vec![vec![2]],
+        };
+        save_entry(&dir, &b).unwrap();
+        save_entry(&dir, &a).unwrap();
+        let loaded = load_dir(&dir).unwrap();
+        assert_eq!(loaded.len(), 2);
+        assert_eq!(loaded[0].name, "aa");
+        assert_eq!(loaded[1].name, "bb");
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,269 @@
+//! Structured `.mf` source generation.
+//!
+//! The generator emits bounded, always-terminating guest programs that
+//! exercise every branchy construct the language lowers: if/else (including
+//! deliberately empty arms, which become the forwarding blocks jump
+//! threading eats), for/while loops with constant trip counts, switches
+//! (lowered both as cascades and jump tables by the oracles), short-circuit
+//! conditions, helper calls, and — for the directive round-trip oracle —
+//! the occasional line carrying two `if` statements so several branches
+//! share one source line.
+
+use crate::rng::Rng;
+
+/// A generated test case: source plus the input vectors the oracles run.
+#[derive(Clone, Debug)]
+pub struct GenCase {
+    /// The `.mf` source text; entry is `main(a: int, b: int)`.
+    pub source: String,
+    /// Input vectors; every oracle run uses each set in order.
+    pub input_sets: Vec<Vec<i64>>,
+}
+
+const NVARS: usize = 4;
+
+struct Gen<'r> {
+    rng: &'r mut Rng,
+    next_loop: u32,
+    has_helper: bool,
+}
+
+/// Generates one structured case from `rng`.
+pub fn generate(rng: &mut Rng) -> GenCase {
+    let has_helper = rng.chance(1, 3);
+    let mut g = Gen {
+        rng,
+        next_loop: 0,
+        has_helper,
+    };
+
+    let mut src = String::new();
+    if has_helper {
+        let k = g.rng.range_i64(2, 9);
+        let m = g.rng.range_i64(1, 19);
+        src.push_str(&format!(
+            "fn helper(x: int) -> int {{\n    if (x % {k} == 0) {{ return x / {k}; }}\n    \
+             return x + {m};\n}}\n\n"
+        ));
+    }
+    src.push_str("fn main(a: int, b: int) {\n");
+    src.push_str("    var v0: int = a;\n");
+    src.push_str("    var v1: int = b;\n");
+    let c2 = g.rng.range_i64(-9, 40);
+    src.push_str(&format!("    var v2: int = {};\n", lit(c2)));
+    src.push_str("    var v3: int = a + b;\n");
+
+    let n = 2 + g.rng.below(5);
+    for _ in 0..n {
+        g.stmt(&mut src, 1, 2);
+    }
+    for i in 0..NVARS {
+        src.push_str(&format!("    emit(v{i});\n"));
+    }
+    src.push_str("}\n");
+
+    let mut input_sets = Vec::new();
+    for _ in 0..2 {
+        input_sets.push(vec![g.rng.range_i64(-40, 60), g.rng.range_i64(-40, 60)]);
+    }
+    GenCase {
+        source: src,
+        input_sets,
+    }
+}
+
+/// Renders a literal, parenthesizing negatives the way the grammar needs.
+fn lit(v: i64) -> String {
+    if v < 0 {
+        format!("(0 - {})", -v)
+    } else {
+        v.to_string()
+    }
+}
+
+impl Gen<'_> {
+    fn var(&mut self) -> String {
+        format!("v{}", self.rng.below(NVARS))
+    }
+
+    fn expr(&mut self, depth: usize) -> String {
+        match self.rng.below(if depth == 0 { 2 } else { 8 }) {
+            0 => lit(self.rng.range_i64(-9, 99)),
+            1 => self.var(),
+            2 => {
+                // Pure-constant subexpression: constant-folding fodder.
+                let a = self.rng.range_i64(-9, 20);
+                let b = self.rng.range_i64(-9, 20);
+                let op = ["+", "-", "*"][self.rng.below(3)];
+                format!("({} {op} {})", lit(a), lit(b))
+            }
+            3 | 4 => {
+                let op = ["+", "-", "*", "^", "&", "|"][self.rng.below(6)];
+                let l = self.expr(depth - 1);
+                let r = self.expr(depth - 1);
+                format!("({l} {op} {r})")
+            }
+            5 => {
+                // Division/remainder by a nonzero constant only.
+                let d = self.rng.range_i64(2, 9);
+                let op = ["/", "%"][self.rng.below(2)];
+                format!("({} {op} {})", self.expr(depth - 1), d)
+            }
+            6 if self.has_helper => format!("helper({})", self.expr(depth - 1)),
+            _ => self.var(),
+        }
+    }
+
+    fn cond(&mut self, depth: usize) -> String {
+        match self.rng.below(if depth == 0 { 4 } else { 6 }) {
+            0 => format!("{} < {}", self.var(), lit(self.rng.range_i64(-20, 20))),
+            1 => format!("{} % 2 == 0", self.var()),
+            2 => format!("{} != {}", self.var(), self.var()),
+            3 => format!("{} > {}", self.var(), self.var()),
+            4 => format!("({}) && ({})", self.cond(depth - 1), self.cond(depth - 1)),
+            _ => format!("({}) || ({})", self.cond(depth - 1), self.cond(depth - 1)),
+        }
+    }
+
+    fn simple_stmt(&mut self) -> String {
+        let v = self.var();
+        if self.rng.chance(1, 4) {
+            format!("emit({});", self.expr(1))
+        } else {
+            format!("{v} = {};", self.expr(2))
+        }
+    }
+
+    fn body(&mut self, out: &mut String, indent: usize, depth: usize, min: usize, max: usize) {
+        let n = min + self.rng.below(max - min + 1);
+        for _ in 0..n {
+            self.stmt(out, indent, depth);
+        }
+    }
+
+    fn stmt(&mut self, out: &mut String, indent: usize, depth: usize) {
+        let pad = "    ".repeat(indent);
+        let kind = if depth == 0 {
+            self.rng.below(2)
+        } else {
+            2 + self.rng.below(6)
+        };
+        match kind {
+            0 | 1 => {
+                let s = self.simple_stmt();
+                out.push_str(&format!("{pad}{s}\n"));
+            }
+            2 => {
+                // if/else; one time in three the then-arm is empty, which
+                // lowers to an empty forwarding block — jump-thread food.
+                let c = self.cond(1);
+                if self.rng.chance(1, 3) {
+                    let s = self.simple_stmt();
+                    out.push_str(&format!("{pad}if ({c}) {{ }} else {{ {s} }}\n"));
+                } else {
+                    out.push_str(&format!("{pad}if ({c}) {{\n"));
+                    self.body(out, indent + 1, depth - 1, 1, 2);
+                    if self.rng.chance(1, 2) {
+                        out.push_str(&format!("{pad}}} else {{\n"));
+                        self.body(out, indent + 1, depth - 1, 0, 2);
+                    }
+                    out.push_str(&format!("{pad}}}\n"));
+                }
+            }
+            3 => {
+                // Two ifs on one source line: several BranchIds share a
+                // source line, exercising directive ordinals.
+                let c1 = self.cond(0);
+                let c2 = self.cond(0);
+                let s1 = self.simple_stmt();
+                let s2 = self.simple_stmt();
+                out.push_str(&format!("{pad}if ({c1}) {{ {s1} }} if ({c2}) {{ {s2} }}\n"));
+            }
+            4 => {
+                let l = format!("l{}", self.next_loop);
+                self.next_loop += 1;
+                let k = self.rng.range_i64(1, 6);
+                out.push_str(&format!(
+                    "{pad}for (var {l}: int = 0; {l} < {k}; {l} = {l} + 1) {{\n"
+                ));
+                self.body(out, indent + 1, depth - 1, 1, 2);
+                out.push_str(&format!("{pad}}}\n"));
+            }
+            5 => {
+                let w = format!("w{}", self.next_loop);
+                self.next_loop += 1;
+                let k = self.rng.range_i64(1, 5);
+                out.push_str(&format!("{pad}var {w}: int = {k};\n"));
+                out.push_str(&format!("{pad}while ({w} > 0) {{\n"));
+                self.body(out, indent + 1, depth - 1, 1, 2);
+                out.push_str(&format!("{}{w} = {w} - 1;\n", "    ".repeat(indent + 1)));
+                out.push_str(&format!("{pad}}}\n"));
+            }
+            _ => {
+                // switch over a small residue; lowered as a cascade here and
+                // as a jump table by the switch-mode differential oracle.
+                let m = self.rng.range_i64(3, 7);
+                let scrut = self.var();
+                out.push_str(&format!("{pad}switch ({scrut} % {m}) {{\n"));
+                let ncases = 1 + self.rng.below(3);
+                let mut labels: Vec<i64> = Vec::new();
+                while labels.len() < ncases {
+                    let v = self.rng.range_i64(-2, 5);
+                    if !labels.contains(&v) {
+                        labels.push(v);
+                    }
+                }
+                for v in labels {
+                    let s = self.simple_stmt();
+                    out.push_str(&format!("{pad}    case {}: {{ {s} }}\n", lit_case(v)));
+                }
+                let s = self.simple_stmt();
+                out.push_str(&format!("{pad}    default: {{ {s} }}\n"));
+                out.push_str(&format!("{pad}}}\n"));
+            }
+        }
+    }
+}
+
+/// Case labels admit a leading minus (unlike general expressions).
+fn lit_case(v: i64) -> String {
+    v.to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generated_programs_compile_and_run() {
+        let mut compiled = 0;
+        for i in 0..200 {
+            let mut rng = Rng::for_iteration(0xABCD, i);
+            let case = generate(&mut rng);
+            let program = mflang::compile(&case.source)
+                .unwrap_or_else(|e| panic!("generated source must compile: {e}\n{}", case.source));
+            for inputs in &case.input_sets {
+                let ins: Vec<trace_vm::Input> =
+                    inputs.iter().map(|&v| trace_vm::Input::Int(v)).collect();
+                let config = trace_vm::VmConfig {
+                    fuel: 200_000,
+                    ..Default::default()
+                };
+                // Terminates within fuel (no faults other than arithmetic).
+                match trace_vm::run_program(&program, config, &ins) {
+                    Ok(_) => compiled += 1,
+                    Err(e) => panic!("generated program faulted: {e}\n{}", case.source),
+                }
+            }
+        }
+        assert!(compiled > 0);
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = generate(&mut Rng::for_iteration(7, 3));
+        let b = generate(&mut Rng::for_iteration(7, 3));
+        assert_eq!(a.source, b.source);
+        assert_eq!(a.input_sets, b.input_sets);
+    }
+}

@@ -1,0 +1,162 @@
+//! Test-case minimization (delta debugging).
+//!
+//! Given a finding, the minimizer shrinks the source until the same oracle
+//! stops firing: first ddmin over line chunks, then integer literals are
+//! pulled toward zero, then inputs are zeroed. The predicate is "the same
+//! oracle id still fires", so a minimized case is guaranteed to reproduce
+//! the original class of failure, and the whole process is bounded by a
+//! fixed evaluation budget.
+
+use crate::oracle;
+
+const EVAL_BUDGET: usize = 300;
+
+struct Shrinker<'a> {
+    oracle_id: &'a str,
+    evals: usize,
+}
+
+impl Shrinker<'_> {
+    fn still_fails(&mut self, source: &str, input_sets: &[Vec<i64>]) -> bool {
+        if self.evals >= EVAL_BUDGET {
+            return false;
+        }
+        self.evals += 1;
+        oracle::check_source(source, input_sets, 0)
+            .findings
+            .iter()
+            .any(|(o, _)| *o == self.oracle_id)
+    }
+}
+
+/// Shrinks `(source, input_sets)` while oracle `oracle_id` keeps firing.
+/// Always returns a case that still reproduces the finding.
+pub fn minimize(oracle_id: &str, source: &str, input_sets: &[Vec<i64>]) -> (String, Vec<Vec<i64>>) {
+    let mut sh = Shrinker {
+        oracle_id,
+        evals: 0,
+    };
+    let mut best = source.to_string();
+    let mut inputs = input_sets.to_vec();
+
+    // Phase 1: ddmin over lines. Try removing each chunk-sized window of
+    // lines; on success stay put (a new window slid into place), otherwise
+    // advance. Halve the chunk when a full sweep removes nothing.
+    let mut chunk = (best.lines().count() / 2).max(1);
+    loop {
+        let mut removed_any = false;
+        let mut kept: Vec<String> = best.lines().map(str::to_string).collect();
+        let mut start = 0;
+        while start < kept.len() && sh.evals < EVAL_BUDGET {
+            let end = (start + chunk).min(kept.len());
+            let mut candidate_lines = kept.clone();
+            candidate_lines.drain(start..end);
+            let mut candidate = candidate_lines.join("\n");
+            candidate.push('\n');
+            if sh.still_fails(&candidate, &inputs) {
+                kept = candidate_lines;
+                best = candidate;
+                removed_any = true;
+            } else {
+                start += 1;
+            }
+        }
+        if sh.evals >= EVAL_BUDGET {
+            break;
+        }
+        if !removed_any {
+            if chunk == 1 {
+                break;
+            }
+            chunk /= 2;
+        }
+    }
+
+    // Phase 2: pull integer literals toward zero.
+    loop {
+        let mut improved = false;
+        let runs = literal_runs(&best);
+        for (start, end) in runs {
+            let value: i64 = match best[start..end].parse() {
+                Ok(v) => v,
+                Err(_) => continue,
+            };
+            for smaller in [0i64, 1, value / 2] {
+                if smaller >= value {
+                    continue;
+                }
+                let candidate = format!("{}{}{}", &best[..start], smaller, &best[end..]);
+                if sh.still_fails(&candidate, &inputs) {
+                    best = candidate;
+                    improved = true;
+                    break;
+                }
+            }
+            if improved {
+                break; // literal offsets shifted; rescan
+            }
+        }
+        if !improved || sh.evals >= EVAL_BUDGET {
+            break;
+        }
+    }
+
+    // Phase 3: zero inputs where the finding survives.
+    for si in 0..inputs.len() {
+        for slot in 0..inputs[si].len() {
+            if inputs[si][slot] == 0 {
+                continue;
+            }
+            let mut candidate = inputs.clone();
+            candidate[si][slot] = 0;
+            if sh.still_fails(&best, &candidate) {
+                inputs = candidate;
+            }
+        }
+    }
+
+    (best, inputs)
+}
+
+fn literal_runs(source: &str) -> Vec<(usize, usize)> {
+    let bytes = source.as_bytes();
+    let mut runs = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        if bytes[i].is_ascii_digit() {
+            let start = i;
+            while i < bytes.len() && bytes[i].is_ascii_digit() {
+                i += 1;
+            }
+            runs.push((start, i));
+        } else {
+            i += 1;
+        }
+    }
+    runs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Shrinking against a live seeded defect is exercised by the gauntlet
+    // integration test (tests/gauntlet.rs), which owns the process-global
+    // defect registry; unit tests here must stay defect-free so they can
+    // run in parallel with the clean-build tests.
+
+    #[test]
+    fn no_finding_means_no_shrinking() {
+        let source = "fn main(a: int, b: int) {\n    emit(a + b);\n}\n";
+        let inputs = vec![vec![7, 9]];
+        let (min_src, min_inputs) = minimize("diff-opt", source, &inputs);
+        assert_eq!(min_src, source);
+        assert_eq!(min_inputs, inputs);
+    }
+
+    #[test]
+    fn literal_runs_found() {
+        let runs = literal_runs("x = 12 + 345;");
+        assert_eq!(runs, vec![(4, 6), (9, 12)]);
+    }
+}

@@ -1,0 +1,379 @@
+//! Mutation operators.
+//!
+//! Three mutation families feed the fuzzing loop:
+//!
+//! * **Source mutations** rewrite `.mf` text: literal tweaks, operator
+//!   swaps, line duplication/deletion, and two-parent line splicing. The
+//!   result may no longer parse — that is deliberate; non-compiling mutants
+//!   double as parser robustness fuzzing (the oracle only demands that the
+//!   compiler *reject* them without panicking).
+//! * **IR mutations** rewrite compiled [`trace_ir::Program`]s directly:
+//!   constant tweaks, register renames, block shuffles and block splices.
+//!   Mutants must still pass `validate()` and the mfcheck verifier before
+//!   any oracle treats a downstream disagreement as a finding.
+//! * **Profile perturbations** jitter recorded branch counts while keeping
+//!   `taken ≤ executed`, feeding the directive round-trip and combine
+//!   oracles with counts the VM never produced.
+
+use trace_ir::{BlockId, Instr, Program, Reg, Terminator, Value};
+use trace_vm::BranchCounts;
+
+use crate::rng::Rng;
+
+/// Applies one random text-level mutation. Never returns the input
+/// unchanged unless the source is too small to mutate.
+pub fn mutate_source(rng: &mut Rng, source: &str) -> String {
+    match rng.below(4) {
+        0 => tweak_literal(rng, source),
+        1 => swap_operator(rng, source),
+        2 => duplicate_line(rng, source),
+        _ => remove_line(rng, source),
+    }
+}
+
+/// Line-level two-parent crossover: a prefix of `a` followed by a suffix
+/// of `b`.
+pub fn splice_sources(rng: &mut Rng, a: &str, b: &str) -> String {
+    let la: Vec<&str> = a.lines().collect();
+    let lb: Vec<&str> = b.lines().collect();
+    if la.is_empty() || lb.is_empty() {
+        return a.to_string();
+    }
+    let cut_a = rng.below(la.len() + 1);
+    let cut_b = rng.below(lb.len() + 1);
+    let mut out: Vec<&str> = Vec::new();
+    out.extend_from_slice(&la[..cut_a]);
+    out.extend_from_slice(&lb[cut_b.min(lb.len())..]);
+    let mut s = out.join("\n");
+    s.push('\n');
+    s
+}
+
+/// Perturbs one input vector in place (tweak, negate, or zero a slot).
+pub fn mutate_inputs(rng: &mut Rng, input_sets: &mut [Vec<i64>]) {
+    if input_sets.is_empty() {
+        return;
+    }
+    let set = rng.below(input_sets.len());
+    let inputs = &mut input_sets[set];
+    if inputs.is_empty() {
+        return;
+    }
+    let slot = rng.below(inputs.len());
+    inputs[slot] = match rng.below(4) {
+        0 => inputs[slot].wrapping_add(rng.range_i64(-3, 3)),
+        1 => -inputs[slot],
+        2 => 0,
+        _ => rng.range_i64(-1000, 1000),
+    };
+}
+
+fn tweak_literal(rng: &mut Rng, source: &str) -> String {
+    let bytes = source.as_bytes();
+    let mut runs: Vec<(usize, usize)> = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        if bytes[i].is_ascii_digit() {
+            let start = i;
+            while i < bytes.len() && bytes[i].is_ascii_digit() {
+                i += 1;
+            }
+            runs.push((start, i));
+        } else {
+            i += 1;
+        }
+    }
+    if runs.is_empty() {
+        return duplicate_line(rng, source);
+    }
+    let (start, end) = runs[rng.below(runs.len())];
+    let value: i64 = source[start..end].parse().unwrap_or(0);
+    let new = match rng.below(4) {
+        0 => value.wrapping_add(1),
+        1 => value.saturating_sub(1).max(0),
+        2 => value.wrapping_mul(2),
+        _ => 0,
+    };
+    format!("{}{}{}", &source[..start], new, &source[end..])
+}
+
+fn swap_operator(rng: &mut Rng, source: &str) -> String {
+    const SWAPS: &[(&str, &str)] = &[
+        (" + ", " - "),
+        (" - ", " + "),
+        (" * ", " + "),
+        (" < ", " > "),
+        (" > ", " <= "),
+        (" == ", " != "),
+        (" != ", " == "),
+        (" && ", " || "),
+        (" || ", " && "),
+    ];
+    let (from, to) = SWAPS[rng.below(SWAPS.len())];
+    let hits: Vec<usize> = source.match_indices(from).map(|(i, _)| i).collect();
+    if hits.is_empty() {
+        return tweak_literal(rng, source);
+    }
+    let at = hits[rng.below(hits.len())];
+    format!("{}{}{}", &source[..at], to, &source[at + from.len()..])
+}
+
+fn duplicate_line(rng: &mut Rng, source: &str) -> String {
+    let lines: Vec<&str> = source.lines().collect();
+    if lines.is_empty() {
+        return source.to_string();
+    }
+    let at = rng.below(lines.len());
+    let mut out: Vec<&str> = Vec::with_capacity(lines.len() + 1);
+    out.extend_from_slice(&lines[..=at]);
+    out.push(lines[at]);
+    out.extend_from_slice(&lines[at + 1..]);
+    let mut s = out.join("\n");
+    s.push('\n');
+    s
+}
+
+fn remove_line(rng: &mut Rng, source: &str) -> String {
+    let lines: Vec<&str> = source.lines().collect();
+    if lines.len() < 2 {
+        return source.to_string();
+    }
+    let at = rng.below(lines.len());
+    let mut out: Vec<&str> = Vec::with_capacity(lines.len() - 1);
+    out.extend_from_slice(&lines[..at]);
+    out.extend_from_slice(&lines[at + 1..]);
+    let mut s = out.join("\n");
+    s.push('\n');
+    s
+}
+
+/// Applies one random IR-level mutation to a copy of `program`.
+///
+/// The caller screens the result through `Program::validate` and the
+/// mfcheck verifier; invalid mutants are simply discarded, so operators
+/// here favour coverage over guaranteed well-formedness.
+pub fn mutate_ir(rng: &mut Rng, program: &Program) -> Program {
+    let mut p = program.clone();
+    match rng.below(4) {
+        0 => tweak_ir_const(rng, &mut p),
+        1 => rename_ir_reg(rng, &mut p),
+        2 => shuffle_ir_blocks(rng, &mut p),
+        _ => splice_ir_block(rng, &mut p),
+    }
+    p
+}
+
+fn pick_func(rng: &mut Rng, p: &Program) -> usize {
+    rng.below(p.functions.len().max(1))
+}
+
+fn tweak_ir_const(rng: &mut Rng, p: &mut Program) {
+    let fi = pick_func(rng, p);
+    let f = &mut p.functions[fi];
+    let mut sites: Vec<(usize, usize)> = Vec::new();
+    for (bi, b) in f.blocks.iter().enumerate() {
+        for (ii, instr) in b.instrs.iter().enumerate() {
+            if matches!(
+                instr,
+                Instr::Const {
+                    value: Value::Int(_),
+                    ..
+                }
+            ) {
+                sites.push((bi, ii));
+            }
+        }
+    }
+    if sites.is_empty() {
+        return;
+    }
+    let (bi, ii) = sites[rng.below(sites.len())];
+    if let Instr::Const {
+        value: Value::Int(v),
+        ..
+    } = &mut f.blocks[bi].instrs[ii]
+    {
+        *v = match rng.below(3) {
+            0 => v.wrapping_add(1),
+            1 => v.wrapping_neg(),
+            _ => rng.range_i64(-8, 8),
+        };
+    }
+}
+
+fn rename_ir_reg(rng: &mut Rng, p: &mut Program) {
+    let fi = pick_func(rng, p);
+    let f = &mut p.functions[fi];
+    if f.num_regs < 2 {
+        return;
+    }
+    let a = Reg(rng.below(f.num_regs as usize) as u32);
+    let b = Reg(rng.below(f.num_regs as usize) as u32);
+    let swap = |r: Reg| {
+        if r == a {
+            b
+        } else if r == b {
+            a
+        } else {
+            r
+        }
+    };
+    for block in &mut f.blocks {
+        for instr in &mut block.instrs {
+            instr.map_regs(swap);
+        }
+        block.term.map_regs(swap);
+    }
+}
+
+fn shuffle_ir_blocks(rng: &mut Rng, p: &mut Program) {
+    // Permute block layout while fixing the entry block. Semantics are
+    // preserved (successors are rewritten through the permutation), but
+    // layout-sensitive classification (backward-branch detection) and the
+    // optimizer's traversal order both change.
+    let fi = pick_func(rng, p);
+    let f = &mut p.functions[fi];
+    let n = f.blocks.len();
+    if n < 3 {
+        return;
+    }
+    // Fisher–Yates over indices 1..n.
+    let mut perm: Vec<usize> = (0..n).collect();
+    for i in (2..n).rev() {
+        let j = 1 + rng.below(i);
+        perm.swap(i, j);
+    }
+    // perm[new_pos] = old_pos; invert to map old ids to new.
+    let mut new_of_old = vec![0u32; n];
+    for (new_pos, &old_pos) in perm.iter().enumerate() {
+        new_of_old[old_pos] = new_pos as u32;
+    }
+    let mut blocks: Vec<_> = std::mem::take(&mut f.blocks)
+        .into_iter()
+        .map(Some)
+        .collect();
+    f.blocks = perm
+        .iter()
+        .map(|&old| blocks[old].take().expect("permutation visits each once"))
+        .collect();
+    for block in &mut f.blocks {
+        block
+            .term
+            .map_successors(|b| BlockId(new_of_old[b.index()]));
+    }
+}
+
+fn splice_ir_block(rng: &mut Rng, p: &mut Program) {
+    // Duplicate one block and redirect a random Jump to the copy. A
+    // duplicated conditional branch would reuse its BranchId from two
+    // sites, so the copy's Branch terminator degrades to Jump(taken).
+    let fi = pick_func(rng, p);
+    let f = &mut p.functions[fi];
+    let n = f.blocks.len();
+    if n == 0 || n > 48 {
+        return;
+    }
+    let src = rng.below(n);
+    let mut copy = f.blocks[src].clone();
+    if let Terminator::Branch { taken, .. } = copy.term {
+        copy.term = Terminator::Jump(taken);
+    }
+    let copy_id = BlockId(n as u32);
+    f.blocks.push(copy);
+    let jumps: Vec<usize> = f
+        .blocks
+        .iter()
+        .enumerate()
+        .take(n)
+        .filter(|(_, b)| matches!(b.term, Terminator::Jump(_)))
+        .map(|(i, _)| i)
+        .collect();
+    if jumps.is_empty() {
+        // No jump to redirect: the copy stays unreachable, which is still a
+        // legal program the optimizer must be able to digest.
+        return;
+    }
+    let at = jumps[rng.below(jumps.len())];
+    f.blocks[at].term = Terminator::Jump(copy_id);
+}
+
+/// Jitters recorded branch counts, preserving `taken ≤ executed`.
+pub fn perturb_counts(rng: &mut Rng, counts: &BranchCounts) -> BranchCounts {
+    counts
+        .iter()
+        .map(|(id, e, t)| {
+            let e = match rng.below(4) {
+                0 => e.saturating_add(rng.below(5) as u64),
+                1 => e.saturating_sub(rng.below(3) as u64),
+                _ => e,
+            };
+            (id, e, t.min(e))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::generate;
+
+    #[test]
+    fn source_mutations_are_deterministic() {
+        let case = generate(&mut Rng::for_iteration(1, 1));
+        let a = mutate_source(&mut Rng::for_iteration(2, 5), &case.source);
+        let b = mutate_source(&mut Rng::for_iteration(2, 5), &case.source);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn ir_shuffle_preserves_output() {
+        // A shuffled program is semantically identical: same emitted values,
+        // same return, for every generated case it applies to.
+        for i in 0..40 {
+            let case = generate(&mut Rng::for_iteration(33, i));
+            let program = mflang::compile(&case.source).expect("generated source compiles");
+            let mut rng = Rng::for_iteration(44, i);
+            let mut mutant = program.clone();
+            shuffle_ir_blocks(&mut rng, &mut mutant);
+            mutant.validate().expect("shuffle keeps the program valid");
+            let config = trace_vm::VmConfig {
+                fuel: 200_000,
+                ..Default::default()
+            };
+            for inputs in &case.input_sets {
+                let ins: Vec<trace_vm::Input> =
+                    inputs.iter().map(|&v| trace_vm::Input::Int(v)).collect();
+                let a = trace_vm::run_program(&program, config, &ins).expect("original runs");
+                let b = trace_vm::run_program(&mutant, config, &ins).expect("mutant runs");
+                assert_eq!(a.output, b.output);
+                assert_eq!(a.result, b.result);
+            }
+        }
+    }
+
+    #[test]
+    fn perturbed_counts_stay_consistent() {
+        let case = generate(&mut Rng::for_iteration(5, 0));
+        let program = mflang::compile(&case.source).expect("compiles");
+        let ins: Vec<trace_vm::Input> = case.input_sets[0]
+            .iter()
+            .map(|&v| trace_vm::Input::Int(v))
+            .collect();
+        let run =
+            trace_vm::run_program(&program, trace_vm::VmConfig::default(), &ins).expect("runs");
+        let mut rng = Rng::new(9);
+        for _ in 0..20 {
+            let perturbed = perturb_counts(&mut rng, &run.stats.branches);
+            for (_, e, t) in perturbed.iter() {
+                assert!(t <= e);
+            }
+        }
+    }
+
+    #[test]
+    fn splice_produces_both_parents_lines() {
+        let mut rng = Rng::new(3);
+        let s = splice_sources(&mut rng, "a\nb\nc\n", "x\ny\nz\n");
+        assert!(s.ends_with('\n'));
+    }
+}

@@ -1,0 +1,476 @@
+//! Differential and invariant oracles.
+//!
+//! Every fuzz case is pushed through a battery of checks, each of which
+//! knows how to tell a *bug* from a legitimate behavioural difference:
+//!
+//! * **compile-panic / vm-panic** — the compiler may reject input, and the
+//!   VM may fault, but neither may ever panic.
+//! * **pass-defect** — `Pipeline::run_checked` runs the semantic verifier
+//!   after every optimization pass; any diagnostic is a finding.
+//! * **diff-opt** — the unoptimized program and its `Pipeline::standard()`
+//!   compilation must produce identical output, return value, and
+//!   per-branch counts for every branch the optimized program still
+//!   contains. Resource-limit faults (fuel, stack) are excluded: the
+//!   optimizer legitimately changes instruction counts.
+//! * **profile-invariant** — recorded counts must satisfy
+//!   `taken ≤ executed` and other mfcheck profile rules.
+//! * **trace-replay** — replaying the ordered branch trace must rebuild
+//!   exactly the aggregate counts the VM recorded alongside it.
+//! * **directive-roundtrip** — writing profile directives and parsing them
+//!   back must reproduce the counts bit for bit.
+//! * **combine-convexity** — a scaled combination of per-dataset profiles
+//!   must stay inside the convex hull of the inputs' taken-fractions and
+//!   never claim more taken weight than executed weight.
+//! * **switch-diff** — compiling with `SwitchMode::JumpTable` instead of
+//!   the default cascade must not change program output.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use ifprob::directives::{parse_directives, write_directives};
+use ifprob::{combine, CombineRule};
+use mfopt::Pipeline;
+use trace_ir::{BranchId, Program};
+use trace_vm::{BranchCounts, GuestValue, Input, Run, RuntimeError, Vm, VmConfig};
+
+use crate::cov::{Collector, Edge};
+use mflang::{CompileOptions, SwitchMode};
+
+/// The VM limits every oracle run uses: small enough that runaway mutants
+/// die fast, large enough that generated programs always finish.
+pub fn fuzz_vm_config() -> VmConfig {
+    VmConfig {
+        fuel: 200_000,
+        max_stack: 128,
+        max_alloc: 1 << 12,
+        record_branch_trace: true,
+    }
+}
+
+/// What the oracle battery concluded about one case.
+#[derive(Clone, Debug, Default)]
+pub struct OracleOutcome {
+    /// `(oracle, detail)` pairs, one per violated oracle.
+    pub findings: Vec<(&'static str, String)>,
+    /// Coverage edges observed while running the unoptimized program.
+    pub edges: Vec<Edge>,
+    /// Whether the case compiled (only compiled cases seed the corpus).
+    pub compiled: bool,
+}
+
+fn guest_eq(a: &GuestValue, b: &GuestValue) -> bool {
+    let canon = |v: &GuestValue| match *v {
+        GuestValue::Zero => GuestValue::Int(0),
+        other => other,
+    };
+    match (canon(a), canon(b)) {
+        (GuestValue::Float(x), GuestValue::Float(y)) => x.to_bits() == y.to_bits(),
+        (x, y) => x == y,
+    }
+}
+
+fn runs_eq(a: &Run, b: &Run) -> Option<String> {
+    if a.output.len() != b.output.len() {
+        return Some(format!(
+            "output length {} vs {}",
+            a.output.len(),
+            b.output.len()
+        ));
+    }
+    for (i, (x, y)) in a.output.iter().zip(&b.output).enumerate() {
+        if !guest_eq(x, y) {
+            return Some(format!("output[{i}] {x:?} vs {y:?}"));
+        }
+    }
+    match (&a.result, &b.result) {
+        (None, None) => None,
+        (Some(x), Some(y)) if guest_eq(x, y) => None,
+        (x, y) => Some(format!("result {x:?} vs {y:?}")),
+    }
+}
+
+fn is_resource_limit(e: &RuntimeError) -> bool {
+    matches!(
+        e,
+        RuntimeError::OutOfFuel { .. } | RuntimeError::StackOverflow { .. }
+    )
+}
+
+fn to_inputs(set: &[i64]) -> Vec<Input> {
+    set.iter().map(|&v| Input::Int(v)).collect()
+}
+
+/// Runs the VM, converting a panic into a finding via `findings`.
+fn run_guarded(
+    program: &Program,
+    inputs: &[Input],
+    collector: Option<&mut Collector>,
+    findings: &mut Vec<(&'static str, String)>,
+) -> Option<Result<Run, RuntimeError>> {
+    let vm = Vm::with_config(program, fuzz_vm_config());
+    let outcome = catch_unwind(AssertUnwindSafe(|| match collector {
+        Some(sink) => vm.run_observed(inputs, sink),
+        None => vm.run(inputs),
+    }));
+    match outcome {
+        Ok(r) => Some(r),
+        Err(payload) => {
+            findings.push(("vm-panic", panic_detail(&payload)));
+            None
+        }
+    }
+}
+
+fn panic_detail(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "opaque panic payload".to_string()
+    }
+}
+
+/// The trace-replay and profile-invariant checks shared by every oracle
+/// entry point.
+fn check_run_invariants(run: &Run, findings: &mut Vec<(&'static str, String)>) {
+    let entries: Vec<(BranchId, u64, u64)> = run.stats.branches.iter().collect();
+    let issues = mfcheck::check_entries(&entries);
+    if !issues.is_empty() {
+        findings.push((
+            "profile-invariant",
+            issues
+                .iter()
+                .map(|i| i.to_string())
+                .collect::<Vec<_>>()
+                .join("; "),
+        ));
+    }
+    let mut replayed = BranchCounts::new();
+    for ev in &run.branch_trace {
+        replayed.record(ev.id, ev.taken);
+    }
+    if replayed != run.stats.branches {
+        let detail = first_count_diff(&replayed, &run.stats.branches)
+            .unwrap_or_else(|| "trace and aggregate counts disagree".to_string());
+        findings.push(("trace-replay", detail));
+    }
+}
+
+fn first_count_diff(a: &BranchCounts, b: &BranchCounts) -> Option<String> {
+    let ids: std::collections::BTreeSet<BranchId> = a
+        .iter()
+        .map(|(id, _, _)| id)
+        .chain(b.iter().map(|(id, _, _)| id))
+        .collect();
+    for id in ids {
+        if a.get(id) != b.get(id) {
+            return Some(format!("branch {id:?}: {:?} vs {:?}", a.get(id), b.get(id)));
+        }
+    }
+    None
+}
+
+/// Writes directives from `counts` and parses them back; any discrepancy
+/// is a `directive-roundtrip` finding.
+fn check_directive_roundtrip(
+    program: &Program,
+    counts: &BranchCounts,
+    findings: &mut Vec<(&'static str, String)>,
+) {
+    let text = write_directives(program, counts);
+    match parse_directives(program, &text) {
+        Ok(parsed) => {
+            for id in (0..program.branch_info.len() as u32).map(BranchId) {
+                if parsed.get(id) != counts.get(id) {
+                    findings.push((
+                        "directive-roundtrip",
+                        format!(
+                            "branch {id:?}: wrote {:?}, read back {:?}",
+                            counts.get(id),
+                            parsed.get(id)
+                        ),
+                    ));
+                    return;
+                }
+            }
+        }
+        Err(e) => findings.push((
+            "directive-roundtrip",
+            format!("directives failed to re-parse: {e}"),
+        )),
+    }
+}
+
+/// Scaled combination must stay in the convex hull of its inputs.
+pub fn check_combine_convexity(
+    profiles: &[&BranchCounts],
+    findings: &mut Vec<(&'static str, String)>,
+) {
+    if profiles.len() < 2 {
+        return;
+    }
+    const EPS: f64 = 1e-9;
+    let combined = combine(profiles, CombineRule::Scaled);
+    for (id, we, wt) in combined.iter() {
+        if wt > we + EPS {
+            findings.push((
+                "combine-convexity",
+                format!("branch {id:?}: taken weight {wt} exceeds executed weight {we}"),
+            ));
+            return;
+        }
+        let fractions: Vec<f64> = profiles
+            .iter()
+            .filter_map(|p| {
+                let (e, t) = p.get(id);
+                (e > 0).then(|| t as f64 / e as f64)
+            })
+            .collect();
+        if fractions.is_empty() || we <= 0.0 {
+            continue;
+        }
+        let f = wt / we;
+        let lo = fractions.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = fractions.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        if f < lo - EPS || f > hi + EPS {
+            findings.push((
+                "combine-convexity",
+                format!("branch {id:?}: combined fraction {f} outside [{lo}, {hi}]"),
+            ));
+            return;
+        }
+    }
+}
+
+/// Runs the full oracle battery on one `.mf` source case.
+///
+/// `case_hash` qualifies coverage edges; pass `collect_edges = false` for
+/// minimization re-runs where coverage is irrelevant.
+pub fn check_source(source: &str, input_sets: &[Vec<i64>], case_hash: u64) -> OracleOutcome {
+    let mut out = OracleOutcome::default();
+
+    let compiled = catch_unwind(AssertUnwindSafe(|| mflang::compile(source)));
+    let program = match compiled {
+        Ok(Ok(p)) => p,
+        Ok(Err(_)) => return out, // rejection is the parser doing its job
+        Err(payload) => {
+            out.findings.push(("compile-panic", panic_detail(&payload)));
+            return out;
+        }
+    };
+    out.compiled = true;
+
+    // O2: the pass-by-pass semantic verifier.
+    let mut optimized = program.clone();
+    match Pipeline::standard().run_checked(&mut optimized) {
+        Ok(_) => {}
+        Err(defect) => {
+            out.findings.push(("pass-defect", defect.to_string()));
+            return out;
+        }
+    }
+
+    // Jump-table lowering for the switch differential (may legitimately
+    // fail to differ from cascade when the program has no switch).
+    let jt_options = CompileOptions {
+        switch_mode: SwitchMode::JumpTable,
+        ..Default::default()
+    };
+    let jt_program = mflang::compile_with(source, &jt_options).ok();
+
+    let mut unopt_counts: Vec<BranchCounts> = Vec::new();
+    for (si, set) in input_sets.iter().enumerate() {
+        let inputs = to_inputs(set);
+        let mut collector = Collector::new(case_hash);
+        let sink = (si == 0).then_some(&mut collector);
+        let Some(unopt) = run_guarded(&program, &inputs, sink, &mut out.findings) else {
+            return out;
+        };
+        if si == 0 {
+            out.edges = collector.into_edges();
+        }
+        let Some(opt) = run_guarded(&optimized, &inputs, None, &mut out.findings) else {
+            return out;
+        };
+        match (&unopt, &opt) {
+            (Ok(u), Ok(o)) => {
+                if let Some(diff) = runs_eq(u, o) {
+                    out.findings
+                        .push(("diff-opt", format!("input set {si}: {diff}")));
+                }
+                // Per-branch counts must agree for every branch the
+                // optimized program still contains (the metamorphic
+                // profile-preservation invariant).
+                for (&id, _) in optimized.live_branches().iter() {
+                    if u.stats.branches.get(id) != o.stats.branches.get(id) {
+                        out.findings.push((
+                            "branch-counts",
+                            format!(
+                                "input set {si}, branch {id:?}: unopt {:?} vs opt {:?}",
+                                u.stats.branches.get(id),
+                                o.stats.branches.get(id)
+                            ),
+                        ));
+                        break;
+                    }
+                }
+                check_run_invariants(u, &mut out.findings);
+                check_directive_roundtrip(&program, &u.stats.branches, &mut out.findings);
+                unopt_counts.push(u.stats.branches.clone());
+            }
+            (Err(ue), Err(_oe)) => {
+                // Both faulted: error kinds may differ (evaluation order
+                // shifts under optimization), never a finding.
+                let _ = ue;
+            }
+            (Ok(_), Err(e)) | (Err(e), Ok(_)) if is_resource_limit(e) => {}
+            (Ok(_), Err(e)) => out.findings.push((
+                "diff-opt",
+                format!("input set {si}: optimized faulted ({e}) where unoptimized succeeded"),
+            )),
+            (Err(e), Ok(_)) => out.findings.push((
+                "diff-opt",
+                format!("input set {si}: unoptimized faulted ({e}) where optimized succeeded"),
+            )),
+        }
+
+        // O6: switch lowering differential.
+        if let Some(jt) = &jt_program {
+            let Some(jt_run) = run_guarded(jt, &inputs, None, &mut out.findings) else {
+                return out;
+            };
+            match (&unopt, &jt_run) {
+                (Ok(u), Ok(j)) => {
+                    if let Some(diff) = runs_eq(u, j) {
+                        out.findings
+                            .push(("switch-diff", format!("input set {si}: {diff}")));
+                    }
+                }
+                (Err(_), _) | (_, Err(_)) => {
+                    // Lowering changes instruction counts; only compare
+                    // clean runs.
+                }
+            }
+        }
+    }
+
+    let refs: Vec<&BranchCounts> = unopt_counts.iter().collect();
+    check_combine_convexity(&refs, &mut out.findings);
+    out
+}
+
+/// The reduced battery for IR-level mutants: the mutant must first pass
+/// `validate()` and the mfcheck verifier (otherwise it is silently
+/// discarded — `compiled` stays false), then the optimizer and VM must
+/// digest it without disagreeing.
+pub fn check_ir(program: &Program, input_sets: &[Vec<i64>]) -> OracleOutcome {
+    let mut out = OracleOutcome::default();
+    if program.validate().is_err() {
+        return out;
+    }
+    if !mfcheck::is_clean(&mfcheck::verify_program(program)) {
+        return out;
+    }
+    out.compiled = true;
+
+    let mut optimized = program.clone();
+    match Pipeline::standard().run_checked(&mut optimized) {
+        Ok(_) => {}
+        Err(defect) => {
+            out.findings.push(("pass-defect", defect.to_string()));
+            return out;
+        }
+    }
+
+    for (si, set) in input_sets.iter().enumerate() {
+        let inputs = to_inputs(set);
+        let Some(unopt) = run_guarded(program, &inputs, None, &mut out.findings) else {
+            return out;
+        };
+        let Some(opt) = run_guarded(&optimized, &inputs, None, &mut out.findings) else {
+            return out;
+        };
+        match (&unopt, &opt) {
+            (Ok(u), Ok(o)) => {
+                if let Some(diff) = runs_eq(u, o) {
+                    out.findings
+                        .push(("diff-opt", format!("input set {si}: {diff}")));
+                }
+                check_run_invariants(u, &mut out.findings);
+            }
+            (Err(_), Err(_)) => {}
+            (Ok(_), Err(e)) | (Err(e), Ok(_)) if is_resource_limit(e) => {}
+            (Ok(_), Err(e)) => out.findings.push((
+                "diff-opt",
+                format!("input set {si}: optimized faulted ({e}) where unoptimized succeeded"),
+            )),
+            (Err(e), Ok(_)) => out.findings.push((
+                "diff-opt",
+                format!("input set {si}: unoptimized faulted ({e}) where optimized succeeded"),
+            )),
+        }
+    }
+    out
+}
+
+/// The profile-machinery battery for perturbed counts that the VM never
+/// produced: directive round-trip against `program`, plus combine
+/// convexity across the perturbed datasets.
+pub fn check_profile(program: &Program, counts_sets: &[BranchCounts]) -> OracleOutcome {
+    let mut out = OracleOutcome {
+        compiled: true,
+        ..Default::default()
+    };
+    for counts in counts_sets {
+        check_directive_roundtrip(program, counts, &mut out.findings);
+    }
+    let refs: Vec<&BranchCounts> = counts_sets.iter().collect();
+    check_combine_convexity(&refs, &mut out.findings);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::generate;
+    use crate::rng::Rng;
+
+    #[test]
+    fn generated_cases_are_clean() {
+        for i in 0..60 {
+            let case = generate(&mut Rng::for_iteration(0xFEED, i));
+            let out = check_source(&case.source, &case.input_sets, 1);
+            assert!(
+                out.findings.is_empty(),
+                "clean build produced findings {:?} for:\n{}",
+                out.findings,
+                case.source
+            );
+            assert!(out.compiled);
+            assert!(!out.edges.is_empty(), "coverage hook reported no edges");
+        }
+    }
+
+    #[test]
+    fn rejection_is_not_a_finding() {
+        let out = check_source("fn main( {", &[vec![0, 0]], 1);
+        assert!(!out.compiled);
+        assert!(out.findings.is_empty());
+    }
+
+    #[test]
+    fn convexity_accepts_valid_profiles() {
+        // Well-formed profiles can never violate convexity (the combine
+        // rule is a convex mixture); the violating path is exercised by
+        // the gauntlet via the `profile-combine-taken-inflate` defect.
+        let a: BranchCounts = [(BranchId(0), 10u64, 9u64), (BranchId(1), 4u64, 0u64)]
+            .into_iter()
+            .collect();
+        let b: BranchCounts = [(BranchId(0), 10u64, 2u64), (BranchId(1), 8u64, 8u64)]
+            .into_iter()
+            .collect();
+        let mut findings = Vec::new();
+        check_combine_convexity(&[&a, &b], &mut findings);
+        assert!(findings.is_empty(), "{findings:?}");
+    }
+}

@@ -1,0 +1,156 @@
+//! CLI contract tests for the `mffuzz` binary: the 0/1/2 exit-code
+//! convention, deterministic stdout across `--jobs`, and JSON metrics.
+
+use std::path::Path;
+use std::process::{Command, Output};
+
+fn mffuzz(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_mffuzz"))
+        .args(args)
+        .output()
+        .expect("spawn mffuzz")
+}
+
+fn stdout(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+#[test]
+fn clean_run_exits_zero() {
+    let out = mffuzz(&["--seed", "11", "--iters", "96"]);
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+    assert!(stdout(&out).contains("findings: 0"));
+}
+
+#[test]
+fn findings_exit_one() {
+    let out = mffuzz(&[
+        "--seed",
+        "11",
+        "--iters",
+        "600",
+        "--defect",
+        "opt-dce-drops-emit",
+        "--max-findings",
+        "1",
+        "--no-minimize",
+    ]);
+    assert_eq!(out.status.code(), Some(1), "{out:?}");
+    assert!(stdout(&out).contains("diff-opt") || stdout(&out).contains("pass-defect"));
+}
+
+#[test]
+fn usage_errors_exit_two() {
+    for args in [
+        &["--frobnicate"][..],
+        &["--seed"][..],
+        &["--seed", "pony"][..],
+        &["--jobs", "0"][..],
+        &["--defect", "no-such-defect"][..],
+        &["--save-corpus"][..],
+        &["--time-budget", "-3"][..],
+    ] {
+        let out = mffuzz(args);
+        assert_eq!(out.status.code(), Some(2), "args {args:?}: {out:?}");
+    }
+}
+
+#[test]
+fn unreadable_corpus_exits_two() {
+    let out = mffuzz(&["--corpus", "/proc/self/mem/nope", "--iters", "1"]);
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+}
+
+#[test]
+fn list_defects_prints_roster() {
+    let out = mffuzz(&["--list-defects"]);
+    assert_eq!(out.status.code(), Some(0));
+    let text = stdout(&out);
+    for name in mfdefect::KNOWN {
+        assert!(text.contains(name), "missing {name}");
+    }
+    assert_eq!(text.lines().count(), mfdefect::KNOWN.len());
+}
+
+#[test]
+fn stdout_is_byte_identical_across_jobs() {
+    let one = mffuzz(&["--seed", "77", "--iters", "256", "--jobs", "1"]);
+    let four = mffuzz(&["--seed", "77", "--iters", "256", "--jobs", "4"]);
+    assert_eq!(one.status.code(), Some(0));
+    assert_eq!(four.status.code(), Some(0));
+    assert_eq!(
+        stdout(&one),
+        stdout(&four),
+        "same seed must give byte-identical stdout at any --jobs"
+    );
+}
+
+#[test]
+fn json_metrics_are_written() {
+    let path = std::env::temp_dir().join(format!("mffuzz-metrics-{}.json", std::process::id()));
+    let out = mffuzz(&[
+        "--seed",
+        "5",
+        "--iters",
+        "64",
+        "--json-metrics",
+        path.to_str().unwrap(),
+    ]);
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+    let json = std::fs::read_to_string(&path).expect("metrics file written");
+    for key in [
+        "\"seed\": 5",
+        "\"iterations\": 64",
+        "\"coverage_edges\":",
+        "\"execs_per_sec\":",
+        "\"findings\": [",
+    ] {
+        assert!(json.contains(key), "missing {key} in {json}");
+    }
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn json_metrics_write_failure_exits_two() {
+    let out = mffuzz(&[
+        "--seed",
+        "5",
+        "--iters",
+        "16",
+        "--json-metrics",
+        "/nonexistent-dir/metrics.json",
+    ]);
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+}
+
+#[test]
+fn save_corpus_persists_new_entries() {
+    let dir = std::env::temp_dir().join(format!("mffuzz-corpus-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let out = mffuzz(&[
+        "--seed",
+        "3",
+        "--iters",
+        "128",
+        "--corpus",
+        dir.to_str().unwrap(),
+        "--save-corpus",
+    ]);
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+    let saved = mffuzz::corpus::load_dir(Path::new(&dir)).unwrap();
+    assert!(
+        !saved.is_empty(),
+        "coverage feedback should persist at least one entry"
+    );
+    // Replaying the saved corpus is still clean and deterministic.
+    let replay = mffuzz(&[
+        "--seed",
+        "3",
+        "--iters",
+        "0",
+        "--corpus",
+        dir.to_str().unwrap(),
+    ]);
+    assert_eq!(replay.status.code(), Some(0), "{replay:?}");
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -1,0 +1,27 @@
+//! The long clean soak: a clean build must survive 50k iterations at a
+//! fixed seed with zero findings. Too slow for the default test run —
+//! execute with `cargo test -p mffuzz --test soak --release -- --ignored`.
+
+use mffuzz::{FuzzConfig, Fuzzer};
+
+#[test]
+#[ignore = "long soak; run explicitly with -- --ignored (release build recommended)"]
+fn clean_build_survives_50k_iterations() {
+    mfdefect::clear();
+    let config = FuzzConfig {
+        seed: 0x50AC,
+        iters: 50_000,
+        jobs: mfharness::default_workers(),
+        max_findings: 12,
+        minimize: false,
+        ..Default::default()
+    };
+    let report = Fuzzer::new(config, Vec::new()).run();
+    assert_eq!(report.iterations, 50_000);
+    assert!(
+        report.findings.is_empty(),
+        "clean soak produced findings:\n{}",
+        report.deterministic_text()
+    );
+    assert!(report.coverage_edges > 100);
+}

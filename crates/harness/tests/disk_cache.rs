@@ -118,3 +118,103 @@ fn corrupted_and_truncated_entries_degrade_to_recomputation() {
 
     let _ = std::fs::remove_dir_all(&dir);
 }
+
+#[test]
+fn zero_length_entry_is_a_miss() {
+    let dir = temp_dir("zerolen");
+    let program = Arc::new(mflang::compile(LOOPY).unwrap());
+    let reference = disk_harness(&dir).run_one(job(&program, 600)).unwrap();
+
+    let entry = std::fs::read_dir(&dir)
+        .unwrap()
+        .map(|e| e.unwrap().path())
+        .next()
+        .expect("one cache file");
+    std::fs::write(&entry, b"").unwrap();
+    assert_eq!(std::fs::metadata(&entry).unwrap().len(), 0);
+
+    let after = disk_harness(&dir).run_one(job(&program, 600)).unwrap();
+    assert_eq!(after.source, CacheSource::Computed);
+    assert_eq!(*after.stats, *reference.stats);
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn identical_ir_with_different_vm_config_never_collides() {
+    let dir = temp_dir("vmconfig");
+    let program = Arc::new(mflang::compile(LOOPY).unwrap());
+
+    // Same program, same inputs, different fuel limit: the key must
+    // differ, so the second lookup may not be served by the first entry.
+    let loose = job(&program, 700);
+    let mut tight = job(&program, 700);
+    tight.config = VmConfig {
+        fuel: 1 << 20,
+        ..VmConfig::default()
+    };
+    tight.key = RunJob::new(
+        "it",
+        "n700",
+        Arc::clone(&program),
+        vec![Input::Int(700)],
+        tight.config,
+    )
+    .key;
+    assert_ne!(loose.key, tight.key, "VmConfig must be part of the key");
+
+    let first = disk_harness(&dir).run_one(loose).unwrap();
+    assert_eq!(first.source, CacheSource::Computed);
+
+    // Adversarially copy the first entry onto the second key's path: the
+    // stored key is checksummed into the payload, so the forged file must
+    // read as a miss, not a wrong-config hit.
+    let loose_path = std::fs::read_dir(&dir)
+        .unwrap()
+        .map(|e| e.unwrap().path())
+        .next()
+        .expect("one cache file");
+    let forged_path = dir.join(format!("{}.bin", tight.key.hex()));
+    std::fs::copy(&loose_path, &forged_path).unwrap();
+
+    let harness = disk_harness(&dir);
+    let second = harness.run_one(tight).unwrap();
+    assert_eq!(
+        second.source,
+        CacheSource::Computed,
+        "forged cross-config entry must not be served"
+    );
+    assert_eq!(*second.stats, *first.stats, "same program, same behaviour");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn unwritable_cache_dir_degrades_to_recomputation() {
+    // Point the disk tier at a path that can never be a directory (a file
+    // stands where the directory should be): stores fail silently, every
+    // lookup misses, and runs still succeed.
+    let blocker = std::env::temp_dir().join(format!("mfharness-blocker-{}", std::process::id()));
+    std::fs::write(&blocker, b"i am a file, not a directory").unwrap();
+    let program = Arc::new(mflang::compile(LOOPY).unwrap());
+
+    let harness = disk_harness(&blocker);
+    let first = harness.run_one(job(&program, 900)).unwrap();
+    assert_eq!(first.source, CacheSource::Computed);
+
+    // A second harness over the same broken path: still a miss (nothing
+    // was persisted), still a successful run.
+    let again = disk_harness(&blocker);
+    let second = again.run_one(job(&program, 900)).unwrap();
+    assert_eq!(second.source, CacheSource::Computed);
+    assert_eq!(*first.stats, *second.stats);
+    assert_eq!(again.report().cache.disk_hits, 0);
+
+    // The blocker is untouched: best-effort persistence must not clobber
+    // whatever occupies the target path.
+    assert_eq!(
+        std::fs::read(&blocker).unwrap(),
+        b"i am a file, not a directory"
+    );
+    let _ = std::fs::remove_file(&blocker);
+}

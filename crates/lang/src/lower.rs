@@ -525,11 +525,19 @@ impl<'a> Lowerer<'a> {
             }
         } else {
             // Cascaded ifs: test each case in order (the paper's lowering).
+            #[cfg(feature = "seeded-defects")]
+            let cmp = if mfdefect::active("lang-switch-case-compare") {
+                BinOp::Le
+            } else {
+                BinOp::Eq
+            };
+            #[cfg(not(feature = "seeded-defects"))]
+            let cmp = BinOp::Eq;
             for (v, body) in cases {
                 let case_blk = self.fb.new_block();
                 let next_test = self.fb.new_block();
                 let cv = self.fb.const_int(*v);
-                let eq = self.fb.binop(BinOp::Eq, scrut, cv);
+                let eq = self.fb.binop(cmp, scrut, cv);
                 self.fb
                     .branch(eq, case_blk, next_test, line, BranchKind::SwitchArm);
                 self.fb.switch_to(case_blk);

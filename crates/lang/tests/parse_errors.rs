@@ -1,0 +1,265 @@
+//! Error-recovery coverage for the front end: every lexer and parser
+//! diagnostic has a concrete input that produces it, diagnostics carry a
+//! usable line number, and no input — however mangled — makes `compile`
+//! panic instead of returning `Err`.
+//!
+//! Two lexer diagnostics are defensive and unreachable from `&str` input,
+//! so they have no test here: "invalid float literal" (the lexer only
+//! builds digit/`.`/exponent shapes, which `f64::from_str` always accepts)
+//! and "non-UTF-8 string literal" (string bytes are copied from an already
+//! valid UTF-8 source at char boundaries, and all escapes are ASCII).
+
+use mflang::CompileError;
+
+/// Compiles and returns the diagnostic, panicking (with the input) if the
+/// front end unexpectedly accepted it.
+fn diag(source: &str) -> CompileError {
+    match mflang::compile(source) {
+        Err(e) => e,
+        Ok(_) => panic!("expected a compile error for {source:?}"),
+    }
+}
+
+/// Asserts `source` fails with a message containing `needle`.
+fn expect_msg(source: &str, needle: &str) {
+    let e = diag(source);
+    assert!(
+        e.message.contains(needle),
+        "for {source:?}: expected message containing {needle:?}, got {:?}",
+        e.message
+    );
+}
+
+// ---------------------------------------------------------------- lexer --
+
+#[test]
+fn lexer_unterminated_block_comment() {
+    expect_msg("fn main() { } /* trails off", "unterminated block comment");
+}
+
+#[test]
+fn lexer_invalid_hex_literal() {
+    // `0x` with no digits, and a hex constant past i64::MAX.
+    expect_msg("fn main() { emit(0x); }", "invalid hex literal");
+    expect_msg(
+        "fn main() { emit(0xFFFFFFFFFFFFFFFFF); }",
+        "invalid hex literal",
+    );
+}
+
+#[test]
+fn lexer_integer_literal_out_of_range() {
+    expect_msg(
+        "fn main() { emit(99999999999999999999); }",
+        "integer literal out of range",
+    );
+}
+
+#[test]
+fn lexer_invalid_escape_sequence() {
+    expect_msg(
+        "fn main() { trace(\"bad \\q escape\"); }",
+        "invalid escape sequence",
+    );
+}
+
+#[test]
+fn lexer_unterminated_string_literal() {
+    // Both at end of input and at a newline.
+    expect_msg("fn main() { trace(\"open", "unterminated string literal");
+    expect_msg(
+        "fn main() { trace(\"open\n\"); }",
+        "unterminated string literal",
+    );
+}
+
+#[test]
+fn lexer_empty_char_literal() {
+    expect_msg("fn main() { emit(''); }", "empty char literal");
+}
+
+#[test]
+fn lexer_unterminated_char_literal() {
+    expect_msg("fn main() { emit('ab'); }", "unterminated char literal");
+    expect_msg("fn main() { emit('a", "unterminated char literal");
+}
+
+#[test]
+fn lexer_unexpected_character() {
+    expect_msg("fn main() { emit($); }", "unexpected character");
+    expect_msg("fn main() { emit(1 . 2); }", "unexpected character");
+}
+
+// --------------------------------------------------------------- parser --
+
+#[test]
+fn parser_expected_punct() {
+    // Missing `;` after a statement, missing `)` in a condition.
+    expect_msg("fn main() { var x: int = 1 }", "expected `;`");
+    expect_msg("fn main() { if (1 { emit(1); } }", "expected `)`");
+}
+
+#[test]
+fn parser_expected_keyword() {
+    // A `do` body must be followed by `while`.
+    expect_msg(
+        "fn main() { do { emit(1); } until (0); }",
+        "expected `while`",
+    );
+}
+
+#[test]
+fn parser_expected_identifier() {
+    expect_msg("fn 1() { }", "expected identifier");
+    expect_msg("fn main() { var 7: int = 0; }", "expected identifier");
+}
+
+#[test]
+fn parser_top_level_expects_fn_or_global() {
+    expect_msg("xyzzy", "expected `fn` or `global` at top level");
+    expect_msg(
+        "fn main() { } emit(1);",
+        "expected `fn` or `global` at top level",
+    );
+}
+
+#[test]
+fn parser_arrays_of_unsupported_element() {
+    expect_msg("fn main() { var x: [[int]] = 0; }", "arrays of");
+    expect_msg("global g: [fn()];", "arrays of");
+}
+
+#[test]
+fn parser_expected_a_type() {
+    expect_msg("fn main(x: 5) { }", "expected a type");
+    expect_msg("fn main() { var x: while = 0; }", "expected a type");
+}
+
+#[test]
+fn parser_unexpected_end_of_input_inside_block() {
+    expect_msg("fn main() {", "unexpected end of input inside block");
+    expect_msg(
+        "fn main() { while (1) { emit(1);",
+        "unexpected end of input inside block",
+    );
+}
+
+#[test]
+fn parser_expected_integer_case_label() {
+    expect_msg(
+        "fn main(x: int) { switch (x) { case y: { } } }",
+        "expected integer case label",
+    );
+    expect_msg(
+        "fn main(x: int) { switch (x) { case -y: { } } }",
+        "expected integer case label",
+    );
+}
+
+#[test]
+fn parser_duplicate_case_label() {
+    expect_msg(
+        "fn main(x: int) { switch (x) { case 1: { } case 1: { } } }",
+        "duplicate case label 1",
+    );
+    // Negative labels normalize before the duplicate check.
+    expect_msg(
+        "fn main(x: int) { switch (x) { case -2: { } case -2: { } } }",
+        "duplicate case label -2",
+    );
+}
+
+#[test]
+fn parser_duplicate_default_arm() {
+    expect_msg(
+        "fn main(x: int) { switch (x) { default: { } default: { } } }",
+        "duplicate default arm",
+    );
+}
+
+#[test]
+fn parser_switch_body_expects_case_or_default() {
+    expect_msg(
+        "fn main(x: int) { switch (x) { what: { } } }",
+        "expected `case` or `default`",
+    );
+}
+
+#[test]
+fn parser_bad_assignment_target() {
+    expect_msg(
+        "fn main() { (1 + 2) = 3; }",
+        "assignment target must be a variable or element",
+    );
+}
+
+#[test]
+fn parser_expected_an_expression() {
+    expect_msg("fn main() { emit(1 + ); }", "expected an expression");
+    expect_msg("fn main() { emit(;); }", "expected an expression");
+}
+
+// ----------------------------------------------------------- line numbers --
+
+#[test]
+fn diagnostics_carry_the_offending_line() {
+    let e = diag("fn main() {\n    var x: int = 1;\n    var y: int = ;\n}");
+    assert_eq!(e.line, 3, "error should point at line 3, got: {e}");
+    assert!(e.to_string().starts_with("line 3:"));
+}
+
+// ------------------------------------------------------------- no panics --
+
+/// Deterministic byte mangling over a set of valid seed programs: every
+/// mutant must produce `Ok` or `Err`, never a panic. This is the cheap
+/// in-tree cousin of the mffuzz compile-panic oracle.
+#[test]
+fn mangled_sources_never_panic_the_front_end() {
+    const SEEDS: &[&str] = &[
+        "fn main(a: int, b: int) { if (a < b) { emit(a); } else { emit(b); } }",
+        "fn main(n: int) { var i: int = 0; while (i < n) { i = i + 1; } emit(i); }",
+        "fn main(x: int) { switch (x % 3) { case 0: { emit(0); } case -1: { emit(1); } \
+         default: { emit(2); } } }",
+        "global g: int = 4; fn main() { for (var i: int = 0; i < g; i = i + 1) { emit(i); } }",
+        "fn helper(v: float) -> float { return v * 2.5; } fn main() { emitf(helper(1.25e2)); }",
+        "fn main() { var s: [int] = array(3); s[0] = 0x10; emit(s[0] >> 1); trace(\"t\\n\"); }",
+    ];
+    // SplitMix64: a fixed stream so failures replay exactly.
+    let mut state: u64 = 0x5EED_CAFE;
+    let mut next = move || {
+        state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    };
+
+    let mut checked = 0usize;
+    for round in 0..400 {
+        let seed = SEEDS[round % SEEDS.len()];
+        let mut bytes = seed.as_bytes().to_vec();
+        for _ in 0..(1 + next() % 4) {
+            let at = (next() as usize) % bytes.len();
+            match next() % 4 {
+                0 => bytes[at] = (next() % 256) as u8,
+                1 => {
+                    bytes.remove(at);
+                }
+                2 => bytes.insert(at, b"(){};\"'$%0x."[(next() as usize) % 12]),
+                3 => bytes.truncate(at.max(1)),
+                _ => unreachable!(),
+            }
+            if bytes.is_empty() {
+                bytes.push(b' ');
+            }
+        }
+        let mangled = String::from_utf8_lossy(&bytes).into_owned();
+        let outcome = std::panic::catch_unwind(|| mflang::compile(&mangled).map(drop));
+        assert!(
+            outcome.is_ok(),
+            "front end panicked on mangled input (round {round}): {mangled:?}"
+        );
+        checked += 1;
+    }
+    assert_eq!(checked, 400);
+}

@@ -38,13 +38,26 @@ pub fn jump_thread(func: &mut Function) -> bool {
 
     let mut changed = false;
     for block in &mut func.blocks {
+        let mut threaded = false;
         block.term.map_successors(|t| {
             let r = resolve(t);
             if r != t {
                 changed = true;
+                threaded = true;
             }
             r
         });
+        #[cfg(feature = "seeded-defects")]
+        if threaded && mfdefect::active("opt-thread-swaps-edges") {
+            if let Terminator::Branch {
+                taken, not_taken, ..
+            } = &mut block.term
+            {
+                std::mem::swap(taken, not_taken);
+            }
+        }
+        #[cfg(not(feature = "seeded-defects"))]
+        let _ = threaded;
     }
     changed
 }
@@ -100,6 +113,12 @@ pub fn dead_code(func: &mut Function) -> bool {
         for block in &mut func.blocks {
             let before = block.instrs.len();
             block.instrs.retain(|instr| {
+                #[cfg(feature = "seeded-defects")]
+                if mfdefect::active("opt-dce-drops-emit")
+                    && matches!(instr, trace_ir::Instr::Emit { .. })
+                {
+                    return false;
+                }
                 instr.has_side_effects() || instr.dst().is_none_or(|dst| used.contains(&dst))
             });
             removed |= block.instrs.len() != before;

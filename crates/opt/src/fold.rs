@@ -93,7 +93,13 @@ fn fold_binop(op: BinOp, l: Value, r: Value) -> Option<Value> {
         Some(Value::Int(i64::from(f(&l.as_float()?, &r.as_float()?))))
     };
     match op {
-        Add => int(i64::wrapping_add),
+        Add => {
+            #[cfg(feature = "seeded-defects")]
+            if mfdefect::active("opt-fold-add-off-by-one") {
+                return int(|a, b| a.wrapping_add(b).wrapping_add(1));
+            }
+            int(i64::wrapping_add)
+        }
         Sub => int(i64::wrapping_sub),
         Mul => int(i64::wrapping_mul),
         // Division folds only when safe; a trapping divide must stay put.

@@ -94,10 +94,18 @@ pub fn combine(profiles: &[&BranchCounts], rule: CombineRule) -> WeightedCounts 
                     continue;
                 }
                 let w = 1.0 / total as f64;
+                #[cfg(feature = "seeded-defects")]
+                let tw = if mfdefect::active("profile-combine-taken-inflate") {
+                    w * 1.5
+                } else {
+                    w
+                };
+                #[cfg(not(feature = "seeded-defects"))]
+                let tw = w;
                 for (id, e, t) in p.iter() {
                     let slot = out.entry(id).or_insert((0.0, 0.0));
                     slot.0 += e as f64 * w;
-                    slot.1 += t as f64 * w;
+                    slot.1 += t as f64 * tw;
                 }
             }
             CombineRule::Polling => {

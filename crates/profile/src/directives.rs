@@ -61,7 +61,14 @@ fn source_keys(program: &Program) -> Vec<(String, u32, u32)> {
         .map(|info| {
             let slot = ordinal.entry((info.func.0, info.line)).or_insert(0);
             let ord = *slot;
-            *slot += 1;
+            #[cfg(feature = "seeded-defects")]
+            if !mfdefect::active("profile-directive-ordinal") {
+                *slot += 1;
+            }
+            #[cfg(not(feature = "seeded-defects"))]
+            {
+                *slot += 1;
+            }
             (
                 program.functions[info.func.index()].name.clone(),
                 info.line,

@@ -47,5 +47,5 @@ mod value;
 
 pub use counters::{BranchCounts, BreakEvents, PixieCounts, RunStats};
 pub use error::RuntimeError;
-pub use machine::{run_program, BranchEvent, Run, Vm, VmConfig};
+pub use machine::{run_program, BranchEvent, CoverageSink, Run, Vm, VmConfig, ENTRY_EDGE_FROM};
 pub use value::{GuestValue, Input};

@@ -49,6 +49,21 @@ pub struct Run {
     pub branch_trace: Vec<BranchEvent>,
 }
 
+/// Receives one callback per control-flow edge the interpreter traverses —
+/// the lightweight coverage hook the fuzzer's feedback loop attaches via
+/// [`Vm::run_observed`]. Ordinary runs carry no sink and pay only a
+/// per-block-entry `Option` test.
+pub trait CoverageSink {
+    /// Control entered `to` in `func`, coming from block `from` of the same
+    /// function — or from [`ENTRY_EDGE_FROM`] when `func` was just entered
+    /// (program start or a call).
+    fn edge(&mut self, func: FuncId, from: u32, to: u32);
+}
+
+/// The `from` pseudo-block [`CoverageSink::edge`] reports for function
+/// entry edges.
+pub const ENTRY_EDGE_FROM: u32 = u32::MAX;
+
 /// One entry of the recorded branch trace.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct BranchEvent {
@@ -136,6 +151,23 @@ impl<'p> Vm<'p> {
     pub fn run(&self, inputs: &[Input]) -> Result<Run, RuntimeError> {
         Interp::new(self.program, self.config).run(inputs)
     }
+
+    /// [`Vm::run`], with every traversed control-flow edge reported to
+    /// `sink`. Identical semantics and counters; only observation is added.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`RuntimeError`] on any dynamic fault, exactly as
+    /// [`Vm::run`] does.
+    pub fn run_observed(
+        &self,
+        inputs: &[Input],
+        sink: &mut dyn CoverageSink,
+    ) -> Result<Run, RuntimeError> {
+        let mut interp = Interp::new(self.program, self.config);
+        interp.observer = Some(sink);
+        interp.run(inputs)
+    }
 }
 
 /// Runs `program`'s entry function on `inputs` under `config` — the
@@ -169,7 +201,7 @@ const _: () = {
     assert_send_sync::<RuntimeError>();
 };
 
-struct Interp<'p> {
+struct Interp<'p, 'o> {
     program: &'p Program,
     config: VmConfig,
     heap: Vec<HeapObject>,
@@ -180,9 +212,10 @@ struct Interp<'p> {
     fuel_used: u64,
     branch_trace: Vec<BranchEvent>,
     last_branch_fuel: u64,
+    observer: Option<&'o mut dyn CoverageSink>,
 }
 
-impl<'p> Interp<'p> {
+impl<'p, 'o> Interp<'p, 'o> {
     fn new(program: &'p Program, config: VmConfig) -> Self {
         let heap = program
             .const_arrays
@@ -206,6 +239,13 @@ impl<'p> Interp<'p> {
             fuel_used: 0,
             branch_trace: Vec::new(),
             last_branch_fuel: 0,
+            observer: None,
+        }
+    }
+
+    fn observe_edge(&mut self, func: FuncId, from: u32, to: u32) {
+        if let Some(obs) = self.observer.as_mut() {
+            obs.edge(func, from, to);
         }
     }
 
@@ -237,6 +277,7 @@ impl<'p> Interp<'p> {
             is_entry: true,
         });
         self.stats.pixie.blocks[entry.index()][0] += 1;
+        self.observe_edge(entry, ENTRY_EDGE_FROM, 0);
 
         // `program` is a plain reborrow of the &'p Program, so instruction
         // references below do not conflict with `&mut self` calls.
@@ -499,6 +540,7 @@ impl<'p> Interp<'p> {
             is_entry: false,
         });
         self.stats.pixie.blocks[callee.index()][0] += 1;
+        self.observe_edge(callee, ENTRY_EDGE_FROM, 0);
         Ok(())
     }
 
@@ -521,7 +563,22 @@ impl<'p> Interp<'p> {
             } => {
                 let c = self.int(*cond)?;
                 let is_taken = c != 0;
-                self.stats.branches.record(*id, is_taken);
+                // Seeded-defect hooks perturb only the aggregate counters;
+                // control flow and the recorded trace stay correct, so the
+                // trace-replay oracle can convict them.
+                #[cfg(feature = "seeded-defects")]
+                let recorded = if mfdefect::active("vm-branch-count-polarity") {
+                    Some(!is_taken)
+                } else if mfdefect::active("vm-profile-drop-increment") && !is_taken {
+                    None
+                } else {
+                    Some(is_taken)
+                };
+                #[cfg(not(feature = "seeded-defects"))]
+                let recorded = Some(is_taken);
+                if let Some(direction) = recorded {
+                    self.stats.branches.record(*id, direction);
+                }
                 if self.config.record_branch_trace {
                     self.branch_trace.push(BranchEvent {
                         id: *id,
@@ -569,9 +626,12 @@ impl<'p> Interp<'p> {
 
     fn enter_block(&mut self, block: usize) {
         let frame = self.frames.last_mut().expect("active frame");
+        let func = frame.func;
+        let from = frame.block as u32;
         frame.block = block;
         frame.ip = 0;
-        self.stats.pixie.blocks[frame.func.index()][block] += 1;
+        self.stats.pixie.blocks[func.index()][block] += 1;
+        self.observe_edge(func, from, block as u32);
     }
 
     fn exec_unop(&mut self, op: UnOp, src: Reg) -> Result<GuestValue, RuntimeError> {

@@ -1,0 +1,68 @@
+//! Regression-corpus replay: every versioned corpus entry under `corpus/`
+//! must compile and pass the full mffuzz oracle battery — the differential
+//! (unopt vs optimized, cascade vs jump-table), the profile invariants,
+//! the trace replay, and the directive round-trip. A bug reintroduced
+//! anywhere in the stack that one of these cases once caught fails here.
+
+use std::path::Path;
+
+use mffuzz::{corpus, oracle, FuzzConfig, Fuzzer};
+
+fn corpus_dir() -> std::path::PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("corpus")
+}
+
+#[test]
+fn corpus_is_present_and_loads() {
+    let entries = corpus::load_dir(&corpus_dir()).expect("corpus dir readable");
+    assert!(
+        entries.len() >= 6,
+        "expected the versioned corpus (promoted examples + crafted seeds), found {}",
+        entries.len()
+    );
+    for e in &entries {
+        assert!(!e.input_sets.is_empty(), "{}: no input sets", e.name);
+        mflang::compile(&e.source)
+            .unwrap_or_else(|err| panic!("corpus entry '{}' no longer compiles: {err}", e.name));
+    }
+}
+
+#[test]
+fn every_entry_passes_every_oracle() {
+    let entries = corpus::load_dir(&corpus_dir()).expect("corpus dir readable");
+    for e in &entries {
+        let out = oracle::check_source(&e.source, &e.input_sets, 0);
+        assert!(out.compiled, "corpus entry '{}' failed to compile", e.name);
+        assert!(
+            out.findings.is_empty(),
+            "corpus entry '{}' violates oracles: {:?}",
+            e.name,
+            out.findings
+        );
+        assert!(
+            !out.edges.is_empty(),
+            "corpus entry '{}' reported no coverage",
+            e.name
+        );
+    }
+}
+
+#[test]
+fn fuzzer_replay_over_corpus_is_clean_and_deterministic() {
+    let entries = corpus::load_dir(&corpus_dir()).expect("corpus dir readable");
+    let config = FuzzConfig {
+        seed: 0xC0FFEE,
+        iters: 64,
+        jobs: 2,
+        minimize: false,
+        ..Default::default()
+    };
+    let a = Fuzzer::new(config.clone(), entries.clone()).run();
+    let b = Fuzzer::new(config, entries).run();
+    assert!(
+        a.findings.is_empty(),
+        "corpus-seeded fuzzing found regressions: {}",
+        a.deterministic_text()
+    );
+    assert_eq!(a.deterministic_text(), b.deterministic_text());
+}
