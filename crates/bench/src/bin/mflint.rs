@@ -23,6 +23,7 @@ use ifprob::directives;
 use mfcheck::{verify_program, Diagnostic, Severity};
 use mfopt::Pipeline;
 use trace_ir::Program;
+use trace_vm::{Backend, GuestValue, Input, Run, Vm, VmConfig};
 
 const USAGE: &str = "\
 usage: mflint [FILE.mf ...] [OPTION...]
@@ -35,6 +36,13 @@ options:
   --profile PATH      check a branch profile: raw `br<id> <executed>
                       <taken>` lines or `!MF! IFPROB` directive text
                       (directives require exactly one source program)
+  --backend NAME      also execute every linted program on the NAME VM
+                      backend ('reference' or 'flat') and diff all
+                      observables against the other backend; any
+                      divergence is an error[backend-diff] finding.
+                      Inputs come from a `// mffuzz-inputs:` header
+                      (files), the bundled datasets (--suite), or
+                      default to zeros
   --deny-warnings     treat warnings as findings
   -h, --help          this message
 
@@ -45,6 +53,7 @@ struct Options {
     suite: bool,
     pipeline: bool,
     profile: Option<PathBuf>,
+    backend: Option<Backend>,
     deny_warnings: bool,
 }
 
@@ -54,6 +63,7 @@ fn parse_args(args: &[String]) -> Result<Option<Options>, String> {
         suite: false,
         pipeline: false,
         profile: None,
+        backend: None,
         deny_warnings: false,
     };
     let mut iter = args.iter();
@@ -67,6 +77,10 @@ fn parse_args(args: &[String]) -> Result<Option<Options>, String> {
                 Some(v) => options.profile = Some(PathBuf::from(v)),
                 None => return Err("--profile requires a path".to_string()),
             },
+            "--backend" => match iter.next() {
+                Some(v) => options.backend = Some(v.parse()?),
+                None => return Err("--backend requires 'reference' or 'flat'".to_string()),
+            },
             _ if arg.starts_with('-') => return Err(format!("unknown flag '{arg}'")),
             _ => options.files.push(PathBuf::from(arg)),
         }
@@ -77,10 +91,38 @@ fn parse_args(args: &[String]) -> Result<Option<Options>, String> {
     Ok(Some(options))
 }
 
-/// A linted program: where it came from plus its compiled IR.
+/// A linted program: where it came from plus its compiled IR, and — for
+/// the `--backend` differential — the inputs and VM limits to execute it
+/// under.
 struct Linted {
     origin: String,
     program: Program,
+    input_sets: Vec<Vec<Input>>,
+    vm_config: VmConfig,
+}
+
+/// Input sets for a lint-level execution of a source file: the corpus
+/// `// mffuzz-inputs:` header when present (sets separated by `|`, each a
+/// whitespace-separated integer list), otherwise one all-zero set sized
+/// to the entry function's arity.
+fn file_input_sets(source: &str, program: &Program) -> Vec<Vec<Input>> {
+    const MARKER: &str = "// mffuzz-inputs:";
+    if let Some(header) = source.lines().next().and_then(|l| l.strip_prefix(MARKER)) {
+        let sets: Vec<Vec<Input>> = header
+            .split('|')
+            .map(|set| {
+                set.split_whitespace()
+                    .filter_map(|w| w.parse().ok())
+                    .map(Input::Int)
+                    .collect()
+            })
+            .collect();
+        if !sets.is_empty() {
+            return sets;
+        }
+    }
+    let arity = program.functions[program.entry.index()].num_params as usize;
+    vec![vec![Input::Int(0); arity]]
 }
 
 /// Running totals across everything linted.
@@ -111,7 +153,12 @@ fn report(origin: &str, diagnostics: &[Diagnostic]) {
     }
 }
 
-fn lint_program(linted: &Linted, pipeline: bool, findings: &mut Findings) {
+fn lint_program(
+    linted: &Linted,
+    pipeline: bool,
+    backend: Option<Backend>,
+    findings: &mut Findings,
+) {
     let diagnostics = verify_program(&linted.program);
     report(&linted.origin, &diagnostics);
     findings.count(&diagnostics);
@@ -120,6 +167,75 @@ fn lint_program(linted: &Linted, pipeline: bool, findings: &mut Findings) {
         let mut optimized = linted.program.clone();
         if let Err(defect) = Pipeline::standard().run_checked(&mut optimized) {
             println!("{}: error[pass-defect]: {defect}", linted.origin);
+            findings.errors += 1;
+        }
+    }
+
+    if let Some(backend) = backend {
+        backend_diff(linted, backend, findings);
+    }
+}
+
+/// Bit-level value equality: floats compare by bit pattern so NaN payloads
+/// and signed zeros count as observable.
+fn values_eq(a: &[GuestValue], b: &[GuestValue]) -> bool {
+    a.len() == b.len()
+        && a.iter().zip(b).all(|(x, y)| match (x, y) {
+            (GuestValue::Float(x), GuestValue::Float(y)) => x.to_bits() == y.to_bits(),
+            _ => x == y,
+        })
+}
+
+/// What diverged between two runs of the same program, if anything.
+fn run_divergence(a: &Run, b: &Run) -> Option<&'static str> {
+    if !values_eq(&a.output, &b.output) {
+        return Some("emitted output differs");
+    }
+    match (&a.result, &b.result) {
+        (Some(x), Some(y)) if values_eq(std::slice::from_ref(x), std::slice::from_ref(y)) => {}
+        (None, None) => {}
+        _ => return Some("entry return value differs"),
+    }
+    if a.stats != b.stats {
+        return Some("run statistics differ");
+    }
+    if a.branch_trace != b.branch_trace {
+        return Some("branch trace differs");
+    }
+    None
+}
+
+/// Executes the linted program on `backend` and on the other backend with
+/// the same inputs, and reports any observable divergence — the two
+/// engines are required to be bit-identical, so a difference is a VM bug,
+/// not a program bug.
+fn backend_diff(linted: &Linted, backend: Backend, findings: &mut Findings) {
+    let other = match backend {
+        Backend::Reference => Backend::Flat,
+        Backend::Flat => Backend::Reference,
+    };
+    for (si, inputs) in linted.input_sets.iter().enumerate() {
+        let run_on = |b: Backend| {
+            let config = VmConfig {
+                backend: b,
+                ..linted.vm_config
+            };
+            Vm::with_config(&linted.program, config).run(inputs)
+        };
+        let divergence = match (run_on(backend), run_on(other)) {
+            (Ok(a), Ok(b)) => run_divergence(&a, &b),
+            (Err(a), Err(b)) => (a != b).then_some("runtime errors differ"),
+            (Ok(_), Err(_)) => Some("one backend faults, the other completes"),
+            (Err(_), Ok(_)) => Some("one backend faults, the other completes"),
+        };
+        if let Some(what) = divergence {
+            println!(
+                "{}: error[backend-diff]: input set {si}: {what} between the \
+                 {} and {} backends",
+                linted.origin,
+                backend.name(),
+                other.name()
+            );
             findings.errors += 1;
         }
     }
@@ -212,10 +328,15 @@ fn main() -> ExitCode {
             }
         };
         match mflang::compile(&source) {
-            Ok(program) => linted.push(Linted {
-                origin: path.display().to_string(),
-                program,
-            }),
+            Ok(program) => {
+                let input_sets = file_input_sets(&source, &program);
+                linted.push(Linted {
+                    origin: path.display().to_string(),
+                    program,
+                    input_sets,
+                    vm_config: VmConfig::default(),
+                });
+            }
             Err(e) => {
                 println!("{}: error[compile]: {e}", path.display());
                 findings.errors += 1;
@@ -232,6 +353,8 @@ fn main() -> ExitCode {
                 Ok(program) => linted.push(Linted {
                     origin: format!("workload `{}`", w.name),
                     program,
+                    input_sets: w.datasets.iter().map(|d| d.inputs.clone()).collect(),
+                    vm_config: w.vm_config(),
                 }),
                 Err(e) => {
                     println!("workload `{}`: error[compile]: {e}", w.name);
@@ -242,7 +365,7 @@ fn main() -> ExitCode {
     }
 
     for l in &linted {
-        lint_program(l, options.pipeline, &mut findings);
+        lint_program(l, options.pipeline, options.backend, &mut findings);
     }
 
     if let Some(path) = &options.profile {

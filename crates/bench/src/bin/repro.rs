@@ -59,6 +59,10 @@ sections (default: all):
 options:
   --jobs N            worker threads (default: MFHARNESS_JOBS or
                       available parallelism, clamped to 8)
+  --backend NAME      VM backend for measured runs: 'flat' (default,
+                      the pre-compiled bytecode interpreter) or
+                      'reference' (the tree-walking baseline); both
+                      produce bit-identical tables and figures
   --json-metrics PATH write the harness report (timings, cache hits,
                       utilization) as JSON to PATH
   --no-cache          skip the persistent cache (target/mfharness-cache/)
@@ -112,6 +116,10 @@ fn parse_args(args: &[String]) -> Result<Option<Options>, String> {
                     return Err("--jobs must be at least 1".to_string());
                 }
                 options.jobs = Some(n);
+            }
+            "--backend" => {
+                let backend = value(&mut iter)?.parse()?;
+                mfbench::set_backend(backend);
             }
             "--json-metrics" => {
                 options.json_metrics = Some(PathBuf::from(value(&mut iter)?));

@@ -1,0 +1,286 @@
+//! `vmbench`: guest-instrs/sec for both VM backends over the workload
+//! suite, written as `BENCH_vm.json` so the interpreter's performance
+//! trajectory is tracked in-repo.
+//!
+//! ```text
+//! vmbench                        # full suite, calibrated batches
+//! vmbench --quick --out b.json   # CI smoke: small subset, short batches
+//! vmbench --gate 2.0             # fail unless flat >= 2x reference
+//! ```
+//!
+//! Each workload's first dataset runs on the reference (tree-walking) and
+//! flat (pre-compiled bytecode) backends. A measurement is a calibrated
+//! batch: iterations double until the batch takes long enough to time
+//! reliably, and throughput is `guest instructions x iterations / batch
+//! seconds`. The flat backend's one-time flatten cost is paid during
+//! warmup, matching how the harness amortizes it (one `Vm` per program,
+//! many runs).
+//!
+//! Exit status: 0 on success, 1 when a `--gate` ratio is not met, 2 on
+//! usage or I/O errors.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::time::Instant;
+
+use mfwork::{suite, Workload};
+use trace_vm::{Backend, Input, Vm, VmConfig};
+
+const USAGE: &str = "\
+usage: vmbench [OPTION...]
+
+options:
+  --quick             small workload subset and short batches (CI smoke)
+  --workload NAME     benchmark only NAME (repeatable)
+  --out PATH          where to write the JSON report (default BENCH_vm.json)
+  --gate RATIO        exit 1 unless the geometric-mean flat/reference
+                      speedup is at least RATIO
+  -h, --help          this message
+
+exit status: 0 ok, 1 gate not met, 2 usage/IO error";
+
+/// The quick subset: one small workload per shape class, so a CI smoke
+/// run still touches floats, arrays, and call-heavy control flow.
+const QUICK: &[&str] = &["doduc", "spiff", "mfcom"];
+
+struct Options {
+    quick: bool,
+    workloads: Vec<String>,
+    out: PathBuf,
+    gate: Option<f64>,
+}
+
+fn parse_args(args: &[String]) -> Result<Option<Options>, String> {
+    let mut options = Options {
+        quick: false,
+        workloads: Vec::new(),
+        out: PathBuf::from("BENCH_vm.json"),
+        gate: None,
+    };
+    let mut iter = args.iter();
+    let value = |flag: &str, it: &mut std::slice::Iter<String>| -> Result<String, String> {
+        it.next()
+            .map(|s| s.to_string())
+            .ok_or_else(|| format!("{flag} requires a value"))
+    };
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "-h" | "--help" => return Ok(None),
+            "--quick" => options.quick = true,
+            "--workload" => options.workloads.push(value("--workload", &mut iter)?),
+            "--out" => options.out = PathBuf::from(value("--out", &mut iter)?),
+            "--gate" => {
+                let ratio: f64 = value("--gate", &mut iter)?
+                    .parse()
+                    .map_err(|_| "--gate requires a ratio like 2.0".to_string())?;
+                if !ratio.is_finite() || ratio <= 0.0 {
+                    return Err("--gate requires a positive finite ratio".to_string());
+                }
+                options.gate = Some(ratio);
+            }
+            _ => return Err(format!("unknown argument '{arg}'")),
+        }
+    }
+    Ok(Some(options))
+}
+
+/// One workload's measurement on both backends.
+struct Row {
+    name: String,
+    dataset: String,
+    guest_instrs: u64,
+    reference_ips: f64,
+    flat_ips: f64,
+}
+
+impl Row {
+    fn speedup(&self) -> f64 {
+        self.flat_ips / self.reference_ips
+    }
+}
+
+/// Measures guest-instrs/sec for one workload on both backends:
+/// `(guest_instrs, reference_ips, flat_ips)`.
+///
+/// The warmup runs pay one-time costs (the flat backend's flatten pass) and
+/// pin the per-run instruction count. A shared batch size is calibrated on
+/// the reference backend, then the two backends run in *interleaved* rounds
+/// with each backend's best round reported: machine-speed drift (frequency
+/// scaling, competing load) hits both backends alike instead of biasing
+/// whichever happened to run second, and best-of samples each backend at
+/// the machine's fast state.
+fn measure_pair(w: &Workload, inputs: &[Input], max_batch_secs: f64) -> (u64, f64, f64) {
+    let program = w.compile().expect("bundled workload compiles");
+    let vms = [Backend::Reference, Backend::Flat].map(|backend| {
+        Vm::with_config(
+            &program,
+            VmConfig {
+                backend,
+                ..w.vm_config()
+            },
+        )
+    });
+    let instrs = vms.each_ref().map(|vm| {
+        vm.run(inputs)
+            .unwrap_or_else(|e| panic!("{}: {e}", w.name))
+            .stats
+            .total_instrs
+    });
+    assert_eq!(
+        instrs[0], instrs[1],
+        "{}: backends disagree on instruction count",
+        w.name
+    );
+    let instrs = instrs[0];
+
+    let batch = |vm: &Vm, iters: u64| -> f64 {
+        let start = Instant::now();
+        for _ in 0..iters {
+            let run = vm.run(inputs).unwrap_or_else(|e| panic!("{}: {e}", w.name));
+            // Consuming the result keeps the run from being optimized out
+            // and re-checks determinism while we are here.
+            assert_eq!(
+                run.stats.total_instrs, instrs,
+                "{}: nondeterministic run",
+                w.name
+            );
+        }
+        start.elapsed().as_secs_f64().max(1e-9)
+    };
+
+    let mut iters: u64 = 1;
+    while batch(&vms[0], iters) < max_batch_secs / 4.0 && iters < 4096 {
+        iters *= 2;
+    }
+    let mut best = [0.0f64; 2];
+    for _ in 0..3 {
+        for (k, vm) in vms.iter().enumerate() {
+            let ips = (instrs as f64 * iters as f64) / batch(vm, iters);
+            best[k] = best[k].max(ips);
+        }
+    }
+    (instrs, best[0], best[1])
+}
+
+fn geomean(values: impl Iterator<Item = f64>) -> f64 {
+    let (mut log_sum, mut n) = (0.0, 0u32);
+    for v in values {
+        log_sum += v.ln();
+        n += 1;
+    }
+    if n == 0 {
+        0.0
+    } else {
+        (log_sum / f64::from(n)).exp()
+    }
+}
+
+fn json_report(rows: &[Row], mode: &str) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"benchmark\": \"vm-backends\",\n");
+    out.push_str(&format!("  \"mode\": \"{mode}\",\n"));
+    out.push_str("  \"unit\": \"guest_instrs_per_sec\",\n");
+    out.push_str("  \"workloads\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"name\": \"{}\", \"dataset\": \"{}\", \"guest_instrs\": {}, \
+             \"reference_ips\": {:.0}, \"flat_ips\": {:.0}, \"speedup\": {:.3}}}{}\n",
+            r.name,
+            r.dataset,
+            r.guest_instrs,
+            r.reference_ips,
+            r.flat_ips,
+            r.speedup(),
+            if i + 1 == rows.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ],\n");
+    let speedups: Vec<f64> = rows.iter().map(Row::speedup).collect();
+    let min = speedups.iter().copied().fold(f64::INFINITY, f64::min);
+    out.push_str(&format!(
+        "  \"geomean_speedup\": {:.3},\n",
+        geomean(speedups.iter().copied())
+    ));
+    out.push_str(&format!(
+        "  \"min_speedup\": {:.3}\n",
+        if min.is_finite() { min } else { 0.0 }
+    ));
+    out.push_str("}\n");
+    out
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let options = match parse_args(&args) {
+        Ok(Some(options)) => options,
+        Ok(None) => {
+            println!("{USAGE}");
+            return ExitCode::SUCCESS;
+        }
+        Err(message) => {
+            eprintln!("vmbench: {message}\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let max_batch_secs = if options.quick { 0.1 } else { 1.0 };
+    let selected: Vec<Workload> = suite()
+        .into_iter()
+        .filter(|w| {
+            if !options.workloads.is_empty() {
+                options.workloads.iter().any(|n| n == w.name)
+            } else {
+                !options.quick || QUICK.contains(&w.name)
+            }
+        })
+        .collect();
+    if selected.is_empty() {
+        eprintln!("vmbench: no workloads selected\n{USAGE}");
+        return ExitCode::from(2);
+    }
+
+    let mut rows = Vec::with_capacity(selected.len());
+    for w in &selected {
+        let d = &w.datasets[0];
+        let (instrs, reference_ips, flat_ips) = measure_pair(w, &d.inputs, max_batch_secs);
+        let row = Row {
+            name: w.name.to_string(),
+            dataset: d.name.clone(),
+            guest_instrs: instrs,
+            reference_ips,
+            flat_ips,
+        };
+        eprintln!(
+            "{:<12} {:<10} {:>12} instrs  reference {:>12.0}/s  flat {:>12.0}/s  {:>5.2}x",
+            row.name,
+            row.dataset,
+            row.guest_instrs,
+            row.reference_ips,
+            row.flat_ips,
+            row.speedup()
+        );
+        rows.push(row);
+    }
+
+    let report = json_report(&rows, if options.quick { "quick" } else { "full" });
+    if let Err(e) = std::fs::write(&options.out, &report) {
+        eprintln!("vmbench: writing {} failed: {e}", options.out.display());
+        return ExitCode::from(2);
+    }
+    let overall = geomean(rows.iter().map(Row::speedup));
+    eprintln!(
+        "vmbench: geomean flat/reference speedup {overall:.2}x over {} workloads; wrote {}",
+        rows.len(),
+        options.out.display()
+    );
+
+    if let Some(gate) = options.gate {
+        if overall < gate {
+            eprintln!("vmbench: GATE FAILED: {overall:.2}x < required {gate:.2}x");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("vmbench: gate met ({overall:.2}x >= {gate:.2}x)");
+    }
+    ExitCode::SUCCESS
+}

@@ -18,7 +18,7 @@
 //! bit-identical to the serial reference path ([`collect_serial`]) at any
 //! worker count.
 
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU8, Ordering};
 use std::sync::{Arc, OnceLock};
 
 use bpredict::experiment::{self, DatasetRun};
@@ -28,7 +28,7 @@ use mfharness::{Harness, HarnessOptions, RunJob};
 use mfreport::{fmt_percent, fmt_value, BarChart, Table};
 use mfwork::{suite, Group, Workload};
 use trace_ir::Program;
-use trace_vm::VmConfig;
+use trace_vm::{Backend, VmConfig};
 
 /// One workload's collected experiment data.
 #[derive(Clone, Debug)]
@@ -88,6 +88,38 @@ pub fn set_verify_each(on: bool) {
 /// Whether optimized builds verify between passes.
 pub fn verify_each_enabled() -> bool {
     VERIFY_EACH.load(Ordering::Relaxed)
+}
+
+/// The VM backend harness-scheduled measurement runs execute on. Both
+/// backends are observably identical, so this never changes a table or
+/// figure — it only changes how fast the collection step goes. Bench
+/// collection defaults to the flat backend; `repro --backend reference`
+/// restores the tree-walking baseline. The serial reference path
+/// ([`collect_serial`]) always runs the reference interpreter, so the
+/// harness-vs-serial equivalence tests double as a whole-suite
+/// flat-vs-reference differential.
+static BACKEND: AtomicU8 = AtomicU8::new(Backend::Flat as u8);
+
+/// Selects the VM backend for harness-scheduled measurement runs.
+pub fn set_backend(backend: Backend) {
+    BACKEND.store(backend as u8, Ordering::Relaxed);
+}
+
+/// The VM backend harness-scheduled measurement runs execute on.
+pub fn backend() -> Backend {
+    if BACKEND.load(Ordering::Relaxed) == Backend::Reference as u8 {
+        Backend::Reference
+    } else {
+        Backend::Flat
+    }
+}
+
+/// Stamps the selected backend onto a base VM configuration.
+fn run_config(base: VmConfig) -> VmConfig {
+    VmConfig {
+        backend: backend(),
+        ..base
+    }
 }
 
 /// A recorded run's branch counters must be consistent with the program
@@ -161,7 +193,13 @@ fn collect_prepared(h: &Harness, prepared: Vec<Prepared>) -> SuiteRuns {
     let mut jobs = Vec::new();
     for p in &prepared {
         for d in &p.workload.datasets {
-            jobs.push(RunJob::from_workload(&p.workload, &p.program, d));
+            jobs.push(RunJob::new(
+                p.workload.name,
+                d.name.clone(),
+                Arc::clone(&p.program),
+                d.inputs.clone(),
+                run_config(p.workload.vm_config()),
+            ));
         }
         let first = &p.workload.datasets[0];
         jobs.push(RunJob::new(
@@ -169,7 +207,7 @@ fn collect_prepared(h: &Harness, prepared: Vec<Prepared>) -> SuiteRuns {
             first.name.clone(),
             Arc::clone(&p.optimized),
             first.inputs.clone(),
-            p.workload.vm_config(),
+            run_config(p.workload.vm_config()),
         ));
     }
     let outcomes = h.run(jobs).unwrap_or_else(|e| panic!("{e}"));
@@ -676,10 +714,10 @@ fn traced_runs(
     pairs: &[(&'static str, &'static str)],
 ) -> Vec<((&'static str, &'static str), mfharness::RunOutcome)> {
     let all = suite();
-    let vm_cfg = VmConfig {
+    let vm_cfg = run_config(VmConfig {
         record_branch_trace: true,
         ..VmConfig::default()
-    };
+    });
     let mut selected = Vec::new();
     let mut jobs = Vec::new();
     for &(prog, dataset) in pairs {
@@ -854,7 +892,7 @@ pub fn inlining_table_with(h: &Harness) -> Table {
         let base = Arc::new(w.compile().expect("compiles"));
         let mut inlined = (*base).clone();
         Inliner::default().run(&mut inlined);
-        let config = VmConfig::default();
+        let config = run_config(VmConfig::default());
         jobs.push(RunJob::new(prog, dataset, base, d.inputs.clone(), config).needing_run());
         jobs.push(
             RunJob::new(

@@ -38,6 +38,10 @@ pub const KNOWN: &[&str] = &[
     "vm-branch-count-polarity",
     // trace-vm: not-taken executions are not counted at all.
     "vm-profile-drop-increment",
+    // trace-vm flat backend: the flattener swaps a fused compare-branch's
+    // taken/not-taken code targets (recording stays correct, control goes
+    // to the wrong arm — only the flat-vs-reference differential sees it).
+    "vm-flat-fuse-swapped-arms",
     // mflang: cascaded switch lowering compares with <= instead of ==.
     "lang-switch-case-compare",
     // ifprob: directive writing drops the per-line ordinal increment, so
@@ -51,7 +55,8 @@ static ACTIVE_COUNT: AtomicUsize = AtomicUsize::new(0);
 
 // One flag per KNOWN entry, same order. `AtomicBool::new(false)` is not
 // const-cloneable, hence the explicit list sized by a compile-time check.
-static FLAGS: [AtomicBool; 8] = [
+static FLAGS: [AtomicBool; 9] = [
+    AtomicBool::new(false),
     AtomicBool::new(false),
     AtomicBool::new(false),
     AtomicBool::new(false),

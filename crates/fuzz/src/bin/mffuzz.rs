@@ -35,6 +35,9 @@ options:
   --jobs N            worker threads (default 1)
   --max-findings N    stop after N findings (default 12)
   --no-minimize       skip test-case minimization of findings
+  --backend NAME      VM backend for primary oracle runs: 'reference'
+                      (default) or 'flat'; the flat-vs-reference
+                      differential always runs the other backend
   --defect NAME       arm one seeded defect (repeatable; see --list-defects)
   --list-defects      print the mutation-gauntlet defect roster and exit
   --json-metrics PATH write the full report (including timing) as JSON
@@ -109,6 +112,10 @@ fn parse_args(args: &[String]) -> Result<Option<Options>, String> {
                     .map_err(|_| "--max-findings requires an unsigned integer".to_string())?;
             }
             "--no-minimize" => options.config.minimize = false,
+            "--backend" => {
+                let backend = value("--backend", &mut iter)?.parse()?;
+                mffuzz::oracle::set_backend(backend);
+            }
             "--defect" => options.defects.push(value("--defect", &mut iter)?),
             "--list-defects" => options.list_defects = true,
             "--json-metrics" => {

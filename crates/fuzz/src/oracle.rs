@@ -23,17 +23,48 @@
 //!   never claim more taken weight than executed weight.
 //! * **switch-diff** — compiling with `SwitchMode::JumpTable` instead of
 //!   the default cascade must not change program output.
+//! * **flat-diff** — running the unoptimized program on the *other* VM
+//!   backend (flat when the primary is reference, and vice versa) must be
+//!   observably identical: same output/result, same `RunStats` (branch and
+//!   Pixie counters, break events, total instructions), same branch trace,
+//!   same coverage edges, and — unlike diff-opt — the *same* `RuntimeError`
+//!   on faulting runs, since both backends execute the identical program.
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU8, Ordering};
 
 use ifprob::directives::{parse_directives, write_directives};
 use ifprob::{combine, CombineRule};
 use mfopt::Pipeline;
 use trace_ir::{BranchId, Program};
-use trace_vm::{BranchCounts, GuestValue, Input, Run, RuntimeError, Vm, VmConfig};
+use trace_vm::{Backend, BranchCounts, GuestValue, Input, Run, RuntimeError, Vm, VmConfig};
 
 use crate::cov::{Collector, Edge};
 use mflang::{CompileOptions, SwitchMode};
+
+static PRIMARY_BACKEND: AtomicU8 = AtomicU8::new(0);
+
+/// Selects the VM backend the oracle battery's primary runs use
+/// (`mffuzz --backend`). The flat-vs-reference differential always runs the
+/// *other* backend, so either choice exercises both engines.
+pub fn set_backend(backend: Backend) {
+    PRIMARY_BACKEND.store(backend as u8, Ordering::Relaxed);
+}
+
+/// The currently selected primary backend (reference unless overridden).
+pub fn backend() -> Backend {
+    match PRIMARY_BACKEND.load(Ordering::Relaxed) {
+        0 => Backend::Reference,
+        _ => Backend::Flat,
+    }
+}
+
+fn other_backend(b: Backend) -> Backend {
+    match b {
+        Backend::Reference => Backend::Flat,
+        Backend::Flat => Backend::Reference,
+    }
+}
 
 /// The VM limits every oracle run uses: small enough that runaway mutants
 /// die fast, large enough that generated programs always finish.
@@ -43,6 +74,7 @@ pub fn fuzz_vm_config() -> VmConfig {
         max_stack: 128,
         max_alloc: 1 << 12,
         record_branch_trace: true,
+        backend: backend(),
     }
 }
 
@@ -118,6 +150,103 @@ fn run_guarded(
             None
         }
     }
+}
+
+/// O9: the flat-vs-reference differential. Re-runs `program` on the backend
+/// the primary runs did *not* use and demands bit-identical observations.
+fn check_flat_diff(
+    program: &Program,
+    inputs: &[Input],
+    si: usize,
+    primary: &Result<Run, RuntimeError>,
+    primary_edges: Option<&[Edge]>,
+    case_hash: u64,
+    findings: &mut Vec<(&'static str, String)>,
+) {
+    let mut config = fuzz_vm_config();
+    config.backend = other_backend(config.backend);
+    let vm = Vm::with_config(program, config);
+    let mut collector = primary_edges.map(|_| Collector::new(case_hash));
+    let outcome = catch_unwind(AssertUnwindSafe(|| match collector.as_mut() {
+        Some(sink) => vm.run_observed(inputs, sink),
+        None => vm.run(inputs),
+    }));
+    let secondary = match outcome {
+        Ok(r) => r,
+        Err(payload) => {
+            findings.push(("vm-panic", panic_detail(&payload)));
+            return;
+        }
+    };
+    match (primary, &secondary) {
+        (Ok(p), Ok(s)) => {
+            if let Some(diff) = runs_eq(p, s) {
+                findings.push(("flat-diff", format!("input set {si}: {diff}")));
+            } else if p.stats != s.stats {
+                findings.push((
+                    "flat-diff",
+                    format!("input set {si}: {}", flat_stats_detail(p, s)),
+                ));
+            } else if p.branch_trace != s.branch_trace {
+                findings.push((
+                    "flat-diff",
+                    format!(
+                        "input set {si}: branch traces diverge ({} vs {} events)",
+                        p.branch_trace.len(),
+                        s.branch_trace.len()
+                    ),
+                ));
+            }
+        }
+        // Same program on both backends: even the error must match exactly,
+        // including OutOfFuel at the same charge boundary.
+        (Err(pe), Err(se)) if pe == se => {}
+        (p, s) => findings.push((
+            "flat-diff",
+            format!(
+                "input set {si}: primary {} vs secondary {}",
+                flat_result_word(p),
+                flat_result_word(s)
+            ),
+        )),
+    }
+    if let (Some(expected), Some(collector)) = (primary_edges, collector) {
+        let got = collector.into_edges();
+        if got != expected {
+            findings.push((
+                "flat-diff",
+                format!(
+                    "input set {si}: coverage edges diverge ({} vs {} edges)",
+                    expected.len(),
+                    got.len()
+                ),
+            ));
+        }
+    }
+}
+
+fn flat_result_word(r: &Result<Run, RuntimeError>) -> String {
+    match r {
+        Ok(_) => "succeeded".to_string(),
+        Err(e) => format!("faulted ({e})"),
+    }
+}
+
+fn flat_stats_detail(p: &Run, s: &Run) -> String {
+    if p.stats.total_instrs != s.stats.total_instrs {
+        return format!(
+            "total_instrs {} vs {}",
+            p.stats.total_instrs, s.stats.total_instrs
+        );
+    }
+    if p.stats.branches != s.stats.branches {
+        return first_count_diff(&p.stats.branches, &s.stats.branches)
+            .unwrap_or_else(|| "branch counts diverge".to_string());
+    }
+    if p.stats.events != s.stats.events {
+        return format!("events {:?} vs {:?}", p.stats.events, s.stats.events);
+    }
+    "pixie block counts diverge".to_string()
 }
 
 fn panic_detail(payload: &(dyn std::any::Any + Send)) -> String {
@@ -289,6 +418,15 @@ pub fn check_source(source: &str, input_sets: &[Vec<i64>], case_hash: u64) -> Or
         if si == 0 {
             out.edges = collector.into_edges();
         }
+        check_flat_diff(
+            &program,
+            &inputs,
+            si,
+            &unopt,
+            (si == 0).then_some(out.edges.as_slice()),
+            case_hash,
+            &mut out.findings,
+        );
         let Some(opt) = run_guarded(&optimized, &inputs, None, &mut out.findings) else {
             return out;
         };
@@ -387,6 +525,7 @@ pub fn check_ir(program: &Program, input_sets: &[Vec<i64>]) -> OracleOutcome {
         let Some(unopt) = run_guarded(program, &inputs, None, &mut out.findings) else {
             return out;
         };
+        check_flat_diff(program, &inputs, si, &unopt, None, 0, &mut out.findings);
         let Some(opt) = run_guarded(&optimized, &inputs, None, &mut out.findings) else {
             return out;
         };

@@ -1,0 +1,105 @@
+//! Backend equivalence and counter invariants over the on-disk corpus.
+//!
+//! Every corpus entry runs on both VM backends with its recorded input
+//! sets, asserting the ISSUE-4 invariants: identical [`Run`]s (output,
+//! result, stats, branch trace), identical coverage edge streams,
+//! `total_instrs` reconciling with the Pixie-weighted block counts, and
+//! branch counter totals matching the recorded trace.
+
+use std::path::Path;
+
+use mffuzz::corpus;
+use trace_ir::{BranchId, FuncId, Program};
+use trace_vm::{Backend, CoverageSink, Input, Run, Vm, VmConfig};
+
+/// Collects the full edge stream so the two backends' coverage callbacks
+/// can be compared event-for-event.
+#[derive(Default)]
+struct EdgeLog(Vec<(FuncId, u32, u32)>);
+
+impl CoverageSink for EdgeLog {
+    fn edge(&mut self, func: FuncId, from: u32, to: u32) {
+        self.0.push((func, from, to));
+    }
+}
+
+fn config(backend: Backend) -> VmConfig {
+    VmConfig {
+        backend,
+        record_branch_trace: true,
+        ..VmConfig::default()
+    }
+}
+
+fn run_both(program: &Program, inputs: &[Input]) -> (Run, Run) {
+    let runs = Backend::ALL.map(|backend| {
+        let mut edges = EdgeLog::default();
+        let vm = Vm::with_config(program, config(backend));
+        let run = vm
+            .run_observed(inputs, &mut edges)
+            .expect("corpus entry runs");
+        (run, edges.0)
+    });
+    let [(reference, reference_edges), (flat, flat_edges)] = runs;
+    assert_eq!(reference_edges, flat_edges, "coverage edge streams differ");
+    (reference, flat)
+}
+
+/// `stats.total_instrs` must equal the Pixie-weighted instruction count:
+/// each execution of block `b` contributes its instruction count plus one
+/// for the terminator.
+fn assert_pixie_reconciles(program: &Program, run: &Run, what: &str) {
+    let mut weighted = 0u64;
+    for (fi, f) in program.functions.iter().enumerate() {
+        let counts = &run.stats.pixie.blocks[fi];
+        assert_eq!(counts.len(), f.blocks.len(), "{what}: pixie shape");
+        for (bi, block) in f.blocks.iter().enumerate() {
+            weighted += counts[bi] * (block.instrs.len() as u64 + 1);
+        }
+    }
+    assert_eq!(
+        run.stats.total_instrs, weighted,
+        "{what}: total_instrs vs pixie-weighted block counts"
+    );
+}
+
+/// The aggregate branch counters must be exactly the recorded trace,
+/// folded by branch id.
+fn assert_branches_match_trace(run: &Run, what: &str) {
+    let mut by_id: std::collections::BTreeMap<BranchId, (u64, u64)> =
+        std::collections::BTreeMap::new();
+    for event in &run.branch_trace {
+        let slot = by_id.entry(event.id).or_insert((0, 0));
+        slot.0 += 1;
+        if event.taken {
+            slot.1 += 1;
+        }
+    }
+    let recorded: Vec<(BranchId, u64, u64)> = run.stats.branches.iter().collect();
+    let traced: Vec<(BranchId, u64, u64)> = by_id
+        .into_iter()
+        .map(|(id, (executed, taken))| (id, executed, taken))
+        .collect();
+    assert_eq!(recorded, traced, "{what}: branch counters vs trace");
+}
+
+#[test]
+fn corpus_entries_agree_and_reconcile_on_both_backends() {
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../corpus");
+    let entries = corpus::load_dir(&dir).expect("corpus loads");
+    assert!(!entries.is_empty(), "corpus directory is empty");
+    for entry in &entries {
+        let program =
+            mflang::compile(&entry.source).unwrap_or_else(|e| panic!("{}: {e:?}", entry.name));
+        for (si, set) in entry.input_sets.iter().enumerate() {
+            let inputs: Vec<Input> = set.iter().map(|&v| Input::Int(v)).collect();
+            let what = format!("{} input set {si}", entry.name);
+            let (reference, flat) = run_both(&program, &inputs);
+            assert_eq!(reference, flat, "{what}: Run differs between backends");
+            for run in [&reference, &flat] {
+                assert_pixie_reconciles(&program, run, &what);
+                assert_branches_match_trace(run, &what);
+            }
+        }
+    }
+}

@@ -1,6 +1,6 @@
 //! The mutation gauntlet: every seeded defect must be caught.
 //!
-//! The product crates compile eight known bugs behind their (off by
+//! The product crates compile nine known bugs behind their (off by
 //! default) `seeded-defects` features, dormant until armed through the
 //! process-global `mfdefect` registry. This test arms each defect in turn
 //! and asserts the fuzzer finds it — through the *expected* oracle —
@@ -27,6 +27,7 @@ const GAUNTLET: &[(&str, u64, &[&str])] = &[
     ),
     ("vm-branch-count-polarity", 1000, &["trace-replay"]),
     ("vm-profile-drop-increment", 1000, &["trace-replay"]),
+    ("vm-flat-fuse-swapped-arms", 1000, &["flat-diff"]),
     ("lang-switch-case-compare", 4000, &["switch-diff"]),
     ("profile-directive-ordinal", 4000, &["directive-roundtrip"]),
     (

@@ -14,7 +14,8 @@ use trace_vm::{Input, VmConfig};
 
 /// Bump when the fingerprint composition changes, so stale on-disk cache
 /// entries from older layouts can never be mistaken for current ones.
-const KEY_FORMAT_VERSION: u64 = 1;
+/// Version 2 added the VM backend to the fingerprint.
+const KEY_FORMAT_VERSION: u64 = 2;
 
 /// A 128-bit content fingerprint identifying one unit of run work.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -60,6 +61,10 @@ impl RunKey {
         fp.write_u64(config.max_stack as u64);
         fp.write_u64(config.max_alloc as u64);
         fp.write_u64(u64::from(config.record_branch_trace));
+        // Both backends are observably identical, but cached results should
+        // still record which engine produced them — a backend-semantics bug
+        // must not be able to hide behind a stale cache entry.
+        fp.write_str(config.backend.name());
         RunKey(fp.finish())
     }
 
@@ -163,6 +168,20 @@ mod tests {
         let base = RunKey::of(&p1, &[Input::Int(1)], &cfg);
         assert_ne!(base, RunKey::of(&p2, &[Input::Int(1)], &cfg));
         assert_ne!(base, RunKey::of(&p1, &[Input::Int(1)], &traced));
+    }
+
+    #[test]
+    fn backend_perturbs_the_key() {
+        let program = mflang::compile("fn main(n: int) { emit(n); }").unwrap();
+        let reference = VmConfig::default();
+        let flat = VmConfig {
+            backend: trace_vm::Backend::Flat,
+            ..VmConfig::default()
+        };
+        assert_ne!(
+            RunKey::of(&program, &[Input::Int(1)], &reference),
+            RunKey::of(&program, &[Input::Int(1)], &flat)
+        );
     }
 
     #[test]

@@ -334,7 +334,7 @@ pub struct ProgramBuilder {
     functions: Vec<Option<Function>>,
     names: Vec<String>,
     globals: Vec<String>,
-    const_arrays: Vec<Vec<i64>>,
+    const_arrays: Vec<std::sync::Arc<Vec<i64>>>,
     branch_info: Vec<BranchInfo>,
 }
 
@@ -406,11 +406,11 @@ impl ProgramBuilder {
     /// index for [`FunctionBuilder::const_array`].
     pub fn intern_array(&mut self, data: Vec<i64>) -> u32 {
         // Deduplicate identical literals, as a string table would.
-        if let Some(i) = self.const_arrays.iter().position(|a| *a == data) {
+        if let Some(i) = self.const_arrays.iter().position(|a| **a == data) {
             return i as u32;
         }
         let i = self.const_arrays.len() as u32;
-        self.const_arrays.push(data);
+        self.const_arrays.push(std::sync::Arc::new(data));
         i
     }
 

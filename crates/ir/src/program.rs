@@ -1,6 +1,7 @@
 //! Program, function and block containers.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use crate::id::{BlockId, BranchId, FuncId, GlobalId, Reg};
 use crate::instr::{Instr, Terminator};
@@ -137,8 +138,9 @@ pub struct Program {
     /// Names of global value slots (all initialized to integer 0).
     pub globals: Vec<String>,
     /// Interned constant integer arrays (string literals etc.). Read-only at
-    /// run time.
-    pub const_arrays: Vec<Vec<i64>>,
+    /// run time, and shared behind `Arc` so executors can map them into
+    /// their heaps without copying the payload per run.
+    pub const_arrays: Vec<Arc<Vec<i64>>>,
     /// Metadata for every conditional branch ever created, indexed by
     /// [`BranchId`]. Optimizations may delete branches from the CFG but never
     /// remove or renumber entries here.
@@ -252,7 +254,7 @@ mod tests {
             functions: vec![f],
             entry: FuncId(0),
             globals: vec!["g".to_string()],
-            const_arrays: vec![vec![104, 105]],
+            const_arrays: vec![Arc::new(vec![104, 105])],
             branch_info: vec![BranchInfo {
                 func: FuncId(0),
                 line: 1,

@@ -1,0 +1,2716 @@
+//! The flat bytecode backend: a validated [`Program`] is linearized into one
+//! contiguous op stream and executed by a direct-dispatch interpreter.
+//!
+//! The reference interpreter in [`crate::machine`] walks the structured IR:
+//! every step re-resolves `functions[f].blocks[b].instrs[ip]`, charges fuel,
+//! and allocates a fresh register `Vec` per call. This backend pre-compiles
+//! the program once ([`FlatProgram::compile`]) and removes all of that from
+//! the hot loop:
+//!
+//! * **Linear code.** Blocks become runs of u32-operand [`FlatOp`]s in one
+//!   `Vec`; jump/branch targets are absolute code offsets, so dispatch is
+//!   `code[pc]` with no pointer chasing.
+//! * **Fused superinstructions.** The dominant paper-relevant pattern — a
+//!   comparison `Binop` feeding the block's conditional branch — becomes one
+//!   `CmpBranch` op, and `Const` + `Binop` (the constant on the right-hand
+//!   side) becomes one `ConstBinop`. Fusion is transparent: fused ops still
+//!   write their intermediate destination registers and decompose back into
+//!   their components for fuel accounting.
+//! * **Block-level fuel.** Fuel is charged in bulk at each block entry (and
+//!   after each call returns) from pre-computed segment costs instead of
+//!   once per instruction; see "Fuel accounting" below.
+//! * **Register windows.** All frames live in one contiguous register stack;
+//!   a call reserves a window at the top and a return truncates it — no
+//!   per-call allocation.
+//! * **Layout.** Blocks are emitted in a greedy fall-through chain:
+//!   branch-taken arms are placed after the branch only when an `ifprob`
+//!   profile says they are the likelier arm (`2·taken > executed`),
+//!   otherwise the not-taken arm falls through (the classic
+//!   backward-taken/forward-not-taken default). Layout affects only code
+//!   locality, never semantics.
+//!
+//! # Fuel accounting
+//!
+//! The reference interpreter charges 1 fuel before each instruction and each
+//! terminator, and a branch's recorded `gap` reads the fuel counter at the
+//! branch. To be observably identical while charging in bulk, each block's
+//! instruction list is split into *segments* that end after every call (the
+//! call included) with the terminator closing the last segment. A
+//! [`FlatOp::BlockHead`] charges the first segment; a [`FlatOp::Resume`]
+//! placed after each call op charges the next segment when the callee
+//! returns. Control only leaves a segment at its final component (a call or
+//! the terminator), so at every control transfer — in particular at every
+//! conditional branch, including inside callees — the bulk-charged fuel
+//! equals the reference's per-instruction count exactly.
+//!
+//! When a bulk charge overshoots the limit, the charge is rolled back and
+//! the segment is re-executed charging per component
+//! ([`FlatInterp::finish_precise`]), reproducing the reference's exact fault
+//! point and error — including cases where a `DivideByZero` or
+//! `TypeMismatch` preempts `OutOfFuel` mid-segment.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use trace_ir::{BinOp, Block, BranchId, FuncId, Function, Instr, Program, Terminator, UnOp, Value};
+
+use crate::counters::{BranchCounts, PixieCounts, RunStats};
+use crate::error::RuntimeError;
+use crate::machine::{
+    eval_binop, eval_unop, want_float, want_int, BranchEvent, CoverageSink, Run, VmConfig,
+    ENTRY_EDGE_FROM,
+};
+use crate::value::{ArrayData, GuestValue, HeapObject, Input};
+
+/// Sentinel operand meaning "absent" (no return register / no return value).
+const NONE: u32 = u32::MAX;
+
+/// One op of the flat code stream. All operands are `u32`: register numbers
+/// are frame-window offsets, control targets are absolute code offsets
+/// (after per-function patching), and pool references index the shared
+/// constant/argument/table pools.
+#[derive(Clone, Copy, Debug)]
+enum FlatOp {
+    /// Start of a basic block: bumps the Pixie counter (dense `slot`),
+    /// reports the coverage edge, then bulk-charges the block's first fuel
+    /// segment.
+    BlockHead {
+        slot: u32,
+        func: u32,
+        block: u32,
+        cost: u32,
+    },
+    /// Placed immediately after a call op: bulk-charges the segment that
+    /// resumes when the callee returns.
+    Resume {
+        cost: u32,
+    },
+    LoadConst {
+        dst: u32,
+        cidx: u32,
+    },
+    Mov {
+        dst: u32,
+        src: u32,
+    },
+    Unop {
+        op: UnOp,
+        dst: u32,
+        src: u32,
+    },
+    Binop {
+        op: BinOp,
+        dst: u32,
+        lhs: u32,
+        rhs: u32,
+    },
+    /// Constant-op specializations of [`FlatOp::Binop`] for the dynamically
+    /// hot operators. Each arm calls the exact shared helper the generic
+    /// form uses, passing the operator as a literal so the compiler folds
+    /// `eval_binop`'s operator dispatch away; [`generalize`] maps every
+    /// specialized op back to its generic form for the cold replay paths.
+    BinopAdd {
+        dst: u32,
+        lhs: u32,
+        rhs: u32,
+    },
+    BinopSub {
+        dst: u32,
+        lhs: u32,
+        rhs: u32,
+    },
+    BinopMul {
+        dst: u32,
+        lhs: u32,
+        rhs: u32,
+    },
+    BinopDiv {
+        dst: u32,
+        lhs: u32,
+        rhs: u32,
+    },
+    BinopRem {
+        dst: u32,
+        lhs: u32,
+        rhs: u32,
+    },
+    BinopAnd {
+        dst: u32,
+        lhs: u32,
+        rhs: u32,
+    },
+    BinopOr {
+        dst: u32,
+        lhs: u32,
+        rhs: u32,
+    },
+    BinopXor {
+        dst: u32,
+        lhs: u32,
+        rhs: u32,
+    },
+    BinopShl {
+        dst: u32,
+        lhs: u32,
+        rhs: u32,
+    },
+    BinopShr {
+        dst: u32,
+        lhs: u32,
+        rhs: u32,
+    },
+    BinopFAdd {
+        dst: u32,
+        lhs: u32,
+        rhs: u32,
+    },
+    BinopFSub {
+        dst: u32,
+        lhs: u32,
+        rhs: u32,
+    },
+    BinopFMul {
+        dst: u32,
+        lhs: u32,
+        rhs: u32,
+    },
+    BinopFDiv {
+        dst: u32,
+        lhs: u32,
+        rhs: u32,
+    },
+    /// Fused `Const cdst, #cidx` + `Binop dst, lhs, cdst`. The constant
+    /// write happens first (still architecturally visible in `cdst`),
+    /// matching the unfused execution order even when `lhs == cdst`.
+    ConstBinop {
+        op: BinOp,
+        dst: u32,
+        lhs: u32,
+        cdst: u32,
+        cidx: u32,
+    },
+    /// Constant-op specializations of [`FlatOp::ConstBinop`] (see
+    /// [`FlatOp::BinopAdd`] for the scheme).
+    ConstBinopAdd {
+        dst: u32,
+        lhs: u32,
+        cdst: u32,
+        cidx: u32,
+    },
+    ConstBinopSub {
+        dst: u32,
+        lhs: u32,
+        cdst: u32,
+        cidx: u32,
+    },
+    ConstBinopMul {
+        dst: u32,
+        lhs: u32,
+        cdst: u32,
+        cidx: u32,
+    },
+    ConstBinopDiv {
+        dst: u32,
+        lhs: u32,
+        cdst: u32,
+        cidx: u32,
+    },
+    ConstBinopRem {
+        dst: u32,
+        lhs: u32,
+        cdst: u32,
+        cidx: u32,
+    },
+    ConstBinopAnd {
+        dst: u32,
+        lhs: u32,
+        cdst: u32,
+        cidx: u32,
+    },
+    ConstBinopOr {
+        dst: u32,
+        lhs: u32,
+        cdst: u32,
+        cidx: u32,
+    },
+    ConstBinopXor {
+        dst: u32,
+        lhs: u32,
+        cdst: u32,
+        cidx: u32,
+    },
+    ConstBinopShl {
+        dst: u32,
+        lhs: u32,
+        cdst: u32,
+        cidx: u32,
+    },
+    ConstBinopShr {
+        dst: u32,
+        lhs: u32,
+        cdst: u32,
+        cidx: u32,
+    },
+    ConstBinopFAdd {
+        dst: u32,
+        lhs: u32,
+        cdst: u32,
+        cidx: u32,
+    },
+    ConstBinopFSub {
+        dst: u32,
+        lhs: u32,
+        cdst: u32,
+        cidx: u32,
+    },
+    ConstBinopFMul {
+        dst: u32,
+        lhs: u32,
+        cdst: u32,
+        cidx: u32,
+    },
+    ConstBinopFDiv {
+        dst: u32,
+        lhs: u32,
+        cdst: u32,
+        cidx: u32,
+    },
+    Select {
+        dst: u32,
+        cond: u32,
+        if_true: u32,
+        if_false: u32,
+    },
+    Load {
+        dst: u32,
+        arr: u32,
+        index: u32,
+    },
+    Store {
+        arr: u32,
+        index: u32,
+        src: u32,
+    },
+    NewIntArray {
+        dst: u32,
+        len: u32,
+    },
+    NewFloatArray {
+        dst: u32,
+        len: u32,
+    },
+    ArrayLen {
+        dst: u32,
+        arr: u32,
+    },
+    ConstArrayRef {
+        dst: u32,
+        index: u32,
+    },
+    GlobalGet {
+        dst: u32,
+        global: u32,
+    },
+    GlobalSet {
+        global: u32,
+        src: u32,
+    },
+    FuncAddr {
+        dst: u32,
+        func: u32,
+    },
+    Emit {
+        src: u32,
+    },
+    Call {
+        func: u32,
+        args: u32,
+        nargs: u32,
+        ret: u32,
+    },
+    CallIndirect {
+        target: u32,
+        args: u32,
+        nargs: u32,
+        ret: u32,
+    },
+    Jump {
+        target: u32,
+    },
+    /// `slot` indexes the dense per-run branch counters; the source-level
+    /// [`BranchId`] is recovered through [`FlatProgram::branch_ids`].
+    Branch {
+        cond: u32,
+        slot: u32,
+        taken: u32,
+        not_taken: u32,
+    },
+    /// Fused comparison + conditional branch. Writes the comparison result
+    /// to `dst` (visible to later blocks), then branches on it.
+    CmpBranch {
+        op: BinOp,
+        dst: u32,
+        lhs: u32,
+        rhs: u32,
+        slot: u32,
+        taken: u32,
+        not_taken: u32,
+    },
+    /// Constant-op specializations of [`FlatOp::CmpBranch`] for every
+    /// comparison operator (see [`FlatOp::BinopAdd`] for the scheme).
+    CmpBranchEq {
+        dst: u32,
+        lhs: u32,
+        rhs: u32,
+        slot: u32,
+        taken: u32,
+        not_taken: u32,
+    },
+    CmpBranchNe {
+        dst: u32,
+        lhs: u32,
+        rhs: u32,
+        slot: u32,
+        taken: u32,
+        not_taken: u32,
+    },
+    CmpBranchLt {
+        dst: u32,
+        lhs: u32,
+        rhs: u32,
+        slot: u32,
+        taken: u32,
+        not_taken: u32,
+    },
+    CmpBranchLe {
+        dst: u32,
+        lhs: u32,
+        rhs: u32,
+        slot: u32,
+        taken: u32,
+        not_taken: u32,
+    },
+    CmpBranchGt {
+        dst: u32,
+        lhs: u32,
+        rhs: u32,
+        slot: u32,
+        taken: u32,
+        not_taken: u32,
+    },
+    CmpBranchGe {
+        dst: u32,
+        lhs: u32,
+        rhs: u32,
+        slot: u32,
+        taken: u32,
+        not_taken: u32,
+    },
+    CmpBranchFEq {
+        dst: u32,
+        lhs: u32,
+        rhs: u32,
+        slot: u32,
+        taken: u32,
+        not_taken: u32,
+    },
+    CmpBranchFNe {
+        dst: u32,
+        lhs: u32,
+        rhs: u32,
+        slot: u32,
+        taken: u32,
+        not_taken: u32,
+    },
+    CmpBranchFLt {
+        dst: u32,
+        lhs: u32,
+        rhs: u32,
+        slot: u32,
+        taken: u32,
+        not_taken: u32,
+    },
+    CmpBranchFLe {
+        dst: u32,
+        lhs: u32,
+        rhs: u32,
+        slot: u32,
+        taken: u32,
+        not_taken: u32,
+    },
+    CmpBranchFGt {
+        dst: u32,
+        lhs: u32,
+        rhs: u32,
+        slot: u32,
+        taken: u32,
+        not_taken: u32,
+    },
+    CmpBranchFGe {
+        dst: u32,
+        lhs: u32,
+        rhs: u32,
+        slot: u32,
+        taken: u32,
+        not_taken: u32,
+    },
+    JumpTable {
+        index: u32,
+        table: u32,
+    },
+    Return {
+        src: u32,
+    },
+}
+
+/// Emits the constant-op specialization of a `Binop` when one exists for
+/// `op`, the generic form otherwise. Inverse of [`generalize`].
+fn specialize_binop(op: BinOp, dst: u32, lhs: u32, rhs: u32) -> FlatOp {
+    match op {
+        BinOp::Add => FlatOp::BinopAdd { dst, lhs, rhs },
+        BinOp::Sub => FlatOp::BinopSub { dst, lhs, rhs },
+        BinOp::Mul => FlatOp::BinopMul { dst, lhs, rhs },
+        BinOp::Div => FlatOp::BinopDiv { dst, lhs, rhs },
+        BinOp::Rem => FlatOp::BinopRem { dst, lhs, rhs },
+        BinOp::And => FlatOp::BinopAnd { dst, lhs, rhs },
+        BinOp::Or => FlatOp::BinopOr { dst, lhs, rhs },
+        BinOp::Xor => FlatOp::BinopXor { dst, lhs, rhs },
+        BinOp::Shl => FlatOp::BinopShl { dst, lhs, rhs },
+        BinOp::Shr => FlatOp::BinopShr { dst, lhs, rhs },
+        BinOp::FAdd => FlatOp::BinopFAdd { dst, lhs, rhs },
+        BinOp::FSub => FlatOp::BinopFSub { dst, lhs, rhs },
+        BinOp::FMul => FlatOp::BinopFMul { dst, lhs, rhs },
+        BinOp::FDiv => FlatOp::BinopFDiv { dst, lhs, rhs },
+        _ => FlatOp::Binop { op, dst, lhs, rhs },
+    }
+}
+
+/// Emits the constant-op specialization of a `ConstBinop` when one exists
+/// for `op`, the generic form otherwise. Inverse of [`generalize`].
+fn specialize_const_binop(op: BinOp, dst: u32, lhs: u32, cdst: u32, cidx: u32) -> FlatOp {
+    match op {
+        BinOp::Add => FlatOp::ConstBinopAdd {
+            dst,
+            lhs,
+            cdst,
+            cidx,
+        },
+        BinOp::Sub => FlatOp::ConstBinopSub {
+            dst,
+            lhs,
+            cdst,
+            cidx,
+        },
+        BinOp::Mul => FlatOp::ConstBinopMul {
+            dst,
+            lhs,
+            cdst,
+            cidx,
+        },
+        BinOp::Div => FlatOp::ConstBinopDiv {
+            dst,
+            lhs,
+            cdst,
+            cidx,
+        },
+        BinOp::Rem => FlatOp::ConstBinopRem {
+            dst,
+            lhs,
+            cdst,
+            cidx,
+        },
+        BinOp::And => FlatOp::ConstBinopAnd {
+            dst,
+            lhs,
+            cdst,
+            cidx,
+        },
+        BinOp::Or => FlatOp::ConstBinopOr {
+            dst,
+            lhs,
+            cdst,
+            cidx,
+        },
+        BinOp::Xor => FlatOp::ConstBinopXor {
+            dst,
+            lhs,
+            cdst,
+            cidx,
+        },
+        BinOp::Shl => FlatOp::ConstBinopShl {
+            dst,
+            lhs,
+            cdst,
+            cidx,
+        },
+        BinOp::Shr => FlatOp::ConstBinopShr {
+            dst,
+            lhs,
+            cdst,
+            cidx,
+        },
+        BinOp::FAdd => FlatOp::ConstBinopFAdd {
+            dst,
+            lhs,
+            cdst,
+            cidx,
+        },
+        BinOp::FSub => FlatOp::ConstBinopFSub {
+            dst,
+            lhs,
+            cdst,
+            cidx,
+        },
+        BinOp::FMul => FlatOp::ConstBinopFMul {
+            dst,
+            lhs,
+            cdst,
+            cidx,
+        },
+        BinOp::FDiv => FlatOp::ConstBinopFDiv {
+            dst,
+            lhs,
+            cdst,
+            cidx,
+        },
+        _ => FlatOp::ConstBinop {
+            op,
+            dst,
+            lhs,
+            cdst,
+            cidx,
+        },
+    }
+}
+
+/// Emits the constant-op specialization of a `CmpBranch`; every comparison
+/// operator has one, so the generic form only carries non-comparison ops
+/// (which the flattener never fuses). Inverse of [`generalize`].
+fn specialize_cmp_branch(op: BinOp, regs: (u32, u32, u32), ctl: (u32, u32, u32)) -> FlatOp {
+    let (dst, lhs, rhs) = regs;
+    let (slot, taken, not_taken) = ctl;
+    match op {
+        BinOp::Eq => FlatOp::CmpBranchEq {
+            dst,
+            lhs,
+            rhs,
+            slot,
+            taken,
+            not_taken,
+        },
+        BinOp::Ne => FlatOp::CmpBranchNe {
+            dst,
+            lhs,
+            rhs,
+            slot,
+            taken,
+            not_taken,
+        },
+        BinOp::Lt => FlatOp::CmpBranchLt {
+            dst,
+            lhs,
+            rhs,
+            slot,
+            taken,
+            not_taken,
+        },
+        BinOp::Le => FlatOp::CmpBranchLe {
+            dst,
+            lhs,
+            rhs,
+            slot,
+            taken,
+            not_taken,
+        },
+        BinOp::Gt => FlatOp::CmpBranchGt {
+            dst,
+            lhs,
+            rhs,
+            slot,
+            taken,
+            not_taken,
+        },
+        BinOp::Ge => FlatOp::CmpBranchGe {
+            dst,
+            lhs,
+            rhs,
+            slot,
+            taken,
+            not_taken,
+        },
+        BinOp::FEq => FlatOp::CmpBranchFEq {
+            dst,
+            lhs,
+            rhs,
+            slot,
+            taken,
+            not_taken,
+        },
+        BinOp::FNe => FlatOp::CmpBranchFNe {
+            dst,
+            lhs,
+            rhs,
+            slot,
+            taken,
+            not_taken,
+        },
+        BinOp::FLt => FlatOp::CmpBranchFLt {
+            dst,
+            lhs,
+            rhs,
+            slot,
+            taken,
+            not_taken,
+        },
+        BinOp::FLe => FlatOp::CmpBranchFLe {
+            dst,
+            lhs,
+            rhs,
+            slot,
+            taken,
+            not_taken,
+        },
+        BinOp::FGt => FlatOp::CmpBranchFGt {
+            dst,
+            lhs,
+            rhs,
+            slot,
+            taken,
+            not_taken,
+        },
+        BinOp::FGe => FlatOp::CmpBranchFGe {
+            dst,
+            lhs,
+            rhs,
+            slot,
+            taken,
+            not_taken,
+        },
+        _ => FlatOp::CmpBranch {
+            op,
+            dst,
+            lhs,
+            rhs,
+            slot,
+            taken,
+            not_taken,
+        },
+    }
+}
+
+/// Maps every constant-op specialization back to its generic form (identity
+/// on everything else). The cold fuel-replay path matches on generic forms
+/// only, so it cannot drift from the hot loop's specialized arms, which
+/// call the same helpers.
+fn generalize(op: FlatOp) -> FlatOp {
+    use FlatOp::*;
+    match op {
+        BinopAdd { dst, lhs, rhs } => Binop {
+            op: BinOp::Add,
+            dst,
+            lhs,
+            rhs,
+        },
+        BinopSub { dst, lhs, rhs } => Binop {
+            op: BinOp::Sub,
+            dst,
+            lhs,
+            rhs,
+        },
+        BinopMul { dst, lhs, rhs } => Binop {
+            op: BinOp::Mul,
+            dst,
+            lhs,
+            rhs,
+        },
+        BinopDiv { dst, lhs, rhs } => Binop {
+            op: BinOp::Div,
+            dst,
+            lhs,
+            rhs,
+        },
+        BinopRem { dst, lhs, rhs } => Binop {
+            op: BinOp::Rem,
+            dst,
+            lhs,
+            rhs,
+        },
+        BinopAnd { dst, lhs, rhs } => Binop {
+            op: BinOp::And,
+            dst,
+            lhs,
+            rhs,
+        },
+        BinopOr { dst, lhs, rhs } => Binop {
+            op: BinOp::Or,
+            dst,
+            lhs,
+            rhs,
+        },
+        BinopXor { dst, lhs, rhs } => Binop {
+            op: BinOp::Xor,
+            dst,
+            lhs,
+            rhs,
+        },
+        BinopShl { dst, lhs, rhs } => Binop {
+            op: BinOp::Shl,
+            dst,
+            lhs,
+            rhs,
+        },
+        BinopShr { dst, lhs, rhs } => Binop {
+            op: BinOp::Shr,
+            dst,
+            lhs,
+            rhs,
+        },
+        BinopFAdd { dst, lhs, rhs } => Binop {
+            op: BinOp::FAdd,
+            dst,
+            lhs,
+            rhs,
+        },
+        BinopFSub { dst, lhs, rhs } => Binop {
+            op: BinOp::FSub,
+            dst,
+            lhs,
+            rhs,
+        },
+        BinopFMul { dst, lhs, rhs } => Binop {
+            op: BinOp::FMul,
+            dst,
+            lhs,
+            rhs,
+        },
+        BinopFDiv { dst, lhs, rhs } => Binop {
+            op: BinOp::FDiv,
+            dst,
+            lhs,
+            rhs,
+        },
+        ConstBinopAdd {
+            dst,
+            lhs,
+            cdst,
+            cidx,
+        } => ConstBinop {
+            op: BinOp::Add,
+            dst,
+            lhs,
+            cdst,
+            cidx,
+        },
+        ConstBinopSub {
+            dst,
+            lhs,
+            cdst,
+            cidx,
+        } => ConstBinop {
+            op: BinOp::Sub,
+            dst,
+            lhs,
+            cdst,
+            cidx,
+        },
+        ConstBinopMul {
+            dst,
+            lhs,
+            cdst,
+            cidx,
+        } => ConstBinop {
+            op: BinOp::Mul,
+            dst,
+            lhs,
+            cdst,
+            cidx,
+        },
+        ConstBinopDiv {
+            dst,
+            lhs,
+            cdst,
+            cidx,
+        } => ConstBinop {
+            op: BinOp::Div,
+            dst,
+            lhs,
+            cdst,
+            cidx,
+        },
+        ConstBinopRem {
+            dst,
+            lhs,
+            cdst,
+            cidx,
+        } => ConstBinop {
+            op: BinOp::Rem,
+            dst,
+            lhs,
+            cdst,
+            cidx,
+        },
+        ConstBinopAnd {
+            dst,
+            lhs,
+            cdst,
+            cidx,
+        } => ConstBinop {
+            op: BinOp::And,
+            dst,
+            lhs,
+            cdst,
+            cidx,
+        },
+        ConstBinopOr {
+            dst,
+            lhs,
+            cdst,
+            cidx,
+        } => ConstBinop {
+            op: BinOp::Or,
+            dst,
+            lhs,
+            cdst,
+            cidx,
+        },
+        ConstBinopXor {
+            dst,
+            lhs,
+            cdst,
+            cidx,
+        } => ConstBinop {
+            op: BinOp::Xor,
+            dst,
+            lhs,
+            cdst,
+            cidx,
+        },
+        ConstBinopShl {
+            dst,
+            lhs,
+            cdst,
+            cidx,
+        } => ConstBinop {
+            op: BinOp::Shl,
+            dst,
+            lhs,
+            cdst,
+            cidx,
+        },
+        ConstBinopShr {
+            dst,
+            lhs,
+            cdst,
+            cidx,
+        } => ConstBinop {
+            op: BinOp::Shr,
+            dst,
+            lhs,
+            cdst,
+            cidx,
+        },
+        ConstBinopFAdd {
+            dst,
+            lhs,
+            cdst,
+            cidx,
+        } => ConstBinop {
+            op: BinOp::FAdd,
+            dst,
+            lhs,
+            cdst,
+            cidx,
+        },
+        ConstBinopFSub {
+            dst,
+            lhs,
+            cdst,
+            cidx,
+        } => ConstBinop {
+            op: BinOp::FSub,
+            dst,
+            lhs,
+            cdst,
+            cidx,
+        },
+        ConstBinopFMul {
+            dst,
+            lhs,
+            cdst,
+            cidx,
+        } => ConstBinop {
+            op: BinOp::FMul,
+            dst,
+            lhs,
+            cdst,
+            cidx,
+        },
+        ConstBinopFDiv {
+            dst,
+            lhs,
+            cdst,
+            cidx,
+        } => ConstBinop {
+            op: BinOp::FDiv,
+            dst,
+            lhs,
+            cdst,
+            cidx,
+        },
+        CmpBranchEq {
+            dst,
+            lhs,
+            rhs,
+            slot,
+            taken,
+            not_taken,
+        } => CmpBranch {
+            op: BinOp::Eq,
+            dst,
+            lhs,
+            rhs,
+            slot,
+            taken,
+            not_taken,
+        },
+        CmpBranchNe {
+            dst,
+            lhs,
+            rhs,
+            slot,
+            taken,
+            not_taken,
+        } => CmpBranch {
+            op: BinOp::Ne,
+            dst,
+            lhs,
+            rhs,
+            slot,
+            taken,
+            not_taken,
+        },
+        CmpBranchLt {
+            dst,
+            lhs,
+            rhs,
+            slot,
+            taken,
+            not_taken,
+        } => CmpBranch {
+            op: BinOp::Lt,
+            dst,
+            lhs,
+            rhs,
+            slot,
+            taken,
+            not_taken,
+        },
+        CmpBranchLe {
+            dst,
+            lhs,
+            rhs,
+            slot,
+            taken,
+            not_taken,
+        } => CmpBranch {
+            op: BinOp::Le,
+            dst,
+            lhs,
+            rhs,
+            slot,
+            taken,
+            not_taken,
+        },
+        CmpBranchGt {
+            dst,
+            lhs,
+            rhs,
+            slot,
+            taken,
+            not_taken,
+        } => CmpBranch {
+            op: BinOp::Gt,
+            dst,
+            lhs,
+            rhs,
+            slot,
+            taken,
+            not_taken,
+        },
+        CmpBranchGe {
+            dst,
+            lhs,
+            rhs,
+            slot,
+            taken,
+            not_taken,
+        } => CmpBranch {
+            op: BinOp::Ge,
+            dst,
+            lhs,
+            rhs,
+            slot,
+            taken,
+            not_taken,
+        },
+        CmpBranchFEq {
+            dst,
+            lhs,
+            rhs,
+            slot,
+            taken,
+            not_taken,
+        } => CmpBranch {
+            op: BinOp::FEq,
+            dst,
+            lhs,
+            rhs,
+            slot,
+            taken,
+            not_taken,
+        },
+        CmpBranchFNe {
+            dst,
+            lhs,
+            rhs,
+            slot,
+            taken,
+            not_taken,
+        } => CmpBranch {
+            op: BinOp::FNe,
+            dst,
+            lhs,
+            rhs,
+            slot,
+            taken,
+            not_taken,
+        },
+        CmpBranchFLt {
+            dst,
+            lhs,
+            rhs,
+            slot,
+            taken,
+            not_taken,
+        } => CmpBranch {
+            op: BinOp::FLt,
+            dst,
+            lhs,
+            rhs,
+            slot,
+            taken,
+            not_taken,
+        },
+        CmpBranchFLe {
+            dst,
+            lhs,
+            rhs,
+            slot,
+            taken,
+            not_taken,
+        } => CmpBranch {
+            op: BinOp::FLe,
+            dst,
+            lhs,
+            rhs,
+            slot,
+            taken,
+            not_taken,
+        },
+        CmpBranchFGt {
+            dst,
+            lhs,
+            rhs,
+            slot,
+            taken,
+            not_taken,
+        } => CmpBranch {
+            op: BinOp::FGt,
+            dst,
+            lhs,
+            rhs,
+            slot,
+            taken,
+            not_taken,
+        },
+        CmpBranchFGe {
+            dst,
+            lhs,
+            rhs,
+            slot,
+            taken,
+            not_taken,
+        } => CmpBranch {
+            op: BinOp::FGe,
+            dst,
+            lhs,
+            rhs,
+            slot,
+            taken,
+            not_taken,
+        },
+        other => other,
+    }
+}
+
+/// One jump table: block targets resolved to absolute code offsets.
+#[derive(Debug)]
+struct TableData {
+    targets: Vec<u32>,
+    default: u32,
+}
+
+/// Per-function metadata of the flattened program.
+#[derive(Debug)]
+struct FlatFunc {
+    entry_pc: u32,
+    num_regs: u32,
+    num_params: u32,
+    name: String,
+}
+
+/// A [`Program`] pre-compiled for the flat backend.
+///
+/// The compiled form is self-contained (code, pools, per-function metadata,
+/// shared constant-array payloads), so running it never touches the source
+/// `Program`. Compile once, run many times; [`crate::Vm`] does exactly that,
+/// caching the `FlatProgram` for its lifetime.
+///
+/// Execution is observably identical to the reference backend: same
+/// [`Run`] (output, result, stats, branch trace), same coverage edges, and
+/// same [`RuntimeError`]s at the same fault points. See the module docs for
+/// how fuel accounting preserves this while charging per block segment.
+#[derive(Debug)]
+pub struct FlatProgram {
+    code: Vec<FlatOp>,
+    consts: Vec<GuestValue>,
+    args: Vec<u32>,
+    tables: Vec<TableData>,
+    funcs: Vec<FlatFunc>,
+    entry: u32,
+    globals: usize,
+    const_arrays: Vec<Arc<Vec<i64>>>,
+    /// Blocks per function — the shape of a fresh [`PixieCounts`].
+    block_shape: Vec<usize>,
+    /// Dense branch-counter slot → source-level branch id. The hot loop
+    /// bumps flat per-slot counters; they fold back into the keyed
+    /// [`BranchCounts`] once, when the run finishes.
+    branch_ids: Vec<BranchId>,
+}
+
+impl FlatProgram {
+    /// Compiles `program` with the default (BTFN) block layout.
+    pub fn compile(program: &Program) -> Self {
+        Flattener::new(program, None).build()
+    }
+
+    /// Compiles `program` laying blocks out along the profile's likelier
+    /// branch arms: a branch falls through to its taken arm when
+    /// `2·taken > executed` in `profile`, to its not-taken arm otherwise.
+    /// Layout never changes observable behavior.
+    pub fn compile_with_profile(program: &Program, profile: &BranchCounts) -> Self {
+        Flattener::new(program, Some(profile)).build()
+    }
+
+    /// Number of ops in the compiled code stream (diagnostics and benchmark
+    /// metadata; fused patterns make this smaller than the IR op count).
+    pub fn op_count(&self) -> usize {
+        self.code.len()
+    }
+
+    /// Runs the program's entry function on `inputs` — the flat-backend
+    /// equivalent of [`crate::Vm::run`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`RuntimeError`] on any dynamic fault, exactly as the
+    /// reference backend does.
+    pub fn run(&self, config: VmConfig, inputs: &[Input]) -> Result<Run, RuntimeError> {
+        FlatInterp::new(self, config).run(inputs)
+    }
+
+    /// [`FlatProgram::run`], reporting every traversed control-flow edge to
+    /// `sink` — the flat-backend equivalent of [`crate::Vm::run_observed`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`RuntimeError`] on any dynamic fault, exactly as the
+    /// reference backend does.
+    pub fn run_observed(
+        &self,
+        config: VmConfig,
+        inputs: &[Input],
+        sink: &mut dyn CoverageSink,
+    ) -> Result<Run, RuntimeError> {
+        let mut interp = FlatInterp::new(self, config);
+        interp.observer = Some(sink);
+        interp.run(inputs)
+    }
+}
+
+/// Fuel cost of the segment of `instrs` starting at `from`: instructions up
+/// to and including the next call, or all remaining instructions plus 1 for
+/// the terminator when no call follows.
+fn seg_cost(instrs: &[Instr], from: usize) -> u32 {
+    for (k, ins) in instrs[from..].iter().enumerate() {
+        if matches!(ins, Instr::Call { .. } | Instr::CallIndirect { .. }) {
+            return (k + 1) as u32;
+        }
+    }
+    (instrs.len() - from + 1) as u32
+}
+
+struct Flattener<'p> {
+    program: &'p Program,
+    profile: Option<&'p BranchCounts>,
+    code: Vec<FlatOp>,
+    consts: Vec<GuestValue>,
+    const_map: HashMap<(u8, u64), u32>,
+    args: Vec<u32>,
+    tables: Vec<TableData>,
+    funcs: Vec<FlatFunc>,
+    branch_ids: Vec<BranchId>,
+    branch_slots: HashMap<u32, u32>,
+}
+
+impl<'p> Flattener<'p> {
+    fn new(program: &'p Program, profile: Option<&'p BranchCounts>) -> Self {
+        Flattener {
+            program,
+            profile,
+            code: Vec::new(),
+            consts: Vec::new(),
+            const_map: HashMap::new(),
+            args: Vec::new(),
+            tables: Vec::new(),
+            funcs: Vec::new(),
+            branch_ids: Vec::new(),
+            branch_slots: HashMap::new(),
+        }
+    }
+
+    fn build(mut self) -> FlatProgram {
+        let mut pixie_base = 0u32;
+        for (fi, func) in self.program.functions.iter().enumerate() {
+            self.flatten_function(fi, func, pixie_base);
+            pixie_base += func.blocks.len() as u32;
+        }
+        FlatProgram {
+            code: self.code,
+            consts: self.consts,
+            args: self.args,
+            tables: self.tables,
+            funcs: self.funcs,
+            entry: self.program.entry.0,
+            globals: self.program.globals.len(),
+            const_arrays: self.program.const_arrays.iter().map(Arc::clone).collect(),
+            block_shape: self
+                .program
+                .functions
+                .iter()
+                .map(|f| f.blocks.len())
+                .collect(),
+            branch_ids: self.branch_ids,
+        }
+    }
+
+    /// Dense counter slot for a source-level branch id. Distinct lowered
+    /// branches can share one [`BranchId`] (pass-duplicated code), so the
+    /// mapping is memoized, not positional.
+    fn branch_slot(&mut self, id: BranchId) -> u32 {
+        if let Some(&slot) = self.branch_slots.get(&id.0) {
+            return slot;
+        }
+        let slot = self.branch_ids.len() as u32;
+        self.branch_ids.push(id);
+        self.branch_slots.insert(id.0, slot);
+        slot
+    }
+
+    fn flatten_function(&mut self, fi: usize, func: &Function, pixie_base: u32) {
+        let order = self.layout_order(func);
+        let func_start = self.code.len();
+        let table_start = self.tables.len();
+        let mut block_pc = vec![0u32; func.blocks.len()];
+        for &b in &order {
+            block_pc[b] = self.code.len() as u32;
+            self.emit_block(fi, b, pixie_base, &func.blocks[b]);
+        }
+        // Control targets were emitted as block ids; resolve them to code
+        // offsets now that every block of this function has a position.
+        for op in &mut self.code[func_start..] {
+            match op {
+                FlatOp::Jump { target } => *target = block_pc[*target as usize],
+                FlatOp::Branch {
+                    taken, not_taken, ..
+                }
+                | FlatOp::CmpBranch {
+                    taken, not_taken, ..
+                }
+                | FlatOp::CmpBranchEq {
+                    taken, not_taken, ..
+                }
+                | FlatOp::CmpBranchNe {
+                    taken, not_taken, ..
+                }
+                | FlatOp::CmpBranchLt {
+                    taken, not_taken, ..
+                }
+                | FlatOp::CmpBranchLe {
+                    taken, not_taken, ..
+                }
+                | FlatOp::CmpBranchGt {
+                    taken, not_taken, ..
+                }
+                | FlatOp::CmpBranchGe {
+                    taken, not_taken, ..
+                }
+                | FlatOp::CmpBranchFEq {
+                    taken, not_taken, ..
+                }
+                | FlatOp::CmpBranchFNe {
+                    taken, not_taken, ..
+                }
+                | FlatOp::CmpBranchFLt {
+                    taken, not_taken, ..
+                }
+                | FlatOp::CmpBranchFLe {
+                    taken, not_taken, ..
+                }
+                | FlatOp::CmpBranchFGt {
+                    taken, not_taken, ..
+                }
+                | FlatOp::CmpBranchFGe {
+                    taken, not_taken, ..
+                } => {
+                    *taken = block_pc[*taken as usize];
+                    *not_taken = block_pc[*not_taken as usize];
+                }
+                _ => {}
+            }
+        }
+        for t in &mut self.tables[table_start..] {
+            for x in &mut t.targets {
+                *x = block_pc[*x as usize];
+            }
+            t.default = block_pc[t.default as usize];
+        }
+        self.funcs.push(FlatFunc {
+            entry_pc: block_pc[0],
+            num_regs: func.num_regs,
+            num_params: func.num_params,
+            name: func.name.clone(),
+        });
+    }
+
+    /// Greedy fall-through chaining from the entry block: each block is
+    /// followed by its preferred successor when still unplaced; exhausted
+    /// chains restart at the lowest-index unplaced block.
+    fn layout_order(&self, func: &Function) -> Vec<usize> {
+        let n = func.blocks.len();
+        let mut placed = vec![false; n];
+        let mut order = Vec::with_capacity(n);
+        let mut cursor = 0usize;
+        let mut chain = Some(0usize);
+        while order.len() < n {
+            let b = match chain.filter(|&b| !placed[b]) {
+                Some(b) => b,
+                None => {
+                    while placed[cursor] {
+                        cursor += 1;
+                    }
+                    cursor
+                }
+            };
+            placed[b] = true;
+            order.push(b);
+            chain = self.fallthrough_successor(&func.blocks[b], &placed);
+        }
+        order
+    }
+
+    fn fallthrough_successor(&self, block: &Block, placed: &[bool]) -> Option<usize> {
+        match &block.term {
+            Terminator::Jump(t) => Some(t.index()).filter(|&b| !placed[b]),
+            Terminator::Branch {
+                id,
+                taken,
+                not_taken,
+                ..
+            } => {
+                // With a profile: fall through to the likelier arm. Without:
+                // fall through to not-taken (backward-taken/forward-not-taken).
+                let prefer_taken = self.profile.is_some_and(|p| {
+                    let (e, t) = p.get(*id);
+                    e > 0 && 2 * t > e
+                });
+                let (first, second) = if prefer_taken {
+                    (taken.index(), not_taken.index())
+                } else {
+                    (not_taken.index(), taken.index())
+                };
+                if !placed[first] {
+                    Some(first)
+                } else if !placed[second] {
+                    Some(second)
+                } else {
+                    None
+                }
+            }
+            Terminator::JumpTable {
+                targets, default, ..
+            } => {
+                if !placed[default.index()] {
+                    Some(default.index())
+                } else {
+                    targets.iter().map(|t| t.index()).find(|&b| !placed[b])
+                }
+            }
+            Terminator::Return { .. } => None,
+        }
+    }
+
+    fn intern(&mut self, value: Value) -> u32 {
+        let key = match value {
+            Value::Int(i) => (0u8, i as u64),
+            Value::Float(f) => (1u8, f.to_bits()),
+        };
+        if let Some(&idx) = self.const_map.get(&key) {
+            return idx;
+        }
+        let idx = self.consts.len() as u32;
+        self.consts.push(match value {
+            Value::Int(i) => GuestValue::Int(i),
+            Value::Float(f) => GuestValue::Float(f),
+        });
+        self.const_map.insert(key, idx);
+        idx
+    }
+
+    fn emit_block(&mut self, fi: usize, bi: usize, pixie_base: u32, block: &Block) {
+        let instrs = &block.instrs;
+        self.code.push(FlatOp::BlockHead {
+            slot: pixie_base + bi as u32,
+            func: fi as u32,
+            block: bi as u32,
+            cost: seg_cost(instrs, 0),
+        });
+        // Fusion pattern A: a comparison Binop whose result feeds the
+        // block's own conditional branch is folded into the terminator.
+        let fused_last = match (&block.term, instrs.last()) {
+            (Terminator::Branch { cond, .. }, Some(Instr::Binop { dst, op, .. }))
+                if op.is_comparison() && dst == cond =>
+            {
+                Some(instrs.len() - 1)
+            }
+            _ => None,
+        };
+        let mut i = 0;
+        while i < instrs.len() {
+            if Some(i) == fused_last {
+                i += 1;
+                continue;
+            }
+            match &instrs[i] {
+                Instr::Const { dst, value } => {
+                    let cidx = self.intern(*value);
+                    // Fusion pattern B: a Const consumed as the right-hand
+                    // side of the next Binop (unless that Binop is already
+                    // reserved by pattern A).
+                    if let Some(Instr::Binop {
+                        dst: bdst,
+                        op,
+                        lhs,
+                        rhs,
+                    }) = instrs.get(i + 1)
+                    {
+                        if Some(i + 1) != fused_last && rhs == dst {
+                            self.code
+                                .push(specialize_const_binop(*op, bdst.0, lhs.0, dst.0, cidx));
+                            i += 2;
+                            continue;
+                        }
+                    }
+                    self.code.push(FlatOp::LoadConst { dst: dst.0, cidx });
+                }
+                Instr::Mov { dst, src } => self.code.push(FlatOp::Mov {
+                    dst: dst.0,
+                    src: src.0,
+                }),
+                Instr::Unop { dst, op, src } => self.code.push(FlatOp::Unop {
+                    op: *op,
+                    dst: dst.0,
+                    src: src.0,
+                }),
+                Instr::Binop { dst, op, lhs, rhs } => {
+                    self.code.push(specialize_binop(*op, dst.0, lhs.0, rhs.0))
+                }
+                Instr::Select {
+                    dst,
+                    cond,
+                    if_true,
+                    if_false,
+                } => self.code.push(FlatOp::Select {
+                    dst: dst.0,
+                    cond: cond.0,
+                    if_true: if_true.0,
+                    if_false: if_false.0,
+                }),
+                Instr::Load { dst, arr, index } => self.code.push(FlatOp::Load {
+                    dst: dst.0,
+                    arr: arr.0,
+                    index: index.0,
+                }),
+                Instr::Store { arr, index, src } => self.code.push(FlatOp::Store {
+                    arr: arr.0,
+                    index: index.0,
+                    src: src.0,
+                }),
+                Instr::NewIntArray { dst, len } => self.code.push(FlatOp::NewIntArray {
+                    dst: dst.0,
+                    len: len.0,
+                }),
+                Instr::NewFloatArray { dst, len } => self.code.push(FlatOp::NewFloatArray {
+                    dst: dst.0,
+                    len: len.0,
+                }),
+                Instr::ArrayLen { dst, arr } => self.code.push(FlatOp::ArrayLen {
+                    dst: dst.0,
+                    arr: arr.0,
+                }),
+                Instr::ConstArray { dst, index } => self.code.push(FlatOp::ConstArrayRef {
+                    dst: dst.0,
+                    index: *index,
+                }),
+                Instr::GlobalGet { dst, global } => self.code.push(FlatOp::GlobalGet {
+                    dst: dst.0,
+                    global: global.0,
+                }),
+                Instr::GlobalSet { global, src } => self.code.push(FlatOp::GlobalSet {
+                    global: global.0,
+                    src: src.0,
+                }),
+                Instr::FuncAddr { dst, func } => self.code.push(FlatOp::FuncAddr {
+                    dst: dst.0,
+                    func: func.0,
+                }),
+                Instr::Emit { src } => self.code.push(FlatOp::Emit { src: src.0 }),
+                Instr::Call { dst, func, args } => {
+                    let at = self.args.len() as u32;
+                    self.args.extend(args.iter().map(|r| r.0));
+                    self.code.push(FlatOp::Call {
+                        func: func.0,
+                        args: at,
+                        nargs: args.len() as u32,
+                        ret: dst.map_or(NONE, |r| r.0),
+                    });
+                    self.code.push(FlatOp::Resume {
+                        cost: seg_cost(instrs, i + 1),
+                    });
+                }
+                Instr::CallIndirect { dst, target, args } => {
+                    let at = self.args.len() as u32;
+                    self.args.extend(args.iter().map(|r| r.0));
+                    self.code.push(FlatOp::CallIndirect {
+                        target: target.0,
+                        args: at,
+                        nargs: args.len() as u32,
+                        ret: dst.map_or(NONE, |r| r.0),
+                    });
+                    self.code.push(FlatOp::Resume {
+                        cost: seg_cost(instrs, i + 1),
+                    });
+                }
+            }
+            i += 1;
+        }
+        match &block.term {
+            Terminator::Jump(t) => self.code.push(FlatOp::Jump { target: t.0 }),
+            Terminator::Branch {
+                cond,
+                id,
+                taken,
+                not_taken,
+            } => {
+                let slot = self.branch_slot(*id);
+                if let Some(fl) = fused_last {
+                    let Instr::Binop { dst, op, lhs, rhs } = &instrs[fl] else {
+                        unreachable!("pattern A reserves only comparison Binops");
+                    };
+                    #[allow(unused_mut)]
+                    let (mut tk, mut nt) = (taken.0, not_taken.0);
+                    // Seeded defect: swap the fused branch's control
+                    // targets. Recording still follows the comparison
+                    // result, so only the flat-vs-reference differential
+                    // sees the divergence.
+                    #[cfg(feature = "seeded-defects")]
+                    if mfdefect::active("vm-flat-fuse-swapped-arms") {
+                        std::mem::swap(&mut tk, &mut nt);
+                    }
+                    self.code.push(specialize_cmp_branch(
+                        *op,
+                        (dst.0, lhs.0, rhs.0),
+                        (slot, tk, nt),
+                    ));
+                } else {
+                    self.code.push(FlatOp::Branch {
+                        cond: cond.0,
+                        slot,
+                        taken: taken.0,
+                        not_taken: not_taken.0,
+                    });
+                }
+            }
+            Terminator::JumpTable {
+                index,
+                targets,
+                default,
+            } => {
+                let ti = self.tables.len() as u32;
+                self.tables.push(TableData {
+                    targets: targets.iter().map(|t| t.0).collect(),
+                    default: default.0,
+                });
+                self.code.push(FlatOp::JumpTable {
+                    index: index.0,
+                    table: ti,
+                });
+            }
+            Terminator::Return { value } => self.code.push(FlatOp::Return {
+                src: value.map_or(NONE, |r| r.0),
+            }),
+        }
+    }
+}
+
+/// One frame of the contiguous register stack.
+#[derive(Clone, Copy, Debug)]
+struct FlatFrame {
+    /// Code offset to resume at in the caller (points at a `Resume` op).
+    ret_pc: u32,
+    /// Start of this frame's register window in the shared stack.
+    base: u32,
+    /// Caller-window register receiving the return value, or `NONE`.
+    ret_dst: u32,
+    /// Current block, for coverage-edge `from` ([`ENTRY_EDGE_FROM`] until
+    /// the function's entry block head runs).
+    cur_block: u32,
+    /// Whether the frame was entered through an indirect call.
+    indirect: bool,
+}
+
+struct FlatInterp<'f, 'o> {
+    fp: &'f FlatProgram,
+    config: VmConfig,
+    heap: Vec<HeapObject>,
+    globals: Vec<GuestValue>,
+    regs: Vec<GuestValue>,
+    frames: Vec<FlatFrame>,
+    output: Vec<GuestValue>,
+    stats: RunStats,
+    /// Dense per-block execution counts (slot order); folded into
+    /// [`PixieCounts`] when the run finishes.
+    pixie: Vec<u64>,
+    /// Dense per-branch `(executed, taken)` counts (slot order); folded
+    /// into the keyed [`BranchCounts`] when the run finishes. Keeps the
+    /// hot loop free of the reference backend's per-branch map lookup.
+    branch_hits: Vec<(u64, u64)>,
+    fuel_used: u64,
+    branch_trace: Vec<BranchEvent>,
+    last_branch_fuel: u64,
+    observer: Option<&'o mut dyn CoverageSink>,
+}
+
+fn want_ref(v: GuestValue) -> Result<u32, RuntimeError> {
+    match v {
+        GuestValue::Ref(h) => Ok(h),
+        v => Err(RuntimeError::TypeMismatch {
+            expected: "array",
+            found: v.type_name(),
+        }),
+    }
+}
+
+fn check_index(index: i64, len: usize) -> Result<usize, RuntimeError> {
+    if index < 0 || index as usize >= len {
+        Err(RuntimeError::IndexOutOfBounds { index, len })
+    } else {
+        Ok(index as usize)
+    }
+}
+
+impl<'f, 'o> FlatInterp<'f, 'o> {
+    fn new(fp: &'f FlatProgram, config: VmConfig) -> Self {
+        let heap = fp
+            .const_arrays
+            .iter()
+            .map(|a| HeapObject {
+                data: ArrayData::Ints(Arc::clone(a)),
+                read_only: true,
+            })
+            .collect();
+        FlatInterp {
+            fp,
+            config,
+            heap,
+            globals: vec![GuestValue::Zero; fp.globals],
+            regs: Vec::new(),
+            frames: Vec::new(),
+            output: Vec::new(),
+            stats: RunStats::default(),
+            pixie: vec![0; fp.block_shape.iter().sum()],
+            branch_hits: vec![(0, 0); fp.branch_ids.len()],
+            fuel_used: 0,
+            branch_trace: Vec::new(),
+            last_branch_fuel: 0,
+            observer: None,
+        }
+    }
+
+    fn run(mut self, inputs: &[Input]) -> Result<Run, RuntimeError> {
+        let fp = self.fp;
+        let entry = &fp.funcs[fp.entry as usize];
+        if inputs.len() != entry.num_params as usize {
+            return Err(RuntimeError::BadEntryArity {
+                got: inputs.len(),
+                expected: entry.num_params,
+            });
+        }
+        self.regs.resize(entry.num_regs as usize, GuestValue::Zero);
+        for (i, input) in inputs.iter().enumerate() {
+            self.regs[i] = match input {
+                Input::Int(v) => GuestValue::Int(*v),
+                Input::Float(v) => GuestValue::Float(*v),
+                Input::Ints(v) => self.alloc(ArrayData::ints(v.clone())),
+                Input::Floats(v) => self.alloc(ArrayData::floats(v.clone())),
+            };
+        }
+        // Unlike the reference, the entry block's Pixie bump and coverage
+        // edge are not pre-counted here: the entry BlockHead emits both, in
+        // the same observable order.
+        self.frames.push(FlatFrame {
+            ret_pc: NONE,
+            base: 0,
+            ret_dst: NONE,
+            cur_block: ENTRY_EDGE_FROM,
+            indirect: false,
+        });
+        let mut pc = entry.entry_pc as usize;
+        let mut base = 0usize;
+        // The current frame's block, kept in a local so the hot BlockHead
+        // arm never touches the frame stack; it is saved to the caller's
+        // frame on call and restored from it on return.
+        let mut cur_block = ENTRY_EDGE_FROM;
+
+        let result = loop {
+            // Matching on the indexed place (not a `let`-copied value) lets
+            // each arm load only the fields it uses instead of copying the
+            // whole 32-byte op.
+            let op = &fp.code[pc];
+            pc += 1;
+            match *op {
+                FlatOp::BlockHead {
+                    slot,
+                    func,
+                    block,
+                    cost,
+                } => {
+                    self.pixie[slot as usize] += 1;
+                    if let Some(obs) = self.observer.as_mut() {
+                        obs.edge(FuncId(func), cur_block, block);
+                    }
+                    cur_block = block;
+                    self.fuel_used += u64::from(cost);
+                    if self.fuel_used > self.config.fuel {
+                        return Err(self.finish_precise(pc, base, cost));
+                    }
+                }
+                FlatOp::Resume { cost } => {
+                    self.fuel_used += u64::from(cost);
+                    if self.fuel_used > self.config.fuel {
+                        return Err(self.finish_precise(pc, base, cost));
+                    }
+                }
+                FlatOp::Jump { target } => {
+                    self.stats.events.jumps += 1;
+                    pc = target as usize;
+                }
+                FlatOp::Branch {
+                    cond,
+                    slot,
+                    taken,
+                    not_taken,
+                } => {
+                    let c = want_int(self.regs[base + cond as usize])?;
+                    pc = self.branch_to(slot, c != 0, taken, not_taken);
+                }
+                FlatOp::CmpBranch {
+                    op,
+                    dst,
+                    lhs,
+                    rhs,
+                    slot,
+                    taken,
+                    not_taken,
+                } => {
+                    pc = self.op_cmp_branch(op, (dst, lhs, rhs), (slot, taken, not_taken), base)?;
+                }
+                FlatOp::CmpBranchEq {
+                    dst,
+                    lhs,
+                    rhs,
+                    slot,
+                    taken,
+                    not_taken,
+                } => {
+                    pc = self.op_cmp_branch(
+                        BinOp::Eq,
+                        (dst, lhs, rhs),
+                        (slot, taken, not_taken),
+                        base,
+                    )?;
+                }
+                FlatOp::CmpBranchNe {
+                    dst,
+                    lhs,
+                    rhs,
+                    slot,
+                    taken,
+                    not_taken,
+                } => {
+                    pc = self.op_cmp_branch(
+                        BinOp::Ne,
+                        (dst, lhs, rhs),
+                        (slot, taken, not_taken),
+                        base,
+                    )?;
+                }
+                FlatOp::CmpBranchLt {
+                    dst,
+                    lhs,
+                    rhs,
+                    slot,
+                    taken,
+                    not_taken,
+                } => {
+                    pc = self.op_cmp_branch(
+                        BinOp::Lt,
+                        (dst, lhs, rhs),
+                        (slot, taken, not_taken),
+                        base,
+                    )?;
+                }
+                FlatOp::CmpBranchLe {
+                    dst,
+                    lhs,
+                    rhs,
+                    slot,
+                    taken,
+                    not_taken,
+                } => {
+                    pc = self.op_cmp_branch(
+                        BinOp::Le,
+                        (dst, lhs, rhs),
+                        (slot, taken, not_taken),
+                        base,
+                    )?;
+                }
+                FlatOp::CmpBranchGt {
+                    dst,
+                    lhs,
+                    rhs,
+                    slot,
+                    taken,
+                    not_taken,
+                } => {
+                    pc = self.op_cmp_branch(
+                        BinOp::Gt,
+                        (dst, lhs, rhs),
+                        (slot, taken, not_taken),
+                        base,
+                    )?;
+                }
+                FlatOp::CmpBranchGe {
+                    dst,
+                    lhs,
+                    rhs,
+                    slot,
+                    taken,
+                    not_taken,
+                } => {
+                    pc = self.op_cmp_branch(
+                        BinOp::Ge,
+                        (dst, lhs, rhs),
+                        (slot, taken, not_taken),
+                        base,
+                    )?;
+                }
+                FlatOp::CmpBranchFEq {
+                    dst,
+                    lhs,
+                    rhs,
+                    slot,
+                    taken,
+                    not_taken,
+                } => {
+                    pc = self.op_cmp_branch(
+                        BinOp::FEq,
+                        (dst, lhs, rhs),
+                        (slot, taken, not_taken),
+                        base,
+                    )?;
+                }
+                FlatOp::CmpBranchFNe {
+                    dst,
+                    lhs,
+                    rhs,
+                    slot,
+                    taken,
+                    not_taken,
+                } => {
+                    pc = self.op_cmp_branch(
+                        BinOp::FNe,
+                        (dst, lhs, rhs),
+                        (slot, taken, not_taken),
+                        base,
+                    )?;
+                }
+                FlatOp::CmpBranchFLt {
+                    dst,
+                    lhs,
+                    rhs,
+                    slot,
+                    taken,
+                    not_taken,
+                } => {
+                    pc = self.op_cmp_branch(
+                        BinOp::FLt,
+                        (dst, lhs, rhs),
+                        (slot, taken, not_taken),
+                        base,
+                    )?;
+                }
+                FlatOp::CmpBranchFLe {
+                    dst,
+                    lhs,
+                    rhs,
+                    slot,
+                    taken,
+                    not_taken,
+                } => {
+                    pc = self.op_cmp_branch(
+                        BinOp::FLe,
+                        (dst, lhs, rhs),
+                        (slot, taken, not_taken),
+                        base,
+                    )?;
+                }
+                FlatOp::CmpBranchFGt {
+                    dst,
+                    lhs,
+                    rhs,
+                    slot,
+                    taken,
+                    not_taken,
+                } => {
+                    pc = self.op_cmp_branch(
+                        BinOp::FGt,
+                        (dst, lhs, rhs),
+                        (slot, taken, not_taken),
+                        base,
+                    )?;
+                }
+                FlatOp::CmpBranchFGe {
+                    dst,
+                    lhs,
+                    rhs,
+                    slot,
+                    taken,
+                    not_taken,
+                } => {
+                    pc = self.op_cmp_branch(
+                        BinOp::FGe,
+                        (dst, lhs, rhs),
+                        (slot, taken, not_taken),
+                        base,
+                    )?;
+                }
+                FlatOp::JumpTable { index, table } => {
+                    self.stats.events.indirect_jumps += 1;
+                    let i = want_int(self.regs[base + index as usize])?;
+                    let t = &fp.tables[table as usize];
+                    pc = if i >= 0 && (i as usize) < t.targets.len() {
+                        t.targets[i as usize] as usize
+                    } else {
+                        t.default as usize
+                    };
+                }
+                FlatOp::Call {
+                    func,
+                    args,
+                    nargs,
+                    ret,
+                } => {
+                    self.stats.events.direct_calls += 1;
+                    self.frames.last_mut().expect("active frame").cur_block = cur_block;
+                    let (npc, nbase) = self.push_call(func, (args, nargs), ret, false, pc, base)?;
+                    pc = npc;
+                    base = nbase;
+                    cur_block = ENTRY_EDGE_FROM;
+                }
+                FlatOp::CallIndirect {
+                    target,
+                    args,
+                    nargs,
+                    ret,
+                } => {
+                    let callee = match self.regs[base + target as usize] {
+                        GuestValue::Func(id) => id.0,
+                        v => {
+                            return Err(RuntimeError::BadIndirectTarget {
+                                found: v.type_name(),
+                            })
+                        }
+                    };
+                    let callee_fn = &fp.funcs[callee as usize];
+                    if nargs != callee_fn.num_params {
+                        return Err(RuntimeError::IndirectArityMismatch {
+                            callee: callee_fn.name.clone(),
+                            got: nargs as usize,
+                            expected: callee_fn.num_params,
+                        });
+                    }
+                    self.stats.events.indirect_calls += 1;
+                    self.frames.last_mut().expect("active frame").cur_block = cur_block;
+                    let (npc, nbase) =
+                        self.push_call(callee, (args, nargs), ret, true, pc, base)?;
+                    pc = npc;
+                    base = nbase;
+                    cur_block = ENTRY_EDGE_FROM;
+                }
+                FlatOp::Return { src } => {
+                    let v = if src == NONE {
+                        None
+                    } else {
+                        Some(self.regs[base + src as usize])
+                    };
+                    let frame = self.frames.pop().expect("active frame");
+                    if self.frames.is_empty() {
+                        break v;
+                    }
+                    if frame.indirect {
+                        self.stats.events.indirect_returns += 1;
+                    } else {
+                        self.stats.events.direct_returns += 1;
+                    }
+                    let caller = self.frames.last().expect("caller frame");
+                    let caller_base = caller.base as usize;
+                    cur_block = caller.cur_block;
+                    self.regs.truncate(frame.base as usize);
+                    if frame.ret_dst != NONE {
+                        self.regs[caller_base + frame.ret_dst as usize] =
+                            v.unwrap_or(GuestValue::Zero);
+                    }
+                    pc = frame.ret_pc as usize;
+                    base = caller_base;
+                }
+                // Leaf ops: one arm per variant — single dispatch, no
+                // second match. Every arm calls the same `#[inline(always)]`
+                // helper the cold replay path uses, constant-op variants
+                // with their operator as a literal.
+                FlatOp::LoadConst { dst, cidx } => self.op_load_const(dst, cidx, base),
+                FlatOp::Mov { dst, src } => self.op_mov(dst, src, base),
+                FlatOp::Unop { op, dst, src } => self.op_unop(op, dst, src, base)?,
+                FlatOp::Binop { op, dst, lhs, rhs } => self.op_binop(op, dst, lhs, rhs, base)?,
+                FlatOp::BinopAdd { dst, lhs, rhs } => {
+                    self.op_binop(BinOp::Add, dst, lhs, rhs, base)?
+                }
+                FlatOp::BinopSub { dst, lhs, rhs } => {
+                    self.op_binop(BinOp::Sub, dst, lhs, rhs, base)?
+                }
+                FlatOp::BinopMul { dst, lhs, rhs } => {
+                    self.op_binop(BinOp::Mul, dst, lhs, rhs, base)?
+                }
+                FlatOp::BinopDiv { dst, lhs, rhs } => {
+                    self.op_binop(BinOp::Div, dst, lhs, rhs, base)?
+                }
+                FlatOp::BinopRem { dst, lhs, rhs } => {
+                    self.op_binop(BinOp::Rem, dst, lhs, rhs, base)?
+                }
+                FlatOp::BinopAnd { dst, lhs, rhs } => {
+                    self.op_binop(BinOp::And, dst, lhs, rhs, base)?
+                }
+                FlatOp::BinopOr { dst, lhs, rhs } => {
+                    self.op_binop(BinOp::Or, dst, lhs, rhs, base)?
+                }
+                FlatOp::BinopXor { dst, lhs, rhs } => {
+                    self.op_binop(BinOp::Xor, dst, lhs, rhs, base)?
+                }
+                FlatOp::BinopShl { dst, lhs, rhs } => {
+                    self.op_binop(BinOp::Shl, dst, lhs, rhs, base)?
+                }
+                FlatOp::BinopShr { dst, lhs, rhs } => {
+                    self.op_binop(BinOp::Shr, dst, lhs, rhs, base)?
+                }
+                FlatOp::BinopFAdd { dst, lhs, rhs } => {
+                    self.op_binop(BinOp::FAdd, dst, lhs, rhs, base)?
+                }
+                FlatOp::BinopFSub { dst, lhs, rhs } => {
+                    self.op_binop(BinOp::FSub, dst, lhs, rhs, base)?
+                }
+                FlatOp::BinopFMul { dst, lhs, rhs } => {
+                    self.op_binop(BinOp::FMul, dst, lhs, rhs, base)?
+                }
+                FlatOp::BinopFDiv { dst, lhs, rhs } => {
+                    self.op_binop(BinOp::FDiv, dst, lhs, rhs, base)?
+                }
+                FlatOp::ConstBinop {
+                    op,
+                    dst,
+                    lhs,
+                    cdst,
+                    cidx,
+                } => self.op_const_binop(op, dst, lhs, cdst, cidx, base)?,
+                FlatOp::ConstBinopAdd {
+                    dst,
+                    lhs,
+                    cdst,
+                    cidx,
+                } => self.op_const_binop(BinOp::Add, dst, lhs, cdst, cidx, base)?,
+                FlatOp::ConstBinopSub {
+                    dst,
+                    lhs,
+                    cdst,
+                    cidx,
+                } => self.op_const_binop(BinOp::Sub, dst, lhs, cdst, cidx, base)?,
+                FlatOp::ConstBinopMul {
+                    dst,
+                    lhs,
+                    cdst,
+                    cidx,
+                } => self.op_const_binop(BinOp::Mul, dst, lhs, cdst, cidx, base)?,
+                FlatOp::ConstBinopDiv {
+                    dst,
+                    lhs,
+                    cdst,
+                    cidx,
+                } => self.op_const_binop(BinOp::Div, dst, lhs, cdst, cidx, base)?,
+                FlatOp::ConstBinopRem {
+                    dst,
+                    lhs,
+                    cdst,
+                    cidx,
+                } => self.op_const_binop(BinOp::Rem, dst, lhs, cdst, cidx, base)?,
+                FlatOp::ConstBinopAnd {
+                    dst,
+                    lhs,
+                    cdst,
+                    cidx,
+                } => self.op_const_binop(BinOp::And, dst, lhs, cdst, cidx, base)?,
+                FlatOp::ConstBinopOr {
+                    dst,
+                    lhs,
+                    cdst,
+                    cidx,
+                } => self.op_const_binop(BinOp::Or, dst, lhs, cdst, cidx, base)?,
+                FlatOp::ConstBinopXor {
+                    dst,
+                    lhs,
+                    cdst,
+                    cidx,
+                } => self.op_const_binop(BinOp::Xor, dst, lhs, cdst, cidx, base)?,
+                FlatOp::ConstBinopShl {
+                    dst,
+                    lhs,
+                    cdst,
+                    cidx,
+                } => self.op_const_binop(BinOp::Shl, dst, lhs, cdst, cidx, base)?,
+                FlatOp::ConstBinopShr {
+                    dst,
+                    lhs,
+                    cdst,
+                    cidx,
+                } => self.op_const_binop(BinOp::Shr, dst, lhs, cdst, cidx, base)?,
+                FlatOp::ConstBinopFAdd {
+                    dst,
+                    lhs,
+                    cdst,
+                    cidx,
+                } => self.op_const_binop(BinOp::FAdd, dst, lhs, cdst, cidx, base)?,
+                FlatOp::ConstBinopFSub {
+                    dst,
+                    lhs,
+                    cdst,
+                    cidx,
+                } => self.op_const_binop(BinOp::FSub, dst, lhs, cdst, cidx, base)?,
+                FlatOp::ConstBinopFMul {
+                    dst,
+                    lhs,
+                    cdst,
+                    cidx,
+                } => self.op_const_binop(BinOp::FMul, dst, lhs, cdst, cidx, base)?,
+                FlatOp::ConstBinopFDiv {
+                    dst,
+                    lhs,
+                    cdst,
+                    cidx,
+                } => self.op_const_binop(BinOp::FDiv, dst, lhs, cdst, cidx, base)?,
+                FlatOp::Select {
+                    dst,
+                    cond,
+                    if_true,
+                    if_false,
+                } => self.op_select(dst, cond, if_true, if_false, base)?,
+                FlatOp::Load { dst, arr, index } => self.op_load(dst, arr, index, base)?,
+                FlatOp::Store { arr, index, src } => self.op_store(arr, index, src, base)?,
+                FlatOp::NewIntArray { dst, len } => self.op_new_int_array(dst, len, base)?,
+                FlatOp::NewFloatArray { dst, len } => self.op_new_float_array(dst, len, base)?,
+                FlatOp::ArrayLen { dst, arr } => self.op_array_len(dst, arr, base)?,
+                FlatOp::ConstArrayRef { dst, index } => self.op_const_array_ref(dst, index, base),
+                FlatOp::GlobalGet { dst, global } => self.op_global_get(dst, global, base),
+                FlatOp::GlobalSet { global, src } => self.op_global_set(global, src, base),
+                FlatOp::FuncAddr { dst, func } => self.op_func_addr(dst, func, base),
+                FlatOp::Emit { src } => self.op_emit(src, base),
+            }
+        };
+
+        self.stats.total_instrs = self.fuel_used;
+        // Fold the dense counters back into the keyed shapes the rest of
+        // the system consumes. Skipping never-executed branches matches the
+        // reference, whose map only gains an entry on first record.
+        for (slot, &(executed, taken)) in self.branch_hits.iter().enumerate() {
+            if executed > 0 {
+                self.stats
+                    .branches
+                    .add(self.fp.branch_ids[slot], executed, taken);
+            }
+        }
+        let mut blocks = Vec::with_capacity(self.fp.block_shape.len());
+        let mut off = 0;
+        for &n in &self.fp.block_shape {
+            blocks.push(self.pixie[off..off + n].to_vec());
+            off += n;
+        }
+        self.stats.pixie = PixieCounts { blocks };
+        Ok(Run {
+            output: self.output,
+            result,
+            stats: self.stats,
+            branch_trace: self.branch_trace,
+        })
+    }
+
+    /// Executes one non-control op for the precise fuel replay. Dispatches
+    /// through [`generalize`] and the same `op_*` helpers as the hot loop,
+    /// so semantics cannot diverge between them.
+    fn exec_leaf(&mut self, op: FlatOp, base: usize) -> Result<(), RuntimeError> {
+        match generalize(op) {
+            FlatOp::LoadConst { dst, cidx } => self.op_load_const(dst, cidx, base),
+            FlatOp::Mov { dst, src } => self.op_mov(dst, src, base),
+            FlatOp::Unop { op, dst, src } => self.op_unop(op, dst, src, base)?,
+            FlatOp::Binop { op, dst, lhs, rhs } => self.op_binop(op, dst, lhs, rhs, base)?,
+            FlatOp::ConstBinop {
+                op,
+                dst,
+                lhs,
+                cdst,
+                cidx,
+            } => self.op_const_binop(op, dst, lhs, cdst, cidx, base)?,
+            FlatOp::Select {
+                dst,
+                cond,
+                if_true,
+                if_false,
+            } => self.op_select(dst, cond, if_true, if_false, base)?,
+            FlatOp::Load { dst, arr, index } => self.op_load(dst, arr, index, base)?,
+            FlatOp::Store { arr, index, src } => self.op_store(arr, index, src, base)?,
+            FlatOp::NewIntArray { dst, len } => self.op_new_int_array(dst, len, base)?,
+            FlatOp::NewFloatArray { dst, len } => self.op_new_float_array(dst, len, base)?,
+            FlatOp::ArrayLen { dst, arr } => self.op_array_len(dst, arr, base)?,
+            FlatOp::ConstArrayRef { dst, index } => self.op_const_array_ref(dst, index, base),
+            FlatOp::GlobalGet { dst, global } => self.op_global_get(dst, global, base),
+            FlatOp::GlobalSet { global, src } => self.op_global_set(global, src, base),
+            FlatOp::FuncAddr { dst, func } => self.op_func_addr(dst, func, base),
+            FlatOp::Emit { src } => self.op_emit(src, base),
+            // `generalize` folds every specialized variant away; the rest
+            // are control ops, which never reach the leaf path.
+            _ => unreachable!("control op reached exec_leaf"),
+        }
+        Ok(())
+    }
+
+    #[inline(always)]
+    fn op_load_const(&mut self, dst: u32, cidx: u32, base: usize) {
+        self.regs[base + dst as usize] = self.fp.consts[cidx as usize];
+    }
+
+    #[inline(always)]
+    fn op_mov(&mut self, dst: u32, src: u32, base: usize) {
+        self.regs[base + dst as usize] = self.regs[base + src as usize];
+    }
+
+    #[inline(always)]
+    fn op_unop(&mut self, op: UnOp, dst: u32, src: u32, base: usize) -> Result<(), RuntimeError> {
+        let v = eval_unop(op, self.regs[base + src as usize])?;
+        self.regs[base + dst as usize] = v;
+        Ok(())
+    }
+
+    #[inline(always)]
+    fn op_binop(
+        &mut self,
+        op: BinOp,
+        dst: u32,
+        lhs: u32,
+        rhs: u32,
+        base: usize,
+    ) -> Result<(), RuntimeError> {
+        let v = eval_binop(
+            op,
+            self.regs[base + lhs as usize],
+            self.regs[base + rhs as usize],
+        )?;
+        self.regs[base + dst as usize] = v;
+        Ok(())
+    }
+
+    #[inline(always)]
+    fn op_const_binop(
+        &mut self,
+        op: BinOp,
+        dst: u32,
+        lhs: u32,
+        cdst: u32,
+        cidx: u32,
+        base: usize,
+    ) -> Result<(), RuntimeError> {
+        // Constant write first — matches unfused order even when
+        // `lhs == cdst`.
+        self.regs[base + cdst as usize] = self.fp.consts[cidx as usize];
+        let v = eval_binop(
+            op,
+            self.regs[base + lhs as usize],
+            self.regs[base + cdst as usize],
+        )?;
+        self.regs[base + dst as usize] = v;
+        Ok(())
+    }
+
+    /// Fused comparison + conditional branch: evaluates the comparison,
+    /// writes `dst` (visible to later blocks), records the branch, and
+    /// returns the destination code offset.
+    #[inline(always)]
+    fn op_cmp_branch(
+        &mut self,
+        op: BinOp,
+        regs: (u32, u32, u32),
+        ctl: (u32, u32, u32),
+        base: usize,
+    ) -> Result<usize, RuntimeError> {
+        let (dst, lhs, rhs) = regs;
+        let (slot, taken, not_taken) = ctl;
+        let v = eval_binop(
+            op,
+            self.regs[base + lhs as usize],
+            self.regs[base + rhs as usize],
+        )?;
+        self.regs[base + dst as usize] = v;
+        // Comparison results are always Int(0|1), so the branch itself can
+        // never type-fault.
+        let is_taken = matches!(v, GuestValue::Int(i) if i != 0);
+        Ok(self.branch_to(slot, is_taken, taken, not_taken))
+    }
+
+    #[inline]
+    fn op_select(
+        &mut self,
+        dst: u32,
+        cond: u32,
+        if_true: u32,
+        if_false: u32,
+        base: usize,
+    ) -> Result<(), RuntimeError> {
+        self.stats.events.selects += 1;
+        let c = want_int(self.regs[base + cond as usize])?;
+        let v = if c != 0 {
+            self.regs[base + if_true as usize]
+        } else {
+            self.regs[base + if_false as usize]
+        };
+        self.regs[base + dst as usize] = v;
+        Ok(())
+    }
+
+    #[inline]
+    fn op_load(&mut self, dst: u32, arr: u32, index: u32, base: usize) -> Result<(), RuntimeError> {
+        let h = want_ref(self.regs[base + arr as usize])?;
+        let i = want_int(self.regs[base + index as usize])?;
+        let v = match &self.heap[h as usize].data {
+            ArrayData::Ints(v) => GuestValue::Int(v[check_index(i, v.len())?]),
+            ArrayData::Floats(v) => GuestValue::Float(v[check_index(i, v.len())?]),
+        };
+        self.regs[base + dst as usize] = v;
+        Ok(())
+    }
+
+    #[inline]
+    fn op_store(
+        &mut self,
+        arr: u32,
+        index: u32,
+        src: u32,
+        base: usize,
+    ) -> Result<(), RuntimeError> {
+        let h = want_ref(self.regs[base + arr as usize])?;
+        let i = want_int(self.regs[base + index as usize])?;
+        let v = self.regs[base + src as usize];
+        let obj = &mut self.heap[h as usize];
+        if obj.read_only {
+            return Err(RuntimeError::ReadOnlyStore);
+        }
+        match &mut obj.data {
+            ArrayData::Ints(data) => {
+                let idx = check_index(i, data.len())?;
+                Arc::make_mut(data)[idx] = want_int(v)?;
+            }
+            ArrayData::Floats(data) => {
+                let idx = check_index(i, data.len())?;
+                Arc::make_mut(data)[idx] = want_float(v)?;
+            }
+        }
+        Ok(())
+    }
+
+    #[inline]
+    fn op_new_int_array(&mut self, dst: u32, len: u32, base: usize) -> Result<(), RuntimeError> {
+        let n = self.check_alloc_len(self.regs[base + len as usize])?;
+        let v = self.alloc(ArrayData::ints(vec![0; n]));
+        self.regs[base + dst as usize] = v;
+        Ok(())
+    }
+
+    #[inline]
+    fn op_new_float_array(&mut self, dst: u32, len: u32, base: usize) -> Result<(), RuntimeError> {
+        let n = self.check_alloc_len(self.regs[base + len as usize])?;
+        let v = self.alloc(ArrayData::floats(vec![0.0; n]));
+        self.regs[base + dst as usize] = v;
+        Ok(())
+    }
+
+    #[inline]
+    fn op_array_len(&mut self, dst: u32, arr: u32, base: usize) -> Result<(), RuntimeError> {
+        let h = want_ref(self.regs[base + arr as usize])?;
+        let len = self.heap[h as usize].data.len() as i64;
+        self.regs[base + dst as usize] = GuestValue::Int(len);
+        Ok(())
+    }
+
+    #[inline(always)]
+    fn op_const_array_ref(&mut self, dst: u32, index: u32, base: usize) {
+        self.regs[base + dst as usize] = GuestValue::Ref(index);
+    }
+
+    #[inline(always)]
+    fn op_global_get(&mut self, dst: u32, global: u32, base: usize) {
+        self.regs[base + dst as usize] = self.globals[global as usize];
+    }
+
+    #[inline(always)]
+    fn op_global_set(&mut self, global: u32, src: u32, base: usize) {
+        self.globals[global as usize] = self.regs[base + src as usize];
+    }
+
+    #[inline(always)]
+    fn op_func_addr(&mut self, dst: u32, func: u32, base: usize) {
+        self.regs[base + dst as usize] = GuestValue::Func(FuncId(func));
+    }
+
+    #[inline(always)]
+    fn op_emit(&mut self, src: u32, base: usize) {
+        let v = self.regs[base + src as usize];
+        self.output.push(v);
+    }
+
+    /// Records a conditional branch (counters and optional trace) and
+    /// returns the code offset control moves to. Mirrors the reference
+    /// terminator arm, including the seeded-defect hooks that perturb only
+    /// the aggregate counters.
+    fn branch_to(&mut self, slot: u32, is_taken: bool, taken: u32, not_taken: u32) -> usize {
+        #[cfg(feature = "seeded-defects")]
+        let recorded = if mfdefect::active("vm-branch-count-polarity") {
+            Some(!is_taken)
+        } else if mfdefect::active("vm-profile-drop-increment") && !is_taken {
+            None
+        } else {
+            Some(is_taken)
+        };
+        #[cfg(not(feature = "seeded-defects"))]
+        let recorded = Some(is_taken);
+        if let Some(direction) = recorded {
+            let hit = &mut self.branch_hits[slot as usize];
+            hit.0 += 1;
+            if direction {
+                hit.1 += 1;
+            }
+        }
+        if self.config.record_branch_trace {
+            self.branch_trace.push(BranchEvent {
+                id: self.fp.branch_ids[slot as usize],
+                taken: is_taken,
+                gap: self.fuel_used - self.last_branch_fuel,
+            });
+            self.last_branch_fuel = self.fuel_used;
+        }
+        (if is_taken { taken } else { not_taken }) as usize
+    }
+
+    fn push_call(
+        &mut self,
+        callee: u32,
+        args: (u32, u32),
+        ret_dst: u32,
+        indirect: bool,
+        ret_pc: usize,
+        base: usize,
+    ) -> Result<(usize, usize), RuntimeError> {
+        if self.frames.len() >= self.config.max_stack {
+            return Err(RuntimeError::StackOverflow {
+                limit: self.config.max_stack,
+            });
+        }
+        let (args_at, nargs) = args;
+        let f = &self.fp.funcs[callee as usize];
+        let new_base = self.regs.len();
+        self.regs
+            .resize(new_base + f.num_regs as usize, GuestValue::Zero);
+        for k in 0..nargs as usize {
+            let src = self.fp.args[args_at as usize + k] as usize;
+            self.regs[new_base + k] = self.regs[base + src];
+        }
+        // The callee's entry BlockHead emits the Pixie bump and the
+        // ENTRY_EDGE_FROM coverage edge (cur_block starts at the sentinel),
+        // exactly like the reference's push_call.
+        self.frames.push(FlatFrame {
+            ret_pc: ret_pc as u32,
+            base: new_base as u32,
+            ret_dst,
+            cur_block: ENTRY_EDGE_FROM,
+            indirect,
+        });
+        Ok((f.entry_pc as usize, new_base))
+    }
+
+    fn spend(&mut self) -> Result<(), RuntimeError> {
+        self.fuel_used += 1;
+        if self.fuel_used > self.config.fuel {
+            Err(RuntimeError::OutOfFuel {
+                limit: self.config.fuel,
+            })
+        } else {
+            Ok(())
+        }
+    }
+
+    fn alloc(&mut self, data: ArrayData) -> GuestValue {
+        let idx = self.heap.len() as u32;
+        self.heap.push(HeapObject {
+            data,
+            read_only: false,
+        });
+        GuestValue::Ref(idx)
+    }
+
+    fn check_alloc_len(&self, v: GuestValue) -> Result<usize, RuntimeError> {
+        let n = want_int(v)?;
+        if n < 0 || n > self.config.max_alloc {
+            Err(RuntimeError::BadArrayLength { len: n })
+        } else {
+            Ok(n as usize)
+        }
+    }
+
+    /// Precise replay of one fuel segment whose bulk charge overshot the
+    /// limit: the charge is rolled back and the segment re-executes charging
+    /// one fuel per component (fused ops decompose) with the limit checked
+    /// before each, reproducing the reference backend's exact fault point
+    /// and error — a `DivideByZero` or `TypeMismatch` mid-segment preempts
+    /// `OutOfFuel` just as it would per-instruction.
+    ///
+    /// The segment entry condition (`fuel_before + cost > limit`) guarantees
+    /// the charge for the segment's final component — a call or the
+    /// terminator — always trips, so control never leaves the segment.
+    #[cold]
+    fn finish_precise(&mut self, mut pc: usize, base: usize, bulk: u32) -> RuntimeError {
+        self.fuel_used -= u64::from(bulk);
+        loop {
+            let op = generalize(self.fp.code[pc]);
+            pc += 1;
+            match op {
+                FlatOp::ConstBinop {
+                    op,
+                    dst,
+                    lhs,
+                    cdst,
+                    cidx,
+                } => {
+                    if let Err(e) = self.spend() {
+                        return e;
+                    }
+                    self.regs[base + cdst as usize] = self.fp.consts[cidx as usize];
+                    if let Err(e) = self.spend() {
+                        return e;
+                    }
+                    match eval_binop(
+                        op,
+                        self.regs[base + lhs as usize],
+                        self.regs[base + cdst as usize],
+                    ) {
+                        Ok(v) => self.regs[base + dst as usize] = v,
+                        Err(e) => return e,
+                    }
+                }
+                FlatOp::CmpBranch {
+                    op, dst, lhs, rhs, ..
+                } => {
+                    if let Err(e) = self.spend() {
+                        return e;
+                    }
+                    match eval_binop(
+                        op,
+                        self.regs[base + lhs as usize],
+                        self.regs[base + rhs as usize],
+                    ) {
+                        Ok(v) => self.regs[base + dst as usize] = v,
+                        Err(e) => return e,
+                    }
+                    return match self.spend() {
+                        Err(e) => e,
+                        Ok(()) => unreachable!("fuel replay must trip at the final component"),
+                    };
+                }
+                FlatOp::Call { .. }
+                | FlatOp::CallIndirect { .. }
+                | FlatOp::Jump { .. }
+                | FlatOp::Branch { .. }
+                | FlatOp::JumpTable { .. }
+                | FlatOp::Return { .. } => {
+                    return match self.spend() {
+                        Err(e) => e,
+                        Ok(()) => unreachable!("fuel replay must trip at the final component"),
+                    };
+                }
+                FlatOp::BlockHead { .. } | FlatOp::Resume { .. } => {
+                    unreachable!("block heads never appear inside a fuel segment")
+                }
+                leaf => {
+                    if let Err(e) = self.spend() {
+                        return e;
+                    }
+                    if let Err(e) = self.exec_leaf(leaf, base) {
+                        return e;
+                    }
+                }
+            }
+        }
+    }
+}

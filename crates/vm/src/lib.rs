@@ -42,10 +42,14 @@
 
 mod counters;
 mod error;
+mod flat;
 mod machine;
 mod value;
 
 pub use counters::{BranchCounts, BreakEvents, PixieCounts, RunStats};
 pub use error::RuntimeError;
-pub use machine::{run_program, BranchEvent, CoverageSink, Run, Vm, VmConfig, ENTRY_EDGE_FROM};
+pub use flat::FlatProgram;
+pub use machine::{
+    run_program, Backend, BranchEvent, CoverageSink, Run, Vm, VmConfig, ENTRY_EDGE_FROM,
+};
 pub use value::{GuestValue, Input};

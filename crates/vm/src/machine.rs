@@ -6,6 +6,60 @@ use crate::counters::{PixieCounts, RunStats};
 use crate::error::RuntimeError;
 use crate::value::{ArrayData, GuestValue, HeapObject, Input};
 
+/// Which execution engine runs the program.
+///
+/// Both backends are observably identical — same [`Run`] (output, result,
+/// stats, branch trace), same coverage edges, same [`RuntimeError`]s at the
+/// same fault points — so the choice is purely a throughput/diagnosability
+/// trade-off. The equivalence is enforced by the fuzzer's flat-vs-reference
+/// differential oracle and by test batteries over the corpus and workloads.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum Backend {
+    /// The tree-walking interpreter over the structured IR: simple, easy to
+    /// audit, and the semantic baseline every other engine is diffed
+    /// against.
+    #[default]
+    Reference,
+    /// The pre-compiled flat bytecode interpreter ([`crate::FlatProgram`]):
+    /// linearized code, fused compare-and-branch superinstructions,
+    /// block-level fuel accounting, and a contiguous register stack. See
+    /// DESIGN.md §9.
+    Flat,
+}
+
+impl Backend {
+    /// The CLI/config spelling of this backend.
+    pub fn name(self) -> &'static str {
+        match self {
+            Backend::Reference => "reference",
+            Backend::Flat => "flat",
+        }
+    }
+
+    /// All backends, in the canonical (reference first) order.
+    pub const ALL: [Backend; 2] = [Backend::Reference, Backend::Flat];
+}
+
+impl std::str::FromStr for Backend {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "reference" => Ok(Backend::Reference),
+            "flat" => Ok(Backend::Flat),
+            other => Err(format!(
+                "unknown backend '{other}' (expected 'reference' or 'flat')"
+            )),
+        }
+    }
+}
+
+impl std::fmt::Display for Backend {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
 /// Resource limits for a run.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct VmConfig {
@@ -21,6 +75,10 @@ pub struct VmConfig {
     /// simulation, mispredict-gap distribution) need the ordering —
     /// aggregate counts always suffice for static prediction.
     pub record_branch_trace: bool,
+    /// The execution engine. Semantically irrelevant (both backends are
+    /// observably identical), but part of the harness run key so cached
+    /// results record which engine produced them.
+    pub backend: Backend,
 }
 
 impl Default for VmConfig {
@@ -30,6 +88,7 @@ impl Default for VmConfig {
             max_stack: 1 << 16,
             max_alloc: 1 << 26,
             record_branch_trace: false,
+            backend: Backend::Reference,
         }
     }
 }
@@ -118,25 +177,34 @@ struct Frame {
 /// An interpreter bound to one program.
 ///
 /// `Vm` borrows the program; construct one per run or reuse it — runs do not
-/// share state.
+/// share state. Under [`Backend::Flat`] the flattened bytecode is compiled
+/// on first use and cached for the `Vm`'s lifetime, so reusing one `Vm`
+/// across runs amortizes the compilation.
 #[derive(Debug)]
 pub struct Vm<'p> {
     program: &'p Program,
     config: VmConfig,
+    flat: std::sync::OnceLock<crate::flat::FlatProgram>,
 }
 
 impl<'p> Vm<'p> {
     /// Creates a VM with default limits.
     pub fn new(program: &'p Program) -> Self {
-        Vm {
-            program,
-            config: VmConfig::default(),
-        }
+        Vm::with_config(program, VmConfig::default())
     }
 
     /// Creates a VM with explicit limits.
     pub fn with_config(program: &'p Program, config: VmConfig) -> Self {
-        Vm { program, config }
+        Vm {
+            program,
+            config,
+            flat: std::sync::OnceLock::new(),
+        }
+    }
+
+    fn flat(&self) -> &crate::flat::FlatProgram {
+        self.flat
+            .get_or_init(|| crate::flat::FlatProgram::compile(self.program))
     }
 
     /// Runs the program's entry function on `inputs`.
@@ -149,7 +217,10 @@ impl<'p> Vm<'p> {
     /// Returns a [`RuntimeError`] on any dynamic fault (bad types, bounds,
     /// division by zero, fuel/stack exhaustion, entry arity mismatch).
     pub fn run(&self, inputs: &[Input]) -> Result<Run, RuntimeError> {
-        Interp::new(self.program, self.config).run(inputs)
+        match self.config.backend {
+            Backend::Reference => Interp::new(self.program, self.config).run(inputs),
+            Backend::Flat => self.flat().run(self.config, inputs),
+        }
     }
 
     /// [`Vm::run`], with every traversed control-flow edge reported to
@@ -164,9 +235,14 @@ impl<'p> Vm<'p> {
         inputs: &[Input],
         sink: &mut dyn CoverageSink,
     ) -> Result<Run, RuntimeError> {
-        let mut interp = Interp::new(self.program, self.config);
-        interp.observer = Some(sink);
-        interp.run(inputs)
+        match self.config.backend {
+            Backend::Reference => {
+                let mut interp = Interp::new(self.program, self.config);
+                interp.observer = Some(sink);
+                interp.run(inputs)
+            }
+            Backend::Flat => self.flat().run_observed(self.config, inputs, sink),
+        }
     }
 }
 
@@ -217,11 +293,14 @@ struct Interp<'p, 'o> {
 
 impl<'p, 'o> Interp<'p, 'o> {
     fn new(program: &'p Program, config: VmConfig) -> Self {
+        // Interned constant arrays are mapped into the heap by reference:
+        // `Arc::clone` per array, never a payload copy (they are read-only,
+        // so the copy-on-write in `Store` can never trigger for them).
         let heap = program
             .const_arrays
             .iter()
             .map(|a| HeapObject {
-                data: ArrayData::Ints(a.clone()),
+                data: ArrayData::Ints(std::sync::Arc::clone(a)),
                 read_only: true,
             })
             .collect();
@@ -263,8 +342,8 @@ impl<'p, 'o> Interp<'p, 'o> {
             regs[i] = match input {
                 Input::Int(v) => GuestValue::Int(*v),
                 Input::Float(v) => GuestValue::Float(*v),
-                Input::Ints(v) => self.alloc(ArrayData::Ints(v.clone())),
-                Input::Floats(v) => self.alloc(ArrayData::Floats(v.clone())),
+                Input::Ints(v) => self.alloc(ArrayData::ints(v.clone())),
+                Input::Floats(v) => self.alloc(ArrayData::floats(v.clone())),
             };
         }
         self.frames.push(Frame {
@@ -289,11 +368,16 @@ impl<'p, 'o> Interp<'p, 'o> {
                 .expect("frame stack never empty here");
             let (fi, bi, ip) = (frame.func, frame.block, frame.ip);
             let block = &program.functions[fi.index()].blocks[bi];
-            self.spend_fuel()?;
-            if ip < block.instrs.len() {
+            let has_instr = ip < block.instrs.len();
+            if has_instr {
                 // Advance before executing so calls resume at the next
-                // instruction when their frame is re-entered.
-                self.frames.last_mut().expect("active frame").ip += 1;
+                // instruction when their frame is re-entered. (Advancing
+                // before the fuel check is unobservable: a fuel fault
+                // aborts the run, so the stale ip is never read.)
+                frame.ip += 1;
+            }
+            self.spend_fuel()?;
+            if has_instr {
                 self.exec_instr(&block.instrs[ip])?;
             } else if let Some(result) = self.exec_terminator(&block.term)? {
                 break result;
@@ -342,14 +426,6 @@ impl<'p, 'o> Interp<'p, 'o> {
         let v = self.reg(r);
         v.as_int().ok_or(RuntimeError::TypeMismatch {
             expected: "int",
-            found: v.type_name(),
-        })
-    }
-
-    fn float(&self, r: Reg) -> Result<f64, RuntimeError> {
-        let v = self.reg(r);
-        v.as_float().ok_or(RuntimeError::TypeMismatch {
-            expected: "float",
             found: v.type_name(),
         })
     }
@@ -426,31 +502,36 @@ impl<'p, 'o> Interp<'p, 'o> {
                 if obj.read_only {
                     return Err(RuntimeError::ReadOnlyStore);
                 }
+                // `make_mut` is the copy-on-write point; mutable arrays are
+                // uniquely owned (only interned constants share payloads,
+                // and those were rejected above), so it never copies.
                 match &mut obj.data {
                     ArrayData::Ints(data) => {
                         let idx = Self::check_index(i, data.len())?;
-                        data[idx] = v.as_int().ok_or(RuntimeError::TypeMismatch {
-                            expected: "int",
-                            found: v.type_name(),
-                        })?;
+                        std::sync::Arc::make_mut(data)[idx] =
+                            v.as_int().ok_or(RuntimeError::TypeMismatch {
+                                expected: "int",
+                                found: v.type_name(),
+                            })?;
                     }
                     ArrayData::Floats(data) => {
                         let idx = Self::check_index(i, data.len())?;
-                        data[idx] = v.as_float().ok_or(RuntimeError::TypeMismatch {
-                            expected: "float",
-                            found: v.type_name(),
-                        })?;
+                        std::sync::Arc::make_mut(data)[idx] =
+                            v.as_float().ok_or(RuntimeError::TypeMismatch {
+                                expected: "float",
+                                found: v.type_name(),
+                            })?;
                     }
                 }
             }
             Instr::NewIntArray { dst, len } => {
                 let n = self.check_alloc_len(*len)?;
-                let v = self.alloc(ArrayData::Ints(vec![0; n]));
+                let v = self.alloc(ArrayData::ints(vec![0; n]));
                 self.set_reg(*dst, v);
             }
             Instr::NewFloatArray { dst, len } => {
                 let n = self.check_alloc_len(*len)?;
-                let v = self.alloc(ArrayData::Floats(vec![0.0; n]));
+                let v = self.alloc(ArrayData::floats(vec![0.0; n]));
                 self.set_reg(*dst, v);
             }
             Instr::ArrayLen { dst, arr } => {
@@ -635,69 +716,101 @@ impl<'p, 'o> Interp<'p, 'o> {
     }
 
     fn exec_unop(&mut self, op: UnOp, src: Reg) -> Result<GuestValue, RuntimeError> {
-        Ok(match op {
-            UnOp::Neg => GuestValue::Int(self.int(src)?.wrapping_neg()),
-            UnOp::FNeg => GuestValue::Float(-self.float(src)?),
-            UnOp::Not => GuestValue::Int(!self.int(src)?),
-            UnOp::LNot => GuestValue::Int(i64::from(self.int(src)? == 0)),
-            UnOp::IntToFloat => GuestValue::Float(self.int(src)? as f64),
-            UnOp::FloatToInt => GuestValue::Int(self.float(src)? as i64),
-            UnOp::Sqrt => GuestValue::Float(self.float(src)?.sqrt()),
-            UnOp::Sin => GuestValue::Float(self.float(src)?.sin()),
-            UnOp::Cos => GuestValue::Float(self.float(src)?.cos()),
-            UnOp::Exp => GuestValue::Float(self.float(src)?.exp()),
-            UnOp::Log => GuestValue::Float(self.float(src)?.ln()),
-            UnOp::Floor => GuestValue::Float(self.float(src)?.floor()),
-            UnOp::Abs => GuestValue::Int(self.int(src)?.wrapping_abs()),
-            UnOp::FAbs => GuestValue::Float(self.float(src)?.abs()),
-        })
+        eval_unop(op, self.reg(src))
     }
 
     fn exec_binop(&mut self, op: BinOp, lhs: Reg, rhs: Reg) -> Result<GuestValue, RuntimeError> {
-        use BinOp::*;
-        Ok(match op {
-            Add => GuestValue::Int(self.int(lhs)?.wrapping_add(self.int(rhs)?)),
-            Sub => GuestValue::Int(self.int(lhs)?.wrapping_sub(self.int(rhs)?)),
-            Mul => GuestValue::Int(self.int(lhs)?.wrapping_mul(self.int(rhs)?)),
-            Div => {
-                let d = self.int(rhs)?;
-                if d == 0 {
-                    return Err(RuntimeError::DivideByZero);
-                }
-                GuestValue::Int(self.int(lhs)?.wrapping_div(d))
-            }
-            Rem => {
-                let d = self.int(rhs)?;
-                if d == 0 {
-                    return Err(RuntimeError::DivideByZero);
-                }
-                GuestValue::Int(self.int(lhs)?.wrapping_rem(d))
-            }
-            FAdd => GuestValue::Float(self.float(lhs)? + self.float(rhs)?),
-            FSub => GuestValue::Float(self.float(lhs)? - self.float(rhs)?),
-            FMul => GuestValue::Float(self.float(lhs)? * self.float(rhs)?),
-            FDiv => GuestValue::Float(self.float(lhs)? / self.float(rhs)?),
-            And => GuestValue::Int(self.int(lhs)? & self.int(rhs)?),
-            Or => GuestValue::Int(self.int(lhs)? | self.int(rhs)?),
-            Xor => GuestValue::Int(self.int(lhs)? ^ self.int(rhs)?),
-            Shl => GuestValue::Int(self.int(lhs)?.wrapping_shl(self.int(rhs)? as u32 & 63)),
-            Shr => GuestValue::Int(self.int(lhs)?.wrapping_shr(self.int(rhs)? as u32 & 63)),
-            Eq => GuestValue::Int(i64::from(self.int(lhs)? == self.int(rhs)?)),
-            Ne => GuestValue::Int(i64::from(self.int(lhs)? != self.int(rhs)?)),
-            Lt => GuestValue::Int(i64::from(self.int(lhs)? < self.int(rhs)?)),
-            Le => GuestValue::Int(i64::from(self.int(lhs)? <= self.int(rhs)?)),
-            Gt => GuestValue::Int(i64::from(self.int(lhs)? > self.int(rhs)?)),
-            Ge => GuestValue::Int(i64::from(self.int(lhs)? >= self.int(rhs)?)),
-            FEq => GuestValue::Int(i64::from(self.float(lhs)? == self.float(rhs)?)),
-            FNe => GuestValue::Int(i64::from(self.float(lhs)? != self.float(rhs)?)),
-            FLt => GuestValue::Int(i64::from(self.float(lhs)? < self.float(rhs)?)),
-            FLe => GuestValue::Int(i64::from(self.float(lhs)? <= self.float(rhs)?)),
-            FGt => GuestValue::Int(i64::from(self.float(lhs)? > self.float(rhs)?)),
-            FGe => GuestValue::Int(i64::from(self.float(lhs)? >= self.float(rhs)?)),
-            FMin => GuestValue::Float(self.float(lhs)?.min(self.float(rhs)?)),
-            FMax => GuestValue::Float(self.float(lhs)?.max(self.float(rhs)?)),
-        })
+        eval_binop(op, self.reg(lhs), self.reg(rhs))
     }
+}
+
+pub(crate) fn want_int(v: GuestValue) -> Result<i64, RuntimeError> {
+    v.as_int().ok_or(RuntimeError::TypeMismatch {
+        expected: "int",
+        found: v.type_name(),
+    })
+}
+
+pub(crate) fn want_float(v: GuestValue) -> Result<f64, RuntimeError> {
+    v.as_float().ok_or(RuntimeError::TypeMismatch {
+        expected: "float",
+        found: v.type_name(),
+    })
+}
+
+/// Evaluates one unary operation. Shared by both backends so their value
+/// semantics cannot drift.
+pub(crate) fn eval_unop(op: UnOp, v: GuestValue) -> Result<GuestValue, RuntimeError> {
+    Ok(match op {
+        UnOp::Neg => GuestValue::Int(want_int(v)?.wrapping_neg()),
+        UnOp::FNeg => GuestValue::Float(-want_float(v)?),
+        UnOp::Not => GuestValue::Int(!want_int(v)?),
+        UnOp::LNot => GuestValue::Int(i64::from(want_int(v)? == 0)),
+        UnOp::IntToFloat => GuestValue::Float(want_int(v)? as f64),
+        UnOp::FloatToInt => GuestValue::Int(want_float(v)? as i64),
+        UnOp::Sqrt => GuestValue::Float(want_float(v)?.sqrt()),
+        UnOp::Sin => GuestValue::Float(want_float(v)?.sin()),
+        UnOp::Cos => GuestValue::Float(want_float(v)?.cos()),
+        UnOp::Exp => GuestValue::Float(want_float(v)?.exp()),
+        UnOp::Log => GuestValue::Float(want_float(v)?.ln()),
+        UnOp::Floor => GuestValue::Float(want_float(v)?.floor()),
+        UnOp::Abs => GuestValue::Int(want_int(v)?.wrapping_abs()),
+        UnOp::FAbs => GuestValue::Float(want_float(v)?.abs()),
+    })
+}
+
+/// Evaluates one binary operation on already-fetched operands. Shared by
+/// both backends; the operand *type-check* order matches the historical
+/// reference interpreter (left first, except `Div`/`Rem`, which inspect the
+/// divisor first so `DivideByZero` outranks a left-operand type error).
+pub(crate) fn eval_binop(
+    op: BinOp,
+    l: GuestValue,
+    r: GuestValue,
+) -> Result<GuestValue, RuntimeError> {
+    use BinOp::*;
+    Ok(match op {
+        Add => GuestValue::Int(want_int(l)?.wrapping_add(want_int(r)?)),
+        Sub => GuestValue::Int(want_int(l)?.wrapping_sub(want_int(r)?)),
+        Mul => GuestValue::Int(want_int(l)?.wrapping_mul(want_int(r)?)),
+        Div => {
+            let d = want_int(r)?;
+            if d == 0 {
+                return Err(RuntimeError::DivideByZero);
+            }
+            GuestValue::Int(want_int(l)?.wrapping_div(d))
+        }
+        Rem => {
+            let d = want_int(r)?;
+            if d == 0 {
+                return Err(RuntimeError::DivideByZero);
+            }
+            GuestValue::Int(want_int(l)?.wrapping_rem(d))
+        }
+        FAdd => GuestValue::Float(want_float(l)? + want_float(r)?),
+        FSub => GuestValue::Float(want_float(l)? - want_float(r)?),
+        FMul => GuestValue::Float(want_float(l)? * want_float(r)?),
+        FDiv => GuestValue::Float(want_float(l)? / want_float(r)?),
+        And => GuestValue::Int(want_int(l)? & want_int(r)?),
+        Or => GuestValue::Int(want_int(l)? | want_int(r)?),
+        Xor => GuestValue::Int(want_int(l)? ^ want_int(r)?),
+        Shl => GuestValue::Int(want_int(l)?.wrapping_shl(want_int(r)? as u32 & 63)),
+        Shr => GuestValue::Int(want_int(l)?.wrapping_shr(want_int(r)? as u32 & 63)),
+        Eq => GuestValue::Int(i64::from(want_int(l)? == want_int(r)?)),
+        Ne => GuestValue::Int(i64::from(want_int(l)? != want_int(r)?)),
+        Lt => GuestValue::Int(i64::from(want_int(l)? < want_int(r)?)),
+        Le => GuestValue::Int(i64::from(want_int(l)? <= want_int(r)?)),
+        Gt => GuestValue::Int(i64::from(want_int(l)? > want_int(r)?)),
+        Ge => GuestValue::Int(i64::from(want_int(l)? >= want_int(r)?)),
+        FEq => GuestValue::Int(i64::from(want_float(l)? == want_float(r)?)),
+        FNe => GuestValue::Int(i64::from(want_float(l)? != want_float(r)?)),
+        FLt => GuestValue::Int(i64::from(want_float(l)? < want_float(r)?)),
+        FLe => GuestValue::Int(i64::from(want_float(l)? <= want_float(r)?)),
+        FGt => GuestValue::Int(i64::from(want_float(l)? > want_float(r)?)),
+        FGe => GuestValue::Int(i64::from(want_float(l)? >= want_float(r)?)),
+        FMin => GuestValue::Float(want_float(l)?.min(want_float(r)?)),
+        FMax => GuestValue::Float(want_float(l)?.max(want_float(r)?)),
+    })
 }
 
 impl std::ops::Index<Reg> for Frame {

@@ -111,13 +111,26 @@ impl Input {
 }
 
 /// Array storage: homogeneous int or float payload.
+///
+/// Payloads sit behind `Arc` so interned constant arrays can be mapped
+/// into a run's heap by reference instead of cloned per run; mutable
+/// arrays are uniquely owned, so the copy-on-write in `Store` never
+/// actually copies (read-only arrays reject stores before reaching it).
 #[derive(Clone, Debug, PartialEq)]
 pub(crate) enum ArrayData {
-    Ints(Vec<i64>),
-    Floats(Vec<f64>),
+    Ints(std::sync::Arc<Vec<i64>>),
+    Floats(std::sync::Arc<Vec<f64>>),
 }
 
 impl ArrayData {
+    pub(crate) fn ints(v: Vec<i64>) -> Self {
+        ArrayData::Ints(std::sync::Arc::new(v))
+    }
+
+    pub(crate) fn floats(v: Vec<f64>) -> Self {
+        ArrayData::Floats(std::sync::Arc::new(v))
+    }
+
     pub(crate) fn len(&self) -> usize {
         match self {
             ArrayData::Ints(v) => v.len(),

@@ -1,0 +1,81 @@
+//! Proves const arrays are shared, not cloned per run: after a warmup run
+//! has paid one-time costs (the flat backend's flatten pass, vector
+//! growth), a further run of a program with a large const array must
+//! allocate far less than the array's size, on both backends.
+//!
+//! Lives in its own integration-test binary because the counting
+//! `#[global_allocator]` is process-wide.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use trace_ir::builder::{FunctionBuilder, ProgramBuilder};
+use trace_ir::BinOp;
+use trace_vm::{Backend, Input, Vm, VmConfig};
+
+/// Forwards to the system allocator, tallying allocated bytes.
+struct CountingAlloc;
+
+static ALLOCATED: AtomicU64 = AtomicU64::new(0);
+
+// SAFETY: pure pass-through to `System`; the counter is a relaxed atomic
+// with no allocation of its own.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATED.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static COUNTER: CountingAlloc = CountingAlloc;
+
+const ARRAY_LEN: usize = 1 << 16;
+const ARRAY_BYTES: u64 = (ARRAY_LEN * 8) as u64;
+
+/// `main(i) { a = const_array_0; emit a[i] + len(a); return it }` over a
+/// 64 Ki-element interned array.
+fn big_const_array_program() -> trace_ir::Program {
+    let mut pb = ProgramBuilder::new();
+    let data: Vec<i64> = (0..ARRAY_LEN as i64).collect();
+    let idx = pb.intern_array(data);
+    let mut f = FunctionBuilder::new("main", 1);
+    let i = f.param(0);
+    let a = f.const_array(idx);
+    let v = f.load(a, i);
+    let len = f.array_len(a);
+    let s = f.binop(BinOp::Add, v, len);
+    f.emit_value(s);
+    f.ret(Some(s));
+    pb.add_function(f.finish());
+    pb.finish("main").unwrap()
+}
+
+#[test]
+fn runs_do_not_clone_const_arrays() {
+    let program = big_const_array_program();
+    for backend in Backend::ALL {
+        let vm = Vm::with_config(
+            &program,
+            VmConfig {
+                backend,
+                ..VmConfig::default()
+            },
+        );
+        let expected = vm.run(&[Input::Int(7)]).expect("warmup run");
+        let before = ALLOCATED.load(Ordering::Relaxed);
+        let run = vm.run(&[Input::Int(7)]).expect("measured run");
+        let during = ALLOCATED.load(Ordering::Relaxed) - before;
+        assert_eq!(run, expected, "{backend}: runs not deterministic");
+        assert!(
+            during < ARRAY_BYTES / 8,
+            "{backend}: a run allocated {during} bytes — on the order of \
+             the {ARRAY_BYTES}-byte const array, so it is being cloned \
+             per run instead of shared"
+        );
+    }
+}
