@@ -14,16 +14,19 @@
 //! pass `--no-cache` for a cold start), and a scheduler/cache summary is
 //! printed at the end.
 
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::process::ExitCode;
+use std::sync::Arc;
 
 use mfbench::{
     collect, combination_table, configure_harness, coverage_table, crossmode_table,
     distribution_table, dynamic_table, fig1_chart, fig2_chart, fig2_rows, fig3_chart, fig3_rows,
     harness, heuristic_table, inlining_table, percent_correct_table, percent_taken_table,
-    selects_table, table1, table2, table3, SuiteRuns,
+    record_suite, selects_table, table1, table2, table3, SuiteRuns,
 };
+use mffault::{FaultPlan, FaultVfs, RealVfs, RetryPolicy, Vfs};
 use mfharness::{DiskCache, HarnessOptions};
+use mfprofdb::ProfileStore;
 use mfwork::Group;
 
 const WIDTH: usize = 60;
@@ -70,6 +73,16 @@ options:
                       optimization passes (a defective pass aborts, named)
                       and stamp each run record with its program's
                       verification digest
+  --profile-db DIR    append every collected run's branch profile to the
+                      crash-safe profile database at DIR (created on
+                      first use; repeat invocations accumulate) and print
+                      a persistence summary
+  --io-retries N      bounded retries for transient I/O faults in the
+                      run cache and profile db (default: 2)
+  --fault-seed N      deterministically inject I/O faults into the run
+                      cache and profile db (a robustness experiment:
+                      tables and figures stay exact; persistence may
+                      degrade without failing the run)
   -h, --help          this message";
 
 struct Options {
@@ -78,6 +91,9 @@ struct Options {
     json_metrics: Option<PathBuf>,
     no_cache: bool,
     verify_each: bool,
+    profile_db: Option<PathBuf>,
+    io_retries: Option<u32>,
+    fault_seed: Option<u64>,
 }
 
 fn usage_error(message: &str) -> ExitCode {
@@ -92,6 +108,9 @@ fn parse_args(args: &[String]) -> Result<Option<Options>, String> {
         json_metrics: None,
         no_cache: false,
         verify_each: false,
+        profile_db: None,
+        io_retries: None,
+        fault_seed: None,
     };
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
@@ -126,6 +145,23 @@ fn parse_args(args: &[String]) -> Result<Option<Options>, String> {
             }
             "--no-cache" => options.no_cache = true,
             "--verify-each" => options.verify_each = true,
+            "--profile-db" => {
+                options.profile_db = Some(PathBuf::from(value(&mut iter)?));
+            }
+            "--io-retries" => {
+                let v = value(&mut iter)?;
+                options.io_retries = Some(
+                    v.parse()
+                        .map_err(|_| format!("--io-retries expects a retry count, got '{v}'"))?,
+                );
+            }
+            "--fault-seed" => {
+                let v = value(&mut iter)?;
+                options.fault_seed =
+                    Some(v.parse().map_err(|_| {
+                        format!("--fault-seed expects an unsigned seed, got '{v}'")
+                    })?);
+            }
             _ if inline_value.is_none() && SECTIONS.contains(&flag) => {
                 options.sections.push(flag.to_string());
             }
@@ -166,6 +202,16 @@ fn main() -> ExitCode {
         harness_options.verify = true;
         mfbench::set_verify_each(true);
     }
+    if options.io_retries.is_some() {
+        harness_options.io_retries = options.io_retries;
+    }
+    if options.fault_seed.is_some() {
+        harness_options.fault_seed = options.fault_seed;
+    }
+    let mut store = options
+        .profile_db
+        .as_ref()
+        .map(|dir| open_profile_db(dir, &harness_options));
     configure_harness(harness_options);
     let want =
         |flag: &str| options.sections.is_empty() || options.sections.iter().any(|s| s == flag);
@@ -175,8 +221,15 @@ fn main() -> ExitCode {
         print!("{}", table2().render());
         if options.sections == ["--table2"] {
             // Nothing ran, but --json-metrics still deserves a (zeroed)
-            // report — and a failure exit if the path is unwritable.
-            return write_json_metrics(&options);
+            // report — and a failure exit if the path is unwritable or
+            // the profile database could not be made persistent.
+            let db_failed = profile_db_summary(&options, store.as_ref());
+            let metrics = write_json_metrics(&options);
+            return if db_failed {
+                ExitCode::from(2)
+            } else {
+                metrics
+            };
         }
     }
 
@@ -195,6 +248,19 @@ fn main() -> ExitCode {
         total,
         start.elapsed().as_secs_f64()
     );
+    if let Some(store) = store.as_mut() {
+        let (committed, in_memory) =
+            record_suite(store, &s).expect("probabilistic fault plans never include crash points");
+        eprintln!(
+            "profile db: recorded {} runs ({committed} durable, {in_memory} in memory)",
+            committed + in_memory
+        );
+        // Fold the accumulated history into one frame per dataset so the
+        // database stays bounded across repeat invocations.
+        store
+            .compact()
+            .expect("probabilistic fault plans never include crash points");
+    }
 
     if want("--table1") {
         section("Table 1: dynamic dead code the compiler's DCE would remove");
@@ -298,7 +364,70 @@ fn main() -> ExitCode {
             dir.display()
         );
     }
-    write_json_metrics(&options)
+    let db_failed = profile_db_summary(&options, store.as_ref());
+    let metrics = write_json_metrics(&options);
+    if db_failed {
+        ExitCode::from(2)
+    } else {
+        metrics
+    }
+}
+
+/// Opens the `--profile-db` store, with fault injection and retry budget
+/// matching the harness's own I/O discipline.
+fn open_profile_db(dir: &Path, harness_options: &HarnessOptions) -> ProfileStore {
+    let vfs: Arc<dyn Vfs> = match harness_options.fault_seed {
+        Some(seed) => Arc::new(FaultVfs::new(
+            Arc::new(RealVfs) as Arc<dyn Vfs>,
+            FaultPlan::from_seed(seed),
+        )),
+        None => Arc::new(RealVfs),
+    };
+    let open_options = mfprofdb::OpenOptions {
+        retry: RetryPolicy::immediate(harness_options.io_retries.unwrap_or(2)),
+        ..mfprofdb::OpenOptions::default()
+    };
+    ProfileStore::open(vfs, dir, open_options)
+        .expect("probabilistic fault plans never include crash points")
+}
+
+/// Prints the profile-database section and surfaces its warnings. Returns
+/// true when the run must fail: the database could not be made (or kept)
+/// persistent and no fault injection was requested, so data the user
+/// asked to keep exists only in this process's memory.
+fn profile_db_summary(options: &Options, store: Option<&ProfileStore>) -> bool {
+    let Some(store) = store else {
+        return false;
+    };
+    section("Profile database");
+    let c = store.counters();
+    println!("path: {}", store.dir().display());
+    println!(
+        "state: {}",
+        if store.is_persistent() {
+            "persistent"
+        } else {
+            "in-memory only (degraded)"
+        }
+    );
+    println!("  datasets                 {}", store.datasets().len());
+    println!("  records committed        {}", c.committed_appends);
+    println!("  records in memory only   {}", c.degraded_appends);
+    println!("  records salvaged at open {}", c.salvaged_records);
+    println!("  torn bytes truncated     {}", c.truncated_bytes);
+    println!("  io retries               {}", c.io_retries);
+    println!("  compactions              {}", c.compactions);
+    for w in store.warnings() {
+        eprintln!("repro: warning: {w}");
+    }
+    if !store.is_persistent() && options.fault_seed.is_none() {
+        eprintln!(
+            "repro: profile database at {} is not persistent",
+            store.dir().display()
+        );
+        return true;
+    }
+    false
 }
 
 /// Writes the harness report to `--json-metrics` (when requested) and turns

@@ -243,6 +243,27 @@ pub fn collect() -> SuiteRuns {
     collect_with(harness())
 }
 
+/// Appends every collected run's branch counters to the profile database,
+/// one record per program × dataset labelled `program/dataset`. Returns
+/// `(committed, in_memory_only)` record counts; `Err` only on an injected
+/// crash point (never from a probabilistic fault plan).
+pub fn record_suite(
+    store: &mut mfprofdb::ProfileStore,
+    s: &SuiteRuns,
+) -> Result<(usize, usize), mfprofdb::DbError> {
+    let (mut committed, mut degraded) = (0usize, 0usize);
+    for w in &s.workloads {
+        for r in &w.runs {
+            let label = format!("{}/{}", w.name, r.dataset);
+            match store.append(&label, &r.stats.branches)? {
+                mfprofdb::Persistence::Committed => committed += 1,
+                mfprofdb::Persistence::Degraded => degraded += 1,
+            }
+        }
+    }
+    Ok((committed, degraded))
+}
+
 /// [`collect`] through an explicit harness (tests use this to pin worker
 /// counts and cache modes).
 pub fn collect_with(h: &Harness) -> SuiteRuns {
@@ -1004,7 +1025,7 @@ mod tests {
         Harness::new(HarnessOptions {
             jobs: Some(jobs),
             disk_cache: DiskCache::Off,
-            verify: false,
+            ..HarnessOptions::default()
         })
     }
 

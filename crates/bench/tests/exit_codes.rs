@@ -88,6 +88,92 @@ fn repro_writable_json_metrics_exits_zero() {
 }
 
 #[test]
+fn repro_profile_db_flag_values_are_validated() {
+    for args in [
+        &["--io-retries", "many"][..],
+        &["--io-retries"][..],
+        &["--fault-seed", "stormy"][..],
+        &["--fault-seed"][..],
+        &["--profile-db"][..],
+    ] {
+        let out = repro(args);
+        assert_eq!(
+            out.status.code(),
+            Some(2),
+            "repro {args:?}: {}",
+            stderr(&out)
+        );
+    }
+}
+
+#[test]
+fn repro_profile_db_to_a_writable_dir_exits_zero() {
+    let dir = temp_path("profdb-ok");
+    let _ = std::fs::remove_dir_all(&dir);
+    let out = repro(&[
+        "--table2",
+        "--no-cache",
+        "--profile-db",
+        dir.to_str().unwrap(),
+    ]);
+    assert_eq!(out.status.code(), Some(0), "stderr: {}", stderr(&out));
+    let stdout = String::from_utf8_lossy(&out.stdout).into_owned();
+    assert!(
+        stdout.contains("Profile database") && stdout.contains("persistent"),
+        "summary section missing: {stdout}"
+    );
+    // The store really hit the disk: an empty but valid segment exists.
+    let segments = std::fs::read_dir(&dir)
+        .expect("db dir created")
+        .filter(|e| {
+            e.as_ref()
+                .unwrap()
+                .path()
+                .extension()
+                .is_some_and(|x| x == "mfdb")
+        })
+        .count();
+    assert_eq!(segments, 1, "one live segment expected");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn repro_unusable_profile_db_exits_two_unless_faults_were_requested() {
+    // A file where the db directory should be: the store degrades to
+    // in-memory accumulation. Without fault injection that loses data
+    // the user asked to keep — exit 2, with the warning surfaced.
+    let blocker = temp_path("profdb-blocker");
+    std::fs::write(&blocker, b"not a directory").unwrap();
+    let db = blocker.join("db");
+
+    let out = repro(&[
+        "--table2",
+        "--no-cache",
+        "--profile-db",
+        db.to_str().unwrap(),
+    ]);
+    assert_eq!(out.status.code(), Some(2), "stderr: {}", stderr(&out));
+    assert!(
+        stderr(&out).contains("not persistent"),
+        "stderr: {}",
+        stderr(&out)
+    );
+
+    // Under --fault-seed, degradation is the experiment, not a failure.
+    let out = repro(&[
+        "--table2",
+        "--no-cache",
+        "--profile-db",
+        db.to_str().unwrap(),
+        "--fault-seed",
+        "7",
+    ]);
+    assert_eq!(out.status.code(), Some(0), "stderr: {}", stderr(&out));
+
+    let _ = std::fs::remove_file(&blocker);
+}
+
+#[test]
 fn mflint_exit_codes_span_the_contract() {
     // 0: clean source.
     let clean = temp_path("clean.mf");

@@ -49,13 +49,17 @@ pub const KNOWN: &[&str] = &[
     "profile-directive-ordinal",
     // ifprob: the Scaled combine rule inflates taken weight by 1.5x.
     "profile-combine-taken-inflate",
+    // mfprofdb: frame validation skips the checksum comparison, so
+    // corrupted segment tails are accepted instead of salvaged away.
+    "profdb-checksum-skipped",
 ];
 
 static ACTIVE_COUNT: AtomicUsize = AtomicUsize::new(0);
 
 // One flag per KNOWN entry, same order. `AtomicBool::new(false)` is not
 // const-cloneable, hence the explicit list sized by a compile-time check.
-static FLAGS: [AtomicBool; 9] = [
+static FLAGS: [AtomicBool; 10] = [
+    AtomicBool::new(false),
     AtomicBool::new(false),
     AtomicBool::new(false),
     AtomicBool::new(false),

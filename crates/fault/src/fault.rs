@@ -1,0 +1,610 @@
+//! The seeded fault injector.
+//!
+//! [`FaultVfs`] wraps any [`Vfs`] and, for every *mutating* operation,
+//! consults a [`FaultPlan`]: a single u64 seed expands (via SplitMix64)
+//! into a reproducible stream of decisions — inject a transient error, an
+//! `ENOSPC`, a short write, a torn rename, or proceed. A hard crash-point
+//! (`crash_at = Some(k)`) fires on the k-th mutating operation: a partial
+//! effect is applied (a prefix of the data, or a coin-flip for
+//! all-or-nothing operations), and from then on every operation fails —
+//! the accessor is "dead". Drop it and reopen the underlying store with a
+//! clean accessor to simulate a reboot.
+//!
+//! Read operations are never faulted (except after a crash): the fault
+//! model covers losing or tearing *writes*; read-side corruption is
+//! exercised separately by flipping bytes on the underlying store.
+//!
+//! The wrapped store is always-durable (notably [`crate::MemVfs`]), so
+//! `sync` is a commit *marker*, not a buffer flush: a crash between an
+//! append and its sync still leaves the appended bytes visible. Crash
+//! batteries must therefore assert "recovered state is a prefix bounded
+//! below by acknowledged syncs", not exact equality with them.
+
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex};
+
+use crate::{injected_error, splitmix64, FaultKind, Vfs};
+
+/// Everything a [`FaultVfs`] needs to decide the fate of each operation.
+/// All rates are per-mille (0..=1000) per mutating operation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// Seed for every random decision; equal plans replay identically.
+    pub seed: u64,
+    /// Probability a data write lands only a prefix.
+    pub short_write_per_mille: u16,
+    /// Probability a data write fails with `ENOSPC` (a prefix may land).
+    pub enospc_per_mille: u16,
+    /// Probability any mutation fails with a retryable transient error.
+    pub transient_per_mille: u16,
+    /// Probability a rename tears (destination = prefix, source remains).
+    pub torn_rename_per_mille: u16,
+    /// Hard crash on this mutating-op index (0-based, counted since
+    /// construction).
+    pub crash_at: Option<u64>,
+    /// Deny every mutation with `PermissionDenied` (read-only filesystem).
+    pub deny_writes: bool,
+}
+
+impl FaultPlan {
+    /// No faults at all — useful for counting mutating ops.
+    pub fn none() -> Self {
+        FaultPlan {
+            seed: 0,
+            short_write_per_mille: 0,
+            enospc_per_mille: 0,
+            transient_per_mille: 0,
+            torn_rename_per_mille: 0,
+            crash_at: None,
+            deny_writes: false,
+        }
+    }
+
+    /// A moderate mixed plan derived entirely from `seed`: each fault
+    /// class gets a rate in 0..=80‰ (transients up to 160‰), so long
+    /// scripts see several injections without drowning.
+    pub fn from_seed(seed: u64) -> Self {
+        let mut s = seed ^ 0xF4A7_0000_0000_0001;
+        FaultPlan {
+            seed,
+            short_write_per_mille: (splitmix64(&mut s) % 81) as u16,
+            enospc_per_mille: (splitmix64(&mut s) % 81) as u16,
+            transient_per_mille: (splitmix64(&mut s) % 161) as u16,
+            torn_rename_per_mille: (splitmix64(&mut s) % 81) as u16,
+            crash_at: None,
+            deny_writes: false,
+        }
+    }
+
+    /// Crash on mutating op `k`, no other faults.
+    pub fn crash_at(k: u64) -> Self {
+        FaultPlan {
+            crash_at: Some(k),
+            ..FaultPlan::none()
+        }
+    }
+
+    /// Deny all mutation — simulates a read-only filesystem.
+    pub fn deny_writes() -> Self {
+        FaultPlan {
+            deny_writes: true,
+            ..FaultPlan::none()
+        }
+    }
+
+    /// Transient errors only, at the given per-mille rate.
+    pub fn transient(seed: u64, per_mille: u16) -> Self {
+        FaultPlan {
+            seed,
+            transient_per_mille: per_mille,
+            ..FaultPlan::none()
+        }
+    }
+}
+
+/// Running totals of what a [`FaultVfs`] actually injected.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FaultCounters {
+    /// Transient (`EINTR`-style) errors injected.
+    pub transients: u64,
+    /// Short writes injected.
+    pub short_writes: u64,
+    /// `ENOSPC` errors injected.
+    pub enospc: u64,
+    /// Torn renames injected.
+    pub torn_renames: u64,
+    /// Mutations denied by a read-only plan.
+    pub denied: u64,
+    /// Hard crashes fired (0 or 1).
+    pub crashes: u64,
+}
+
+#[derive(Debug)]
+struct FaultState {
+    plan: FaultPlan,
+    rng: u64,
+    ops: u64,
+    counters: FaultCounters,
+    crashed: bool,
+}
+
+/// A [`Vfs`] wrapper injecting faults per a [`FaultPlan`].
+#[derive(Debug)]
+pub struct FaultVfs {
+    inner: Arc<dyn Vfs>,
+    state: Mutex<FaultState>,
+}
+
+/// The outcome decided for one mutating operation (rng already advanced).
+enum Gate {
+    /// No fault; delegate.
+    Proceed,
+    /// Fail with this kind; no effect applied.
+    Fail(FaultKind),
+    /// Apply a `cut`-byte prefix of the data, then fail with the kind.
+    Partial(usize, FaultKind),
+    /// Crash-point on a data op: apply a `cut`-byte prefix, then die.
+    CrashData(usize),
+    /// Crash-point on an all-or-nothing op: `true` = op applied fully
+    /// before the crash, `false` = not at all.
+    CrashToggle(bool),
+}
+
+impl FaultVfs {
+    /// Wraps `inner` with `plan`.
+    pub fn new(inner: Arc<dyn Vfs>, plan: FaultPlan) -> Self {
+        FaultVfs {
+            inner,
+            state: Mutex::new(FaultState {
+                rng: plan.seed,
+                plan,
+                ops: 0,
+                counters: FaultCounters::default(),
+                crashed: false,
+            }),
+        }
+    }
+
+    /// Mutating operations observed so far (including faulted ones) —
+    /// run a fault-free plan first to learn a script's crash-point count.
+    pub fn op_count(&self) -> u64 {
+        self.state.lock().expect("fault lock").ops
+    }
+
+    /// What was injected so far.
+    pub fn counters(&self) -> FaultCounters {
+        self.state.lock().expect("fault lock").counters
+    }
+
+    /// True once a crash-point fired; every operation fails from then on.
+    pub fn crashed(&self) -> bool {
+        self.state.lock().expect("fault lock").crashed
+    }
+
+    /// Replaces the plan mid-flight (reseeding the rng from the new
+    /// plan's seed). The mutating-op counter keeps running, so a
+    /// `crash_at` in the new plan still refers to the index counted since
+    /// construction.
+    pub fn set_plan(&self, plan: FaultPlan) {
+        let mut state = self.state.lock().expect("fault lock");
+        state.rng = plan.seed;
+        state.plan = plan;
+    }
+
+    /// Decides the fate of one mutating op. `data_len` is `Some` for
+    /// prefix-capable operations (write/append/create_new), `is_rename`
+    /// enables the torn-rename class.
+    fn gate(&self, data_len: Option<usize>, is_rename: bool) -> Gate {
+        let mut state = self.state.lock().expect("fault lock");
+        if state.crashed {
+            return Gate::Fail(FaultKind::Crash);
+        }
+        let idx = state.ops;
+        state.ops += 1;
+        if state.plan.crash_at == Some(idx) {
+            state.crashed = true;
+            state.counters.crashes += 1;
+            let roll = splitmix64(&mut state.rng);
+            return match data_len {
+                Some(len) => Gate::CrashData((roll % (len as u64 + 1)) as usize),
+                None => Gate::CrashToggle(roll.is_multiple_of(2)),
+            };
+        }
+        if state.plan.deny_writes {
+            state.counters.denied += 1;
+            return Gate::Fail(FaultKind::DeniedWrite);
+        }
+        let plan = state.plan;
+        let roll = (splitmix64(&mut state.rng) % 1000) as u16;
+        let transient_to = plan.transient_per_mille;
+        let enospc_to = transient_to
+            + if data_len.is_some() {
+                plan.enospc_per_mille
+            } else {
+                0
+            };
+        let short_to = enospc_to
+            + if data_len.is_some() {
+                plan.short_write_per_mille
+            } else {
+                0
+            };
+        let torn_to = short_to
+            + if is_rename {
+                plan.torn_rename_per_mille
+            } else {
+                0
+            };
+        if roll < transient_to {
+            state.counters.transients += 1;
+            Gate::Fail(FaultKind::Transient)
+        } else if roll < enospc_to {
+            state.counters.enospc += 1;
+            let len = data_len.unwrap_or(0);
+            let cut = (splitmix64(&mut state.rng) % (len as u64 + 1)) as usize;
+            Gate::Partial(cut, FaultKind::Enospc)
+        } else if roll < short_to {
+            state.counters.short_writes += 1;
+            // A short write lands strictly less than requested.
+            let len = data_len.unwrap_or(0);
+            let cut = (splitmix64(&mut state.rng) % (len.max(1) as u64)) as usize;
+            Gate::Partial(cut, FaultKind::ShortWrite)
+        } else if roll < torn_to {
+            state.counters.torn_renames += 1;
+            let cut = splitmix64(&mut state.rng);
+            Gate::Partial(cut as usize, FaultKind::TornRename)
+        } else {
+            Gate::Proceed
+        }
+    }
+
+    fn check_read(&self) -> io::Result<()> {
+        if self.state.lock().expect("fault lock").crashed {
+            Err(injected_error(FaultKind::Crash))
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Applies a torn rename: destination receives a prefix of the
+    /// source, the source survives (models an interrupted copy+delete).
+    fn tear_rename(&self, from: &Path, to: &Path, cut: usize) -> io::Error {
+        if let Ok(bytes) = self.inner.read(from) {
+            let cut = cut % (bytes.len() + 1);
+            let _ = self.inner.write(to, &bytes[..cut]);
+        }
+        injected_error(FaultKind::TornRename)
+    }
+}
+
+impl Vfs for FaultVfs {
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>> {
+        self.check_read()?;
+        self.inner.read(path)
+    }
+
+    fn write(&self, path: &Path, bytes: &[u8]) -> io::Result<()> {
+        match self.gate(Some(bytes.len()), false) {
+            Gate::Proceed => self.inner.write(path, bytes),
+            Gate::Fail(kind) => Err(injected_error(kind)),
+            Gate::Partial(cut, kind) => {
+                let _ = self.inner.write(path, &bytes[..cut]);
+                Err(injected_error(kind))
+            }
+            Gate::CrashData(cut) => {
+                let _ = self.inner.write(path, &bytes[..cut]);
+                Err(injected_error(FaultKind::Crash))
+            }
+            Gate::CrashToggle(apply) => {
+                if apply {
+                    let _ = self.inner.write(path, bytes);
+                }
+                Err(injected_error(FaultKind::Crash))
+            }
+        }
+    }
+
+    fn append(&self, path: &Path, bytes: &[u8]) -> io::Result<()> {
+        match self.gate(Some(bytes.len()), false) {
+            Gate::Proceed => self.inner.append(path, bytes),
+            Gate::Fail(kind) => Err(injected_error(kind)),
+            Gate::Partial(cut, kind) => {
+                let _ = self.inner.append(path, &bytes[..cut]);
+                Err(injected_error(kind))
+            }
+            Gate::CrashData(cut) => {
+                let _ = self.inner.append(path, &bytes[..cut]);
+                Err(injected_error(FaultKind::Crash))
+            }
+            Gate::CrashToggle(apply) => {
+                if apply {
+                    let _ = self.inner.append(path, bytes);
+                }
+                Err(injected_error(FaultKind::Crash))
+            }
+        }
+    }
+
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
+        match self.gate(None, true) {
+            Gate::Proceed => self.inner.rename(from, to),
+            Gate::Fail(kind) => Err(injected_error(kind)),
+            Gate::Partial(cut, FaultKind::TornRename) => Err(self.tear_rename(from, to, cut)),
+            Gate::Partial(_, kind) => Err(injected_error(kind)),
+            Gate::CrashData(_) => Err(injected_error(FaultKind::Crash)),
+            Gate::CrashToggle(apply) => {
+                if apply {
+                    let _ = self.inner.rename(from, to);
+                }
+                Err(injected_error(FaultKind::Crash))
+            }
+        }
+    }
+
+    fn remove_file(&self, path: &Path) -> io::Result<()> {
+        match self.gate(None, false) {
+            Gate::Proceed => self.inner.remove_file(path),
+            Gate::Fail(kind) | Gate::Partial(_, kind) => Err(injected_error(kind)),
+            Gate::CrashData(_) => Err(injected_error(FaultKind::Crash)),
+            Gate::CrashToggle(apply) => {
+                if apply {
+                    let _ = self.inner.remove_file(path);
+                }
+                Err(injected_error(FaultKind::Crash))
+            }
+        }
+    }
+
+    fn create_dir_all(&self, path: &Path) -> io::Result<()> {
+        match self.gate(None, false) {
+            Gate::Proceed => self.inner.create_dir_all(path),
+            Gate::Fail(kind) | Gate::Partial(_, kind) => Err(injected_error(kind)),
+            Gate::CrashData(_) => Err(injected_error(FaultKind::Crash)),
+            Gate::CrashToggle(apply) => {
+                if apply {
+                    let _ = self.inner.create_dir_all(path);
+                }
+                Err(injected_error(FaultKind::Crash))
+            }
+        }
+    }
+
+    fn create_new(&self, path: &Path, bytes: &[u8]) -> io::Result<()> {
+        match self.gate(Some(bytes.len()), false) {
+            Gate::Proceed => self.inner.create_new(path, bytes),
+            Gate::Fail(kind) => Err(injected_error(kind)),
+            Gate::Partial(cut, kind) => {
+                let _ = self.inner.create_new(path, &bytes[..cut]);
+                Err(injected_error(kind))
+            }
+            Gate::CrashData(cut) => {
+                let _ = self.inner.create_new(path, &bytes[..cut]);
+                Err(injected_error(FaultKind::Crash))
+            }
+            Gate::CrashToggle(apply) => {
+                if apply {
+                    let _ = self.inner.create_new(path, bytes);
+                }
+                Err(injected_error(FaultKind::Crash))
+            }
+        }
+    }
+
+    fn truncate(&self, path: &Path, len: u64) -> io::Result<()> {
+        match self.gate(None, false) {
+            Gate::Proceed => self.inner.truncate(path, len),
+            Gate::Fail(kind) | Gate::Partial(_, kind) => Err(injected_error(kind)),
+            Gate::CrashData(_) => Err(injected_error(FaultKind::Crash)),
+            Gate::CrashToggle(apply) => {
+                if apply {
+                    let _ = self.inner.truncate(path, len);
+                }
+                Err(injected_error(FaultKind::Crash))
+            }
+        }
+    }
+
+    fn sync(&self, path: &Path) -> io::Result<()> {
+        match self.gate(None, false) {
+            Gate::Proceed => self.inner.sync(path),
+            Gate::Fail(kind) | Gate::Partial(_, kind) => Err(injected_error(kind)),
+            // A crash during sync applies nothing: the data (if any) is
+            // already durable in the wrapped store; the ack is lost.
+            Gate::CrashData(_) | Gate::CrashToggle(_) => Err(injected_error(FaultKind::Crash)),
+        }
+    }
+
+    fn read_dir(&self, dir: &Path) -> io::Result<Vec<PathBuf>> {
+        self.check_read()?;
+        self.inner.read_dir(dir)
+    }
+
+    fn exists(&self, path: &Path) -> bool {
+        // `exists` has no error channel; post-crash callers learn of the
+        // crash from their next fallible operation.
+        self.inner.exists(path)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{fault_kind, is_crash, is_transient, MemVfs};
+
+    fn script(vfs: &dyn Vfs) -> Vec<io::Result<()>> {
+        let d = Path::new("/d");
+        let mut results = vec![vfs.create_dir_all(d)];
+        for i in 0..6u8 {
+            let f = d.join(format!("f{i}"));
+            results.push(vfs.write(&f, &[i; 40]));
+            results.push(vfs.append(&f, &[0xEE; 10]));
+            results.push(vfs.sync(&f));
+        }
+        results.push(vfs.rename(&d.join("f0"), &d.join("g0")));
+        results.push(vfs.remove_file(&d.join("f1")));
+        results
+    }
+
+    #[test]
+    fn same_seed_replays_identically() {
+        let run = |seed: u64| {
+            let mem = Arc::new(MemVfs::new());
+            let fv = FaultVfs::new(mem.clone(), FaultPlan::from_seed(seed));
+            let outcomes: Vec<Option<FaultKind>> = script(&fv)
+                .iter()
+                .map(|r| r.as_ref().err().and_then(fault_kind))
+                .collect();
+            let mut files: Vec<(std::path::PathBuf, Vec<u8>)> = Vec::new();
+            if let Ok(entries) = mem.read_dir(Path::new("/d")) {
+                for e in entries {
+                    files.push((e.clone(), mem.read(&e).unwrap_or_default()));
+                }
+            }
+            (outcomes, fv.counters(), files)
+        };
+        for seed in [3, 17, 1u64 << 40] {
+            assert_eq!(run(seed), run(seed), "seed {seed}");
+        }
+        // Different seeds should not all behave identically; at least one
+        // of a handful must inject something.
+        let injected = (0..8).any(|seed| {
+            let (_, c, _) = run(seed);
+            c.transients + c.enospc + c.short_writes + c.torn_renames > 0
+        });
+        assert!(injected, "from_seed plans never inject anything");
+    }
+
+    #[test]
+    fn crash_point_poisons_everything_after() {
+        let mem = Arc::new(MemVfs::new());
+        let fv = FaultVfs::new(mem.clone(), FaultPlan::none());
+        script(&fv).into_iter().for_each(|r| r.unwrap());
+        let total = fv.op_count();
+        assert!(total > 10);
+
+        for k in 0..total {
+            let mem = Arc::new(MemVfs::new());
+            let fv = FaultVfs::new(mem.clone(), FaultPlan::crash_at(k));
+            let results = script(&fv);
+            let first_err = results.iter().position(|r| r.is_err()).expect("crashed");
+            assert!(is_crash(results[first_err].as_ref().unwrap_err()));
+            // Every operation after the crash fails with the crash error.
+            for r in &results[first_err + 1..] {
+                assert!(is_crash(r.as_ref().unwrap_err()), "crash at {k}");
+            }
+            assert!(fv.crashed());
+            assert_eq!(fv.counters().crashes, 1);
+            // The underlying store remains accessible through a clean
+            // accessor — the "reboot".
+            let _ = mem.exists(Path::new("/d"));
+        }
+    }
+
+    #[test]
+    fn partial_writes_are_prefixes() {
+        // A plan with only short writes: whatever lands must be a prefix
+        // of the intended bytes.
+        let mem = Arc::new(MemVfs::new());
+        let fv = FaultVfs::new(
+            mem.clone(),
+            FaultPlan {
+                seed: 5,
+                short_write_per_mille: 500,
+                ..FaultPlan::none()
+            },
+        );
+        fv.create_dir_all(Path::new("/d")).unwrap();
+        let payload: Vec<u8> = (0..=200).collect();
+        let mut shorts = 0;
+        for i in 0..40 {
+            let f = Path::new("/d").join(format!("w{i}"));
+            match fv.write(&f, &payload) {
+                Ok(()) => assert_eq!(mem.read(&f).unwrap(), payload),
+                Err(e) => {
+                    assert_eq!(fault_kind(&e), Some(FaultKind::ShortWrite));
+                    let got = mem.read(&f).unwrap_or_default();
+                    assert!(got.len() < payload.len());
+                    assert_eq!(got[..], payload[..got.len()], "prefix property");
+                    shorts += 1;
+                }
+            }
+        }
+        assert!(shorts > 0, "a 50% plan injected nothing in 40 writes");
+        assert_eq!(fv.counters().short_writes, shorts);
+    }
+
+    #[test]
+    fn torn_rename_leaves_prefix_and_source() {
+        let mem = Arc::new(MemVfs::new());
+        let fv = FaultVfs::new(
+            mem.clone(),
+            FaultPlan {
+                seed: 11,
+                torn_rename_per_mille: 1000,
+                ..FaultPlan::none()
+            },
+        );
+        fv.create_dir_all(Path::new("/d")).unwrap();
+        let src = Path::new("/d/src");
+        let dst = Path::new("/d/dst");
+        fv.write(src, b"ABCDEFGH").unwrap();
+        let err = fv.rename(src, dst).unwrap_err();
+        assert_eq!(fault_kind(&err), Some(FaultKind::TornRename));
+        assert_eq!(mem.read(src).unwrap(), b"ABCDEFGH", "source survives");
+        let torn = mem.read(dst).unwrap_or_default();
+        assert_eq!(torn[..], b"ABCDEFGH"[..torn.len()], "destination prefix");
+    }
+
+    #[test]
+    fn deny_writes_blocks_mutation_not_reads() {
+        let mem = Arc::new(MemVfs::new());
+        mem.create_dir_all(Path::new("/d")).unwrap();
+        mem.write(Path::new("/d/f"), b"data").unwrap();
+        let fv = FaultVfs::new(mem.clone(), FaultPlan::deny_writes());
+        assert_eq!(fv.read(Path::new("/d/f")).unwrap(), b"data");
+        let err = fv.write(Path::new("/d/g"), b"x").unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::PermissionDenied);
+        assert!(fv.remove_file(Path::new("/d/f")).is_err());
+        assert_eq!(mem.read(Path::new("/d/f")).unwrap(), b"data");
+        assert_eq!(fv.counters().denied, 2);
+    }
+
+    #[test]
+    fn transient_plans_are_retryable() {
+        let mem = Arc::new(MemVfs::new());
+        let fv = FaultVfs::new(mem.clone(), FaultPlan::transient(9, 400));
+        let (made, dir_retries) = crate::retry(crate::RetryPolicy::immediate(10), || {
+            fv.create_dir_all(Path::new("/d"))
+        });
+        made.unwrap();
+        let f = Path::new("/d/log");
+        let mut retried = u64::from(dir_retries);
+        for _ in 0..30 {
+            let (result, used) =
+                crate::retry(crate::RetryPolicy::immediate(10), || fv.append(f, b"x"));
+            result.unwrap();
+            retried += u64::from(used);
+        }
+        assert!(
+            retried > 0,
+            "a 40% transient plan never fired in 30 appends"
+        );
+        assert_eq!(fv.counters().transients, retried);
+        // Every append eventually landed exactly once.
+        assert_eq!(mem.read(f).unwrap().len(), 30);
+    }
+
+    #[test]
+    fn set_plan_switches_behavior() {
+        let mem = Arc::new(MemVfs::new());
+        let fv = FaultVfs::new(mem.clone(), FaultPlan::none());
+        fv.create_dir_all(Path::new("/d")).unwrap();
+        fv.write(Path::new("/d/a"), b"ok").unwrap();
+        fv.set_plan(FaultPlan::deny_writes());
+        assert!(fv.write(Path::new("/d/b"), b"no").is_err());
+        fv.set_plan(FaultPlan::none());
+        fv.write(Path::new("/d/b"), b"yes").unwrap();
+        assert!(is_transient(&injected_error(FaultKind::Transient)));
+    }
+}

@@ -1,0 +1,363 @@
+#![warn(missing_docs)]
+
+//! # mffault — deterministic fault injection for file I/O
+//!
+//! Every byte this workspace persists (the harness run cache, the
+//! crash-safe profile database) goes through the [`Vfs`] trait instead of
+//! `std::fs`, so tests can swap the real filesystem for an in-memory one
+//! and wrap either in a seeded fault injector:
+//!
+//! * [`RealVfs`] — thin passthrough to `std::fs`.
+//! * [`MemVfs`] — a deterministic in-memory filesystem. Shared via `Arc`,
+//!   it survives a *simulated* process crash: drop the faulting accessor,
+//!   open a clean one over the same `Arc`, and you are "rebooting" onto
+//!   whatever bytes the crash left behind.
+//! * [`FaultVfs`] — wraps any `Vfs` and injects faults according to a
+//!   [`FaultPlan`]: short writes, `ENOSPC`, `EINTR`-style transients,
+//!   torn renames, and hard crash-points that apply a partial effect and
+//!   then fail every subsequent operation. All decisions derive from a
+//!   single u64 seed via SplitMix64, so every failure is reproducible.
+//!
+//! The [`retry`] helper gives callers bounded, deterministic backoff for
+//! the transient class; everything else is the caller's policy (salvage,
+//! degrade, or die).
+
+mod fault;
+mod mem;
+
+use std::fmt;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::time::Duration;
+
+pub use fault::{FaultCounters, FaultPlan, FaultVfs};
+pub use mem::MemVfs;
+
+/// The file-system surface the workspace's persistence layers use.
+///
+/// Deliberately file-granular (whole-file read, append, atomic-rename)
+/// rather than handle-granular: every caller in this workspace follows a
+/// write-then-rename or append-then-sync discipline, and keeping the
+/// surface small keeps the fault model exhaustive — a [`FaultPlan`] can
+/// enumerate every mutation an implementation will ever perform.
+pub trait Vfs: Send + Sync + fmt::Debug {
+    /// Reads the whole file.
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>>;
+    /// Creates or truncates `path` and writes `bytes`.
+    fn write(&self, path: &Path, bytes: &[u8]) -> io::Result<()>;
+    /// Appends `bytes` to `path`, creating it if absent.
+    fn append(&self, path: &Path, bytes: &[u8]) -> io::Result<()>;
+    /// Renames `from` to `to` (atomic on a real POSIX filesystem).
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()>;
+    /// Removes a file.
+    fn remove_file(&self, path: &Path) -> io::Result<()>;
+    /// Creates a directory and all its ancestors.
+    fn create_dir_all(&self, path: &Path) -> io::Result<()>;
+    /// Creates `path` with `bytes` iff it does not already exist
+    /// (`O_EXCL`); the lock-file primitive.
+    fn create_new(&self, path: &Path, bytes: &[u8]) -> io::Result<()>;
+    /// Truncates (or zero-extends) `path` to `len` bytes.
+    fn truncate(&self, path: &Path, len: u64) -> io::Result<()>;
+    /// Flushes `path`'s data to stable storage; the commit acknowledgment
+    /// of the append-then-sync discipline.
+    fn sync(&self, path: &Path) -> io::Result<()>;
+    /// Entries directly under `dir`, sorted (determinism matters more
+    /// than directory order).
+    fn read_dir(&self, dir: &Path) -> io::Result<Vec<PathBuf>>;
+    /// Whether `path` exists (file or directory).
+    fn exists(&self, path: &Path) -> bool;
+}
+
+/// Passthrough to `std::fs`.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct RealVfs;
+
+impl Vfs for RealVfs {
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>> {
+        std::fs::read(path)
+    }
+
+    fn write(&self, path: &Path, bytes: &[u8]) -> io::Result<()> {
+        std::fs::write(path, bytes)
+    }
+
+    fn append(&self, path: &Path, bytes: &[u8]) -> io::Result<()> {
+        use std::io::Write as _;
+        let mut file = std::fs::OpenOptions::new()
+            .append(true)
+            .create(true)
+            .open(path)?;
+        file.write_all(bytes)
+    }
+
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
+        std::fs::rename(from, to)
+    }
+
+    fn remove_file(&self, path: &Path) -> io::Result<()> {
+        std::fs::remove_file(path)
+    }
+
+    fn create_dir_all(&self, path: &Path) -> io::Result<()> {
+        std::fs::create_dir_all(path)
+    }
+
+    fn create_new(&self, path: &Path, bytes: &[u8]) -> io::Result<()> {
+        use std::io::Write as _;
+        let mut file = std::fs::OpenOptions::new()
+            .write(true)
+            .create_new(true)
+            .open(path)?;
+        file.write_all(bytes)
+    }
+
+    fn truncate(&self, path: &Path, len: u64) -> io::Result<()> {
+        let file = std::fs::OpenOptions::new().write(true).open(path)?;
+        file.set_len(len)
+    }
+
+    fn sync(&self, path: &Path) -> io::Result<()> {
+        std::fs::File::open(path)?.sync_all()
+    }
+
+    fn read_dir(&self, dir: &Path) -> io::Result<Vec<PathBuf>> {
+        let mut entries: Vec<PathBuf> = std::fs::read_dir(dir)?
+            .map(|e| e.map(|e| e.path()))
+            .collect::<io::Result<_>>()?;
+        entries.sort();
+        Ok(entries)
+    }
+
+    fn exists(&self, path: &Path) -> bool {
+        path.exists()
+    }
+}
+
+/// The kinds of faults [`FaultVfs`] injects. Attached to the
+/// `io::Error` payload so callers can classify without string matching.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultKind {
+    /// A hard crash-point fired: a partial effect may have been applied,
+    /// and every later operation on the same accessor fails too. Callers
+    /// must treat this as process death.
+    Crash,
+    /// `EINTR`-style transient; retrying the same operation may succeed.
+    Transient,
+    /// `ENOSPC`; a partial prefix of the data may have landed.
+    Enospc,
+    /// A short write: only a prefix of the data landed.
+    ShortWrite,
+    /// A torn rename: the destination holds a prefix of the source, the
+    /// source still exists.
+    TornRename,
+    /// The plan denies all mutation (read-only filesystem simulation).
+    DeniedWrite,
+}
+
+impl fmt::Display for FaultKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            FaultKind::Crash => "simulated crash",
+            FaultKind::Transient => "injected transient error",
+            FaultKind::Enospc => "injected ENOSPC: no space left on device",
+            FaultKind::ShortWrite => "injected short write",
+            FaultKind::TornRename => "injected torn rename",
+            FaultKind::DeniedWrite => "injected write denial (read-only filesystem)",
+        };
+        f.write_str(s)
+    }
+}
+
+/// The error payload carrying a [`FaultKind`].
+#[derive(Debug)]
+struct InjectedFault(FaultKind);
+
+impl fmt::Display for InjectedFault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "mffault: {}", self.0)
+    }
+}
+
+impl std::error::Error for InjectedFault {}
+
+pub(crate) fn injected_error(kind: FaultKind) -> io::Error {
+    let io_kind = match kind {
+        FaultKind::Transient => io::ErrorKind::Interrupted,
+        FaultKind::DeniedWrite => io::ErrorKind::PermissionDenied,
+        _ => io::ErrorKind::Other,
+    };
+    io::Error::new(io_kind, InjectedFault(kind))
+}
+
+/// The injected fault behind `err`, if it came from a [`FaultVfs`].
+pub fn fault_kind(err: &io::Error) -> Option<FaultKind> {
+    err.get_ref()
+        .and_then(|e| e.downcast_ref::<InjectedFault>())
+        .map(|f| f.0)
+}
+
+/// True for an injected hard crash: the accessor is dead; treat as
+/// process death, not as a recoverable I/O error.
+pub fn is_crash(err: &io::Error) -> bool {
+    fault_kind(err) == Some(FaultKind::Crash)
+}
+
+/// True for errors worth a bounded retry: injected transients and real
+/// `EINTR`s share `ErrorKind::Interrupted`.
+pub fn is_transient(err: &io::Error) -> bool {
+    err.kind() == io::ErrorKind::Interrupted
+}
+
+/// Bounded deterministic backoff for the transient error class.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Retries after the first attempt (0 = try once, never retry).
+    pub attempts: u32,
+    /// First backoff; doubles per retry. Keep it `ZERO` in tests.
+    pub base: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            attempts: 2,
+            base: Duration::from_millis(1),
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A policy that never retries.
+    pub fn none() -> Self {
+        RetryPolicy {
+            attempts: 0,
+            base: Duration::ZERO,
+        }
+    }
+
+    /// `attempts` retries with no sleep — what tests want.
+    pub fn immediate(attempts: u32) -> Self {
+        RetryPolicy {
+            attempts,
+            base: Duration::ZERO,
+        }
+    }
+}
+
+/// Runs `op`, retrying transient failures ([`is_transient`]) up to
+/// `policy.attempts` times with doubling backoff. Returns the final
+/// result and the number of retries consumed.
+pub fn retry<T>(
+    policy: RetryPolicy,
+    mut op: impl FnMut() -> io::Result<T>,
+) -> (io::Result<T>, u32) {
+    let mut used = 0;
+    loop {
+        match op() {
+            Err(e) if is_transient(&e) && used < policy.attempts => {
+                let backoff = policy.base.saturating_mul(1 << used.min(16));
+                if !backoff.is_zero() {
+                    std::thread::sleep(backoff);
+                }
+                used += 1;
+            }
+            result => return (result, used),
+        }
+    }
+}
+
+/// One step of the SplitMix64 generator — the seed-expansion primitive
+/// every deterministic decision in this crate derives from.
+pub fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn real_vfs_roundtrips() {
+        let dir = std::env::temp_dir().join(format!("mffault-real-{}", std::process::id()));
+        let vfs = RealVfs;
+        vfs.create_dir_all(&dir).unwrap();
+        let a = dir.join("a.bin");
+        vfs.write(&a, b"hello").unwrap();
+        vfs.append(&a, b" world").unwrap();
+        vfs.sync(&a).unwrap();
+        assert_eq!(vfs.read(&a).unwrap(), b"hello world");
+        let b = dir.join("b.bin");
+        vfs.rename(&a, &b).unwrap();
+        assert!(!vfs.exists(&a));
+        assert_eq!(vfs.read(&b).unwrap(), b"hello world");
+        vfs.truncate(&b, 5).unwrap();
+        assert_eq!(vfs.read(&b).unwrap(), b"hello");
+        assert!(vfs.create_new(&b, b"x").is_err(), "create_new is exclusive");
+        assert_eq!(vfs.read_dir(&dir).unwrap(), vec![b.clone()]);
+        vfs.remove_file(&b).unwrap();
+        assert!(vfs.read_dir(&dir).unwrap().is_empty());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn retry_consumes_transients_only() {
+        let mut failures = 3;
+        let (result, used) = retry(RetryPolicy::immediate(5), || {
+            if failures > 0 {
+                failures -= 1;
+                Err(injected_error(FaultKind::Transient))
+            } else {
+                Ok(42)
+            }
+        });
+        assert_eq!(result.unwrap(), 42);
+        assert_eq!(used, 3);
+
+        // Non-transient errors pass through immediately.
+        let mut calls = 0;
+        let (result, used) = retry(RetryPolicy::immediate(5), || -> io::Result<()> {
+            calls += 1;
+            Err(injected_error(FaultKind::Enospc))
+        });
+        assert!(result.is_err());
+        assert_eq!((calls, used), (1, 0));
+
+        // A bounded budget gives up.
+        let (result, used) = retry(RetryPolicy::immediate(2), || -> io::Result<()> {
+            Err(injected_error(FaultKind::Transient))
+        });
+        assert!(is_transient(&result.unwrap_err()));
+        assert_eq!(used, 2);
+    }
+
+    #[test]
+    fn fault_kinds_classify() {
+        assert!(is_crash(&injected_error(FaultKind::Crash)));
+        assert!(!is_crash(&injected_error(FaultKind::Enospc)));
+        assert!(is_transient(&injected_error(FaultKind::Transient)));
+        assert_eq!(
+            fault_kind(&injected_error(FaultKind::TornRename)),
+            Some(FaultKind::TornRename)
+        );
+        assert_eq!(fault_kind(&io::Error::other("plain")), None);
+        assert_eq!(
+            injected_error(FaultKind::DeniedWrite).kind(),
+            io::ErrorKind::PermissionDenied
+        );
+    }
+
+    #[test]
+    fn splitmix_is_deterministic_and_spread() {
+        let mut a = 7;
+        let mut b = 7;
+        let xs: Vec<u64> = (0..8).map(|_| splitmix64(&mut a)).collect();
+        let ys: Vec<u64> = (0..8).map(|_| splitmix64(&mut b)).collect();
+        assert_eq!(xs, ys);
+        let distinct: std::collections::BTreeSet<&u64> = xs.iter().collect();
+        assert_eq!(distinct.len(), xs.len());
+    }
+}

@@ -21,6 +21,10 @@
 //! * **combine-convexity** — a scaled combination of per-dataset profiles
 //!   must stay inside the convex hull of the inputs' taken-fractions and
 //!   never claim more taken weight than executed weight.
+//! * **profdb-roundtrip** — persisting the per-dataset profiles through
+//!   the on-disk database (on the in-memory VFS) and reopening must
+//!   reproduce every raw count bit for bit, before and after compaction;
+//!   a corrupted tail frame must be salvaged away, never accepted.
 //! * **switch-diff** — compiling with `SwitchMode::JumpTable` instead of
 //!   the default cascade must not change program output.
 //! * **flat-diff** — running the unoptimized program on the *other* VM
@@ -30,12 +34,16 @@
 //!   same coverage edges, and — unlike diff-opt — the *same* `RuntimeError`
 //!   on faulting runs, since both backends execute the identical program.
 
+use std::collections::BTreeMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::Arc;
 
 use ifprob::directives::{parse_directives, write_directives};
 use ifprob::{combine, CombineRule};
+use mffault::{MemVfs, Vfs};
 use mfopt::Pipeline;
+use mfprofdb::{LockMode, OpenOptions, Persistence, ProfileStore};
 use trace_ir::{BranchId, Program};
 use trace_vm::{Backend, BranchCounts, GuestValue, Input, Run, RuntimeError, Vm, VmConfig};
 
@@ -371,6 +379,135 @@ pub fn check_combine_convexity(
     }
 }
 
+/// Persisting per-dataset profiles through the on-disk database and
+/// reading them back must be lossless, before and after compaction; a
+/// corrupted tail frame must be salvaged away, never folded in. Runs
+/// entirely on the in-memory VFS, so it is deterministic and touches no
+/// real filesystem.
+pub fn check_profdb_roundtrip(
+    profiles: &[BranchCounts],
+    findings: &mut Vec<(&'static str, String)>,
+) {
+    if profiles.is_empty() {
+        return;
+    }
+    let opts = || OpenOptions {
+        lock: LockMode::None,
+        ..OpenOptions::default()
+    };
+    let dataset = |i: usize| format!("ds{i:02}");
+    let expected: BTreeMap<String, Vec<(u32, u64, u64)>> = profiles
+        .iter()
+        .enumerate()
+        .map(|(i, p)| {
+            (
+                dataset(i),
+                p.iter().map(|(id, e, t)| (id.0, e, t)).collect(),
+            )
+        })
+        .collect();
+    let fill = |store: &mut ProfileStore| -> bool {
+        for (i, p) in profiles.iter().enumerate() {
+            let landed = store
+                .append(&dataset(i), p)
+                .expect("no fault plan, so appends cannot crash");
+            if landed != Persistence::Committed {
+                return false;
+            }
+        }
+        true
+    };
+
+    // Round trip: append every dataset, reopen, compact, reopen again.
+    // Each view must reproduce the raw per-branch counts exactly.
+    let vfs: Arc<dyn Vfs> = Arc::new(MemVfs::new());
+    let mut store = ProfileStore::open(Arc::clone(&vfs), "/oracle-db", opts())
+        .expect("no fault plan, so open cannot crash");
+    if !fill(&mut store) {
+        findings.push((
+            "profdb-roundtrip",
+            format!(
+                "append degraded on a fault-free vfs: {:?}",
+                store.warnings()
+            ),
+        ));
+        return;
+    }
+    drop(store);
+    for compacted in [false, true] {
+        let mut reopened = ProfileStore::open(Arc::clone(&vfs), "/oracle-db", opts())
+            .expect("no fault plan, so open cannot crash");
+        if reopened.raw_totals() != expected {
+            findings.push((
+                "profdb-roundtrip",
+                format!(
+                    "reopen {} altered the stored profiles: recovered datasets {:?}, expected {:?}",
+                    if compacted {
+                        "after compaction"
+                    } else {
+                        "after append"
+                    },
+                    reopened.datasets(),
+                    expected.keys().collect::<Vec<_>>()
+                ),
+            ));
+            return;
+        }
+        if compacted {
+            break;
+        }
+        reopened
+            .compact()
+            .expect("no fault plan, so compaction cannot crash");
+        if reopened.raw_totals() != expected {
+            findings.push((
+                "profdb-roundtrip",
+                "compaction changed the folded profile".to_string(),
+            ));
+            return;
+        }
+    }
+
+    // Tail salvage: flip the high byte of the final record's last taken
+    // count, leaving the frame structurally intact. The checksum must
+    // reject the frame, so recovery yields exactly the records before it.
+    if profiles[profiles.len() - 1].iter().next().is_none() {
+        return; // no trailing count word to corrupt
+    }
+    let vfs: Arc<dyn Vfs> = Arc::new(MemVfs::new());
+    let mut store = ProfileStore::open(Arc::clone(&vfs), "/oracle-db", opts())
+        .expect("no fault plan, so open cannot crash");
+    if !fill(&mut store) {
+        return; // already reported above on an identical store
+    }
+    let segment = store
+        .active_segment()
+        .expect("persistent store has a segment")
+        .to_path_buf();
+    drop(store);
+    let mut bytes = vfs.read(&segment).expect("in-memory segment is readable");
+    let flip = bytes.len() - 9; // MSB of the little-endian taken u64, just before the checksum
+    bytes[flip] ^= 0x80;
+    vfs.write(&segment, &bytes)
+        .expect("in-memory segment is writable");
+
+    let salvaged = ProfileStore::open(Arc::clone(&vfs), "/oracle-db", opts())
+        .expect("no fault plan, so open cannot crash");
+    let mut pruned = expected;
+    pruned.remove(&dataset(profiles.len() - 1));
+    if salvaged.raw_totals() != pruned {
+        findings.push((
+            "profdb-roundtrip",
+            format!(
+                "corrupted tail frame was not salvaged away: recovered datasets {:?}, \
+                 expected the uncorrupted prefix {:?}",
+                salvaged.datasets(),
+                pruned.keys().collect::<Vec<_>>()
+            ),
+        ));
+    }
+}
+
 /// Runs the full oracle battery on one `.mf` source case.
 ///
 /// `case_hash` qualifies coverage edges; pass `collect_edges = false` for
@@ -494,6 +631,7 @@ pub fn check_source(source: &str, input_sets: &[Vec<i64>], case_hash: u64) -> Or
 
     let refs: Vec<&BranchCounts> = unopt_counts.iter().collect();
     check_combine_convexity(&refs, &mut out.findings);
+    check_profdb_roundtrip(&unopt_counts, &mut out.findings);
     out
 }
 

@@ -7,12 +7,20 @@
 //! [`crate::key`]), so invalidation is automatic: changed work gets a new
 //! key and simply never finds the old entry. Corrupted, truncated, or
 //! version-skewed files are treated as misses, never errors.
+//!
+//! All file I/O goes through an [`mffault::Vfs`], so fault-injection
+//! tests can exercise the failure paths deterministically: transient
+//! errors are absorbed by a bounded retry, persistent store failures
+//! degrade to recomputation, and torn or corrupt entries salvage to a
+//! miss — the cache never takes a run (or the process) down with it.
 
 use std::collections::HashMap;
+use std::io;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
+use mffault::{RealVfs, RetryPolicy, Vfs};
 use trace_ir::BranchId;
 use trace_vm::{BranchCounts, BreakEvents, PixieCounts, Run, RunStats};
 
@@ -46,9 +54,14 @@ pub struct CacheHit {
 pub struct RunCache {
     mem: Mutex<HashMap<RunKey, Entry>>,
     disk: Option<PathBuf>,
+    vfs: Arc<dyn Vfs>,
+    retry: RetryPolicy,
     mem_hits: AtomicU64,
     disk_hits: AtomicU64,
     misses: AtomicU64,
+    io_retries: AtomicU64,
+    store_failures: AtomicU64,
+    corrupt_misses: AtomicU64,
 }
 
 /// Snapshot of the cache's hit/miss counters.
@@ -62,15 +75,34 @@ pub struct CacheCounters {
     pub misses: u64,
 }
 
+/// Snapshot of the cache's fault-handling counters — how much I/O
+/// weather it absorbed without surfacing an error.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheRobustness {
+    /// Transient I/O errors absorbed by retrying.
+    pub io_retries: u64,
+    /// Persist attempts that gave up (the result stayed in memory and
+    /// will simply be recomputed by the next process).
+    pub store_failures: u64,
+    /// Entries that were read but failed validation (torn, corrupt, or
+    /// version-skewed) and salvaged to a miss.
+    pub corrupt_misses: u64,
+}
+
 impl RunCache {
     /// A purely in-process cache (no persistence).
     pub fn in_memory() -> Self {
         RunCache {
             mem: Mutex::new(HashMap::new()),
             disk: None,
+            vfs: Arc::new(RealVfs),
+            retry: RetryPolicy::none(),
             mem_hits: AtomicU64::new(0),
             disk_hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            io_retries: AtomicU64::new(0),
+            store_failures: AtomicU64::new(0),
+            corrupt_misses: AtomicU64::new(0),
         }
     }
 
@@ -78,6 +110,17 @@ impl RunCache {
     pub fn with_disk(dir: PathBuf) -> Self {
         RunCache {
             disk: Some(dir),
+            ..RunCache::in_memory()
+        }
+    }
+
+    /// A persisting cache over an explicit [`Vfs`] and retry policy —
+    /// the injection point for fault plans and in-memory filesystems.
+    pub fn with_disk_on(vfs: Arc<dyn Vfs>, dir: PathBuf, retry: RetryPolicy) -> Self {
+        RunCache {
+            disk: Some(dir),
+            vfs,
+            retry,
             ..RunCache::in_memory()
         }
     }
@@ -113,7 +156,7 @@ impl RunCache {
         }
         if job.need == Need::Stats {
             if let Some(dir) = &self.disk {
-                if let Some(stats) = load_stats(&entry_path(dir, job.key), job.key) {
+                if let Some(stats) = self.load(&entry_path(dir, job.key), job.key) {
                     let stats = Arc::new(stats);
                     self.disk_hits.fetch_add(1, Ordering::Relaxed);
                     self.mem
@@ -146,7 +189,8 @@ impl RunCache {
             if !job.config.record_branch_trace {
                 // Persistence is best-effort: a read-only target dir must
                 // not fail the run.
-                let _ = store_stats(dir, job.key, &run.stats);
+                let dir = dir.clone();
+                let _ = self.store(&dir, job.key, &run.stats);
             }
         }
     }
@@ -158,6 +202,71 @@ impl RunCache {
             disk_hits: self.disk_hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
         }
+    }
+
+    /// Fault-handling counter snapshot.
+    pub fn robustness(&self) -> CacheRobustness {
+        CacheRobustness {
+            io_retries: self.io_retries.load(Ordering::Relaxed),
+            store_failures: self.store_failures.load(Ordering::Relaxed),
+            corrupt_misses: self.corrupt_misses.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Retries `op` under the cache's policy, accounting the retries.
+    fn io<T>(&self, op: impl FnMut() -> io::Result<T>) -> io::Result<T> {
+        let (result, used) = mffault::retry(self.retry, op);
+        self.io_retries
+            .fetch_add(u64::from(used), Ordering::Relaxed);
+        result
+    }
+
+    /// Persists one entry via write-then-rename. Failures are counted and
+    /// reported but never escalate past the caller's best-effort intent.
+    fn store(&self, dir: &Path, key: RunKey, stats: &RunStats) -> io::Result<()> {
+        let result = self.store_inner(dir, key, stats);
+        if result.is_err() {
+            self.store_failures.fetch_add(1, Ordering::Relaxed);
+        }
+        result
+    }
+
+    fn store_inner(&self, dir: &Path, key: RunKey, stats: &RunStats) -> io::Result<()> {
+        self.io(|| self.vfs.create_dir_all(dir))?;
+        let buf = encode_stats(key, stats);
+
+        // Unique temp names (pid + process-wide serial) so concurrent
+        // writers — threads here, or two repro processes sharing one
+        // cache directory — never collide on the staging file; the final
+        // rename is atomic, so readers see old bytes or new, never torn.
+        static TMP_SERIAL: AtomicU64 = AtomicU64::new(0);
+        let tmp = dir.join(format!(
+            "{}.tmp.{}.{}",
+            key.hex(),
+            std::process::id(),
+            TMP_SERIAL.fetch_add(1, Ordering::Relaxed)
+        ));
+        if let Err(e) = self.io(|| self.vfs.write(&tmp, &buf)) {
+            let _ = self.vfs.remove_file(&tmp);
+            return Err(e);
+        }
+        let result = self.io(|| self.vfs.rename(&tmp, &entry_path(dir, key)));
+        if result.is_err() {
+            let _ = self.vfs.remove_file(&tmp);
+        }
+        result
+    }
+
+    /// Loads and validates one entry; any defect (missing file, bad magic
+    /// or version, key mismatch, truncation, checksum failure,
+    /// inconsistent counters) yields `None` — a miss, never a panic.
+    fn load(&self, path: &Path, key: RunKey) -> Option<RunStats> {
+        let bytes = self.io(|| self.vfs.read(path)).ok()?;
+        let decoded = decode_stats(&bytes, key);
+        if decoded.is_none() {
+            self.corrupt_misses.fetch_add(1, Ordering::Relaxed);
+        }
+        decoded
     }
 }
 
@@ -173,8 +282,7 @@ fn entry_path(dir: &Path, key: RunKey) -> PathBuf {
 // Payload: total_instrs, branch table, break events, pixie block counts.
 // ---------------------------------------------------------------------
 
-fn store_stats(dir: &Path, key: RunKey, stats: &RunStats) -> std::io::Result<()> {
-    std::fs::create_dir_all(dir)?;
+fn encode_stats(key: RunKey, stats: &RunStats) -> Vec<u8> {
     let mut buf = Vec::with_capacity(256);
     buf.extend_from_slice(MAGIC);
     buf.push(FORMAT_VERSION);
@@ -208,30 +316,7 @@ fn store_stats(dir: &Path, key: RunKey, stats: &RunStats) -> std::io::Result<()>
     }
     let checksum = fnv64(&buf);
     put_u64(&mut buf, checksum);
-
-    // Write-then-rename so concurrent writers and readers never observe a
-    // torn entry.
-    static TMP_SERIAL: AtomicU64 = AtomicU64::new(0);
-    let tmp = dir.join(format!(
-        "{}.tmp.{}.{}",
-        key.hex(),
-        std::process::id(),
-        TMP_SERIAL.fetch_add(1, Ordering::Relaxed)
-    ));
-    std::fs::write(&tmp, &buf)?;
-    let result = std::fs::rename(&tmp, entry_path(dir, key));
-    if result.is_err() {
-        let _ = std::fs::remove_file(&tmp);
-    }
-    result
-}
-
-/// Loads and validates one entry; any defect (missing file, bad magic or
-/// version, key mismatch, truncation, checksum failure, inconsistent
-/// counters) yields `None` — a miss, never a panic.
-fn load_stats(path: &Path, key: RunKey) -> Option<RunStats> {
-    let bytes = std::fs::read(path).ok()?;
-    decode_stats(&bytes, key)
+    buf
 }
 
 fn decode_stats(bytes: &[u8], key: RunKey) -> Option<RunStats> {
@@ -324,6 +409,7 @@ impl<'a> Reader<'a> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use mffault::{FaultPlan, FaultVfs, MemVfs};
 
     fn sample_stats() -> RunStats {
         let mut branches = BranchCounts::new();
@@ -347,47 +433,172 @@ mod tests {
         }
     }
 
+    fn mem_cache() -> (Arc<MemVfs>, RunCache) {
+        let mem = Arc::new(MemVfs::new());
+        let cache = RunCache::with_disk_on(
+            mem.clone() as Arc<dyn Vfs>,
+            PathBuf::from("/cache"),
+            RetryPolicy::none(),
+        );
+        (mem, cache)
+    }
+
     #[test]
     fn codec_roundtrips_exactly() {
-        let dir = std::env::temp_dir().join(format!("mfharness-codec-{}", std::process::id()));
+        let (_, cache) = mem_cache();
         let key = RunKey(42);
         let stats = sample_stats();
-        store_stats(&dir, key, &stats).unwrap();
-        let loaded = load_stats(&entry_path(&dir, key), key).unwrap();
+        cache.store(Path::new("/cache"), key, &stats).unwrap();
+        let loaded = cache
+            .load(&entry_path(Path::new("/cache"), key), key)
+            .unwrap();
         assert_eq!(loaded, stats);
-        let _ = std::fs::remove_dir_all(&dir);
+        assert_eq!(cache.robustness(), CacheRobustness::default());
     }
 
     #[test]
     fn every_truncation_is_a_miss() {
-        let mut buf = Vec::new();
-        buf.extend_from_slice(MAGIC);
-        buf.push(FORMAT_VERSION);
+        let (mem, cache) = mem_cache();
         let key = RunKey(9);
-        buf.extend_from_slice(&key.0.to_le_bytes());
-        // Valid encode via the public path:
-        let dir = std::env::temp_dir().join(format!("mfharness-trunc-{}", std::process::id()));
-        store_stats(&dir, key, &sample_stats()).unwrap();
-        let full = std::fs::read(entry_path(&dir, key)).unwrap();
+        cache
+            .store(Path::new("/cache"), key, &sample_stats())
+            .unwrap();
+        let full = mem.read(&entry_path(Path::new("/cache"), key)).unwrap();
         for len in 0..full.len() {
             assert!(decode_stats(&full[..len], key).is_none(), "len {len}");
         }
         assert!(decode_stats(&full, key).is_some());
-        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]
     fn flipped_bytes_and_wrong_keys_are_misses() {
-        let dir = std::env::temp_dir().join(format!("mfharness-flip-{}", std::process::id()));
+        let (mem, cache) = mem_cache();
         let key = RunKey(77);
-        store_stats(&dir, key, &sample_stats()).unwrap();
-        let full = std::fs::read(entry_path(&dir, key)).unwrap();
+        cache
+            .store(Path::new("/cache"), key, &sample_stats())
+            .unwrap();
+        let full = mem.read(&entry_path(Path::new("/cache"), key)).unwrap();
         for i in 0..full.len() {
             let mut bad = full.clone();
             bad[i] ^= 0x41;
             assert!(decode_stats(&bad, key).is_none(), "byte {i}");
         }
         assert!(decode_stats(&full, RunKey(78)).is_none(), "wrong key");
-        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_entries_salvage_to_counted_misses() {
+        let (mem, cache) = mem_cache();
+        let key = RunKey(5);
+        let path = entry_path(Path::new("/cache"), key);
+        cache
+            .store(Path::new("/cache"), key, &sample_stats())
+            .unwrap();
+        let mut bytes = mem.read(&path).unwrap();
+        let n = bytes.len();
+        bytes[n / 2] ^= 0xFF;
+        mem.write(&path, &bytes).unwrap();
+        assert!(cache.load(&path, key).is_none());
+        assert_eq!(cache.robustness().corrupt_misses, 1);
+        // A missing file is a plain miss, not corruption.
+        assert!(cache.load(Path::new("/cache/nope.bin"), key).is_none());
+        assert_eq!(cache.robustness().corrupt_misses, 1);
+    }
+
+    #[test]
+    fn denied_writes_fail_the_store_but_only_the_store() {
+        let mem = Arc::new(MemVfs::new());
+        let fv = Arc::new(FaultVfs::new(mem as Arc<dyn Vfs>, FaultPlan::deny_writes()));
+        let cache = RunCache::with_disk_on(
+            fv as Arc<dyn Vfs>,
+            PathBuf::from("/cache"),
+            RetryPolicy::none(),
+        );
+        assert!(cache
+            .store(Path::new("/cache"), RunKey(1), &sample_stats())
+            .is_err());
+        assert_eq!(cache.robustness().store_failures, 1);
+    }
+
+    #[test]
+    fn transient_faults_are_retried_away() {
+        let mem = Arc::new(MemVfs::new());
+        let fv = Arc::new(FaultVfs::new(
+            mem.clone() as Arc<dyn Vfs>,
+            FaultPlan::transient(3, 250),
+        ));
+        let cache = RunCache::with_disk_on(
+            fv as Arc<dyn Vfs>,
+            PathBuf::from("/cache"),
+            RetryPolicy::immediate(6),
+        );
+        for k in 0..10u128 {
+            cache
+                .store(Path::new("/cache"), RunKey(k), &sample_stats())
+                .unwrap_or_else(|e| panic!("store {k} failed: {e}"));
+            assert!(cache
+                .load(&entry_path(Path::new("/cache"), RunKey(k)), RunKey(k))
+                .is_some());
+        }
+        assert!(
+            cache.robustness().io_retries > 0,
+            "a 250 per-mille transient plan should have injected something"
+        );
+        assert_eq!(cache.robustness().store_failures, 0);
+    }
+
+    /// Regression guard for the tmp-file protocol: many concurrent
+    /// writers — split across two caches sharing one directory, the
+    /// moral equivalent of two processes — never collide on staging
+    /// names, never leave droppings, and every surviving entry is valid.
+    #[test]
+    fn concurrent_writers_share_a_directory_without_tearing() {
+        let mem = Arc::new(MemVfs::new());
+        let a = Arc::new(RunCache::with_disk_on(
+            mem.clone() as Arc<dyn Vfs>,
+            PathBuf::from("/cache"),
+            RetryPolicy::none(),
+        ));
+        let b = Arc::new(RunCache::with_disk_on(
+            mem.clone() as Arc<dyn Vfs>,
+            PathBuf::from("/cache"),
+            RetryPolicy::none(),
+        ));
+        let stats = sample_stats();
+        std::thread::scope(|scope| {
+            for t in 0..4u128 {
+                let cache = if t % 2 == 0 {
+                    Arc::clone(&a)
+                } else {
+                    Arc::clone(&b)
+                };
+                let stats = &stats;
+                scope.spawn(move || {
+                    for i in 0..25u128 {
+                        // Overlapping key ranges force same-key races.
+                        let key = RunKey((t % 2) * 1000 + i);
+                        cache.store(Path::new("/cache"), key, stats).unwrap();
+                    }
+                });
+            }
+        });
+        let listing = mem.read_dir(Path::new("/cache")).unwrap();
+        assert!(
+            listing
+                .iter()
+                .all(|p| !p.to_string_lossy().contains(".tmp.")),
+            "staging files left behind: {listing:?}"
+        );
+        for i in 0..25u128 {
+            for base in [0u128, 1000] {
+                let key = RunKey(base + i);
+                assert_eq!(
+                    a.load(&entry_path(Path::new("/cache"), key), key),
+                    Some(stats.clone()),
+                    "entry {key:?} torn or lost"
+                );
+            }
+        }
+        assert_eq!(a.robustness().corrupt_misses, 0);
     }
 }

@@ -37,13 +37,14 @@ use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
+use mffault::{FaultPlan, FaultVfs, RealVfs, RetryPolicy, Vfs};
 use trace_vm::{Run, RuntimeError};
 
-pub use cache::{CacheCounters, CacheHit, RunCache};
+pub use cache::{CacheCounters, CacheHit, CacheRobustness, RunCache};
 pub use job::{CacheSource, Need, RunJob, RunOutcome};
 pub use key::{fnv64, Fingerprint, RunKey};
-pub use pool::{default_workers, run_indexed, PoolStats};
-pub use report::{HarnessReport, RunRecord};
+pub use pool::{default_workers, run_indexed, run_indexed_supervised, PoolStats};
+pub use report::{HarnessReport, RobustnessReport, RunRecord};
 
 /// Persistent-cache configuration.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
@@ -68,6 +69,14 @@ pub struct HarnessOptions {
     /// the digest on its [`RunRecord`] — including cache hits, so results
     /// loaded from disk are still re-checked against today's verifier.
     pub verify: bool,
+    /// Bounded retry budget for transient cache I/O errors (`None` = the
+    /// default of 2).
+    pub io_retries: Option<u32>,
+    /// Wrap all cache I/O in a seeded [`mffault::FaultVfs`] — the
+    /// fault-injection mode behind `repro --fault-seed`. Cache failures
+    /// degrade to recomputation, so results are unchanged; only the
+    /// robustness counters tell the difference.
+    pub fault_seed: Option<u64>,
 }
 
 impl HarnessOptions {
@@ -87,10 +96,18 @@ impl HarnessOptions {
             Err(_) => false,
             Ok(v) => !matches!(v.trim(), "" | "0" | "off"),
         };
+        let io_retries = std::env::var("MFHARNESS_IO_RETRIES")
+            .ok()
+            .and_then(|v| v.trim().parse::<u32>().ok());
+        let fault_seed = std::env::var("MFHARNESS_FAULT_SEED")
+            .ok()
+            .and_then(|v| v.trim().parse::<u64>().ok());
         HarnessOptions {
             jobs,
             disk_cache,
             verify,
+            io_retries,
+            fault_seed,
         }
     }
 }
@@ -119,12 +136,24 @@ pub enum HarnessError {
         /// The underlying VM error.
         error: RuntimeError,
     },
+    /// A run panicked inside a worker. The pool survived (every other job
+    /// of the batch ran to completion and was cached); the panicking key
+    /// is quarantined so resubmission fails fast instead of re-panicking.
+    Panicked {
+        /// `program/dataset` label of the poisoned job.
+        label: String,
+        /// The panic message, as captured by the supervisor.
+        detail: String,
+    },
 }
 
 impl fmt::Display for HarnessError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             HarnessError::Run { label, error } => write!(f, "run {label} failed: {error}"),
+            HarnessError::Panicked { label, detail } => {
+                write!(f, "run {label} panicked (quarantined): {detail}")
+            }
         }
     }
 }
@@ -143,15 +172,25 @@ pub struct Harness {
     workers_seen: AtomicUsize,
     wall_ns: AtomicU64,
     busy_ns: AtomicU64,
+    panics: AtomicU64,
+    quarantine: Mutex<HashMap<RunKey, (String, String)>>,
 }
 
 impl Harness {
     /// Builds a harness from explicit options.
     pub fn new(options: HarnessOptions) -> Self {
+        let retry = RetryPolicy::immediate(options.io_retries.unwrap_or(2));
+        let vfs: Arc<dyn Vfs> = match options.fault_seed {
+            Some(seed) => Arc::new(FaultVfs::new(
+                Arc::new(RealVfs) as Arc<dyn Vfs>,
+                FaultPlan::from_seed(seed),
+            )),
+            None => Arc::new(RealVfs),
+        };
         let cache = match options.disk_cache {
             DiskCache::Off => RunCache::in_memory(),
-            DiskCache::Default => RunCache::with_disk(default_cache_dir()),
-            DiskCache::Dir(dir) => RunCache::with_disk(dir),
+            DiskCache::Default => RunCache::with_disk_on(vfs, default_cache_dir(), retry),
+            DiskCache::Dir(dir) => RunCache::with_disk_on(vfs, dir, retry),
         };
         Harness {
             jobs: options.jobs.unwrap_or_else(default_workers),
@@ -163,6 +202,8 @@ impl Harness {
             workers_seen: AtomicUsize::new(0),
             wall_ns: AtomicU64::new(0),
             busy_ns: AtomicU64::new(0),
+            panics: AtomicU64::new(0),
+            quarantine: Mutex::new(HashMap::new()),
         }
     }
 
@@ -176,7 +217,7 @@ impl Harness {
         Harness::new(HarnessOptions {
             jobs: None,
             disk_cache: DiskCache::Off,
-            verify: false,
+            ..HarnessOptions::default()
         })
     }
 
@@ -199,6 +240,20 @@ impl Harness {
     /// execution (the strongest [`Need`] wins); cache hits skip execution
     /// entirely. The returned vector is index-aligned with `batch`.
     pub fn run(&self, batch: Vec<RunJob>) -> Result<Vec<RunOutcome>, HarnessError> {
+        self.run_with(batch, |job| {
+            trace_vm::run_program(&job.program, job.config, &job.inputs)
+        })
+    }
+
+    /// [`Harness::run`] with an explicit executor — the seam supervision
+    /// tests (and alternative backends) plug into. `exec` runs on pool
+    /// workers under `catch_unwind`; a panic inside it becomes
+    /// [`HarnessError::Panicked`] and quarantines the job's key rather
+    /// than killing the pool or poisoning the harness.
+    pub fn run_with<E>(&self, batch: Vec<RunJob>, exec: E) -> Result<Vec<RunOutcome>, HarnessError>
+    where
+        E: Fn(&RunJob) -> Result<Run, RuntimeError> + Sync,
+    {
         self.jobs_submitted
             .fetch_add(batch.len() as u64, Ordering::Relaxed);
 
@@ -226,6 +281,20 @@ impl Harness {
         self.unique_jobs
             .fetch_add(unique.len() as u64, Ordering::Relaxed);
 
+        // Quarantined keys fail fast: a job that already panicked once is
+        // not given a second chance to take a worker down.
+        {
+            let quarantine = self.quarantine.lock().expect("quarantine lock");
+            for job in &unique {
+                if let Some((label, detail)) = quarantine.get(&job.key) {
+                    return Err(HarnessError::Panicked {
+                        label: label.clone(),
+                        detail: detail.clone(),
+                    });
+                }
+            }
+        }
+
         // Cache pass (serial, submission order — keeps counter totals and
         // record order deterministic), then pooled execution of misses.
         let mut resolved: Vec<Option<RunOutcome>> = Vec::with_capacity(unique.len());
@@ -248,10 +317,10 @@ impl Harness {
         }
 
         if !to_run.is_empty() {
-            let (executed, stats) = pool::run_indexed(self.jobs, to_run.len(), |slot| {
+            let (executed, stats) = pool::run_indexed_supervised(self.jobs, to_run.len(), |slot| {
                 let job = &unique[to_run[slot]];
                 let t0 = Instant::now();
-                let result = trace_vm::run_program(&job.program, job.config, &job.inputs);
+                let result = exec(job);
                 (result.map(Arc::new), t0.elapsed())
             });
             self.workers_seen
@@ -262,22 +331,50 @@ impl Harness {
                 stats.busy.iter().map(|d| d.as_nanos() as u64).sum::<u64>(),
                 Ordering::Relaxed,
             );
-            for (slot, (result, wall)) in executed.into_iter().enumerate() {
+            // Every slot is drained before the first error is surfaced, so
+            // all completed work lands in the cache and every panic of the
+            // batch is quarantined — not just the first one.
+            let mut first_error: Option<HarnessError> = None;
+            for (slot, outcome) in executed.into_iter().enumerate() {
                 let i = to_run[slot];
                 let job = &unique[i];
-                let run: Arc<Run> = result.map_err(|error| HarnessError::Run {
-                    label: job.label(),
-                    error,
-                })?;
-                self.cache.insert(job, &run);
-                resolved[i] = Some(RunOutcome {
-                    label: job.label(),
-                    key: job.key,
-                    stats: Arc::new(run.stats.clone()),
-                    run: Some(run),
-                    source: CacheSource::Computed,
-                    wall,
-                });
+                match outcome {
+                    Err(detail) => {
+                        self.panics.fetch_add(1, Ordering::Relaxed);
+                        self.quarantine
+                            .lock()
+                            .expect("quarantine lock")
+                            .insert(job.key, (job.label(), detail.clone()));
+                        if first_error.is_none() {
+                            first_error = Some(HarnessError::Panicked {
+                                label: job.label(),
+                                detail,
+                            });
+                        }
+                    }
+                    Ok((Err(error), _)) => {
+                        if first_error.is_none() {
+                            first_error = Some(HarnessError::Run {
+                                label: job.label(),
+                                error,
+                            });
+                        }
+                    }
+                    Ok((Ok(run), wall)) => {
+                        self.cache.insert(job, &run);
+                        resolved[i] = Some(RunOutcome {
+                            label: job.label(),
+                            key: job.key,
+                            stats: Arc::new(run.stats.clone()),
+                            run: Some(run),
+                            source: CacheSource::Computed,
+                            wall,
+                        });
+                    }
+                }
+            }
+            if let Some(error) = first_error {
+                return Err(error);
             }
         }
 
@@ -330,8 +427,17 @@ impl Harness {
         Ok(self.run(vec![job])?.pop().expect("one job, one outcome"))
     }
 
+    /// Labels currently quarantined after panicking, sorted.
+    pub fn quarantined(&self) -> Vec<String> {
+        let quarantine = self.quarantine.lock().expect("quarantine lock");
+        let mut labels: Vec<String> = quarantine.values().map(|(l, _)| l.clone()).collect();
+        labels.sort();
+        labels
+    }
+
     /// Snapshot of accumulated observability.
     pub fn report(&self) -> HarnessReport {
+        let cache_robustness = self.cache.robustness();
         HarnessReport {
             records: self.records.lock().expect("records lock").clone(),
             jobs_submitted: self.jobs_submitted.load(Ordering::Relaxed),
@@ -340,6 +446,13 @@ impl Harness {
             wall: std::time::Duration::from_nanos(self.wall_ns.load(Ordering::Relaxed)),
             busy: std::time::Duration::from_nanos(self.busy_ns.load(Ordering::Relaxed)),
             cache: self.cache.counters(),
+            robustness: RobustnessReport {
+                panics: self.panics.load(Ordering::Relaxed),
+                quarantined: self.quarantined(),
+                io_retries: cache_robustness.io_retries,
+                cache_store_failures: cache_robustness.store_failures,
+                cache_corrupt_misses: cache_robustness.corrupt_misses,
+            },
         }
     }
 }
@@ -414,6 +527,7 @@ mod tests {
             jobs: Some(2),
             disk_cache: DiskCache::Off,
             verify: true,
+            ..HarnessOptions::default()
         });
         assert!(harness.verify());
         // Two batches of the same job: a computed record and a memory-hit
@@ -443,16 +557,64 @@ mod tests {
     }
 
     #[test]
+    fn panicking_run_is_quarantined_not_fatal() {
+        // Silence the default panic hook for the expected panic.
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+
+        let harness = Harness::new(HarnessOptions {
+            jobs: Some(2),
+            disk_cache: DiskCache::Off,
+            ..HarnessOptions::default()
+        });
+        let good = job(LOOPY, vec![Input::Int(20)]);
+        let bad = job(LOOPY, vec![Input::Int(21)]);
+        let bad_key = bad.key;
+        let batch = vec![good.clone(), bad.clone()];
+        let err = harness
+            .run_with(batch, |j| {
+                if j.key == bad_key {
+                    panic!("injected poison");
+                }
+                trace_vm::run_program(&j.program, j.config, &j.inputs)
+            })
+            .unwrap_err();
+        match &err {
+            HarnessError::Panicked { label, detail } => {
+                assert_eq!(label, "test/d0");
+                assert!(detail.contains("injected poison"), "{detail}");
+            }
+            other => panic!("expected Panicked, got {other}"),
+        }
+
+        // The pool survived: the good job completed and was cached.
+        let again = harness.run_one(good).unwrap();
+        assert_eq!(again.source, CacheSource::Memory);
+
+        // The poisoned key is quarantined: resubmission fails fast with
+        // the stored detail instead of re-running.
+        let err = harness.run_one(bad).unwrap_err();
+        assert!(matches!(err, HarnessError::Panicked { .. }), "{err}");
+
+        let report = harness.report();
+        assert_eq!(report.robustness.panics, 1);
+        assert_eq!(report.robustness.quarantined, vec!["test/d0".to_string()]);
+        assert!(report.to_json().contains("\"robustness\""));
+
+        std::panic::set_hook(prev);
+    }
+
+    #[test]
     fn parallel_and_serial_agree() {
         let serial = Harness::new(HarnessOptions {
             jobs: Some(1),
             disk_cache: DiskCache::Off,
-            verify: false,
+            ..HarnessOptions::default()
         });
         let parallel = Harness::new(HarnessOptions {
             jobs: Some(8),
             disk_cache: DiskCache::Off,
-            verify: false,
+            ..HarnessOptions::default()
         });
         let batch = |h: &Harness| {
             let jobs: Vec<RunJob> = (10..30).map(|n| job(LOOPY, vec![Input::Int(n)])).collect();

@@ -108,6 +108,36 @@ where
     (results, stats)
 }
 
+/// Like [`run_indexed`], but each job runs under `catch_unwind`: a
+/// panicking job yields `Err(panic message)` in its slot instead of
+/// poisoning a worker and deadlocking the batch. The other jobs — on the
+/// same worker included — run to completion.
+pub fn run_indexed_supervised<T, F>(
+    workers: usize,
+    count: usize,
+    f: F,
+) -> (Vec<Result<T, String>>, PoolStats)
+where
+    T: Send + Sync,
+    F: Fn(usize) -> T + Sync,
+{
+    run_indexed(workers, count, |i| {
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(i))).map_err(panic_message)
+    })
+}
+
+/// Renders a panic payload as text (the common `&str`/`String` payloads;
+/// anything else gets a placeholder).
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "panic payload of unknown type".to_string()
+    }
+}
+
 fn pop_own(deque: &Mutex<VecDeque<usize>>) -> Option<usize> {
     deque.lock().expect("pool deque lock").pop_front()
 }
@@ -168,6 +198,31 @@ mod tests {
         let (results, stats) = run_indexed(16, 3, |i| i + 1);
         assert_eq!(results, vec![1, 2, 3]);
         assert!(stats.workers <= 3);
+    }
+
+    #[test]
+    fn supervised_pool_survives_panicking_jobs() {
+        // Silence the default panic hook for the expected panics.
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        for workers in [1, 4] {
+            let (results, _) = run_indexed_supervised(workers, 20, |i| {
+                if i % 5 == 3 {
+                    panic!("job {i} is poisoned");
+                }
+                i * 2
+            });
+            assert_eq!(results.len(), 20, "workers = {workers}");
+            for (i, r) in results.iter().enumerate() {
+                if i % 5 == 3 {
+                    let msg = r.as_ref().unwrap_err();
+                    assert!(msg.contains("poisoned"), "slot {i}: {msg}");
+                } else {
+                    assert_eq!(*r, Ok(i * 2), "workers = {workers}");
+                }
+            }
+        }
+        std::panic::set_hook(prev);
     }
 
     #[test]

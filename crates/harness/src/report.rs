@@ -34,6 +34,32 @@ pub struct RunRecord {
     pub verify_digest: Option<u64>,
 }
 
+/// Error-taxonomy counters: everything the harness survived rather than
+/// died of — worker panics, transient I/O absorbed by retry, persist
+/// failures degraded to recomputation, corrupt cache entries salvaged
+/// to misses.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct RobustnessReport {
+    /// Runs that panicked inside a worker (each is quarantined).
+    pub panics: u64,
+    /// Labels currently quarantined, sorted.
+    pub quarantined: Vec<String>,
+    /// Transient I/O faults absorbed by retrying.
+    pub io_retries: u64,
+    /// Cache persists that gave up (results stayed in memory).
+    pub cache_store_failures: u64,
+    /// Cache entries that failed validation and salvaged to a miss.
+    pub cache_corrupt_misses: u64,
+}
+
+impl RobustnessReport {
+    /// True when nothing abnormal was observed (the usual case — and the
+    /// reason the summary table omits these rows by default).
+    pub fn is_quiet(&self) -> bool {
+        *self == RobustnessReport::default()
+    }
+}
+
 /// Aggregated observability for every batch a harness has executed.
 #[derive(Clone, Debug, Default)]
 pub struct HarnessReport {
@@ -51,6 +77,8 @@ pub struct HarnessReport {
     pub busy: Duration,
     /// Cache counters snapshot.
     pub cache: CacheCounters,
+    /// Error-taxonomy snapshot.
+    pub robustness: RobustnessReport,
 }
 
 impl HarnessReport {
@@ -152,6 +180,22 @@ impl HarnessReport {
                 format!("{verified} ({} clean)", self.verified_clean()),
             ]);
         }
+        if !self.robustness.is_quiet() {
+            let r = &self.robustness;
+            table.row_owned(vec![
+                "runs panicked (quarantined)".into(),
+                format!("{} ({})", r.panics, r.quarantined.len()),
+            ]);
+            table.row_owned(vec!["io retries".into(), r.io_retries.to_string()]);
+            table.row_owned(vec![
+                "cache store failures".into(),
+                r.cache_store_failures.to_string(),
+            ]);
+            table.row_owned(vec![
+                "cache corrupt misses".into(),
+                r.cache_corrupt_misses.to_string(),
+            ]);
+        }
         table
     }
 
@@ -199,6 +243,20 @@ impl HarnessReport {
             "  \"guest_instructions\": {},\n  \"guest_instrs_per_sec\": {},\n",
             self.guest_instrs(),
             json_f64(self.guest_instrs_per_sec())
+        ));
+        let quarantined: Vec<String> = self
+            .robustness
+            .quarantined
+            .iter()
+            .map(|l| json_str(l))
+            .collect();
+        out.push_str(&format!(
+            "  \"robustness\": {{\"panics\": {}, \"quarantined\": [{}], \"io_retries\": {}, \"cache_store_failures\": {}, \"cache_corrupt_misses\": {}}},\n",
+            self.robustness.panics,
+            quarantined.join(", "),
+            self.robustness.io_retries,
+            self.robustness.cache_store_failures,
+            self.robustness.cache_corrupt_misses
         ));
         out.push_str("  \"runs\": [\n");
         for (i, record) in self.records.iter().enumerate() {
@@ -287,6 +345,7 @@ mod tests {
                 disk_hits: 0,
                 misses: 1,
             },
+            robustness: RobustnessReport::default(),
         }
     }
 
@@ -323,6 +382,31 @@ mod tests {
         assert_eq!(json_str("a\"b\\c\n"), "\"a\\\"b\\\\c\\n\"");
         assert_eq!(json_str("\u{1}"), "\"\\u0001\"");
         assert_eq!(json_f64(f64::NAN), "null");
+    }
+
+    #[test]
+    fn robustness_rows_appear_only_when_noisy() {
+        let mut report = sample();
+        assert!(!report.summary_table().render().contains("runs panicked"));
+        assert!(report
+            .to_json()
+            .contains("\"robustness\": {\"panics\": 0, \"quarantined\": []"));
+        report.robustness = RobustnessReport {
+            panics: 1,
+            quarantined: vec!["doduc/train".into()],
+            io_retries: 3,
+            cache_store_failures: 2,
+            cache_corrupt_misses: 1,
+        };
+        let rendered = report.summary_table().render();
+        assert!(rendered.contains("runs panicked (quarantined)"));
+        assert!(rendered.contains("io retries"));
+        let json = report.to_json();
+        assert!(
+            json.contains("\"quarantined\": [\"doduc/train\"]"),
+            "{json}"
+        );
+        assert!(json.contains("\"cache_store_failures\": 2"));
     }
 
     #[test]

@@ -22,7 +22,7 @@ fn disk_harness(dir: &Path) -> Harness {
     Harness::new(HarnessOptions {
         jobs: Some(2),
         disk_cache: DiskCache::Dir(dir.to_path_buf()),
-        verify: false,
+        ..HarnessOptions::default()
     })
 }
 

@@ -1,0 +1,304 @@
+//! The segment-file codec.
+//!
+//! A segment is a checksummed header followed by length-prefixed,
+//! individually checksummed frames (one frame per appended run profile):
+//!
+//! ```text
+//! header  = "MFPD" version:u8 generation:u64 folds_through:u64
+//!           base_len:u64 fnv64(previous 29 bytes):u64        (37 bytes)
+//! frame   = payload_len:u32 payload fnv64(payload):u64
+//! payload = kind:u8(=1) name_len:u32 name:bytes
+//!           n:u32 { branch_id:u32 executed:u64 taken:u64 } * n
+//! ```
+//!
+//! All integers little-endian. `generation` orders segments;
+//! `folds_through` marks a compacted segment as superseding every
+//! generation `<=` it; `base_len` is the byte length the file had when
+//! its creation was committed — a file shorter than its own `base_len`
+//! was torn mid-creation and never contained acknowledged data, so it can
+//! be discarded whole. Frames past `base_len` (the appends) are governed
+//! by salvage: the longest prefix of structurally complete, checksum-
+//! valid frames wins, and everything after it is a torn tail.
+
+/// Segment-header magic.
+pub(crate) const MAGIC: &[u8; 4] = b"MFPD";
+/// On-disk format version.
+pub(crate) const VERSION: u8 = 1;
+/// Encoded header size.
+pub(crate) const HEADER_LEN: usize = 37;
+/// Sanity bound on a single frame payload (a run profile is at most a
+/// few thousand branch entries; 16 MiB is absurdly generous).
+const MAX_PAYLOAD: u32 = 16 << 20;
+const KIND_RUN: u8 = 1;
+
+/// 64-bit FNV-1a — same checksum the harness cache uses.
+pub(crate) fn fnv64(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// One appended run profile: a dataset name plus raw
+/// `(branch, executed, taken)` entries. Kept raw (not `BranchCounts`) so
+/// reading a corrupted-but-accepted frame can never trip a counter
+/// invariant — semantic judgment belongs to the consumer.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ProfileRecord {
+    /// Dataset the counts belong to.
+    pub dataset: String,
+    /// `(branch id, executed, taken)` in id order.
+    pub entries: Vec<(u32, u64, u64)>,
+}
+
+/// A decoded segment header.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) struct SegmentHeader {
+    pub generation: u64,
+    pub folds_through: u64,
+    pub base_len: u64,
+}
+
+pub(crate) fn encode_header(h: &SegmentHeader) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(HEADER_LEN);
+    buf.extend_from_slice(MAGIC);
+    buf.push(VERSION);
+    buf.extend_from_slice(&h.generation.to_le_bytes());
+    buf.extend_from_slice(&h.folds_through.to_le_bytes());
+    buf.extend_from_slice(&h.base_len.to_le_bytes());
+    let sum = fnv64(&buf);
+    buf.extend_from_slice(&sum.to_le_bytes());
+    buf
+}
+
+pub(crate) fn decode_header(bytes: &[u8]) -> Option<SegmentHeader> {
+    if bytes.len() < HEADER_LEN {
+        return None;
+    }
+    let (body, sum) = bytes[..HEADER_LEN].split_at(HEADER_LEN - 8);
+    if u64::from_le_bytes(sum.try_into().ok()?) != fnv64(body) {
+        return None;
+    }
+    if &body[..4] != MAGIC || body[4] != VERSION {
+        return None;
+    }
+    let u64_at = |off: usize| u64::from_le_bytes(body[off..off + 8].try_into().expect("8 bytes"));
+    Some(SegmentHeader {
+        generation: u64_at(5),
+        folds_through: u64_at(13),
+        base_len: u64_at(21),
+    })
+}
+
+pub(crate) fn encode_frame(record: &ProfileRecord) -> Vec<u8> {
+    let mut payload = Vec::with_capacity(16 + record.dataset.len() + record.entries.len() * 20);
+    payload.push(KIND_RUN);
+    payload.extend_from_slice(&(record.dataset.len() as u32).to_le_bytes());
+    payload.extend_from_slice(record.dataset.as_bytes());
+    payload.extend_from_slice(&(record.entries.len() as u32).to_le_bytes());
+    for &(id, executed, taken) in &record.entries {
+        payload.extend_from_slice(&id.to_le_bytes());
+        payload.extend_from_slice(&executed.to_le_bytes());
+        payload.extend_from_slice(&taken.to_le_bytes());
+    }
+    let mut frame = Vec::with_capacity(12 + payload.len());
+    frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    let sum = fnv64(&payload);
+    frame.extend_from_slice(&payload);
+    frame.extend_from_slice(&sum.to_le_bytes());
+    frame
+}
+
+fn checksum_ok(payload: &[u8], stored: u64) -> bool {
+    #[cfg(feature = "seeded-defects")]
+    if mfdefect::active("profdb-checksum-skipped") {
+        return true;
+    }
+    fnv64(payload) == stored
+}
+
+fn decode_payload(payload: &[u8]) -> Option<ProfileRecord> {
+    let mut pos = 0usize;
+    let take = |pos: &mut usize, n: usize| -> Option<&[u8]> {
+        let end = pos.checked_add(n)?;
+        if end > payload.len() {
+            return None;
+        }
+        let s = &payload[*pos..end];
+        *pos = end;
+        Some(s)
+    };
+    if take(&mut pos, 1)?[0] != KIND_RUN {
+        return None;
+    }
+    let name_len = u32::from_le_bytes(take(&mut pos, 4)?.try_into().ok()?) as usize;
+    let dataset = String::from_utf8(take(&mut pos, name_len)?.to_vec()).ok()?;
+    let n = u32::from_le_bytes(take(&mut pos, 4)?.try_into().ok()?) as usize;
+    let mut entries = Vec::with_capacity(n.min(1 << 16));
+    for _ in 0..n {
+        let id = u32::from_le_bytes(take(&mut pos, 4)?.try_into().ok()?);
+        let executed = u64::from_le_bytes(take(&mut pos, 8)?.try_into().ok()?);
+        let taken = u64::from_le_bytes(take(&mut pos, 8)?.try_into().ok()?);
+        entries.push((id, executed, taken));
+    }
+    if pos != payload.len() {
+        return None; // trailing garbage inside the frame
+    }
+    Some(ProfileRecord { dataset, entries })
+}
+
+/// Walks the frames of a segment body (everything after the header).
+/// Returns the salvaged records and the number of body bytes covered by
+/// the longest valid prefix; anything beyond that is a torn tail.
+pub(crate) fn walk_frames(body: &[u8]) -> (Vec<ProfileRecord>, usize) {
+    let mut records = Vec::new();
+    let mut pos = 0usize;
+    while let Some(len_bytes) = body.get(pos..pos + 4) {
+        let payload_len = u32::from_le_bytes(len_bytes.try_into().expect("4 bytes"));
+        if payload_len > MAX_PAYLOAD {
+            break;
+        }
+        let payload_len = payload_len as usize;
+        let Some(payload) = body.get(pos + 4..pos + 4 + payload_len) else {
+            break;
+        };
+        let Some(sum_bytes) = body.get(pos + 4 + payload_len..pos + 12 + payload_len) else {
+            break;
+        };
+        let stored = u64::from_le_bytes(sum_bytes.try_into().expect("8 bytes"));
+        if !checksum_ok(payload, stored) {
+            break;
+        }
+        let Some(record) = decode_payload(payload) else {
+            break;
+        };
+        records.push(record);
+        pos += 12 + payload_len;
+    }
+    (records, pos)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> ProfileRecord {
+        ProfileRecord {
+            dataset: "train".into(),
+            entries: vec![(0, 100, 40), (7, 5, 5), (9, 1, 0)],
+        }
+    }
+
+    #[test]
+    fn header_roundtrips_and_rejects_damage() {
+        let h = SegmentHeader {
+            generation: 3,
+            folds_through: 2,
+            base_len: 1234,
+        };
+        let buf = encode_header(&h);
+        assert_eq!(buf.len(), HEADER_LEN);
+        assert_eq!(decode_header(&buf), Some(h));
+        for len in 0..buf.len() {
+            assert_eq!(decode_header(&buf[..len]), None, "truncated to {len}");
+        }
+        for i in 0..buf.len() {
+            let mut bad = buf.clone();
+            bad[i] ^= 0x10;
+            assert_eq!(decode_header(&bad), None, "flipped byte {i}");
+        }
+    }
+
+    #[test]
+    fn frames_roundtrip() {
+        let records = vec![
+            sample(),
+            ProfileRecord {
+                dataset: "ref".into(),
+                entries: vec![],
+            },
+        ];
+        let mut body = Vec::new();
+        for r in &records {
+            body.extend_from_slice(&encode_frame(r));
+        }
+        let (got, valid) = walk_frames(&body);
+        assert_eq!(got, records);
+        assert_eq!(valid, body.len());
+    }
+
+    #[test]
+    fn every_truncation_salvages_a_frame_prefix() {
+        let records: Vec<ProfileRecord> = (0..4)
+            .map(|i| ProfileRecord {
+                dataset: format!("ds{i}"),
+                entries: vec![(i, 10 + u64::from(i), 3)],
+            })
+            .collect();
+        let frames: Vec<Vec<u8>> = records.iter().map(encode_frame).collect();
+        let body: Vec<u8> = frames.concat();
+        let boundaries: Vec<usize> = frames
+            .iter()
+            .scan(0, |acc, f| {
+                *acc += f.len();
+                Some(*acc)
+            })
+            .collect();
+        for len in 0..=body.len() {
+            let (got, valid) = walk_frames(&body[..len]);
+            // Salvage stops exactly at the last complete frame boundary.
+            let complete = boundaries.iter().filter(|&&b| b <= len).count();
+            assert_eq!(got.len(), complete, "len {len}");
+            assert_eq!(got[..], records[..complete], "len {len}");
+            assert_eq!(
+                valid,
+                boundaries
+                    .get(complete.wrapping_sub(1))
+                    .copied()
+                    .unwrap_or(0)
+            );
+        }
+    }
+
+    #[test]
+    fn any_flipped_byte_drops_that_frame_and_its_suffix() {
+        let records: Vec<ProfileRecord> = (0..3)
+            .map(|i| ProfileRecord {
+                dataset: format!("ds{i}"),
+                entries: vec![(i, 100, 40)],
+            })
+            .collect();
+        let frames: Vec<Vec<u8>> = records.iter().map(encode_frame).collect();
+        let body: Vec<u8> = frames.concat();
+        for i in 0..body.len() {
+            let mut bad = body.clone();
+            bad[i] ^= 0x41;
+            let (got, _) = walk_frames(&bad);
+            // The records before the damaged frame must survive intact;
+            // the damaged frame and everything after must be dropped
+            // (a flipped length prefix may also desynchronize earlier).
+            let frame_of_i = frames
+                .iter()
+                .scan(0usize, |acc, f| {
+                    *acc += f.len();
+                    Some(*acc)
+                })
+                .position(|end| i < end)
+                .expect("byte inside some frame");
+            assert!(got.len() <= frame_of_i, "byte {i}");
+            assert_eq!(got[..], records[..got.len()], "byte {i}");
+        }
+    }
+
+    #[test]
+    fn insane_length_prefix_is_a_torn_tail() {
+        let mut body = encode_frame(&sample());
+        body.extend_from_slice(&u32::MAX.to_le_bytes());
+        body.extend_from_slice(&[0xAB; 100]);
+        let (got, valid) = walk_frames(&body);
+        assert_eq!(got.len(), 1);
+        assert_eq!(valid, encode_frame(&sample()).len());
+    }
+}

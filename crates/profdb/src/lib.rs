@@ -1,0 +1,929 @@
+#![warn(missing_docs)]
+
+//! # mfprofdb — the crash-safe cross-run profile database
+//!
+//! The paper's IFPROBBER accumulated `(executed, taken)` counter pairs
+//! "into a database across runs"; this crate is that database, built to
+//! survive what real databases survive: torn writes, `ENOSPC`, crashes
+//! mid-append, crashes mid-compaction, and concurrent writers.
+//!
+//! Layout: a directory of segment files (`seg-<generation>.mfdb`), each
+//! an append-only log of checksummed frames — one frame per appended run
+//! profile (see [`format`](self) internals). The write protocol is
+//! append-then-sync; a sync acknowledgment is the commit point.
+//! Recovery salvages the longest valid frame prefix of each surviving
+//! segment and truncates the torn tail. Compaction folds all records
+//! into one frame per dataset in a new segment whose header supersedes
+//! (`folds_through`) every older generation — written to a temp name,
+//! synced, then renamed, and validated by a committed-length field so a
+//! torn copy can never masquerade as a complete compaction.
+//!
+//! A `LOCK` file serializes writers (bounded deterministic backoff, with
+//! liveness-checked staleness detection so a crashed writer's lock does
+//! not wedge the database forever). Every failure that is not a crash
+//! degrades the store to in-memory accumulation with a surfaced warning
+//! — opening or appending never panics and never loses the current
+//! process's data.
+//!
+//! All I/O goes through [`mffault::Vfs`], so the crash battery can
+//! enumerate every crash-point deterministically on an in-memory
+//! filesystem.
+
+mod format;
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use std::time::Duration;
+
+use mffault::{is_crash, RetryPolicy, Vfs};
+use trace_ir::BranchId;
+use trace_vm::BranchCounts;
+
+pub use format::ProfileRecord;
+
+/// Name of the writer-serialization lock file.
+const LOCK_FILE: &str = "LOCK";
+
+/// How [`ProfileStore::open`] should handle the writer lock.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LockMode {
+    /// Try to acquire; on contention back off deterministically, then
+    /// check the holder's liveness and steal a dead holder's lock.
+    Acquire {
+        /// Retries after the first attempt.
+        attempts: u32,
+        /// Backoff before retry `i` is `base * (i + 1)`.
+        base: Duration,
+    },
+    /// Take the lock unconditionally — for crash-recovery tests, where
+    /// the previous holder is known dead.
+    Steal,
+    /// Skip locking entirely (single-accessor callers).
+    None,
+}
+
+impl Default for LockMode {
+    fn default() -> Self {
+        LockMode::Acquire {
+            attempts: 5,
+            base: Duration::from_millis(2),
+        }
+    }
+}
+
+/// Open-time knobs.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct OpenOptions {
+    /// Writer-lock handling.
+    pub lock: LockMode,
+    /// Bounded retry for transient I/O faults.
+    pub retry: RetryPolicy,
+}
+
+/// Where an append landed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Persistence {
+    /// Durable in the segment log (append + sync acknowledged).
+    Committed,
+    /// In memory only — the store is (now) degraded.
+    Degraded,
+}
+
+/// The only hard failure: an injected crash-point fired. The accessor is
+/// dead; tests treat this as process death. Real filesystems never
+/// produce it — every real I/O failure degrades instead.
+#[derive(Debug)]
+pub struct DbError {
+    /// The operation that was interrupted.
+    pub op: &'static str,
+    /// The underlying (injected) crash error.
+    pub source: io::Error,
+}
+
+impl fmt::Display for DbError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "profile db crashed during {}: {}", self.op, self.source)
+    }
+}
+
+impl std::error::Error for DbError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        Some(&self.source)
+    }
+}
+
+/// Observability counters for one store's lifetime.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StoreCounters {
+    /// Appends acknowledged durable.
+    pub committed_appends: u64,
+    /// Appends that fell back to memory.
+    pub degraded_appends: u64,
+    /// Records recovered from disk at open.
+    pub salvaged_records: u64,
+    /// Torn-tail bytes truncated at open.
+    pub truncated_bytes: u64,
+    /// Transient I/O faults absorbed by retry.
+    pub io_retries: u64,
+    /// Successful compactions.
+    pub compactions: u64,
+}
+
+/// Per-dataset raw accumulation: branch id → (executed, taken), summed
+/// saturating so even nonsense counts (from a seeded defect) cannot trip
+/// an arithmetic invariant while being compared against expectations.
+type RawFold = BTreeMap<String, BTreeMap<u32, (u64, u64)>>;
+
+#[derive(Debug)]
+struct Persist {
+    segment: PathBuf,
+    generation: u64,
+    /// Acknowledged byte length of the active segment; the repair target
+    /// after a failed append.
+    committed_len: u64,
+}
+
+/// The crash-safe profile store. See the crate docs for the protocol.
+#[derive(Debug)]
+pub struct ProfileStore {
+    vfs: Arc<dyn Vfs>,
+    dir: PathBuf,
+    retry: RetryPolicy,
+    persist: Option<Persist>,
+    locked: bool,
+    records: Vec<ProfileRecord>,
+    fold: RawFold,
+    warnings: Vec<String>,
+    counters: StoreCounters,
+}
+
+/// Classifies an I/O result: crashes become `DbError`, everything else
+/// stays for the caller's degrade-or-proceed policy.
+fn crash_check<T>(op: &'static str, result: io::Result<T>) -> Result<io::Result<T>, DbError> {
+    match result {
+        Err(e) if is_crash(&e) => Err(DbError { op, source: e }),
+        other => Ok(other),
+    }
+}
+
+impl ProfileStore {
+    /// Opens (or creates) the database at `dir`. Returns `Err` only on an
+    /// injected crash; every real failure yields a degraded, in-memory
+    /// store with a warning in [`ProfileStore::warnings`].
+    pub fn open(
+        vfs: Arc<dyn Vfs>,
+        dir: impl Into<PathBuf>,
+        options: OpenOptions,
+    ) -> Result<Self, DbError> {
+        let dir = dir.into();
+        let mut store = ProfileStore {
+            vfs,
+            dir,
+            retry: options.retry,
+            persist: None,
+            locked: false,
+            records: Vec::new(),
+            fold: RawFold::new(),
+            warnings: Vec::new(),
+            counters: StoreCounters::default(),
+        };
+
+        let made = store.io("create db directory", |vfs, dir| vfs.create_dir_all(dir))?;
+        if let Err(e) = made {
+            store.degrade(format!(
+                "profile db directory {} unavailable ({e}); accumulating in memory only",
+                store.dir.display()
+            ));
+            return Ok(store);
+        }
+
+        if !store.acquire_lock(options.lock)? {
+            return Ok(store);
+        }
+
+        store.recover()?;
+        Ok(store)
+    }
+
+    // -- public accessors ------------------------------------------------
+
+    /// False once the store fell back to in-memory accumulation.
+    pub fn is_persistent(&self) -> bool {
+        self.persist.is_some()
+    }
+
+    /// True when appends no longer reach disk.
+    pub fn is_degraded(&self) -> bool {
+        self.persist.is_none()
+    }
+
+    /// Everything that went wrong so far, in order, human-readable.
+    pub fn warnings(&self) -> &[String] {
+        &self.warnings
+    }
+
+    /// Lifetime counters.
+    pub fn counters(&self) -> StoreCounters {
+        self.counters
+    }
+
+    /// The database directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The active segment file, when persistent.
+    pub fn active_segment(&self) -> Option<&Path> {
+        self.persist.as_ref().map(|p| p.segment.as_path())
+    }
+
+    /// Every record currently in the store (recovered + appended), in
+    /// log order. After a compaction this is one folded record per
+    /// dataset followed by any later appends.
+    pub fn records(&self) -> &[ProfileRecord] {
+        &self.records
+    }
+
+    /// Dataset names present, sorted.
+    pub fn datasets(&self) -> Vec<&str> {
+        self.fold.keys().map(String::as_str).collect()
+    }
+
+    /// Raw accumulated `(branch, executed, taken)` rows for one dataset.
+    pub fn raw_profile(&self, dataset: &str) -> Option<Vec<(u32, u64, u64)>> {
+        self.fold
+            .get(dataset)
+            .map(|m| m.iter().map(|(&id, &(e, t))| (id, e, t)).collect())
+    }
+
+    /// Raw accumulated totals for every dataset — the comparison currency
+    /// of the crash battery and the fuzz oracle (no counter invariants
+    /// are asserted on the way out).
+    pub fn raw_totals(&self) -> BTreeMap<String, Vec<(u32, u64, u64)>> {
+        self.fold
+            .iter()
+            .map(|(ds, m)| {
+                (
+                    ds.clone(),
+                    m.iter().map(|(&id, &(e, t))| (id, e, t)).collect(),
+                )
+            })
+            .collect()
+    }
+
+    /// The accumulated database as the in-memory [`ifprob::ProfileDb`]
+    /// every downstream predictor consumes.
+    pub fn snapshot(&self) -> ifprob::ProfileDb {
+        let mut db = ifprob::ProfileDb::new();
+        for (dataset, entries) in &self.fold {
+            let counts: BranchCounts = entries
+                .iter()
+                .map(|(&id, &(e, t))| (BranchId(id), e, t))
+                .collect();
+            db.record(dataset, &counts);
+        }
+        db
+    }
+
+    // -- the write path --------------------------------------------------
+
+    /// Appends one run's counters under `dataset`. Returns where the
+    /// record landed; `Err` only on an injected crash.
+    pub fn append(&mut self, dataset: &str, counts: &BranchCounts) -> Result<Persistence, DbError> {
+        let record = ProfileRecord {
+            dataset: dataset.to_string(),
+            entries: counts.iter().map(|(id, e, t)| (id.0, e, t)).collect(),
+        };
+        let persistence = self.persist_record(&record)?;
+        self.ingest(record);
+        Ok(persistence)
+    }
+
+    fn persist_record(&mut self, record: &ProfileRecord) -> Result<Persistence, DbError> {
+        let Some(persist) = &self.persist else {
+            self.counters.degraded_appends += 1;
+            return Ok(Persistence::Degraded);
+        };
+        let segment = persist.segment.clone();
+        let committed_len = persist.committed_len;
+        let frame = format::encode_frame(record);
+
+        let appended = self.io("append frame", |vfs, _| vfs.append(&segment, &frame))?;
+        let synced = match appended {
+            Ok(()) => self.io("sync segment", |vfs, _| vfs.sync(&segment))?,
+            Err(e) => Err(e),
+        };
+        match synced {
+            Ok(()) => {
+                let persist = self.persist.as_mut().expect("still persistent");
+                persist.committed_len += frame.len() as u64;
+                self.counters.committed_appends += 1;
+                Ok(Persistence::Committed)
+            }
+            Err(e) => {
+                // Repair: cut the segment back to the last acknowledged
+                // byte so a partial frame cannot linger ahead of future
+                // appends, then degrade.
+                let repaired = self.io("truncate torn append", |vfs, _| {
+                    vfs.truncate(&segment, committed_len)
+                })?;
+                let detail = match repaired {
+                    Ok(()) => String::new(),
+                    Err(re) => format!(" (tail repair also failed: {re})"),
+                };
+                self.degrade(format!(
+                    "append to {} failed ({e}){detail}; accumulating in memory from here on",
+                    segment.display()
+                ));
+                self.counters.degraded_appends += 1;
+                Ok(Persistence::Degraded)
+            }
+        }
+    }
+
+    /// Folds every record into one frame per dataset inside a fresh
+    /// segment that supersedes all current generations. On any real
+    /// failure the store keeps running on the current segment.
+    pub fn compact(&mut self) -> Result<(), DbError> {
+        let Some(persist) = &self.persist else {
+            return Ok(());
+        };
+        let generation = persist.generation;
+        let new_gen = generation + 1;
+        let final_path = self.segment_path(new_gen);
+        let tmp = self.dir.join(format!("compact-{new_gen}.tmp"));
+
+        // One folded record per dataset, via the same accumulation path
+        // the in-memory database uses (BTreeMap order ⇒ deterministic).
+        let folded: Vec<ProfileRecord> = self
+            .fold
+            .iter()
+            .map(|(ds, m)| ProfileRecord {
+                dataset: ds.clone(),
+                entries: m.iter().map(|(&id, &(e, t))| (id, e, t)).collect(),
+            })
+            .collect();
+        let mut buf = Vec::new();
+        for r in &folded {
+            buf.extend_from_slice(&format::encode_frame(r));
+        }
+        let header = format::encode_header(&format::SegmentHeader {
+            generation: new_gen,
+            folds_through: generation,
+            base_len: (format::HEADER_LEN + buf.len()) as u64,
+        });
+        let mut segment_bytes = header;
+        segment_bytes.extend_from_slice(&buf);
+        let total_len = segment_bytes.len() as u64;
+
+        let staged = self.io("write compaction", |vfs, _| vfs.write(&tmp, &segment_bytes))?;
+        let staged = match staged {
+            Ok(()) => self.io("sync compaction", |vfs, _| vfs.sync(&tmp))?,
+            Err(e) => Err(e),
+        };
+        let renamed = match staged {
+            Ok(()) => self.io("publish compaction", |vfs, _| vfs.rename(&tmp, &final_path))?,
+            Err(e) => Err(e),
+        };
+        match renamed {
+            Ok(()) => {
+                let old: Vec<PathBuf> = self
+                    .list_segments()?
+                    .into_iter()
+                    .filter(|(gen, _)| *gen <= generation)
+                    .map(|(_, p)| p)
+                    .collect();
+                for path in old {
+                    // Best-effort: a survivor is superseded by
+                    // `folds_through` at the next open anyway.
+                    let _ =
+                        self.io("remove superseded segment", |vfs, _| vfs.remove_file(&path))?;
+                }
+                self.persist = Some(Persist {
+                    segment: final_path,
+                    generation: new_gen,
+                    committed_len: total_len,
+                });
+                self.records = folded;
+                self.counters.compactions += 1;
+                Ok(())
+            }
+            Err(e) => {
+                // A torn publish may have left a partial destination; it
+                // is self-invalidating (file shorter than its header's
+                // base_len), but clean it up eagerly when we can. If a
+                // complete copy landed despite the error, it *will* be
+                // honored at the next open — so it must go, or this
+                // store's future appends (to the old segment) would be
+                // superseded behind our back.
+                let _ = self.io("remove staged compaction", |vfs, _| vfs.remove_file(&tmp))?;
+                if self.vfs.exists(&final_path) {
+                    let removed = self.io("remove torn compaction", |vfs, _| {
+                        vfs.remove_file(&final_path)
+                    })?;
+                    if removed.is_err() {
+                        self.degrade(format!(
+                            "compaction to {} tore and could not be cleaned up; \
+                             accumulating in memory from here on",
+                            final_path.display()
+                        ));
+                        return Ok(());
+                    }
+                }
+                self.warnings.push(format!(
+                    "compaction failed ({e}); continuing on the current segment"
+                ));
+                Ok(())
+            }
+        }
+    }
+
+    // -- internals -------------------------------------------------------
+
+    fn io<T>(
+        &mut self,
+        op: &'static str,
+        f: impl FnMut(&dyn Vfs, &Path) -> io::Result<T>,
+    ) -> Result<io::Result<T>, DbError> {
+        let mut f = f;
+        let vfs = Arc::clone(&self.vfs);
+        let (result, used) = mffault::retry(self.retry, || f(vfs.as_ref(), &self.dir));
+        self.counters.io_retries += u64::from(used);
+        crash_check(op, result)
+    }
+
+    fn degrade(&mut self, warning: String) {
+        self.persist = None;
+        self.warnings.push(warning);
+    }
+
+    fn ingest(&mut self, record: ProfileRecord) {
+        let per_dataset = self.fold.entry(record.dataset.clone()).or_default();
+        for &(id, e, t) in &record.entries {
+            let slot = per_dataset.entry(id).or_insert((0, 0));
+            slot.0 = slot.0.saturating_add(e);
+            slot.1 = slot.1.saturating_add(t);
+        }
+        self.records.push(record);
+    }
+
+    fn segment_path(&self, generation: u64) -> PathBuf {
+        self.dir.join(format!("seg-{generation:08}.mfdb"))
+    }
+
+    /// Segment files present, as `(generation-from-name, path)`, sorted.
+    fn list_segments(&mut self) -> Result<Vec<(u64, PathBuf)>, DbError> {
+        let entries = self.io("scan segments", |vfs, dir| vfs.read_dir(dir))?;
+        let entries = match entries {
+            Ok(e) => e,
+            Err(_) => return Ok(Vec::new()),
+        };
+        let mut segments = Vec::new();
+        for path in entries {
+            let Some(name) = path.file_name().and_then(|n| n.to_str()) else {
+                continue;
+            };
+            if let Some(gen) = name
+                .strip_prefix("seg-")
+                .and_then(|r| r.strip_suffix(".mfdb"))
+                .and_then(|g| g.parse::<u64>().ok())
+            {
+                segments.push((gen, path));
+            }
+        }
+        segments.sort();
+        Ok(segments)
+    }
+
+    fn acquire_lock(&mut self, mode: LockMode) -> Result<bool, DbError> {
+        let lock_path = self.dir.join(LOCK_FILE);
+        let content = std::process::id().to_string().into_bytes();
+        let try_create = |store: &mut Self| -> Result<io::Result<()>, DbError> {
+            store.io("acquire lock", |vfs, _| {
+                vfs.create_new(&lock_path, &content)
+            })
+        };
+        match mode {
+            LockMode::None => Ok(true),
+            LockMode::Steal => {
+                let _ = self.io("steal lock", |vfs, _| vfs.remove_file(&lock_path))?;
+                match try_create(self)? {
+                    Ok(()) => {
+                        self.locked = true;
+                        Ok(true)
+                    }
+                    Err(e) => {
+                        self.degrade(format!(
+                            "could not take profile db lock {} ({e}); \
+                             accumulating in memory only",
+                            lock_path.display()
+                        ));
+                        Ok(false)
+                    }
+                }
+            }
+            LockMode::Acquire { attempts, base } => {
+                for attempt in 0..=attempts {
+                    match try_create(self)? {
+                        Ok(()) => {
+                            self.locked = true;
+                            return Ok(true);
+                        }
+                        Err(e) if e.kind() == io::ErrorKind::AlreadyExists => {
+                            if attempt < attempts && !base.is_zero() {
+                                std::thread::sleep(base.saturating_mul(attempt + 1));
+                            }
+                        }
+                        Err(e) => {
+                            self.degrade(format!(
+                                "could not create profile db lock {} ({e}); \
+                                 accumulating in memory only",
+                                lock_path.display()
+                            ));
+                            return Ok(false);
+                        }
+                    }
+                }
+                // Contended beyond the backoff budget: a live holder wins;
+                // a dead one (crashed writer) forfeits. An unreadable or
+                // unparseable lock means a torn lock write — its writer
+                // died mid-create, so it is stale too.
+                let holder = self
+                    .io("read lock", |vfs, _| vfs.read(&lock_path))?
+                    .ok()
+                    .and_then(|bytes| String::from_utf8(bytes).ok())
+                    .and_then(|s| s.trim().parse::<u32>().ok());
+                let stale = match holder {
+                    Some(pid) => pid != std::process::id() && !pid_alive(pid),
+                    None => true,
+                };
+                if !stale {
+                    self.degrade(format!(
+                        "profile db {} is locked by a live writer (pid {:?}); \
+                         accumulating in memory only",
+                        self.dir.display(),
+                        holder
+                    ));
+                    return Ok(false);
+                }
+                self.warnings.push(format!(
+                    "profile db lock {} was held by a dead writer; stealing it",
+                    lock_path.display()
+                ));
+                let _ = self.io("steal stale lock", |vfs, _| vfs.remove_file(&lock_path))?;
+                match try_create(self)? {
+                    Ok(()) => {
+                        self.locked = true;
+                        Ok(true)
+                    }
+                    Err(e) => {
+                        self.degrade(format!(
+                            "could not steal stale profile db lock {} ({e}); \
+                             accumulating in memory only",
+                            lock_path.display()
+                        ));
+                        Ok(false)
+                    }
+                }
+            }
+        }
+    }
+
+    /// Scans, salvages, and selects the active segment; creates the first
+    /// segment on a fresh database.
+    fn recover(&mut self) -> Result<(), DbError> {
+        // Sweep compaction leftovers.
+        let leftovers = self.io("scan db directory", |vfs, dir| vfs.read_dir(dir))?;
+        if let Ok(entries) = leftovers {
+            for path in entries {
+                let is_tmp = path
+                    .file_name()
+                    .and_then(|n| n.to_str())
+                    .is_some_and(|n| n.starts_with("compact-") && n.ends_with(".tmp"));
+                if is_tmp {
+                    let _ = self.io("remove stale compaction tmp", |vfs, _| {
+                        vfs.remove_file(&path)
+                    })?;
+                }
+            }
+        }
+
+        // Read every segment's header; collect parsed ones, discard the
+        // unparseable (torn creation — nothing in them was ever acked).
+        let mut parsed: Vec<(format::SegmentHeader, PathBuf, Vec<u8>)> = Vec::new();
+        for (_, path) in self.list_segments()? {
+            let bytes = match self.io("read segment", |vfs, _| vfs.read(&path))? {
+                Ok(b) => b,
+                Err(_) => continue,
+            };
+            match format::decode_header(&bytes) {
+                Some(h) if bytes.len() as u64 >= h.base_len => parsed.push((h, path, bytes)),
+                _ => {
+                    self.warnings.push(format!(
+                        "discarding segment {} (torn or foreign header)",
+                        path.display()
+                    ));
+                    let _ = self.io("remove torn segment", |vfs, _| vfs.remove_file(&path))?;
+                }
+            }
+        }
+
+        // A compacted segment supersedes every generation <= its
+        // folds_through mark; apply the strongest mark present.
+        let folds_through = parsed.iter().map(|(h, _, _)| h.folds_through).max();
+        if let Some(f) = folds_through {
+            let (keep, superseded): (Vec<_>, Vec<_>) =
+                parsed.into_iter().partition(|(h, _, _)| h.generation > f);
+            for (_, path, _) in superseded {
+                let _ = self.io("remove superseded segment", |vfs, _| vfs.remove_file(&path))?;
+            }
+            parsed = keep;
+        }
+        parsed.sort_by_key(|(h, _, _)| h.generation);
+
+        // Salvage frames, oldest generation first; truncate torn tails.
+        let mut active: Option<Persist> = None;
+        for (header, path, bytes) in &parsed {
+            let body = &bytes[format::HEADER_LEN..];
+            let (records, valid_body) = format::walk_frames(body);
+            let valid_len = (format::HEADER_LEN + valid_body) as u64;
+            if valid_len < bytes.len() as u64 {
+                let dropped = bytes.len() as u64 - valid_len;
+                self.counters.truncated_bytes += dropped;
+                self.warnings.push(format!(
+                    "salvaged {} of {} bytes from {} (torn tail of {dropped} bytes truncated)",
+                    valid_len,
+                    bytes.len(),
+                    path.display()
+                ));
+                let truncated =
+                    self.io("truncate torn tail", |vfs, _| vfs.truncate(path, valid_len))?;
+                if truncated.is_err() {
+                    // Appending after unremovable garbage would corrupt
+                    // the log; this open stays read-only-in-memory.
+                    self.counters.salvaged_records += records.len() as u64;
+                    for r in records {
+                        self.ingest(r);
+                    }
+                    self.degrade(format!(
+                        "could not truncate torn tail of {}; accumulating in memory only",
+                        path.display()
+                    ));
+                    return Ok(());
+                }
+            }
+            self.counters.salvaged_records += records.len() as u64;
+            for r in records {
+                self.ingest(r);
+            }
+            active = Some(Persist {
+                segment: path.clone(),
+                generation: header.generation,
+                committed_len: valid_len,
+            });
+        }
+
+        match active {
+            Some(persist) => self.persist = Some(persist),
+            None => {
+                // Fresh database (or everything was torn): start a new
+                // generation above any mark we saw.
+                let generation = folds_through.unwrap_or(0) + 1;
+                let path = self.segment_path(generation);
+                let header = format::encode_header(&format::SegmentHeader {
+                    generation,
+                    folds_through: folds_through.unwrap_or(0),
+                    base_len: format::HEADER_LEN as u64,
+                });
+                let wrote = self.io("create segment", |vfs, _| vfs.write(&path, &header))?;
+                let wrote = match wrote {
+                    Ok(()) => self.io("sync new segment", |vfs, _| vfs.sync(&path))?,
+                    Err(e) => Err(e),
+                };
+                match wrote {
+                    Ok(()) => {
+                        self.persist = Some(Persist {
+                            segment: path,
+                            generation,
+                            committed_len: format::HEADER_LEN as u64,
+                        });
+                    }
+                    Err(e) => self.degrade(format!(
+                        "could not create segment {} ({e}); accumulating in memory only",
+                        path.display()
+                    )),
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+impl Drop for ProfileStore {
+    fn drop(&mut self) {
+        if self.locked {
+            let lock_path = self.dir.join(LOCK_FILE);
+            let _ = self.vfs.remove_file(&lock_path);
+        }
+    }
+}
+
+/// Best-effort liveness check for a lock holder. Where `/proc` is absent
+/// the holder is assumed alive (conservative: degrade rather than steal).
+fn pid_alive(pid: u32) -> bool {
+    if !Path::new("/proc").exists() {
+        return true;
+    }
+    Path::new(&format!("/proc/{pid}")).exists()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mffault::MemVfs;
+    use trace_ir::BranchId;
+
+    fn counts(rows: &[(u32, u64, u64)]) -> BranchCounts {
+        rows.iter()
+            .map(|&(id, e, t)| (BranchId(id), e, t))
+            .collect()
+    }
+
+    fn steal_opts() -> OpenOptions {
+        OpenOptions {
+            lock: LockMode::Steal,
+            retry: RetryPolicy::none(),
+        }
+    }
+
+    const DIR: &str = "/profdb";
+
+    #[test]
+    fn append_reopen_accumulate() {
+        let mem: Arc<dyn Vfs> = Arc::new(MemVfs::new());
+        {
+            let mut store = ProfileStore::open(Arc::clone(&mem), DIR, steal_opts()).unwrap();
+            assert!(store.is_persistent());
+            assert!(store.warnings().is_empty());
+            assert_eq!(
+                store
+                    .append("train", &counts(&[(0, 10, 4), (2, 6, 6)]))
+                    .unwrap(),
+                Persistence::Committed
+            );
+            assert_eq!(
+                store.append("train", &counts(&[(0, 5, 1)])).unwrap(),
+                Persistence::Committed
+            );
+            assert_eq!(
+                store.append("ref", &counts(&[(1, 7, 0)])).unwrap(),
+                Persistence::Committed
+            );
+        }
+        let store = ProfileStore::open(Arc::clone(&mem), DIR, steal_opts()).unwrap();
+        assert_eq!(store.counters().salvaged_records, 3);
+        assert_eq!(store.records().len(), 3);
+        assert_eq!(
+            store.raw_profile("train").unwrap(),
+            vec![(0, 15, 5), (2, 6, 6)]
+        );
+        assert_eq!(store.raw_profile("ref").unwrap(), vec![(1, 7, 0)]);
+
+        // The snapshot equals the same runs folded through the in-memory
+        // accumulation path.
+        let mut expected = ifprob::ProfileDb::new();
+        expected.record("train", &counts(&[(0, 10, 4), (2, 6, 6)]));
+        expected.record("train", &counts(&[(0, 5, 1)]));
+        expected.record("ref", &counts(&[(1, 7, 0)]));
+        assert_eq!(store.snapshot(), expected);
+    }
+
+    #[test]
+    fn compaction_folds_and_supersedes() {
+        let mem: Arc<dyn Vfs> = Arc::new(MemVfs::new());
+        let mut store = ProfileStore::open(Arc::clone(&mem), DIR, steal_opts()).unwrap();
+        for i in 0..5u64 {
+            store
+                .append(
+                    if i % 2 == 0 { "a" } else { "b" },
+                    &counts(&[(0, i + 1, 1)]),
+                )
+                .unwrap();
+        }
+        let before = store.raw_totals();
+        store.compact().unwrap();
+        assert_eq!(store.counters().compactions, 1);
+        assert_eq!(store.records().len(), 2, "one folded record per dataset");
+        assert_eq!(store.raw_totals(), before);
+
+        // Exactly one segment remains on disk, the new generation.
+        let seg = store.active_segment().unwrap().to_path_buf();
+        assert!(seg.to_string_lossy().contains("seg-00000002"));
+        drop(store);
+        let reopened = ProfileStore::open(Arc::clone(&mem), DIR, steal_opts()).unwrap();
+        assert_eq!(reopened.raw_totals(), before);
+        assert_eq!(reopened.records().len(), 2);
+
+        // Appends after compaction keep accumulating.
+        let mut store = reopened;
+        store.append("a", &counts(&[(9, 3, 2)])).unwrap();
+        assert_eq!(store.records().len(), 3);
+        drop(store);
+        let reopened = ProfileStore::open(Arc::clone(&mem), DIR, steal_opts()).unwrap();
+        assert_eq!(reopened.raw_profile("a").unwrap().last(), Some(&(9, 3, 2)));
+    }
+
+    #[test]
+    fn corrupt_tail_is_salvaged_to_a_prefix() {
+        let mem = Arc::new(MemVfs::new());
+        let vfs: Arc<dyn Vfs> = mem.clone();
+        let seg;
+        {
+            let mut store = ProfileStore::open(Arc::clone(&vfs), DIR, steal_opts()).unwrap();
+            for i in 0..4u64 {
+                store
+                    .append(&format!("ds{i}"), &counts(&[(0, 10 + i, i)]))
+                    .unwrap();
+            }
+            seg = store.active_segment().unwrap().to_path_buf();
+        }
+        // Flip a byte inside the last frame's payload.
+        let mut bytes = mem.read(&seg).unwrap();
+        let n = bytes.len();
+        bytes[n - 9] ^= 0x40;
+        mem.write(&seg, &bytes).unwrap();
+
+        let store = ProfileStore::open(Arc::clone(&vfs), DIR, steal_opts()).unwrap();
+        assert_eq!(store.records().len(), 3, "last frame dropped");
+        assert!(store.raw_profile("ds3").is_none());
+        assert!(store.counters().truncated_bytes > 0);
+        assert!(
+            store.warnings().iter().any(|w| w.contains("torn tail")),
+            "warnings: {:?}",
+            store.warnings()
+        );
+        // The truncation repaired the file: a further reopen is clean.
+        assert!(store.is_persistent());
+        drop(store);
+        let clean = ProfileStore::open(vfs, DIR, steal_opts()).unwrap();
+        assert!(clean.warnings().is_empty(), "{:?}", clean.warnings());
+        assert_eq!(clean.records().len(), 3);
+    }
+
+    #[test]
+    fn lock_contention_degrades_and_releases() {
+        let mem: Arc<dyn Vfs> = Arc::new(MemVfs::new());
+        let acquire = OpenOptions {
+            lock: LockMode::Acquire {
+                attempts: 2,
+                base: Duration::ZERO,
+            },
+            retry: RetryPolicy::none(),
+        };
+        let holder = ProfileStore::open(Arc::clone(&mem), DIR, acquire).unwrap();
+        assert!(holder.is_persistent());
+
+        let mut second = ProfileStore::open(Arc::clone(&mem), DIR, acquire).unwrap();
+        assert!(second.is_degraded(), "{:?}", second.warnings());
+        assert!(second.warnings()[0].contains("locked by a live writer"));
+        assert_eq!(
+            second.append("x", &counts(&[(0, 1, 0)])).unwrap(),
+            Persistence::Degraded
+        );
+        assert_eq!(second.raw_profile("x").unwrap(), vec![(0, 1, 0)]);
+
+        drop(holder); // releases the lock
+        drop(second);
+        let third = ProfileStore::open(mem, DIR, acquire).unwrap();
+        assert!(third.is_persistent(), "{:?}", third.warnings());
+    }
+
+    #[test]
+    fn stale_lock_from_dead_writer_is_stolen() {
+        let mem = Arc::new(MemVfs::new());
+        mem.create_dir_all(Path::new(DIR)).unwrap();
+        // A pid far above any live one on this machine, and a torn lock.
+        for lock_content in [&b"999999999"[..], &b"\xFF\xFEgarbage"[..]] {
+            let _ = mem.remove_file(&Path::new(DIR).join(LOCK_FILE));
+            mem.create_new(&Path::new(DIR).join(LOCK_FILE), lock_content)
+                .unwrap();
+            let store = ProfileStore::open(
+                mem.clone() as Arc<dyn Vfs>,
+                DIR,
+                OpenOptions {
+                    lock: LockMode::Acquire {
+                        attempts: 1,
+                        base: Duration::ZERO,
+                    },
+                    retry: RetryPolicy::none(),
+                },
+            )
+            .unwrap();
+            assert!(store.is_persistent(), "{:?}", store.warnings());
+            assert!(store.warnings().iter().any(|w| w.contains("dead writer")));
+        }
+    }
+}
