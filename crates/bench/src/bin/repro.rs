@@ -22,11 +22,11 @@ use mfbench::{
     collect, combination_table, configure_harness, coverage_table, crossmode_table,
     distribution_table, dynamic_table, fig1_chart, fig2_chart, fig2_rows, fig3_chart, fig3_rows,
     harness, heuristic_table, inlining_table, percent_correct_table, percent_taken_table,
-    record_suite, selects_table, table1, table2, table3, SuiteRuns,
+    record_suite_svc, selects_table, table1, table2, table3, SuiteRuns,
 };
 use mffault::{FaultPlan, FaultVfs, RealVfs, RetryPolicy, Vfs};
 use mfharness::{DiskCache, HarnessOptions};
-use mfprofdb::ProfileStore;
+use mfprofsvc::{ProfileService, ServiceOptions};
 use mfwork::Group;
 
 const WIDTH: usize = 60;
@@ -74,9 +74,16 @@ options:
                       and stamp each run record with its program's
                       verification digest
   --profile-db DIR    append every collected run's branch profile to the
-                      crash-safe profile database at DIR (created on
-                      first use; repeat invocations accumulate) and print
-                      a persistence summary
+                      crash-safe sharded profile database at DIR (created
+                      on first use; repeat invocations accumulate; an old
+                      single-log database migrates on first write) and
+                      print a persistence summary
+  --shards N          shard count for a NEWLY created profile database
+                      (default: 8); an existing database keeps the count
+                      pinned in its manifest
+  --compact-every N   fold the profile database's history only once it
+                      holds at least N committed batches (default: 1,
+                      i.e. compact on every invocation that recorded)
   --io-retries N      bounded retries for transient I/O faults in the
                       run cache and profile db (default: 2)
   --fault-seed N      deterministically inject I/O faults into the run
@@ -92,6 +99,8 @@ struct Options {
     no_cache: bool,
     verify_each: bool,
     profile_db: Option<PathBuf>,
+    shards: Option<u32>,
+    compact_every: Option<u64>,
     io_retries: Option<u32>,
     fault_seed: Option<u64>,
 }
@@ -109,6 +118,8 @@ fn parse_args(args: &[String]) -> Result<Option<Options>, String> {
         no_cache: false,
         verify_each: false,
         profile_db: None,
+        shards: None,
+        compact_every: None,
         io_retries: None,
         fault_seed: None,
     };
@@ -147,6 +158,26 @@ fn parse_args(args: &[String]) -> Result<Option<Options>, String> {
             "--verify-each" => options.verify_each = true,
             "--profile-db" => {
                 options.profile_db = Some(PathBuf::from(value(&mut iter)?));
+            }
+            "--shards" => {
+                let v = value(&mut iter)?;
+                let n: u32 = v
+                    .parse()
+                    .map_err(|_| format!("--shards expects a positive integer, got '{v}'"))?;
+                if n == 0 {
+                    return Err("--shards must be at least 1".to_string());
+                }
+                options.shards = Some(n);
+            }
+            "--compact-every" => {
+                let v = value(&mut iter)?;
+                let n: u64 = v.parse().map_err(|_| {
+                    format!("--compact-every expects a positive integer, got '{v}'")
+                })?;
+                if n == 0 {
+                    return Err("--compact-every must be at least 1".to_string());
+                }
+                options.compact_every = Some(n);
             }
             "--io-retries" => {
                 let v = value(&mut iter)?;
@@ -208,10 +239,10 @@ fn main() -> ExitCode {
     if options.fault_seed.is_some() {
         harness_options.fault_seed = options.fault_seed;
     }
-    let mut store = options
+    let store = options
         .profile_db
         .as_ref()
-        .map(|dir| open_profile_db(dir, &harness_options));
+        .map(|dir| open_profile_db(dir, &options, &harness_options));
     configure_harness(harness_options);
     let want =
         |flag: &str| options.sections.is_empty() || options.sections.iter().any(|s| s == flag);
@@ -248,18 +279,27 @@ fn main() -> ExitCode {
         total,
         start.elapsed().as_secs_f64()
     );
-    if let Some(store) = store.as_mut() {
-        let (committed, in_memory) =
-            record_suite(store, &s).expect("probabilistic fault plans never include crash points");
+    if let Some(store) = store.as_ref() {
+        let (committed, in_memory) = record_suite_svc(store, &s)
+            .expect("probabilistic fault plans never include crash points");
         eprintln!(
             "profile db: recorded {} runs ({committed} durable, {in_memory} in memory)",
             committed + in_memory
         );
-        // Fold the accumulated history into one frame per dataset so the
-        // database stays bounded across repeat invocations.
-        store
-            .compact()
+        // Fold the accumulated history so the database stays bounded
+        // across repeat invocations — by default on every run, or only
+        // once at least `--compact-every` batches piled up.
+        let threshold = options.compact_every.unwrap_or(1);
+        let batches = store
+            .total_batches()
             .expect("probabilistic fault plans never include crash points");
+        if batches >= threshold {
+            store
+                .compact()
+                .expect("probabilistic fault plans never include crash points");
+        } else {
+            eprintln!("profile db: compaction deferred ({batches} of {threshold} batches)");
+        }
     }
 
     if want("--table1") {
@@ -373,9 +413,16 @@ fn main() -> ExitCode {
     }
 }
 
-/// Opens the `--profile-db` store, with fault injection and retry budget
-/// matching the harness's own I/O discipline.
-fn open_profile_db(dir: &Path, harness_options: &HarnessOptions) -> ProfileStore {
+/// Opens the `--profile-db` sharded service, with fault injection and
+/// retry budget matching the harness's own I/O discipline. `--shards`
+/// applies only when the database is created here; an existing manifest
+/// wins, and an old single-log database opens read-only and migrates on
+/// the first write.
+fn open_profile_db(
+    dir: &Path,
+    options: &Options,
+    harness_options: &HarnessOptions,
+) -> ProfileService {
     let vfs: Arc<dyn Vfs> = match harness_options.fault_seed {
         Some(seed) => Arc::new(FaultVfs::new(
             Arc::new(RealVfs) as Arc<dyn Vfs>,
@@ -383,11 +430,12 @@ fn open_profile_db(dir: &Path, harness_options: &HarnessOptions) -> ProfileStore
         )),
         None => Arc::new(RealVfs),
     };
-    let open_options = mfprofdb::OpenOptions {
+    let svc_options = ServiceOptions {
+        shards: options.shards.unwrap_or(8),
         retry: RetryPolicy::immediate(harness_options.io_retries.unwrap_or(2)),
-        ..mfprofdb::OpenOptions::default()
+        ..ServiceOptions::default()
     };
-    ProfileStore::open(vfs, dir, open_options)
+    ProfileService::open(vfs, dir, svc_options)
         .expect("probabilistic fault plans never include crash points")
 }
 
@@ -395,12 +443,14 @@ fn open_profile_db(dir: &Path, harness_options: &HarnessOptions) -> ProfileStore
 /// true when the run must fail: the database could not be made (or kept)
 /// persistent and no fault injection was requested, so data the user
 /// asked to keep exists only in this process's memory.
-fn profile_db_summary(options: &Options, store: Option<&ProfileStore>) -> bool {
+fn profile_db_summary(options: &Options, store: Option<&ProfileService>) -> bool {
     let Some(store) = store else {
         return false;
     };
     section("Profile database");
-    let c = store.counters();
+    let svc = store.counters();
+    let c = svc.store;
+    let datasets = store.merged_totals().map(|m| m.len()).unwrap_or(0);
     println!("path: {}", store.dir().display());
     println!(
         "state: {}",
@@ -410,13 +460,16 @@ fn profile_db_summary(options: &Options, store: Option<&ProfileStore>) -> bool {
             "in-memory only (degraded)"
         }
     );
-    println!("  datasets                 {}", store.datasets().len());
+    println!("  shards                   {}", store.shard_count());
+    println!("  datasets                 {datasets}");
     println!("  records committed        {}", c.committed_appends);
     println!("  records in memory only   {}", c.degraded_appends);
     println!("  records salvaged at open {}", c.salvaged_records);
     println!("  torn bytes truncated     {}", c.truncated_bytes);
     println!("  io retries               {}", c.io_retries);
     println!("  compactions              {}", c.compactions);
+    println!("  group commits            {}", svc.group_commits);
+    println!("  records migrated         {}", svc.migrated_records);
     for w in store.warnings() {
         eprintln!("repro: warning: {w}");
     }

@@ -264,6 +264,31 @@ pub fn record_suite(
     Ok((committed, degraded))
 }
 
+/// [`record_suite`] against the sharded profile service: every run is
+/// enqueued, then one `flush` group-commits the whole suite — a single
+/// append+sync per touched shard instead of one per run. Returns
+/// `(committed, in_memory_only)` record counts; `Err` only on an
+/// injected crash point (never from a probabilistic fault plan).
+pub fn record_suite_svc(
+    svc: &mfprofsvc::ProfileService,
+    s: &SuiteRuns,
+) -> Result<(usize, usize), mfprofsvc::DbError> {
+    for w in &s.workloads {
+        for r in &w.runs {
+            let label = format!("{}/{}", w.name, r.dataset);
+            svc.enqueue(&label, &r.stats.branches)?;
+        }
+    }
+    let (mut committed, mut degraded) = (0usize, 0usize);
+    for (_, p) in svc.flush()? {
+        match p {
+            mfprofsvc::Persistence::Committed => committed += 1,
+            mfprofsvc::Persistence::Degraded => degraded += 1,
+        }
+    }
+    Ok((committed, degraded))
+}
+
 /// [`collect`] through an explicit harness (tests use this to pin worker
 /// counts and cache modes).
 pub fn collect_with(h: &Harness) -> SuiteRuns {

@@ -95,6 +95,12 @@ fn repro_profile_db_flag_values_are_validated() {
         &["--fault-seed", "stormy"][..],
         &["--fault-seed"][..],
         &["--profile-db"][..],
+        &["--shards", "0"][..],
+        &["--shards", "lots"][..],
+        &["--shards"][..],
+        &["--compact-every", "0"][..],
+        &["--compact-every", "sometimes"][..],
+        &["--compact-every"][..],
     ] {
         let out = repro(args);
         assert_eq!(
@@ -115,6 +121,10 @@ fn repro_profile_db_to_a_writable_dir_exits_zero() {
         "--no-cache",
         "--profile-db",
         dir.to_str().unwrap(),
+        "--shards",
+        "4",
+        "--compact-every",
+        "5",
     ]);
     assert_eq!(out.status.code(), Some(0), "stderr: {}", stderr(&out));
     let stdout = String::from_utf8_lossy(&out.stdout).into_owned();
@@ -122,8 +132,13 @@ fn repro_profile_db_to_a_writable_dir_exits_zero() {
         stdout.contains("Profile database") && stdout.contains("persistent"),
         "summary section missing: {stdout}"
     );
-    // The store really hit the disk: an empty but valid segment exists.
-    let segments = std::fs::read_dir(&dir)
+    assert!(stdout.contains("shards"), "shard count missing: {stdout}");
+    // The service really hit the disk: the manifest pins the shard
+    // count, and no legacy single-log segment sits in the root.
+    let manifest = std::fs::read(dir.join("MANIFEST")).expect("manifest written");
+    assert_eq!(manifest.len(), 17, "manifest is the fixed 17-byte header");
+    assert_eq!(&manifest[..4], b"MFPS");
+    let root_segments = std::fs::read_dir(&dir)
         .expect("db dir created")
         .filter(|e| {
             e.as_ref()
@@ -133,7 +148,21 @@ fn repro_profile_db_to_a_writable_dir_exits_zero() {
                 .is_some_and(|x| x == "mfdb")
         })
         .count();
-    assert_eq!(segments, 1, "one live segment expected");
+    assert_eq!(root_segments, 0, "sharded db keeps no root segments");
+
+    // A second open honors the manifest, not the flag: asking for a
+    // different shard count is not an error, just ignored.
+    let out = repro(&[
+        "--table2",
+        "--no-cache",
+        "--profile-db",
+        dir.to_str().unwrap(),
+        "--shards",
+        "9",
+    ]);
+    assert_eq!(out.status.code(), Some(0), "stderr: {}", stderr(&out));
+    let reread = std::fs::read(dir.join("MANIFEST")).expect("manifest kept");
+    assert_eq!(manifest, reread, "manifest must pin the original count");
     let _ = std::fs::remove_dir_all(&dir);
 }
 

@@ -52,13 +52,18 @@ pub const KNOWN: &[&str] = &[
     // mfprofdb: frame validation skips the checksum comparison, so
     // corrupted segment tails are accepted instead of salvaged away.
     "profdb-checksum-skipped",
+    // mfprofsvc: group commit acknowledges a batch as Committed before
+    // the shard segment is synced, so a crash (or failed sync) can lose
+    // records the caller was told were durable.
+    "profsvc-batch-ack-early",
 ];
 
 static ACTIVE_COUNT: AtomicUsize = AtomicUsize::new(0);
 
 // One flag per KNOWN entry, same order. `AtomicBool::new(false)` is not
 // const-cloneable, hence the explicit list sized by a compile-time check.
-static FLAGS: [AtomicBool; 10] = [
+static FLAGS: [AtomicBool; 11] = [
+    AtomicBool::new(false),
     AtomicBool::new(false),
     AtomicBool::new(false),
     AtomicBool::new(false),

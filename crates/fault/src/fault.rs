@@ -38,6 +38,10 @@ pub struct FaultPlan {
     pub enospc_per_mille: u16,
     /// Probability any mutation fails with a retryable transient error.
     pub transient_per_mille: u16,
+    /// Inject exactly one transient failure on this mutating-op index
+    /// (0-based, counted since construction) — surgical targeting of a
+    /// single append, sync, or rename inside a known protocol.
+    pub transient_at: Option<u64>,
     /// Probability a rename tears (destination = prefix, source remains).
     pub torn_rename_per_mille: u16,
     /// Hard crash on this mutating-op index (0-based, counted since
@@ -55,6 +59,7 @@ impl FaultPlan {
             short_write_per_mille: 0,
             enospc_per_mille: 0,
             transient_per_mille: 0,
+            transient_at: None,
             torn_rename_per_mille: 0,
             crash_at: None,
             deny_writes: false,
@@ -71,6 +76,7 @@ impl FaultPlan {
             short_write_per_mille: (splitmix64(&mut s) % 81) as u16,
             enospc_per_mille: (splitmix64(&mut s) % 81) as u16,
             transient_per_mille: (splitmix64(&mut s) % 161) as u16,
+            transient_at: None,
             torn_rename_per_mille: (splitmix64(&mut s) % 81) as u16,
             crash_at: None,
             deny_writes: false,
@@ -211,6 +217,10 @@ impl FaultVfs {
                 None => Gate::CrashToggle(roll.is_multiple_of(2)),
             };
         }
+        if state.plan.transient_at == Some(idx) {
+            state.counters.transients += 1;
+            return Gate::Fail(FaultKind::Transient);
+        }
         if state.plan.deny_writes {
             state.counters.denied += 1;
             return Gate::Fail(FaultKind::DeniedWrite);
@@ -282,6 +292,12 @@ impl Vfs for FaultVfs {
     fn read(&self, path: &Path) -> io::Result<Vec<u8>> {
         self.check_read()?;
         self.inner.read(path)
+    }
+
+    fn len(&self, path: &Path) -> io::Result<u64> {
+        // A metadata read: never faulted, like `read` (except post-crash).
+        self.check_read()?;
+        self.inner.len(path)
     }
 
     fn write(&self, path: &Path, bytes: &[u8]) -> io::Result<()> {
@@ -473,6 +489,33 @@ mod tests {
             c.transients + c.enospc + c.short_writes + c.torn_renames > 0
         });
         assert!(injected, "from_seed plans never inject anything");
+    }
+
+    #[test]
+    fn transient_at_fails_exactly_one_targeted_op() {
+        let mem = Arc::new(MemVfs::new());
+        let fv = FaultVfs::new(mem.clone(), FaultPlan::none());
+        script(&fv).into_iter().for_each(|r| r.unwrap());
+        let total = fv.op_count();
+
+        // Op 0 is the root create_dir_all; failing it starves every later
+        // op of its parent directory, so target the ops after it.
+        for k in 1..total {
+            let mem = Arc::new(MemVfs::new());
+            let fv = FaultVfs::new(
+                mem.clone(),
+                FaultPlan {
+                    transient_at: Some(k),
+                    ..FaultPlan::none()
+                },
+            );
+            let results = script(&fv);
+            let errs: Vec<&io::Error> = results.iter().filter_map(|r| r.as_ref().err()).collect();
+            assert_eq!(errs.len(), 1, "op {k} alone must fail");
+            assert!(is_transient(errs[0]), "op {k} fails transiently");
+            assert_eq!(fv.counters().transients, 1);
+            assert!(!fv.crashed(), "a targeted transient is not a crash");
+        }
     }
 
     #[test]

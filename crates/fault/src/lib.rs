@@ -43,6 +43,10 @@ pub use mem::MemVfs;
 pub trait Vfs: Send + Sync + fmt::Debug {
     /// Reads the whole file.
     fn read(&self, path: &Path) -> io::Result<Vec<u8>>;
+    /// Byte length of the file, without reading it. Lets an append-only
+    /// writer validate its cached tail position cheaply (a multi-GB
+    /// segment should not be re-read just to learn nothing changed).
+    fn len(&self, path: &Path) -> io::Result<u64>;
     /// Creates or truncates `path` and writes `bytes`.
     fn write(&self, path: &Path, bytes: &[u8]) -> io::Result<()>;
     /// Appends `bytes` to `path`, creating it if absent.
@@ -75,6 +79,10 @@ pub struct RealVfs;
 impl Vfs for RealVfs {
     fn read(&self, path: &Path) -> io::Result<Vec<u8>> {
         std::fs::read(path)
+    }
+
+    fn len(&self, path: &Path) -> io::Result<u64> {
+        Ok(std::fs::metadata(path)?.len())
     }
 
     fn write(&self, path: &Path, bytes: &[u8]) -> io::Result<()> {
@@ -286,10 +294,12 @@ mod tests {
         let vfs = RealVfs;
         vfs.create_dir_all(&dir).unwrap();
         let a = dir.join("a.bin");
+        assert!(vfs.len(&a).is_err(), "len of a missing file errors");
         vfs.write(&a, b"hello").unwrap();
         vfs.append(&a, b" world").unwrap();
         vfs.sync(&a).unwrap();
         assert_eq!(vfs.read(&a).unwrap(), b"hello world");
+        assert_eq!(vfs.len(&a).unwrap(), 11);
         let b = dir.join("b.bin");
         vfs.rename(&a, &b).unwrap();
         assert!(!vfs.exists(&a));

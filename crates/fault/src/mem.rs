@@ -75,6 +75,15 @@ impl Vfs for MemVfs {
             .ok_or_else(|| not_found(path))
     }
 
+    fn len(&self, path: &Path) -> io::Result<u64> {
+        let state = self.state.lock().expect("memvfs lock");
+        state
+            .files
+            .get(path)
+            .map(|b| b.len() as u64)
+            .ok_or_else(|| not_found(path))
+    }
+
     fn write(&self, path: &Path, bytes: &[u8]) -> io::Result<()> {
         let mut state = self.state.lock().expect("memvfs lock");
         state.require_parent(path)?;
@@ -193,9 +202,11 @@ mod tests {
         assert!(vfs.exists(Path::new("/")));
 
         let a = dir.join("a.bin");
+        assert!(vfs.len(&a).is_err());
         vfs.write(&a, b"abc").unwrap();
         vfs.append(&a, b"def").unwrap();
         assert_eq!(vfs.read(&a).unwrap(), b"abcdef");
+        assert_eq!(vfs.len(&a).unwrap(), 6);
         vfs.truncate(&a, 2).unwrap();
         assert_eq!(vfs.read(&a).unwrap(), b"ab");
         vfs.truncate(&a, 4).unwrap();

@@ -25,6 +25,12 @@
 //!   the on-disk database (on the in-memory VFS) and reopening must
 //!   reproduce every raw count bit for bit, before and after compaction;
 //!   a corrupted tail frame must be salvaged away, never accepted.
+//! * **profsvc-groupcommit** — pushing the same profiles through the
+//!   sharded group-commit service must round-trip losslessly on a clean
+//!   VFS, salvage a torn shard tail back to the committed prefix, and —
+//!   under a transient-fault storm with retries disabled — never
+//!   acknowledge a submission as `Committed` whose records did not
+//!   actually reach the disk (the ack-before-sync bug).
 //! * **switch-diff** — compiling with `SwitchMode::JumpTable` instead of
 //!   the default cascade must not change program output.
 //! * **flat-diff** — running the unoptimized program on the *other* VM
@@ -36,14 +42,16 @@
 
 use std::collections::BTreeMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::Path;
 use std::sync::atomic::{AtomicU8, Ordering};
 use std::sync::Arc;
 
 use ifprob::directives::{parse_directives, write_directives};
 use ifprob::{combine, CombineRule};
-use mffault::{MemVfs, Vfs};
+use mffault::{FaultPlan, FaultVfs, MemVfs, RetryPolicy, Vfs};
 use mfopt::Pipeline;
 use mfprofdb::{LockMode, OpenOptions, Persistence, ProfileStore};
+use mfprofsvc::{ProfileService, ServiceOptions};
 use trace_ir::{BranchId, Program};
 use trace_vm::{Backend, BranchCounts, GuestValue, Input, Run, RuntimeError, Vm, VmConfig};
 
@@ -508,6 +516,180 @@ pub fn check_profdb_roundtrip(
     }
 }
 
+/// The sharded group-commit service must honor its acknowledgments.
+/// Three legs, all on the in-memory VFS:
+///
+/// 1. a fault-free enqueue/flush of every dataset must ack `Committed`
+///    everywhere and survive a reopen bit for bit;
+/// 2. a torn shard tail (garbage appended past the last group commit)
+///    must be salvaged back to exactly the committed prefix;
+/// 3. under a transient-fault storm with retries disabled, every
+///    submission acked `Committed` must actually be on disk after a
+///    clean reopen — a service that acks before its sync confirms
+///    (or that counts truncated-away data as durable) fails here.
+pub fn check_profsvc_groupcommit(
+    profiles: &[BranchCounts],
+    findings: &mut Vec<(&'static str, String)>,
+) {
+    if profiles.is_empty() {
+        return;
+    }
+    let opts = || ServiceOptions {
+        shards: 4,
+        retry: RetryPolicy::none(),
+        ..ServiceOptions::default()
+    };
+    let dataset = |i: usize| format!("svc{i:02}");
+    let expected: BTreeMap<String, Vec<(u32, u64, u64)>> = profiles
+        .iter()
+        .enumerate()
+        .map(|(i, p)| {
+            (
+                dataset(i),
+                p.iter().map(|(id, e, t)| (id.0, e, t)).collect(),
+            )
+        })
+        .collect();
+
+    // Leg 1: fault-free group commit round trip.
+    let mem: Arc<dyn Vfs> = Arc::new(MemVfs::new());
+    let svc = ProfileService::open(Arc::clone(&mem), "/oracle-svc", opts())
+        .expect("no fault plan, so open cannot crash");
+    let mut sids = Vec::new();
+    for (i, p) in profiles.iter().enumerate() {
+        sids.push(
+            svc.enqueue(&dataset(i), p)
+                .expect("no fault plan, so enqueue cannot crash"),
+        );
+    }
+    let acks = svc
+        .flush()
+        .expect("no fault plan, so group commit cannot crash");
+    if sids
+        .iter()
+        .any(|sid| acks.get(sid) != Some(&Persistence::Committed))
+    {
+        findings.push((
+            "profsvc-groupcommit",
+            format!(
+                "group commit degraded on a fault-free vfs: {:?}",
+                svc.warnings()
+            ),
+        ));
+        return;
+    }
+    drop(svc);
+    let reopened = ProfileService::open(Arc::clone(&mem), "/oracle-svc", opts())
+        .expect("no fault plan, so open cannot crash");
+    if reopened.merged_totals().expect("fault-free read") != expected {
+        findings.push((
+            "profsvc-groupcommit",
+            "reopen after group commit altered the stored profiles".to_string(),
+        ));
+        return;
+    }
+
+    // Leg 2: torn shard tails must salvage to the committed prefix.
+    for shard_dir in mem
+        .read_dir(Path::new("/oracle-svc"))
+        .expect("in-memory dir is readable")
+    {
+        for seg in mem.read_dir(&shard_dir).into_iter().flatten() {
+            if seg.extension().is_some_and(|x| x == "mfdb") {
+                mem.append(&seg, &[0xAB, 0xCD, 0xEF, 0x01])
+                    .expect("in-memory segment is writable");
+            }
+        }
+    }
+    drop(reopened);
+    let salvaged = ProfileService::open(Arc::clone(&mem), "/oracle-svc", opts())
+        .expect("no fault plan, so open cannot crash");
+    if salvaged.merged_totals().expect("fault-free read") != expected {
+        findings.push((
+            "profsvc-groupcommit",
+            "torn shard tail was not salvaged back to the committed prefix".to_string(),
+        ));
+        return;
+    }
+    drop(salvaged);
+
+    // Leg 3: the ack-discipline check, by surgical fault injection. Two
+    // clean submits measure the steady-state mutating-op count of one
+    // group commit; its second-to-last op is the batch sync (the last is
+    // the shard-lock release), so a targeted transient there makes
+    // exactly the sync fail for the victim submission. With retries off
+    // a correct service must ack that submission `Degraded`; acking
+    // `Committed` while the records never survive a reopen is the
+    // ack-before-sync bug. One shard, so the victim's ack is the verdict
+    // of that single commit.
+    let storm_opts = || ServiceOptions {
+        shards: 1,
+        ..opts()
+    };
+    let mem = Arc::new(MemVfs::new());
+    let storm = Arc::new(FaultVfs::new(
+        Arc::clone(&mem) as Arc<dyn Vfs>,
+        FaultPlan::none(),
+    ));
+    let svc = ProfileService::open(
+        Arc::clone(&storm) as Arc<dyn Vfs>,
+        "/oracle-svc",
+        storm_opts(),
+    )
+    .expect("no fault plan, so open cannot crash");
+    let probe = &profiles[0];
+    for name in ["svc-base", "svc-probe"] {
+        if svc
+            .submit(name, probe)
+            .expect("no fault plan, so submit cannot crash")
+            != Persistence::Committed
+        {
+            findings.push((
+                "profsvc-groupcommit",
+                format!("fault-free submit degraded: {:?}", svc.warnings()),
+            ));
+            return;
+        }
+    }
+    let before = storm.op_count();
+    if svc
+        .submit("svc-calib", probe)
+        .expect("no fault plan, so submit cannot crash")
+        != Persistence::Committed
+    {
+        return; // already reported shapes like this above
+    }
+    let per_submit = storm.op_count() - before;
+    storm.set_plan(FaultPlan {
+        transient_at: Some(storm.op_count() + per_submit.saturating_sub(2)),
+        ..FaultPlan::none()
+    });
+    let victim_ack = svc
+        .submit("svc-victim", probe)
+        .expect("a single transient is not a crash");
+    let injected = storm.counters().transients == 1;
+    drop(svc);
+    let reopened = ProfileService::open(
+        Arc::clone(&mem) as Arc<dyn Vfs>,
+        "/oracle-svc",
+        storm_opts(),
+    )
+    .expect("no fault plan, so open cannot crash");
+    let disk = reopened.merged_totals().expect("fault-free read");
+    let want: Vec<(u32, u64, u64)> = probe.iter().map(|(id, e, t)| (id.0, e, t)).collect();
+    if injected && victim_ack == Persistence::Committed && disk.get("svc-victim") != Some(&want) {
+        findings.push((
+            "profsvc-groupcommit",
+            format!(
+                "sync of the victim batch failed, yet it was acked Committed; after reopen \
+                 the disk holds {:?} instead of {:?}",
+                disk.get("svc-victim"),
+                want
+            ),
+        ));
+    }
+}
+
 /// Runs the full oracle battery on one `.mf` source case.
 ///
 /// `case_hash` qualifies coverage edges; pass `collect_edges = false` for
@@ -632,6 +814,7 @@ pub fn check_source(source: &str, input_sets: &[Vec<i64>], case_hash: u64) -> Or
     let refs: Vec<&BranchCounts> = unopt_counts.iter().collect();
     check_combine_convexity(&refs, &mut out.findings);
     check_profdb_roundtrip(&unopt_counts, &mut out.findings);
+    check_profsvc_groupcommit(&unopt_counts, &mut out.findings);
     out
 }
 

@@ -1,6 +1,6 @@
 //! The mutation gauntlet: every seeded defect must be caught.
 //!
-//! The product crates compile ten known bugs behind their (off by
+//! The product crates compile eleven known bugs behind their (off by
 //! default) `seeded-defects` features, dormant until armed through the
 //! process-global `mfdefect` registry. This test arms each defect in turn
 //! and asserts the fuzzer finds it — through the *expected* oracle —
@@ -36,6 +36,7 @@ const GAUNTLET: &[(&str, u64, &[&str])] = &[
         &["combine-convexity"],
     ),
     ("profdb-checksum-skipped", 1000, &["profdb-roundtrip"]),
+    ("profsvc-batch-ack-early", 1000, &["profsvc-groupcommit"]),
 ];
 
 #[test]

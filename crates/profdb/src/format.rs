@@ -1,13 +1,16 @@
 //! The segment-file codec.
 //!
 //! A segment is a checksummed header followed by length-prefixed,
-//! individually checksummed frames (one frame per appended run profile):
+//! individually checksummed frames (one frame per appended run profile,
+//! or one frame per group-committed *batch* of run profiles):
 //!
 //! ```text
 //! header  = "MFPD" version:u8 generation:u64 folds_through:u64
 //!           base_len:u64 fnv64(previous 29 bytes):u64        (37 bytes)
 //! frame   = payload_len:u32 payload fnv64(payload):u64
-//! payload = kind:u8(=1) name_len:u32 name:bytes
+//! payload = kind:u8(=1) record                        (single run)
+//!         | kind:u8(=2) n:u32 record * n              (batch)
+//! record  = name_len:u32 name:bytes
 //!           n:u32 { branch_id:u32 executed:u64 taken:u64 } * n
 //! ```
 //!
@@ -18,21 +21,29 @@
 //! was torn mid-creation and never contained acknowledged data, so it can
 //! be discarded whole. Frames past `base_len` (the appends) are governed
 //! by salvage: the longest prefix of structurally complete, checksum-
-//! valid frames wins, and everything after it is a torn tail.
+//! valid frames wins, and everything after it is a torn tail. Because a
+//! batch is one frame under one checksum, salvage is all-or-nothing at
+//! batch granularity — a torn group commit can never resurface as a
+//! partial batch.
+//!
+//! The codec is public: `mfprofsvc` shard logs speak the same format, so
+//! any shard directory is also a readable `mfprofdb` database.
 
 /// Segment-header magic.
-pub(crate) const MAGIC: &[u8; 4] = b"MFPD";
+pub const MAGIC: &[u8; 4] = b"MFPD";
 /// On-disk format version.
-pub(crate) const VERSION: u8 = 1;
+pub const VERSION: u8 = 1;
 /// Encoded header size.
-pub(crate) const HEADER_LEN: usize = 37;
+pub const HEADER_LEN: usize = 37;
 /// Sanity bound on a single frame payload (a run profile is at most a
-/// few thousand branch entries; 16 MiB is absurdly generous).
-const MAX_PAYLOAD: u32 = 16 << 20;
+/// few thousand branch entries and group commits are chunked well below
+/// this; 16 MiB is absurdly generous).
+pub const MAX_PAYLOAD: u32 = 16 << 20;
 const KIND_RUN: u8 = 1;
+const KIND_BATCH: u8 = 2;
 
 /// 64-bit FNV-1a — same checksum the harness cache uses.
-pub(crate) fn fnv64(bytes: &[u8]) -> u64 {
+pub fn fnv64(bytes: &[u8]) -> u64 {
     let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
     for &b in bytes {
         hash ^= u64::from(b);
@@ -55,13 +66,19 @@ pub struct ProfileRecord {
 
 /// A decoded segment header.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub(crate) struct SegmentHeader {
+pub struct SegmentHeader {
+    /// Ordering rank among the segments of one database directory.
     pub generation: u64,
+    /// Highest generation this (compacted) segment supersedes; 0 for a
+    /// plain append segment.
     pub folds_through: u64,
+    /// File length at creation-commit time; a shorter file was torn
+    /// mid-creation and is discarded whole.
     pub base_len: u64,
 }
 
-pub(crate) fn encode_header(h: &SegmentHeader) -> Vec<u8> {
+/// Encodes a segment header, checksum included.
+pub fn encode_header(h: &SegmentHeader) -> Vec<u8> {
     let mut buf = Vec::with_capacity(HEADER_LEN);
     buf.extend_from_slice(MAGIC);
     buf.push(VERSION);
@@ -73,7 +90,8 @@ pub(crate) fn encode_header(h: &SegmentHeader) -> Vec<u8> {
     buf
 }
 
-pub(crate) fn decode_header(bytes: &[u8]) -> Option<SegmentHeader> {
+/// Decodes and validates the first [`HEADER_LEN`] bytes of a segment.
+pub fn decode_header(bytes: &[u8]) -> Option<SegmentHeader> {
     if bytes.len() < HEADER_LEN {
         return None;
     }
@@ -92,23 +110,53 @@ pub(crate) fn decode_header(bytes: &[u8]) -> Option<SegmentHeader> {
     })
 }
 
-pub(crate) fn encode_frame(record: &ProfileRecord) -> Vec<u8> {
-    let mut payload = Vec::with_capacity(16 + record.dataset.len() + record.entries.len() * 20);
-    payload.push(KIND_RUN);
-    payload.extend_from_slice(&(record.dataset.len() as u32).to_le_bytes());
-    payload.extend_from_slice(record.dataset.as_bytes());
-    payload.extend_from_slice(&(record.entries.len() as u32).to_le_bytes());
+/// Encoded size of one record body, for pre-sizing and for chunking
+/// batches below [`MAX_PAYLOAD`].
+pub fn record_body_len(record: &ProfileRecord) -> usize {
+    8 + record.dataset.len() + record.entries.len() * 20
+}
+
+fn encode_record_body(record: &ProfileRecord, out: &mut Vec<u8>) {
+    out.extend_from_slice(&(record.dataset.len() as u32).to_le_bytes());
+    out.extend_from_slice(record.dataset.as_bytes());
+    out.extend_from_slice(&(record.entries.len() as u32).to_le_bytes());
     for &(id, executed, taken) in &record.entries {
-        payload.extend_from_slice(&id.to_le_bytes());
-        payload.extend_from_slice(&executed.to_le_bytes());
-        payload.extend_from_slice(&taken.to_le_bytes());
+        out.extend_from_slice(&id.to_le_bytes());
+        out.extend_from_slice(&executed.to_le_bytes());
+        out.extend_from_slice(&taken.to_le_bytes());
     }
+}
+
+fn seal_frame(payload: Vec<u8>) -> Vec<u8> {
     let mut frame = Vec::with_capacity(12 + payload.len());
     frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
     let sum = fnv64(&payload);
     frame.extend_from_slice(&payload);
     frame.extend_from_slice(&sum.to_le_bytes());
     frame
+}
+
+/// Encodes one record as a single-run frame.
+pub fn encode_frame(record: &ProfileRecord) -> Vec<u8> {
+    let mut payload = Vec::with_capacity(1 + record_body_len(record));
+    payload.push(KIND_RUN);
+    encode_record_body(record, &mut payload);
+    seal_frame(payload)
+}
+
+/// Encodes a group-committed batch as ONE frame under ONE checksum, so
+/// the salvage walk keeps or drops the whole batch — a torn group commit
+/// can never recover to a partial batch. The caller keeps the encoded
+/// payload under [`MAX_PAYLOAD`] by chunking submissions across frames.
+pub fn encode_batch_frame(records: &[ProfileRecord]) -> Vec<u8> {
+    let body: usize = records.iter().map(record_body_len).sum();
+    let mut payload = Vec::with_capacity(5 + body);
+    payload.push(KIND_BATCH);
+    payload.extend_from_slice(&(records.len() as u32).to_le_bytes());
+    for r in records {
+        encode_record_body(r, &mut payload);
+    }
+    seal_frame(payload)
 }
 
 fn checksum_ok(payload: &[u8], stored: u64) -> bool {
@@ -119,41 +167,59 @@ fn checksum_ok(payload: &[u8], stored: u64) -> bool {
     fnv64(payload) == stored
 }
 
-fn decode_payload(payload: &[u8]) -> Option<ProfileRecord> {
-    let mut pos = 0usize;
-    let take = |pos: &mut usize, n: usize| -> Option<&[u8]> {
-        let end = pos.checked_add(n)?;
-        if end > payload.len() {
-            return None;
-        }
-        let s = &payload[*pos..end];
-        *pos = end;
-        Some(s)
-    };
-    if take(&mut pos, 1)?[0] != KIND_RUN {
+fn take<'a>(payload: &'a [u8], pos: &mut usize, n: usize) -> Option<&'a [u8]> {
+    let end = pos.checked_add(n)?;
+    if end > payload.len() {
         return None;
     }
-    let name_len = u32::from_le_bytes(take(&mut pos, 4)?.try_into().ok()?) as usize;
-    let dataset = String::from_utf8(take(&mut pos, name_len)?.to_vec()).ok()?;
-    let n = u32::from_le_bytes(take(&mut pos, 4)?.try_into().ok()?) as usize;
+    let s = &payload[*pos..end];
+    *pos = end;
+    Some(s)
+}
+
+fn decode_record_body(payload: &[u8], pos: &mut usize) -> Option<ProfileRecord> {
+    let name_len = u32::from_le_bytes(take(payload, pos, 4)?.try_into().ok()?) as usize;
+    let dataset = String::from_utf8(take(payload, pos, name_len)?.to_vec()).ok()?;
+    let n = u32::from_le_bytes(take(payload, pos, 4)?.try_into().ok()?) as usize;
     let mut entries = Vec::with_capacity(n.min(1 << 16));
     for _ in 0..n {
-        let id = u32::from_le_bytes(take(&mut pos, 4)?.try_into().ok()?);
-        let executed = u64::from_le_bytes(take(&mut pos, 8)?.try_into().ok()?);
-        let taken = u64::from_le_bytes(take(&mut pos, 8)?.try_into().ok()?);
+        let id = u32::from_le_bytes(take(payload, pos, 4)?.try_into().ok()?);
+        let executed = u64::from_le_bytes(take(payload, pos, 8)?.try_into().ok()?);
+        let taken = u64::from_le_bytes(take(payload, pos, 8)?.try_into().ok()?);
         entries.push((id, executed, taken));
-    }
-    if pos != payload.len() {
-        return None; // trailing garbage inside the frame
     }
     Some(ProfileRecord { dataset, entries })
 }
 
-/// Walks the frames of a segment body (everything after the header).
-/// Returns the salvaged records and the number of body bytes covered by
-/// the longest valid prefix; anything beyond that is a torn tail.
-pub(crate) fn walk_frames(body: &[u8]) -> (Vec<ProfileRecord>, usize) {
-    let mut records = Vec::new();
+/// A frame payload decodes to the batch of records it committed
+/// atomically: one for a run frame, any number for a batch frame.
+fn decode_payload(payload: &[u8]) -> Option<Vec<ProfileRecord>> {
+    let mut pos = 0usize;
+    let records = match take(payload, &mut pos, 1)?[0] {
+        KIND_RUN => vec![decode_record_body(payload, &mut pos)?],
+        KIND_BATCH => {
+            let n = u32::from_le_bytes(take(payload, &mut pos, 4)?.try_into().ok()?) as usize;
+            let mut records = Vec::with_capacity(n.min(1 << 16));
+            for _ in 0..n {
+                records.push(decode_record_body(payload, &mut pos)?);
+            }
+            records
+        }
+        _ => return None,
+    };
+    if pos != payload.len() {
+        return None; // trailing garbage inside the frame
+    }
+    Some(records)
+}
+
+/// Walks the frames of a segment body (everything after the header),
+/// calling `visit` once per valid frame with the records that frame
+/// committed atomically. Returns the number of body bytes covered by the
+/// longest valid prefix; anything beyond that is a torn tail. Visitor
+/// form so a multi-gigabyte shard can be folded without materializing
+/// every record at once.
+pub fn walk_batches(body: &[u8], mut visit: impl FnMut(Vec<ProfileRecord>)) -> usize {
     let mut pos = 0usize;
     while let Some(len_bytes) = body.get(pos..pos + 4) {
         let payload_len = u32::from_le_bytes(len_bytes.try_into().expect("4 bytes"));
@@ -171,13 +237,21 @@ pub(crate) fn walk_frames(body: &[u8]) -> (Vec<ProfileRecord>, usize) {
         if !checksum_ok(payload, stored) {
             break;
         }
-        let Some(record) = decode_payload(payload) else {
+        let Some(records) = decode_payload(payload) else {
             break;
         };
-        records.push(record);
+        visit(records);
         pos += 12 + payload_len;
     }
-    (records, pos)
+    pos
+}
+
+/// [`walk_batches`] flattened: the salvaged records in append order plus
+/// the valid-prefix length.
+pub fn walk_frames(body: &[u8]) -> (Vec<ProfileRecord>, usize) {
+    let mut records = Vec::new();
+    let valid = walk_batches(body, |batch| records.extend(batch));
+    (records, valid)
 }
 
 #[cfg(test)]
@@ -289,6 +363,56 @@ mod tests {
                 .expect("byte inside some frame");
             assert!(got.len() <= frame_of_i, "byte {i}");
             assert_eq!(got[..], records[..got.len()], "byte {i}");
+        }
+    }
+
+    #[test]
+    fn batch_frames_roundtrip_and_interleave_with_run_frames() {
+        let batch: Vec<ProfileRecord> = (0..3)
+            .map(|i| ProfileRecord {
+                dataset: format!("b{i}"),
+                entries: vec![(i, 2 * u64::from(i) + 1, u64::from(i))],
+            })
+            .collect();
+        let mut body = encode_frame(&sample());
+        body.extend_from_slice(&encode_batch_frame(&batch));
+        body.extend_from_slice(&encode_batch_frame(&[]));
+        body.extend_from_slice(&encode_frame(&sample()));
+        let mut batches = Vec::new();
+        let valid = walk_batches(&body, |b| batches.push(b));
+        assert_eq!(valid, body.len());
+        assert_eq!(
+            batches,
+            vec![vec![sample()], batch.clone(), vec![], vec![sample()]]
+        );
+        let (flat, flat_valid) = walk_frames(&body);
+        assert_eq!(flat_valid, body.len());
+        let mut expected = vec![sample()];
+        expected.extend(batch);
+        expected.push(sample());
+        assert_eq!(flat, expected);
+    }
+
+    #[test]
+    fn damaged_batch_frame_drops_the_whole_batch() {
+        let batch: Vec<ProfileRecord> = (0..4)
+            .map(|i| ProfileRecord {
+                dataset: format!("b{i}"),
+                entries: vec![(i, 10, 5)],
+            })
+            .collect();
+        let first = encode_frame(&sample());
+        let mut body = first.clone();
+        body.extend_from_slice(&encode_batch_frame(&batch));
+        // Flip any single byte inside the batch frame: the whole batch
+        // must vanish — never a partial batch — and the run frame before
+        // it must survive.
+        for i in first.len()..body.len() {
+            let mut bad = body.clone();
+            bad[i] ^= 0x41;
+            let (got, valid) = walk_frames(&bad);
+            assert_eq!(got, vec![sample()], "byte {i}");
+            assert_eq!(valid, first.len(), "byte {i}");
         }
     }
 

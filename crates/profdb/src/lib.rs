@@ -29,7 +29,7 @@
 //! enumerate every crash-point deterministically on an in-memory
 //! filesystem.
 
-mod format;
+pub mod format;
 
 use std::collections::BTreeMap;
 use std::fmt;
