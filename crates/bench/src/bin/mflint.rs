@@ -16,12 +16,14 @@
 //! Exit status: 0 when clean, 1 when any finding is reported, 2 on usage
 //! or I/O errors.
 
+use std::collections::BTreeMap;
 use std::path::PathBuf;
 use std::process::ExitCode;
 
 use ifprob::directives;
-use mfcheck::{verify_program, Diagnostic, Severity};
+use mfcheck::{verify_digest, verify_program, Diagnostic, Severity};
 use mfopt::Pipeline;
+use mfpredict::Proof;
 use trace_ir::Program;
 use trace_vm::{Backend, GuestValue, Input, Run, Vm, VmConfig};
 
@@ -44,6 +46,9 @@ options:
                       (files), the bundled datasets (--suite), or
                       default to zeros
   --deny-warnings     treat warnings as findings
+  --json-metrics PATH write a machine-readable summary (programs checked,
+                      error/warning totals, per-code diagnostic counts,
+                      per-program verification digests) as JSON to PATH
   -h, --help          this message
 
 exit status: 0 clean, 1 findings, 2 usage/IO error";
@@ -55,6 +60,7 @@ struct Options {
     profile: Option<PathBuf>,
     backend: Option<Backend>,
     deny_warnings: bool,
+    json_metrics: Option<PathBuf>,
 }
 
 fn parse_args(args: &[String]) -> Result<Option<Options>, String> {
@@ -65,6 +71,7 @@ fn parse_args(args: &[String]) -> Result<Option<Options>, String> {
         profile: None,
         backend: None,
         deny_warnings: false,
+        json_metrics: None,
     };
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
@@ -73,6 +80,10 @@ fn parse_args(args: &[String]) -> Result<Option<Options>, String> {
             "--suite" => options.suite = true,
             "--pipeline" => options.pipeline = true,
             "--deny-warnings" => options.deny_warnings = true,
+            "--json-metrics" => match iter.next() {
+                Some(v) => options.json_metrics = Some(PathBuf::from(v)),
+                None => return Err("--json-metrics requires a path".to_string()),
+            },
             "--profile" => match iter.next() {
                 Some(v) => options.profile = Some(PathBuf::from(v)),
                 None => return Err("--profile requires a path".to_string()),
@@ -125,11 +136,13 @@ fn file_input_sets(source: &str, program: &Program) -> Vec<Vec<Input>> {
     vec![vec![Input::Int(0); arity]]
 }
 
-/// Running totals across everything linted.
+/// Running totals across everything linted, broken down by diagnostic
+/// code so `--json-metrics` can report where the findings came from.
 #[derive(Default)]
 struct Findings {
     errors: usize,
     warnings: usize,
+    per_code: BTreeMap<&'static str, usize>,
 }
 
 impl Findings {
@@ -139,7 +152,18 @@ impl Findings {
                 Severity::Error => self.errors += 1,
                 Severity::Warning => self.warnings += 1,
             }
+            *self.per_code.entry(d.code).or_default() += 1;
         }
+    }
+
+    fn error(&mut self, code: &'static str) {
+        self.errors += 1;
+        *self.per_code.entry(code).or_default() += 1;
+    }
+
+    fn warning(&mut self, code: &'static str) {
+        self.warnings += 1;
+        *self.per_code.entry(code).or_default() += 1;
     }
 
     fn fail(&self, deny_warnings: bool) -> bool {
@@ -162,17 +186,76 @@ fn lint_program(
     let diagnostics = verify_program(&linted.program);
     report(&linted.origin, &diagnostics);
     findings.count(&diagnostics);
+    predict_lints(linted, &diagnostics, findings);
 
     if pipeline {
         let mut optimized = linted.program.clone();
         if let Err(defect) = Pipeline::standard().run_checked(&mut optimized) {
             println!("{}: error[pass-defect]: {defect}", linted.origin);
-            findings.errors += 1;
+            findings.error("pass-defect");
         }
     }
 
     if let Some(backend) = backend {
         backend_diff(linted, backend, findings);
+    }
+}
+
+/// Warnings derived from the `mfpredict` interval abstract interpreter:
+/// branch directions the analysis proves constant, blocks it proves
+/// unreachable, and divisions it proves always trap. Proofs quantify
+/// over every possible execution, so each of these marks source the
+/// author probably did not mean to write.
+fn predict_lints(linted: &Linted, diagnostics: &[Diagnostic], findings: &mut Findings) {
+    // Proofs assume the IR is semantically well-formed; a program the
+    // verifier rejects gets no interval-based advice.
+    if diagnostics.iter().any(|d| d.severity == Severity::Error) {
+        return;
+    }
+    let p = &linted.program;
+    let analysis = mfpredict::analyze(p);
+    for (&id, &proof) in &analysis.proofs {
+        let direction = match proof {
+            Proof::AlwaysTaken => "always",
+            Proof::NeverTaken => "never",
+            Proof::Unknown => continue,
+        };
+        let code = match proof {
+            Proof::AlwaysTaken => "branch-always-taken",
+            _ => "branch-never-taken",
+        };
+        let info = &p.branch_info[id.index()];
+        let func = &p.functions[info.func.index()].name;
+        let at = if info.line > 0 {
+            format!("line {}", info.line)
+        } else {
+            "synthetic".to_string()
+        };
+        println!(
+            "{}: warning[{code}]: interval analysis proves {id} \
+             (fn {func}, {at}) is {direction} taken",
+            linted.origin
+        );
+        findings.warning(code);
+    }
+    for &(f, b) in &analysis.dead_blocks {
+        let func = &p.functions[f.index()].name;
+        println!(
+            "{}: warning[provably-dead-block]: interval analysis proves \
+             {b} in fn {func} can never execute",
+            linted.origin
+        );
+        findings.warning("provably-dead-block");
+    }
+    for &(f, b) in &analysis.div_by_zero {
+        let func = &p.functions[f.index()].name;
+        println!(
+            "{}: warning[provable-div-by-zero]: interval analysis proves \
+             the divisor in {b} of fn {func} is always zero (the block \
+             traps whenever it executes)",
+            linted.origin
+        );
+        findings.warning("provable-div-by-zero");
     }
 }
 
@@ -236,7 +319,7 @@ fn backend_diff(linted: &Linted, backend: Backend, findings: &mut Findings) {
                 backend.name(),
                 other.name()
             );
-            findings.errors += 1;
+            findings.error("backend-diff");
         }
     }
 }
@@ -259,7 +342,7 @@ fn lint_profile(
                 "{origin}: error[profile-needs-program]: directive profiles require \
                  exactly one source program to resolve branch keys"
             );
-            findings.errors += 1;
+            findings.error("profile-needs-program");
             return;
         };
         match directives::parse_directives(&linted.program, text) {
@@ -269,7 +352,7 @@ fn lint_profile(
             }
             Err(e) => {
                 println!("{origin}: error[bad-directive]: {e}");
-                findings.errors += 1;
+                findings.error("bad-directive");
             }
         }
         return;
@@ -281,7 +364,7 @@ fn lint_profile(
         }
         Err(e) => {
             println!("{origin}: error[bad-profile]: {e}");
-            findings.errors += 1;
+            findings.error("bad-profile");
         }
     }
 }
@@ -298,8 +381,8 @@ fn check_entries_against(
     };
     for issue in &issues {
         println!("{origin}: error[corrupt-profile]: {issue}");
+        findings.error("corrupt-profile");
     }
-    findings.errors += issues.len();
 }
 
 fn main() -> ExitCode {
@@ -339,7 +422,7 @@ fn main() -> ExitCode {
             }
             Err(e) => {
                 println!("{}: error[compile]: {e}", path.display());
-                findings.errors += 1;
+                findings.error("compile");
             }
         }
     }
@@ -358,7 +441,7 @@ fn main() -> ExitCode {
                 }),
                 Err(e) => {
                     println!("workload `{}`: error[compile]: {e}", w.name);
-                    findings.errors += 1;
+                    findings.error("compile");
                 }
             }
         }
@@ -393,9 +476,74 @@ fn main() -> ExitCode {
         findings.warnings,
         if findings.warnings == 1 { "" } else { "s" },
     );
+    if let Some(path) = &options.json_metrics {
+        if let Err(e) = std::fs::write(path, metrics_json(&linted, &findings)) {
+            eprintln!("mflint: writing {} failed: {e}", path.display());
+            return ExitCode::from(2);
+        }
+        eprintln!("wrote lint metrics to {}", path.display());
+    }
     if findings.fail(options.deny_warnings) {
         ExitCode::FAILURE
     } else {
         ExitCode::SUCCESS
     }
+}
+
+/// Minimal JSON string escaper, same dialect as the other drivers'
+/// hand-rolled metrics writers.
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// The `--json-metrics` body: totals, per-code diagnostic counts (sorted
+/// by code, so the key order is stable), and each linted program's
+/// verification digest as a hex string — the same digest `repro
+/// --verify-each` stamps on run records, so a lint run and a collection
+/// run over the same program can be cross-checked.
+fn metrics_json(linted: &[Linted], findings: &Findings) -> String {
+    let mut out = String::with_capacity(512 + linted.len() * 96);
+    out.push_str("{\n");
+    out.push_str("  \"tool\": \"mflint\",\n");
+    out.push_str(&format!(
+        "  \"programs_checked\": {},\n  \"errors\": {},\n  \"warnings\": {},\n",
+        linted.len(),
+        findings.errors,
+        findings.warnings
+    ));
+    let codes: Vec<String> = findings
+        .per_code
+        .iter()
+        .map(|(code, n)| format!("    {}: {n}", json_str(code)))
+        .collect();
+    out.push_str(&format!(
+        "  \"diagnostics\": {{\n{}\n  }},\n",
+        codes.join(",\n")
+    ));
+    if findings.per_code.is_empty() {
+        // No codes: collapse the object to avoid a dangling blank line.
+        out = out.replace("  \"diagnostics\": {\n\n  },\n", "  \"diagnostics\": {},\n");
+    }
+    out.push_str("  \"programs\": [\n");
+    for (i, l) in linted.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"origin\": {}, \"verify_digest\": \"{:#018x}\"}}{}\n",
+            json_str(&l.origin),
+            verify_digest(&l.program),
+            if i + 1 < linted.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
 }

@@ -21,8 +21,8 @@ use std::sync::Arc;
 use mfbench::{
     collect, combination_table, configure_harness, coverage_table, crossmode_table,
     distribution_table, dynamic_table, fig1_chart, fig2_chart, fig2_rows, fig3_chart, fig3_rows,
-    harness, heuristic_table, inlining_table, percent_correct_table, percent_taken_table,
-    record_suite_svc, selects_table, table1, table2, table3, SuiteRuns,
+    harness, heuristic_rows, heuristic_table, inlining_table, percent_correct_table,
+    percent_taken_table, record_suite_svc, selects_table, table1, table2, table3, SuiteRuns,
 };
 use mffault::{FaultPlan, FaultVfs, RealVfs, RetryPolicy, Vfs};
 use mfharness::{DiskCache, HarnessOptions};
@@ -255,7 +255,7 @@ fn main() -> ExitCode {
             // report — and a failure exit if the path is unwritable or
             // the profile database could not be made persistent.
             let db_failed = profile_db_summary(&options, store.as_ref());
-            let metrics = write_json_metrics(&options);
+            let metrics = write_json_metrics(&options, None);
             return if db_failed {
                 ExitCode::from(2)
             } else {
@@ -405,7 +405,7 @@ fn main() -> ExitCode {
         );
     }
     let db_failed = profile_db_summary(&options, store.as_ref());
-    let metrics = write_json_metrics(&options);
+    let metrics = write_json_metrics(&options, Some(&s));
     if db_failed {
         ExitCode::from(2)
     } else {
@@ -483,12 +483,65 @@ fn profile_db_summary(options: &Options, store: Option<&ProfileService>) -> bool
     false
 }
 
+/// Minimal JSON string escaper for table cells (quotes, backslashes,
+/// control characters).
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// The heuristic table as a JSON object with an explicit, stable column
+/// order (`mfbench::HEURISTIC_COLUMNS`): consumers key cells by position
+/// in `columns`, never by guessing at render-time alignment.
+fn heuristic_table_json(s: &SuiteRuns) -> String {
+    let columns: Vec<String> = mfbench::HEURISTIC_COLUMNS
+        .iter()
+        .map(|c| format!("\"{}\"", json_escape(c)))
+        .collect();
+    let rows: Vec<String> = heuristic_rows(s)
+        .iter()
+        .map(|row| {
+            let cells: Vec<String> = row
+                .iter()
+                .map(|c| format!("\"{}\"", json_escape(c)))
+                .collect();
+            format!("      [{}]", cells.join(", "))
+        })
+        .collect();
+    format!(
+        "{{\n    \"columns\": [{}],\n    \"rows\": [\n{}\n    ]\n  }}",
+        columns.join(", "),
+        rows.join(",\n")
+    )
+}
+
 /// Writes the harness report to `--json-metrics` (when requested) and turns
-/// a write failure into a failing exit code.
-fn write_json_metrics(options: &Options) -> ExitCode {
+/// a write failure into a failing exit code. When the suite was collected,
+/// the heuristic table (mispredict rate per strategy) is spliced in as an
+/// additive `heuristic_table` key.
+fn write_json_metrics(options: &Options, s: Option<&SuiteRuns>) -> ExitCode {
     if let Some(path) = &options.json_metrics {
         let report = harness().report();
-        if let Err(e) = std::fs::write(path, report.to_json()) {
+        let mut body = report.to_json();
+        if let Some(s) = s {
+            let trimmed = body.trim_end().strip_suffix('}').map(str::to_string);
+            if let Some(prefix) = trimmed {
+                body = format!(
+                    "{},\n  \"heuristic_table\": {}\n}}\n",
+                    prefix.trim_end(),
+                    heuristic_table_json(s)
+                );
+            }
+        }
+        if let Err(e) = std::fs::write(path, body) {
             eprintln!("repro: writing {} failed: {e}", path.display());
             return ExitCode::from(2);
         }

@@ -1,6 +1,11 @@
 //! `vmbench`: guest-instrs/sec for both VM backends over the workload
 //! suite, written as `BENCH_vm.json` so the interpreter's performance
-//! trajectory is tracked in-repo.
+//! trajectory is tracked in-repo. Each workload is additionally measured
+//! under two profile-guided flat layouts — one fed the *real* branch
+//! profile of a reference run, one fed the committed `mfpredict` model's
+//! pseudo-profile (free prediction: no profiling run required) — so the
+//! report quantifies how much of the profile-layout win static
+//! prediction recovers.
 //!
 //! ```text
 //! vmbench                        # full suite, calibrated batches
@@ -24,7 +29,7 @@ use std::process::ExitCode;
 use std::time::Instant;
 
 use mfwork::{suite, Workload};
-use trace_vm::{Backend, Input, Vm, VmConfig};
+use trace_vm::{Backend, BranchCounts, FlatProgram, Input, Vm, VmConfig};
 
 const USAGE: &str = "\
 usage: vmbench [OPTION...]
@@ -84,32 +89,59 @@ fn parse_args(args: &[String]) -> Result<Option<Options>, String> {
     Ok(Some(options))
 }
 
-/// One workload's measurement on both backends.
+/// One workload's measurement on both backends and both profile-guided
+/// flat layouts.
 struct Row {
     name: String,
     dataset: String,
     guest_instrs: u64,
     reference_ips: f64,
     flat_ips: f64,
+    /// Flat backend, blocks laid out along a real profile of this run.
+    profile_flat_ips: f64,
+    /// Flat backend, blocks laid out along the static model's
+    /// pseudo-profile — prediction for free, no profiling run.
+    ml_flat_ips: f64,
 }
 
 impl Row {
     fn speedup(&self) -> f64 {
         self.flat_ips / self.reference_ips
     }
+
+    /// Layout speedup of the real-profile flat build over default BTFN.
+    fn profile_layout_speedup(&self) -> f64 {
+        self.profile_flat_ips / self.flat_ips
+    }
+
+    /// Layout speedup of the ML pseudo-profile flat build over default
+    /// BTFN.
+    fn ml_layout_speedup(&self) -> f64 {
+        self.ml_flat_ips / self.flat_ips
+    }
 }
 
-/// Measures guest-instrs/sec for one workload on both backends:
-/// `(guest_instrs, reference_ips, flat_ips)`.
+/// Measures guest-instrs/sec for one workload on both backends and both
+/// profile-guided flat layouts:
+/// `(guest_instrs, reference_ips, flat_ips, profile_flat_ips, ml_flat_ips)`.
 ///
 /// The warmup runs pay one-time costs (the flat backend's flatten pass) and
 /// pin the per-run instruction count. A shared batch size is calibrated on
-/// the reference backend, then the two backends run in *interleaved* rounds
-/// with each backend's best round reported: machine-speed drift (frequency
-/// scaling, competing load) hits both backends alike instead of biasing
-/// whichever happened to run second, and best-of samples each backend at
+/// the reference backend, then every engine runs in *interleaved* rounds
+/// with each engine's best round reported: machine-speed drift (frequency
+/// scaling, competing load) hits all engines alike instead of biasing
+/// whichever happened to run last, and best-of samples each engine at
 /// the machine's fast state.
-fn measure_pair(w: &Workload, inputs: &[Input], max_batch_secs: f64) -> (u64, f64, f64) {
+///
+/// The real-profile layout is fed the branch counters of the reference
+/// warmup run — a self-profile, the best case for layout. The ML layout
+/// is fed the committed static model's pseudo-profile: what layout gets
+/// without any profiling run at all.
+fn measure_engines(
+    w: &Workload,
+    inputs: &[Input],
+    max_batch_secs: f64,
+) -> (u64, f64, f64, f64, f64) {
     let program = w.compile().expect("bundled workload compiles");
     let vms = [Backend::Reference, Backend::Flat].map(|backend| {
         Vm::with_config(
@@ -120,23 +152,64 @@ fn measure_pair(w: &Workload, inputs: &[Input], max_batch_secs: f64) -> (u64, f6
             },
         )
     });
-    let instrs = vms.each_ref().map(|vm| {
-        vm.run(inputs)
-            .unwrap_or_else(|e| panic!("{}: {e}", w.name))
-            .stats
-            .total_instrs
-    });
+    let warmup = vms
+        .each_ref()
+        .map(|vm| vm.run(inputs).unwrap_or_else(|e| panic!("{}: {e}", w.name)));
     assert_eq!(
-        instrs[0], instrs[1],
+        warmup[0].stats.total_instrs, warmup[1].stats.total_instrs,
         "{}: backends disagree on instruction count",
         w.name
     );
-    let instrs = instrs[0];
+    let instrs = warmup[0].stats.total_instrs;
 
-    let batch = |vm: &Vm, iters: u64| -> f64 {
+    let flat_config = VmConfig {
+        backend: Backend::Flat,
+        ..w.vm_config()
+    };
+    let profile_flat = FlatProgram::compile_with_profile(&program, &warmup[0].stats.branches);
+    let ml_profile: BranchCounts = mfpredict::pseudo_profile(mfpredict::ml_directions(&program))
+        .into_iter()
+        .collect();
+    let ml_flat = FlatProgram::compile_with_profile(&program, &ml_profile);
+
+    type Engine<'a> = Box<dyn Fn(&[Input]) -> trace_vm::Run + 'a>;
+    let engines: [Engine; 4] = [
+        Box::new(|inputs| {
+            vms[0]
+                .run(inputs)
+                .unwrap_or_else(|e| panic!("{}: {e}", w.name))
+        }),
+        Box::new(|inputs| {
+            vms[1]
+                .run(inputs)
+                .unwrap_or_else(|e| panic!("{}: {e}", w.name))
+        }),
+        Box::new(|inputs| {
+            profile_flat
+                .run(flat_config, inputs)
+                .unwrap_or_else(|e| panic!("{}: {e}", w.name))
+        }),
+        Box::new(|inputs| {
+            ml_flat
+                .run(flat_config, inputs)
+                .unwrap_or_else(|e| panic!("{}: {e}", w.name))
+        }),
+    ];
+    // Layout must be invisible in the semantics: every engine retires the
+    // same guest instruction count.
+    for engine in &engines {
+        assert_eq!(
+            engine(inputs).stats.total_instrs,
+            instrs,
+            "{}: engines disagree on instruction count",
+            w.name
+        );
+    }
+
+    let batch = |engine: &Engine, iters: u64| -> f64 {
         let start = Instant::now();
         for _ in 0..iters {
-            let run = vm.run(inputs).unwrap_or_else(|e| panic!("{}: {e}", w.name));
+            let run = engine(inputs);
             // Consuming the result keeps the run from being optimized out
             // and re-checks determinism while we are here.
             assert_eq!(
@@ -149,17 +222,17 @@ fn measure_pair(w: &Workload, inputs: &[Input], max_batch_secs: f64) -> (u64, f6
     };
 
     let mut iters: u64 = 1;
-    while batch(&vms[0], iters) < max_batch_secs / 4.0 && iters < 4096 {
+    while batch(&engines[0], iters) < max_batch_secs / 4.0 && iters < 4096 {
         iters *= 2;
     }
-    let mut best = [0.0f64; 2];
+    let mut best = [0.0f64; 4];
     for _ in 0..3 {
-        for (k, vm) in vms.iter().enumerate() {
-            let ips = (instrs as f64 * iters as f64) / batch(vm, iters);
+        for (k, engine) in engines.iter().enumerate() {
+            let ips = (instrs as f64 * iters as f64) / batch(engine, iters);
             best[k] = best[k].max(ips);
         }
     }
-    (instrs, best[0], best[1])
+    (instrs, best[0], best[1], best[2], best[3])
 }
 
 fn geomean(values: impl Iterator<Item = f64>) -> f64 {
@@ -185,19 +258,33 @@ fn json_report(rows: &[Row], mode: &str) -> String {
     for (i, r) in rows.iter().enumerate() {
         out.push_str(&format!(
             "    {{\"name\": \"{}\", \"dataset\": \"{}\", \"guest_instrs\": {}, \
-             \"reference_ips\": {:.0}, \"flat_ips\": {:.0}, \"speedup\": {:.3}}}{}\n",
+             \"reference_ips\": {:.0}, \"flat_ips\": {:.0}, \"speedup\": {:.3}, \
+             \"profile_flat_ips\": {:.0}, \"ml_flat_ips\": {:.0}, \
+             \"profile_layout_speedup\": {:.3}, \"ml_layout_speedup\": {:.3}}}{}\n",
             r.name,
             r.dataset,
             r.guest_instrs,
             r.reference_ips,
             r.flat_ips,
             r.speedup(),
+            r.profile_flat_ips,
+            r.ml_flat_ips,
+            r.profile_layout_speedup(),
+            r.ml_layout_speedup(),
             if i + 1 == rows.len() { "" } else { "," }
         ));
     }
     out.push_str("  ],\n");
     let speedups: Vec<f64> = rows.iter().map(Row::speedup).collect();
     let min = speedups.iter().copied().fold(f64::INFINITY, f64::min);
+    out.push_str(&format!(
+        "  \"geomean_profile_layout_speedup\": {:.3},\n",
+        geomean(rows.iter().map(Row::profile_layout_speedup))
+    ));
+    out.push_str(&format!(
+        "  \"geomean_ml_layout_speedup\": {:.3},\n",
+        geomean(rows.iter().map(Row::ml_layout_speedup))
+    ));
     out.push_str(&format!(
         "  \"geomean_speedup\": {:.3},\n",
         geomean(speedups.iter().copied())
@@ -243,22 +330,28 @@ fn main() -> ExitCode {
     let mut rows = Vec::with_capacity(selected.len());
     for w in &selected {
         let d = &w.datasets[0];
-        let (instrs, reference_ips, flat_ips) = measure_pair(w, &d.inputs, max_batch_secs);
+        let (instrs, reference_ips, flat_ips, profile_flat_ips, ml_flat_ips) =
+            measure_engines(w, &d.inputs, max_batch_secs);
         let row = Row {
             name: w.name.to_string(),
             dataset: d.name.clone(),
             guest_instrs: instrs,
             reference_ips,
             flat_ips,
+            profile_flat_ips,
+            ml_flat_ips,
         };
         eprintln!(
-            "{:<12} {:<10} {:>12} instrs  reference {:>12.0}/s  flat {:>12.0}/s  {:>5.2}x",
+            "{:<12} {:<10} {:>12} instrs  reference {:>12.0}/s  flat {:>12.0}/s  \
+             {:>5.2}x  layout: profile {:>5.2}x  ml {:>5.2}x",
             row.name,
             row.dataset,
             row.guest_instrs,
             row.reference_ips,
             row.flat_ips,
-            row.speedup()
+            row.speedup(),
+            row.profile_layout_speedup(),
+            row.ml_layout_speedup()
         );
         rows.push(row);
     }

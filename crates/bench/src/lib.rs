@@ -52,6 +52,12 @@ pub struct WorkloadRuns {
     /// The BTFN static-heuristic predictor computed from the loop forest
     /// (back edges by dominance, not block layout).
     pub btfn: Predictor,
+    /// BTFN with every branch the interval abstract interpreter *proved*
+    /// pinned to its proven direction (`mfpredict::analyze`).
+    pub proof: Predictor,
+    /// The committed static ML model's per-branch predictions
+    /// (`mfpredict::Model::committed` over `mfpredict` feature vectors).
+    pub ml: Predictor,
 }
 
 /// The whole suite's collected data.
@@ -162,6 +168,44 @@ struct Prepared {
     optimized: Arc<Program>,
     heuristic: Predictor,
     btfn: Predictor,
+    proof: Predictor,
+    ml: Predictor,
+}
+
+/// BTFN with interval proofs pinned: every site the abstract interpreter
+/// proved keeps its proven direction; everything else falls back to the
+/// loop-forest heuristic.
+fn proof_predictor(analysis: &mfpredict::ProgramProofs, btfn: &Predictor) -> Predictor {
+    use bpredict::Direction;
+    let mut dirs: std::collections::BTreeMap<_, _> = btfn.iter().collect();
+    for (id, taken) in analysis.proven_directions() {
+        let dir = if taken {
+            Direction::Taken
+        } else {
+            Direction::NotTaken
+        };
+        dirs.insert(id, dir);
+    }
+    Predictor::from_directions(dirs, Direction::NotTaken)
+}
+
+/// The committed ML model's predictions over `program`'s static features.
+fn ml_predictor(program: &Program, analysis: &mfpredict::ProgramProofs) -> Predictor {
+    use bpredict::Direction;
+    let features = mfpredict::extract(program, analysis);
+    Predictor::from_directions(
+        mfpredict::Model::committed()
+            .predict_branches(&features)
+            .map(|(id, taken)| {
+                let dir = if taken {
+                    Direction::Taken
+                } else {
+                    Direction::NotTaken
+                };
+                (id, dir)
+            }),
+        Direction::NotTaken,
+    )
 }
 
 fn prepare(workload: Workload) -> Prepared {
@@ -177,12 +221,17 @@ fn prepare(workload: Workload) -> Prepared {
     });
     let heuristic = Predictor::heuristic(&program);
     let btfn = Predictor::static_heuristic(&program);
+    let analysis = mfpredict::analyze(&program);
+    let proof = proof_predictor(&analysis, &btfn);
+    let ml = ml_predictor(&program, &analysis);
     Prepared {
         workload,
         program,
         optimized,
         heuristic,
         btfn,
+        proof,
+        ml,
     }
 }
 
@@ -232,6 +281,8 @@ fn collect_prepared(h: &Harness, prepared: Vec<Prepared>) -> SuiteRuns {
             select_ratio,
             heuristic: p.heuristic,
             btfn: p.btfn,
+            proof: p.proof,
+            ml: p.ml,
         });
     }
     SuiteRuns { workloads }
@@ -328,6 +379,9 @@ fn collect_workload_serial(w: &Workload) -> WorkloadRuns {
     };
     let heuristic = Predictor::heuristic(&program);
     let btfn = Predictor::static_heuristic(&program);
+    let analysis = mfpredict::analyze(&program);
+    let proof = proof_predictor(&analysis, &btfn);
+    let ml = ml_predictor(&program, &analysis);
     let mut runs = Vec::with_capacity(w.datasets.len());
     for d in &w.datasets {
         let run = w
@@ -351,6 +405,8 @@ fn collect_workload_serial(w: &Workload) -> WorkloadRuns {
         select_ratio,
         heuristic,
         btfn,
+        proof,
+        ml,
     }
 }
 
@@ -665,39 +721,81 @@ pub fn combination_table(s: &SuiteRuns) -> Table {
     t
 }
 
-/// Heuristic vs profile feedback: instrs/break per program/dataset under
-/// the BTFN static heuristic (loop forest: back edges taken, everything
-/// else not-taken), the source-kind loop heuristic, and leave-one-out
-/// profile prediction, plus profile/heuristic ratio (the paper: heuristics
-/// give up "about a factor of two").
-pub fn heuristic_table(s: &SuiteRuns) -> Table {
+/// The heuristic table's fixed column order. This exact sequence is the
+/// contract for both the rendered table and the `heuristic_table` object
+/// in `repro --json-metrics` — reorder here and you have changed the
+/// JSON schema, so don't.
+pub const HEURISTIC_COLUMNS: [&str; 9] = [
+    "PROGRAM",
+    "DATASET",
+    "BRANCHES",
+    "BTFN",
+    "HEURISTIC",
+    "PROOF",
+    "ML",
+    "PROFILE",
+    "SELF",
+];
+
+/// Placeholder in the ML column for workloads whose profiles the
+/// committed model trained on: their numbers would be in-sample, so they
+/// are never reported (the held-out half carries the ML result).
+pub const ML_TRAIN_MARKER: &str = "(train)";
+
+/// The heuristic table's row data, unformatted except for the percent
+/// cells, in [`HEURISTIC_COLUMNS`] order. Shared by [`heuristic_table`]
+/// and the JSON metrics writer so the two can never disagree.
+///
+/// Per program/dataset: executed conditional branches, then the
+/// mispredict rate (fraction of executed branches predicted wrong) under
+/// each prediction family — BTFN (loop forest), the source-kind loop
+/// heuristic, interval proofs pinned over BTFN, the static ML model
+/// (held-out workloads only — training-half rows show
+/// [`ML_TRAIN_MARKER`]), leave-one-out profile feedback (frequency), and
+/// self-prediction (the real-profile upper bound).
+pub fn heuristic_rows(s: &SuiteRuns) -> Vec<Vec<String>> {
     let cfg = BreakConfig::fig2();
-    let mut t = Table::new(&[
-        "PROGRAM",
-        "DATASET",
-        "BTFN",
-        "HEURISTIC",
-        "PROFILE",
-        "RATIO",
-    ]);
+    let mut rows = Vec::new();
     for w in &s.workloads {
         for (i, run) in w.runs.iter().enumerate() {
-            let b = evaluate(&run.stats, &w.btfn, cfg).instrs_per_break;
-            let h = evaluate(&run.stats, &w.heuristic, cfg).instrs_per_break;
-            let p = if w.runs.len() > 1 {
-                experiment::loo_metrics(&w.runs, i, CombineRule::Scaled, cfg).instrs_per_break
+            let rate = |m: Metrics| fmt_percent(1.0 - m.correct_fraction());
+            let of = |p: &Predictor| rate(evaluate(&run.stats, p, cfg));
+            let loo = if w.runs.len() > 1 {
+                experiment::loo_metrics(&w.runs, i, CombineRule::Scaled, cfg)
             } else {
-                experiment::self_metrics(run, cfg).instrs_per_break
+                experiment::self_metrics(run, cfg)
             };
-            t.row_owned(vec![
+            let ml = if mfpredict::is_train_workload(&w.name) {
+                ML_TRAIN_MARKER.to_string()
+            } else {
+                of(&w.ml)
+            };
+            rows.push(vec![
                 w.name.clone(),
                 run.dataset.clone(),
-                fmt_value(b),
-                fmt_value(h),
-                fmt_value(p),
-                format!("{:.2}x", p / h.max(1e-9)),
+                run.stats.branches.total_executed().to_string(),
+                of(&w.btfn),
+                of(&w.heuristic),
+                of(&w.proof),
+                ml,
+                rate(loo),
+                rate(experiment::self_metrics(run, cfg)),
             ]);
         }
+    }
+    rows
+}
+
+/// Static prediction vs profile feedback: per-dataset mispredict rate
+/// under the BTFN static heuristic (loop forest: back edges taken,
+/// everything else not-taken), the source-kind loop heuristic, interval
+/// proofs over BTFN, the profile-free ML model (evaluated strictly on
+/// the held-out workload half), leave-one-out profile prediction, and
+/// the self-prediction upper bound.
+pub fn heuristic_table(s: &SuiteRuns) -> Table {
+    let mut t = Table::new(&HEURISTIC_COLUMNS);
+    for row in heuristic_rows(s) {
+        t.row_owned(row);
     }
     t
 }
@@ -1119,6 +1217,58 @@ mod tests {
         assert!(!heuristic_table(s).is_empty());
         assert!(!selects_table(s).is_empty());
         assert!(!percent_correct_table(s).is_empty());
+    }
+
+    #[test]
+    fn heuristic_columns_are_explicit_and_stable() {
+        // The `--json-metrics` contract keys cells by position in this
+        // array; reordering or renaming is a breaking change.
+        assert_eq!(
+            HEURISTIC_COLUMNS,
+            [
+                "PROGRAM",
+                "DATASET",
+                "BRANCHES",
+                "BTFN",
+                "HEURISTIC",
+                "PROOF",
+                "ML",
+                "PROFILE",
+                "SELF"
+            ]
+        );
+        let s = quick();
+        for row in heuristic_rows(s) {
+            assert_eq!(row.len(), HEURISTIC_COLUMNS.len());
+        }
+    }
+
+    #[test]
+    fn heuristic_table_aligns_seven_digit_site_counts() {
+        // Regression: a BRANCHES cell past six digits must widen its
+        // column instead of shearing every column to its right.
+        let mut t = Table::new(&HEURISTIC_COLUMNS);
+        t.row(&[
+            "doduc", "tiny", "917", "29.7%", "30.1%", "28.0%", "24.2%", "13.0%", "9.9%",
+        ]);
+        t.row(&[
+            "gcc",
+            "insn-emit",
+            "1436537",
+            "12.3%",
+            "11.9%",
+            "12.3%",
+            "(train)",
+            "8.0%",
+            "6.1%",
+        ]);
+        let rendered = t.render();
+        let lines: Vec<&str> = rendered.lines().collect();
+        let btfn = lines[0].find("BTFN").unwrap();
+        for line in &lines[2..] {
+            assert_eq!(&line[btfn - 2..btfn], "  ", "sheared columns:\n{rendered}");
+            assert_ne!(&line[btfn..btfn + 1], " ", "sheared columns:\n{rendered}");
+        }
     }
 
     #[test]

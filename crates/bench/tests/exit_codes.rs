@@ -203,6 +203,70 @@ fn repro_unusable_profile_db_exits_two_unless_faults_were_requested() {
 }
 
 #[test]
+fn mflint_json_metrics_exit_codes_and_shape() {
+    let clean = temp_path("lint-metrics.mf");
+    std::fs::write(&clean, "fn main(n: int) { emit(n); }").unwrap();
+
+    // 2: the flag needs a value; an unwritable path is an I/O error.
+    assert_eq!(
+        mflint(&[clean.to_str().unwrap(), "--json-metrics"])
+            .status
+            .code(),
+        Some(2)
+    );
+    let out = mflint(&[
+        clean.to_str().unwrap(),
+        "--json-metrics",
+        "/nonexistent-mfbench-dir/lint.json",
+    ]);
+    assert_eq!(out.status.code(), Some(2), "stderr: {}", stderr(&out));
+
+    // 0: clean lint, metrics written with the stable keys.
+    let path = temp_path("lint-metrics.json");
+    let out = mflint(&[
+        clean.to_str().unwrap(),
+        "--json-metrics",
+        path.to_str().unwrap(),
+    ]);
+    assert_eq!(out.status.code(), Some(0), "stderr: {}", stderr(&out));
+    let body = std::fs::read_to_string(&path).expect("metrics written");
+    for key in [
+        "\"tool\": \"mflint\"",
+        "\"programs_checked\": 1",
+        "\"errors\": 0",
+        "\"warnings\": 0",
+        "\"diagnostics\": {}",
+        "\"verify_digest\": \"0x",
+    ] {
+        assert!(body.contains(key), "missing {key} in: {body}");
+    }
+
+    // 1: findings still exit 1, and the metrics file carries the counts.
+    let proved = temp_path("lint-metrics-proved.mf");
+    std::fs::write(
+        &proved,
+        "fn main(n: int) { var x: int = 3; if (x < 10) { emit(1); } else { emit(0); } }",
+    )
+    .unwrap();
+    let out = mflint(&[
+        proved.to_str().unwrap(),
+        "--deny-warnings",
+        "--json-metrics",
+        path.to_str().unwrap(),
+    ]);
+    assert_eq!(out.status.code(), Some(1), "stderr: {}", stderr(&out));
+    let body = std::fs::read_to_string(&path).expect("metrics rewritten");
+    assert!(
+        body.contains("\"branch-always-taken\": 1"),
+        "per-code counts missing: {body}"
+    );
+
+    let _ = std::fs::remove_file(clean);
+    let _ = std::fs::remove_file(proved);
+    let _ = std::fs::remove_file(path);
+}
+
+#[test]
 fn mflint_exit_codes_span_the_contract() {
     // 0: clean source.
     let clean = temp_path("clean.mf");

@@ -165,6 +165,19 @@ impl Predictor {
         }
     }
 
+    /// Builds a predictor from explicit per-site directions (static
+    /// analyses — interval proofs, the ML model — produce these rather
+    /// than counts). Later duplicates win.
+    pub fn from_directions(
+        directions: impl IntoIterator<Item = (BranchId, Direction)>,
+        default: Direction,
+    ) -> Self {
+        Predictor {
+            map: directions.into_iter().collect(),
+            default,
+        }
+    }
+
     /// The predicted direction for a branch.
     pub fn predict(&self, id: BranchId) -> Direction {
         self.map.get(&id).copied().unwrap_or(self.default)

@@ -56,13 +56,19 @@ pub const KNOWN: &[&str] = &[
     // the shard segment is synced, so a crash (or failed sync) can lose
     // records the caller was told were durable.
     "profsvc-batch-ack-early",
+    // mfpredict: interval widening keeps a stale upper bound instead of
+    // widening it to +inf, so loop counters "provably" never exceed their
+    // first-iterations value and the analysis emits unsound proofs that
+    // dynamic execution contradicts.
+    "predict-widen-dropped-bound",
 ];
 
 static ACTIVE_COUNT: AtomicUsize = AtomicUsize::new(0);
 
 // One flag per KNOWN entry, same order. `AtomicBool::new(false)` is not
 // const-cloneable, hence the explicit list sized by a compile-time check.
-static FLAGS: [AtomicBool; 11] = [
+static FLAGS: [AtomicBool; 12] = [
+    AtomicBool::new(false),
     AtomicBool::new(false),
     AtomicBool::new(false),
     AtomicBool::new(false),

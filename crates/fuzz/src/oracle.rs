@@ -33,6 +33,12 @@
 //!   actually reach the disk (the ack-before-sync bug).
 //! * **switch-diff** — compiling with `SwitchMode::JumpTable` instead of
 //!   the default cascade must not change program output.
+//! * **predict-soundness** — the `mfpredict` interval abstract
+//!   interpreter's proofs are universally quantified: a branch proved
+//!   always-taken (or never-taken) must never be observed going the
+//!   other way in a completed run, and a block proved dead must show a
+//!   zero Pixie count. Any observed contradiction means the abstract
+//!   domain, a transfer function, or the widening is unsound.
 //! * **flat-diff** — running the unoptimized program on the *other* VM
 //!   backend (flat when the primary is reference, and vice versa) must be
 //!   observably identical: same output/result, same `RunStats` (branch and
@@ -343,6 +349,34 @@ fn check_directive_roundtrip(
             "directive-roundtrip",
             format!("directives failed to re-parse: {e}"),
         )),
+    }
+}
+
+/// O-predict: interval proofs held against a completed run's observed
+/// counters. Proofs quantify over every execution that runs to
+/// completion, so a single counter going the proved-impossible way — or
+/// a single execution of a provably-dead block — convicts the static
+/// analysis, not the program.
+pub fn check_predict_soundness(
+    proofs: &mfpredict::ProgramProofs,
+    si: usize,
+    run: &Run,
+    findings: &mut Vec<(&'static str, String)>,
+) {
+    for c in proofs.contradictions(run.stats.branches.iter()) {
+        findings.push(("predict-soundness", format!("input set {si}: {c}")));
+    }
+    for &(f, b) in &proofs.dead_blocks {
+        let count = run.stats.pixie.block_count(f, b.index());
+        if count > 0 {
+            findings.push((
+                "predict-soundness",
+                format!(
+                    "input set {si}: {b} of fn{} proved dead but executed {count} times",
+                    f.index()
+                ),
+            ));
+        }
     }
 }
 
@@ -718,6 +752,10 @@ pub fn check_source(source: &str, input_sets: &[Vec<i64>], case_hash: u64) -> Or
         }
     }
 
+    // Interval proofs over the unoptimized program: checked against every
+    // completed run's counters below.
+    let proofs = mfpredict::analyze(&program);
+
     // Jump-table lowering for the switch differential (may legitimately
     // fail to differ from cascade when the program has no switch).
     let jt_options = CompileOptions {
@@ -772,6 +810,7 @@ pub fn check_source(source: &str, input_sets: &[Vec<i64>], case_hash: u64) -> Or
                     }
                 }
                 check_run_invariants(u, &mut out.findings);
+                check_predict_soundness(&proofs, si, u, &mut out.findings);
                 check_directive_roundtrip(&program, &u.stats.branches, &mut out.findings);
                 unopt_counts.push(u.stats.branches.clone());
             }

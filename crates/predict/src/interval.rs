@@ -1,0 +1,412 @@
+//! The integer interval domain.
+//!
+//! Guest integer arithmetic is wrapping two's-complement `i64`
+//! (`eval_binop` in the VM), so a transfer function may only return a
+//! finite interval when the exact mathematical result of every operand
+//! combination stays inside `[i64::MIN, i64::MAX]`; anything that could
+//! wrap degrades to ⊤. Bounds are carried as `i128` so the "could it
+//! wrap" test is itself exact. Registers that may hold floats are mapped
+//! to ⊤ by the transfer functions (every float-producing instruction
+//! returns ⊤), which keeps the int-only domain sound: ⊤ yields no proofs.
+
+use trace_ir::BinOp;
+
+pub(crate) const I64_MIN: i128 = i64::MIN as i128;
+pub(crate) const I64_MAX: i128 = i64::MAX as i128;
+
+/// A non-empty closed interval of `i64` values, bounds held as `i128`.
+/// The empty set ("bottom") is represented at the state level, not here:
+/// operations that can discover infeasibility return `Option<Interval>`.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Interval {
+    pub lo: i128,
+    pub hi: i128,
+}
+
+impl Interval {
+    /// The full `i64` range — the domain's ⊤.
+    pub const TOP: Interval = Interval {
+        lo: I64_MIN,
+        hi: I64_MAX,
+    };
+
+    /// The interval holding exactly `n`.
+    pub fn singleton(n: i64) -> Interval {
+        Interval {
+            lo: n as i128,
+            hi: n as i128,
+        }
+    }
+
+    /// `[lo, hi]` clamped to the `i64` range. Callers must pass `lo <= hi`.
+    pub fn new(lo: i128, hi: i128) -> Interval {
+        debug_assert!(lo <= hi);
+        Interval {
+            lo: lo.max(I64_MIN),
+            hi: hi.min(I64_MAX),
+        }
+    }
+
+    /// Clamps an exact mathematical result range: exact if it fits in
+    /// `i64`, ⊤ if any part could wrap.
+    fn fit(lo: i128, hi: i128) -> Interval {
+        if lo >= I64_MIN && hi <= I64_MAX {
+            Interval { lo, hi }
+        } else {
+            Interval::TOP
+        }
+    }
+
+    pub fn is_top(&self) -> bool {
+        *self == Interval::TOP
+    }
+
+    /// Every value in the interval is zero.
+    pub fn is_zero(&self) -> bool {
+        self.lo == 0 && self.hi == 0
+    }
+
+    /// No value in the interval is zero.
+    pub fn excludes_zero(&self) -> bool {
+        self.lo > 0 || self.hi < 0
+    }
+
+    pub fn contains(&self, n: i128) -> bool {
+        self.lo <= n && n <= self.hi
+    }
+
+    pub fn as_singleton(&self) -> Option<i64> {
+        (self.lo == self.hi).then_some(self.lo as i64)
+    }
+
+    /// Least upper bound (interval hull).
+    pub fn join(&self, other: &Interval) -> Interval {
+        Interval {
+            lo: self.lo.min(other.lo),
+            hi: self.hi.max(other.hi),
+        }
+    }
+
+    /// Greatest lower bound; `None` when the intervals are disjoint.
+    pub fn meet(&self, other: &Interval) -> Option<Interval> {
+        let lo = self.lo.max(other.lo);
+        let hi = self.hi.min(other.hi);
+        (lo <= hi).then_some(Interval { lo, hi })
+    }
+
+    /// Removes zero when it sits on an endpoint (a hole in the middle is
+    /// not representable); `None` when the interval is exactly `[0,0]`.
+    pub fn refine_nonzero(&self) -> Option<Interval> {
+        if self.is_zero() {
+            return None;
+        }
+        let lo = if self.lo == 0 { 1 } else { self.lo };
+        let hi = if self.hi == 0 { -1 } else { self.hi };
+        Some(Interval { lo, hi })
+    }
+
+    /// Intersects with `[0,0]`; `None` when zero is not in the interval.
+    pub fn refine_zero(&self) -> Option<Interval> {
+        self.meet(&Interval::singleton(0))
+    }
+}
+
+/// Standard interval widening: a bound that grew since the previous
+/// iterate jumps straight to the respective infinity (here, the `i64`
+/// extreme), guaranteeing the ascending chain stabilizes.
+pub(crate) fn widen(old: &Interval, new: &Interval) -> Interval {
+    let lo = if new.lo < old.lo { I64_MIN } else { old.lo };
+    #[allow(unused_mut)]
+    let mut hi = if new.hi > old.hi { I64_MAX } else { old.hi };
+    #[cfg(feature = "seeded-defects")]
+    if new.hi > old.hi && mfdefect::active("predict-widen-dropped-bound") {
+        // Planted bug: keep the stale upper bound instead of widening it
+        // away. Loop counters then "provably" never exceed their value
+        // from the first couple of iterations, manufacturing AlwaysTaken
+        // proofs on loop-exit tests that later iterations contradict.
+        hi = old.hi;
+    }
+    Interval { lo, hi }
+}
+
+/// Transfer function for wrapping addition.
+pub fn add(l: &Interval, r: &Interval) -> Interval {
+    Interval::fit(l.lo + r.lo, l.hi + r.hi)
+}
+
+/// Transfer function for wrapping subtraction.
+pub fn sub(l: &Interval, r: &Interval) -> Interval {
+    Interval::fit(l.lo - r.hi, l.hi - r.lo)
+}
+
+/// Transfer function for wrapping multiplication.
+pub fn mul(l: &Interval, r: &Interval) -> Interval {
+    let cands = [l.lo * r.lo, l.lo * r.hi, l.hi * r.lo, l.hi * r.hi];
+    let lo = cands.iter().copied().min().unwrap();
+    let hi = cands.iter().copied().max().unwrap();
+    Interval::fit(lo, hi)
+}
+
+/// Transfer function for `Div`/`Rem`. The VM traps on a zero divisor, so
+/// surviving executions never see one — callers trim endpoint zeros with
+/// [`Interval::refine_nonzero`] first, but an interior zero may remain in
+/// `r` (holes are not representable); the cases below are sound for any
+/// non-zero divisor drawn from `r`.
+pub fn div_rem(op: BinOp, l: &Interval, r: &Interval) -> Interval {
+    match op {
+        BinOp::Div => {
+            if let Some(d) = r.as_singleton() {
+                // i64::MIN / -1 wraps; everything else is exact.
+                if d == -1 && l.contains(I64_MIN) {
+                    return Interval::TOP;
+                }
+                let a = l.lo / d as i128;
+                let b = l.hi / d as i128;
+                Interval::fit(a.min(b), a.max(b))
+            } else if r.lo >= 1 {
+                // Positive divisor shrinks magnitude toward zero.
+                let a = l.lo / r.lo;
+                let b = l.hi / r.lo;
+                Interval::fit(a.min(b).min(0), a.max(b).max(0))
+            } else {
+                Interval::TOP
+            }
+        }
+        BinOp::Rem => {
+            // |l % d| < |d|, and the result takes the sign of l.
+            let m = r.lo.unsigned_abs().max(r.hi.unsigned_abs());
+            let m = (m - 1).min(I64_MAX as u128) as i128;
+            let lo = if l.lo >= 0 { 0 } else { -m };
+            let hi = if l.hi <= 0 { 0 } else { m };
+            Interval::new(lo, hi)
+        }
+        _ => unreachable!("div_rem only handles Div/Rem"),
+    }
+}
+
+/// Transfer functions for the bitwise family; only the cheap sound cases
+/// are modeled, everything else is ⊤.
+pub fn bitwise(op: BinOp, l: &Interval, r: &Interval) -> Interval {
+    if let (Some(a), Some(b)) = (l.as_singleton(), r.as_singleton()) {
+        let exact = match op {
+            BinOp::And => a & b,
+            BinOp::Or => a | b,
+            BinOp::Xor => a ^ b,
+            BinOp::Shl => a.wrapping_shl(b as u32 & 63),
+            BinOp::Shr => a.wrapping_shr(b as u32 & 63),
+            _ => unreachable!("bitwise only handles And/Or/Xor/Shl/Shr"),
+        };
+        return Interval::singleton(exact);
+    }
+    if l.lo >= 0 && r.lo >= 0 {
+        match op {
+            // a & b <= min(a, b) for non-negative operands.
+            BinOp::And => return Interval::new(0, l.hi.min(r.hi)),
+            // max(a, b) <= a | b <= a + b for non-negative operands.
+            BinOp::Or => return Interval::fit(l.lo.max(r.lo), l.hi + r.hi),
+            // a ^ b <= a | b <= a + b for non-negative operands.
+            BinOp::Xor => return Interval::fit(0, l.hi + r.hi),
+            _ => {}
+        }
+    }
+    if op == BinOp::Shr && l.lo >= 0 {
+        if let Some(s) = r.as_singleton() {
+            let s = s as u32 & 63;
+            return Interval::new(l.lo >> s, l.hi >> s);
+        }
+    }
+    Interval::TOP
+}
+
+/// The abstract result of an integer comparison: `[1,1]` when it must
+/// hold, `[0,0]` when it cannot, `[0,1]` otherwise.
+pub fn compare(op: BinOp, l: &Interval, r: &Interval) -> Interval {
+    let (t, f) = (Interval::singleton(1), Interval::singleton(0));
+    let unknown = Interval::new(0, 1);
+    match op {
+        BinOp::Eq => {
+            if l.as_singleton().is_some() && l == r {
+                t
+            } else if l.meet(r).is_none() {
+                f
+            } else {
+                unknown
+            }
+        }
+        BinOp::Ne => {
+            if l.as_singleton().is_some() && l == r {
+                f
+            } else if l.meet(r).is_none() {
+                t
+            } else {
+                unknown
+            }
+        }
+        BinOp::Lt => {
+            if l.hi < r.lo {
+                t
+            } else if l.lo >= r.hi {
+                f
+            } else {
+                unknown
+            }
+        }
+        BinOp::Le => {
+            if l.hi <= r.lo {
+                t
+            } else if l.lo > r.hi {
+                f
+            } else {
+                unknown
+            }
+        }
+        BinOp::Gt => compare(BinOp::Lt, r, l),
+        BinOp::Ge => compare(BinOp::Le, r, l),
+        _ => unknown,
+    }
+}
+
+/// Refines both operands of an integer comparison known to have evaluated
+/// to `outcome`. Returns `None` when the outcome is infeasible for the
+/// given operand ranges (the refined path is dead).
+pub fn refine_compare(
+    op: BinOp,
+    outcome: bool,
+    l: &Interval,
+    r: &Interval,
+) -> Option<(Interval, Interval)> {
+    // Reduce to {Eq, Ne, Lt, Le} over (possibly swapped) operands.
+    match (op, outcome) {
+        (BinOp::Gt, o) => refine_compare(BinOp::Lt, o, r, l).map(|(r2, l2)| (l2, r2)),
+        (BinOp::Ge, o) => refine_compare(BinOp::Le, o, r, l).map(|(r2, l2)| (l2, r2)),
+        (BinOp::Lt, false) => refine_compare(BinOp::Le, true, r, l).map(|(r2, l2)| (l2, r2)),
+        (BinOp::Le, false) => refine_compare(BinOp::Lt, true, r, l).map(|(r2, l2)| (l2, r2)),
+        (BinOp::Eq, false) => refine_compare(BinOp::Ne, true, l, r),
+        (BinOp::Ne, false) => refine_compare(BinOp::Eq, true, l, r),
+        (BinOp::Eq, true) => {
+            let m = l.meet(r)?;
+            Some((m, m))
+        }
+        (BinOp::Ne, true) => {
+            // Only endpoint-singleton exclusions are representable.
+            let trim = |x: &Interval, other: &Interval| -> Option<Interval> {
+                match other.as_singleton() {
+                    Some(n) => {
+                        let n = n as i128;
+                        if x.lo == n && x.hi == n {
+                            None
+                        } else if x.lo == n {
+                            Some(Interval { lo: n + 1, ..*x })
+                        } else if x.hi == n {
+                            Some(Interval { hi: n - 1, ..*x })
+                        } else {
+                            Some(*x)
+                        }
+                    }
+                    None => Some(*x),
+                }
+            };
+            Some((trim(l, r)?, trim(r, l)?))
+        }
+        (BinOp::Lt, true) => {
+            let l2 = l.meet(&Interval::new(I64_MIN, (r.hi - 1).max(I64_MIN)))?;
+            let r2 = r.meet(&Interval::new((l.lo + 1).min(I64_MAX), I64_MAX))?;
+            Some((l2, r2))
+        }
+        (BinOp::Le, true) => {
+            let l2 = l.meet(&Interval::new(I64_MIN, r.hi))?;
+            let r2 = r.meet(&Interval::new(l.lo, I64_MAX))?;
+            Some((l2, r2))
+        }
+        _ => Some((*l, *r)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn iv(lo: i128, hi: i128) -> Interval {
+        Interval::new(lo, hi)
+    }
+
+    #[test]
+    fn add_wrap_degrades_to_top() {
+        assert_eq!(add(&iv(1, 2), &iv(3, 4)), iv(4, 6));
+        assert!(add(&Interval::singleton(i64::MAX), &Interval::singleton(1)).is_top());
+    }
+
+    #[test]
+    fn mul_covers_sign_combinations() {
+        assert_eq!(mul(&iv(-2, 3), &iv(-5, 4)), iv(-15, 12));
+        assert!(mul(&Interval::singleton(i64::MAX), &iv(2, 2)).is_top());
+    }
+
+    #[test]
+    fn div_singleton_and_range() {
+        assert_eq!(div_rem(BinOp::Div, &iv(10, 20), &iv(2, 2)), iv(5, 10));
+        assert_eq!(div_rem(BinOp::Div, &iv(-9, 9), &iv(3, 3)), iv(-3, 3));
+        assert!(div_rem(BinOp::Div, &Interval::singleton(i64::MIN), &iv(-1, -1)).is_top());
+        // Positive non-singleton divisor still bounds magnitude.
+        let d = div_rem(BinOp::Div, &iv(-100, 50), &iv(2, 9));
+        assert!(d.lo <= -50 && d.hi >= 25 && !d.is_top());
+    }
+
+    #[test]
+    fn rem_bounds_by_divisor_magnitude() {
+        assert_eq!(div_rem(BinOp::Rem, &iv(0, 100), &iv(7, 7)), iv(0, 6));
+        assert_eq!(div_rem(BinOp::Rem, &iv(-100, -1), &iv(1, 10)), iv(-9, 0));
+        assert_eq!(div_rem(BinOp::Rem, &iv(-5, 5), &iv(-3, -2)), iv(-2, 2));
+    }
+
+    #[test]
+    fn compare_decides_when_disjoint() {
+        assert_eq!(compare(BinOp::Lt, &iv(0, 4), &iv(5, 9)), iv(1, 1));
+        assert_eq!(compare(BinOp::Lt, &iv(5, 9), &iv(0, 5)), iv(0, 0));
+        assert_eq!(compare(BinOp::Lt, &iv(0, 5), &iv(3, 9)), iv(0, 1));
+        assert_eq!(
+            compare(BinOp::Eq, &Interval::singleton(3), &Interval::singleton(3)),
+            iv(1, 1)
+        );
+        assert_eq!(compare(BinOp::Ge, &iv(5, 9), &iv(0, 5)), iv(1, 1));
+    }
+
+    #[test]
+    fn refine_lt_narrows_both_sides() {
+        let (l, r) = refine_compare(BinOp::Lt, true, &iv(0, 100), &iv(0, 10)).unwrap();
+        assert_eq!(l, iv(0, 9));
+        assert_eq!(r, iv(1, 10));
+        // x < x is infeasible.
+        assert!(refine_compare(BinOp::Lt, true, &iv(3, 3), &iv(3, 3)).is_none());
+        // !(x < 10) pins the lower bound.
+        let (l, _) = refine_compare(BinOp::Lt, false, &iv(0, 100), &iv(10, 10)).unwrap();
+        assert_eq!(l, iv(10, 100));
+    }
+
+    #[test]
+    fn refine_ne_trims_endpoints_only() {
+        let (l, _) = refine_compare(BinOp::Ne, true, &iv(0, 10), &iv(0, 0)).unwrap();
+        assert_eq!(l, iv(1, 10));
+        assert!(refine_compare(BinOp::Ne, true, &iv(4, 4), &iv(4, 4)).is_none());
+        let (l, _) = refine_compare(BinOp::Ne, true, &iv(0, 10), &iv(5, 5)).unwrap();
+        assert_eq!(l, iv(0, 10));
+    }
+
+    #[test]
+    fn widen_jumps_grown_bounds_to_infinity() {
+        let w = widen(&iv(0, 1), &iv(0, 2));
+        assert_eq!(w, iv(0, I64_MAX));
+        let w = widen(&iv(0, 1), &iv(-1, 1));
+        assert_eq!(w, iv(I64_MIN, 1));
+        let w = widen(&iv(0, 1), &iv(0, 1));
+        assert_eq!(w, iv(0, 1));
+    }
+
+    #[test]
+    fn nonzero_refinement_trims_endpoint_zero() {
+        assert_eq!(iv(0, 5).refine_nonzero().unwrap(), iv(1, 5));
+        assert_eq!(iv(-5, 0).refine_nonzero().unwrap(), iv(-5, -1));
+        assert_eq!(iv(-5, 5).refine_nonzero().unwrap(), iv(-5, 5));
+        assert!(Interval::singleton(0).refine_nonzero().is_none());
+    }
+}
