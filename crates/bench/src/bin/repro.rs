@@ -20,8 +20,8 @@ use std::sync::Arc;
 
 use mfbench::{
     collect, combination_table, configure_harness, coverage_table, crossmode_table,
-    distribution_table, dynamic_table, fig1_chart, fig2_chart, fig2_rows, fig3_chart, fig3_rows,
-    harness, heuristic_rows, heuristic_table, inlining_table, percent_correct_table,
+    distribution_table, dyn_table, dynamic_table, fig1_chart, fig2_chart, fig2_rows, fig3_chart,
+    fig3_rows, harness, heuristic_rows, heuristic_table, inlining_table, percent_correct_table,
     percent_taken_table, record_suite_svc, selects_table, table1, table2, table3, SuiteRuns,
 };
 use mffault::{FaultPlan, FaultVfs, RealVfs, RetryPolicy, Vfs};
@@ -49,6 +49,7 @@ const SECTIONS: &[&str] = &[
     "--dynamic",
     "--inline",
     "--distribution",
+    "--dyn",
 ];
 
 const USAGE: &str = "\
@@ -57,7 +58,7 @@ usage: repro [SECTION...] [OPTION...]
 sections (default: all):
   --table1 --table2 --table3 --fig1 --fig2 --fig3
   --correct --taken --combine --heuristic --selects --crossmode
-  --coverage --dynamic --inline --distribution
+  --coverage --dynamic --inline --distribution --dyn
 
 options:
   --jobs N            worker threads (default: MFHARNESS_JOBS or
@@ -394,6 +395,12 @@ fn main() -> ExitCode {
         section("Run lengths between mispredicted branches are not evenly spaced");
         print!("{}", distribution_table().render());
     }
+    if want("--dyn") {
+        section("Extension: online dynamic-predictor zoo (instrs per mispredict)");
+        print!("{}", dyn_table(&s).render());
+        println!("(higher is better; dynamic predictors observe every outcome online,");
+        println!(" profile feedback sees only a prior run's aggregate counts)");
+    }
 
     let report = harness().report();
     section("Harness: scheduler and cache summary");
@@ -523,10 +530,46 @@ fn heuristic_table_json(s: &SuiteRuns) -> String {
     )
 }
 
+/// The dynamic-predictor headline as a JSON object: column order is
+/// `mfbench::DYN_COLUMNS`, cells are instrs-per-mispredict (null where a
+/// predictor is out of scope, e.g. the ML column on its own training
+/// workloads), and `geomean` aggregates each column across rows.
+fn dyn_table_json(s: &SuiteRuns) -> String {
+    let columns: Vec<String> = mfbench::DYN_COLUMNS
+        .iter()
+        .map(|c| format!("\"{}\"", json_escape(c)))
+        .collect();
+    let cell = |v: &Option<f64>| match v {
+        Some(v) => format!("{v:.4}"),
+        None => "null".to_string(),
+    };
+    let rows_data = mfbench::dyn_rows(s);
+    let rows: Vec<String> = rows_data
+        .iter()
+        .map(|row| {
+            let cells: Vec<String> = row.ipm.iter().map(cell).collect();
+            format!(
+                "      {{\"program\": \"{}\", \"dataset\": \"{}\", \"ipm\": [{}]}}",
+                json_escape(&row.program),
+                json_escape(&row.dataset),
+                cells.join(", ")
+            )
+        })
+        .collect();
+    let geomean: Vec<String> = mfbench::dyn_geomeans(&rows_data).iter().map(cell).collect();
+    format!(
+        "{{\n    \"columns\": [{}],\n    \"rows\": [\n{}\n    ],\n    \"geomean\": [{}]\n  }}",
+        columns.join(", "),
+        rows.join(",\n"),
+        geomean.join(", ")
+    )
+}
+
 /// Writes the harness report to `--json-metrics` (when requested) and turns
 /// a write failure into a failing exit code. When the suite was collected,
-/// the heuristic table (mispredict rate per strategy) is spliced in as an
-/// additive `heuristic_table` key.
+/// the heuristic table (mispredict rate per strategy) and the dynamic
+/// predictor headline are spliced in as additive `heuristic_table` and
+/// `dyn_table` keys.
 fn write_json_metrics(options: &Options, s: Option<&SuiteRuns>) -> ExitCode {
     if let Some(path) = &options.json_metrics {
         let report = harness().report();
@@ -535,9 +578,10 @@ fn write_json_metrics(options: &Options, s: Option<&SuiteRuns>) -> ExitCode {
             let trimmed = body.trim_end().strip_suffix('}').map(str::to_string);
             if let Some(prefix) = trimmed {
                 body = format!(
-                    "{},\n  \"heuristic_table\": {}\n}}\n",
+                    "{},\n  \"heuristic_table\": {},\n  \"dyn_table\": {}\n}}\n",
                     prefix.trim_end(),
-                    heuristic_table_json(s)
+                    heuristic_table_json(s),
+                    dyn_table_json(s)
                 );
             }
         }

@@ -24,6 +24,7 @@ use std::sync::{Arc, OnceLock};
 use bpredict::experiment::{self, DatasetRun};
 use bpredict::{evaluate, evaluate_unpredicted, BreakConfig, Metrics, Predictor};
 use ifprob::CombineRule;
+use mfdyn::{DynSpec, ZooReport};
 use mfharness::{Harness, HarnessOptions, RunJob};
 use mfreport::{fmt_percent, fmt_value, BarChart, Table};
 use mfwork::{suite, Group, Workload};
@@ -58,6 +59,11 @@ pub struct WorkloadRuns {
     /// The committed static ML model's per-branch predictions
     /// (`mfpredict::Model::committed` over `mfpredict` feature vectors).
     pub ml: Predictor,
+    /// Online dynamic-predictor tallies per dataset, aligned with `runs`:
+    /// the [`mfdyn::full_zoo`] roster driven over each profiling run's
+    /// branch stream as it executed (same run, observed — attaching the
+    /// zoo changes no statistic).
+    pub zoo: Vec<ZooReport>,
 }
 
 /// The whole suite's collected data.
@@ -242,13 +248,16 @@ fn collect_prepared(h: &Harness, prepared: Vec<Prepared>) -> SuiteRuns {
     let mut jobs = Vec::new();
     for p in &prepared {
         for d in &p.workload.datasets {
-            jobs.push(RunJob::new(
-                p.workload.name,
-                d.name.clone(),
-                Arc::clone(&p.program),
-                d.inputs.clone(),
-                run_config(p.workload.vm_config()),
-            ));
+            jobs.push(
+                RunJob::new(
+                    p.workload.name,
+                    d.name.clone(),
+                    Arc::clone(&p.program),
+                    d.inputs.clone(),
+                    run_config(p.workload.vm_config()),
+                )
+                .with_zoo(mfdyn::full_zoo()),
+            );
         }
         let first = &p.workload.datasets[0];
         jobs.push(RunJob::new(
@@ -264,10 +273,18 @@ fn collect_prepared(h: &Harness, prepared: Vec<Prepared>) -> SuiteRuns {
     let mut workloads = Vec::with_capacity(prepared.len());
     for p in prepared {
         let mut runs = Vec::with_capacity(p.workload.datasets.len());
+        let mut zoo = Vec::with_capacity(p.workload.datasets.len());
         for d in &p.workload.datasets {
             let outcome = outcomes.next().expect("one outcome per dataset job");
             check_run_profile(&p.program, p.workload.name, &d.name, &outcome.stats);
             runs.push(DatasetRun::new(d.name.clone(), (*outcome.stats).clone()));
+            zoo.push(
+                outcome
+                    .zoo
+                    .as_deref()
+                    .expect("zoo jobs always carry a report")
+                    .clone(),
+            );
         }
         let opt = outcomes.next().expect("one outcome per optimized job");
         let base_instrs_first = runs[0].stats.total_instrs;
@@ -283,6 +300,7 @@ fn collect_prepared(h: &Harness, prepared: Vec<Prepared>) -> SuiteRuns {
             btfn: p.btfn,
             proof: p.proof,
             ml: p.ml,
+            zoo,
         });
     }
     SuiteRuns { workloads }
@@ -383,12 +401,21 @@ fn collect_workload_serial(w: &Workload) -> WorkloadRuns {
     let proof = proof_predictor(&analysis, &btfn);
     let ml = ml_predictor(&program, &analysis);
     let mut runs = Vec::with_capacity(w.datasets.len());
+    let mut zoo = Vec::with_capacity(w.datasets.len());
     for d in &w.datasets {
         let run = w
             .run(&program, d)
             .unwrap_or_else(|e| panic!("{}/{}: {e}", w.name, d.name));
         check_run_profile(&program, w.name, &d.name, &run.stats);
         runs.push(DatasetRun::new(d.name.clone(), run.stats));
+        // The reference zoo pass: same program, same inputs, observed by
+        // the predictor roster. Predictor tallies are backend-invariant,
+        // so this must match the harness path bit for bit.
+        let mut observers = mfdyn::Zoo::for_program(&mfdyn::full_zoo(), &program);
+        trace_vm::Vm::with_config(&program, w.vm_config())
+            .run_branches(&d.inputs, &mut observers)
+            .unwrap_or_else(|e| panic!("{}/{} zoo pass: {e}", w.name, d.name));
+        zoo.push(observers.report());
     }
     let first = &w.datasets[0];
     let base_instrs_first = runs[0].stats.total_instrs;
@@ -407,6 +434,7 @@ fn collect_workload_serial(w: &Workload) -> WorkloadRuns {
         btfn,
         proof,
         ml,
+        zoo,
     }
 }
 
@@ -725,7 +753,7 @@ pub fn combination_table(s: &SuiteRuns) -> Table {
 /// contract for both the rendered table and the `heuristic_table` object
 /// in `repro --json-metrics` — reorder here and you have changed the
 /// JSON schema, so don't.
-pub const HEURISTIC_COLUMNS: [&str; 9] = [
+pub const HEURISTIC_COLUMNS: [&str; 11] = [
     "PROGRAM",
     "DATASET",
     "BRANCHES",
@@ -735,7 +763,20 @@ pub const HEURISTIC_COLUMNS: [&str; 9] = [
     "ML",
     "PROFILE",
     "SELF",
+    "2-BIT",
+    "GSHARE",
 ];
+
+/// The online 2-bit counter configuration the heuristic table's `2-BIT`
+/// column reports (from the [`mfdyn::full_zoo`] roster).
+pub const TWO_BIT_SPEC: DynSpec = DynSpec::TwoBit { table_bits: 12 };
+
+/// The online gshare configuration the heuristic table's `GSHARE` column
+/// reports (from the [`mfdyn::full_zoo`] roster).
+pub const GSHARE_SPEC: DynSpec = DynSpec::Gshare {
+    history: 8,
+    table_bits: 12,
+};
 
 /// Placeholder in the ML column for workloads whose profiles the
 /// committed model trained on: their numbers would be in-sample, so they
@@ -770,6 +811,14 @@ pub fn heuristic_rows(s: &SuiteRuns) -> Vec<Vec<String>> {
             } else {
                 of(&w.ml)
             };
+            let dyn_rate = |spec: DynSpec| {
+                fmt_percent(
+                    w.zoo[i]
+                        .get(spec)
+                        .expect("full_zoo carries the table's specs")
+                        .mispredict_rate(),
+                )
+            };
             rows.push(vec![
                 w.name.clone(),
                 run.dataset.clone(),
@@ -780,6 +829,8 @@ pub fn heuristic_rows(s: &SuiteRuns) -> Vec<Vec<String>> {
                 ml,
                 rate(loo),
                 rate(experiment::self_metrics(run, cfg)),
+                dyn_rate(TWO_BIT_SPEC),
+                dyn_rate(GSHARE_SPEC),
             ]);
         }
     }
@@ -1137,6 +1188,167 @@ pub fn percent_correct_table(s: &SuiteRuns) -> Table {
     t
 }
 
+// --------------------------------------------------------------------
+// Dynamic predictors (extension): instructions per mispredict
+// --------------------------------------------------------------------
+
+/// The dynamic-predictor headline's value columns, in order: static
+/// profile feedback (leave-one-out, self for single-dataset programs),
+/// the BTFN loop-forest heuristic, the committed static ML model
+/// (held-out workloads only), then the online hardware-style predictors
+/// from the [`mfdyn::full_zoo`] roster. This exact sequence is the
+/// contract for the rendered table, `BENCH_dynpred.json`, and the
+/// `dyn_table` object in `repro --json-metrics`.
+pub const DYN_COLUMNS: [&str; 10] = [
+    "PROFILE",
+    "BTFN",
+    "ML",
+    "1-BIT",
+    "2-BIT",
+    "GSHARE/4",
+    "GSHARE/8",
+    "GSHARE/12",
+    "GSHARE/16",
+    "PERCEPTRON",
+];
+
+/// The zoo specs behind [`DYN_COLUMNS`]' online columns (same order).
+const DYN_ZOO_SPECS: [DynSpec; 7] = [
+    DynSpec::OneBit { table_bits: 12 },
+    DynSpec::TwoBit { table_bits: 12 },
+    DynSpec::Gshare {
+        history: 4,
+        table_bits: 12,
+    },
+    DynSpec::Gshare {
+        history: 8,
+        table_bits: 12,
+    },
+    DynSpec::Gshare {
+        history: 12,
+        table_bits: 12,
+    },
+    DynSpec::Gshare {
+        history: 16,
+        table_bits: 12,
+    },
+    DynSpec::Perceptron {
+        history: 12,
+        table_bits: 8,
+    },
+];
+
+/// One headline row: a program×dataset pair's instructions-per-mispredict
+/// under each prediction family, in [`DYN_COLUMNS`] order.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DynRow {
+    /// Program name.
+    pub program: String,
+    /// Dataset name.
+    pub dataset: String,
+    /// Instructions per mispredicted conditional branch, one per value
+    /// column; `None` where the cell is not reported (the ML column on
+    /// the committed model's training workloads).
+    pub ipm: Vec<Option<f64>>,
+}
+
+/// Instructions per mispredict, with the whole run as the value when
+/// nothing was mispredicted (the same convention as instrs-per-break).
+fn per_mispredict(instrs: u64, mispredicted: u64) -> f64 {
+    if mispredicted == 0 {
+        instrs as f64
+    } else {
+        instrs as f64 / mispredicted as f64
+    }
+}
+
+/// The headline data: every program×dataset pair's
+/// instructions-per-mispredict under profile feedback and each dynamic
+/// predictor, in [`DYN_COLUMNS`] order. Purely analytic over the
+/// collected runs — the online tallies ride along on the profiling runs,
+/// so nothing is re-executed here.
+pub fn dyn_rows(s: &SuiteRuns) -> Vec<DynRow> {
+    let cfg = BreakConfig::fig2();
+    let mut rows = Vec::new();
+    for w in &s.workloads {
+        for (i, run) in w.runs.iter().enumerate() {
+            let of = |m: Metrics| per_mispredict(m.instrs, m.mispredicted);
+            let loo = if w.runs.len() > 1 {
+                experiment::loo_metrics(&w.runs, i, CombineRule::Scaled, cfg)
+            } else {
+                experiment::self_metrics(run, cfg)
+            };
+            let ml = if mfpredict::is_train_workload(&w.name) {
+                None
+            } else {
+                Some(of(evaluate(&run.stats, &w.ml, cfg)))
+            };
+            let mut ipm = vec![
+                Some(of(loo)),
+                Some(of(evaluate(&run.stats, &w.btfn, cfg))),
+                ml,
+            ];
+            for spec in DYN_ZOO_SPECS {
+                let counts = w.zoo[i].get(spec).expect("full_zoo carries the roster");
+                ipm.push(Some(per_mispredict(
+                    run.stats.total_instrs,
+                    counts.mispredicted,
+                )));
+            }
+            rows.push(DynRow {
+                program: w.name.clone(),
+                dataset: run.dataset.clone(),
+                ipm,
+            });
+        }
+    }
+    rows
+}
+
+/// Per-column geometric means over the headline rows, skipping cells that
+/// are not reported; `None` for a column with no reported cells.
+pub fn dyn_geomeans(rows: &[DynRow]) -> Vec<Option<f64>> {
+    (0..DYN_COLUMNS.len())
+        .map(|c| {
+            let vals: Vec<f64> = rows
+                .iter()
+                .filter_map(|r| r.ipm[c])
+                .filter(|v| *v > 0.0)
+                .collect();
+            if vals.is_empty() {
+                None
+            } else {
+                Some((vals.iter().map(|v| v.ln()).sum::<f64>() / vals.len() as f64).exp())
+            }
+        })
+        .collect()
+}
+
+/// The dynamic-predictor headline: instructions per mispredicted branch,
+/// profile feedback vs each online predictor, with a closing geomean row.
+pub fn dyn_table(s: &SuiteRuns) -> Table {
+    let mut headers = vec!["PROGRAM", "DATASET"];
+    headers.extend(DYN_COLUMNS);
+    let mut t = Table::new(&headers);
+    let fmt_cell = |v: Option<f64>| match v {
+        Some(v) => fmt_value(v),
+        None => ML_TRAIN_MARKER.to_string(),
+    };
+    let rows = dyn_rows(s);
+    for r in &rows {
+        let mut cells = vec![r.program.clone(), r.dataset.clone()];
+        cells.extend(r.ipm.iter().map(|&v| fmt_cell(v)));
+        t.row_owned(cells);
+    }
+    let mut cells = vec!["GEOMEAN".to_string(), String::new()];
+    cells.extend(dyn_geomeans(&rows).into_iter().map(|v| match v {
+        Some(v) => fmt_value(v),
+        None => "-".to_string(),
+    }));
+    t.row_owned(cells);
+    t
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1234,7 +1446,9 @@ mod tests {
                 "PROOF",
                 "ML",
                 "PROFILE",
-                "SELF"
+                "SELF",
+                "2-BIT",
+                "GSHARE"
             ]
         );
         let s = quick();
@@ -1249,7 +1463,8 @@ mod tests {
         // column instead of shearing every column to its right.
         let mut t = Table::new(&HEURISTIC_COLUMNS);
         t.row(&[
-            "doduc", "tiny", "917", "29.7%", "30.1%", "28.0%", "24.2%", "13.0%", "9.9%",
+            "doduc", "tiny", "917", "29.7%", "30.1%", "28.0%", "24.2%", "13.0%", "9.9%", "11.4%",
+            "10.2%",
         ]);
         t.row(&[
             "gcc",
@@ -1261,6 +1476,8 @@ mod tests {
             "(train)",
             "8.0%",
             "6.1%",
+            "5.5%",
+            "4.9%",
         ]);
         let rendered = t.render();
         let lines: Vec<&str> = rendered.lines().collect();
@@ -1332,10 +1549,20 @@ mod tests {
         assert_eq!(table1(&serial).render(), table1(&one).render());
         assert_eq!(table1(&one).render(), table1(&eight).render());
         assert_eq!(table3(&one).render(), table3(&eight).render());
+        // The heuristic table now carries online-predictor columns, so
+        // this also proves the serial reference zoo pass (reference
+        // backend) matches the harness zoo observers (flat backend) and
+        // that worker count never perturbs a predictor tally.
+        assert_eq!(
+            heuristic_table(&serial).render(),
+            heuristic_table(&one).render()
+        );
         assert_eq!(
             heuristic_table(&one).render(),
             heuristic_table(&eight).render()
         );
+        assert_eq!(dyn_table(&serial).render(), dyn_table(&one).render());
+        assert_eq!(dyn_table(&one).render(), dyn_table(&eight).render());
         assert_eq!(
             percent_taken_table(&serial).render(),
             percent_taken_table(&eight).render()
@@ -1359,6 +1586,49 @@ mod tests {
         assert!(report.cache.mem_hits > 0);
         assert_eq!(table1(&first).render(), table1(&second).render());
         assert_eq!(fig2_rows(&first, false), fig2_rows(&second, false));
+    }
+
+    #[test]
+    fn dyn_rows_have_expected_shape() {
+        let s = quick();
+        let rows = dyn_rows(s);
+        assert_eq!(
+            rows.len(),
+            s.workloads.iter().map(|w| w.runs.len()).sum::<usize>()
+        );
+        for r in &rows {
+            assert_eq!(r.ipm.len(), DYN_COLUMNS.len(), "{}", r.program);
+            for (c, v) in r.ipm.iter().enumerate() {
+                match v {
+                    Some(v) => assert!(*v > 0.0, "{}/{}: {}", r.program, r.dataset, c),
+                    None => assert_eq!(DYN_COLUMNS[c], "ML", "only ML cells may be absent"),
+                }
+            }
+        }
+        let geo = dyn_geomeans(&rows);
+        assert_eq!(geo.len(), DYN_COLUMNS.len());
+        let rendered = dyn_table(s).render();
+        assert!(rendered.contains("GEOMEAN"), "{rendered}");
+        assert!(rendered.contains("PERCEPTRON"), "{rendered}");
+    }
+
+    #[test]
+    fn zoo_reports_cover_every_dataset() {
+        let s = quick();
+        for w in &s.workloads {
+            assert_eq!(w.zoo.len(), w.runs.len(), "{}", w.name);
+            for (run, report) in w.runs.iter().zip(&w.zoo) {
+                assert_eq!(report.entries.len(), mfdyn::full_zoo().len());
+                let executed = run.stats.branches.total_executed();
+                for (spec, counts) in &report.entries {
+                    assert_eq!(
+                        counts.executed, executed,
+                        "{}/{} {spec}: every predictor sees every branch",
+                        w.name, run.dataset
+                    );
+                }
+            }
+        }
     }
 
     #[test]

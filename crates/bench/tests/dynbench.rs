@@ -1,0 +1,70 @@
+//! Determinism contract for `dynbench`: the quick characterization run is
+//! byte-identical across worker counts and across consecutive runs — the
+//! online predictor zoo observes the exact same branch outcome stream no
+//! matter how the harness schedules the jobs.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn dynbench(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_dynbench"))
+        .args(args)
+        .output()
+        .expect("dynbench runs")
+}
+
+fn temp_path(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("mfbench-dynbench-{tag}-{}", std::process::id()))
+}
+
+#[test]
+fn quick_run_is_jobs_invariant_and_repeatable() {
+    let run = |jobs: &str, tag: &str| -> (Vec<u8>, String) {
+        let path = temp_path(tag);
+        let out = dynbench(&[
+            "--quick",
+            "--gate",
+            "--no-cache",
+            "--jobs",
+            jobs,
+            "--out",
+            path.to_str().unwrap(),
+        ]);
+        assert_eq!(
+            out.status.code(),
+            Some(0),
+            "stderr: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        let json = std::fs::read_to_string(&path).expect("results written");
+        let _ = std::fs::remove_file(&path);
+        (out.stdout, json)
+    };
+
+    let (stdout_serial, json_serial) = run("1", "j1");
+    let (stdout_eight, json_eight) = run("8", "j8");
+    let (stdout_again, json_again) = run("8", "j8-again");
+
+    assert_eq!(
+        stdout_serial, stdout_eight,
+        "stdout must not depend on worker count"
+    );
+    assert_eq!(stdout_eight, stdout_again, "stdout must be repeatable");
+    assert_eq!(
+        json_serial, json_eight,
+        "results file must not depend on worker count"
+    );
+    assert_eq!(json_eight, json_again, "results file must be repeatable");
+
+    // The results are real, not vacuously equal: the headline holds every
+    // advertised column and a padding experiment with multiple rows.
+    assert!(
+        json_serial.contains("\"PERCEPTRON\""),
+        "json: {json_serial}"
+    );
+    assert!(json_serial.contains("\"padding\""), "json: {json_serial}");
+    assert!(
+        json_serial.contains("\"quick\": true"),
+        "json: {json_serial}"
+    );
+}

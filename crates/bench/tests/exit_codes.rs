@@ -20,6 +20,13 @@ fn mflint(args: &[&str]) -> Output {
         .expect("mflint runs")
 }
 
+fn dynbench(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_dynbench"))
+        .args(args)
+        .output()
+        .expect("dynbench runs")
+}
+
 fn stderr(out: &Output) -> String {
     String::from_utf8_lossy(&out.stderr).into_owned()
 }
@@ -200,6 +207,90 @@ fn repro_unusable_profile_db_exits_two_unless_faults_were_requested() {
     assert_eq!(out.status.code(), Some(0), "stderr: {}", stderr(&out));
 
     let _ = std::fs::remove_file(&blocker);
+}
+
+#[test]
+fn repro_dyn_is_a_section_flag_not_an_option() {
+    // --dyn is advertised and parses as a section (sections never take
+    // values); actually rendering it needs the full suite, which the
+    // dynbench tests cover in their quick form.
+    let help = repro(&["--help"]);
+    assert_eq!(help.status.code(), Some(0));
+    let stdout = String::from_utf8_lossy(&help.stdout).into_owned();
+    assert!(stdout.contains("--dyn"), "usage must list --dyn: {stdout}");
+    assert_eq!(repro(&["--dyn=now"]).status.code(), Some(2));
+}
+
+#[test]
+fn dynbench_help_and_usage_errors() {
+    let help = dynbench(&["--help"]);
+    assert_eq!(help.status.code(), Some(0));
+    let stdout = String::from_utf8_lossy(&help.stdout).into_owned();
+    assert!(stdout.contains("usage: dynbench"), "help text: {stdout}");
+
+    for args in [
+        &["--frobnicate"][..],
+        &["--jobs", "0"][..],
+        &["--jobs", "many"][..],
+        &["--jobs"][..],
+        &["--gate-min-ipm", "-1"][..],
+        &["--gate-min-ipm", "fast"][..],
+        &["--gate-min-ipm"][..],
+        &["--out"][..],
+    ] {
+        let out = dynbench(args);
+        assert_eq!(
+            out.status.code(),
+            Some(2),
+            "dynbench {args:?}: {}",
+            stderr(&out)
+        );
+        assert!(
+            stderr(&out).contains("dynbench:"),
+            "usage error should explain itself: {}",
+            stderr(&out)
+        );
+    }
+}
+
+#[test]
+fn dynbench_unwritable_out_exits_two_before_collecting() {
+    // The --out preflight makes an unwritable path fail fast (exit 2)
+    // instead of after the whole suite ran.
+    let out = dynbench(&["--out", "/nonexistent-mfbench-dir/dyn.json"]);
+    assert_eq!(out.status.code(), Some(2), "stderr: {}", stderr(&out));
+    assert!(
+        stderr(&out).contains("cannot write"),
+        "stderr: {}",
+        stderr(&out)
+    );
+}
+
+#[test]
+fn dynbench_gate_spans_the_contract() {
+    // 0: a clean quick run passes its own gate.
+    let out = dynbench(&["--quick", "--gate", "--no-cache"]);
+    assert_eq!(out.status.code(), Some(0), "stderr: {}", stderr(&out));
+    assert!(
+        stderr(&out).contains("gate passed"),
+        "stderr: {}",
+        stderr(&out)
+    );
+
+    // 1: an unreachable geomean floor is a finding, not a usage error.
+    let out = dynbench(&[
+        "--quick",
+        "--gate",
+        "--gate-min-ipm",
+        "1000000000",
+        "--no-cache",
+    ]);
+    assert_eq!(out.status.code(), Some(1), "stderr: {}", stderr(&out));
+    assert!(
+        stderr(&out).contains("gate violation"),
+        "stderr: {}",
+        stderr(&out)
+    );
 }
 
 #[test]

@@ -39,6 +39,12 @@
 //!   other way in a completed run, and a block proved dead must show a
 //!   zero Pixie count. Any observed contradiction means the abstract
 //!   domain, a transfer function, or the widening is unsound.
+//! * **dynpred-consistency** — driving the online `mfdyn` predictor zoo
+//!   over the unoptimized program's branch stream (on both backends) and
+//!   replaying the recorded branch trace through the independently written
+//!   golden predictor models must produce identical per-predictor
+//!   `(executed, mispredicted)` tallies; any divergence is predictor
+//!   state-update drift, never a legitimate behavioural difference.
 //! * **flat-diff** — running the unoptimized program on the *other* VM
 //!   backend (flat when the primary is reference, and vice versa) must be
 //!   observably identical: same output/result, same `RunStats` (branch and
@@ -54,6 +60,7 @@ use std::sync::Arc;
 
 use ifprob::directives::{parse_directives, write_directives};
 use ifprob::{combine, CombineRule};
+use mfdyn::{golden, BranchDirs, DynSpec, Zoo};
 use mffault::{FaultPlan, FaultVfs, MemVfs, RetryPolicy, Vfs};
 use mfopt::Pipeline;
 use mfprofdb::{LockMode, OpenOptions, Persistence, ProfileStore};
@@ -170,6 +177,74 @@ fn run_guarded(
         Err(payload) => {
             findings.push(("vm-panic", panic_detail(&payload)));
             None
+        }
+    }
+}
+
+/// The predictor roster the consistency oracle drives: one member of each
+/// predictor family, sized small so aliasing (and thus interesting state
+/// evolution) shows up even on fuzz-sized programs. Gshare and the
+/// perceptron are the history-bearing members — the ones whose online
+/// state can silently drift from the golden replay's.
+const DYNPRED_SPECS: [DynSpec; 5] = [
+    DynSpec::Btfn,
+    DynSpec::OneBit { table_bits: 8 },
+    DynSpec::TwoBit { table_bits: 8 },
+    DynSpec::Gshare {
+        history: 8,
+        table_bits: 8,
+    },
+    DynSpec::Perceptron {
+        history: 8,
+        table_bits: 6,
+    },
+];
+
+/// O13: the dynamic-predictor consistency oracle. Drives a fresh online
+/// [`mfdyn::Zoo`] over the unoptimized program's branch stream — once per
+/// backend — then replays the run's recorded branch trace through the
+/// independently written golden predictor models. The online zoo and the
+/// golden replay observe the same outcome sequence, so every predictor's
+/// `(executed, mispredicted)` tallies must match exactly; a divergence
+/// means online predictor state drifted (e.g. a skipped global-history
+/// update), never a legitimate behavioural difference. Faulting runs are
+/// skipped: without a completed run there is no trace to replay.
+fn check_dynpred_consistency(
+    program: &Program,
+    inputs: &[Input],
+    findings: &mut Vec<(&'static str, String)>,
+) {
+    let dirs = BranchDirs::of(program);
+    for be in [backend(), other_backend(backend())] {
+        let mut config = fuzz_vm_config();
+        config.backend = be;
+        let mut zoo = Zoo::with_dirs(&DYNPRED_SPECS, dirs.clone());
+        let vm = Vm::with_config(program, config);
+        let outcome = catch_unwind(AssertUnwindSafe(|| vm.run_branches(inputs, &mut zoo)));
+        let run = match outcome {
+            Ok(Ok(run)) => run,
+            Ok(Err(_)) => continue,
+            Err(payload) => {
+                findings.push(("vm-panic", panic_detail(&payload)));
+                return;
+            }
+        };
+        let online = zoo.report();
+        let replayed = golden::replay_zoo(&DYNPRED_SPECS, &dirs, &run.branch_trace);
+        for ((spec, on), (_, gold)) in online.entries.iter().zip(&replayed.entries) {
+            if on != gold {
+                findings.push((
+                    "dynpred-consistency",
+                    format!(
+                        "{} backend, {spec}: online {}/{} mispredicts vs golden replay {}/{}",
+                        be.name(),
+                        on.mispredicted,
+                        on.executed,
+                        gold.mispredicted,
+                        gold.executed,
+                    ),
+                ));
+            }
         }
     }
 }
@@ -784,6 +859,11 @@ pub fn check_source(source: &str, input_sets: &[Vec<i64>], case_hash: u64) -> Or
             case_hash,
             &mut out.findings,
         );
+        // O13 is a full extra pair of runs; the first input set is enough
+        // for a per-case conviction signal at fuzz throughput.
+        if si == 0 {
+            check_dynpred_consistency(&program, &inputs, &mut out.findings);
+        }
         let Some(opt) = run_guarded(&optimized, &inputs, None, &mut out.findings) else {
             return out;
         };

@@ -83,6 +83,43 @@ fn assert_branches_match_trace(run: &Run, what: &str) {
     assert_eq!(recorded, traced, "{what}: branch counters vs trace");
 }
 
+/// Every dynamic predictor must tally identical `(executed, mispredicted)`
+/// counts on both backends: the predictors are pure functions of the branch
+/// outcome stream, so this is the observable-equivalence invariant extended
+/// to the `BranchSink` hook. The golden trace replay is cross-checked too,
+/// closing the triangle online-reference = online-flat = replayed-trace.
+#[test]
+fn predictor_zoo_agrees_on_both_backends_across_corpus() {
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../corpus");
+    let entries = corpus::load_dir(&dir).expect("corpus loads");
+    assert!(!entries.is_empty(), "corpus directory is empty");
+    let specs = mfdyn::full_zoo();
+    for entry in &entries {
+        let program =
+            mflang::compile(&entry.source).unwrap_or_else(|e| panic!("{}: {e:?}", entry.name));
+        let dirs = mfdyn::BranchDirs::of(&program);
+        for (si, set) in entry.input_sets.iter().enumerate() {
+            let inputs: Vec<Input> = set.iter().map(|&v| Input::Int(v)).collect();
+            let what = format!("{} input set {si}", entry.name);
+            let reports = Backend::ALL.map(|backend| {
+                let mut zoo = mfdyn::Zoo::with_dirs(&specs, dirs.clone());
+                let vm = Vm::with_config(&program, config(backend));
+                let run = vm
+                    .run_branches(&inputs, &mut zoo)
+                    .expect("corpus entry runs");
+                (zoo.report(), run)
+            });
+            let [(reference, reference_run), (flat, _)] = reports;
+            assert_eq!(
+                reference, flat,
+                "{what}: zoo reports differ between backends"
+            );
+            let replayed = mfdyn::golden::replay_zoo(&specs, &dirs, &reference_run.branch_trace);
+            assert_eq!(reference, replayed, "{what}: online zoo vs golden replay");
+        }
+    }
+}
+
 #[test]
 fn corpus_entries_agree_and_reconcile_on_both_backends() {
     let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../corpus");

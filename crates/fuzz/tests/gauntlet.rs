@@ -1,6 +1,6 @@
 //! The mutation gauntlet: every seeded defect must be caught.
 //!
-//! The product crates compile twelve known bugs behind their (off by
+//! The product crates compile thirteen known bugs behind their (off by
 //! default) `seeded-defects` features, dormant until armed through the
 //! process-global `mfdefect` registry. This test arms each defect in turn
 //! and asserts the fuzzer finds it — through the *expected* oracle —
@@ -38,6 +38,11 @@ const GAUNTLET: &[(&str, u64, &[&str])] = &[
     ("profdb-checksum-skipped", 1000, &["profdb-roundtrip"]),
     ("profsvc-batch-ack-early", 1000, &["profsvc-groupcommit"]),
     ("predict-widen-dropped-bound", 3000, &["predict-soundness"]),
+    (
+        "dynpred-history-not-updated",
+        1000,
+        &["dynpred-consistency"],
+    ),
 ];
 
 #[test]

@@ -3,6 +3,7 @@
 use std::sync::Arc;
 use std::time::Duration;
 
+use mfdyn::{DynSpec, ZooReport};
 use trace_ir::Program;
 use trace_vm::{Input, Run, RunStats, VmConfig};
 
@@ -33,6 +34,12 @@ pub struct RunJob {
     pub config: VmConfig,
     /// What the consumer needs back.
     pub need: Need,
+    /// Online dynamic predictors to drive over the run's branch stream —
+    /// empty for ordinary jobs. A non-empty zoo folds into [`RunJob::key`]
+    /// (by canonical spec name, in order), so runs observed by different
+    /// predictor configurations never share a cache entry, and the job is
+    /// excluded from the disk tier (the zoo report is not persisted).
+    pub zoo: Vec<DynSpec>,
     /// The content-addressed identity of this work.
     pub key: RunKey,
 }
@@ -54,6 +61,7 @@ impl RunJob {
             inputs,
             config,
             need: Need::Stats,
+            zoo: Vec::new(),
             key,
         }
     }
@@ -78,6 +86,15 @@ impl RunJob {
     /// Upgrades the job to require the full [`Run`].
     pub fn needing_run(mut self) -> Self {
         self.need = Need::FullRun;
+        self
+    }
+
+    /// Attaches an online predictor zoo to the job and re-keys it: the
+    /// spec names become observation tags in the run key.
+    pub fn with_zoo(mut self, zoo: Vec<DynSpec>) -> Self {
+        self.zoo = zoo;
+        let tags: Vec<String> = self.zoo.iter().map(|s| s.name()).collect();
+        self.key = RunKey::of_tagged(&self.program, &self.inputs, &self.config, &tags);
         self
     }
 
@@ -124,6 +141,10 @@ pub struct RunOutcome {
     pub source: CacheSource,
     /// Wall-clock time spent producing this result (≈0 for cache hits).
     pub wall: Duration,
+    /// Per-predictor tallies for jobs submitted with a non-empty
+    /// [`RunJob::zoo`]; `None` for ordinary jobs (or when a custom
+    /// executor that does not drive zoos produced the run).
+    pub zoo: Option<Arc<ZooReport>>,
 }
 
 impl RunOutcome {

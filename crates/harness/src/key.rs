@@ -14,16 +14,32 @@ use trace_vm::{Input, VmConfig};
 
 /// Bump when the fingerprint composition changes, so stale on-disk cache
 /// entries from older layouts can never be mistaken for current ones.
-/// Version 2 added the VM backend to the fingerprint.
-const KEY_FORMAT_VERSION: u64 = 2;
+/// Version 2 added the VM backend to the fingerprint; version 3 added the
+/// observation tags (the dynamic-predictor zoo attached to a job).
+const KEY_FORMAT_VERSION: u64 = 3;
 
 /// A 128-bit content fingerprint identifying one unit of run work.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct RunKey(pub u128);
 
 impl RunKey {
-    /// Fingerprints `(program, inputs, config)`.
+    /// Fingerprints `(program, inputs, config)` with no observation tags.
     pub fn of(program: &Program, inputs: &[Input], config: &VmConfig) -> Self {
+        RunKey::of_tagged(program, inputs, config, &[])
+    }
+
+    /// Fingerprints `(program, inputs, config)` plus an ordered list of
+    /// observation tags — the canonical names of whatever observers (e.g.
+    /// the `mfdyn` predictor zoo) ride along on the run. The run's stats
+    /// are identical with or without observers, but the *artifacts* a job
+    /// produces are not, so two jobs whose zoos differ must never share a
+    /// cache entry.
+    pub fn of_tagged(
+        program: &Program,
+        inputs: &[Input],
+        config: &VmConfig,
+        tags: &[String],
+    ) -> Self {
         let mut fp = Fingerprint::new();
         fp.write_u64(KEY_FORMAT_VERSION);
         // The IR's Display form is canonical and covers every instruction,
@@ -65,6 +81,10 @@ impl RunKey {
         // still record which engine produced them — a backend-semantics bug
         // must not be able to hide behind a stale cache entry.
         fp.write_str(config.backend.name());
+        fp.write_u64(tags.len() as u64);
+        for tag in tags {
+            fp.write_str(tag);
+        }
         RunKey(fp.finish())
     }
 
@@ -193,6 +213,43 @@ mod tests {
         let float = RunKey::of(&program, &[Input::Float(7.0)], &cfg);
         assert_ne!(int, ints);
         assert_ne!(int, float);
+    }
+
+    #[test]
+    fn observation_tags_perturb_the_key() {
+        // Satellite: different predictor configurations must never share a
+        // cache entry — each distinct tag list is its own key, and the
+        // empty tag list is exactly the untagged key.
+        let program = mflang::compile("fn main(n: int) { emit(n); }").unwrap();
+        let cfg = VmConfig::default();
+        let tag = |names: &[&str]| {
+            RunKey::of_tagged(
+                &program,
+                &[Input::Int(1)],
+                &cfg,
+                &names.iter().map(|s| s.to_string()).collect::<Vec<_>>(),
+            )
+        };
+        let untagged = RunKey::of(&program, &[Input::Int(1)], &cfg);
+        assert_eq!(untagged, tag(&[]));
+        let keys = [
+            tag(&["2bit/t12"]),
+            tag(&["2bit/t10"]),
+            tag(&["gshare/h8/t12"]),
+            tag(&["gshare/h12/t12"]),
+            tag(&["gshare/h8/t12", "2bit/t12"]),
+            tag(&["2bit/t12", "gshare/h8/t12"]),
+            untagged,
+        ];
+        for (i, a) in keys.iter().enumerate() {
+            for b in &keys[i + 1..] {
+                assert_ne!(a, b, "tag lists collided");
+            }
+        }
+        // Tag splitting is unambiguous: two tags never hash like one
+        // concatenated tag (length-prefixed strings).
+        assert_ne!(tag(&["ab", "c"]), tag(&["a", "bc"]));
+        assert_ne!(tag(&["abc"]), tag(&["ab", "c"]));
     }
 
     #[test]

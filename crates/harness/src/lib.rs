@@ -174,6 +174,11 @@ pub struct Harness {
     busy_ns: AtomicU64,
     panics: AtomicU64,
     quarantine: Mutex<HashMap<RunKey, (String, String)>>,
+    /// Predictor-zoo reports keyed by job key — the in-process companion
+    /// to the memo table for jobs with a non-empty [`RunJob::zoo`]. Never
+    /// persisted (zoo jobs bypass the disk tier), so a memo hit can always
+    /// find its report here.
+    zoo_memo: Mutex<HashMap<RunKey, Arc<mfdyn::ZooReport>>>,
 }
 
 impl Harness {
@@ -204,6 +209,7 @@ impl Harness {
             busy_ns: AtomicU64::new(0),
             panics: AtomicU64::new(0),
             quarantine: Mutex::new(HashMap::new()),
+            zoo_memo: Mutex::new(HashMap::new()),
         }
     }
 
@@ -239,10 +245,29 @@ impl Harness {
     /// Executes a batch. Jobs with equal keys are collapsed to one
     /// execution (the strongest [`Need`] wins); cache hits skip execution
     /// entirely. The returned vector is index-aligned with `batch`.
+    ///
+    /// Jobs with a non-empty [`RunJob::zoo`] run with the `mfdyn` online
+    /// predictors attached (pure observation — stats are bit-identical to
+    /// an unobserved run) and come back with [`RunOutcome::zoo`] filled.
     pub fn run(&self, batch: Vec<RunJob>) -> Result<Vec<RunOutcome>, HarnessError> {
-        self.run_with(batch, |job| {
-            trace_vm::run_program(&job.program, job.config, &job.inputs)
-        })
+        self.run_with(batch, |job| self.exec_default(job))
+    }
+
+    /// The default executor: a plain VM run, or — when the job carries a
+    /// predictor zoo — a [`trace_vm::Vm::run_branches`] run with the zoo
+    /// attached, its report parked in the zoo memo for outcome assembly.
+    fn exec_default(&self, job: &RunJob) -> Result<Run, RuntimeError> {
+        if job.zoo.is_empty() {
+            return trace_vm::run_program(&job.program, job.config, &job.inputs);
+        }
+        let mut zoo = mfdyn::Zoo::for_program(&job.zoo, &job.program);
+        let run = trace_vm::Vm::with_config(&job.program, job.config)
+            .run_branches(&job.inputs, &mut zoo)?;
+        self.zoo_memo
+            .lock()
+            .expect("zoo memo lock")
+            .insert(job.key, Arc::new(zoo.report()));
+        Ok(run)
     }
 
     /// [`Harness::run`] with an explicit executor — the seam supervision
@@ -308,6 +333,7 @@ impl Harness {
                     run: hit.run,
                     source: hit.source,
                     wall: std::time::Duration::ZERO,
+                    zoo: None,
                 })),
                 None => {
                     to_run.push(i);
@@ -369,6 +395,7 @@ impl Harness {
                             run: Some(run),
                             source: CacheSource::Computed,
                             wall,
+                            zoo: None,
                         });
                     }
                 }
@@ -378,10 +405,23 @@ impl Harness {
             }
         }
 
-        let outcomes: Vec<RunOutcome> = resolved
+        let mut outcomes: Vec<RunOutcome> = resolved
             .into_iter()
             .map(|o| o.expect("every unique job resolved"))
             .collect();
+
+        // Zoo jobs collect their predictor reports from the zoo memo —
+        // filled by the default executor on compute, and still present for
+        // memo hits (zoo jobs never come from disk). A custom executor
+        // that ignores zoos simply leaves the field `None`.
+        {
+            let zoo_memo = self.zoo_memo.lock().expect("zoo memo lock");
+            for (job, outcome) in unique.iter().zip(&mut outcomes) {
+                if !job.zoo.is_empty() {
+                    outcome.zoo = zoo_memo.get(&job.key).cloned();
+                }
+            }
+        }
 
         // Verification digests: one per distinct program (many unique jobs
         // share one `Arc<Program>` across datasets). Cache hits are
@@ -602,6 +642,53 @@ mod tests {
         assert!(report.to_json().contains("\"robustness\""));
 
         std::panic::set_hook(prev);
+    }
+
+    #[test]
+    fn zoo_jobs_carry_reports_and_identical_stats() {
+        let harness = Harness::in_memory();
+        let plain = job(LOOPY, vec![Input::Int(60)]);
+        let zooed = job(LOOPY, vec![Input::Int(60)]).with_zoo(mfdyn::standard_zoo());
+        assert_ne!(plain.key, zooed.key, "zoo must perturb the key");
+        let outcomes = harness.run(vec![plain, zooed.clone()]).unwrap();
+        // Observation is pure: both jobs measured the same run.
+        assert_eq!(outcomes[0].stats, outcomes[1].stats);
+        assert!(outcomes[0].zoo.is_none());
+        let report = outcomes[1].zoo.as_ref().expect("zoo job has a report");
+        assert_eq!(report.entries.len(), mfdyn::standard_zoo().len());
+        for (spec, counts) in &report.entries {
+            assert!(counts.executed > 0, "{spec} saw no branches");
+            assert!(counts.mispredicted <= counts.executed);
+        }
+        // A memo hit still finds its zoo report.
+        let again = harness.run_one(zooed).unwrap();
+        assert_eq!(again.source, CacheSource::Memory);
+        assert_eq!(again.zoo.as_deref(), Some(report.as_ref()));
+    }
+
+    #[test]
+    fn zoo_jobs_bypass_the_disk_tier() {
+        let dir = std::env::temp_dir().join(format!("mfharness-zoo-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let options = || HarnessOptions {
+            jobs: Some(2),
+            disk_cache: DiskCache::Dir(dir.clone()),
+            ..HarnessOptions::default()
+        };
+        let first = Harness::new(options());
+        first
+            .run_one(job(LOOPY, vec![Input::Int(35)]).with_zoo(mfdyn::standard_zoo()))
+            .unwrap();
+        // A second harness over the same directory (a fresh process, in
+        // effect) must recompute the zoo job rather than taking a stats
+        // hit that would lose the report.
+        let second = Harness::new(options());
+        let outcome = second
+            .run_one(job(LOOPY, vec![Input::Int(35)]).with_zoo(mfdyn::standard_zoo()))
+            .unwrap();
+        assert_eq!(outcome.source, CacheSource::Computed);
+        assert!(outcome.zoo.is_some());
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

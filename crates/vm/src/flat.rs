@@ -1246,6 +1246,24 @@ impl FlatProgram {
         interp.observer = Some(sink);
         interp.run(inputs)
     }
+
+    /// [`FlatProgram::run`], streaming every conditional branch outcome to
+    /// `sink` — the flat-backend equivalent of [`crate::Vm::run_branches`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`RuntimeError`] on any dynamic fault, exactly as the
+    /// reference backend does.
+    pub fn run_branches(
+        &self,
+        config: VmConfig,
+        inputs: &[Input],
+        sink: &mut dyn crate::BranchSink,
+    ) -> Result<Run, RuntimeError> {
+        let mut interp = FlatInterp::new(self, config);
+        interp.branch_sink = Some(sink);
+        interp.run(inputs)
+    }
 }
 
 /// Fuel cost of the segment of `instrs` starting at `from`: instructions up
@@ -1719,6 +1737,7 @@ struct FlatInterp<'f, 'o> {
     branch_trace: Vec<BranchEvent>,
     last_branch_fuel: u64,
     observer: Option<&'o mut dyn CoverageSink>,
+    branch_sink: Option<&'o mut dyn crate::BranchSink>,
 }
 
 fn want_ref(v: GuestValue) -> Result<u32, RuntimeError> {
@@ -1764,6 +1783,7 @@ impl<'f, 'o> FlatInterp<'f, 'o> {
             branch_trace: Vec::new(),
             last_branch_fuel: 0,
             observer: None,
+            branch_sink: None,
         }
     }
 
@@ -2536,6 +2556,9 @@ impl<'f, 'o> FlatInterp<'f, 'o> {
     /// terminator arm, including the seeded-defect hooks that perturb only
     /// the aggregate counters.
     fn branch_to(&mut self, slot: u32, is_taken: bool, taken: u32, not_taken: u32) -> usize {
+        if let Some(sink) = self.branch_sink.as_mut() {
+            sink.branch(self.fp.branch_ids[slot as usize], is_taken);
+        }
         #[cfg(feature = "seeded-defects")]
         let recorded = if mfdefect::active("vm-branch-count-polarity") {
             Some(!is_taken)

@@ -123,6 +123,20 @@ pub trait CoverageSink {
 /// entry edges.
 pub const ENTRY_EDGE_FROM: u32 = u32::MAX;
 
+/// Receives one callback per executed conditional branch, in program
+/// order, with the *actual* outcome — the event stream online dynamic
+/// predictors (`mfdyn`) consume via [`Vm::run_branches`]. Mirrors
+/// [`CoverageSink`]: ordinary runs carry no sink and pay only an `Option`
+/// test per branch, and attaching one changes nothing the run observes
+/// (output, stats, trace). The callback always reports the true direction
+/// control flow follows, even when a seeded defect perturbs the aggregate
+/// counters, so an online predictor and a golden replay of the recorded
+/// trace must agree on a clean build.
+pub trait BranchSink {
+    /// Branch `id` executed and went `taken`.
+    fn branch(&mut self, id: trace_ir::BranchId, taken: bool);
+}
+
 /// One entry of the recorded branch trace.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct BranchEvent {
@@ -244,6 +258,29 @@ impl<'p> Vm<'p> {
             Backend::Flat => self.flat().run_observed(self.config, inputs, sink),
         }
     }
+
+    /// [`Vm::run`], with every conditional branch outcome streamed to
+    /// `sink` as it executes. Identical semantics and counters; only
+    /// observation is added.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`RuntimeError`] on any dynamic fault, exactly as
+    /// [`Vm::run`] does.
+    pub fn run_branches(
+        &self,
+        inputs: &[Input],
+        sink: &mut dyn BranchSink,
+    ) -> Result<Run, RuntimeError> {
+        match self.config.backend {
+            Backend::Reference => {
+                let mut interp = Interp::new(self.program, self.config);
+                interp.branch_sink = Some(sink);
+                interp.run(inputs)
+            }
+            Backend::Flat => self.flat().run_branches(self.config, inputs, sink),
+        }
+    }
 }
 
 /// Runs `program`'s entry function on `inputs` under `config` — the
@@ -289,6 +326,7 @@ struct Interp<'p, 'o> {
     branch_trace: Vec<BranchEvent>,
     last_branch_fuel: u64,
     observer: Option<&'o mut dyn CoverageSink>,
+    branch_sink: Option<&'o mut dyn BranchSink>,
 }
 
 impl<'p, 'o> Interp<'p, 'o> {
@@ -319,6 +357,7 @@ impl<'p, 'o> Interp<'p, 'o> {
             branch_trace: Vec::new(),
             last_branch_fuel: 0,
             observer: None,
+            branch_sink: None,
         }
     }
 
@@ -644,6 +683,9 @@ impl<'p, 'o> Interp<'p, 'o> {
             } => {
                 let c = self.int(*cond)?;
                 let is_taken = c != 0;
+                if let Some(sink) = self.branch_sink.as_mut() {
+                    sink.branch(*id, is_taken);
+                }
                 // Seeded-defect hooks perturb only the aggregate counters;
                 // control flow and the recorded trace stay correct, so the
                 // trace-replay oracle can convict them.
