@@ -40,6 +40,8 @@ options:
   --out PATH          where to write the JSON report (default BENCH_vm.json)
   --gate RATIO        exit 1 unless the geometric-mean flat/reference
                       speedup is at least RATIO
+  --gate-min RATIO    exit 1 unless EVERY workload's flat/reference
+                      speedup is at least RATIO (per-workload floor)
   -h, --help          this message
 
 exit status: 0 ok, 1 gate not met, 2 usage/IO error";
@@ -53,6 +55,7 @@ struct Options {
     workloads: Vec<String>,
     out: PathBuf,
     gate: Option<f64>,
+    gate_min: Option<f64>,
 }
 
 fn parse_args(args: &[String]) -> Result<Option<Options>, String> {
@@ -61,6 +64,7 @@ fn parse_args(args: &[String]) -> Result<Option<Options>, String> {
         workloads: Vec::new(),
         out: PathBuf::from("BENCH_vm.json"),
         gate: None,
+        gate_min: None,
     };
     let mut iter = args.iter();
     let value = |flag: &str, it: &mut std::slice::Iter<String>| -> Result<String, String> {
@@ -74,14 +78,18 @@ fn parse_args(args: &[String]) -> Result<Option<Options>, String> {
             "--quick" => options.quick = true,
             "--workload" => options.workloads.push(value("--workload", &mut iter)?),
             "--out" => options.out = PathBuf::from(value("--out", &mut iter)?),
-            "--gate" => {
-                let ratio: f64 = value("--gate", &mut iter)?
+            flag @ ("--gate" | "--gate-min") => {
+                let ratio: f64 = value(flag, &mut iter)?
                     .parse()
-                    .map_err(|_| "--gate requires a ratio like 2.0".to_string())?;
+                    .map_err(|_| format!("{flag} requires a ratio like 2.0"))?;
                 if !ratio.is_finite() || ratio <= 0.0 {
-                    return Err("--gate requires a positive finite ratio".to_string());
+                    return Err(format!("{flag} requires a positive finite ratio"));
                 }
-                options.gate = Some(ratio);
+                if flag == "--gate" {
+                    options.gate = Some(ratio);
+                } else {
+                    options.gate_min = Some(ratio);
+                }
             }
             _ => return Err(format!("unknown argument '{arg}'")),
         }
@@ -102,6 +110,10 @@ struct Row {
     /// Flat backend, blocks laid out along the static model's
     /// pseudo-profile — prediction for free, no profiling run.
     ml_flat_ips: f64,
+    /// Mispredicted conditional branches under perfect static profile
+    /// prediction (the paper's measure): each branch contributes its
+    /// minority direction count, `min(taken, executed - taken)`.
+    profile_mispredicts: u64,
 }
 
 impl Row {
@@ -119,11 +131,19 @@ impl Row {
     fn ml_layout_speedup(&self) -> f64 {
         self.ml_flat_ips / self.flat_ips
     }
+
+    /// Guest instructions retired per profile-predicted mispredict — the
+    /// paper's run-length measure. Branch-free workloads report the whole
+    /// run as one gap.
+    fn instrs_per_mispredict(&self) -> f64 {
+        self.guest_instrs as f64 / (self.profile_mispredicts.max(1)) as f64
+    }
 }
 
 /// Measures guest-instrs/sec for one workload on both backends and both
 /// profile-guided flat layouts:
-/// `(guest_instrs, reference_ips, flat_ips, profile_flat_ips, ml_flat_ips)`.
+/// `(guest_instrs, profile_mispredicts, reference_ips, flat_ips,
+/// profile_flat_ips, ml_flat_ips)`.
 ///
 /// The warmup runs pay one-time costs (the flat backend's flatten pass) and
 /// pin the per-run instruction count. A shared batch size is calibrated on
@@ -141,7 +161,7 @@ fn measure_engines(
     w: &Workload,
     inputs: &[Input],
     max_batch_secs: f64,
-) -> (u64, f64, f64, f64, f64) {
+) -> (u64, u64, f64, f64, f64, f64) {
     let program = w.compile().expect("bundled workload compiles");
     let vms = [Backend::Reference, Backend::Flat].map(|backend| {
         Vm::with_config(
@@ -161,6 +181,14 @@ fn measure_engines(
         w.name
     );
     let instrs = warmup[0].stats.total_instrs;
+    // Perfect static profile prediction mispredicts exactly the minority
+    // direction of every branch (Fisher & Freudenberger's bound).
+    let mispredicts: u64 = warmup[0]
+        .stats
+        .branches
+        .iter()
+        .map(|(_, executed, taken)| taken.min(executed - taken))
+        .sum();
 
     let flat_config = VmConfig {
         backend: Backend::Flat,
@@ -232,7 +260,7 @@ fn measure_engines(
             best[k] = best[k].max(ips);
         }
     }
-    (instrs, best[0], best[1], best[2], best[3])
+    (instrs, mispredicts, best[0], best[1], best[2], best[3])
 }
 
 fn geomean(values: impl Iterator<Item = f64>) -> f64 {
@@ -260,7 +288,8 @@ fn json_report(rows: &[Row], mode: &str) -> String {
             "    {{\"name\": \"{}\", \"dataset\": \"{}\", \"guest_instrs\": {}, \
              \"reference_ips\": {:.0}, \"flat_ips\": {:.0}, \"speedup\": {:.3}, \
              \"profile_flat_ips\": {:.0}, \"ml_flat_ips\": {:.0}, \
-             \"profile_layout_speedup\": {:.3}, \"ml_layout_speedup\": {:.3}}}{}\n",
+             \"profile_layout_speedup\": {:.3}, \"ml_layout_speedup\": {:.3}, \
+             \"profile_mispredicts\": {}, \"instrs_per_mispredict\": {:.1}}}{}\n",
             r.name,
             r.dataset,
             r.guest_instrs,
@@ -271,6 +300,8 @@ fn json_report(rows: &[Row], mode: &str) -> String {
             r.ml_flat_ips,
             r.profile_layout_speedup(),
             r.ml_layout_speedup(),
+            r.profile_mispredicts,
+            r.instrs_per_mispredict(),
             if i + 1 == rows.len() { "" } else { "," }
         ));
     }
@@ -330,7 +361,7 @@ fn main() -> ExitCode {
     let mut rows = Vec::with_capacity(selected.len());
     for w in &selected {
         let d = &w.datasets[0];
-        let (instrs, reference_ips, flat_ips, profile_flat_ips, ml_flat_ips) =
+        let (instrs, profile_mispredicts, reference_ips, flat_ips, profile_flat_ips, ml_flat_ips) =
             measure_engines(w, &d.inputs, max_batch_secs);
         let row = Row {
             name: w.name.to_string(),
@@ -340,6 +371,7 @@ fn main() -> ExitCode {
             flat_ips,
             profile_flat_ips,
             ml_flat_ips,
+            profile_mispredicts,
         };
         eprintln!(
             "{:<12} {:<10} {:>12} instrs  reference {:>12.0}/s  flat {:>12.0}/s  \
@@ -361,6 +393,29 @@ fn main() -> ExitCode {
         eprintln!("vmbench: writing {} failed: {e}", options.out.display());
         return ExitCode::from(2);
     }
+    // The paper's cross-cut: how the flat backend's win relates to branch
+    // density. Short runs between mispredicted branches mean control-heavy
+    // code (edge-head fusion territory); long runs mean straight-line
+    // arithmetic (pair/superinstruction territory).
+    eprintln!("\nspeedup vs instructions-per-mispredict (profile-predicted):");
+    eprintln!(
+        "{:<12} {:>16} {:>9}",
+        "workload", "instrs/mispredict", "speedup"
+    );
+    let mut by_ipm: Vec<&Row> = rows.iter().collect();
+    by_ipm.sort_by(|a, b| {
+        a.instrs_per_mispredict()
+            .total_cmp(&b.instrs_per_mispredict())
+    });
+    for r in by_ipm {
+        eprintln!(
+            "{:<12} {:>16.1} {:>8.2}x",
+            r.name,
+            r.instrs_per_mispredict(),
+            r.speedup()
+        );
+    }
+
     let overall = geomean(rows.iter().map(Row::speedup));
     eprintln!(
         "vmbench: geomean flat/reference speedup {overall:.2}x over {} workloads; wrote {}",
@@ -368,12 +423,37 @@ fn main() -> ExitCode {
         options.out.display()
     );
 
+    let mut failed = false;
     if let Some(gate) = options.gate {
         if overall < gate {
             eprintln!("vmbench: GATE FAILED: {overall:.2}x < required {gate:.2}x");
-            return ExitCode::FAILURE;
+            failed = true;
+        } else {
+            eprintln!("vmbench: gate met ({overall:.2}x >= {gate:.2}x)");
         }
-        eprintln!("vmbench: gate met ({overall:.2}x >= {gate:.2}x)");
+    }
+    if let Some(floor) = options.gate_min {
+        let worst = rows
+            .iter()
+            .min_by(|a, b| a.speedup().total_cmp(&b.speedup()))
+            .expect("at least one workload");
+        if worst.speedup() < floor {
+            eprintln!(
+                "vmbench: MIN GATE FAILED: {} at {:.2}x < required {floor:.2}x",
+                worst.name,
+                worst.speedup()
+            );
+            failed = true;
+        } else {
+            eprintln!(
+                "vmbench: min gate met (worst {} at {:.2}x >= {floor:.2}x)",
+                worst.name,
+                worst.speedup()
+            );
+        }
+    }
+    if failed {
+        return ExitCode::FAILURE;
     }
     ExitCode::SUCCESS
 }

@@ -376,3 +376,78 @@ fn mflint_exit_codes_span_the_contract() {
     let _ = std::fs::remove_file(clean);
     let _ = std::fs::remove_file(broken);
 }
+
+fn vmbench(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_vmbench"))
+        .args(args)
+        .output()
+        .expect("vmbench runs")
+}
+
+#[test]
+fn vmbench_usage_errors_exit_two() {
+    for args in [
+        &["--frobnicate"][..],
+        &["--gate"][..],
+        &["--gate", "fast"][..],
+        &["--gate", "-1"][..],
+        &["--gate-min"][..],
+        &["--gate-min", "nope"][..],
+        &["--gate-min", "0"][..],
+        &["--workload", "no-such-workload"][..],
+    ] {
+        let out = vmbench(args);
+        assert_eq!(
+            out.status.code(),
+            Some(2),
+            "vmbench {args:?}: {}",
+            stderr(&out)
+        );
+    }
+    assert_eq!(vmbench(&["--help"]).status.code(), Some(0));
+}
+
+#[test]
+fn vmbench_gate_min_is_a_per_workload_floor() {
+    // One small workload, quick batches: enough to exercise the gate
+    // logic without a full benchmark run.
+    let out_path = temp_path("vmbench.json");
+    let base = |extra: &[&str]| {
+        let mut args = vec![
+            "--quick",
+            "--workload",
+            "uncompress",
+            "--out",
+            out_path.to_str().unwrap(),
+        ];
+        args.extend_from_slice(extra);
+        vmbench(&args)
+    };
+
+    // An impossible per-workload floor fails with exit 1 and names the
+    // offending workload, even when the geomean gate passes.
+    let out = base(&["--gate", "0.001", "--gate-min", "1000"]);
+    assert_eq!(out.status.code(), Some(1), "stderr: {}", stderr(&out));
+    assert!(
+        stderr(&out).contains("MIN GATE FAILED: uncompress"),
+        "stderr: {}",
+        stderr(&out)
+    );
+
+    // A trivially met floor passes, and the report carries the
+    // mispredict-derived run-length column.
+    let out = base(&["--gate-min", "0.001"]);
+    assert_eq!(out.status.code(), Some(0), "stderr: {}", stderr(&out));
+    assert!(
+        stderr(&out).contains("min gate met"),
+        "stderr: {}",
+        stderr(&out)
+    );
+    let body = std::fs::read_to_string(&out_path).expect("report written");
+    assert!(
+        body.contains("\"instrs_per_mispredict\"") && body.contains("\"profile_mispredicts\""),
+        "report misses run-length fields: {body}"
+    );
+
+    let _ = std::fs::remove_file(out_path);
+}

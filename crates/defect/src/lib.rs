@@ -65,13 +65,19 @@ pub const KNOWN: &[&str] = &[
     // on not-taken branches, so its table indices drift away from the
     // golden trace replay's and the mispredict counts disagree.
     "dynpred-history-not-updated",
+    // trace-vm flat backend: the first conditional side exit emitted into a
+    // tail-duplicated trace block tallies into the previous branch-counter
+    // slot (control flow and the recorded trace stay correct — only the
+    // flat-vs-reference aggregate-count differential sees it).
+    "vm-trace-sidexit-counter-drift",
 ];
 
 static ACTIVE_COUNT: AtomicUsize = AtomicUsize::new(0);
 
 // One flag per KNOWN entry, same order. `AtomicBool::new(false)` is not
 // const-cloneable, hence the explicit list sized by a compile-time check.
-static FLAGS: [AtomicBool; 13] = [
+static FLAGS: [AtomicBool; 14] = [
+    AtomicBool::new(false),
     AtomicBool::new(false),
     AtomicBool::new(false),
     AtomicBool::new(false),

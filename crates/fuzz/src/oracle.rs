@@ -104,6 +104,7 @@ pub fn fuzz_vm_config() -> VmConfig {
         max_alloc: 1 << 12,
         record_branch_trace: true,
         backend: backend(),
+        ..VmConfig::default()
     }
 }
 

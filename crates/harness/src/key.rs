@@ -15,8 +15,9 @@ use trace_vm::{Input, VmConfig};
 /// Bump when the fingerprint composition changes, so stale on-disk cache
 /// entries from older layouts can never be mistaken for current ones.
 /// Version 2 added the VM backend to the fingerprint; version 3 added the
-/// observation tags (the dynamic-predictor zoo attached to a job).
-const KEY_FORMAT_VERSION: u64 = 3;
+/// observation tags (the dynamic-predictor zoo attached to a job);
+/// version 4 added the flat backend's trace-formation configuration.
+const KEY_FORMAT_VERSION: u64 = 4;
 
 /// A 128-bit content fingerprint identifying one unit of run work.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -81,6 +82,10 @@ impl RunKey {
         // still record which engine produced them — a backend-semantics bug
         // must not be able to hide behind a stale cache entry.
         fp.write_str(config.backend.name());
+        // Trace formation never changes observable stats either, but the
+        // same no-hiding-behind-the-cache rule applies to the trace config.
+        fp.write_u64(u64::from(config.trace.enabled));
+        fp.write_u64(u64::from(config.trace.tail_dup_budget));
         fp.write_u64(tags.len() as u64);
         for tag in tags {
             fp.write_str(tag);
@@ -202,6 +207,29 @@ mod tests {
             RunKey::of(&program, &[Input::Int(1)], &reference),
             RunKey::of(&program, &[Input::Int(1)], &flat)
         );
+    }
+
+    #[test]
+    fn trace_config_perturbs_the_key() {
+        let program = mflang::compile("fn main(n: int) { emit(n); }").unwrap();
+        let base = VmConfig::default();
+        let untraced = VmConfig {
+            trace: trace_vm::TraceConfig {
+                enabled: false,
+                ..trace_vm::TraceConfig::default()
+            },
+            ..VmConfig::default()
+        };
+        let bigger_budget = VmConfig {
+            trace: trace_vm::TraceConfig {
+                tail_dup_budget: 1024,
+                ..trace_vm::TraceConfig::default()
+            },
+            ..VmConfig::default()
+        };
+        let k = RunKey::of(&program, &[Input::Int(1)], &base);
+        assert_ne!(k, RunKey::of(&program, &[Input::Int(1)], &untraced));
+        assert_ne!(k, RunKey::of(&program, &[Input::Int(1)], &bigger_budget));
     }
 
     #[test]

@@ -1,0 +1,749 @@
+//! IR → flat-code compilation: trace-planned emission, intra-block fusion,
+//! pair peepholing, implied-branch elimination, and fuel-cost assignment.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use trace_ir::{BinOp, Block, BranchId, Function, Instr, Program, Terminator, Value};
+
+use super::ops::{
+    components, pack2, specialize_binop, specialize_cmp_branch, specialize_const_binop,
+    specialize_pair_b_mov, specialize_pair_bb, specialize_pair_mov_b, unop_half, EdgeHead, FlatOp,
+    MOV_CODE, NONE,
+};
+use super::trace::{plan_traces, EdgeCond, Facts, Link, PlannedCopy, TraceConfig};
+use super::{FlatFunc, FlatProgram, TableData};
+use crate::counters::BranchCounts;
+use crate::value::GuestValue;
+use mfcheck::Cfg;
+
+pub(super) struct Flattener<'p> {
+    program: &'p Program,
+    profile: Option<&'p BranchCounts>,
+    tcfg: TraceConfig,
+    code: Vec<FlatOp>,
+    heads: Vec<EdgeHead>,
+    consts: Vec<GuestValue>,
+    const_map: HashMap<(u8, u64), u32>,
+    args: Vec<u32>,
+    tables: Vec<TableData>,
+    funcs: Vec<FlatFunc>,
+    branch_ids: Vec<BranchId>,
+    branch_slots: HashMap<u32, u32>,
+    /// Seeded defect `vm-trace-sidexit-counter-drift` fires on the first
+    /// eligible side exit only.
+    #[cfg(feature = "seeded-defects")]
+    drift_done: bool,
+}
+
+impl<'p> Flattener<'p> {
+    pub(super) fn new(
+        program: &'p Program,
+        profile: Option<&'p BranchCounts>,
+        tcfg: TraceConfig,
+    ) -> Self {
+        Flattener {
+            program,
+            profile,
+            tcfg,
+            code: Vec::new(),
+            heads: Vec::new(),
+            consts: Vec::new(),
+            const_map: HashMap::new(),
+            args: Vec::new(),
+            tables: Vec::new(),
+            funcs: Vec::new(),
+            branch_ids: Vec::new(),
+            branch_slots: HashMap::new(),
+            #[cfg(feature = "seeded-defects")]
+            drift_done: false,
+        }
+    }
+
+    pub(super) fn build(mut self) -> FlatProgram {
+        let mut pixie_base = 0u32;
+        for (fi, func) in self.program.functions.iter().enumerate() {
+            self.flatten_function(fi, func, pixie_base);
+            pixie_base += func.blocks.len() as u32;
+        }
+        let prealloc_regs = self
+            .program
+            .functions
+            .iter()
+            .map(|f| f.num_regs as usize)
+            .sum::<usize>()
+            .min(1 << 14);
+        if std::env::var_os("MFVM_DEBUG_OPS").is_some() {
+            let mut hist: HashMap<&'static str, usize> = HashMap::new();
+            for op in &self.code {
+                let name: &'static str = match op {
+                    FlatOp::PairFMulFAdd { .. } => "PairFMulFAdd",
+                    FlatOp::PairFMulFSub { .. } => "PairFMulFSub",
+                    FlatOp::PairFMulFMul { .. } => "PairFMulFMul",
+                    FlatOp::PairFAddFSub { .. } => "PairFAddFSub",
+                    o if components(o) == 2
+                        && matches!(super::ops::generalize(*o), FlatOp::PairBB { .. }) =>
+                    {
+                        "PairBB-other"
+                    }
+                    FlatOp::PairUB { .. } => "PairUB",
+                    FlatOp::PairBU { .. } => "PairBU",
+                    FlatOp::PairUU { .. } => "PairUU",
+                    FlatOp::PairLL { .. } => "PairLL",
+                    FlatOp::PairLB { .. } => "PairLB",
+                    FlatOp::PairBL { .. } => "PairBL",
+                    FlatOp::ImpliedBranch { .. } => "ImpliedBranch",
+                    FlatOp::ImpliedCmpBranch { .. } => "ImpliedCmpBranch",
+                    FlatOp::Unop { .. } => "Unop",
+                    FlatOp::Mov { .. } => "Mov",
+                    FlatOp::LoadConst { .. } => "LoadConst",
+                    o if matches!(super::ops::generalize(*o), FlatOp::ConstBinop { .. }) => {
+                        "ConstBinop*"
+                    }
+                    o if matches!(super::ops::generalize(*o), FlatOp::Binop { .. }) => "Binop*",
+                    o if matches!(super::ops::generalize(*o), FlatOp::CmpBranch { .. }) => {
+                        "CmpBranch*"
+                    }
+                    _ => "other",
+                };
+                *hist.entry(name).or_insert(0) += 1;
+            }
+            let mut rows: Vec<_> = hist.into_iter().collect();
+            rows.sort_by_key(|&(_, n)| std::cmp::Reverse(n));
+            eprintln!("MFVM op histogram ({} ops): {rows:?}", self.code.len());
+        }
+        FlatProgram {
+            code: self.code,
+            heads: self.heads,
+            consts: self.consts,
+            args: self.args,
+            tables: self.tables,
+            funcs: self.funcs,
+            entry: self.program.entry.0,
+            globals: self.program.globals.len(),
+            const_arrays: self.program.const_arrays.iter().map(Arc::clone).collect(),
+            block_shape: self
+                .program
+                .functions
+                .iter()
+                .map(|f| f.blocks.len())
+                .collect(),
+            branch_ids: self.branch_ids,
+            prealloc_regs,
+        }
+    }
+
+    /// Dense counter slot for a source-level branch id. Distinct lowered
+    /// branches can share one [`BranchId`] (pass-duplicated code), so the
+    /// mapping is memoized, not positional.
+    fn branch_slot(&mut self, id: BranchId) -> u32 {
+        if let Some(&slot) = self.branch_slots.get(&id.0) {
+            return slot;
+        }
+        let slot = self.branch_ids.len() as u32;
+        self.branch_ids.push(id);
+        self.branch_slots.insert(id.0, slot);
+        slot
+    }
+
+    fn intern(&mut self, value: Value) -> u32 {
+        let key = match value {
+            Value::Int(i) => (0u8, i as u64),
+            Value::Float(f) => (1u8, f.to_bits()),
+        };
+        if let Some(&idx) = self.const_map.get(&key) {
+            return idx;
+        }
+        let idx = self.consts.len() as u32;
+        self.consts.push(match value {
+            Value::Int(i) => GuestValue::Int(i),
+            Value::Float(f) => GuestValue::Float(f),
+        });
+        self.const_map.insert(key, idx);
+        idx
+    }
+
+    fn flatten_function(&mut self, fi: usize, func: &Function, pixie_base: u32) {
+        let cfg = Cfg::new(func);
+        let traces = plan_traces(func, self.profile, self.tcfg);
+
+        // Assign an edge-head index to every planned copy up front so
+        // terminators can name forward targets without a patch pass, and
+        // count emitted copies per block for the fact-flow tests below.
+        let head_base = self.heads.len() as u32;
+        let mut canonical_eh = vec![u32::MAX; func.blocks.len()];
+        let mut copies_per_block = vec![0u32; func.blocks.len()];
+        let mut idx = 0u32;
+        for t in &traces {
+            for c in &t.copies {
+                if !c.dup {
+                    canonical_eh[c.block] = head_base + idx;
+                }
+                copies_per_block[c.block] += 1;
+                self.heads.push(EdgeHead {
+                    body: 0,
+                    slot: pixie_base + c.block as u32,
+                    func: fi as u32,
+                    block: c.block as u32,
+                    cost: 0,
+                });
+                idx += 1;
+            }
+        }
+        debug_assert!(canonical_eh.iter().all(|&e| e != u32::MAX));
+
+        let mut entry_pc = 0u32;
+        let mut idx = 0u32;
+        for t in &traces {
+            let mut facts = Facts::new();
+            for (pos, c) in t.copies.iter().enumerate() {
+                let eh = head_base + idx;
+                idx += 1;
+                let chain = t.copies.get(pos + 1).map(|n| (n, eh + 1));
+                let is_entry_copy = !c.dup && c.block == 0;
+                if is_entry_copy {
+                    entry_pc = self.code.len() as u32;
+                }
+                let edge_cond = self.emit_copy(fi, func, c, eh, chain, &canonical_eh, &mut facts);
+
+                // Decide what the next copy may assume. Accumulated facts
+                // survive only when this copy's exit is provably the sole
+                // entrance of the next copy; the branch-edge constraint
+                // additionally needs an unambiguous arm direction.
+                if let Some((next, _)) = chain {
+                    let link = c.link.expect("chained copies carry a link");
+                    let (accum_ok, edge_ok) = if next.dup {
+                        // A duplicate is reachable only through this link arm.
+                        (true, matches!(link, Link::Branch(_)))
+                    } else {
+                        let preds = cfg.preds(trace_ir::BlockId(next.block as u32));
+                        let sole_pred = !preds.is_empty()
+                            && preds.iter().all(|p| p.index() == c.block)
+                            && next.block != 0;
+                        let arms_distinct = match &func.blocks[c.block].term {
+                            Terminator::Branch {
+                                taken, not_taken, ..
+                            } => taken != not_taken,
+                            _ => false,
+                        };
+                        (
+                            sole_pred && copies_per_block[c.block] == 1,
+                            sole_pred && arms_distinct && matches!(link, Link::Branch(_)),
+                        )
+                    };
+                    if !accum_ok {
+                        facts = Facts::new();
+                    }
+                    match (link, edge_cond) {
+                        (Link::Branch(dir), Some(cond)) if edge_ok => {
+                            facts.apply_edge(cond, dir);
+                        }
+                        // Even without an edge constraint, a fused compare
+                        // terminator wrote its destination register, so
+                        // surviving facts about it are stale.
+                        (_, Some(EdgeCond::Cmp { dst, .. })) if accum_ok => {
+                            facts.kill(dst);
+                        }
+                        _ => {}
+                    }
+                }
+            }
+        }
+
+        self.funcs.push(FlatFunc {
+            entry_pc,
+            num_regs: func.num_regs,
+            num_params: func.num_params,
+            name: func.name.clone(),
+        });
+    }
+
+    /// Emits one planned copy of a block: straight-line ops (with the two
+    /// intra-block fusion patterns and pair peepholing), then the
+    /// terminator (implied-branch elimination, seeded defects, edge-head
+    /// arm resolution), then assigns bulk fuel costs to the copy's
+    /// segments. Returns the terminator's edge condition, if conditional.
+    #[allow(clippy::too_many_arguments)]
+    fn emit_copy(
+        &mut self,
+        fi: usize,
+        func: &Function,
+        copy: &PlannedCopy,
+        eh: u32,
+        chain: Option<(&PlannedCopy, u32)>,
+        canonical_eh: &[u32],
+        facts: &mut Facts,
+    ) -> Option<EdgeCond> {
+        let bi = copy.block;
+        let block: &Block = &func.blocks[bi];
+        let instrs = &block.instrs;
+        let is_entry_copy = !copy.dup && bi == 0;
+        let track_facts = self.tcfg.enabled;
+
+        let mut buf: Vec<FlatOp> = Vec::with_capacity(instrs.len() + 2);
+        if is_entry_copy {
+            buf.push(FlatOp::BlockHead {
+                slot: self.heads[eh as usize].slot,
+                func: fi as u32,
+                block: bi as u32,
+                cost: 0,
+            });
+        }
+
+        // Fusion pattern A: a comparison Binop whose result feeds the
+        // block's own conditional branch is folded into the terminator.
+        let fused_last = match (&block.term, instrs.last()) {
+            (Terminator::Branch { cond, .. }, Some(Instr::Binop { dst, op, .. }))
+                if op.is_comparison() && dst == cond =>
+            {
+                Some(instrs.len() - 1)
+            }
+            _ => None,
+        };
+
+        let mut i = 0;
+        while i < instrs.len() {
+            if Some(i) == fused_last {
+                i += 1;
+                continue;
+            }
+            if track_facts {
+                facts.step(&instrs[i]);
+            }
+            match &instrs[i] {
+                Instr::Const { dst, value } => {
+                    let cidx = self.intern(*value);
+                    // Fusion pattern B: a Const consumed as the right-hand
+                    // side of the next Binop (unless that Binop is already
+                    // reserved by pattern A).
+                    if let Some(Instr::Binop {
+                        dst: bdst,
+                        op,
+                        lhs,
+                        rhs,
+                    }) = instrs.get(i + 1)
+                    {
+                        if Some(i + 1) != fused_last && rhs == dst {
+                            if track_facts {
+                                facts.step(&instrs[i + 1]);
+                            }
+                            buf.push(specialize_const_binop(*op, bdst.0, lhs.0, dst.0, cidx));
+                            i += 2;
+                            continue;
+                        }
+                    }
+                    buf.push(FlatOp::LoadConst { dst: dst.0, cidx });
+                }
+                Instr::Mov { dst, src } => buf.push(FlatOp::Mov {
+                    dst: dst.0,
+                    src: src.0,
+                }),
+                Instr::Unop { dst, op, src } => buf.push(FlatOp::Unop {
+                    op: *op,
+                    dst: dst.0,
+                    src: src.0,
+                }),
+                Instr::Binop { dst, op, lhs, rhs } => {
+                    buf.push(specialize_binop(*op, dst.0, lhs.0, rhs.0))
+                }
+                Instr::Select {
+                    dst,
+                    cond,
+                    if_true,
+                    if_false,
+                } => buf.push(FlatOp::Select {
+                    dst: dst.0,
+                    cond: cond.0,
+                    if_true: if_true.0,
+                    if_false: if_false.0,
+                }),
+                Instr::Load { dst, arr, index } => buf.push(FlatOp::Load {
+                    dst: dst.0,
+                    arr: arr.0,
+                    index: index.0,
+                }),
+                Instr::Store { arr, index, src } => buf.push(FlatOp::Store {
+                    arr: arr.0,
+                    index: index.0,
+                    src: src.0,
+                }),
+                Instr::NewIntArray { dst, len } => buf.push(FlatOp::NewIntArray {
+                    dst: dst.0,
+                    len: len.0,
+                }),
+                Instr::NewFloatArray { dst, len } => buf.push(FlatOp::NewFloatArray {
+                    dst: dst.0,
+                    len: len.0,
+                }),
+                Instr::ArrayLen { dst, arr } => buf.push(FlatOp::ArrayLen {
+                    dst: dst.0,
+                    arr: arr.0,
+                }),
+                Instr::ConstArray { dst, index } => buf.push(FlatOp::ConstArrayRef {
+                    dst: dst.0,
+                    index: *index,
+                }),
+                Instr::GlobalGet { dst, global } => buf.push(FlatOp::GlobalGet {
+                    dst: dst.0,
+                    global: global.0,
+                }),
+                Instr::GlobalSet { global, src } => buf.push(FlatOp::GlobalSet {
+                    global: global.0,
+                    src: src.0,
+                }),
+                Instr::FuncAddr { dst, func } => buf.push(FlatOp::FuncAddr {
+                    dst: dst.0,
+                    func: func.0,
+                }),
+                Instr::Emit { src } => buf.push(FlatOp::Emit { src: src.0 }),
+                Instr::Call { dst, func, args } => {
+                    let at = self.args.len() as u32;
+                    self.args.extend(args.iter().map(|r| r.0));
+                    buf.push(FlatOp::Call {
+                        func: func.0,
+                        args: at,
+                        nargs: args.len() as u32,
+                        ret: dst.map_or(NONE, |r| r.0),
+                    });
+                    buf.push(FlatOp::Resume { cost: 0 });
+                }
+                Instr::CallIndirect { dst, target, args } => {
+                    let at = self.args.len() as u32;
+                    self.args.extend(args.iter().map(|r| r.0));
+                    buf.push(FlatOp::CallIndirect {
+                        target: target.0,
+                        args: at,
+                        nargs: args.len() as u32,
+                        ret: dst.map_or(NONE, |r| r.0),
+                    });
+                    buf.push(FlatOp::Resume { cost: 0 });
+                }
+            }
+            i += 1;
+        }
+
+        // Resolves a terminator arm to an edge head: the arm chaining to a
+        // tail duplicate lands on the duplicate's private head, every other
+        // reference lands on the target block's canonical copy.
+        let resolve = |arm_block: usize, arm_is_link: bool| -> u32 {
+            match chain {
+                Some((n, neh)) if n.dup && arm_is_link => neh,
+                _ => canonical_eh[arm_block],
+            }
+        };
+
+        let mut edge_cond = None;
+        match &block.term {
+            Terminator::Jump(t) => {
+                buf.push(FlatOp::JumpHead {
+                    eh: resolve(t.index(), matches!(copy.link, Some(Link::Jump))),
+                });
+            }
+            Terminator::Branch {
+                cond,
+                id,
+                taken,
+                not_taken,
+            } => {
+                #[allow(unused_mut)]
+                let mut slot = self.branch_slot(*id);
+                // Seeded defect: the first conditional side exit emitted
+                // into a tail-duplicated copy tallies into the previous
+                // branch slot. Control flow is untouched — only the
+                // flat-vs-reference branch-count differential can see it.
+                #[cfg(feature = "seeded-defects")]
+                if copy.dup
+                    && !self.drift_done
+                    && slot > 0
+                    && mfdefect::active("vm-trace-sidexit-counter-drift")
+                {
+                    slot -= 1;
+                    self.drift_done = true;
+                }
+                if let Some(fl) = fused_last {
+                    let Instr::Binop { dst, op, lhs, rhs } = &instrs[fl] else {
+                        unreachable!("pattern A reserves only comparison Binops");
+                    };
+                    edge_cond = Some(EdgeCond::Cmp {
+                        op: *op,
+                        dst: dst.0,
+                        lhs: lhs.0,
+                        rhs: rhs.0,
+                    });
+                    let implied = if track_facts {
+                        facts.query_cmp(*op, lhs.0, rhs.0)
+                    } else {
+                        None
+                    };
+                    if let Some(val) = implied {
+                        let arm = if val { taken } else { not_taken };
+                        let arm_is_link = copy.link == Some(Link::Branch(val));
+                        buf.push(FlatOp::ImpliedCmpBranch {
+                            dst: dst.0,
+                            val: val as u32,
+                            slot,
+                            eh: resolve(arm.index(), arm_is_link),
+                        });
+                    } else {
+                        #[allow(unused_mut)]
+                        let (mut tk, mut nt) = (
+                            resolve(taken.index(), copy.link == Some(Link::Branch(true))),
+                            resolve(not_taken.index(), copy.link == Some(Link::Branch(false))),
+                        );
+                        // Seeded defect: swap the fused branch's control
+                        // targets. Recording still follows the comparison
+                        // result, so only the flat-vs-reference differential
+                        // sees the divergence.
+                        #[cfg(feature = "seeded-defects")]
+                        if mfdefect::active("vm-flat-fuse-swapped-arms") {
+                            std::mem::swap(&mut tk, &mut nt);
+                        }
+                        buf.push(specialize_cmp_branch(
+                            *op,
+                            (dst.0, lhs.0, rhs.0),
+                            (slot, tk, nt),
+                        ));
+                    }
+                } else {
+                    edge_cond = Some(EdgeCond::Truthy { cond: cond.0 });
+                    let implied = if track_facts {
+                        facts.query_truthy(cond.0)
+                    } else {
+                        None
+                    };
+                    if let Some(val) = implied {
+                        let arm = if val { taken } else { not_taken };
+                        buf.push(FlatOp::ImpliedBranch {
+                            slot,
+                            taken: val as u32,
+                            eh: resolve(arm.index(), copy.link == Some(Link::Branch(val))),
+                        });
+                    } else {
+                        buf.push(FlatOp::Branch {
+                            cond: cond.0,
+                            slot,
+                            tk: resolve(taken.index(), copy.link == Some(Link::Branch(true))),
+                            nt: resolve(not_taken.index(), copy.link == Some(Link::Branch(false))),
+                        });
+                    }
+                }
+            }
+            Terminator::JumpTable {
+                index,
+                targets,
+                default,
+            } => {
+                let ti = self.tables.len() as u32;
+                self.tables.push(TableData {
+                    targets: targets.iter().map(|t| canonical_eh[t.index()]).collect(),
+                    default: resolve(default.index(), matches!(copy.link, Some(Link::Table))),
+                });
+                buf.push(FlatOp::JumpTable {
+                    index: index.0,
+                    table: ti,
+                });
+            }
+            Terminator::Return { value } => buf.push(FlatOp::Return {
+                src: value.map_or(NONE, |r| r.0),
+            }),
+        }
+
+        let buf = peephole_pairs(buf);
+
+        // Append to the code stream and assign bulk fuel: the copy's first
+        // segment charges at its edge head (and the entry `BlockHead`),
+        // each later segment at the `Resume` op that opens it. Segment
+        // boundaries fall after every call, exactly as the reference
+        // backend's per-instruction accounting implies.
+        let start = self.code.len();
+        self.heads[eh as usize].body = (start + usize::from(is_entry_copy)) as u32;
+        self.code.extend(buf);
+        let mut sink: Option<usize> = None; // None = head, Some(pc) = Resume
+        let mut acc = 0u32;
+        let mut total = 0u32;
+        for j in start..self.code.len() {
+            if matches!(self.code[j], FlatOp::Resume { .. }) {
+                self.assign_cost(eh, start, sink, acc, is_entry_copy);
+                sink = Some(j);
+                acc = 0;
+            } else {
+                let c = components(&self.code[j]);
+                acc += c;
+                total += c;
+            }
+        }
+        self.assign_cost(eh, start, sink, acc, is_entry_copy);
+        debug_assert_eq!(
+            total as usize,
+            instrs.len() + 1,
+            "copy of block {bi} must cover its component count"
+        );
+
+        edge_cond
+    }
+
+    fn assign_cost(&mut self, eh: u32, start: usize, sink: Option<usize>, cost: u32, entry: bool) {
+        match sink {
+            None => {
+                self.heads[eh as usize].cost = cost;
+                if entry {
+                    let FlatOp::BlockHead { cost: c, .. } = &mut self.code[start] else {
+                        unreachable!("entry copy starts with its BlockHead");
+                    };
+                    *c = cost;
+                }
+            }
+            Some(pc) => {
+                let FlatOp::Resume { cost: c } = &mut self.code[pc] else {
+                    unreachable!("segment sink is a Resume op");
+                };
+                *c = cost;
+            }
+        }
+    }
+}
+
+/// Extracts `(op, dst, lhs, rhs)` from any single-component binop form.
+fn as_binop(op: &FlatOp) -> Option<(BinOp, u32, u32, u32)> {
+    match super::ops::generalize(*op) {
+        FlatOp::Binop { op, dst, lhs, rhs } => Some((op, dst, lhs, rhs)),
+        _ => None,
+    }
+}
+
+/// Merges adjacent one-component ALU/load ops into paired superinstructions
+/// (one dispatch for two reference instructions). Pairing never crosses a
+/// call, branch, or fused op — those are not pairable — so segment shapes
+/// and trap order are unchanged: a pair executes its first half to
+/// completion before starting the second.
+fn peephole_pairs(buf: Vec<FlatOp>) -> Vec<FlatOp> {
+    let mut out = Vec::with_capacity(buf.len());
+    let mut i = 0;
+    while i < buf.len() {
+        if i + 1 < buf.len() {
+            if let Some(p) = try_pair(&buf[i], &buf[i + 1]) {
+                out.push(p);
+                i += 2;
+                continue;
+            }
+        }
+        out.push(buf[i]);
+        i += 1;
+    }
+    out
+}
+
+fn try_pair(a: &FlatOp, b: &FlatOp) -> Option<FlatOp> {
+    use FlatOp::Load;
+    // Unary halves first: a `Unop`, `Mov`, or `LoadConst` in either slot
+    // pairs with any other unary half or any plain `Binop`.
+    match (unop_half(a), unop_half(b)) {
+        (Some((o1, d1, s1)), Some((o2, d2, s2))) => {
+            if o1 == MOV_CODE && o2 == MOV_CODE {
+                return Some(FlatOp::PairMovMov { d1, s1, d2, s2 });
+            }
+            return Some(FlatOp::PairUU {
+                ops: pack2(o1, o2),
+                d1,
+                s1,
+                d2,
+                s2,
+            });
+        }
+        (Some((o1, d1, s1)), None) => {
+            if let Some((o2, d2, l2, r2)) = as_binop(b) {
+                if o1 == MOV_CODE {
+                    return Some(specialize_pair_mov_b(o2, (d1, s1), (d2, l2, r2)));
+                }
+                return Some(FlatOp::PairUB {
+                    ops: pack2(o1, o2 as u32),
+                    d1,
+                    s1,
+                    d2,
+                    l2,
+                    r2,
+                });
+            }
+        }
+        (None, Some((o2, d2, s2))) => {
+            if let Some((o1, d1, l1, r1)) = as_binop(a) {
+                if o2 == MOV_CODE {
+                    return Some(specialize_pair_b_mov(o1, (d1, l1, r1), (d2, s2)));
+                }
+                return Some(FlatOp::PairBU {
+                    ops: pack2(o1 as u32, o2),
+                    d1,
+                    l1,
+                    r1,
+                    d2,
+                    s2,
+                });
+            }
+        }
+        (None, None) => {}
+    }
+    match (a, b) {
+        (
+            &Load {
+                dst: ld1,
+                arr: arr1,
+                index: idx1,
+            },
+            &Load {
+                dst: ld2,
+                arr: arr2,
+                index: idx2,
+            },
+        ) => Some(FlatOp::PairLL {
+            ld1,
+            arr1,
+            idx1,
+            ld2,
+            arr2,
+            idx2,
+        }),
+        (
+            &Load {
+                dst: ld,
+                arr,
+                index,
+            },
+            second,
+        ) => {
+            let (o2, d2, l2, r2) = as_binop(second)?;
+            Some(FlatOp::PairLB {
+                ops: pack2(0, o2 as u32),
+                ld,
+                arr,
+                idx: index,
+                d2,
+                l2,
+                r2,
+            })
+        }
+        (
+            first,
+            &Load {
+                dst: ld,
+                arr,
+                index,
+            },
+        ) => {
+            let (o1, d1, l1, r1) = as_binop(first)?;
+            Some(FlatOp::PairBL {
+                ops: pack2(o1 as u32, 0),
+                d1,
+                l1,
+                r1,
+                ld,
+                arr,
+                idx: index,
+            })
+        }
+        (first, second) => {
+            let (o1, d1, l1, r1) = as_binop(first)?;
+            let (o2, d2, l2, r2) = as_binop(second)?;
+            Some(specialize_pair_bb(o1, o2, (d1, l1, r1), (d2, l2, r2)))
+        }
+    }
+}

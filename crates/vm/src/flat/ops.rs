@@ -1,0 +1,1823 @@
+//! The flat op encoding: one contiguous stream of u32-operand ops, plus the
+//! edge-head side table that fuses every control transfer with its target
+//! block's entry bookkeeping.
+//!
+//! Register operands are frame-window offsets; `tk`/`nt`/`eh` operands index
+//! [`EdgeHead`]s in [`super::FlatProgram`]'s `heads` table; pool references
+//! index the shared constant/argument/table pools.
+
+use trace_ir::{BinOp, UnOp};
+
+/// Sentinel operand meaning "absent" (no return register / no return value).
+pub(crate) const NONE: u32 = u32::MAX;
+
+/// Per-copy entry bookkeeping for one emitted block copy. Every control
+/// transfer (jump, branch arm, jump-table entry) names an `EdgeHead` instead
+/// of a raw code offset; taking the edge bumps the target's Pixie slot,
+/// reports the coverage edge, bulk-charges the first fuel segment, and lands
+/// at `body` — all without dispatching a separate block-head op.
+///
+/// Tail-duplicated copies of a block get their own `EdgeHead` with the same
+/// `slot`/`func`/`block` (observably identical) but a private `body`.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct EdgeHead {
+    /// Code offset of the copy's first body op.
+    pub body: u32,
+    /// Dense Pixie counter slot of the block.
+    pub slot: u32,
+    /// Owning function (coverage-edge reporting).
+    pub func: u32,
+    /// Source-level block id (coverage-edge reporting).
+    pub block: u32,
+    /// Bulk fuel cost of the copy's first segment.
+    pub cost: u32,
+}
+
+/// One op of the flat code stream.
+#[derive(Clone, Copy, Debug)]
+pub(crate) enum FlatOp {
+    /// Function-entry bookkeeping: bumps the Pixie counter, reports the
+    /// entry coverage edge, then bulk-charges the entry block's first fuel
+    /// segment. Only executed through calls — in-function transfers go
+    /// through [`EdgeHead`]s, which skip past this op.
+    BlockHead {
+        slot: u32,
+        func: u32,
+        block: u32,
+        cost: u32,
+    },
+    /// Placed immediately after a call op: bulk-charges the segment that
+    /// resumes when the callee returns.
+    Resume {
+        cost: u32,
+    },
+    LoadConst {
+        dst: u32,
+        cidx: u32,
+    },
+    Mov {
+        dst: u32,
+        src: u32,
+    },
+    Unop {
+        op: UnOp,
+        dst: u32,
+        src: u32,
+    },
+    Binop {
+        op: BinOp,
+        dst: u32,
+        lhs: u32,
+        rhs: u32,
+    },
+    /// Constant-op specializations of [`FlatOp::Binop`] for the dynamically
+    /// hot operators. Each arm calls the exact shared helper the generic
+    /// form uses, passing the operator as a literal so the compiler folds
+    /// `eval_binop`'s operator dispatch away; [`generalize`] maps every
+    /// specialized op back to its generic form for the cold replay paths.
+    BinopAdd {
+        dst: u32,
+        lhs: u32,
+        rhs: u32,
+    },
+    BinopSub {
+        dst: u32,
+        lhs: u32,
+        rhs: u32,
+    },
+    BinopMul {
+        dst: u32,
+        lhs: u32,
+        rhs: u32,
+    },
+    BinopDiv {
+        dst: u32,
+        lhs: u32,
+        rhs: u32,
+    },
+    BinopRem {
+        dst: u32,
+        lhs: u32,
+        rhs: u32,
+    },
+    BinopAnd {
+        dst: u32,
+        lhs: u32,
+        rhs: u32,
+    },
+    BinopOr {
+        dst: u32,
+        lhs: u32,
+        rhs: u32,
+    },
+    BinopXor {
+        dst: u32,
+        lhs: u32,
+        rhs: u32,
+    },
+    BinopShl {
+        dst: u32,
+        lhs: u32,
+        rhs: u32,
+    },
+    BinopShr {
+        dst: u32,
+        lhs: u32,
+        rhs: u32,
+    },
+    BinopFAdd {
+        dst: u32,
+        lhs: u32,
+        rhs: u32,
+    },
+    BinopFSub {
+        dst: u32,
+        lhs: u32,
+        rhs: u32,
+    },
+    BinopFMul {
+        dst: u32,
+        lhs: u32,
+        rhs: u32,
+    },
+    BinopFDiv {
+        dst: u32,
+        lhs: u32,
+        rhs: u32,
+    },
+    /// Fused `Const cdst, #cidx` + `Binop dst, lhs, cdst`. The constant
+    /// write happens first (still architecturally visible in `cdst`),
+    /// matching the unfused execution order even when `lhs == cdst`.
+    ConstBinop {
+        op: BinOp,
+        dst: u32,
+        lhs: u32,
+        cdst: u32,
+        cidx: u32,
+    },
+    /// Constant-op specializations of [`FlatOp::ConstBinop`] (see
+    /// [`FlatOp::BinopAdd`] for the scheme).
+    ConstBinopAdd {
+        dst: u32,
+        lhs: u32,
+        cdst: u32,
+        cidx: u32,
+    },
+    ConstBinopSub {
+        dst: u32,
+        lhs: u32,
+        cdst: u32,
+        cidx: u32,
+    },
+    ConstBinopMul {
+        dst: u32,
+        lhs: u32,
+        cdst: u32,
+        cidx: u32,
+    },
+    ConstBinopDiv {
+        dst: u32,
+        lhs: u32,
+        cdst: u32,
+        cidx: u32,
+    },
+    ConstBinopRem {
+        dst: u32,
+        lhs: u32,
+        cdst: u32,
+        cidx: u32,
+    },
+    ConstBinopAnd {
+        dst: u32,
+        lhs: u32,
+        cdst: u32,
+        cidx: u32,
+    },
+    ConstBinopOr {
+        dst: u32,
+        lhs: u32,
+        cdst: u32,
+        cidx: u32,
+    },
+    ConstBinopXor {
+        dst: u32,
+        lhs: u32,
+        cdst: u32,
+        cidx: u32,
+    },
+    ConstBinopShl {
+        dst: u32,
+        lhs: u32,
+        cdst: u32,
+        cidx: u32,
+    },
+    ConstBinopShr {
+        dst: u32,
+        lhs: u32,
+        cdst: u32,
+        cidx: u32,
+    },
+    ConstBinopFAdd {
+        dst: u32,
+        lhs: u32,
+        cdst: u32,
+        cidx: u32,
+    },
+    ConstBinopFSub {
+        dst: u32,
+        lhs: u32,
+        cdst: u32,
+        cidx: u32,
+    },
+    ConstBinopFMul {
+        dst: u32,
+        lhs: u32,
+        cdst: u32,
+        cidx: u32,
+    },
+    ConstBinopFDiv {
+        dst: u32,
+        lhs: u32,
+        cdst: u32,
+        cidx: u32,
+    },
+    /// Generic paired superinstruction: two adjacent one-component ops
+    /// executed under a single dispatch, strictly in order (the first op
+    /// completes — including any trap — before the second starts). `ops`
+    /// packs both operators ([`pack2`]); the specialized `Pair*` variants
+    /// below carry the measured-hot operator combinations as literals.
+    PairBB {
+        ops: u32,
+        d1: u32,
+        l1: u32,
+        r1: u32,
+        d2: u32,
+        l2: u32,
+        r2: u32,
+    },
+    /// Unary half then `Binop` (see [`FlatOp::PairBB`]). The unary half's
+    /// packed code is a [`UNOPS`] index or one of the pseudo codes
+    /// ([`MOV_CODE`], [`CONST_CODE`]), so moves and constant loads pair
+    /// too.
+    PairUB {
+        ops: u32,
+        d1: u32,
+        s1: u32,
+        d2: u32,
+        l2: u32,
+        r2: u32,
+    },
+    /// `Binop` then unary half (see [`FlatOp::PairUB`]).
+    PairBU {
+        ops: u32,
+        d1: u32,
+        l1: u32,
+        r1: u32,
+        d2: u32,
+        s2: u32,
+    },
+    /// Unary half then unary half (see [`FlatOp::PairUB`]).
+    PairUU {
+        ops: u32,
+        d1: u32,
+        s1: u32,
+        d2: u32,
+        s2: u32,
+    },
+    /// `Binop` then `Load` (see [`FlatOp::PairBB`]) — the indexed
+    /// address-compute + load idiom of the FP kernels.
+    PairBL {
+        ops: u32,
+        d1: u32,
+        l1: u32,
+        r1: u32,
+        ld: u32,
+        arr: u32,
+        idx: u32,
+    },
+    /// `Load` then `Binop` (see [`FlatOp::PairBB`]).
+    PairLB {
+        ops: u32,
+        ld: u32,
+        arr: u32,
+        idx: u32,
+        d2: u32,
+        l2: u32,
+        r2: u32,
+    },
+    /// `Load` then `Load` (see [`FlatOp::PairBB`]).
+    PairLL {
+        ld1: u32,
+        arr1: u32,
+        idx1: u32,
+        ld2: u32,
+        arr2: u32,
+        idx2: u32,
+    },
+    /// Specialized literal-operator pairs for the hot float/int arithmetic
+    /// combinations (multiply-add and friends); [`generalize`] maps each
+    /// back to [`FlatOp::PairBB`].
+    PairFAddFAdd {
+        d1: u32,
+        l1: u32,
+        r1: u32,
+        d2: u32,
+        l2: u32,
+        r2: u32,
+    },
+    PairFAddFSub {
+        d1: u32,
+        l1: u32,
+        r1: u32,
+        d2: u32,
+        l2: u32,
+        r2: u32,
+    },
+    PairFAddFMul {
+        d1: u32,
+        l1: u32,
+        r1: u32,
+        d2: u32,
+        l2: u32,
+        r2: u32,
+    },
+    PairFAddFDiv {
+        d1: u32,
+        l1: u32,
+        r1: u32,
+        d2: u32,
+        l2: u32,
+        r2: u32,
+    },
+    PairFSubFAdd {
+        d1: u32,
+        l1: u32,
+        r1: u32,
+        d2: u32,
+        l2: u32,
+        r2: u32,
+    },
+    PairFSubFSub {
+        d1: u32,
+        l1: u32,
+        r1: u32,
+        d2: u32,
+        l2: u32,
+        r2: u32,
+    },
+    PairFSubFMul {
+        d1: u32,
+        l1: u32,
+        r1: u32,
+        d2: u32,
+        l2: u32,
+        r2: u32,
+    },
+    PairFSubFDiv {
+        d1: u32,
+        l1: u32,
+        r1: u32,
+        d2: u32,
+        l2: u32,
+        r2: u32,
+    },
+    PairFMulFAdd {
+        d1: u32,
+        l1: u32,
+        r1: u32,
+        d2: u32,
+        l2: u32,
+        r2: u32,
+    },
+    PairFMulFSub {
+        d1: u32,
+        l1: u32,
+        r1: u32,
+        d2: u32,
+        l2: u32,
+        r2: u32,
+    },
+    PairFMulFMul {
+        d1: u32,
+        l1: u32,
+        r1: u32,
+        d2: u32,
+        l2: u32,
+        r2: u32,
+    },
+    PairFMulFDiv {
+        d1: u32,
+        l1: u32,
+        r1: u32,
+        d2: u32,
+        l2: u32,
+        r2: u32,
+    },
+    PairFDivFAdd {
+        d1: u32,
+        l1: u32,
+        r1: u32,
+        d2: u32,
+        l2: u32,
+        r2: u32,
+    },
+    PairFDivFSub {
+        d1: u32,
+        l1: u32,
+        r1: u32,
+        d2: u32,
+        l2: u32,
+        r2: u32,
+    },
+    PairFDivFMul {
+        d1: u32,
+        l1: u32,
+        r1: u32,
+        d2: u32,
+        l2: u32,
+        r2: u32,
+    },
+    PairFDivFDiv {
+        d1: u32,
+        l1: u32,
+        r1: u32,
+        d2: u32,
+        l2: u32,
+        r2: u32,
+    },
+    PairAddAdd {
+        d1: u32,
+        l1: u32,
+        r1: u32,
+        d2: u32,
+        l2: u32,
+        r2: u32,
+    },
+    PairAddSub {
+        d1: u32,
+        l1: u32,
+        r1: u32,
+        d2: u32,
+        l2: u32,
+        r2: u32,
+    },
+    PairAddMul {
+        d1: u32,
+        l1: u32,
+        r1: u32,
+        d2: u32,
+        l2: u32,
+        r2: u32,
+    },
+    PairSubAdd {
+        d1: u32,
+        l1: u32,
+        r1: u32,
+        d2: u32,
+        l2: u32,
+        r2: u32,
+    },
+    PairSubSub {
+        d1: u32,
+        l1: u32,
+        r1: u32,
+        d2: u32,
+        l2: u32,
+        r2: u32,
+    },
+    PairSubMul {
+        d1: u32,
+        l1: u32,
+        r1: u32,
+        d2: u32,
+        l2: u32,
+        r2: u32,
+    },
+    PairMulAdd {
+        d1: u32,
+        l1: u32,
+        r1: u32,
+        d2: u32,
+        l2: u32,
+        r2: u32,
+    },
+    PairMulSub {
+        d1: u32,
+        l1: u32,
+        r1: u32,
+        d2: u32,
+        l2: u32,
+        r2: u32,
+    },
+    PairMulMul {
+        d1: u32,
+        l1: u32,
+        r1: u32,
+        d2: u32,
+        l2: u32,
+        r2: u32,
+    },
+    /// Specialized move-involving pairs — a register move fused before
+    /// or after a hot arithmetic op (plus the move/move shuffle), operator
+    /// as a literal. [`generalize`] maps each back to the generic packed
+    /// form with [`MOV_CODE`] in the unary slot.
+    PairMovFAdd {
+        d1: u32,
+        s1: u32,
+        d2: u32,
+        l2: u32,
+        r2: u32,
+    },
+    PairMovFSub {
+        d1: u32,
+        s1: u32,
+        d2: u32,
+        l2: u32,
+        r2: u32,
+    },
+    PairMovFMul {
+        d1: u32,
+        s1: u32,
+        d2: u32,
+        l2: u32,
+        r2: u32,
+    },
+    PairMovFDiv {
+        d1: u32,
+        s1: u32,
+        d2: u32,
+        l2: u32,
+        r2: u32,
+    },
+    PairMovAdd {
+        d1: u32,
+        s1: u32,
+        d2: u32,
+        l2: u32,
+        r2: u32,
+    },
+    PairMovSub {
+        d1: u32,
+        s1: u32,
+        d2: u32,
+        l2: u32,
+        r2: u32,
+    },
+    PairMovMul {
+        d1: u32,
+        s1: u32,
+        d2: u32,
+        l2: u32,
+        r2: u32,
+    },
+    PairFAddMov {
+        d1: u32,
+        l1: u32,
+        r1: u32,
+        d2: u32,
+        s2: u32,
+    },
+    PairFSubMov {
+        d1: u32,
+        l1: u32,
+        r1: u32,
+        d2: u32,
+        s2: u32,
+    },
+    PairFMulMov {
+        d1: u32,
+        l1: u32,
+        r1: u32,
+        d2: u32,
+        s2: u32,
+    },
+    PairFDivMov {
+        d1: u32,
+        l1: u32,
+        r1: u32,
+        d2: u32,
+        s2: u32,
+    },
+    PairAddMov {
+        d1: u32,
+        l1: u32,
+        r1: u32,
+        d2: u32,
+        s2: u32,
+    },
+    PairSubMov {
+        d1: u32,
+        l1: u32,
+        r1: u32,
+        d2: u32,
+        s2: u32,
+    },
+    PairMulMov {
+        d1: u32,
+        l1: u32,
+        r1: u32,
+        d2: u32,
+        s2: u32,
+    },
+    PairMovMov {
+        d1: u32,
+        s1: u32,
+        d2: u32,
+        s2: u32,
+    },
+    Select {
+        dst: u32,
+        cond: u32,
+        if_true: u32,
+        if_false: u32,
+    },
+    Load {
+        dst: u32,
+        arr: u32,
+        index: u32,
+    },
+    Store {
+        arr: u32,
+        index: u32,
+        src: u32,
+    },
+    NewIntArray {
+        dst: u32,
+        len: u32,
+    },
+    NewFloatArray {
+        dst: u32,
+        len: u32,
+    },
+    ArrayLen {
+        dst: u32,
+        arr: u32,
+    },
+    ConstArrayRef {
+        dst: u32,
+        index: u32,
+    },
+    GlobalGet {
+        dst: u32,
+        global: u32,
+    },
+    GlobalSet {
+        global: u32,
+        src: u32,
+    },
+    FuncAddr {
+        dst: u32,
+        func: u32,
+    },
+    Emit {
+        src: u32,
+    },
+    Call {
+        func: u32,
+        args: u32,
+        nargs: u32,
+        ret: u32,
+    },
+    CallIndirect {
+        target: u32,
+        args: u32,
+        nargs: u32,
+        ret: u32,
+    },
+    /// Unconditional transfer through an [`EdgeHead`] (counts one jump
+    /// event, then enters the target copy).
+    JumpHead {
+        eh: u32,
+    },
+    /// Conditional branch; `slot` indexes the dense per-run branch counters
+    /// (the source-level [`trace_ir::BranchId`] is recovered through
+    /// [`super::FlatProgram`]'s `branch_ids`), `tk`/`nt` are edge heads.
+    Branch {
+        cond: u32,
+        slot: u32,
+        tk: u32,
+        nt: u32,
+    },
+    /// Fused comparison + conditional branch. Writes the comparison result
+    /// to `dst` (visible to later blocks), then branches on it.
+    CmpBranch {
+        op: BinOp,
+        dst: u32,
+        lhs: u32,
+        rhs: u32,
+        slot: u32,
+        tk: u32,
+        nt: u32,
+    },
+    /// Constant-op specializations of [`FlatOp::CmpBranch`] for every
+    /// comparison operator (see [`FlatOp::BinopAdd`] for the scheme).
+    CmpBranchEq {
+        dst: u32,
+        lhs: u32,
+        rhs: u32,
+        slot: u32,
+        tk: u32,
+        nt: u32,
+    },
+    CmpBranchNe {
+        dst: u32,
+        lhs: u32,
+        rhs: u32,
+        slot: u32,
+        tk: u32,
+        nt: u32,
+    },
+    CmpBranchLt {
+        dst: u32,
+        lhs: u32,
+        rhs: u32,
+        slot: u32,
+        tk: u32,
+        nt: u32,
+    },
+    CmpBranchLe {
+        dst: u32,
+        lhs: u32,
+        rhs: u32,
+        slot: u32,
+        tk: u32,
+        nt: u32,
+    },
+    CmpBranchGt {
+        dst: u32,
+        lhs: u32,
+        rhs: u32,
+        slot: u32,
+        tk: u32,
+        nt: u32,
+    },
+    CmpBranchGe {
+        dst: u32,
+        lhs: u32,
+        rhs: u32,
+        slot: u32,
+        tk: u32,
+        nt: u32,
+    },
+    CmpBranchFEq {
+        dst: u32,
+        lhs: u32,
+        rhs: u32,
+        slot: u32,
+        tk: u32,
+        nt: u32,
+    },
+    CmpBranchFNe {
+        dst: u32,
+        lhs: u32,
+        rhs: u32,
+        slot: u32,
+        tk: u32,
+        nt: u32,
+    },
+    CmpBranchFLt {
+        dst: u32,
+        lhs: u32,
+        rhs: u32,
+        slot: u32,
+        tk: u32,
+        nt: u32,
+    },
+    CmpBranchFLe {
+        dst: u32,
+        lhs: u32,
+        rhs: u32,
+        slot: u32,
+        tk: u32,
+        nt: u32,
+    },
+    CmpBranchFGt {
+        dst: u32,
+        lhs: u32,
+        rhs: u32,
+        slot: u32,
+        tk: u32,
+        nt: u32,
+    },
+    CmpBranchFGe {
+        dst: u32,
+        lhs: u32,
+        rhs: u32,
+        slot: u32,
+        tk: u32,
+        nt: u32,
+    },
+    /// A conditional branch whose direction the trace optimizer proved from
+    /// facts established earlier on the (single-entry) trace path: records
+    /// the branch exactly like [`FlatOp::Branch`] but transfers
+    /// unconditionally — a side-exit-free fallthrough. One fuel component.
+    ImpliedBranch {
+        slot: u32,
+        taken: u32,
+        eh: u32,
+    },
+    /// An implied [`FlatOp::CmpBranch`]: the comparison's outcome (`val`,
+    /// 0 or 1) is known, so `dst` is written directly and the branch
+    /// transfers unconditionally. Two fuel components (compare + branch),
+    /// like the fused form it replaces.
+    ImpliedCmpBranch {
+        dst: u32,
+        val: u32,
+        slot: u32,
+        eh: u32,
+    },
+    /// `table` indexes the shared table pool; entries are edge heads.
+    JumpTable {
+        index: u32,
+        table: u32,
+    },
+    Return {
+        src: u32,
+    },
+}
+
+/// Packs two operator codes into one `u32` operand (low byte = first op).
+pub(crate) fn pack2(a: u32, b: u32) -> u32 {
+    debug_assert!(a < 256 && b < 256);
+    a | (b << 8)
+}
+
+/// `BinOp` variants in declaration order — decode table for packed
+/// operator codes (`op as u32` is the inverse).
+pub(crate) const BINOPS: [BinOp; 28] = {
+    use BinOp::*;
+    [
+        Add, Sub, Mul, Div, Rem, FAdd, FSub, FMul, FDiv, And, Or, Xor, Shl, Shr, Eq, Ne, Lt, Le,
+        Gt, Ge, FEq, FNe, FLt, FLe, FGt, FGe, FMin, FMax,
+    ]
+};
+
+/// `UnOp` variants in declaration order (see [`BINOPS`]).
+pub(crate) const UNOPS: [UnOp; 14] = {
+    use UnOp::*;
+    [
+        Neg, FNeg, Not, LNot, IntToFloat, FloatToInt, Sqrt, Sin, Cos, Exp, Log, Floor, Abs, FAbs,
+    ]
+};
+
+/// Pseudo operator code extending the packed unary-op byte space past the
+/// real [`UNOPS`] table: a register-to-register move riding in a pair's
+/// unary slot (`src` is a register; a move can never trap).
+pub(crate) const MOV_CODE: u32 = UNOPS.len() as u32;
+
+/// Pseudo operator code for a constant load riding in a pair's unary slot
+/// (`src` is a constant-pool index; a constant load can never trap).
+pub(crate) const CONST_CODE: u32 = UNOPS.len() as u32 + 1;
+
+/// Views an op as a pairable unary half — `(code, dst, src)`, where `code`
+/// indexes [`UNOPS`] or is one of the pseudo codes and `src` is a register
+/// ([`FlatOp::Unop`]/[`FlatOp::Mov`]) or a constant-pool index
+/// ([`FlatOp::LoadConst`]).
+pub(crate) fn unop_half(op: &FlatOp) -> Option<(u32, u32, u32)> {
+    match *op {
+        FlatOp::Unop { op, dst, src } => Some((op as u32, dst, src)),
+        FlatOp::Mov { dst, src } => Some((MOV_CODE, dst, src)),
+        FlatOp::LoadConst { dst, cidx } => Some((CONST_CODE, dst, cidx)),
+        _ => None,
+    }
+}
+
+/// Emits the constant-op specialization of a `Binop` when one exists for
+/// `op`, the generic form otherwise. Inverse of [`generalize`].
+pub(crate) fn specialize_binop(op: BinOp, dst: u32, lhs: u32, rhs: u32) -> FlatOp {
+    match op {
+        BinOp::Add => FlatOp::BinopAdd { dst, lhs, rhs },
+        BinOp::Sub => FlatOp::BinopSub { dst, lhs, rhs },
+        BinOp::Mul => FlatOp::BinopMul { dst, lhs, rhs },
+        BinOp::Div => FlatOp::BinopDiv { dst, lhs, rhs },
+        BinOp::Rem => FlatOp::BinopRem { dst, lhs, rhs },
+        BinOp::And => FlatOp::BinopAnd { dst, lhs, rhs },
+        BinOp::Or => FlatOp::BinopOr { dst, lhs, rhs },
+        BinOp::Xor => FlatOp::BinopXor { dst, lhs, rhs },
+        BinOp::Shl => FlatOp::BinopShl { dst, lhs, rhs },
+        BinOp::Shr => FlatOp::BinopShr { dst, lhs, rhs },
+        BinOp::FAdd => FlatOp::BinopFAdd { dst, lhs, rhs },
+        BinOp::FSub => FlatOp::BinopFSub { dst, lhs, rhs },
+        BinOp::FMul => FlatOp::BinopFMul { dst, lhs, rhs },
+        BinOp::FDiv => FlatOp::BinopFDiv { dst, lhs, rhs },
+        _ => FlatOp::Binop { op, dst, lhs, rhs },
+    }
+}
+
+/// Emits the constant-op specialization of a `ConstBinop` when one exists
+/// for `op`, the generic form otherwise. Inverse of [`generalize`].
+pub(crate) fn specialize_const_binop(
+    op: BinOp,
+    dst: u32,
+    lhs: u32,
+    cdst: u32,
+    cidx: u32,
+) -> FlatOp {
+    macro_rules! cb {
+        ($variant:ident) => {
+            FlatOp::$variant {
+                dst,
+                lhs,
+                cdst,
+                cidx,
+            }
+        };
+    }
+    match op {
+        BinOp::Add => cb!(ConstBinopAdd),
+        BinOp::Sub => cb!(ConstBinopSub),
+        BinOp::Mul => cb!(ConstBinopMul),
+        BinOp::Div => cb!(ConstBinopDiv),
+        BinOp::Rem => cb!(ConstBinopRem),
+        BinOp::And => cb!(ConstBinopAnd),
+        BinOp::Or => cb!(ConstBinopOr),
+        BinOp::Xor => cb!(ConstBinopXor),
+        BinOp::Shl => cb!(ConstBinopShl),
+        BinOp::Shr => cb!(ConstBinopShr),
+        BinOp::FAdd => cb!(ConstBinopFAdd),
+        BinOp::FSub => cb!(ConstBinopFSub),
+        BinOp::FMul => cb!(ConstBinopFMul),
+        BinOp::FDiv => cb!(ConstBinopFDiv),
+        _ => FlatOp::ConstBinop {
+            op,
+            dst,
+            lhs,
+            cdst,
+            cidx,
+        },
+    }
+}
+
+/// Emits the constant-op specialization of a `CmpBranch`; every comparison
+/// operator has one, so the generic form only carries non-comparison ops
+/// (which the flattener never fuses). Inverse of [`generalize`].
+pub(crate) fn specialize_cmp_branch(
+    op: BinOp,
+    regs: (u32, u32, u32),
+    ctl: (u32, u32, u32),
+) -> FlatOp {
+    let (dst, lhs, rhs) = regs;
+    let (slot, tk, nt) = ctl;
+    macro_rules! cbr {
+        ($variant:ident) => {
+            FlatOp::$variant {
+                dst,
+                lhs,
+                rhs,
+                slot,
+                tk,
+                nt,
+            }
+        };
+    }
+    match op {
+        BinOp::Eq => cbr!(CmpBranchEq),
+        BinOp::Ne => cbr!(CmpBranchNe),
+        BinOp::Lt => cbr!(CmpBranchLt),
+        BinOp::Le => cbr!(CmpBranchLe),
+        BinOp::Gt => cbr!(CmpBranchGt),
+        BinOp::Ge => cbr!(CmpBranchGe),
+        BinOp::FEq => cbr!(CmpBranchFEq),
+        BinOp::FNe => cbr!(CmpBranchFNe),
+        BinOp::FLt => cbr!(CmpBranchFLt),
+        BinOp::FLe => cbr!(CmpBranchFLe),
+        BinOp::FGt => cbr!(CmpBranchFGt),
+        BinOp::FGe => cbr!(CmpBranchFGe),
+        _ => FlatOp::CmpBranch {
+            op,
+            dst,
+            lhs,
+            rhs,
+            slot,
+            tk,
+            nt,
+        },
+    }
+}
+
+/// Emits the literal-operator specialization of a `Binop`+`Binop` pair when
+/// one exists for the combination, the generic packed form otherwise.
+/// Inverse of [`generalize`].
+pub(crate) fn specialize_pair_bb(
+    op1: BinOp,
+    op2: BinOp,
+    (d1, l1, r1): (u32, u32, u32),
+    (d2, l2, r2): (u32, u32, u32),
+) -> FlatOp {
+    macro_rules! p {
+        ($variant:ident) => {
+            FlatOp::$variant {
+                d1,
+                l1,
+                r1,
+                d2,
+                l2,
+                r2,
+            }
+        };
+    }
+    use BinOp::*;
+    match (op1, op2) {
+        (FAdd, FAdd) => p!(PairFAddFAdd),
+        (FAdd, FSub) => p!(PairFAddFSub),
+        (FAdd, FMul) => p!(PairFAddFMul),
+        (FAdd, FDiv) => p!(PairFAddFDiv),
+        (FSub, FAdd) => p!(PairFSubFAdd),
+        (FSub, FSub) => p!(PairFSubFSub),
+        (FSub, FMul) => p!(PairFSubFMul),
+        (FSub, FDiv) => p!(PairFSubFDiv),
+        (FMul, FAdd) => p!(PairFMulFAdd),
+        (FMul, FSub) => p!(PairFMulFSub),
+        (FMul, FMul) => p!(PairFMulFMul),
+        (FMul, FDiv) => p!(PairFMulFDiv),
+        (FDiv, FAdd) => p!(PairFDivFAdd),
+        (FDiv, FSub) => p!(PairFDivFSub),
+        (FDiv, FMul) => p!(PairFDivFMul),
+        (FDiv, FDiv) => p!(PairFDivFDiv),
+        (Add, Add) => p!(PairAddAdd),
+        (Add, Sub) => p!(PairAddSub),
+        (Add, Mul) => p!(PairAddMul),
+        (Sub, Add) => p!(PairSubAdd),
+        (Sub, Sub) => p!(PairSubSub),
+        (Sub, Mul) => p!(PairSubMul),
+        (Mul, Add) => p!(PairMulAdd),
+        (Mul, Sub) => p!(PairMulSub),
+        (Mul, Mul) => p!(PairMulMul),
+        _ => FlatOp::PairBB {
+            ops: pack2(op1 as u32, op2 as u32),
+            d1,
+            l1,
+            r1,
+            d2,
+            l2,
+            r2,
+        },
+    }
+}
+
+/// Emits the literal-operator specialization of a `Mov`+`Binop` pair when
+/// one exists, the generic packed form otherwise. Inverse of
+/// [`generalize`].
+pub(crate) fn specialize_pair_mov_b(
+    op: BinOp,
+    (d1, s1): (u32, u32),
+    (d2, l2, r2): (u32, u32, u32),
+) -> FlatOp {
+    macro_rules! p {
+        ($variant:ident) => {
+            FlatOp::$variant { d1, s1, d2, l2, r2 }
+        };
+    }
+    use BinOp::*;
+    match op {
+        FAdd => p!(PairMovFAdd),
+        FSub => p!(PairMovFSub),
+        FMul => p!(PairMovFMul),
+        FDiv => p!(PairMovFDiv),
+        Add => p!(PairMovAdd),
+        Sub => p!(PairMovSub),
+        Mul => p!(PairMovMul),
+        _ => FlatOp::PairUB {
+            ops: pack2(MOV_CODE, op as u32),
+            d1,
+            s1,
+            d2,
+            l2,
+            r2,
+        },
+    }
+}
+
+/// Emits the literal-operator specialization of a `Binop`+`Mov` pair when
+/// one exists, the generic packed form otherwise. Inverse of
+/// [`generalize`].
+pub(crate) fn specialize_pair_b_mov(
+    op: BinOp,
+    (d1, l1, r1): (u32, u32, u32),
+    (d2, s2): (u32, u32),
+) -> FlatOp {
+    macro_rules! p {
+        ($variant:ident) => {
+            FlatOp::$variant { d1, l1, r1, d2, s2 }
+        };
+    }
+    use BinOp::*;
+    match op {
+        FAdd => p!(PairFAddMov),
+        FSub => p!(PairFSubMov),
+        FMul => p!(PairFMulMov),
+        FDiv => p!(PairFDivMov),
+        Add => p!(PairAddMov),
+        Sub => p!(PairSubMov),
+        Mul => p!(PairMulMov),
+        _ => FlatOp::PairBU {
+            ops: pack2(op as u32, MOV_CODE),
+            d1,
+            l1,
+            r1,
+            d2,
+            s2,
+        },
+    }
+}
+
+/// Maps every constant-op/literal-pair specialization back to its generic
+/// form (identity on everything else). The cold fuel-replay path matches on
+/// generic forms only, so it cannot drift from the hot loop's specialized
+/// arms, which call the same helpers.
+pub(crate) fn generalize(op: FlatOp) -> FlatOp {
+    use FlatOp::*;
+    macro_rules! bin {
+        ($op:ident, $dst:ident, $lhs:ident, $rhs:ident) => {
+            Binop {
+                op: BinOp::$op,
+                dst: $dst,
+                lhs: $lhs,
+                rhs: $rhs,
+            }
+        };
+    }
+    macro_rules! cbin {
+        ($op:ident, $dst:ident, $lhs:ident, $cdst:ident, $cidx:ident) => {
+            ConstBinop {
+                op: BinOp::$op,
+                dst: $dst,
+                lhs: $lhs,
+                cdst: $cdst,
+                cidx: $cidx,
+            }
+        };
+    }
+    macro_rules! cbr {
+        ($op:ident, $dst:ident, $lhs:ident, $rhs:ident, $slot:ident, $tk:ident, $nt:ident) => {
+            CmpBranch {
+                op: BinOp::$op,
+                dst: $dst,
+                lhs: $lhs,
+                rhs: $rhs,
+                slot: $slot,
+                tk: $tk,
+                nt: $nt,
+            }
+        };
+    }
+    macro_rules! pbb {
+        ($op1:ident, $op2:ident, $d1:ident, $l1:ident, $r1:ident, $d2:ident, $l2:ident, $r2:ident) => {
+            PairBB {
+                ops: pack2(BinOp::$op1 as u32, BinOp::$op2 as u32),
+                d1: $d1,
+                l1: $l1,
+                r1: $r1,
+                d2: $d2,
+                l2: $l2,
+                r2: $r2,
+            }
+        };
+    }
+    match op {
+        BinopAdd { dst, lhs, rhs } => bin!(Add, dst, lhs, rhs),
+        BinopSub { dst, lhs, rhs } => bin!(Sub, dst, lhs, rhs),
+        BinopMul { dst, lhs, rhs } => bin!(Mul, dst, lhs, rhs),
+        BinopDiv { dst, lhs, rhs } => bin!(Div, dst, lhs, rhs),
+        BinopRem { dst, lhs, rhs } => bin!(Rem, dst, lhs, rhs),
+        BinopAnd { dst, lhs, rhs } => bin!(And, dst, lhs, rhs),
+        BinopOr { dst, lhs, rhs } => bin!(Or, dst, lhs, rhs),
+        BinopXor { dst, lhs, rhs } => bin!(Xor, dst, lhs, rhs),
+        BinopShl { dst, lhs, rhs } => bin!(Shl, dst, lhs, rhs),
+        BinopShr { dst, lhs, rhs } => bin!(Shr, dst, lhs, rhs),
+        BinopFAdd { dst, lhs, rhs } => bin!(FAdd, dst, lhs, rhs),
+        BinopFSub { dst, lhs, rhs } => bin!(FSub, dst, lhs, rhs),
+        BinopFMul { dst, lhs, rhs } => bin!(FMul, dst, lhs, rhs),
+        BinopFDiv { dst, lhs, rhs } => bin!(FDiv, dst, lhs, rhs),
+        ConstBinopAdd {
+            dst,
+            lhs,
+            cdst,
+            cidx,
+        } => cbin!(Add, dst, lhs, cdst, cidx),
+        ConstBinopSub {
+            dst,
+            lhs,
+            cdst,
+            cidx,
+        } => cbin!(Sub, dst, lhs, cdst, cidx),
+        ConstBinopMul {
+            dst,
+            lhs,
+            cdst,
+            cidx,
+        } => cbin!(Mul, dst, lhs, cdst, cidx),
+        ConstBinopDiv {
+            dst,
+            lhs,
+            cdst,
+            cidx,
+        } => cbin!(Div, dst, lhs, cdst, cidx),
+        ConstBinopRem {
+            dst,
+            lhs,
+            cdst,
+            cidx,
+        } => cbin!(Rem, dst, lhs, cdst, cidx),
+        ConstBinopAnd {
+            dst,
+            lhs,
+            cdst,
+            cidx,
+        } => cbin!(And, dst, lhs, cdst, cidx),
+        ConstBinopOr {
+            dst,
+            lhs,
+            cdst,
+            cidx,
+        } => cbin!(Or, dst, lhs, cdst, cidx),
+        ConstBinopXor {
+            dst,
+            lhs,
+            cdst,
+            cidx,
+        } => cbin!(Xor, dst, lhs, cdst, cidx),
+        ConstBinopShl {
+            dst,
+            lhs,
+            cdst,
+            cidx,
+        } => cbin!(Shl, dst, lhs, cdst, cidx),
+        ConstBinopShr {
+            dst,
+            lhs,
+            cdst,
+            cidx,
+        } => cbin!(Shr, dst, lhs, cdst, cidx),
+        ConstBinopFAdd {
+            dst,
+            lhs,
+            cdst,
+            cidx,
+        } => cbin!(FAdd, dst, lhs, cdst, cidx),
+        ConstBinopFSub {
+            dst,
+            lhs,
+            cdst,
+            cidx,
+        } => cbin!(FSub, dst, lhs, cdst, cidx),
+        ConstBinopFMul {
+            dst,
+            lhs,
+            cdst,
+            cidx,
+        } => cbin!(FMul, dst, lhs, cdst, cidx),
+        ConstBinopFDiv {
+            dst,
+            lhs,
+            cdst,
+            cidx,
+        } => cbin!(FDiv, dst, lhs, cdst, cidx),
+        CmpBranchEq {
+            dst,
+            lhs,
+            rhs,
+            slot,
+            tk,
+            nt,
+        } => cbr!(Eq, dst, lhs, rhs, slot, tk, nt),
+        CmpBranchNe {
+            dst,
+            lhs,
+            rhs,
+            slot,
+            tk,
+            nt,
+        } => cbr!(Ne, dst, lhs, rhs, slot, tk, nt),
+        CmpBranchLt {
+            dst,
+            lhs,
+            rhs,
+            slot,
+            tk,
+            nt,
+        } => cbr!(Lt, dst, lhs, rhs, slot, tk, nt),
+        CmpBranchLe {
+            dst,
+            lhs,
+            rhs,
+            slot,
+            tk,
+            nt,
+        } => cbr!(Le, dst, lhs, rhs, slot, tk, nt),
+        CmpBranchGt {
+            dst,
+            lhs,
+            rhs,
+            slot,
+            tk,
+            nt,
+        } => cbr!(Gt, dst, lhs, rhs, slot, tk, nt),
+        CmpBranchGe {
+            dst,
+            lhs,
+            rhs,
+            slot,
+            tk,
+            nt,
+        } => cbr!(Ge, dst, lhs, rhs, slot, tk, nt),
+        CmpBranchFEq {
+            dst,
+            lhs,
+            rhs,
+            slot,
+            tk,
+            nt,
+        } => cbr!(FEq, dst, lhs, rhs, slot, tk, nt),
+        CmpBranchFNe {
+            dst,
+            lhs,
+            rhs,
+            slot,
+            tk,
+            nt,
+        } => cbr!(FNe, dst, lhs, rhs, slot, tk, nt),
+        CmpBranchFLt {
+            dst,
+            lhs,
+            rhs,
+            slot,
+            tk,
+            nt,
+        } => cbr!(FLt, dst, lhs, rhs, slot, tk, nt),
+        CmpBranchFLe {
+            dst,
+            lhs,
+            rhs,
+            slot,
+            tk,
+            nt,
+        } => cbr!(FLe, dst, lhs, rhs, slot, tk, nt),
+        CmpBranchFGt {
+            dst,
+            lhs,
+            rhs,
+            slot,
+            tk,
+            nt,
+        } => cbr!(FGt, dst, lhs, rhs, slot, tk, nt),
+        CmpBranchFGe {
+            dst,
+            lhs,
+            rhs,
+            slot,
+            tk,
+            nt,
+        } => cbr!(FGe, dst, lhs, rhs, slot, tk, nt),
+        PairFAddFAdd {
+            d1,
+            l1,
+            r1,
+            d2,
+            l2,
+            r2,
+        } => pbb!(FAdd, FAdd, d1, l1, r1, d2, l2, r2),
+        PairFAddFSub {
+            d1,
+            l1,
+            r1,
+            d2,
+            l2,
+            r2,
+        } => pbb!(FAdd, FSub, d1, l1, r1, d2, l2, r2),
+        PairFAddFMul {
+            d1,
+            l1,
+            r1,
+            d2,
+            l2,
+            r2,
+        } => pbb!(FAdd, FMul, d1, l1, r1, d2, l2, r2),
+        PairFAddFDiv {
+            d1,
+            l1,
+            r1,
+            d2,
+            l2,
+            r2,
+        } => pbb!(FAdd, FDiv, d1, l1, r1, d2, l2, r2),
+        PairFSubFAdd {
+            d1,
+            l1,
+            r1,
+            d2,
+            l2,
+            r2,
+        } => pbb!(FSub, FAdd, d1, l1, r1, d2, l2, r2),
+        PairFSubFSub {
+            d1,
+            l1,
+            r1,
+            d2,
+            l2,
+            r2,
+        } => pbb!(FSub, FSub, d1, l1, r1, d2, l2, r2),
+        PairFSubFMul {
+            d1,
+            l1,
+            r1,
+            d2,
+            l2,
+            r2,
+        } => pbb!(FSub, FMul, d1, l1, r1, d2, l2, r2),
+        PairFSubFDiv {
+            d1,
+            l1,
+            r1,
+            d2,
+            l2,
+            r2,
+        } => pbb!(FSub, FDiv, d1, l1, r1, d2, l2, r2),
+        PairFMulFAdd {
+            d1,
+            l1,
+            r1,
+            d2,
+            l2,
+            r2,
+        } => pbb!(FMul, FAdd, d1, l1, r1, d2, l2, r2),
+        PairFMulFSub {
+            d1,
+            l1,
+            r1,
+            d2,
+            l2,
+            r2,
+        } => pbb!(FMul, FSub, d1, l1, r1, d2, l2, r2),
+        PairFMulFMul {
+            d1,
+            l1,
+            r1,
+            d2,
+            l2,
+            r2,
+        } => pbb!(FMul, FMul, d1, l1, r1, d2, l2, r2),
+        PairFMulFDiv {
+            d1,
+            l1,
+            r1,
+            d2,
+            l2,
+            r2,
+        } => pbb!(FMul, FDiv, d1, l1, r1, d2, l2, r2),
+        PairFDivFAdd {
+            d1,
+            l1,
+            r1,
+            d2,
+            l2,
+            r2,
+        } => pbb!(FDiv, FAdd, d1, l1, r1, d2, l2, r2),
+        PairFDivFSub {
+            d1,
+            l1,
+            r1,
+            d2,
+            l2,
+            r2,
+        } => pbb!(FDiv, FSub, d1, l1, r1, d2, l2, r2),
+        PairFDivFMul {
+            d1,
+            l1,
+            r1,
+            d2,
+            l2,
+            r2,
+        } => pbb!(FDiv, FMul, d1, l1, r1, d2, l2, r2),
+        PairFDivFDiv {
+            d1,
+            l1,
+            r1,
+            d2,
+            l2,
+            r2,
+        } => pbb!(FDiv, FDiv, d1, l1, r1, d2, l2, r2),
+        PairAddAdd {
+            d1,
+            l1,
+            r1,
+            d2,
+            l2,
+            r2,
+        } => pbb!(Add, Add, d1, l1, r1, d2, l2, r2),
+        PairAddSub {
+            d1,
+            l1,
+            r1,
+            d2,
+            l2,
+            r2,
+        } => pbb!(Add, Sub, d1, l1, r1, d2, l2, r2),
+        PairAddMul {
+            d1,
+            l1,
+            r1,
+            d2,
+            l2,
+            r2,
+        } => pbb!(Add, Mul, d1, l1, r1, d2, l2, r2),
+        PairSubAdd {
+            d1,
+            l1,
+            r1,
+            d2,
+            l2,
+            r2,
+        } => pbb!(Sub, Add, d1, l1, r1, d2, l2, r2),
+        PairSubSub {
+            d1,
+            l1,
+            r1,
+            d2,
+            l2,
+            r2,
+        } => pbb!(Sub, Sub, d1, l1, r1, d2, l2, r2),
+        PairSubMul {
+            d1,
+            l1,
+            r1,
+            d2,
+            l2,
+            r2,
+        } => pbb!(Sub, Mul, d1, l1, r1, d2, l2, r2),
+        PairMulAdd {
+            d1,
+            l1,
+            r1,
+            d2,
+            l2,
+            r2,
+        } => pbb!(Mul, Add, d1, l1, r1, d2, l2, r2),
+        PairMulSub {
+            d1,
+            l1,
+            r1,
+            d2,
+            l2,
+            r2,
+        } => pbb!(Mul, Sub, d1, l1, r1, d2, l2, r2),
+        PairMulMul {
+            d1,
+            l1,
+            r1,
+            d2,
+            l2,
+            r2,
+        } => pbb!(Mul, Mul, d1, l1, r1, d2, l2, r2),
+        PairMovFAdd { d1, s1, d2, l2, r2 } => PairUB {
+            ops: pack2(MOV_CODE, BinOp::FAdd as u32),
+            d1,
+            s1,
+            d2,
+            l2,
+            r2,
+        },
+        PairMovFSub { d1, s1, d2, l2, r2 } => PairUB {
+            ops: pack2(MOV_CODE, BinOp::FSub as u32),
+            d1,
+            s1,
+            d2,
+            l2,
+            r2,
+        },
+        PairMovFMul { d1, s1, d2, l2, r2 } => PairUB {
+            ops: pack2(MOV_CODE, BinOp::FMul as u32),
+            d1,
+            s1,
+            d2,
+            l2,
+            r2,
+        },
+        PairMovFDiv { d1, s1, d2, l2, r2 } => PairUB {
+            ops: pack2(MOV_CODE, BinOp::FDiv as u32),
+            d1,
+            s1,
+            d2,
+            l2,
+            r2,
+        },
+        PairMovAdd { d1, s1, d2, l2, r2 } => PairUB {
+            ops: pack2(MOV_CODE, BinOp::Add as u32),
+            d1,
+            s1,
+            d2,
+            l2,
+            r2,
+        },
+        PairMovSub { d1, s1, d2, l2, r2 } => PairUB {
+            ops: pack2(MOV_CODE, BinOp::Sub as u32),
+            d1,
+            s1,
+            d2,
+            l2,
+            r2,
+        },
+        PairMovMul { d1, s1, d2, l2, r2 } => PairUB {
+            ops: pack2(MOV_CODE, BinOp::Mul as u32),
+            d1,
+            s1,
+            d2,
+            l2,
+            r2,
+        },
+        PairFAddMov { d1, l1, r1, d2, s2 } => PairBU {
+            ops: pack2(BinOp::FAdd as u32, MOV_CODE),
+            d1,
+            l1,
+            r1,
+            d2,
+            s2,
+        },
+        PairFSubMov { d1, l1, r1, d2, s2 } => PairBU {
+            ops: pack2(BinOp::FSub as u32, MOV_CODE),
+            d1,
+            l1,
+            r1,
+            d2,
+            s2,
+        },
+        PairFMulMov { d1, l1, r1, d2, s2 } => PairBU {
+            ops: pack2(BinOp::FMul as u32, MOV_CODE),
+            d1,
+            l1,
+            r1,
+            d2,
+            s2,
+        },
+        PairFDivMov { d1, l1, r1, d2, s2 } => PairBU {
+            ops: pack2(BinOp::FDiv as u32, MOV_CODE),
+            d1,
+            l1,
+            r1,
+            d2,
+            s2,
+        },
+        PairAddMov { d1, l1, r1, d2, s2 } => PairBU {
+            ops: pack2(BinOp::Add as u32, MOV_CODE),
+            d1,
+            l1,
+            r1,
+            d2,
+            s2,
+        },
+        PairSubMov { d1, l1, r1, d2, s2 } => PairBU {
+            ops: pack2(BinOp::Sub as u32, MOV_CODE),
+            d1,
+            l1,
+            r1,
+            d2,
+            s2,
+        },
+        PairMulMov { d1, l1, r1, d2, s2 } => PairBU {
+            ops: pack2(BinOp::Mul as u32, MOV_CODE),
+            d1,
+            l1,
+            r1,
+            d2,
+            s2,
+        },
+        PairMovMov { d1, s1, d2, s2 } => PairUU {
+            ops: pack2(MOV_CODE, MOV_CODE),
+            d1,
+            s1,
+            d2,
+            s2,
+        },
+        other => other,
+    }
+}
+
+/// Fuel components of one emitted op — the number of reference-backend
+/// instructions it stands for. Fused ops (`ConstBinop*`, pairs,
+/// `CmpBranch*`, `ImpliedCmpBranch`) cover two; `BlockHead`/`Resume` are
+/// bookkeeping, not instructions; everything else is one.
+pub(crate) fn components(op: &FlatOp) -> u32 {
+    use FlatOp::*;
+    match op {
+        BlockHead { .. } | Resume { .. } => 0,
+        ConstBinop { .. }
+        | ConstBinopAdd { .. }
+        | ConstBinopSub { .. }
+        | ConstBinopMul { .. }
+        | ConstBinopDiv { .. }
+        | ConstBinopRem { .. }
+        | ConstBinopAnd { .. }
+        | ConstBinopOr { .. }
+        | ConstBinopXor { .. }
+        | ConstBinopShl { .. }
+        | ConstBinopShr { .. }
+        | ConstBinopFAdd { .. }
+        | ConstBinopFSub { .. }
+        | ConstBinopFMul { .. }
+        | ConstBinopFDiv { .. }
+        | PairBB { .. }
+        | PairUB { .. }
+        | PairBU { .. }
+        | PairUU { .. }
+        | PairBL { .. }
+        | PairLB { .. }
+        | PairLL { .. }
+        | PairFAddFAdd { .. }
+        | PairFAddFSub { .. }
+        | PairFAddFMul { .. }
+        | PairFAddFDiv { .. }
+        | PairFSubFAdd { .. }
+        | PairFSubFSub { .. }
+        | PairFSubFMul { .. }
+        | PairFSubFDiv { .. }
+        | PairFMulFAdd { .. }
+        | PairFMulFSub { .. }
+        | PairFMulFMul { .. }
+        | PairFMulFDiv { .. }
+        | PairFDivFAdd { .. }
+        | PairFDivFSub { .. }
+        | PairFDivFMul { .. }
+        | PairFDivFDiv { .. }
+        | PairAddAdd { .. }
+        | PairAddSub { .. }
+        | PairAddMul { .. }
+        | PairSubAdd { .. }
+        | PairSubSub { .. }
+        | PairSubMul { .. }
+        | PairMulAdd { .. }
+        | PairMulSub { .. }
+        | PairMulMul { .. }
+        | PairMovFAdd { .. }
+        | PairMovFSub { .. }
+        | PairMovFMul { .. }
+        | PairMovFDiv { .. }
+        | PairMovAdd { .. }
+        | PairMovSub { .. }
+        | PairMovMul { .. }
+        | PairFAddMov { .. }
+        | PairFSubMov { .. }
+        | PairFMulMov { .. }
+        | PairFDivMov { .. }
+        | PairAddMov { .. }
+        | PairSubMov { .. }
+        | PairMulMov { .. }
+        | PairMovMov { .. }
+        | CmpBranch { .. }
+        | CmpBranchEq { .. }
+        | CmpBranchNe { .. }
+        | CmpBranchLt { .. }
+        | CmpBranchLe { .. }
+        | CmpBranchGt { .. }
+        | CmpBranchGe { .. }
+        | CmpBranchFEq { .. }
+        | CmpBranchFNe { .. }
+        | CmpBranchFLt { .. }
+        | CmpBranchFLe { .. }
+        | CmpBranchFGt { .. }
+        | CmpBranchFGe { .. }
+        | ImpliedCmpBranch { .. } => 2,
+        _ => 1,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flat_op_stays_one_half_cache_line() {
+        assert!(std::mem::size_of::<FlatOp>() <= 32);
+    }
+
+    #[test]
+    fn op_code_tables_round_trip() {
+        for (i, &op) in BINOPS.iter().enumerate() {
+            assert_eq!(op as usize, i);
+        }
+        for (i, &op) in UNOPS.iter().enumerate() {
+            assert_eq!(op as usize, i);
+        }
+    }
+
+    #[test]
+    fn specialized_pairs_generalize_to_packed_bb() {
+        let p = specialize_pair_bb(BinOp::FMul, BinOp::FAdd, (1, 2, 3), (4, 5, 6));
+        assert!(matches!(p, FlatOp::PairFMulFAdd { .. }));
+        match generalize(p) {
+            FlatOp::PairBB {
+                ops,
+                d1,
+                l1,
+                r1,
+                d2,
+                l2,
+                r2,
+            } => {
+                assert_eq!(ops, pack2(BinOp::FMul as u32, BinOp::FAdd as u32));
+                assert_eq!((d1, l1, r1, d2, l2, r2), (1, 2, 3, 4, 5, 6));
+            }
+            other => panic!("expected PairBB, got {other:?}"),
+        }
+        assert_eq!(components(&p), 2);
+    }
+}

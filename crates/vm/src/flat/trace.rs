@@ -1,0 +1,563 @@
+//! Superblock trace planning and the trace-scoped fact engine.
+//!
+//! Planning decides, per function, the order in which block *copies* are
+//! emitted and which copies are tail duplicates; it never touches the op
+//! stream itself. The [`Facts`] engine tracks what a trace's single-entry
+//! prefix proves about register values so the flattener can replace
+//! branches whose outcome is implied with side-exit-free fallthroughs.
+
+use std::collections::HashMap;
+
+use mfcheck::{Cfg, DomTree, LoopForest};
+use trace_ir::{BinOp, Function, Instr, Terminator};
+
+use crate::counters::BranchCounts;
+
+/// Trace-formation configuration, keyed into
+/// [`crate::VmConfig`]/`RunKey`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct TraceConfig {
+    /// Enables superblock formation: loop-header trace seeding, budgeted
+    /// tail duplication of side-entrance blocks, and implied-branch
+    /// elimination. When off, the flattener still emits profile-guided (or
+    /// BTFN) fall-through chains of whole blocks, as the layout-only
+    /// backend did.
+    pub enabled: bool,
+    /// Per-function tail-duplication budget, in fuel components (one
+    /// component per duplicated instruction or terminator).
+    pub tail_dup_budget: u32,
+}
+
+impl Default for TraceConfig {
+    fn default() -> Self {
+        TraceConfig {
+            enabled: true,
+            tail_dup_budget: 192,
+        }
+    }
+}
+
+/// Hard cap on copies per trace (defends against degenerate growth).
+const MAX_TRACE_LEN: usize = 64;
+
+/// How a planned copy transfers control to the *next* copy of its trace.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum Link {
+    /// Unconditional jump.
+    Jump,
+    /// Conditional branch; payload is the predicted direction (`true` =
+    /// taken arm chains to the next copy).
+    Branch(bool),
+    /// Jump table, chaining through the default arm.
+    Table,
+}
+
+/// One emitted copy of a source block.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct PlannedCopy {
+    /// Source block index within the function.
+    pub block: usize,
+    /// True if this is a tail duplicate (the block's canonical copy lives
+    /// elsewhere); a duplicate is reachable only through the preceding
+    /// copy's link arm.
+    pub dup: bool,
+    /// Control link to the next copy of the trace (`None` for the last).
+    pub link: Option<Link>,
+}
+
+/// An ordered list of copies emitted contiguously.
+#[derive(Clone, Debug)]
+pub(crate) struct PlannedTrace {
+    pub copies: Vec<PlannedCopy>,
+}
+
+/// Plans the traces of one function.
+///
+/// With `cfg.enabled`: seeds at the function entry, then loop headers
+/// (innermost first — their bodies are the hottest), then any remaining
+/// blocks; grows each trace along the predicted edge (profile `2·taken >
+/// executed`, falling back to backward-taken/forward-not-taken); tail-
+/// duplicates already-placed successors while `tail_dup_budget` lasts.
+///
+/// With `cfg.enabled` off this degenerates to the legacy layout: greedy
+/// fall-through chains seeded in block order, no duplication.
+///
+/// Every block receives exactly one canonical (non-dup) copy, so every
+/// jump-table target and side-exit arm has a landing site.
+pub(crate) fn plan_traces(
+    func: &Function,
+    profile: Option<&BranchCounts>,
+    tcfg: TraceConfig,
+) -> Vec<PlannedTrace> {
+    let nblocks = func.blocks.len();
+    let mut placed = vec![false; nblocks];
+    let mut traces = Vec::new();
+
+    // Trace mode: one CFG/dominator/loop-forest pass drives both the BTFN
+    // backward-edge test and the loop-header seed schedule.
+    type BackwardEdgeTest = Option<Box<dyn Fn(usize, usize) -> bool>>;
+    let (rpo_backward, seeds): (BackwardEdgeTest, Vec<usize>) = if tcfg.enabled {
+        let cfg = Cfg::new(func);
+        let dom = DomTree::compute(&cfg);
+        let forest = LoopForest::compute(&cfg, &dom);
+        let mut headers: Vec<(u32, usize)> = forest
+            .loops
+            .iter()
+            .map(|l| (l.depth, l.header.index()))
+            .collect();
+        // Innermost loops first: their bodies execute the most.
+        headers.sort_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
+        let mut seeds = vec![0usize];
+        seeds.extend(headers.into_iter().map(|(_, h)| h));
+        seeds.extend(0..nblocks);
+        let pos: Vec<Option<usize>> = (0..nblocks)
+            .map(|b| cfg.rpo_pos(trace_ir::BlockId(b as u32)))
+            .collect();
+        // Prefer the taken arm when it jumps backward in reverse
+        // post-order, i.e. closes a loop.
+        let back = move |from: usize, to: usize| match (pos[to], pos[from]) {
+            (Some(t), Some(f)) => t <= f,
+            _ => false,
+        };
+        (
+            Some(Box::new(back) as Box<dyn Fn(usize, usize) -> bool>),
+            seeds,
+        )
+    } else {
+        (None, (0..nblocks).collect())
+    };
+
+    let mut budget = tcfg.tail_dup_budget;
+    for seed in seeds {
+        if placed[seed] {
+            continue;
+        }
+        let mut copies = Vec::new();
+        let mut cur = seed;
+        placed[cur] = true;
+        loop {
+            let link = predicted_link(func, cur, profile, rpo_backward.as_deref());
+            let Some((link, next)) = link else {
+                copies.push(PlannedCopy {
+                    block: cur,
+                    dup: false,
+                    link: None,
+                });
+                break;
+            };
+            let in_this_trace =
+                next == seed || copies.iter().any(|c: &PlannedCopy| c.block == next);
+            if copies.len() + 1 >= MAX_TRACE_LEN {
+                copies.push(PlannedCopy {
+                    block: cur,
+                    dup: false,
+                    link: None,
+                });
+                break;
+            }
+            if !placed[next] {
+                copies.push(PlannedCopy {
+                    block: cur,
+                    dup: false,
+                    link: Some(link),
+                });
+                placed[next] = true;
+                cur = next;
+                continue;
+            }
+            // Successor already placed. Tail-duplicate it if trace formation
+            // is on, it is not a loop closure back into this very trace, and
+            // the budget allows — otherwise end the trace here.
+            let cost = (func.blocks[next].instrs.len() + 1) as u32;
+            if tcfg.enabled && !in_this_trace && budget >= cost {
+                budget -= cost;
+                copies.push(PlannedCopy {
+                    block: cur,
+                    dup: false,
+                    link: Some(link),
+                });
+                // The duplicate continues the trace: grow through it too.
+                cur = usize::MAX; // marker replaced below
+                let mut dup_cur = next;
+                loop {
+                    let dlink = predicted_link(func, dup_cur, profile, rpo_backward.as_deref());
+                    let stop_link = match dlink {
+                        Some((l, dnext)) if copies.len() + 1 < MAX_TRACE_LEN && !placed[dnext] => {
+                            // Duplicate chains into an unplaced block: place
+                            // it canonically and continue the outer loop.
+                            copies.push(PlannedCopy {
+                                block: dup_cur,
+                                dup: true,
+                                link: Some(l),
+                            });
+                            placed[dnext] = true;
+                            cur = dnext;
+                            break;
+                        }
+                        Some((l, dnext))
+                            if copies.len() + 1 < MAX_TRACE_LEN
+                                && budget >= (func.blocks[dnext].instrs.len() + 1) as u32
+                                && dnext != seed
+                                && !copies.iter().any(|c| c.block == dnext && !c.dup) =>
+                        {
+                            // Chain of duplicates.
+                            budget -= (func.blocks[dnext].instrs.len() + 1) as u32;
+                            copies.push(PlannedCopy {
+                                block: dup_cur,
+                                dup: true,
+                                link: Some(l),
+                            });
+                            dup_cur = dnext;
+                            continue;
+                        }
+                        _ => None::<Link>,
+                    };
+                    copies.push(PlannedCopy {
+                        block: dup_cur,
+                        dup: true,
+                        link: stop_link,
+                    });
+                    break;
+                }
+                if cur == usize::MAX {
+                    break; // duplicate chain ended the trace
+                }
+                continue;
+            }
+            copies.push(PlannedCopy {
+                block: cur,
+                dup: false,
+                link: None,
+            });
+            break;
+        }
+        traces.push(PlannedTrace { copies });
+    }
+    traces
+}
+
+/// The predicted outgoing edge of `block`: the link kind and successor the
+/// trace grows along. `None` for returns.
+fn predicted_link(
+    func: &Function,
+    block: usize,
+    profile: Option<&BranchCounts>,
+    rpo_backward: Option<&dyn Fn(usize, usize) -> bool>,
+) -> Option<(Link, usize)> {
+    match &func.blocks[block].term {
+        Terminator::Jump(t) => Some((Link::Jump, t.index())),
+        Terminator::Branch {
+            id,
+            taken,
+            not_taken,
+            ..
+        } => {
+            let prefer_taken = match profile {
+                Some(p) => {
+                    let (executed, taken_n) = p.get(*id);
+                    executed > 0 && 2 * taken_n > executed
+                }
+                // BTFN in trace mode; plain fall-through otherwise.
+                None => rpo_backward.is_some_and(|back| back(block, taken.index())),
+            };
+            if prefer_taken {
+                Some((Link::Branch(true), taken.index()))
+            } else {
+                Some((Link::Branch(false), not_taken.index()))
+            }
+        }
+        Terminator::JumpTable { default, .. } => Some((Link::Table, default.index())),
+        Terminator::Return { .. } => None,
+    }
+}
+
+/// Three-bit order mask over an ordered integer register pair: any subset
+/// of {LT, EQ, GT} still possible.
+const LT: u8 = 1;
+const EQ: u8 = 2;
+const GT: u8 = 4;
+const ANY: u8 = LT | EQ | GT;
+
+/// The {LT,EQ,GT} outcomes for which an integer comparison yields true.
+fn true_mask(op: BinOp) -> u8 {
+    match op {
+        BinOp::Eq => EQ,
+        BinOp::Ne => LT | GT,
+        BinOp::Lt => LT,
+        BinOp::Le => LT | EQ,
+        BinOp::Gt => GT,
+        BinOp::Ge => GT | EQ,
+        _ => unreachable!("not an integer comparison"),
+    }
+}
+
+fn is_int_cmp(op: BinOp) -> bool {
+    matches!(
+        op,
+        BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge
+    )
+}
+
+fn is_float_cmp(op: BinOp) -> bool {
+    matches!(
+        op,
+        BinOp::FEq | BinOp::FNe | BinOp::FLt | BinOp::FLe | BinOp::FGt | BinOp::FGe
+    )
+}
+
+/// Mirror of a float comparison: `a op b` ≡ `b mirror(op) a` (exact under
+/// IEEE semantics, NaN included).
+fn float_mirror(op: BinOp) -> BinOp {
+    match op {
+        BinOp::FEq => BinOp::FEq,
+        BinOp::FNe => BinOp::FNe,
+        BinOp::FLt => BinOp::FGt,
+        BinOp::FLe => BinOp::FGe,
+        BinOp::FGt => BinOp::FLt,
+        BinOp::FGe => BinOp::FLe,
+        _ => unreachable!("not a float comparison"),
+    }
+}
+
+/// What one copy's terminator contributes as an edge constraint once a
+/// direction is fixed.
+#[derive(Clone, Copy, Debug)]
+pub(crate) enum EdgeCond {
+    /// Fused comparison `dst = lhs op rhs` branching on `dst`.
+    Cmp {
+        op: BinOp,
+        dst: u32,
+        lhs: u32,
+        rhs: u32,
+    },
+    /// Plain branch on `cond`'s truthiness.
+    Truthy { cond: u32 },
+}
+
+/// Facts proven on the single-entry path into the current trace position.
+///
+/// * `int_rel` — for a normalized register pair `(a, b)` with `a < b`, the
+///   set of still-possible signed orders of `(value(a), value(b))`. Sound
+///   for implication only because observing an executed integer comparison
+///   also proves both operands were integers.
+/// * `float_cmp` — exact observed float comparison outcomes, keyed by
+///   `(operator, lhs, rhs)`. Stored with the mirrored operand order too;
+///   complements are deliberately *not* derived (NaN makes `!(a < b)`
+///   weaker than `a >= b`).
+/// * `truthy` — registers known to hold integer zero (`false`) / a
+///   non-zero integer (`true`).
+#[derive(Clone, Debug, Default)]
+pub(crate) struct Facts {
+    int_rel: HashMap<(u32, u32), u8>,
+    float_cmp: HashMap<(u32, u32, u32), bool>,
+    truthy: HashMap<u32, bool>,
+}
+
+impl Facts {
+    pub fn new() -> Self {
+        Facts::default()
+    }
+
+    /// Forgets everything involving `reg`.
+    pub fn kill(&mut self, reg: u32) {
+        self.int_rel.retain(|&(a, b), _| a != reg && b != reg);
+        self.float_cmp.retain(|&(_, l, r), _| l != reg && r != reg);
+        self.truthy.remove(&reg);
+    }
+
+    fn normalized(l: u32, r: u32) -> ((u32, u32), bool) {
+        if l <= r {
+            ((l, r), false)
+        } else {
+            ((r, l), true)
+        }
+    }
+
+    /// Swaps the operand order of an integer order mask.
+    fn flip(mask: u8) -> u8 {
+        (mask & EQ) | (if mask & LT != 0 { GT } else { 0 }) | (if mask & GT != 0 { LT } else { 0 })
+    }
+
+    /// Is the outcome of `lhs op rhs` implied? (`op` must be a comparison.)
+    pub fn query_cmp(&self, op: BinOp, lhs: u32, rhs: u32) -> Option<bool> {
+        if lhs == rhs {
+            // Could be float registers (where Eq would trap on type grounds
+            // in this IR? No — same-register compares are simply not worth
+            // special-casing without type knowledge).
+            return None;
+        }
+        if is_int_cmp(op) {
+            let (key, swapped) = Self::normalized(lhs, rhs);
+            let mut mask = *self.int_rel.get(&key)?;
+            if swapped {
+                mask = Self::flip(mask);
+            }
+            let t = true_mask(op);
+            if mask & !t == 0 {
+                Some(true)
+            } else if mask & t == 0 {
+                Some(false)
+            } else {
+                None
+            }
+        } else if is_float_cmp(op) {
+            self.float_cmp.get(&(op as u32, lhs, rhs)).copied()
+        } else {
+            None
+        }
+    }
+
+    /// Is `reg`'s truthiness known?
+    pub fn query_truthy(&self, reg: u32) -> Option<bool> {
+        self.truthy.get(&reg).copied()
+    }
+
+    /// Records that `lhs op rhs` evaluated to `outcome` (both operand
+    /// registers still hold the compared values).
+    fn gain_cmp(&mut self, op: BinOp, lhs: u32, rhs: u32, outcome: bool) {
+        if lhs == rhs {
+            return;
+        }
+        if is_int_cmp(op) {
+            let (key, swapped) = Self::normalized(lhs, rhs);
+            let mut constraint = if outcome {
+                true_mask(op)
+            } else {
+                ANY & !true_mask(op)
+            };
+            if swapped {
+                constraint = Self::flip(constraint);
+            }
+            let entry = self.int_rel.entry(key).or_insert(ANY);
+            *entry &= constraint;
+        } else if is_float_cmp(op) {
+            self.float_cmp.insert((op as u32, lhs, rhs), outcome);
+            self.float_cmp
+                .insert((float_mirror(op) as u32, rhs, lhs), outcome);
+        }
+    }
+
+    /// Applies the knowledge-transfer of one straight-line instruction:
+    /// kill the written register, then record what the write proves. A
+    /// comparison whose outcome is already implied seeds the destination's
+    /// truthiness (re-compare elimination across blocks).
+    pub fn step(&mut self, instr: &Instr) {
+        match instr {
+            Instr::Const { dst, value } => {
+                let d = dst.0;
+                self.kill(d);
+                if let trace_ir::Value::Int(i) = value {
+                    self.truthy.insert(d, *i != 0);
+                }
+            }
+            Instr::Binop { dst, op, lhs, rhs } if op.is_comparison() => {
+                let known = self.query_cmp(*op, lhs.0, rhs.0);
+                self.kill(dst.0);
+                if let Some(v) = known {
+                    self.truthy.insert(dst.0, v);
+                }
+            }
+            other => {
+                if let Some(dst) = other.dst() {
+                    self.kill(dst.0);
+                }
+            }
+        }
+    }
+
+    /// Applies the constraint of taking direction `dir` through a
+    /// conditional branch guarded by `cond`.
+    pub fn apply_edge(&mut self, cond: EdgeCond, dir: bool) {
+        match cond {
+            EdgeCond::Cmp { op, dst, lhs, rhs } => {
+                // The comparison wrote `dst`: any older fact mentioning it is
+                // stale. If it overwrote one of its own operands the relation
+                // no longer holds between live registers either.
+                self.kill(dst);
+                if dst != lhs && dst != rhs {
+                    self.gain_cmp(op, lhs, rhs, dir);
+                }
+                self.truthy.insert(dst, dir);
+            }
+            EdgeCond::Truthy { cond } => {
+                self.truthy.insert(cond, dir);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn int_masks_compose_and_imply() {
+        let mut f = Facts::new();
+        // r1 <= r2 and r1 >= r2  ⇒  r1 == r2.
+        f.gain_cmp(BinOp::Le, 1, 2, true);
+        f.gain_cmp(BinOp::Ge, 1, 2, true);
+        assert_eq!(f.query_cmp(BinOp::Eq, 1, 2), Some(true));
+        assert_eq!(f.query_cmp(BinOp::Ne, 2, 1), Some(false));
+        assert_eq!(f.query_cmp(BinOp::Lt, 1, 2), Some(false));
+    }
+
+    #[test]
+    fn int_complement_is_exact() {
+        let mut f = Facts::new();
+        // !(a < b) ⇒ a >= b for integers.
+        f.gain_cmp(BinOp::Lt, 3, 4, false);
+        assert_eq!(f.query_cmp(BinOp::Ge, 3, 4,), Some(true));
+        assert_eq!(f.query_cmp(BinOp::Le, 4, 3), Some(true));
+        assert_eq!(f.query_cmp(BinOp::Eq, 3, 4), None);
+    }
+
+    #[test]
+    fn float_facts_mirror_but_never_complement() {
+        let mut f = Facts::new();
+        f.gain_cmp(BinOp::FLt, 1, 2, true);
+        assert_eq!(f.query_cmp(BinOp::FLt, 1, 2), Some(true));
+        assert_eq!(f.query_cmp(BinOp::FGt, 2, 1), Some(true));
+        // NaN: FLt(a,b) = false would NOT imply FGe(a,b); and a true FLt
+        // does not let us answer a different operator.
+        assert_eq!(f.query_cmp(BinOp::FGe, 1, 2), None);
+        let mut g = Facts::new();
+        g.gain_cmp(BinOp::FLt, 1, 2, false);
+        assert_eq!(g.query_cmp(BinOp::FGe, 1, 2), None);
+        assert_eq!(g.query_cmp(BinOp::FLt, 1, 2), Some(false));
+    }
+
+    #[test]
+    fn writes_kill_facts() {
+        let mut f = Facts::new();
+        f.gain_cmp(BinOp::Lt, 1, 2, true);
+        f.step(&Instr::Const {
+            dst: trace_ir::Reg(2),
+            value: trace_ir::Value::Int(7),
+        });
+        assert_eq!(f.query_cmp(BinOp::Lt, 1, 2), None);
+        assert_eq!(f.query_truthy(2), Some(true));
+    }
+
+    #[test]
+    fn implied_recompare_seeds_truthiness() {
+        let mut f = Facts::new();
+        f.apply_edge(
+            EdgeCond::Cmp {
+                op: BinOp::Lt,
+                dst: 5,
+                lhs: 1,
+                rhs: 2,
+            },
+            true,
+        );
+        assert_eq!(f.query_truthy(5), Some(true));
+        // A later re-compare of the same pair is implied...
+        f.step(&Instr::Binop {
+            dst: trace_ir::Reg(6),
+            op: BinOp::Le,
+            lhs: trace_ir::Reg(1),
+            rhs: trace_ir::Reg(2),
+        });
+        assert_eq!(f.query_truthy(6), Some(true));
+    }
+}

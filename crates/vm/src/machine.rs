@@ -79,6 +79,10 @@ pub struct VmConfig {
     /// observably identical), but part of the harness run key so cached
     /// results record which engine produced them.
     pub backend: Backend,
+    /// Trace-formation configuration for [`Backend::Flat`] compilation.
+    /// Semantically irrelevant (trace selection never changes observable
+    /// behavior), but part of the harness run key.
+    pub trace: crate::TraceConfig,
 }
 
 impl Default for VmConfig {
@@ -89,6 +93,7 @@ impl Default for VmConfig {
             max_alloc: 1 << 26,
             record_branch_trace: false,
             backend: Backend::Reference,
+            trace: crate::TraceConfig::default(),
         }
     }
 }
@@ -217,8 +222,9 @@ impl<'p> Vm<'p> {
     }
 
     fn flat(&self) -> &crate::flat::FlatProgram {
-        self.flat
-            .get_or_init(|| crate::flat::FlatProgram::compile(self.program))
+        self.flat.get_or_init(|| {
+            crate::flat::FlatProgram::compile_with(self.program, None, self.config.trace)
+        })
     }
 
     /// Runs the program's entry function on `inputs`.
