@@ -13,6 +13,14 @@
 //! IFPROB` directive text; directive files need exactly one source so the
 //! branch keys can be resolved.
 //!
+//! Raw profiles may carry structural site fingerprints as `# fp br<id>
+//! <hex>` comment lines (legacy parsers skip them as comments). With
+//! fingerprints and exactly one source program, the profile is remapped
+//! onto the program by `mfstale` before site checking: counts recorded
+//! against an older program version salvage onto their surviving sites,
+//! and the skew is reported as `warning[profile-version-skew]` instead of
+//! a spray of `corrupt-profile` unknown-site errors.
+//!
 //! Exit status: 0 when clean, 1 when any finding is reported, 2 on usage
 //! or I/O errors.
 
@@ -37,7 +45,10 @@ options:
                       finding, named in the report
   --profile PATH      check a branch profile: raw `br<id> <executed>
                       <taken>` lines or `!MF! IFPROB` directive text
-                      (directives require exactly one source program)
+                      (directives require exactly one source program).
+                      Raw profiles with `# fp br<id> <hex>` fingerprint
+                      comments are version-skew remapped onto the source
+                      program first; skew is a warning, not corruption
   --backend NAME      also execute every linted program on the NAME VM
                       backend ('reference' or 'flat') and diff all
                       observables against the other backend; any
@@ -360,13 +371,63 @@ fn lint_profile(
 
     match mfcheck::parse_raw_profile(text) {
         Ok(entries) => {
-            check_entries_against(&origin, &entries, program.map(|l| &l.program), findings);
+            let old_fps = parse_fp_comments(text);
+            if let (Some(linted), false) = (program, old_fps.is_empty()) {
+                // Fingerprinted profile against a known program: remap
+                // across any version skew before site checking, so a
+                // profile recorded against an older program version is
+                // reported as skew, not corruption.
+                let new_fps = mfstale::site_fingerprints(&linted.program);
+                let remapped = mfstale::remap_counts(&entries, &old_fps, &new_fps);
+                let r = &remapped.report;
+                if !r.is_identity() {
+                    println!(
+                        "{origin}: warning[profile-version-skew]: profile predates \
+                         this program version: {} matched, {} salvaged by \
+                         fingerprint, {} orphaned (counts dropped), {} degraded \
+                         site{} fall back to the static tier",
+                        r.matched,
+                        r.salvaged,
+                        r.orphaned,
+                        r.degraded,
+                        if r.degraded == 1 { "" } else { "s" },
+                    );
+                    findings.warning("profile-version-skew");
+                }
+                check_entries_against(&origin, &remapped.counts, Some(&linted.program), findings);
+            } else {
+                check_entries_against(&origin, &entries, program.map(|l| &l.program), findings);
+            }
         }
         Err(e) => {
             println!("{origin}: error[bad-profile]: {e}");
             findings.error("bad-profile");
         }
     }
+}
+
+/// Extracts `# fp br<id> <hex>` fingerprint comment lines from raw
+/// profile text. Anything else — including malformed fingerprint
+/// comments — is an ordinary comment and is skipped, keeping the format
+/// fully backward compatible.
+fn parse_fp_comments(text: &str) -> BTreeMap<trace_ir::BranchId, u64> {
+    let mut out = BTreeMap::new();
+    for line in text.lines() {
+        let Some(rest) = line.trim().strip_prefix("# fp br") else {
+            continue;
+        };
+        let mut words = rest.split_whitespace();
+        let (Some(id), Some(fp), None) = (words.next(), words.next(), words.next()) else {
+            continue;
+        };
+        let Ok(id) = id.parse::<u32>() else { continue };
+        let fp = fp.strip_prefix("0x").unwrap_or(fp);
+        let Ok(fp) = u64::from_str_radix(fp, 16) else {
+            continue;
+        };
+        out.insert(trace_ir::BranchId(id), fp);
+    }
+    out
 }
 
 fn check_entries_against(
@@ -546,4 +607,75 @@ fn metrics_json(linted: &[Linted], findings: &Findings) -> String {
     }
     out.push_str("  ]\n}\n");
     out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fp_comments_parse_and_malformed_lines_stay_comments() {
+        let text = "\
+# ordinary comment
+# fp br0 0x1f
+# fp br3 2A
+br0 10 4
+# fp br1 not-hex
+# fp br2
+# fp brX 10
+# fp br4 10 extra
+";
+        let fps = parse_fp_comments(text);
+        assert_eq!(fps.len(), 2);
+        assert_eq!(fps[&trace_ir::BranchId(0)], 0x1f);
+        assert_eq!(fps[&trace_ir::BranchId(3)], 0x2a);
+    }
+
+    #[test]
+    fn fingerprinted_profile_remaps_across_a_deleted_function() {
+        // v1 has a dead function ahead of main; v2 deletes it, shifting
+        // every branch id. With fingerprints the counts salvage; without
+        // them the stale ids would be unknown-site corruption.
+        let v1 = "\
+fn dead(z: int) -> int {
+    if (z > 100) { emit(z); return 1; }
+    return 0;
+}
+fn main(n: int) {
+    for (var i: int = 0; i < n; i = i + 1) {
+        if (i < 3) { emit(i); } else { emit(0 - i); }
+    }
+}
+";
+        let v2 = "\
+fn main(n: int) {
+    for (var i: int = 0; i < n; i = i + 1) {
+        if (i < 3) { emit(i); } else { emit(0 - i); }
+    }
+}
+";
+        let p1 = mflang::compile(v1).expect("v1 compiles");
+        let p2 = mflang::compile(v2).expect("v2 compiles");
+        let fps1 = mfstale::site_fingerprints(&p1);
+        let mut text = String::new();
+        for (id, fp) in &fps1 {
+            text.push_str(&format!("# fp br{} {:x}\n", id.0, fp));
+        }
+        // Counts only for main's sites (the dead function never ran).
+        let loop_sites: Vec<_> = fps1.keys().filter(|id| id.0 >= 1).collect();
+        assert!(!loop_sites.is_empty());
+        for id in &loop_sites {
+            text.push_str(&format!("br{} 12 5\n", id.0));
+        }
+        let entries = mfcheck::parse_raw_profile(&text).expect("profile parses");
+        let old_fps = parse_fp_comments(&text);
+        let new_fps = mfstale::site_fingerprints(&p2);
+        let remapped = mfstale::remap_counts(&entries, &old_fps, &new_fps);
+        let r = &remapped.report;
+        assert!(!r.is_identity(), "deleting a function is skew: {r:?}");
+        assert_eq!(r.orphaned, 0, "every counted site survives: {r:?}");
+        assert_eq!(r.salvaged, loop_sites.len(), "{r:?}");
+        // The remapped counts must check clean against v2.
+        assert!(mfcheck::check_against_program(&p2, &remapped.counts).is_empty());
+    }
 }

@@ -22,7 +22,8 @@ use mfbench::{
     collect, combination_table, configure_harness, coverage_table, crossmode_table,
     distribution_table, dyn_table, dynamic_table, fig1_chart, fig2_chart, fig2_rows, fig3_chart,
     fig3_rows, harness, heuristic_rows, heuristic_table, inlining_table, percent_correct_table,
-    percent_taken_table, record_suite_svc, selects_table, table1, table2, table3, SuiteRuns,
+    percent_taken_table, record_suite_svc, selects_table, suite_skew, table1, table2, table3,
+    SuiteRuns, SuiteSkew,
 };
 use mffault::{FaultPlan, FaultVfs, RealVfs, RetryPolicy, Vfs};
 use mfharness::{DiskCache, HarnessOptions};
@@ -255,8 +256,8 @@ fn main() -> ExitCode {
             // Nothing ran, but --json-metrics still deserves a (zeroed)
             // report — and a failure exit if the path is unwritable or
             // the profile database could not be made persistent.
-            let db_failed = profile_db_summary(&options, store.as_ref());
-            let metrics = write_json_metrics(&options, None);
+            let db_failed = profile_db_summary(&options, store.as_ref(), None);
+            let metrics = write_json_metrics(&options, None, None);
             return if db_failed {
                 ExitCode::from(2)
             } else {
@@ -280,8 +281,11 @@ fn main() -> ExitCode {
         total,
         start.elapsed().as_secs_f64()
     );
-    if let Some(store) = store.as_ref() {
-        let (committed, in_memory) = record_suite_svc(store, &s)
+    // Assess how the prior generation's counts map onto the programs as
+    // compiled now — BEFORE this generation's runs are recorded on top.
+    let skew = store.as_ref().and_then(|db| assess_skew(db, &s));
+    if let Some(db) = store.as_ref() {
+        let (committed, in_memory) = record_suite_svc(&db.svc, &s)
             .expect("probabilistic fault plans never include crash points");
         eprintln!(
             "profile db: recorded {} runs ({committed} durable, {in_memory} in memory)",
@@ -291,11 +295,12 @@ fn main() -> ExitCode {
         // across repeat invocations — by default on every run, or only
         // once at least `--compact-every` batches piled up.
         let threshold = options.compact_every.unwrap_or(1);
-        let batches = store
+        let batches = db
+            .svc
             .total_batches()
             .expect("probabilistic fault plans never include crash points");
         if batches >= threshold {
-            store
+            db.svc
                 .compact()
                 .expect("probabilistic fault plans never include crash points");
         } else {
@@ -411,8 +416,8 @@ fn main() -> ExitCode {
             dir.display()
         );
     }
-    let db_failed = profile_db_summary(&options, store.as_ref());
-    let metrics = write_json_metrics(&options, Some(&s));
+    let db_failed = profile_db_summary(&options, store.as_ref(), skew.as_ref());
+    let metrics = write_json_metrics(&options, Some(&s), skew.as_ref());
     if db_failed {
         ExitCode::from(2)
     } else {
@@ -420,16 +425,24 @@ fn main() -> ExitCode {
     }
 }
 
+/// The opened `--profile-db` service plus a point-in-time snapshot of
+/// what it held *before* this invocation recorded anything — the prior
+/// generation the version-skew remap assesses reuse against.
+struct DbSession {
+    svc: ProfileService,
+    /// Per-dataset merged totals at open time. Empty on the very first
+    /// generation (a fresh database).
+    prior: mfprofsvc::MergedTotals,
+    /// Stored structural fingerprints at open time, per dataset label.
+    prior_fps: std::collections::BTreeMap<String, std::collections::BTreeMap<u32, u64>>,
+}
+
 /// Opens the `--profile-db` sharded service, with fault injection and
 /// retry budget matching the harness's own I/O discipline. `--shards`
 /// applies only when the database is created here; an existing manifest
 /// wins, and an old single-log database opens read-only and migrates on
 /// the first write.
-fn open_profile_db(
-    dir: &Path,
-    options: &Options,
-    harness_options: &HarnessOptions,
-) -> ProfileService {
+fn open_profile_db(dir: &Path, options: &Options, harness_options: &HarnessOptions) -> DbSession {
     let vfs: Arc<dyn Vfs> = match harness_options.fault_seed {
         Some(seed) => Arc::new(FaultVfs::new(
             Arc::new(RealVfs) as Arc<dyn Vfs>,
@@ -442,18 +455,53 @@ fn open_profile_db(
         retry: RetryPolicy::immediate(harness_options.io_retries.unwrap_or(2)),
         ..ServiceOptions::default()
     };
-    ProfileService::open(vfs, dir, svc_options)
-        .expect("probabilistic fault plans never include crash points")
+    let svc = ProfileService::open(vfs, dir, svc_options)
+        .expect("probabilistic fault plans never include crash points");
+    let prior = svc.merged_totals().unwrap_or_else(|e| {
+        eprintln!("repro: warning: reading prior profile totals failed: {e}");
+        Default::default()
+    });
+    let prior_fps = svc.merged_fingerprints_by_dataset().unwrap_or_else(|e| {
+        eprintln!("repro: warning: reading prior profile fingerprints failed: {e}");
+        Default::default()
+    });
+    DbSession {
+        svc,
+        prior,
+        prior_fps,
+    }
+}
+
+/// Assesses how the prior generation's counts carry over to the programs
+/// as compiled now. `None` when there is no prior data to assess (the
+/// first generation) or the prior records are corrupt (warned, never
+/// fatal — skew tolerance degrades, it does not fail the run).
+fn assess_skew(db: &DbSession, s: &SuiteRuns) -> Option<SuiteSkew> {
+    if db.prior.is_empty() {
+        return None;
+    }
+    match suite_skew(&db.prior, &db.prior_fps, s) {
+        Ok(skew) => Some(skew),
+        Err(e) => {
+            eprintln!("repro: warning: prior profile unusable for reuse ({e}); recording fresh");
+            None
+        }
+    }
 }
 
 /// Prints the profile-database section and surfaces its warnings. Returns
 /// true when the run must fail: the database could not be made (or kept)
 /// persistent and no fault injection was requested, so data the user
 /// asked to keep exists only in this process's memory.
-fn profile_db_summary(options: &Options, store: Option<&ProfileService>) -> bool {
-    let Some(store) = store else {
+fn profile_db_summary(
+    options: &Options,
+    store: Option<&DbSession>,
+    skew: Option<&SuiteSkew>,
+) -> bool {
+    let Some(db) = store else {
         return false;
     };
+    let store = &db.svc;
     section("Profile database");
     let svc = store.counters();
     let c = svc.store;
@@ -477,6 +525,44 @@ fn profile_db_summary(options: &Options, store: Option<&ProfileService>) -> bool
     println!("  compactions              {}", c.compactions);
     println!("  group commits            {}", svc.group_commits);
     println!("  records migrated         {}", svc.migrated_records);
+    println!("\nProfile reuse (version skew):");
+    if db.prior.is_empty() {
+        println!("  first generation (no prior runs)");
+    } else if let Some(skew) = skew {
+        println!("  prior datasets           {}", db.prior.len());
+        println!("  sites: {}", skew.total);
+        println!(
+            "  reuse                    {:.1}% of recorded sites{}",
+            skew.total.reuse_fraction() * 100.0,
+            if skew.is_identity() {
+                " (identity: program unchanged)"
+            } else {
+                ""
+            }
+        );
+        for w in &skew.workloads {
+            println!(
+                "    {:<12} {} [{} prior dataset{}]",
+                w.name,
+                w.report,
+                w.prior_datasets,
+                if w.prior_datasets == 1 { "" } else { "s" }
+            );
+            for &(id, taken, source) in &w.fallback {
+                println!(
+                    "      site {} -> static tier {:?} predicts {}",
+                    id.0,
+                    source,
+                    if taken { "taken" } else { "not taken" }
+                );
+            }
+        }
+    } else {
+        println!(
+            "  prior profile present ({} datasets); reuse is assessed when runs are collected",
+            db.prior.len()
+        );
+    }
     for w in store.warnings() {
         eprintln!("repro: warning: {w}");
     }
@@ -565,23 +651,78 @@ fn dyn_table_json(s: &SuiteRuns) -> String {
     )
 }
 
+/// The version-skew assessment as a JSON object: the suite-wide
+/// [`mfstale::SkewReport`] tallies plus per-workload rows. The key set —
+/// `first_generation`, `matched`, `salvaged`, `degraded`, `orphaned`,
+/// `unverified`, `reuse_fraction`, `workloads` — is the schema contract
+/// the chaos-smoke CI job checks.
+fn skew_json(skew: Option<&SuiteSkew>) -> String {
+    let Some(skew) = skew else {
+        return "{\n    \"first_generation\": true\n  }".to_string();
+    };
+    let t = &skew.total;
+    let workloads: Vec<String> = skew
+        .workloads
+        .iter()
+        .map(|w| {
+            format!(
+                "      {{\"name\": \"{}\", \"prior_datasets\": {}, \"matched\": {}, \
+                 \"salvaged\": {}, \"degraded\": {}, \"orphaned\": {}, \"unverified\": {}, \
+                 \"fallback_sites\": {}, \"op_count\": {}}}",
+                json_escape(&w.name),
+                w.prior_datasets,
+                w.report.matched,
+                w.report.salvaged,
+                w.report.degraded,
+                w.report.orphaned,
+                w.report.unverified,
+                w.fallback.len(),
+                w.op_count
+            )
+        })
+        .collect();
+    format!(
+        "{{\n    \"first_generation\": false,\n    \"matched\": {},\n    \"salvaged\": {},\n    \
+         \"degraded\": {},\n    \"orphaned\": {},\n    \"unverified\": {},\n    \
+         \"reuse_fraction\": {:.6},\n    \"workloads\": [\n{}\n    ]\n  }}",
+        t.matched,
+        t.salvaged,
+        t.degraded,
+        t.orphaned,
+        t.unverified,
+        t.reuse_fraction(),
+        workloads.join(",\n")
+    )
+}
+
 /// Writes the harness report to `--json-metrics` (when requested) and turns
 /// a write failure into a failing exit code. When the suite was collected,
-/// the heuristic table (mispredict rate per strategy) and the dynamic
-/// predictor headline are spliced in as additive `heuristic_table` and
-/// `dyn_table` keys.
-fn write_json_metrics(options: &Options, s: Option<&SuiteRuns>) -> ExitCode {
+/// the heuristic table (mispredict rate per strategy), the dynamic
+/// predictor headline, and — under `--profile-db` — the version-skew
+/// assessment are spliced in as additive `heuristic_table`, `dyn_table`,
+/// and `skew` keys.
+fn write_json_metrics(
+    options: &Options,
+    s: Option<&SuiteRuns>,
+    skew: Option<&SuiteSkew>,
+) -> ExitCode {
     if let Some(path) = &options.json_metrics {
         let report = harness().report();
         let mut body = report.to_json();
         if let Some(s) = s {
             let trimmed = body.trim_end().strip_suffix('}').map(str::to_string);
             if let Some(prefix) = trimmed {
+                let skew_part = if options.profile_db.is_some() {
+                    format!(",\n  \"skew\": {}", skew_json(skew))
+                } else {
+                    String::new()
+                };
                 body = format!(
-                    "{},\n  \"heuristic_table\": {},\n  \"dyn_table\": {}\n}}\n",
+                    "{},\n  \"heuristic_table\": {},\n  \"dyn_table\": {}{}\n}}\n",
                     prefix.trim_end(),
                     heuristic_table_json(s),
-                    dyn_table_json(s)
+                    dyn_table_json(s),
+                    skew_part
                 );
             }
         }

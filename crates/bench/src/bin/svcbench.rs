@@ -30,7 +30,7 @@
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 use std::sync::{Arc, Barrier, Mutex};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use mffault::{RealVfs, Vfs};
 use mfprofdb::{OpenOptions, ProfileStore};
@@ -53,6 +53,10 @@ options:
   --gate RATIO        exit 1 unless, at every measured scale with a
                       16-shard row, shards-16 ops/sec >= RATIO x the
                       single-log baseline
+  --probe-timeout S   watchdog for each post-crash recovery probe: if the
+                      reopen + first durable commit has not completed
+                      within S seconds the run fails with a structured
+                      error instead of hanging (default 120, min 1)
   -h, --help          this message
 
 exit status: 0 ok, 1 gate not met, 2 usage/IO error";
@@ -74,6 +78,7 @@ struct Options {
     root: PathBuf,
     out: PathBuf,
     gate: Option<f64>,
+    probe_timeout: Duration,
 }
 
 fn parse_scale(v: &str) -> Result<u64, String> {
@@ -101,6 +106,7 @@ fn parse_args(args: &[String]) -> Result<Option<Options>, String> {
         root: PathBuf::from("target/svcbench"),
         out: PathBuf::from("BENCH_profdb.json"),
         gate: None,
+        probe_timeout: Duration::from_secs(120),
     };
     let mut iter = args.iter();
     let value = |flag: &str, it: &mut std::slice::Iter<String>| -> Result<String, String> {
@@ -154,6 +160,13 @@ fn parse_args(args: &[String]) -> Result<Option<Options>, String> {
                     return Err("--gate requires a positive finite ratio".to_string());
                 }
                 options.gate = Some(ratio);
+            }
+            "--probe-timeout" => {
+                let v = value("--probe-timeout", &mut iter)?;
+                let secs: u64 = v.parse().ok().filter(|&n| n >= 1).ok_or_else(|| {
+                    format!("--probe-timeout expects a positive whole number of seconds, got '{v}'")
+                })?;
+                options.probe_timeout = Duration::from_secs(secs);
             }
             _ => return Err(format!("unknown argument '{arg}'")),
         }
@@ -327,6 +340,32 @@ fn warm_db(root: &Path, sites: u64, shards: u32) -> Result<(PathBuf, f64), Strin
 
 /// Measured phase for the sharded service: `writers` threads submit
 /// single-site records concurrently; then a simulated crash and a timed
+/// Runs `job` on its own thread and waits at most `timeout` for it. A
+/// recovery probe that deadlocks (lock protocol bug, lost group-commit
+/// wakeup) would otherwise hang the whole bench forever; the watchdog
+/// converts the hang into a structured failure. On timeout the worker
+/// thread is abandoned — the caller exits the process, which reaps it.
+fn with_watchdog<T: Send + 'static>(
+    timeout: Duration,
+    what: &str,
+    job: impl FnOnce() -> Result<T, String> + Send + 'static,
+) -> Result<T, String> {
+    let (tx, rx) = std::sync::mpsc::channel();
+    std::thread::Builder::new()
+        .name("recovery-probe".to_string())
+        .spawn(move || {
+            let _ = tx.send(job());
+        })
+        .map_err(|e| format!("spawn recovery probe: {e}"))?;
+    match rx.recv_timeout(timeout) {
+        Ok(result) => result,
+        Err(_) => Err(format!(
+            "{what} hung: no durable commit within {}s watchdog (--probe-timeout)",
+            timeout.as_secs()
+        )),
+    }
+}
+
 /// recovery (reopen + first durable group commit).
 fn bench_service(
     dir: &Path,
@@ -335,6 +374,7 @@ fn bench_service(
     writers: usize,
     ops_per_writer: u64,
     low_memory: bool,
+    probe_timeout: Duration,
 ) -> Result<(f64, Vec<f64>, f64), String> {
     let vfs: Arc<dyn Vfs> = Arc::new(RealVfs);
     let svc = Arc::new(
@@ -373,20 +413,24 @@ fn bench_service(
     drop(svc);
 
     // Crash: tear garbage onto every live segment, then time reopen to
-    // first durable commit — the service's recovery path end to end.
+    // first durable commit — the service's recovery path end to end,
+    // under the watchdog so a recovery deadlock fails instead of hanging.
     tear_segments(dir, 4096).map_err(|e| format!("tear: {e}"))?;
-    let t = Instant::now();
-    let svc = ProfileService::open(vfs, dir, svc_options(shards, low_memory))
-        .map_err(|e| format!("reopen: {e}"))?;
-    // One submission spread over enough sites to touch (and so repair)
-    // every shard with overwhelming probability.
-    let probe: BranchCounts = (0..1024u32).map(|i| (BranchId(i), 1u64, 0u64)).collect();
-    svc.submit("bench/recovery-probe", &probe)
-        .map_err(|e| format!("recovery probe: {e}"))?;
-    let recovery_ms = t.elapsed().as_secs_f64() * 1000.0;
-    if !svc.is_persistent() {
-        return Err("service degraded during recovery".to_string());
-    }
+    let dir = dir.to_path_buf();
+    let recovery_ms = with_watchdog(probe_timeout, "service recovery probe", move || {
+        let t = Instant::now();
+        let svc = ProfileService::open(vfs, &dir, svc_options(shards, low_memory))
+            .map_err(|e| format!("reopen: {e}"))?;
+        // One submission spread over enough sites to touch (and so
+        // repair) every shard with overwhelming probability.
+        let probe: BranchCounts = (0..1024u32).map(|i| (BranchId(i), 1u64, 0u64)).collect();
+        svc.submit("bench/recovery-probe", &probe)
+            .map_err(|e| format!("recovery probe: {e}"))?;
+        if !svc.is_persistent() {
+            return Err("service degraded during recovery".to_string());
+        }
+        Ok(t.elapsed().as_secs_f64() * 1000.0)
+    })?;
     Ok((wall_secs, latencies, recovery_ms))
 }
 
@@ -398,6 +442,7 @@ fn bench_single_log(
     sites: u64,
     writers: usize,
     ops_per_writer: u64,
+    probe_timeout: Duration,
 ) -> Result<(f64, Vec<f64>, f64), String> {
     let vfs: Arc<dyn Vfs> = Arc::new(RealVfs);
     let store = ProfileStore::open(Arc::clone(&vfs), dir, OpenOptions::default())
@@ -441,23 +486,32 @@ fn bench_single_log(
     drop(store);
 
     tear_segments(dir, 4096).map_err(|e| format!("tear: {e}"))?;
-    let t = Instant::now();
-    let mut store =
-        ProfileStore::open(vfs, dir, OpenOptions::default()).map_err(|e| format!("reopen: {e}"))?;
-    store
-        .append("bench/recovery-probe", &one_site(0))
-        .map_err(|e| format!("recovery probe: {e}"))?;
-    let recovery_ms = t.elapsed().as_secs_f64() * 1000.0;
-    if !store.is_persistent() {
-        return Err("baseline degraded during recovery".to_string());
-    }
+    let dir = dir.to_path_buf();
+    let recovery_ms = with_watchdog(probe_timeout, "single-log recovery probe", move || {
+        let t = Instant::now();
+        let mut store = ProfileStore::open(vfs, &dir, OpenOptions::default())
+            .map_err(|e| format!("reopen: {e}"))?;
+        store
+            .append("bench/recovery-probe", &one_site(0))
+            .map_err(|e| format!("recovery probe: {e}"))?;
+        if !store.is_persistent() {
+            return Err("baseline degraded during recovery".to_string());
+        }
+        Ok(t.elapsed().as_secs_f64() * 1000.0)
+    })?;
     Ok((wall_secs, latencies, recovery_ms))
 }
 
 fn run_config(options: &Options, sites: u64, shards: u32, low_memory: bool) -> Result<Row, String> {
     let (dir, warmup_ms) = warm_db(&options.root, sites, shards)?;
     let (wall_secs, mut latencies, recovery_ms) = if shards == 0 {
-        bench_single_log(&dir, sites, options.writers, options.ops)?
+        bench_single_log(
+            &dir,
+            sites,
+            options.writers,
+            options.ops,
+            options.probe_timeout,
+        )?
     } else {
         bench_service(
             &dir,
@@ -466,6 +520,7 @@ fn run_config(options: &Options, sites: u64, shards: u32, low_memory: bool) -> R
             options.writers,
             options.ops,
             low_memory,
+            options.probe_timeout,
         )?
     };
     latencies.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
@@ -621,4 +676,49 @@ fn main() -> ExitCode {
         }
     }
     ExitCode::SUCCESS
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn watchdog_passes_results_and_errors_through() {
+        let ok = with_watchdog(Duration::from_secs(5), "probe", || Ok(7u32));
+        assert_eq!(ok, Ok(7));
+        let err = with_watchdog(Duration::from_secs(5), "probe", || {
+            Err::<u32, _>("boom".to_string())
+        });
+        assert_eq!(err, Err("boom".to_string()));
+    }
+
+    #[test]
+    fn watchdog_converts_a_hang_into_a_structured_error() {
+        let hung = with_watchdog(Duration::from_millis(50), "service recovery probe", || {
+            std::thread::sleep(Duration::from_secs(2));
+            Ok(0u32)
+        });
+        let message = hung.expect_err("a hang must fail");
+        assert!(message.contains("service recovery probe hung"), "{message}");
+        assert!(message.contains("--probe-timeout"), "{message}");
+    }
+
+    #[test]
+    fn probe_timeout_flag_parses_and_validates() {
+        let args: Vec<String> = ["--probe-timeout", "7"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let options = parse_args(&args).expect("valid").expect("not help");
+        assert_eq!(options.probe_timeout, Duration::from_secs(7));
+        for bad in [
+            &["--probe-timeout", "0"][..],
+            &["--probe-timeout", "soon"][..],
+        ] {
+            let args: Vec<String> = bad.iter().map(|s| s.to_string()).collect();
+            assert!(parse_args(&args).is_err(), "{bad:?} must be rejected");
+        }
+        let default = parse_args(&[]).expect("valid").expect("not help");
+        assert_eq!(default.probe_timeout, Duration::from_secs(120));
+    }
 }

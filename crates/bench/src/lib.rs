@@ -18,6 +18,8 @@
 //! bit-identical to the serial reference path ([`collect_serial`]) at any
 //! worker count.
 
+pub mod chaos;
+
 use std::sync::atomic::{AtomicBool, AtomicU8, Ordering};
 use std::sync::{Arc, OnceLock};
 
@@ -312,19 +314,37 @@ pub fn collect() -> SuiteRuns {
     collect_with(harness())
 }
 
+/// Structural site fingerprints for one suite workload, recomputed from
+/// its bundled source (compilation is cheap next to the runs the counts
+/// came from). Empty for a name not in the suite.
+fn workload_fingerprints(name: &str) -> std::collections::BTreeMap<trace_ir::BranchId, u64> {
+    suite()
+        .into_iter()
+        .find(|w| w.name == name)
+        .map(|w| {
+            let program = w.compile().expect("bundled workload compiles");
+            mfstale::site_fingerprints(&program)
+        })
+        .unwrap_or_default()
+}
+
 /// Appends every collected run's branch counters to the profile database,
-/// one record per program × dataset labelled `program/dataset`. Returns
-/// `(committed, in_memory_only)` record counts; `Err` only on an injected
-/// crash point (never from a probabilistic fault plan).
+/// one record per program × dataset labelled `program/dataset`, each
+/// frame carrying the program's structural site fingerprints so a later
+/// `repro --profile-db` can reuse the counts across a program edit
+/// (see `mfstale`). Returns `(committed, in_memory_only)` record counts;
+/// `Err` only on an injected crash point (never from a probabilistic
+/// fault plan).
 pub fn record_suite(
     store: &mut mfprofdb::ProfileStore,
     s: &SuiteRuns,
 ) -> Result<(usize, usize), mfprofdb::DbError> {
     let (mut committed, mut degraded) = (0usize, 0usize);
     for w in &s.workloads {
+        let fps = workload_fingerprints(&w.name);
         for r in &w.runs {
             let label = format!("{}/{}", w.name, r.dataset);
-            match store.append(&label, &r.stats.branches)? {
+            match store.append_with_fps(&label, &r.stats.branches, &fps)? {
                 mfprofdb::Persistence::Committed => committed += 1,
                 mfprofdb::Persistence::Degraded => degraded += 1,
             }
@@ -334,18 +354,20 @@ pub fn record_suite(
 }
 
 /// [`record_suite`] against the sharded profile service: every run is
-/// enqueued, then one `flush` group-commits the whole suite — a single
-/// append+sync per touched shard instead of one per run. Returns
-/// `(committed, in_memory_only)` record counts; `Err` only on an
-/// injected crash point (never from a probabilistic fault plan).
+/// enqueued (fingerprints riding along), then one `flush` group-commits
+/// the whole suite — a single append+sync per touched shard instead of
+/// one per run. Returns `(committed, in_memory_only)` record counts;
+/// `Err` only on an injected crash point (never from a probabilistic
+/// fault plan).
 pub fn record_suite_svc(
     svc: &mfprofsvc::ProfileService,
     s: &SuiteRuns,
 ) -> Result<(usize, usize), mfprofsvc::DbError> {
     for w in &s.workloads {
+        let fps = workload_fingerprints(&w.name);
         for r in &w.runs {
             let label = format!("{}/{}", w.name, r.dataset);
-            svc.enqueue(&label, &r.stats.branches)?;
+            svc.enqueue_with_fps(&label, &r.stats.branches, &fps)?;
         }
     }
     let (mut committed, mut degraded) = (0usize, 0usize);
@@ -356,6 +378,149 @@ pub fn record_suite_svc(
         }
     }
     Ok((committed, degraded))
+}
+
+// --------------------------------------------------------------------
+// Profile reuse under version skew
+// --------------------------------------------------------------------
+
+/// One workload's profile-reuse assessment: how a prior database's
+/// accumulated counts mapped onto the program as it compiles *today*.
+#[derive(Clone, Debug)]
+pub struct WorkloadSkew {
+    /// Program name.
+    pub name: String,
+    /// Prior `program/dataset` records consumed.
+    pub prior_datasets: usize,
+    /// How every recorded site and every live site classified.
+    pub report: mfstale::SkewReport,
+    /// Live sites no prior record could feed, with their static-tier
+    /// fallback prediction (interval proof → ML model → BTFN).
+    pub fallback: Vec<(trace_ir::BranchId, bool, mfpredict::StaticTierSource)>,
+    /// Op count of the flat-backend compilation steered by the remapped
+    /// profile with the degraded sites held to BTFN
+    /// ([`trace_vm::FlatProgram::compile_with_confidence`]).
+    pub op_count: usize,
+}
+
+/// The whole suite's profile-reuse assessment against a prior database.
+#[derive(Clone, Debug, Default)]
+pub struct SuiteSkew {
+    /// Per-workload assessments, suite order, only workloads with prior
+    /// records.
+    pub workloads: Vec<WorkloadSkew>,
+    /// All per-workload reports folded together.
+    pub total: mfstale::SkewReport,
+}
+
+impl SuiteSkew {
+    /// True when every workload's remap was a pure identity — the program
+    /// has not changed since the counts were recorded.
+    pub fn is_identity(&self) -> bool {
+        self.total.is_identity()
+    }
+}
+
+/// Assesses how a prior profile database's counts carry over to the suite
+/// programs as they compile now — the read half of version-skew-tolerant
+/// reuse (`repro --profile-db` across a program edit).
+///
+/// `prior` and `prior_fps` come from
+/// [`mfprofsvc::ProfileService::merged_totals`] and
+/// [`mfprofsvc::ProfileService::merged_fingerprints_by_dataset`] *before*
+/// this generation's runs are recorded. Per workload, every prior
+/// `workload/dataset` record is remapped by structural fingerprint onto
+/// the freshly compiled program ([`ifprob::combine_skewed`]); sites no
+/// record could feed degrade to the static tier
+/// ([`mfpredict::static_tier`]) and are excluded from steering trace
+/// formation. Workloads with no prior records are skipped — that is the
+/// first-generation case, not an error.
+///
+/// # Errors
+///
+/// [`ifprob::CombineError::Corrupt`] if a prior record is internally
+/// inconsistent (`taken > executed`) — skew tolerance does not excuse
+/// corruption. Never [`ifprob::CombineError::SiteMismatch`].
+pub fn suite_skew(
+    prior: &mfprofsvc::MergedTotals,
+    prior_fps: &std::collections::BTreeMap<String, std::collections::BTreeMap<u32, u64>>,
+    s: &SuiteRuns,
+) -> Result<SuiteSkew, ifprob::CombineError> {
+    use trace_ir::BranchId;
+    use trace_vm::{confidence_digest, FlatProgram, TraceConfig};
+
+    let all = suite();
+    let mut out = SuiteSkew::default();
+    for w in &s.workloads {
+        let prefix = format!("{}/", w.name);
+        type DatasetRows<'a> = Vec<(&'a String, &'a Vec<(u32, u64, u64)>)>;
+        let datasets: DatasetRows = prior
+            .iter()
+            .filter(|(label, _)| label.starts_with(&prefix))
+            .collect();
+        if datasets.is_empty() {
+            continue;
+        }
+        let Some(workload) = all.iter().find(|x| x.name == w.name) else {
+            continue;
+        };
+        let program = workload.compile().expect("bundled workload compiles");
+        let new_fps = mfstale::site_fingerprints(&program);
+        // Stored fingerprints, unioned across the workload's datasets
+        // (they all describe the same program; later records win).
+        let mut old_fps: std::collections::BTreeMap<BranchId, u64> = Default::default();
+        for (label, _) in &datasets {
+            if let Some(fps) = prior_fps.get(*label) {
+                old_fps.extend(fps.iter().map(|(&id, &fp)| (BranchId(id), fp)));
+            }
+        }
+        // Validate each dataset before touching BranchCounts (whose
+        // accumulation API rejects `taken > executed` outright).
+        let mut profiles: Vec<trace_vm::BranchCounts> = Vec::with_capacity(datasets.len());
+        let mut summed: std::collections::BTreeMap<BranchId, (u64, u64)> = Default::default();
+        for (i, (_, rows)) in datasets.iter().enumerate() {
+            let entries: Vec<(BranchId, u64, u64)> = rows
+                .iter()
+                .map(|&(id, e, t)| (BranchId(id), e, t))
+                .collect();
+            let issues = mfcheck::check_entries(&entries);
+            if !issues.is_empty() {
+                return Err(ifprob::CombineError::Corrupt { dataset: i, issues });
+            }
+            for &(id, e, t) in &entries {
+                let slot = summed.entry(id).or_insert((0, 0));
+                slot.0 = slot.0.saturating_add(e);
+                slot.1 = slot.1.saturating_add(t);
+            }
+            profiles.push(entries.into_iter().collect());
+        }
+        let refs: Vec<&trace_vm::BranchCounts> = profiles.iter().collect();
+        let skewed = ifprob::combine_skewed(&refs, &old_fps, &new_fps, CombineRule::Scaled)?;
+        // The integer-count remap of the summed prior records steers trace
+        // formation; a site is in `skewed.degraded` exactly when the sum
+        // feeds it nothing, so the two views agree on the degraded set.
+        let summed_entries: Vec<(BranchId, u64, u64)> =
+            summed.into_iter().map(|(id, (e, t))| (id, e, t)).collect();
+        let remap = mfstale::remap_counts(&summed_entries, &old_fps, &new_fps);
+        debug_assert_eq!(remap.degraded, skewed.degraded);
+        let profile: trace_vm::BranchCounts = remap.counts.into_iter().collect();
+        let tcfg = TraceConfig {
+            confidence_digest: confidence_digest(&skewed.degraded),
+            ..TraceConfig::default()
+        };
+        let compiled =
+            FlatProgram::compile_with_confidence(&program, Some(&profile), &skewed.degraded, tcfg);
+        let fallback = mfpredict::static_tier(&program, &skewed.degraded);
+        out.total.merge(&skewed.report);
+        out.workloads.push(WorkloadSkew {
+            name: w.name.clone(),
+            prior_datasets: datasets.len(),
+            report: skewed.report,
+            fallback,
+            op_count: compiled.op_count(),
+        });
+    }
+    Ok(out)
 }
 
 /// [`collect`] through an explicit harness (tests use this to pin worker
@@ -1629,6 +1794,105 @@ mod tests {
                 }
             }
         }
+    }
+
+    fn mem_service() -> mfprofsvc::ProfileService {
+        let mem: Arc<dyn mffault::Vfs> = Arc::new(mffault::MemVfs::new());
+        mfprofsvc::ProfileService::open(
+            mem,
+            "profile-db",
+            mfprofsvc::ServiceOptions {
+                shards: 2,
+                ..Default::default()
+            },
+        )
+        .expect("in-memory service opens")
+    }
+
+    /// Recording a suite and immediately assessing reuse against the same
+    /// build is a pure identity: every recorded site matches by
+    /// fingerprint, nothing salvages, degrades, or orphans, and no site
+    /// needs the static fallback tier.
+    #[test]
+    fn suite_skew_is_identity_on_unedited_programs() {
+        let s = quick();
+        let svc = mem_service();
+        let (committed, degraded) = record_suite_svc(&svc, s).unwrap();
+        assert!(committed > 0, "quick subset records something");
+        assert_eq!(degraded, 0);
+        let prior = svc.merged_totals().unwrap();
+        let prior_fps = svc.merged_fingerprints_by_dataset().unwrap();
+        let skew = suite_skew(&prior, &prior_fps, s).unwrap();
+        assert_eq!(skew.workloads.len(), s.workloads.len());
+        assert!(skew.is_identity(), "{}", skew.total);
+        assert!((skew.total.reuse_fraction() - 1.0).abs() < 1e-12);
+        for w in &skew.workloads {
+            assert!(w.report.is_identity(), "{}: {}", w.name, w.report);
+            assert!(w.fallback.is_empty(), "{}", w.name);
+            assert!(w.op_count > 0, "{}", w.name);
+            assert!(w.prior_datasets > 0, "{}", w.name);
+        }
+    }
+
+    /// A database written by a fingerprint-free (legacy) writer still
+    /// remaps — by id, flagged unverified — and an empty database skips
+    /// every workload (the first-generation case).
+    #[test]
+    fn suite_skew_handles_legacy_and_empty_databases() {
+        let s = quick();
+        let svc = mem_service();
+        let empty = suite_skew(
+            &svc.merged_totals().unwrap(),
+            &svc.merged_fingerprints_by_dataset().unwrap(),
+            s,
+        )
+        .unwrap();
+        assert!(empty.workloads.is_empty());
+        assert!(empty.is_identity());
+
+        for w in &s.workloads {
+            for r in &w.runs {
+                svc.enqueue(&format!("{}/{}", w.name, r.dataset), &r.stats.branches)
+                    .unwrap();
+            }
+        }
+        svc.flush().unwrap();
+        let prior = svc.merged_totals().unwrap();
+        let prior_fps = svc.merged_fingerprints_by_dataset().unwrap();
+        assert!(prior_fps.is_empty(), "legacy writer stored no fingerprints");
+        let skew = suite_skew(&prior, &prior_fps, s).unwrap();
+        assert_eq!(skew.workloads.len(), s.workloads.len());
+        assert!(!skew.is_identity(), "unverified reuse is not identity");
+        assert_eq!(skew.total.unverified, skew.total.matched);
+        assert_eq!(skew.total.orphaned, 0);
+        // A legacy database stores no fingerprints, so sites that never
+        // executed in any dataset cannot be structurally verified: exactly
+        // those degrade to the static tier.
+        let mut never_executed = 0usize;
+        for w in &s.workloads {
+            let program = suite()
+                .into_iter()
+                .find(|x| x.name == w.name)
+                .unwrap()
+                .compile()
+                .unwrap();
+            let mut fed = std::collections::BTreeSet::new();
+            for r in &w.runs {
+                for (id, _, _) in r.stats.branches.iter() {
+                    fed.insert(id);
+                }
+            }
+            never_executed += mfstale::site_fingerprints(&program)
+                .keys()
+                .filter(|id| !fed.contains(id))
+                .count();
+        }
+        assert_eq!(skew.total.degraded, never_executed, "{}", skew.total);
+        let listed: usize = skew.workloads.iter().map(|w| w.fallback.len()).sum();
+        assert_eq!(
+            listed, never_executed,
+            "every degraded site gets a static fallback"
+        );
     }
 
     #[test]

@@ -174,6 +174,38 @@ fn repro_profile_db_to_a_writable_dir_exits_zero() {
 }
 
 #[test]
+fn repro_empty_profile_db_announces_first_generation() {
+    // Opening a fresh (or still-empty) database must say so explicitly —
+    // "no prior runs" is the expected first-generation state, not a
+    // silent absence of the reuse section, and never a failure.
+    let dir = temp_path("profdb-firstgen");
+    let _ = std::fs::remove_dir_all(&dir);
+    for _round in 0..2 {
+        // The --table2 fast path records nothing, so the database stays
+        // empty: both invocations are "first generation".
+        let out = repro(&[
+            "--table2",
+            "--no-cache",
+            "--profile-db",
+            dir.to_str().unwrap(),
+            "--shards",
+            "2",
+        ]);
+        assert_eq!(out.status.code(), Some(0), "stderr: {}", stderr(&out));
+        let stdout = String::from_utf8_lossy(&out.stdout).into_owned();
+        assert!(
+            stdout.contains("Profile reuse (version skew)"),
+            "reuse section missing: {stdout}"
+        );
+        assert!(
+            stdout.contains("first generation (no prior runs)"),
+            "first-generation line missing: {stdout}"
+        );
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn repro_unusable_profile_db_exits_two_unless_faults_were_requested() {
     // A file where the db directory should be: the store degrades to
     // in-memory accumulation. Without fault injection that loses data
@@ -450,4 +482,119 @@ fn vmbench_gate_min_is_a_per_workload_floor() {
     );
 
     let _ = std::fs::remove_file(out_path);
+}
+
+fn chaos(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_chaos"))
+        .args(args)
+        .output()
+        .expect("chaos runs")
+}
+
+#[test]
+fn chaos_exit_codes_span_the_contract() {
+    // 0: a tiny clean battery; the summary must account for its seeds.
+    let out = chaos(&["--seeds", "2", "--rounds", "2"]);
+    let text = String::from_utf8_lossy(&out.stdout).into_owned();
+    assert_eq!(out.status.code(), Some(0), "stderr: {}", stderr(&out));
+    assert!(text.contains("findings: 0"), "summary: {text}");
+
+    // 2: usage errors.
+    for args in [
+        &["--frobnicate"][..],
+        &["--seeds"][..],
+        &["--seeds", "0"][..],
+        &["--rounds", "none"][..],
+        &["--jobs", "0"][..],
+    ] {
+        let out = chaos(args);
+        assert_eq!(
+            out.status.code(),
+            Some(2),
+            "chaos {args:?}: {}",
+            stderr(&out)
+        );
+    }
+    assert_eq!(chaos(&["--help"]).status.code(), Some(0));
+}
+
+#[test]
+fn chaos_json_report_lands_on_disk() {
+    let out_path = temp_path("chaos.json");
+    let out = chaos(&[
+        "--seeds",
+        "2",
+        "--rounds",
+        "2",
+        "--out",
+        out_path.to_str().unwrap(),
+    ]);
+    assert_eq!(out.status.code(), Some(0), "stderr: {}", stderr(&out));
+    let body = std::fs::read_to_string(&out_path).expect("report written");
+    assert!(
+        body.contains("\"outcomes\"") && body.contains("\"findings\": 0"),
+        "report: {body}"
+    );
+    let _ = std::fs::remove_file(out_path);
+}
+
+#[test]
+fn mflint_warns_on_version_skewed_profiles() {
+    // A profile whose fingerprint comments prove it was recorded against
+    // an older program version: the site ids no longer line up, so the
+    // lint must warn profile-version-skew (exit 0 without
+    // --deny-warnings, exit 1 with).
+    let v1 = "fn dead(z: int) -> int {\n\
+              \x20 if (z > 100) { emit(z); return 1; }\n\
+              \x20 return 0;\n\
+              }\n\
+              fn main(n: int) {\n\
+              \x20 var t: int = 0;\n\
+              \x20 for (var i: int = 0; i < n; i = i + 1) {\n\
+              \x20   if (i < 3) { emit(i); t = t + 1; } else { emit(t); }\n\
+              \x20 }\n\
+              \x20 emit(t);\n\
+              }\n";
+    let v2 = v1.replace(
+        "fn dead(z: int) -> int {\n\
+         \x20 if (z > 100) { emit(z); return 1; }\n\
+         \x20 return 0;\n\
+         }\n",
+        "",
+    );
+    assert_ne!(v1, v2);
+
+    let p1 = mflang::compile(v1).expect("v1 compiles");
+    let fps1 = mfstale::site_fingerprints(&p1);
+    let mut profile = String::new();
+    for (id, fp) in &fps1 {
+        profile.push_str(&format!("# fp br{} {:x}\n", id.0, fp));
+    }
+    for id in fps1.keys() {
+        profile.push_str(&format!("br{} 12 5\n", id.0));
+    }
+
+    let src = temp_path("skew-src.mf");
+    let prof = temp_path("skew-prof.txt");
+    std::fs::write(&src, v2).unwrap();
+    std::fs::write(&prof, profile).unwrap();
+
+    let out = mflint(&[src.to_str().unwrap(), "--profile", prof.to_str().unwrap()]);
+    let text = String::from_utf8_lossy(&out.stdout).into_owned();
+    assert_eq!(out.status.code(), Some(0), "stderr: {}", stderr(&out));
+    assert!(
+        text.contains("profile-version-skew"),
+        "no skew warning: {text}"
+    );
+
+    let out = mflint(&[
+        src.to_str().unwrap(),
+        "--profile",
+        prof.to_str().unwrap(),
+        "--deny-warnings",
+    ]);
+    assert_eq!(out.status.code(), Some(1), "stderr: {}", stderr(&out));
+
+    let _ = std::fs::remove_file(src);
+    let _ = std::fs::remove_file(prof);
 }

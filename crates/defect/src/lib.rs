@@ -70,13 +70,19 @@ pub const KNOWN: &[&str] = &[
     // slot (control flow and the recorded trace stay correct — only the
     // flat-vs-reference aggregate-count differential sees it).
     "vm-trace-sidexit-counter-drift",
+    // mfstale: site fingerprints hash every comparison operator as Eq, so
+    // an edit that flips an operator (`<` to `<=`) leaves the fingerprint
+    // unchanged and the remap wrongly salvages the old counts onto the
+    // now-different branch instead of orphaning them.
+    "stale-fingerprint-ignores-operator",
 ];
 
 static ACTIVE_COUNT: AtomicUsize = AtomicUsize::new(0);
 
 // One flag per KNOWN entry, same order. `AtomicBool::new(false)` is not
 // const-cloneable, hence the explicit list sized by a compile-time check.
-static FLAGS: [AtomicBool; 14] = [
+static FLAGS: [AtomicBool; 15] = [
+    AtomicBool::new(false),
     AtomicBool::new(false),
     AtomicBool::new(false),
     AtomicBool::new(false),

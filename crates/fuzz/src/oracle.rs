@@ -45,6 +45,12 @@
 //!   golden predictor models must produce identical per-predictor
 //!   `(executed, mispredicted)` tallies; any divergence is predictor
 //!   state-update drift, never a legitimate behavioural difference.
+//! * **stale-remap** — the version-skew fingerprint scheme must notice a
+//!   changed predicate: flipping one comparison operator between two
+//!   otherwise identical program versions must change exactly that site's
+//!   fingerprint, orphan its old counts, and degrade the edited site to
+//!   the static tier — never silently salvage counts recorded for a
+//!   different predicate onto it.
 //! * **flat-diff** — running the unoptimized program on the *other* VM
 //!   backend (flat when the primary is reference, and vice versa) must be
 //!   observably identical: same output/result, same `RunStats` (branch and
@@ -800,6 +806,72 @@ pub fn check_profsvc_groupcommit(
     }
 }
 
+/// Version-skew salvage must never cross a predicate edit. Two fixture
+/// versions of one program differ in exactly one comparison operator
+/// (`i < 3` vs `i <= 3`) at a real branch site; the site fingerprints
+/// must differ at exactly that site, the old counts recorded for it must
+/// orphan, and the edited site must degrade to the static tier. A
+/// fingerprint scheme that ignores the operator (the seeded
+/// `stale-fingerprint-ignores-operator` defect) instead reports an
+/// identity remap and silently reuses counts that describe a different
+/// predicate.
+pub fn check_stale_remap(findings: &mut Vec<(&'static str, String)>) {
+    const V1: &str = "fn main(n: int) {\n\
+                      \x20 var t: int = 0;\n\
+                      \x20 for (var i: int = 0; i < n; i = i + 1) {\n\
+                      \x20   if (i < 3) { emit(i); t = t + 1; } else { emit(t); }\n\
+                      \x20 }\n\
+                      \x20 emit(t);\n\
+                      }\n";
+    let v2 = V1.replace("i < 3", "i <= 3");
+    let p1 = mflang::compile(V1).expect("stale-remap fixture v1 compiles");
+    let p2 = mflang::compile(&v2).expect("stale-remap fixture v2 compiles");
+    let fps1 = mfstale::site_fingerprints(&p1);
+    let fps2 = mfstale::site_fingerprints(&p2);
+
+    // The versions are structurally identical, so branch ids line up and
+    // exactly the edited site's fingerprint may differ.
+    let flipped: Vec<BranchId> = fps1
+        .iter()
+        .filter(|&(id, fp)| fps2.get(id) != Some(fp))
+        .map(|(&id, _)| id)
+        .collect();
+    if flipped.len() != 1 {
+        findings.push((
+            "stale-remap",
+            format!(
+                "flipping `<` to `<=` in one predicate must change exactly one of the {} \
+                 site fingerprints, but {} changed",
+                fps1.len(),
+                flipped.len()
+            ),
+        ));
+        return;
+    }
+
+    let entries: Vec<(BranchId, u64, u64)> = fps1.keys().map(|&id| (id, 12, 5)).collect();
+    let out = mfstale::remap_counts(&entries, &fps1, &fps2);
+    let r = &out.report;
+    if r.orphaned != 1 || out.degraded != flipped {
+        findings.push((
+            "stale-remap",
+            format!(
+                "counts recorded for the old `i < 3` predicate must orphan and the edited \
+                 site must degrade to the static tier: {r:?}, degraded {:?}, expected \
+                 degraded {flipped:?}",
+                out.degraded
+            ),
+        ));
+        return;
+    }
+    if out.counts.iter().any(|&(id, _, _)| id == flipped[0]) {
+        findings.push((
+            "stale-remap",
+            "stale counts were remapped onto the operator-edited site".to_string(),
+        ));
+    }
+}
+
 /// Runs the full oracle battery on one `.mf` source case.
 ///
 /// `case_hash` qualifies coverage edges; pass `collect_edges = false` for
@@ -935,6 +1007,7 @@ pub fn check_source(source: &str, input_sets: &[Vec<i64>], case_hash: u64) -> Or
     check_combine_convexity(&refs, &mut out.findings);
     check_profdb_roundtrip(&unopt_counts, &mut out.findings);
     check_profsvc_groupcommit(&unopt_counts, &mut out.findings);
+    check_stale_remap(&mut out.findings);
     out
 }
 

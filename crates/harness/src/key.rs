@@ -16,8 +16,10 @@ use trace_vm::{Input, VmConfig};
 /// entries from older layouts can never be mistaken for current ones.
 /// Version 2 added the VM backend to the fingerprint; version 3 added the
 /// observation tags (the dynamic-predictor zoo attached to a job);
-/// version 4 added the flat backend's trace-formation configuration.
-const KEY_FORMAT_VERSION: u64 = 4;
+/// version 4 added the flat backend's trace-formation configuration;
+/// version 5 added the trace config's low-confidence (version-skew
+/// degraded) site digest.
+const KEY_FORMAT_VERSION: u64 = 5;
 
 /// A 128-bit content fingerprint identifying one unit of run work.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -86,6 +88,10 @@ impl RunKey {
         // same no-hiding-behind-the-cache rule applies to the trace config.
         fp.write_u64(u64::from(config.trace.enabled));
         fp.write_u64(u64::from(config.trace.tail_dup_budget));
+        // A profile degraded by a version-skew remap compiles differently
+        // (degraded sites predict BTFN); the digest of that site set keys
+        // the compilation.
+        fp.write_u64(config.trace.confidence_digest);
         fp.write_u64(tags.len() as u64);
         for tag in tags {
             fp.write_str(tag);
@@ -227,9 +233,17 @@ mod tests {
             },
             ..VmConfig::default()
         };
+        let degraded = VmConfig {
+            trace: trace_vm::TraceConfig {
+                confidence_digest: trace_vm::confidence_digest(&[trace_ir::BranchId(0)]),
+                ..trace_vm::TraceConfig::default()
+            },
+            ..VmConfig::default()
+        };
         let k = RunKey::of(&program, &[Input::Int(1)], &base);
         assert_ne!(k, RunKey::of(&program, &[Input::Int(1)], &untraced));
         assert_ne!(k, RunKey::of(&program, &[Input::Int(1)], &bigger_budget));
+        assert_ne!(k, RunKey::of(&program, &[Input::Int(1)], &degraded));
     }
 
     #[test]

@@ -90,6 +90,67 @@ pub fn ml_directions(program: &Program) -> Vec<(BranchId, bool)> {
     model::Model::committed().predict_branches(&feats).collect()
 }
 
+/// Which engine produced a [`static_tier`] prediction.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StaticTierSource {
+    /// The interval interpreter proved the direction.
+    Proof,
+    /// The committed ML model scored the site.
+    Model,
+    /// Backward-taken/forward-not-taken — the floor of the tier.
+    Btfn,
+}
+
+/// Per-site static predictions for `sites` — the fallback tier for branch
+/// sites whose accumulated profile was *degraded* by a version-skew remap
+/// (see `mfstale`). Precedence per site: an interval **proof** wins
+/// outright; otherwise the committed **ML model** scores the site; a site
+/// the model has no opinion on (zero score — in particular under the
+/// all-zero fallback model) drops to **BTFN**. Sites that are not live
+/// branches of `program` are skipped; duplicates collapse. Results are
+/// sorted by site id.
+pub fn static_tier(
+    program: &Program,
+    sites: &[BranchId],
+) -> Vec<(BranchId, bool, StaticTierSource)> {
+    let proofs = analyze(program);
+    let feats = extract(program, &proofs);
+    let by_id: std::collections::BTreeMap<BranchId, &BranchFeatures> =
+        feats.iter().map(|f| (f.id, f)).collect();
+    let model = model::Model::committed();
+    let wanted: std::collections::BTreeSet<BranchId> = sites.iter().copied().collect();
+    let mut out = Vec::new();
+    for id in wanted {
+        let Some(f) = by_id.get(&id) else { continue };
+        let (taken, source) = match proofs.proof(id) {
+            Proof::AlwaysTaken => (true, StaticTierSource::Proof),
+            Proof::NeverTaken => (false, StaticTierSource::Proof),
+            Proof::Unknown => {
+                let score = model.score(&f.values);
+                if score != 0.0 {
+                    (score > 0.0, StaticTierSource::Model)
+                } else {
+                    // Feature 4 is "taken_backward_in_layout": exactly the
+                    // BTFN test.
+                    (f.values[4] == 1.0, StaticTierSource::Btfn)
+                }
+            }
+        };
+        out.push((id, taken, source));
+    }
+    out
+}
+
+/// [`static_tier`] as synthetic counters (via [`pseudo_profile`]), ready
+/// to splice into a combined profile for the degraded sites.
+pub fn static_tier_profile(program: &Program, sites: &[BranchId]) -> Vec<(BranchId, u64, u64)> {
+    pseudo_profile(
+        static_tier(program, sites)
+            .into_iter()
+            .map(|(id, taken, _)| (id, taken)),
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -239,6 +300,46 @@ mod tests {
             assert!(!EVAL_WORKLOADS.contains(&t), "{t} in both halves");
         }
         assert_eq!(TRAIN_WORKLOADS.len() + EVAL_WORKLOADS.len(), 15);
+    }
+
+    #[test]
+    fn static_tier_precedence_and_coverage() {
+        let program = compile(
+            "fn main(n: int) -> int {\n\
+             var i: int = 0;\n\
+             var acc: int = 0;\n\
+             while (i < 10) {\n\
+             if (i < 100) { acc = acc + n; }\n\
+             i = i + 1;\n\
+             }\n\
+             return acc;\n\
+             }",
+        );
+        let live: Vec<BranchId> = program.live_branches().keys().copied().collect();
+        assert!(live.len() >= 2);
+        let preds = static_tier(&program, &live);
+        assert_eq!(preds.len(), live.len(), "every live site predicted");
+        assert!(preds.windows(2).all(|w| w[0].0 < w[1].0), "sorted");
+        // The provable interior guard must come from the proof tier and
+        // predict taken; no site uses BTFN while the committed model has
+        // real weights.
+        assert!(preds
+            .iter()
+            .any(|&(_, taken, src)| src == StaticTierSource::Proof && taken));
+        // Dead ids are skipped, duplicates collapse.
+        let mut with_junk = live.clone();
+        with_junk.push(BranchId(9999));
+        with_junk.push(live[0]);
+        assert_eq!(static_tier(&program, &with_junk), preds);
+        // The profile bridge yields pure-direction counters for the same
+        // sites.
+        let profile = static_tier_profile(&program, &live);
+        assert_eq!(profile.len(), preds.len());
+        for ((id, taken, _), &(pid, e, t)) in preds.iter().zip(&profile) {
+            assert_eq!(id, &pid);
+            assert_eq!(e, 2);
+            assert_eq!(t, if *taken { 2 } else { 0 });
+        }
     }
 
     #[test]

@@ -10,9 +10,18 @@
 //! frame   = payload_len:u32 payload fnv64(payload):u64
 //! payload = kind:u8(=1) record                        (single run)
 //!         | kind:u8(=2) n:u32 record * n              (batch)
+//!         | kind:u8(=3) record_v2                     (single run + fps)
+//!         | kind:u8(=4) n:u32 record_v2 * n           (batch + fps)
 //! record  = name_len:u32 name:bytes
 //!           n:u32 { branch_id:u32 executed:u64 taken:u64 } * n
+//! record_v2 = record f:u32 { branch_id:u32 fingerprint:u64 } * f
 //! ```
+//!
+//! The v2 kinds (3/4) extend each record with the structural site
+//! fingerprints (`mfstale`) of the branches it profiled, enabling
+//! version-skew-tolerant reuse. Records without fingerprints keep
+//! encoding as the v1 kinds byte-for-byte, and v1 frames stay readable
+//! forever (they decode with an empty fingerprint list).
 //!
 //! All integers little-endian. `generation` orders segments;
 //! `folds_through` marks a compacted segment as superseding every
@@ -41,6 +50,8 @@ pub const HEADER_LEN: usize = 37;
 pub const MAX_PAYLOAD: u32 = 16 << 20;
 const KIND_RUN: u8 = 1;
 const KIND_BATCH: u8 = 2;
+const KIND_RUN_V2: u8 = 3;
+const KIND_BATCH_V2: u8 = 4;
 
 /// 64-bit FNV-1a — same checksum the harness cache uses.
 pub fn fnv64(bytes: &[u8]) -> u64 {
@@ -56,12 +67,17 @@ pub fn fnv64(bytes: &[u8]) -> u64 {
 /// `(branch, executed, taken)` entries. Kept raw (not `BranchCounts`) so
 /// reading a corrupted-but-accepted frame can never trip a counter
 /// invariant — semantic judgment belongs to the consumer.
-#[derive(Clone, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct ProfileRecord {
     /// Dataset the counts belong to.
     pub dataset: String,
     /// `(branch id, executed, taken)` in id order.
     pub entries: Vec<(u32, u64, u64)>,
+    /// `(branch id, structural fingerprint)` in id order — the `mfstale`
+    /// site fingerprints of the program the counts were gathered on.
+    /// Empty for legacy records (and for writers that do not fingerprint);
+    /// such records encode as v1 frames byte-for-byte.
+    pub fps: Vec<(u32, u64)>,
 }
 
 /// A decoded segment header.
@@ -111,9 +127,11 @@ pub fn decode_header(bytes: &[u8]) -> Option<SegmentHeader> {
 }
 
 /// Encoded size of one record body, for pre-sizing and for chunking
-/// batches below [`MAX_PAYLOAD`].
+/// batches below [`MAX_PAYLOAD`]. Slightly overestimates fingerprint-free
+/// records (they omit the v2 fingerprint count), which keeps chunking
+/// safe regardless of which frame kind a mixed batch ends up using.
 pub fn record_body_len(record: &ProfileRecord) -> usize {
-    8 + record.dataset.len() + record.entries.len() * 20
+    12 + record.dataset.len() + record.entries.len() * 20 + record.fps.len() * 12
 }
 
 fn encode_record_body(record: &ProfileRecord, out: &mut Vec<u8>) {
@@ -127,6 +145,15 @@ fn encode_record_body(record: &ProfileRecord, out: &mut Vec<u8>) {
     }
 }
 
+fn encode_record_body_v2(record: &ProfileRecord, out: &mut Vec<u8>) {
+    encode_record_body(record, out);
+    out.extend_from_slice(&(record.fps.len() as u32).to_le_bytes());
+    for &(id, fp) in &record.fps {
+        out.extend_from_slice(&id.to_le_bytes());
+        out.extend_from_slice(&fp.to_le_bytes());
+    }
+}
+
 fn seal_frame(payload: Vec<u8>) -> Vec<u8> {
     let mut frame = Vec::with_capacity(12 + payload.len());
     frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
@@ -136,11 +163,18 @@ fn seal_frame(payload: Vec<u8>) -> Vec<u8> {
     frame
 }
 
-/// Encodes one record as a single-run frame.
+/// Encodes one record as a single-run frame. Fingerprint-free records
+/// produce v1 frames byte-for-byte; records carrying fingerprints produce
+/// v2 frames.
 pub fn encode_frame(record: &ProfileRecord) -> Vec<u8> {
     let mut payload = Vec::with_capacity(1 + record_body_len(record));
-    payload.push(KIND_RUN);
-    encode_record_body(record, &mut payload);
+    if record.fps.is_empty() {
+        payload.push(KIND_RUN);
+        encode_record_body(record, &mut payload);
+    } else {
+        payload.push(KIND_RUN_V2);
+        encode_record_body_v2(record, &mut payload);
+    }
     seal_frame(payload)
 }
 
@@ -151,10 +185,18 @@ pub fn encode_frame(record: &ProfileRecord) -> Vec<u8> {
 pub fn encode_batch_frame(records: &[ProfileRecord]) -> Vec<u8> {
     let body: usize = records.iter().map(record_body_len).sum();
     let mut payload = Vec::with_capacity(5 + body);
-    payload.push(KIND_BATCH);
+    // A batch is v2 as soon as ANY member carries fingerprints (members
+    // without them encode a zero fingerprint count); an all-legacy batch
+    // stays a v1 frame byte-for-byte.
+    let v2 = records.iter().any(|r| !r.fps.is_empty());
+    payload.push(if v2 { KIND_BATCH_V2 } else { KIND_BATCH });
     payload.extend_from_slice(&(records.len() as u32).to_le_bytes());
     for r in records {
-        encode_record_body(r, &mut payload);
+        if v2 {
+            encode_record_body_v2(r, &mut payload);
+        } else {
+            encode_record_body(r, &mut payload);
+        }
     }
     seal_frame(payload)
 }
@@ -177,7 +219,7 @@ fn take<'a>(payload: &'a [u8], pos: &mut usize, n: usize) -> Option<&'a [u8]> {
     Some(s)
 }
 
-fn decode_record_body(payload: &[u8], pos: &mut usize) -> Option<ProfileRecord> {
+fn decode_record_body(payload: &[u8], pos: &mut usize, v2: bool) -> Option<ProfileRecord> {
     let name_len = u32::from_le_bytes(take(payload, pos, 4)?.try_into().ok()?) as usize;
     let dataset = String::from_utf8(take(payload, pos, name_len)?.to_vec()).ok()?;
     let n = u32::from_le_bytes(take(payload, pos, 4)?.try_into().ok()?) as usize;
@@ -188,7 +230,21 @@ fn decode_record_body(payload: &[u8], pos: &mut usize) -> Option<ProfileRecord> 
         let taken = u64::from_le_bytes(take(payload, pos, 8)?.try_into().ok()?);
         entries.push((id, executed, taken));
     }
-    Some(ProfileRecord { dataset, entries })
+    let mut fps = Vec::new();
+    if v2 {
+        let f = u32::from_le_bytes(take(payload, pos, 4)?.try_into().ok()?) as usize;
+        fps.reserve(f.min(1 << 16));
+        for _ in 0..f {
+            let id = u32::from_le_bytes(take(payload, pos, 4)?.try_into().ok()?);
+            let fp = u64::from_le_bytes(take(payload, pos, 8)?.try_into().ok()?);
+            fps.push((id, fp));
+        }
+    }
+    Some(ProfileRecord {
+        dataset,
+        entries,
+        fps,
+    })
 }
 
 /// A frame payload decodes to the batch of records it committed
@@ -196,12 +252,18 @@ fn decode_record_body(payload: &[u8], pos: &mut usize) -> Option<ProfileRecord> 
 fn decode_payload(payload: &[u8]) -> Option<Vec<ProfileRecord>> {
     let mut pos = 0usize;
     let records = match take(payload, &mut pos, 1)?[0] {
-        KIND_RUN => vec![decode_record_body(payload, &mut pos)?],
-        KIND_BATCH => {
+        kind @ (KIND_RUN | KIND_RUN_V2) => {
+            vec![decode_record_body(payload, &mut pos, kind == KIND_RUN_V2)?]
+        }
+        kind @ (KIND_BATCH | KIND_BATCH_V2) => {
             let n = u32::from_le_bytes(take(payload, &mut pos, 4)?.try_into().ok()?) as usize;
             let mut records = Vec::with_capacity(n.min(1 << 16));
             for _ in 0..n {
-                records.push(decode_record_body(payload, &mut pos)?);
+                records.push(decode_record_body(
+                    payload,
+                    &mut pos,
+                    kind == KIND_BATCH_V2,
+                )?);
             }
             records
         }
@@ -262,6 +324,64 @@ mod tests {
         ProfileRecord {
             dataset: "train".into(),
             entries: vec![(0, 100, 40), (7, 5, 5), (9, 1, 0)],
+            ..Default::default()
+        }
+    }
+
+    fn sample_v2() -> ProfileRecord {
+        ProfileRecord {
+            dataset: "train".into(),
+            entries: vec![(0, 100, 40), (7, 5, 5), (9, 1, 0)],
+            fps: vec![(0, 0xDEAD_BEEF), (7, 42), (9, u64::MAX)],
+        }
+    }
+
+    #[test]
+    fn fingerprinted_frames_roundtrip() {
+        let records = vec![sample_v2(), sample(), sample_v2()];
+        let mut body = Vec::new();
+        for r in &records {
+            body.extend_from_slice(&encode_frame(r));
+        }
+        let (got, valid) = walk_frames(&body);
+        assert_eq!(got, records);
+        assert_eq!(valid, body.len());
+    }
+
+    #[test]
+    fn fingerprint_free_records_encode_as_legacy_frames() {
+        // The compatibility contract: a writer that never fingerprints
+        // produces bytes indistinguishable from the pre-v2 codec, so old
+        // readers (and old databases) are unaffected.
+        let frame = encode_frame(&sample());
+        assert_eq!(frame[4], KIND_RUN, "kind byte must stay v1");
+        let batch = encode_batch_frame(&[sample(), sample()]);
+        assert_eq!(batch[4], KIND_BATCH, "batch kind byte must stay v1");
+        let v2 = encode_frame(&sample_v2());
+        assert_eq!(v2[4], KIND_RUN_V2);
+    }
+
+    #[test]
+    fn mixed_batch_promotes_to_v2_and_roundtrips() {
+        let records = vec![sample(), sample_v2(), sample()];
+        let frame = encode_batch_frame(&records);
+        assert_eq!(frame[4], KIND_BATCH_V2);
+        let (got, valid) = walk_frames(&frame);
+        assert_eq!(got, records);
+        assert_eq!(valid, frame.len());
+    }
+
+    #[test]
+    fn damaged_v2_frame_is_rejected() {
+        let good = encode_frame(&sample());
+        let mut body = good.clone();
+        body.extend_from_slice(&encode_frame(&sample_v2()));
+        for i in good.len()..body.len() {
+            let mut bad = body.clone();
+            bad[i] ^= 0x41;
+            let (got, valid) = walk_frames(&bad);
+            assert_eq!(got, vec![sample()], "byte {i}");
+            assert_eq!(valid, good.len(), "byte {i}");
         }
     }
 
@@ -292,6 +412,7 @@ mod tests {
             ProfileRecord {
                 dataset: "ref".into(),
                 entries: vec![],
+                ..Default::default()
             },
         ];
         let mut body = Vec::new();
@@ -309,6 +430,7 @@ mod tests {
             .map(|i| ProfileRecord {
                 dataset: format!("ds{i}"),
                 entries: vec![(i, 10 + u64::from(i), 3)],
+                ..Default::default()
             })
             .collect();
         let frames: Vec<Vec<u8>> = records.iter().map(encode_frame).collect();
@@ -342,6 +464,7 @@ mod tests {
             .map(|i| ProfileRecord {
                 dataset: format!("ds{i}"),
                 entries: vec![(i, 100, 40)],
+                ..Default::default()
             })
             .collect();
         let frames: Vec<Vec<u8>> = records.iter().map(encode_frame).collect();
@@ -372,6 +495,7 @@ mod tests {
             .map(|i| ProfileRecord {
                 dataset: format!("b{i}"),
                 entries: vec![(i, 2 * u64::from(i) + 1, u64::from(i))],
+                ..Default::default()
             })
             .collect();
         let mut body = encode_frame(&sample());
@@ -399,6 +523,7 @@ mod tests {
             .map(|i| ProfileRecord {
                 dataset: format!("b{i}"),
                 entries: vec![(i, 10, 5)],
+                ..Default::default()
             })
             .collect();
         let first = encode_frame(&sample());

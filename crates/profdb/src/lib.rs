@@ -156,6 +156,10 @@ pub struct ProfileStore {
     locked: bool,
     records: Vec<ProfileRecord>,
     fold: RawFold,
+    /// Program-wide structural fingerprints folded across every record
+    /// that carried them (last writer wins per branch id). Fingerprints
+    /// describe the *program*, not a dataset, so one map serves all.
+    fps: BTreeMap<u32, u64>,
     warnings: Vec<String>,
     counters: StoreCounters,
 }
@@ -187,6 +191,7 @@ impl ProfileStore {
             locked: false,
             records: Vec::new(),
             fold: RawFold::new(),
+            fps: BTreeMap::new(),
             warnings: Vec::new(),
             counters: StoreCounters::default(),
         };
@@ -274,6 +279,13 @@ impl ProfileStore {
             .collect()
     }
 
+    /// Structural site fingerprints folded across every record that
+    /// carried them, keyed by branch id. Empty for a database written
+    /// entirely by legacy (fingerprint-free) writers.
+    pub fn fingerprints(&self) -> &BTreeMap<u32, u64> {
+        &self.fps
+    }
+
     /// The accumulated database as the in-memory [`ifprob::ProfileDb`]
     /// every downstream predictor consumes.
     pub fn snapshot(&self) -> ifprob::ProfileDb {
@@ -293,9 +305,22 @@ impl ProfileStore {
     /// Appends one run's counters under `dataset`. Returns where the
     /// record landed; `Err` only on an injected crash.
     pub fn append(&mut self, dataset: &str, counts: &BranchCounts) -> Result<Persistence, DbError> {
+        self.append_with_fps(dataset, counts, &BTreeMap::new())
+    }
+
+    /// [`ProfileStore::append`] carrying the structural site fingerprints
+    /// of the program the counts were gathered on. Fingerprinted records
+    /// write v2 frames; an empty map writes a legacy frame byte-for-byte.
+    pub fn append_with_fps(
+        &mut self,
+        dataset: &str,
+        counts: &BranchCounts,
+        fps: &BTreeMap<BranchId, u64>,
+    ) -> Result<Persistence, DbError> {
         let record = ProfileRecord {
             dataset: dataset.to_string(),
             entries: counts.iter().map(|(id, e, t)| (id.0, e, t)).collect(),
+            fps: fps.iter().map(|(&id, &fp)| (id.0, fp)).collect(),
         };
         let persistence = self.persist_record(&record)?;
         self.ingest(record);
@@ -364,6 +389,12 @@ impl ProfileStore {
             .map(|(ds, m)| ProfileRecord {
                 dataset: ds.clone(),
                 entries: m.iter().map(|(&id, &(e, t))| (id, e, t)).collect(),
+                // Fingerprints survive compaction: each folded record
+                // carries the folded fingerprint of every site it counts.
+                fps: m
+                    .keys()
+                    .filter_map(|id| self.fps.get(id).map(|&fp| (*id, fp)))
+                    .collect(),
             })
             .collect();
         let mut buf = Vec::new();
@@ -466,6 +497,9 @@ impl ProfileStore {
             let slot = per_dataset.entry(id).or_insert((0, 0));
             slot.0 = slot.0.saturating_add(e);
             slot.1 = slot.1.saturating_add(t);
+        }
+        for &(id, fp) in &record.fps {
+            self.fps.insert(id, fp); // log order ⇒ last writer wins
         }
         self.records.push(record);
     }
@@ -799,6 +833,39 @@ mod tests {
         expected.record("train", &counts(&[(0, 5, 1)]));
         expected.record("ref", &counts(&[(1, 7, 0)]));
         assert_eq!(store.snapshot(), expected);
+    }
+
+    #[test]
+    fn fingerprints_survive_reopen_and_compaction() {
+        let mem: Arc<dyn Vfs> = Arc::new(MemVfs::new());
+        let fps: BTreeMap<BranchId, u64> = [(BranchId(0), 111), (BranchId(2), 222)]
+            .into_iter()
+            .collect();
+        {
+            let mut store = ProfileStore::open(Arc::clone(&mem), DIR, steal_opts()).unwrap();
+            // Legacy append first: a fingerprint-free record coexists.
+            store.append("train", &counts(&[(0, 10, 4)])).unwrap();
+            store
+                .append_with_fps("train", &counts(&[(0, 5, 1), (2, 6, 6)]), &fps)
+                .unwrap();
+        }
+        let mut store = ProfileStore::open(Arc::clone(&mem), DIR, steal_opts()).unwrap();
+        assert_eq!(
+            store
+                .fingerprints()
+                .iter()
+                .map(|(&i, &f)| (i, f))
+                .collect::<Vec<_>>(),
+            vec![(0, 111), (2, 222)]
+        );
+        let before = store.raw_totals();
+        store.compact().unwrap();
+        assert_eq!(store.raw_totals(), before);
+        drop(store);
+        let reopened = ProfileStore::open(mem, DIR, steal_opts()).unwrap();
+        assert_eq!(reopened.raw_totals(), before);
+        assert_eq!(reopened.fingerprints().get(&0), Some(&111));
+        assert_eq!(reopened.fingerprints().get(&2), Some(&222));
     }
 
     #[test]

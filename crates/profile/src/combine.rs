@@ -205,6 +205,89 @@ fn entries_ids(entries: &[(BranchId, u64, u64)]) -> Vec<BranchId> {
     entries.iter().map(|&(id, _, _)| id).collect()
 }
 
+/// The result of a version-skew-tolerant combine: the merged predictor plus
+/// a full accounting of how every recorded site mapped onto the current
+/// program.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SkewedCombine {
+    /// The combined predictor, keyed by the *current* program's branch ids.
+    pub counts: WeightedCounts,
+    /// Whole-database classification: per-dataset [`mfstale::SkewReport`]s
+    /// folded together, with `degraded` set to the number of live sites no
+    /// dataset could feed (not the per-dataset sum).
+    pub report: mfstale::SkewReport,
+    /// Live sites of the current program that received no counts from any
+    /// dataset *and* have no structural ancestor in the recorded program,
+    /// sorted — callers degrade these to the static prediction tier
+    /// (interval proofs → ML model → BTFN). A never-executed site both
+    /// program versions share is not listed: the profile is silent about
+    /// it either way.
+    pub degraded: Vec<BranchId>,
+}
+
+/// [`combine_checked`]'s version-skew-tolerant sibling: instead of
+/// rejecting datasets whose branch-site set disagrees (the program was
+/// edited between accumulation and reuse), each dataset is remapped onto
+/// the current program's fingerprint set via [`mfstale::remap_counts`]
+/// before combining.
+///
+/// `old_fps` holds the fingerprints stored alongside the database (empty
+/// for a pure-legacy database: every site remaps by id, flagged
+/// `unverified`); `new_fps` comes from
+/// [`mfstale::site_fingerprints`] of the program about to run. Sites no
+/// dataset could feed are returned in `degraded` so the caller can fall
+/// back per-site instead of failing whole.
+///
+/// # Errors
+///
+/// Returns [`CombineError::Corrupt`] for internally inconsistent datasets
+/// — skew tolerance does not excuse `taken > executed`. Never returns
+/// [`CombineError::SiteMismatch`].
+pub fn combine_skewed(
+    profiles: &[&BranchCounts],
+    old_fps: &BTreeMap<BranchId, mfstale::SiteFp>,
+    new_fps: &BTreeMap<BranchId, mfstale::SiteFp>,
+    rule: CombineRule,
+) -> Result<SkewedCombine, CombineError> {
+    let mut report = mfstale::SkewReport::default();
+    let mut remapped: Vec<BranchCounts> = Vec::with_capacity(profiles.len());
+    for (i, p) in profiles.iter().enumerate() {
+        let entries: Vec<(BranchId, u64, u64)> = p.iter().collect();
+        let issues = mfcheck::check_entries(&entries);
+        if !issues.is_empty() {
+            return Err(CombineError::Corrupt { dataset: i, issues });
+        }
+        let out = mfstale::remap_counts(&entries, old_fps, new_fps);
+        report.merge(&out.report);
+        remapped.push(out.counts.into_iter().collect());
+    }
+    let refs: Vec<&BranchCounts> = remapped.iter().collect();
+    let counts = combine(&refs, rule);
+    // A site is degraded only if *no* dataset fed it (the per-dataset sum
+    // folded above would count a site once per dataset that missed it)
+    // and the old program had no structurally identical site either — a
+    // never-executed site both versions share is silence, not skew.
+    // Remapping the element-wise sum of every dataset yields exactly that
+    // set, with mfstale's zero-count structural matching applied once.
+    let mut summed: BTreeMap<BranchId, (u64, u64)> = BTreeMap::new();
+    for p in profiles {
+        for (id, e, t) in p.iter() {
+            let slot = summed.entry(id).or_insert((0, 0));
+            slot.0 = slot.0.saturating_add(e);
+            slot.1 = slot.1.saturating_add(t);
+        }
+    }
+    let summed_entries: Vec<(BranchId, u64, u64)> =
+        summed.into_iter().map(|(id, (e, t))| (id, e, t)).collect();
+    let degraded = mfstale::remap_counts(&summed_entries, old_fps, new_fps).degraded;
+    report.degraded = degraded.len();
+    Ok(SkewedCombine {
+        counts,
+        report,
+        degraded,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -302,5 +385,67 @@ mod tests {
         let a = counts(&[(2, 8, 3)]);
         let w = WeightedCounts::from(&a);
         assert_eq!(w.get(BranchId(2)), (8.0, 3.0));
+    }
+
+    fn fps(pairs: &[(u32, u64)]) -> BTreeMap<BranchId, mfstale::SiteFp> {
+        pairs.iter().map(|&(id, fp)| (BranchId(id), fp)).collect()
+    }
+
+    #[test]
+    fn skewed_combine_is_checked_combine_on_identity() {
+        let a = counts(&[(0, 100, 90), (1, 50, 10)]);
+        let b = counts(&[(0, 10, 0), (1, 8, 8)]);
+        let same = fps(&[(0, 77), (1, 88)]);
+        let skewed = combine_skewed(&[&a, &b], &same, &same, CombineRule::Scaled).unwrap();
+        let checked = combine_checked(&[&a, &b], CombineRule::Scaled).unwrap();
+        assert_eq!(skewed.counts, checked);
+        assert!(skewed.report.is_identity(), "{}", skewed.report);
+        assert!(skewed.degraded.is_empty());
+    }
+
+    #[test]
+    fn skewed_combine_salvages_moved_sites_and_degrades_new_ones() {
+        // Old program: sites 0 and 1. New program: site 0 moved to id 5
+        // (same fingerprint), site 1 gone, brand-new site 6.
+        let a = counts(&[(0, 100, 90), (1, 50, 10)]);
+        let old = fps(&[(0, 77), (1, 88)]);
+        let new = fps(&[(5, 77), (6, 99)]);
+        let out = combine_skewed(&[&a], &old, &new, CombineRule::Unscaled).unwrap();
+        assert_eq!(out.counts.get(BranchId(5)), (100.0, 90.0));
+        assert_eq!(out.report.salvaged, 1, "{}", out.report);
+        assert_eq!(out.report.orphaned, 1, "{}", out.report);
+        assert_eq!(out.degraded, vec![BranchId(6)]);
+        assert_eq!(out.report.degraded, 1);
+        // Site mismatch would have killed combine_checked outright.
+        assert!(matches!(
+            combine_checked(
+                &[&a, &counts(&[(5, 1, 0), (6, 1, 0)])],
+                CombineRule::Unscaled
+            ),
+            Err(CombineError::SiteMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn skewed_combine_counts_degraded_sites_once_across_datasets() {
+        // Two datasets both miss new site 9: it must degrade once, not twice.
+        let a = counts(&[(0, 4, 2)]);
+        let b = counts(&[(0, 6, 6)]);
+        let old = fps(&[(0, 11)]);
+        let new = fps(&[(0, 11), (9, 22)]);
+        let out = combine_skewed(&[&a, &b], &old, &new, CombineRule::Unscaled).unwrap();
+        assert_eq!(out.report.matched, 2);
+        assert_eq!(out.degraded, vec![BranchId(9)]);
+        assert_eq!(out.report.degraded, 1);
+    }
+
+    #[test]
+    fn skewed_combine_flags_legacy_databases_as_unverified() {
+        let a = counts(&[(0, 4, 2)]);
+        let new = fps(&[(0, 11)]);
+        let out = combine_skewed(&[&a], &BTreeMap::new(), &new, CombineRule::Unscaled).unwrap();
+        assert_eq!(out.report.matched, 1);
+        assert_eq!(out.report.unverified, 1);
+        assert!(out.degraded.is_empty());
     }
 }

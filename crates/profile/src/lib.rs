@@ -45,7 +45,11 @@ mod combine;
 pub mod directives;
 mod stats;
 
-pub use combine::{combine, combine_checked, CombineError, CombineRule, WeightedCounts};
+pub use combine::{
+    combine, combine_checked, combine_skewed, CombineError, CombineRule, SkewedCombine,
+    WeightedCounts,
+};
+pub use mfstale::{SiteFp, SkewReport};
 pub use stats::{coverage, overlap, Coverage};
 
 use std::collections::BTreeMap;

@@ -63,6 +63,15 @@ pub(crate) type RawFold = BTreeMap<String, BTreeMap<u32, (u64, u64)>>;
 /// `(branch, executed, taken)` triples.
 pub type MergedTotals = BTreeMap<String, Vec<(u32, u64, u64)>>;
 
+/// Structural fingerprints folded across records (last writer wins per
+/// branch id — fingerprints describe a program, not a dataset's counts).
+pub(crate) type FpFold = BTreeMap<u32, u64>;
+
+/// Fingerprints folded per dataset label. A store can hold several
+/// distinct *programs* (each numbering its branches from zero), so folds
+/// that feed back into stored records must never mix labels.
+pub(crate) type FpFoldByDataset = BTreeMap<String, FpFold>;
+
 pub(crate) fn fold_record(fold: &mut RawFold, record: &ProfileRecord) {
     let per_dataset = fold.entry(record.dataset.clone()).or_default();
     for &(id, e, t) in &record.entries {
@@ -72,11 +81,32 @@ pub(crate) fn fold_record(fold: &mut RawFold, record: &ProfileRecord) {
     }
 }
 
-pub(crate) fn fold_to_records(fold: &RawFold) -> Vec<ProfileRecord> {
+pub(crate) fn fold_fps(fps: &mut FpFold, record: &ProfileRecord) {
+    for &(id, fp) in &record.fps {
+        fps.insert(id, fp);
+    }
+}
+
+pub(crate) fn fold_fps_by_dataset(by_ds: &mut FpFoldByDataset, record: &ProfileRecord) {
+    if record.fps.is_empty() {
+        return;
+    }
+    fold_fps(by_ds.entry(record.dataset.clone()).or_default(), record);
+}
+
+/// One folded record per dataset, each carrying the folded fingerprint of
+/// every site *its own program* counts — so compaction and migration
+/// never shed the fingerprints the skew remapper needs later, and never
+/// smear one program's fingerprints onto another dataset's record.
+pub(crate) fn fold_to_records(fold: &RawFold, fps: &FpFoldByDataset) -> Vec<ProfileRecord> {
     fold.iter()
         .map(|(ds, m)| ProfileRecord {
             dataset: ds.clone(),
             entries: m.iter().map(|(&id, &(e, t))| (id, e, t)).collect(),
+            fps: fps
+                .get(ds)
+                .map(|f| f.iter().map(|(&id, &fp)| (id, fp)).collect())
+                .unwrap_or_default(),
         })
         .collect()
 }
@@ -106,12 +136,21 @@ pub(crate) fn chunk_records(records: &[ProfileRecord]) -> Vec<Vec<ProfileRecord>
             push(r.clone(), &mut chunks, &mut chunk, &mut chunk_bytes);
             continue;
         }
-        let per = (max - 8 - r.dataset.len()).max(20) / 20;
-        for part in r.entries.chunks(per.max(1)) {
+        // An entry costs 20 bytes, plus 12 more when it drags its
+        // fingerprint along.
+        let entry_cost = if r.fps.is_empty() { 20 } else { 32 };
+        let per = ((max - 12 - r.dataset.len()).max(entry_cost) / entry_cost).max(1);
+        let fp_of: BTreeMap<u32, u64> = r.fps.iter().copied().collect();
+        for part in r.entries.chunks(per) {
             push(
                 ProfileRecord {
                     dataset: r.dataset.clone(),
                     entries: part.to_vec(),
+                    // Each fingerprint travels with its own entries.
+                    fps: part
+                        .iter()
+                        .filter_map(|&(id, _, _)| fp_of.get(&id).map(|&fp| (id, fp)))
+                        .collect(),
                 },
                 &mut chunks,
                 &mut chunk,
@@ -481,7 +520,20 @@ impl ProfileService {
     /// mix with [`ProfileService::enqueue`]/[`ProfileService::flush`]
     /// from other threads at the same time.
     pub fn submit(&self, dataset: &str, counts: &BranchCounts) -> Result<Persistence, DbError> {
-        let record = record_of(dataset, counts);
+        self.submit_with_fps(dataset, counts, &BTreeMap::new())
+    }
+
+    /// [`ProfileService::submit`] carrying the structural site
+    /// fingerprints of the program the counts were gathered on (see
+    /// `mfstale`). Fingerprinted records commit as v2 frames; an empty
+    /// map behaves exactly like `submit`.
+    pub fn submit_with_fps(
+        &self,
+        dataset: &str,
+        counts: &BranchCounts,
+        fps: &BTreeMap<BranchId, u64>,
+    ) -> Result<Persistence, DbError> {
+        let record = record_of(dataset, counts, fps);
         let sid = self.next_sid.fetch_add(1, Ordering::Relaxed);
         self.ensure_sharded()?;
         let mode = self.mode.read().expect("mode lock");
@@ -507,7 +559,18 @@ impl ProfileService {
     /// crash battery, `repro`): queue now, commit on
     /// [`ProfileService::flush`]. Returns the submission id.
     pub fn enqueue(&self, dataset: &str, counts: &BranchCounts) -> Result<u64, DbError> {
-        let record = record_of(dataset, counts);
+        self.enqueue_with_fps(dataset, counts, &BTreeMap::new())
+    }
+
+    /// [`ProfileService::enqueue`] carrying structural site fingerprints
+    /// (committed with the queued record at the next flush).
+    pub fn enqueue_with_fps(
+        &self,
+        dataset: &str,
+        counts: &BranchCounts,
+        fps: &BTreeMap<BranchId, u64>,
+    ) -> Result<u64, DbError> {
+        let record = record_of(dataset, counts, fps);
         let sid = self.next_sid.fetch_add(1, Ordering::Relaxed);
         self.ensure_sharded()?;
         let mode = self.mode.read().expect("mode lock");
@@ -720,12 +783,14 @@ impl ProfileService {
         let shards = self.opts.shards.max(1);
         let mut li = legacy.lock().expect("legacy lock");
         let mut fold = RawFold::new();
+        let mut fps = FpFoldByDataset::new();
         li.log.visit_batches(|batch| {
             for r in batch {
                 fold_record(&mut fold, &r);
+                fold_fps_by_dataset(&mut fps, &r);
             }
         })?;
-        let legacy_records = fold_to_records(&fold);
+        let legacy_records = fold_to_records(&fold, &fps);
         drop(li);
 
         // A previous migration may have crashed after partially filling
@@ -764,15 +829,22 @@ impl ProfileService {
                     .copied()
                     .filter(|&(id, _, _)| shard_of(id, shards) == i as u32)
                     .collect();
+                let fps: Vec<(u32, u64)> = r
+                    .fps
+                    .iter()
+                    .copied()
+                    .filter(|&(id, _)| shard_of(id, shards) == i as u32)
+                    .collect();
                 let goes_here = if r.entries.is_empty() {
                     i == 0 // dataset presence with no counters → shard 0
                 } else {
-                    !entries.is_empty()
+                    !entries.is_empty() || !fps.is_empty()
                 };
                 if goes_here {
                     per_shard.push(ProfileRecord {
                         dataset: r.dataset.clone(),
                         entries,
+                        fps,
                     });
                 }
             }
@@ -834,6 +906,33 @@ impl ProfileService {
                 )
             })
             .collect())
+    }
+
+    /// Structural site fingerprints merged across every shard (last
+    /// record in log order wins per branch id). Empty for a database
+    /// written entirely by fingerprint-free writers.
+    pub fn merged_fingerprints(&self) -> Result<BTreeMap<u32, u64>, DbError> {
+        let mut fps = FpFold::new();
+        self.visit_all(|r| fold_fps(&mut fps, r))?;
+        Ok(fps)
+    }
+
+    /// Like [`ProfileService::merged_fingerprints`] but keyed per dataset
+    /// label. Stores that accumulate several distinct *programs* (the
+    /// benchmark harness records `"workload/dataset"` labels, and every
+    /// program numbers its branches from zero) must read fingerprints
+    /// through this and union per program — the global fold would let one
+    /// program's sites shadow another's.
+    pub fn merged_fingerprints_by_dataset(
+        &self,
+    ) -> Result<BTreeMap<String, BTreeMap<u32, u64>>, DbError> {
+        let mut by_ds: BTreeMap<String, FpFold> = BTreeMap::new();
+        self.visit_all(|r| {
+            let fps = by_ds.entry(r.dataset.clone()).or_default();
+            fold_fps(fps, r);
+        })?;
+        by_ds.retain(|_, fps| !fps.is_empty());
+        Ok(by_ds)
     }
 
     /// The merged database as the in-memory [`ifprob::ProfileDb`] every
@@ -934,35 +1033,44 @@ impl Mode {
     }
 }
 
-fn record_of(dataset: &str, counts: &BranchCounts) -> ProfileRecord {
+fn record_of(dataset: &str, counts: &BranchCounts, fps: &BTreeMap<BranchId, u64>) -> ProfileRecord {
     ProfileRecord {
         dataset: dataset.to_string(),
         entries: counts.iter().map(|(id, e, t)| (id.0, e, t)).collect(),
+        fps: fps.iter().map(|(&id, &fp)| (id.0, fp)).collect(),
     }
 }
 
 /// Splits one record into its per-shard parts (ascending shard index).
-/// An empty-entry record (dataset presence) lands in shard 0.
+/// An empty-entry record (dataset presence) lands in shard 0. Each
+/// fingerprint follows its branch id's shard, so per-shard keyspaces stay
+/// disjoint for fingerprints exactly as for counts.
 pub(crate) fn split_record(record: &ProfileRecord, shards: u32) -> Vec<(u32, ProfileRecord)> {
     if record.entries.is_empty() {
         return vec![(0, record.clone())];
     }
-    let mut parts: BTreeMap<u32, Vec<(u32, u64, u64)>> = BTreeMap::new();
-    for &e in &record.entries {
-        parts.entry(shard_of(e.0, shards)).or_default().push(e);
-    }
-    parts
-        .into_iter()
-        .map(|(shard, entries)| {
-            (
-                shard,
-                ProfileRecord {
-                    dataset: record.dataset.clone(),
-                    entries,
-                },
-            )
+    fn part<'a>(
+        parts: &'a mut BTreeMap<u32, ProfileRecord>,
+        dataset: &str,
+        shard: u32,
+    ) -> &'a mut ProfileRecord {
+        parts.entry(shard).or_insert_with(|| ProfileRecord {
+            dataset: dataset.to_string(),
+            ..ProfileRecord::default()
         })
-        .collect()
+    }
+    let mut parts: BTreeMap<u32, ProfileRecord> = BTreeMap::new();
+    for &e in &record.entries {
+        part(&mut parts, &record.dataset, shard_of(e.0, shards))
+            .entries
+            .push(e);
+    }
+    for &f in &record.fps {
+        part(&mut parts, &record.dataset, shard_of(f.0, shards))
+            .fps
+            .push(f);
+    }
+    parts.into_iter().collect()
 }
 
 #[cfg(test)]
@@ -1130,10 +1238,90 @@ mod tests {
     }
 
     #[test]
+    fn fingerprints_shard_merge_and_survive_compaction() {
+        let mem: Arc<dyn Vfs> = Arc::new(MemVfs::new());
+        let fps: BTreeMap<BranchId, u64> = (0..20u32)
+            .map(|i| (BranchId(i), 1000 + u64::from(i)))
+            .collect();
+        {
+            let svc = ProfileService::open(Arc::clone(&mem), DIR, opts(4)).unwrap();
+            let rows: Vec<(u32, u64, u64)> = (0..20u32).map(|i| (i, 10, 3)).collect();
+            assert_eq!(
+                svc.submit_with_fps("train", &counts(&rows), &fps).unwrap(),
+                Persistence::Committed
+            );
+            // Fingerprint-free traffic coexists.
+            svc.submit("ref", &counts(&[(5, 7, 0)])).unwrap();
+        }
+        let svc = ProfileService::open(Arc::clone(&mem), DIR, opts(4)).unwrap();
+        let merged = svc.merged_fingerprints().unwrap();
+        assert_eq!(merged.len(), 20);
+        for i in 0..20u32 {
+            assert_eq!(merged.get(&i), Some(&(1000 + u64::from(i))), "branch {i}");
+        }
+        svc.compact().unwrap();
+        assert_eq!(svc.merged_fingerprints().unwrap(), merged);
+        drop(svc);
+        let reopened = ProfileService::open(Arc::clone(&mem), DIR, opts(4)).unwrap();
+        assert_eq!(reopened.merged_fingerprints().unwrap(), merged);
+    }
+
+    #[test]
+    fn fingerprints_by_dataset_keep_programs_apart() {
+        // Two "programs" both number their branches from zero but with
+        // different structure: the global fold would let one shadow the
+        // other; the per-dataset view keeps them apart.
+        let mem: Arc<dyn Vfs> = Arc::new(MemVfs::new());
+        let svc = ProfileService::open(Arc::clone(&mem), DIR, opts(2)).unwrap();
+        let fps_a: BTreeMap<BranchId, u64> = [(BranchId(0), 100)].into_iter().collect();
+        let fps_b: BTreeMap<BranchId, u64> = [(BranchId(0), 200)].into_iter().collect();
+        svc.submit_with_fps("alpha/train", &counts(&[(0, 8, 4)]), &fps_a)
+            .unwrap();
+        svc.submit_with_fps("beta/train", &counts(&[(0, 6, 6)]), &fps_b)
+            .unwrap();
+        svc.submit("gamma/train", &counts(&[(0, 1, 0)])).unwrap();
+        let by_ds = svc.merged_fingerprints_by_dataset().unwrap();
+        assert_eq!(by_ds.len(), 2, "fp-free datasets are omitted: {by_ds:?}");
+        assert_eq!(by_ds["alpha/train"].get(&0), Some(&100));
+        assert_eq!(by_ds["beta/train"].get(&0), Some(&200));
+        svc.compact().unwrap();
+        assert_eq!(svc.merged_fingerprints_by_dataset().unwrap(), by_ds);
+    }
+
+    #[test]
+    fn fingerprints_survive_legacy_migration() {
+        let mem: Arc<dyn Vfs> = Arc::new(MemVfs::new());
+        let fps: BTreeMap<BranchId, u64> =
+            [(BranchId(1), 11), (BranchId(2), 22)].into_iter().collect();
+        {
+            // Write a fingerprinted single-log (legacy layout) database.
+            let mut store = mfprofdb::ProfileStore::open(
+                Arc::clone(&mem),
+                DIR,
+                mfprofdb::OpenOptions {
+                    lock: mfprofdb::LockMode::None,
+                    retry: RetryPolicy::none(),
+                },
+            )
+            .unwrap();
+            store
+                .append_with_fps("train", &counts(&[(1, 4, 2), (2, 9, 9)]), &fps)
+                .unwrap();
+        }
+        let svc = ProfileService::open(Arc::clone(&mem), DIR, opts(4)).unwrap();
+        svc.submit("train", &counts(&[(1, 1, 1)])).unwrap(); // triggers migration
+        assert_eq!(svc.shard_count(), 4);
+        let merged = svc.merged_fingerprints().unwrap();
+        assert_eq!(merged.get(&1), Some(&11));
+        assert_eq!(merged.get(&2), Some(&22));
+    }
+
+    #[test]
     fn chunking_splits_oversized_records_without_losing_counts() {
         let big = ProfileRecord {
             dataset: "huge".into(),
             entries: (0..500_000u32).map(|i| (i, 2, 1)).collect(),
+            ..Default::default()
         };
         let chunks = chunk_records(std::slice::from_ref(&big));
         assert!(chunks.len() > 1, "10MB of entries spans multiple frames");
@@ -1154,6 +1342,7 @@ mod tests {
         let record = ProfileRecord {
             dataset: "d".into(),
             entries: (0..100u32).map(|i| (i, 1, 0)).collect(),
+            ..Default::default()
         };
         let parts = split_record(&record, 8);
         let mut seen = 0usize;

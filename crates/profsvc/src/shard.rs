@@ -456,6 +456,7 @@ impl ShardLog {
         let tmp = self.dir.join(format!("compact-{new_gen}.tmp"));
 
         let mut fold = crate::RawFold::new();
+        let mut fps = crate::FpFoldByDataset::new();
         let bytes = match self.io("read segment", |vfs, _| vfs.read(&segment))? {
             Ok(b) => b,
             Err(e) => {
@@ -467,9 +468,10 @@ impl ShardLog {
         format::walk_batches(&bytes[format::HEADER_LEN..], |batch| {
             for r in batch {
                 crate::fold_record(&mut fold, &r);
+                crate::fold_fps_by_dataset(&mut fps, &r);
             }
         });
-        let folded = crate::fold_to_records(&fold);
+        let folded = crate::fold_to_records(&fold, &fps);
 
         let mut buf = Vec::new();
         for chunk in crate::chunk_records(&folded) {

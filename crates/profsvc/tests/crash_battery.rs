@@ -67,6 +67,7 @@ fn part_of(sub: &Submission, shard: u32) -> Option<ProfileRecord> {
         return (shard == 0).then(|| ProfileRecord {
             dataset: ds.to_string(),
             entries: vec![],
+            ..Default::default()
         });
     }
     let entries: Vec<(u32, u64, u64)> = rows
@@ -77,6 +78,7 @@ fn part_of(sub: &Submission, shard: u32) -> Option<ProfileRecord> {
     (!entries.is_empty()).then(|| ProfileRecord {
         dataset: ds.to_string(),
         entries,
+        ..Default::default()
     })
 }
 
@@ -271,6 +273,7 @@ fn legacy_shard_records(legacy: &Fold, shard: u32) -> Vec<Vec<ProfileRecord>> {
             records.push(ProfileRecord {
                 dataset: ds.clone(),
                 entries,
+                ..Default::default()
             });
         }
     }

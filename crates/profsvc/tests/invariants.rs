@@ -74,6 +74,7 @@ fn full_expected() -> Fold {
         .map(|(ds, rows)| ProfileRecord {
             dataset: ds,
             entries: rows,
+            ..Default::default()
         })
         .collect();
     fold_of(&records)

@@ -1,7 +1,7 @@
 //! IR → flat-code compilation: trace-planned emission, intra-block fusion,
 //! pair peepholing, implied-branch elimination, and fuel-cost assignment.
 
-use std::collections::HashMap;
+use std::collections::{BTreeSet, HashMap};
 use std::sync::Arc;
 
 use trace_ir::{BinOp, Block, BranchId, Function, Instr, Program, Terminator, Value};
@@ -20,6 +20,9 @@ use mfcheck::Cfg;
 pub(super) struct Flattener<'p> {
     program: &'p Program,
     profile: Option<&'p BranchCounts>,
+    /// Branch sites whose profile counts are not trusted (degraded by a
+    /// version-skew remap): trace growth treats them as unprofiled.
+    low_confidence: BTreeSet<BranchId>,
     tcfg: TraceConfig,
     code: Vec<FlatOp>,
     heads: Vec<EdgeHead>,
@@ -42,9 +45,19 @@ impl<'p> Flattener<'p> {
         profile: Option<&'p BranchCounts>,
         tcfg: TraceConfig,
     ) -> Self {
+        Self::with_confidence(program, profile, &[], tcfg)
+    }
+
+    pub(super) fn with_confidence(
+        program: &'p Program,
+        profile: Option<&'p BranchCounts>,
+        low_confidence: &[BranchId],
+        tcfg: TraceConfig,
+    ) -> Self {
         Flattener {
             program,
             profile,
+            low_confidence: low_confidence.iter().copied().collect(),
             tcfg,
             code: Vec::new(),
             heads: Vec::new(),
@@ -165,7 +178,7 @@ impl<'p> Flattener<'p> {
 
     fn flatten_function(&mut self, fi: usize, func: &Function, pixie_base: u32) {
         let cfg = Cfg::new(func);
-        let traces = plan_traces(func, self.profile, self.tcfg);
+        let traces = plan_traces(func, self.profile, self.tcfg, &self.low_confidence);
 
         // Assign an edge-head index to every planned copy up front so
         // terminators can name forward targets without a patch pass, and

@@ -72,7 +72,7 @@ use trace_ir::{BranchId, Program};
 use self::compile::Flattener;
 use self::interp::FlatInterp;
 use self::ops::{EdgeHead, FlatOp};
-pub use self::trace::TraceConfig;
+pub use self::trace::{confidence_digest, TraceConfig};
 use crate::counters::BranchCounts;
 use crate::error::RuntimeError;
 use crate::machine::{CoverageSink, Run, VmConfig};
@@ -147,6 +147,24 @@ impl FlatProgram {
         trace: TraceConfig,
     ) -> Self {
         Flattener::new(program, profile, trace).build()
+    }
+
+    /// [`FlatProgram::compile_with`] for profiles reused across a program
+    /// edit: sites in `low_confidence` (the degraded list of a
+    /// version-skew remap — see `mfstale`) keep their counters but are
+    /// *not* trusted to steer trace growth; they predict by
+    /// backward-taken/forward-not-taken exactly as if unprofiled. Callers
+    /// should set `trace.confidence_digest` to
+    /// [`confidence_digest`]`(low_confidence)` so run keys distinguish the
+    /// degraded compilation. An empty `low_confidence` compiles
+    /// identically to [`FlatProgram::compile_with`].
+    pub fn compile_with_confidence(
+        program: &Program,
+        profile: Option<&BranchCounts>,
+        low_confidence: &[BranchId],
+        trace: TraceConfig,
+    ) -> Self {
+        Flattener::with_confidence(program, profile, low_confidence, trace).build()
     }
 
     /// Number of ops in the compiled code stream (diagnostics and benchmark

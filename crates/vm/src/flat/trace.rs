@@ -6,10 +6,10 @@
 //! prefix proves about register values so the flattener can replace
 //! branches whose outcome is implied with side-exit-free fallthroughs.
 
-use std::collections::HashMap;
+use std::collections::{BTreeSet, HashMap};
 
 use mfcheck::{Cfg, DomTree, LoopForest};
-use trace_ir::{BinOp, Function, Instr, Terminator};
+use trace_ir::{BinOp, BranchId, Function, Instr, Terminator};
 
 use crate::counters::BranchCounts;
 
@@ -26,6 +26,12 @@ pub struct TraceConfig {
     /// Per-function tail-duplication budget, in fuel components (one
     /// component per duplicated instruction or terminator).
     pub tail_dup_budget: u32,
+    /// Digest of the low-confidence branch set handed to
+    /// [`crate::FlatProgram::compile_with_confidence`] (see
+    /// [`confidence_digest`]); `0` when every profiled site is trusted.
+    /// Carried here so run keys distinguish otherwise-identical
+    /// compilations whose degraded-site sets differ.
+    pub confidence_digest: u64,
 }
 
 impl Default for TraceConfig {
@@ -33,8 +39,29 @@ impl Default for TraceConfig {
         TraceConfig {
             enabled: true,
             tail_dup_budget: 192,
+            confidence_digest: 0,
         }
     }
+}
+
+/// FNV-1a digest of a low-confidence branch set, for
+/// [`TraceConfig::confidence_digest`]. Order-insensitive (ids are folded
+/// sorted and deduplicated); the empty set digests to `0` so "no degraded
+/// sites" and "confidence unused" key identically — they compile
+/// identically too.
+pub fn confidence_digest(low_confidence: &[BranchId]) -> u64 {
+    let sorted: BTreeSet<BranchId> = low_confidence.iter().copied().collect();
+    if sorted.is_empty() {
+        return 0;
+    }
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for id in sorted {
+        for b in u64::from(id.0).to_le_bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    h
 }
 
 /// Hard cap on copies per trace (defends against degenerate growth).
@@ -88,6 +115,7 @@ pub(crate) fn plan_traces(
     func: &Function,
     profile: Option<&BranchCounts>,
     tcfg: TraceConfig,
+    low_confidence: &BTreeSet<BranchId>,
 ) -> Vec<PlannedTrace> {
     let nblocks = func.blocks.len();
     let mut placed = vec![false; nblocks];
@@ -136,7 +164,7 @@ pub(crate) fn plan_traces(
         let mut cur = seed;
         placed[cur] = true;
         loop {
-            let link = predicted_link(func, cur, profile, rpo_backward.as_deref());
+            let link = predicted_link(func, cur, profile, low_confidence, rpo_backward.as_deref());
             let Some((link, next)) = link else {
                 copies.push(PlannedCopy {
                     block: cur,
@@ -180,7 +208,13 @@ pub(crate) fn plan_traces(
                 cur = usize::MAX; // marker replaced below
                 let mut dup_cur = next;
                 loop {
-                    let dlink = predicted_link(func, dup_cur, profile, rpo_backward.as_deref());
+                    let dlink = predicted_link(
+                        func,
+                        dup_cur,
+                        profile,
+                        low_confidence,
+                        rpo_backward.as_deref(),
+                    );
                     let stop_link = match dlink {
                         Some((l, dnext)) if copies.len() + 1 < MAX_TRACE_LEN && !placed[dnext] => {
                             // Duplicate chains into an unplaced block: place
@@ -242,6 +276,7 @@ fn predicted_link(
     func: &Function,
     block: usize,
     profile: Option<&BranchCounts>,
+    low_confidence: &BTreeSet<BranchId>,
     rpo_backward: Option<&dyn Fn(usize, usize) -> bool>,
 ) -> Option<(Link, usize)> {
     match &func.blocks[block].term {
@@ -252,7 +287,10 @@ fn predicted_link(
             not_taken,
             ..
         } => {
-            let prefer_taken = match profile {
+            // A degraded (low-confidence) site's recorded counts are not
+            // trusted: it predicts exactly as if unprofiled.
+            let trusted = profile.filter(|_| !low_confidence.contains(id));
+            let prefer_taken = match trusted {
                 Some(p) => {
                     let (executed, taken_n) = p.get(*id);
                     executed > 0 && 2 * taken_n > executed

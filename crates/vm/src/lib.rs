@@ -48,7 +48,7 @@ mod value;
 
 pub use counters::{BranchCounts, BreakEvents, PixieCounts, RunStats};
 pub use error::RuntimeError;
-pub use flat::{FlatProgram, TraceConfig};
+pub use flat::{confidence_digest, FlatProgram, TraceConfig};
 pub use machine::{
     run_program, Backend, BranchEvent, BranchSink, CoverageSink, Run, Vm, VmConfig, ENTRY_EDGE_FROM,
 };

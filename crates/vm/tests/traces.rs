@@ -113,6 +113,7 @@ fn trace_on(tail_dup_budget: u32) -> TraceConfig {
     TraceConfig {
         enabled: true,
         tail_dup_budget,
+        ..TraceConfig::default()
     }
 }
 
@@ -189,11 +190,59 @@ fn divide_by_zero_mid_trace_outranks_nothing_and_races_fuel() {
 }
 
 #[test]
+fn low_confidence_sites_predict_as_if_unprofiled() {
+    use trace_ir::BranchId;
+    let program = diamond_loop_program(3, 1_000);
+    // A profile that contradicts BTFN on both sites: the forward diamond
+    // branch always taken, the backward loop edge never taken.
+    let mut profile = trace_vm::BranchCounts::new();
+    profile.add(BranchId(0), 100, 100);
+    profile.add(BranchId(1), 100, 0);
+    let tcfg = trace_on(192);
+    let trusted = FlatProgram::compile_with(&program, Some(&profile), tcfg);
+    let unprofiled = FlatProgram::compile_with(&program, None, tcfg);
+    let degraded = FlatProgram::compile_with_confidence(
+        &program,
+        Some(&profile),
+        &[BranchId(0), BranchId(1)],
+        tcfg,
+    );
+    // Degrading every profiled site reproduces the unprofiled compilation
+    // exactly; trusting the contrarian profile does not.
+    assert_eq!(format!("{degraded:?}"), format!("{unprofiled:?}"));
+    assert_ne!(format!("{degraded:?}"), format!("{trusted:?}"));
+    // An empty low-confidence set is the plain profiled compilation.
+    let none = FlatProgram::compile_with_confidence(&program, Some(&profile), &[], tcfg);
+    assert_eq!(format!("{none:?}"), format!("{trusted:?}"));
+    // Layout choices never change observable behavior.
+    let reference = run_with(&program, Backend::Reference, u64::MAX, tcfg, 9);
+    for fp in [&trusted, &unprofiled, &degraded] {
+        assert_eq!(
+            fp.run(config(Backend::Flat, u64::MAX, tcfg), &[Input::Int(9)]),
+            reference
+        );
+    }
+}
+
+#[test]
+fn confidence_digest_is_canonical() {
+    use trace_ir::BranchId;
+    use trace_vm::confidence_digest;
+    assert_eq!(confidence_digest(&[]), 0);
+    let a = confidence_digest(&[BranchId(1), BranchId(2)]);
+    let b = confidence_digest(&[BranchId(2), BranchId(1), BranchId(2)]);
+    assert_eq!(a, b, "digest must be order- and duplicate-insensitive");
+    assert_ne!(a, 0);
+    assert_ne!(a, confidence_digest(&[BranchId(1)]));
+}
+
+#[test]
 fn disabling_traces_is_observably_identical_too() {
     let program = diamond_loop_program(4, 1_000);
     let off = TraceConfig {
         enabled: false,
         tail_dup_budget: 192,
+        ..TraceConfig::default()
     };
     let on = trace_on(192);
     let a = run_with(&program, Backend::Flat, u64::MAX, off, 9);
